@@ -1,0 +1,247 @@
+//! Criterion micro-benchmarks for the core building blocks, including the
+//! ablations DESIGN.md calls out: forward vs reverse greedy selection,
+//! selection with and without oversized-property pruning, and the
+//! trial-merge cost oracle vs naive forest cloning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_cluster::{
+    bloom_reduce, classify, decompose_crossing_aware, partial_evaluate, CrossingSet, Site,
+};
+use mpc_core::select::{forward_greedy, reverse_greedy, SelectConfig, SelectStrategy};
+use mpc_core::weighted::{weighted_greedy, PropertyWeights};
+use mpc_core::{MpcConfig, MpcPartitioner, Partitioner};
+use mpc_datagen::lubm::{self, LubmConfig};
+use mpc_datagen::realistic::{generate as gen_real, RealisticConfig};
+use mpc_datagen::{QuerySampler, Shape};
+use mpc_dsu::DisjointSetForest;
+use mpc_metis::{partition, MetisConfig, WeightedGraph};
+use mpc_sparql::{evaluate, LocalStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_dsu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsu");
+    let n = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let edges: Vec<(u32, u32)> = (0..n)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    group.bench_function("union_100k", |b| {
+        b.iter(|| {
+            let mut d = DisjointSetForest::new(n);
+            d.merge_edges(edges.iter().copied());
+            black_box(d.max_component_size())
+        })
+    });
+    let base = DisjointSetForest::from_edges(n, edges.iter().take(n / 2).copied());
+    let probe: Vec<(u32, u32)> = edges[n / 2..n / 2 + 1000].to_vec();
+    group.bench_function("trial_merge_1k", |b| {
+        let mut d = base.clone();
+        b.iter(|| black_box(d.trial_merge_cost(probe.iter().copied())))
+    });
+    group.bench_function("clone_and_merge_1k", |b| {
+        // The naive alternative the trial merge replaces.
+        b.iter(|| {
+            let mut d = base.clone();
+            d.merge_edges(probe.iter().copied());
+            black_box(d.max_component_size())
+        })
+    });
+    group.finish();
+}
+
+fn selection_graph() -> mpc_rdf::RdfGraph {
+    gen_real(&RealisticConfig {
+        name: "bench",
+        vertices: 20_000,
+        triples: 80_000,
+        properties: 400,
+        domains: 32,
+        zipf: 1.1,
+        global_fraction: 0.03,
+        type_like: true,
+        seed: 5,
+    })
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let graph = selection_graph();
+    let cfg = |strategy, prune| SelectConfig {
+        k: 8,
+        epsilon: 0.1,
+        strategy,
+        prune_oversized: prune,
+        reverse_threshold: usize::MAX,
+    };
+    group.bench_function("forward_greedy", |b| {
+        b.iter(|| black_box(forward_greedy(&graph, &cfg(SelectStrategy::ForwardGreedy, true))))
+    });
+    group.bench_function("forward_greedy_no_prune", |b| {
+        b.iter(|| black_box(forward_greedy(&graph, &cfg(SelectStrategy::ForwardGreedy, false))))
+    });
+    group.bench_function("reverse_greedy", |b| {
+        b.iter(|| black_box(reverse_greedy(&graph, &cfg(SelectStrategy::ReverseGreedy, true))))
+    });
+    let weights = PropertyWeights::uniform(graph.property_count());
+    group.bench_function("weighted_greedy", |b| {
+        b.iter(|| {
+            black_box(weighted_greedy(
+                &graph,
+                &cfg(SelectStrategy::ForwardGreedy, true),
+                &weights,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_metis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metis");
+    for side in [32usize, 64] {
+        let idx = |x: usize, y: usize| (y * side + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edge_list(side * side, &edges, vec![1; side * side]);
+        group.bench_with_input(BenchmarkId::new("grid_8way", side * side), &g, |b, g| {
+            b.iter(|| black_box(partition(g, 8, &MetisConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+    let d = lubm::generate(&LubmConfig {
+        universities: 3,
+        ..Default::default()
+    });
+    let store = LocalStore::from_graph(&d.graph);
+    for nq in d.benchmark_queries() {
+        if ["LQ1", "LQ2", "LQ4", "LQ9"].contains(&nq.name.as_str()) {
+            group.bench_function(&nq.name, |b| {
+                b.iter(|| black_box(evaluate(&nq.query, &store)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning");
+    let graph = gen_real(&RealisticConfig {
+        name: "bench",
+        vertices: 5_000,
+        triples: 20_000,
+        properties: 128,
+        domains: 16,
+        zipf: 1.1,
+        global_fraction: 0.05,
+        type_like: true,
+        seed: 6,
+    });
+    let crossing = CrossingSet((0..128).map(|p| p % 7 == 0).collect());
+    let mut sampler = QuerySampler::new(&graph, 17);
+    let queries: Vec<_> = (0..64).map(|_| sampler.sample(Shape::Snowflake)).collect();
+    group.bench_function("classify_64", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(classify(q, &crossing));
+            }
+        })
+    });
+    group.bench_function("decompose_64", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(decompose_crossing_aware(q, &crossing));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    let d = lubm::generate(&LubmConfig {
+        universities: 3,
+        ..Default::default()
+    });
+    let part = MpcPartitioner::new(MpcConfig::with_k(4)).partition(&d.graph);
+    let sites: Vec<Site> = part
+        .fragments(&d.graph)
+        .into_iter()
+        .map(|f| Site::load(f).0)
+        .collect();
+    let queries = d.benchmark_queries();
+    let lq9 = &queries.iter().find(|q| q.name == "LQ9").unwrap().query;
+    group.bench_function("partial_evaluate_lq9", |b| {
+        b.iter(|| black_box(partial_evaluate(&sites, lq9)))
+    });
+
+    // Semijoin reduction over skewed tables.
+    let mut rng = StdRng::seed_from_u64(3);
+    let make_tables = |rng: &mut StdRng| {
+        let mut big = mpc_sparql::Bindings::new(vec![0, 1]);
+        for _ in 0..20_000 {
+            big.push(vec![rng.gen_range(0..50_000), rng.gen_range(0..1000)]);
+        }
+        let mut small = mpc_sparql::Bindings::new(vec![0, 2]);
+        for _ in 0..200 {
+            small.push(vec![rng.gen_range(0..50_000), 7]);
+        }
+        vec![big, small]
+    };
+    let template = make_tables(&mut rng);
+    group.bench_function("bloom_reduce_20k", |b| {
+        b.iter(|| {
+            let mut tables = template.clone();
+            black_box(bloom_reduce(&mut tables))
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    let d = lubm::generate(&LubmConfig {
+        universities: 4,
+        ..Default::default()
+    });
+    group.bench_function("mpc_lubm4_k8", |b| {
+        let p = MpcPartitioner::new(MpcConfig::with_k(8));
+        b.iter(|| black_box(p.partition(&d.graph)))
+    });
+    group.finish();
+}
+
+/// Short measurement windows keep the full suite to a few minutes on a
+/// single-core machine while still giving stable medians.
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_dsu,
+        bench_selection,
+        bench_metis,
+        bench_matcher,
+        bench_planning,
+        bench_distributed,
+        bench_end_to_end_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Extension ablation: k-hop replication trade-off. See `mpc_bench::experiments::khop`.
+fn main() {
+    mpc_bench::experiments::khop::run();
+}

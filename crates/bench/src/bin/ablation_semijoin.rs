@@ -1,0 +1,4 @@
+//! Extension ablation: Bloom-semijoin reduction. See `mpc_bench::experiments::semijoin`.
+fn main() {
+    mpc_bench::experiments::semijoin::run();
+}

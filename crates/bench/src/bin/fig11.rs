@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::fig11::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::fig7::run();
+}

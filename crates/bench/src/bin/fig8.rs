@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::fig8::run();
+}

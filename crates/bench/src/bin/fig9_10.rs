@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 10 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::scalability::run();
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in sequence, regenerating all tables and figures
+//! into `bench_results/`. Honors `MPC_BENCH_SCALE`.
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("MPC reproduction — full experiment sweep (scale={})\n", mpc_bench::datasets::scale_factor());
+    mpc_bench::experiments::table2::run();
+    mpc_bench::experiments::table3::run();
+    mpc_bench::experiments::stages::run();
+    mpc_bench::experiments::fig7::run();
+    mpc_bench::experiments::fig8::run();
+    mpc_bench::experiments::table6::run();
+    mpc_bench::experiments::scalability::run();
+    mpc_bench::experiments::fig11::run();
+    mpc_bench::experiments::table7::run();
+    mpc_bench::experiments::khop::run();
+    mpc_bench::experiments::semijoin::run();
+    println!("\nAll experiments done in {:.1}s; outputs in bench_results/.", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::table2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 5 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::stages::run();
+}

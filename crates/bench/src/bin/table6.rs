@@ -1,0 +1,4 @@
+//! Regenerates the paper's table6 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::table6::run();
+}

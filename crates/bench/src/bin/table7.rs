@@ -1,0 +1,4 @@
+//! Regenerates the paper's table7 artifact. See `mpc_bench::experiments`.
+fn main() {
+    mpc_bench::experiments::table7::run();
+}

@@ -1,0 +1,157 @@
+//! Dataset bundles for the experiment harness: every dataset of Table I as
+//! a scaled analog, with its benchmark queries and/or query-log workload.
+//!
+//! Default scales target single-machine runtimes of minutes, not hours;
+//! set `MPC_BENCH_SCALE` (a float, default `1.0`) to shrink or grow every
+//! dataset proportionally — the experiment binaries honor it so quick
+//! smoke runs (`MPC_BENCH_SCALE=0.1`) and bigger sweeps use the same code.
+
+use mpc_datagen::lubm::{self, LubmConfig};
+use mpc_datagen::real_queries::{bio2rdf_queries, yago2_queries};
+use mpc_datagen::realistic::{self, RealisticConfig};
+use mpc_datagen::watdiv::{self, WatdivConfig};
+use mpc_datagen::{NamedQuery, QuerySampler, ShapeMix};
+use mpc_rdf::RdfGraph;
+use mpc_sparql::Query;
+
+/// One dataset plus its workloads.
+pub struct DatasetBundle {
+    /// Display name (matches Table I).
+    pub name: &'static str,
+    /// The graph.
+    pub graph: RdfGraph,
+    /// Named benchmark queries (LQ/YQ/BQ), if the dataset has them.
+    pub benchmark_queries: Vec<NamedQuery>,
+    /// Sampled query log, if the dataset is log-driven.
+    pub query_log: Vec<Query>,
+}
+
+/// The global scale factor from `MPC_BENCH_SCALE` (default 1.0).
+pub fn scale_factor() -> f64 {
+    std::env::var("MPC_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&f| f > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Number of log queries to sample (paper: 1000), scaled.
+pub fn log_size() -> usize {
+    ((1000.0 * scale_factor()) as usize).clamp(50, 5000)
+}
+
+/// LUBM analog (default ≈ 20 universities ≈ 170k triples).
+pub fn lubm_bundle() -> DatasetBundle {
+    let universities = ((20.0 * scale_factor()) as usize).max(2);
+    let d = lubm::generate(&LubmConfig {
+        universities,
+        ..Default::default()
+    });
+    let benchmark_queries = d.benchmark_queries();
+    DatasetBundle {
+        name: "LUBM",
+        graph: d.graph,
+        benchmark_queries,
+        query_log: Vec::new(),
+    }
+}
+
+/// LUBM analog at an explicit university count (scalability sweeps).
+pub fn lubm_at(universities: usize) -> DatasetBundle {
+    let d = lubm::generate(&LubmConfig {
+        universities,
+        ..Default::default()
+    });
+    let benchmark_queries = d.benchmark_queries();
+    DatasetBundle {
+        name: "LUBM",
+        graph: d.graph,
+        benchmark_queries,
+        query_log: Vec::new(),
+    }
+}
+
+/// WatDiv analog (default ≈ 4k users ≈ 120k triples) with a sampled log.
+pub fn watdiv_bundle() -> DatasetBundle {
+    let scale = ((4000.0 * scale_factor()) as usize).max(200);
+    watdiv_at(scale)
+}
+
+/// WatDiv analog at an explicit user scale.
+pub fn watdiv_at(scale: usize) -> DatasetBundle {
+    let d = watdiv::generate(&WatdivConfig {
+        scale,
+        ..Default::default()
+    });
+    let mut sampler = QuerySampler::new(&d.graph, 0x3a7d_5eed);
+    let query_log = sampler.sample_log(log_size(), &ShapeMix::watdiv_like());
+    DatasetBundle {
+        name: "WatDiv",
+        graph: d.graph,
+        benchmark_queries: Vec::new(),
+        query_log,
+    }
+}
+
+/// YAGO2 analog with its four benchmark queries.
+pub fn yago2_bundle() -> DatasetBundle {
+    let graph = realistic::generate(&RealisticConfig::yago2_like().scaled(scale_factor()));
+    let benchmark_queries = yago2_queries(&graph);
+    DatasetBundle {
+        name: "YAGO2",
+        graph,
+        benchmark_queries,
+        query_log: Vec::new(),
+    }
+}
+
+/// Bio2RDF analog with its five benchmark queries.
+pub fn bio2rdf_bundle() -> DatasetBundle {
+    let graph = realistic::generate(&RealisticConfig::bio2rdf_like().scaled(scale_factor()));
+    let benchmark_queries = bio2rdf_queries(&graph);
+    DatasetBundle {
+        name: "Bio2RDF",
+        graph,
+        benchmark_queries,
+        query_log: Vec::new(),
+    }
+}
+
+/// DBpedia analog with a sampled LSQ-style log.
+pub fn dbpedia_bundle() -> DatasetBundle {
+    let graph = realistic::generate(&RealisticConfig::dbpedia_like().scaled(scale_factor()));
+    let mut sampler = QuerySampler::new(&graph, 0xdb9e_5eed);
+    sampler.var_property_prob = 0.02;
+    let query_log = sampler.sample_log(log_size(), &ShapeMix::dbpedia_like());
+    DatasetBundle {
+        name: "DBpedia",
+        graph,
+        benchmark_queries: Vec::new(),
+        query_log,
+    }
+}
+
+/// LGD analog with a sampled LSQ-style log.
+pub fn lgd_bundle() -> DatasetBundle {
+    let graph = realistic::generate(&RealisticConfig::lgd_like().scaled(scale_factor()));
+    let mut sampler = QuerySampler::new(&graph, 0x16d0_5eed);
+    let query_log = sampler.sample_log(log_size(), &ShapeMix::lgd_like());
+    DatasetBundle {
+        name: "LGD",
+        graph,
+        benchmark_queries: Vec::new(),
+        query_log,
+    }
+}
+
+/// All six datasets, in Table I order.
+pub fn all_bundles() -> Vec<DatasetBundle> {
+    vec![
+        lubm_bundle(),
+        watdiv_bundle(),
+        yago2_bundle(),
+        bio2rdf_bundle(),
+        dbpedia_bundle(),
+        lgd_bundle(),
+    ]
+}

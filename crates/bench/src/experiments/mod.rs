@@ -1,0 +1,14 @@
+//! One module per paper artifact; each exposes `run()` which prints the
+//! regenerated table/figure and appends it to `bench_results/`.
+
+pub mod fig11;
+pub mod khop;
+pub mod semijoin;
+pub mod fig7;
+pub mod fig8;
+pub mod scalability;
+pub mod stages;
+pub mod table2;
+pub mod table3;
+pub mod table6;
+pub mod table7;

@@ -1,0 +1,133 @@
+//! Shared experiment machinery: building the four partitionings/engines of
+//! a dataset and running workloads through them.
+
+use crate::datasets::DatasetBundle;
+use mpc_cluster::{DistributedEngine, ExecMode, ExecutionStats, NetworkModel, VpEngine};
+use mpc_core::{
+    EdgePartitioning, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
+    Partitioning, SubjectHashPartitioner, VerticalPartitioner,
+};
+use mpc_rdf::RdfGraph;
+use mpc_sparql::Query;
+use std::time::{Duration, Instant};
+
+/// The number of partitions/sites used throughout the evaluation
+/// (the paper's cluster has 8 machines).
+pub const K: usize = 8;
+
+/// A vertex-disjoint method under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// Minimum property-cut (this paper).
+    Mpc,
+    /// Subject hashing.
+    SubjectHash,
+    /// Min edge-cut over the full graph.
+    Metis,
+}
+
+impl Method {
+    /// All three vertex-disjoint methods, in the paper's column order.
+    pub const ALL: [Method; 3] = [Method::Mpc, Method::SubjectHash, Method::Metis];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Mpc => "MPC",
+            Method::SubjectHash => "Subject_Hash",
+            Method::Metis => "METIS",
+        }
+    }
+
+    /// Builds the partitioner.
+    pub fn partitioner(&self) -> Box<dyn Partitioner> {
+        match self {
+            Method::Mpc => Box::new(MpcPartitioner::new(MpcConfig::with_k(K))),
+            Method::SubjectHash => Box::new(SubjectHashPartitioner::new(K)),
+            Method::Metis => Box::new(MinEdgeCutPartitioner::new(K)),
+        }
+    }
+
+    /// The execution mode this method's engine natively runs: MPC plans
+    /// with crossing properties; the baselines only localize stars.
+    pub fn native_mode(&self) -> ExecMode {
+        match self {
+            Method::Mpc => ExecMode::CrossingAware,
+            _ => ExecMode::StarOnly,
+        }
+    }
+}
+
+/// A partitioned dataset: the partitioning plus its timing.
+pub struct Partitioned {
+    /// The method that produced it.
+    pub method: Method,
+    /// The partitioning.
+    pub partitioning: Partitioning,
+    /// Wall time of the partitioning step (Table VI "partitioning").
+    pub partition_time: Duration,
+}
+
+/// Partitions a graph with one method, timing it.
+pub fn partition_with(method: Method, graph: &RdfGraph) -> Partitioned {
+    let t0 = Instant::now();
+    let partitioning = method.partitioner().partition(graph);
+    Partitioned {
+        method,
+        partitioning,
+        partition_time: t0.elapsed(),
+    }
+}
+
+/// The VP baseline: edge-disjoint partitioning plus timing.
+pub fn partition_vp(graph: &RdfGraph) -> (EdgePartitioning, Duration) {
+    let t0 = Instant::now();
+    let ep = VerticalPartitioner::new(K).partition(graph);
+    (ep, t0.elapsed())
+}
+
+/// A dataset with all engines built — the fixture most experiments need.
+pub struct EngineSet {
+    /// The source bundle.
+    pub bundle: DatasetBundle,
+    /// Engines for MPC / Subject_Hash / METIS, in [`Method::ALL`] order.
+    pub engines: Vec<(Method, DistributedEngine)>,
+    /// The VP engine.
+    pub vp: VpEngine,
+}
+
+/// Builds all four engines over a bundle.
+pub fn build_engines(bundle: DatasetBundle) -> EngineSet {
+    let network = NetworkModel::default();
+    let engines = Method::ALL
+        .iter()
+        .map(|&m| {
+            let part = partition_with(m, &bundle.graph);
+            (m, DistributedEngine::build(&bundle.graph, &part.partitioning, network))
+        })
+        .collect();
+    let (ep, _) = partition_vp(&bundle.graph);
+    let vp = VpEngine::build(&bundle.graph, &ep, network);
+    EngineSet {
+        bundle,
+        engines,
+        vp,
+    }
+}
+
+impl EngineSet {
+    /// The engine of one vertex-disjoint method.
+    pub fn engine(&self, method: Method) -> &DistributedEngine {
+        &self.engines.iter().find(|(m, _)| *m == method).expect("method built").1
+    }
+}
+
+/// Runs a query on an engine in its native mode, returning the stats only.
+pub fn run(engine: &DistributedEngine, method: Method, query: &Query) -> ExecutionStats {
+    engine.execute_mode(query, method.native_mode()).1
+}
+
+/// Milliseconds of total response time.
+pub fn total_ms(stats: &ExecutionStats) -> f64 {
+    stats.total().as_secs_f64() * 1e3
+}

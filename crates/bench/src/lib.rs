@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the MPC
+//! paper's evaluation (Section VI). One binary per artifact:
+//!
+//! | binary     | paper artifact |
+//! |------------|----------------|
+//! | `table2`   | Table II — crossing properties & edges per method |
+//! | `table3`   | Table III — percentage of IEQs |
+//! | `table4_5` | Tables IV & V — per-stage times (QDT/LET/JT) |
+//! | `fig7`     | Fig. 7 — benchmark query response times |
+//! | `fig8`     | Fig. 8 — query-log five-number summaries |
+//! | `table6`   | Table VI — offline partitioning & loading times |
+//! | `fig9_10`  | Figs. 9 & 10 — offline/online scalability |
+//! | `fig11`    | Fig. 11 — partitioning-agnostic (gStoreD-style) runs |
+//! | `table7`   | Table VII — greedy vs MPC-Exact |
+//! | `ablation_khop` | extension: k-hop replication trade-off |
+//! | `ablation_semijoin` | extension: Bloom-semijoin reduction |
+//! | `run_all`  | everything above, writing `bench_results/` |
+//!
+//! All binaries honor `MPC_BENCH_SCALE` (default 1.0) to shrink or grow
+//! the generated datasets, and write both stdout and
+//! `bench_results/<name>.txt`.
+
+pub mod datasets;
+pub mod harness;
+pub mod report;
+
+pub mod experiments;

@@ -1,0 +1,100 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use crate::CliError;
+use mpc_rdf::FxHashMap;
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: FxHashMap<String, String>,
+}
+
+impl Options {
+    /// Parses alternating `--key value` pairs; rejects positional arguments
+    /// and unknown keys.
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        let mut values = FxHashMap::default();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(CliError::new(format!(
+                    "unexpected positional argument '{key}'"
+                )));
+            };
+            if !allowed.contains(&name) {
+                return Err(CliError::new(format!(
+                    "unknown option '--{name}' (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let Some(value) = args.get(i + 1) else {
+                return Err(CliError::new(format!("option '--{name}' needs a value")));
+            };
+            if values.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(CliError::new(format!("option '--{name}' given twice")));
+            }
+            i += 2;
+        }
+        Ok(Options { values })
+    }
+
+    /// A required option.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::new(format!("missing required option '--{name}'")))
+    }
+
+    /// An optional option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed number with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| CliError::new(format!("option '--{name}': cannot parse '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Options::parse(&strs(&["--k", "8", "--method", "mpc"]), &["k", "method"]).unwrap();
+        assert_eq!(o.required("k").unwrap(), "8");
+        assert_eq!(o.get("method"), Some("mpc"));
+        assert_eq!(o.parse_or::<usize>("k", 1).unwrap(), 8);
+        assert_eq!(o.parse_or::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_positional() {
+        assert!(Options::parse(&strs(&["--bogus", "1"]), &["k"]).is_err());
+        assert!(Options::parse(&strs(&["positional"]), &["k"]).is_err());
+        assert!(Options::parse(&strs(&["--k"]), &["k"]).is_err());
+        assert!(Options::parse(&strs(&["--k", "1", "--k", "2"]), &["k"]).is_err());
+    }
+
+    #[test]
+    fn required_missing_errors() {
+        let o = Options::parse(&[], &["k"]).unwrap();
+        assert!(o.required("k").is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! The `mpc` command-line tool. All logic lives in the `mpc-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = mpc_cli::run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

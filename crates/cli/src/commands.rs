@@ -1,0 +1,312 @@
+//! The five subcommands.
+
+use crate::args::Options;
+use crate::{partfile, CliError};
+use mpc_cluster::{classify as classify_query, CrossingSet, DistributedEngine, ExecMode, NetworkModel};
+use mpc_core::{
+    MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
+};
+use mpc_datagen::lubm::{self, LubmConfig};
+use mpc_datagen::realistic::{generate as gen_real, RealisticConfig};
+use mpc_datagen::watdiv::{self, WatdivConfig};
+use mpc_rdf::{ntriples, turtle, RdfGraph, VertexId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::Instant;
+
+/// Loads a graph, picking the parser by file extension.
+pub fn load_graph(path: &str) -> Result<RdfGraph, CliError> {
+    let is_nt = path.ends_with(".nt") || path.ends_with(".ntriples");
+    if is_nt {
+        let file = File::open(path)
+            .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
+        ntriples::parse_reader(BufReader::new(file))
+            .map_err(|e| CliError::new(format!("{path}: {e}")))
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
+        turtle::parse_str(&text).map_err(|e| CliError::new(format!("{path}: {e}")))
+    }
+}
+
+/// `mpc generate`.
+pub fn generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["dataset", "out", "scale", "seed", "format"])?;
+    let dataset = o.required("dataset")?;
+    let out_path = o.required("out")?;
+    let scale: f64 = o.parse_or("scale", 1.0)?;
+    let seed: u64 = o.parse_or("seed", 42)?;
+    let graph = match dataset {
+        "lubm" => {
+            lubm::generate(&LubmConfig {
+                universities: ((10.0 * scale) as usize).max(1),
+                seed,
+            })
+            .graph
+        }
+        "watdiv" => {
+            watdiv::generate(&WatdivConfig {
+                scale: ((4000.0 * scale) as usize).max(50),
+                seed,
+            })
+            .graph
+        }
+        "yago2" => gen_real(&RealisticConfig {
+            seed,
+            ..RealisticConfig::yago2_like().scaled(scale)
+        }),
+        "bio2rdf" => gen_real(&RealisticConfig {
+            seed,
+            ..RealisticConfig::bio2rdf_like().scaled(scale)
+        }),
+        "dbpedia" => gen_real(&RealisticConfig {
+            seed,
+            ..RealisticConfig::dbpedia_like().scaled(scale)
+        }),
+        "lgd" => gen_real(&RealisticConfig {
+            seed,
+            ..RealisticConfig::lgd_like().scaled(scale)
+        }),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown dataset '{other}' (lubm|watdiv|yago2|bio2rdf|dbpedia|lgd)"
+            )))
+        }
+    };
+    let file = File::create(out_path)
+        .map_err(|e| CliError::new(format!("cannot create '{out_path}': {e}")))?;
+    let mut writer = BufWriter::new(file);
+    match o.get("format").unwrap_or("nt") {
+        "nt" => ntriples::write_graph(&graph, &mut writer)?,
+        "ttl" => {
+            let text = turtle::to_string(&graph, &[]);
+            writer.write_all(text.as_bytes())?;
+        }
+        other => return Err(CliError::new(format!("unknown format '{other}' (nt|ttl)"))),
+    }
+    writer.flush()?;
+    let s = graph.stats();
+    writeln!(
+        out,
+        "wrote {}: {} vertices, {} triples, {} properties",
+        out_path, s.vertices, s.triples, s.properties
+    )?;
+    Ok(())
+}
+
+/// `mpc stats`.
+pub fn stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["input", "properties"])?;
+    let graph = load_graph(o.required("input")?)?;
+    let top: usize = o.parse_or("properties", 10)?;
+    let s = graph.stats();
+    writeln!(out, "vertices:   {}", s.vertices)?;
+    writeln!(out, "triples:    {}", s.triples)?;
+    writeln!(out, "properties: {}", s.properties)?;
+    let mut props: Vec<_> = graph
+        .property_ids()
+        .map(|p| (graph.property_frequency(p), p))
+        .collect();
+    props.sort_unstable_by_key(|&(f, _)| std::cmp::Reverse(f));
+    let hist = graph.degree_histogram();
+    let labels: Vec<String> = (0..hist.len())
+        .map(|b| {
+            if b == 0 {
+                "0".to_owned()
+            } else {
+                format!("{}..{}", 1usize << (b - 1), (1usize << b) - 1)
+            }
+        })
+        .collect();
+    writeln!(out, "degree histogram (bucket: vertices):")?;
+    for (label, count) in labels.iter().zip(&hist) {
+        if *count > 0 {
+            writeln!(out, "  {label:>12}: {count}")?;
+        }
+    }
+    writeln!(out, "top {} properties by frequency:", top.min(props.len()))?;
+    let dict = graph.dictionary();
+    let named = dict.property_count() == graph.property_count();
+    for &(f, p) in props.iter().take(top) {
+        let label = if named {
+            dict.property_iri(p).to_owned()
+        } else {
+            format!("{p}")
+        };
+        writeln!(out, "  {f:>10}  {label}")?;
+    }
+    Ok(())
+}
+
+fn build_partitioner(method: &str, k: usize, epsilon: f64) -> Result<Box<dyn Partitioner>, CliError> {
+    match method {
+        "mpc" => Ok(Box::new(MpcPartitioner::new(MpcConfig {
+            epsilon,
+            ..MpcConfig::with_k(k)
+        }))),
+        "hash" => Ok(Box::new(SubjectHashPartitioner::new(k))),
+        "metis" => Ok(Box::new(MinEdgeCutPartitioner::new(k))),
+        other => Err(CliError::new(format!(
+            "unknown method '{other}' (mpc|hash|metis)"
+        ))),
+    }
+}
+
+/// `mpc partition`.
+pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["input", "out", "method", "k", "epsilon"])?;
+    let graph = load_graph(o.required("input")?)?;
+    let out_path = o.required("out")?;
+    let k: usize = o.parse_or("k", 8)?;
+    let epsilon: f64 = o.parse_or("epsilon", 0.1)?;
+    let method = o.get("method").unwrap_or("mpc");
+    let partitioner = build_partitioner(method, k, epsilon)?;
+    let t0 = Instant::now();
+    let partitioning = partitioner.partition(&graph);
+    let took = t0.elapsed();
+    let file = File::create(out_path)
+        .map_err(|e| CliError::new(format!("cannot create '{out_path}': {e}")))?;
+    let mut writer = BufWriter::new(file);
+    partfile::write(&mut writer, &partitioning, &graph, partitioner.name())?;
+    writer.flush()?;
+    writeln!(
+        out,
+        "{} partitioned into k={k} in {:.2}s: |L_cross|={} |E^c|={} imbalance={:.3}",
+        partitioner.name(),
+        took.as_secs_f64(),
+        partitioning.crossing_property_count(),
+        partitioning.crossing_edge_count(),
+        partitioning.imbalance()
+    )?;
+    writeln!(out, "saved to {out_path}")?;
+    Ok(())
+}
+
+fn load_query(
+    path: &str,
+    graph: &RdfGraph,
+) -> Result<(mpc_sparql::ParsedQuery, Option<mpc_sparql::Query>), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
+    let parsed =
+        mpc_sparql::parse_query(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let resolved = parsed
+        .resolve(graph.dictionary())
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    Ok((parsed, resolved))
+}
+
+fn load_partitioning(path: &str, graph: &RdfGraph) -> Result<mpc_core::Partitioning, CliError> {
+    let file =
+        File::open(path).map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
+    partfile::read(&mut BufReader::new(file), graph)
+}
+
+/// `mpc classify`.
+pub fn classify(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["input", "partitions", "query"])?;
+    let graph = load_graph(o.required("input")?)?;
+    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
+    let (_, resolved) = load_query(o.required("query")?, &graph)?;
+    let Some(query) = resolved else {
+        writeln!(out, "query references terms absent from the graph: provably empty")?;
+        return Ok(());
+    };
+    let crossing = CrossingSet(
+        graph
+            .property_ids()
+            .map(|p| partitioning.is_crossing_property(p))
+            .collect(),
+    );
+    let class = classify_query(&query, &crossing);
+    writeln!(out, "star:  {}", query.is_star())?;
+    writeln!(out, "class: {class:?}")?;
+    writeln!(
+        out,
+        "independently executable: {}",
+        if class.is_ieq() { "yes (no inter-partition joins)" } else { "no (needs decomposition + joins)" }
+    )?;
+    Ok(())
+}
+
+/// `mpc explain`.
+pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["input", "query"])?;
+    let graph = load_graph(o.required("input")?)?;
+    let (_, resolved) = load_query(o.required("query")?, &graph)?;
+    let Some(query) = resolved else {
+        writeln!(out, "query references terms absent from the graph: provably empty")?;
+        return Ok(());
+    };
+    let store = mpc_sparql::LocalStore::from_graph(&graph);
+    let steps = mpc_sparql::explain(&query, &store);
+    write!(out, "{}", mpc_sparql::render_plan(&query, &steps))?;
+    Ok(())
+}
+
+/// `mpc query`.
+pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["input", "partitions", "query", "mode", "radius", "limit"])?;
+    let graph = load_graph(o.required("input")?)?;
+    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
+    let (parsed, resolved) = load_query(o.required("query")?, &graph)?;
+    let mode = match o.get("mode").unwrap_or("crossing") {
+        "crossing" => ExecMode::CrossingAware,
+        "star" => ExecMode::StarOnly,
+        other => return Err(CliError::new(format!("unknown mode '{other}' (crossing|star)"))),
+    };
+    let radius: usize = o.parse_or("radius", 1)?;
+    let Some(query) = resolved else {
+        writeln!(out, "0 results (query references terms absent from the graph)")?;
+        return Ok(());
+    };
+    let engine =
+        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    let (bindings, stats_) = engine.execute_mode(&query, mode);
+    let result = parsed
+        .finish(&query, bindings, graph.dictionary())
+        .map_err(|e| CliError::new(e.to_string()))?;
+
+    // Header.
+    let names: Vec<&str> = result
+        .vars
+        .iter()
+        .map(|&v| query.var_names[v as usize].as_str())
+        .collect();
+    writeln!(out, "?{}", names.join("\t?"))?;
+    let dict = graph.dictionary();
+    let named = dict.vertex_count() == graph.vertex_count();
+    let display_limit: usize = o.parse_or("limit", 20)?;
+    for row in result.rows.iter().take(display_limit) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|&v| {
+                if named {
+                    dict.vertex_term(VertexId(v)).to_string()
+                } else {
+                    format!("v{v}")
+                }
+            })
+            .collect();
+        writeln!(out, "{}", cells.join("\t"))?;
+    }
+    if result.rows.len() > display_limit {
+        writeln!(out, "… ({} more rows)", result.rows.len() - display_limit)?;
+    }
+    writeln!(
+        out,
+        "\n{} rows; class={:?} independent={} subqueries={} \
+         QDT={:.2}ms LET={:.2}ms JT={:.2}ms comm={}B total={:.2}ms",
+        result.rows.len(),
+        stats_.class,
+        stats_.independent,
+        stats_.subqueries,
+        stats_.decomposition_time.as_secs_f64() * 1e3,
+        stats_.local_eval_time.as_secs_f64() * 1e3,
+        stats_.join_time.as_secs_f64() * 1e3,
+        stats_.comm_bytes,
+        stats_.total().as_secs_f64() * 1e3,
+    )?;
+    Ok(())
+}
+

@@ -1,0 +1,93 @@
+//! Library behind the `mpc` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `generate` — write a synthetic dataset (LUBM/WatDiv/real-graph analog)
+//!   as N-Triples or Turtle,
+//! * `stats` — print a graph's shape (|V|, |E|, |L|, property histogram),
+//! * `partition` — partition a graph with MPC or a baseline and save the
+//!   assignment,
+//! * `classify` — IEQ-classify a SPARQL query against a saved partitioning,
+//! * `query` — execute a SPARQL query on the simulated cluster.
+//!
+//! All logic lives here (testable); `src/bin/mpc.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+pub mod partfile;
+
+use std::fmt;
+
+/// CLI error: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    /// Creates an error from anything printable.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(format!("I/O error: {e}"))
+    }
+}
+
+/// Entry point: dispatches on the first argument. Output goes to `out`
+/// (stdout in the binary; a buffer in tests).
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::new(usage()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => commands::generate(rest, out),
+        "stats" => commands::stats(rest, out),
+        "partition" => commands::partition(rest, out),
+        "classify" => commands::classify(rest, out),
+        "explain" => commands::explain(rest, out),
+        "query" => commands::query(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", usage())?;
+            Ok(())
+        }
+        other => Err(CliError::new(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> &'static str {
+    "mpc — Minimum Property-Cut RDF partitioning toolkit
+
+USAGE:
+    mpc generate  --dataset <lubm|watdiv|yago2|bio2rdf|dbpedia|lgd> --out <FILE>
+                  [--scale <F>] [--seed <N>] [--format <nt|ttl>]
+    mpc stats     --input <FILE.nt|FILE.ttl> [--properties <N>]
+    mpc partition --input <FILE> --out <FILE.parts>
+                  [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>]
+    mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
+    mpc explain   --input <FILE> --query <FILE.rq>
+    mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
+                  [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
+
+Input format is chosen by extension: .nt/.ntriples → N-Triples,
+anything else → Turtle."
+}

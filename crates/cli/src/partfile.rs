@@ -1,0 +1,150 @@
+//! The `.parts` file: a saved vertex→partition assignment.
+//!
+//! Format: a header line recording `k` and the graph's shape (used as a
+//! consistency check at load time), then one partition id per line, in
+//! vertex-id order:
+//!
+//! ```text
+//! # mpc-partitioning k=8 vertices=12345 triples=45678 method=MPC
+//! 0
+//! 3
+//! …
+//! ```
+
+use crate::CliError;
+use mpc_core::Partitioning;
+use mpc_rdf::{PartitionId, RdfGraph};
+use std::io::{BufRead, Write};
+
+/// Writes a partitioning.
+pub fn write(
+    out: &mut dyn Write,
+    partitioning: &Partitioning,
+    g: &RdfGraph,
+    method: &str,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "# mpc-partitioning k={} vertices={} triples={} method={}",
+        partitioning.k(),
+        g.vertex_count(),
+        g.triple_count(),
+        method
+    )?;
+    let mut buf = std::io::BufWriter::new(out);
+    for p in partitioning.assignment() {
+        writeln!(buf, "{}", p.index())?;
+    }
+    buf.flush()?;
+    Ok(())
+}
+
+/// Reads a partitioning back and re-derives crossing sets against `g`.
+pub fn read(input: &mut dyn BufRead, g: &RdfGraph) -> Result<Partitioning, CliError> {
+    let mut header = String::new();
+    input.read_line(&mut header)?;
+    let header = header.trim();
+    if !header.starts_with("# mpc-partitioning ") {
+        return Err(CliError::new(
+            "not a partitioning file (missing '# mpc-partitioning' header)",
+        ));
+    }
+    let field = |name: &str| -> Result<usize, CliError> {
+        header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| CliError::new(format!("header is missing '{name}='")))
+    };
+    let k = field("k")?;
+    let vertices = field("vertices")?;
+    let triples = field("triples")?;
+    if vertices != g.vertex_count() || triples != g.triple_count() {
+        return Err(CliError::new(format!(
+            "partitioning was built for a graph with {vertices} vertices / {triples} triples, \
+             but the input has {} / {}",
+            g.vertex_count(),
+            g.triple_count()
+        )));
+    }
+    let mut assignment = Vec::with_capacity(vertices);
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let part: usize = line.parse().map_err(|_| {
+            CliError::new(format!("line {}: bad partition id '{line}'", lineno + 2))
+        })?;
+        if part >= k {
+            return Err(CliError::new(format!(
+                "line {}: partition id {part} out of range for k={k}",
+                lineno + 2
+            )));
+        }
+        assignment.push(PartitionId(part as u16));
+    }
+    if assignment.len() != vertices {
+        return Err(CliError::new(format!(
+            "expected {vertices} assignments, found {}",
+            assignment.len()
+        )));
+    }
+    Ok(Partitioning::new(g, k, assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_core::{Partitioner, SubjectHashPartitioner};
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    fn graph() -> RdfGraph {
+        let triples = (0..20)
+            .map(|i| Triple::new(VertexId(i), PropertyId(i % 3), VertexId((i + 1) % 21)))
+            .collect();
+        RdfGraph::from_raw(21, 3, triples)
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = graph();
+        let part = SubjectHashPartitioner::new(4).partition(&g);
+        let mut buf = Vec::new();
+        write(&mut buf, &part, &g, "Subject_Hash").unwrap();
+        let loaded = read(&mut buf.as_slice(), &g).unwrap();
+        assert_eq!(loaded.assignment(), part.assignment());
+        assert_eq!(loaded.k(), 4);
+        assert_eq!(
+            loaded.crossing_property_count(),
+            part.crossing_property_count()
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_graph() {
+        let g = graph();
+        let part = SubjectHashPartitioner::new(2).partition(&g);
+        let mut buf = Vec::new();
+        write(&mut buf, &part, &g, "x").unwrap();
+        let other = RdfGraph::from_raw(
+            3,
+            1,
+            vec![Triple::new(VertexId(0), PropertyId(0), VertexId(1))],
+        );
+        assert!(read(&mut buf.as_slice(), &other).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let g = graph();
+        assert!(read(&mut "nonsense\n1\n2\n".as_bytes(), &g).is_err());
+        let bad = format!(
+            "# mpc-partitioning k=2 vertices={} triples={} method=x\n99\n",
+            g.vertex_count(),
+            g.triple_count()
+        );
+        assert!(read(&mut bad.as_bytes(), &g).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end CLI flow: generate → stats → partition → classify → query,
+//! exercising file I/O and both graph formats.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    mpc_cli::run(&args, &mut out)
+        .map(|()| String::from_utf8(out).expect("utf8 output"))
+        .map_err(|e| e.message)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpc-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_ntriples() {
+    let dir = temp_dir("nt");
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    let query_file = dir.join("q.rq");
+
+    let out = run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("wrote"), "{out}");
+
+    let out = run(&["stats", "--input", data.to_str().unwrap()]).unwrap();
+    assert!(out.contains("properties: 18"), "{out}");
+
+    let out = run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+    ])
+    .unwrap();
+    assert!(out.contains("|L_cross|="), "{out}");
+
+    // A one-pattern query over the synthetic urn vocabulary (property 8 is
+    // takesCourse in the LUBM layout).
+    std::fs::write(
+        &query_file,
+        "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5",
+    )
+    .unwrap();
+
+    let out = run(&[
+        "classify", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("class:"), "{out}");
+
+    let out = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("rows;"), "{out}");
+    assert!(out.contains("independent="), "{out}");
+
+    let out = run(&[
+        "explain", "--input", data.to_str().unwrap(), "--query",
+        query_file.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("candidates"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn turtle_input_works() {
+    let dir = temp_dir("ttl");
+    let data = dir.join("mini.ttl");
+    std::fs::write(
+        &data,
+        "@prefix ex: <http://ex/> .\n\
+         ex:a ex:knows ex:b , ex:c ;\n\
+              a ex:Person .\n\
+         ex:b ex:knows ex:c .",
+    )
+    .unwrap();
+    let out = run(&["stats", "--input", data.to_str().unwrap()]).unwrap();
+    assert!(out.contains("triples:    4"), "{out}");
+
+    let parts = dir.join("mini.parts");
+    run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--k", "2",
+    ])
+    .unwrap();
+
+    let query_file = dir.join("q.rq");
+    std::fs::write(
+        &query_file,
+        "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:knows ?y }",
+    )
+    .unwrap();
+    let out = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("http://ex/a"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(run(&[]).is_err());
+    assert!(run(&["bogus"]).unwrap_err().contains("unknown command"));
+    assert!(run(&["partition", "--input", "/nonexistent.nt", "--out", "/tmp/x"])
+        .unwrap_err()
+        .contains("cannot open"));
+    assert!(run(&["generate", "--dataset", "nope", "--out", "/tmp/x.nt"])
+        .unwrap_err()
+        .contains("unknown dataset"));
+    let help = run(&["help"]).unwrap();
+    assert!(help.contains("USAGE"));
+}
+
+#[test]
+fn mismatched_partition_file_is_rejected() {
+    let dir = temp_dir("mismatch");
+    let a = dir.join("a.nt");
+    let b = dir.join("b.nt");
+    run(&["generate", "--dataset", "lubm", "--scale", "0.2", "--out", a.to_str().unwrap()])
+        .unwrap();
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.2", "--seed", "7", "--out",
+        b.to_str().unwrap(),
+    ])
+    .unwrap();
+    let parts = dir.join("a.parts");
+    run(&["partition", "--input", a.to_str().unwrap(), "--out", parts.to_str().unwrap()])
+        .unwrap();
+    let q = dir.join("q.rq");
+    std::fs::write(&q, "SELECT ?x WHERE { ?x <urn:p:0> ?y }").unwrap();
+    let err = run(&[
+        "classify", "--input", b.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", q.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert!(err.contains("was built for a graph"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,368 @@
+//! Query decomposition for non-IEQs.
+//!
+//! Two decomposers live here:
+//!
+//! * [`decompose_crossing_aware`] — Algorithm 2 of the paper: remove
+//!   crossing-property (and variable-property) edges, take the WCCs as
+//!   internal-IEQ seeds, then attach each removed edge to one adjacent
+//!   subquery (same-WCC → Type-I, otherwise the larger side → Type-II).
+//! * [`decompose_stars`] — the baseline every prior vertex-disjoint system
+//!   uses: greedily peel maximal star subqueries. Star subqueries are IEQs
+//!   under any vertex-disjoint partitioning with 1-hop replication.
+//!
+//! Both return [`Subquery`] values that carry their patterns *in the parent
+//! query's variable space*, plus a self-contained [`Query`] with remapped
+//! variables for the matcher and the mapping back to parent variables.
+
+use crate::ieq::{is_crossing_pattern, CrossingOracle};
+use mpc_rdf::FxHashMap;
+use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
+
+/// One independently executable subquery of a decomposition.
+#[derive(Clone, Debug)]
+pub struct Subquery {
+    /// Indices of the parent query's patterns included here.
+    pub pattern_indices: Vec<usize>,
+    /// A self-contained query with densely remapped variables.
+    pub query: Query,
+    /// For each local variable index, the parent variable index.
+    pub parent_vars: Vec<u32>,
+}
+
+/// Builds a self-contained [`Subquery`] from a set of parent pattern
+/// indices.
+pub fn extract_subquery(parent: &Query, pattern_indices: Vec<usize>) -> Subquery {
+    let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut parent_vars: Vec<u32> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut remap_var = |v: u32, names: &mut Vec<String>, parent_vars: &mut Vec<u32>| -> u32 {
+        if let Some(&l) = map.get(&v) {
+            return l;
+        }
+        let l = names.len() as u32;
+        map.insert(v, l);
+        names.push(parent.var_names[v as usize].clone());
+        parent_vars.push(v);
+        l
+    };
+    let mut patterns = Vec::with_capacity(pattern_indices.len());
+    for &i in &pattern_indices {
+        let pat = parent.patterns[i];
+        let s = match pat.s {
+            QNode::Var(v) => QNode::Var(remap_var(v, &mut names, &mut parent_vars)),
+            other => other,
+        };
+        let o = match pat.o {
+            QNode::Var(v) => QNode::Var(remap_var(v, &mut names, &mut parent_vars)),
+            other => other,
+        };
+        let p = match pat.p {
+            QLabel::Var(v) => QLabel::Var(remap_var(v, &mut names, &mut parent_vars)),
+            other => other,
+        };
+        patterns.push(TriplePattern::new(s, p, o));
+    }
+    Subquery {
+        pattern_indices,
+        query: Query::new(patterns, names),
+        parent_vars,
+    }
+}
+
+/// Algorithm 2: decomposes a query into internal / Type-I / Type-II IEQ
+/// subqueries using the crossing-property oracle.
+///
+/// Pattern-only singleton components (a lone query vertex with no kept
+/// pattern) are dropped, exactly as the paper drops `q'_3`: their matches
+/// are subsumed by the subquery that received the adjacent crossing edge.
+pub fn decompose_crossing_aware(
+    query: &Query,
+    oracle: &impl CrossingOracle,
+) -> Vec<Subquery> {
+    if query.patterns.is_empty() {
+        return Vec::new();
+    }
+    let crossing: Vec<bool> = query
+        .patterns
+        .iter()
+        .map(|p| is_crossing_pattern(p, oracle))
+        .collect();
+
+    // Line 2: WCCs of the query after dropping crossing edges — as *vertex*
+    // groups, so even isolated vertices get a group.
+    let vertex_groups = query.vertex_components(|pat| !is_crossing_pattern(pat, oracle));
+    let group_of = |node: &QNode| -> usize {
+        vertex_groups
+            .iter()
+            .position(|g| g.contains(node))
+            .expect("every query vertex is grouped")
+    };
+    let initial_sizes: Vec<usize> = vertex_groups.iter().map(|g| g.len()).collect();
+
+    // Internal patterns seed the subqueries.
+    let mut pattern_sets: Vec<Vec<usize>> = vec![Vec::new(); vertex_groups.len()];
+    for (i, _) in query.patterns.iter().enumerate() {
+        if !crossing[i] {
+            pattern_sets[group_of(&query.patterns[i].s)].push(i);
+        }
+    }
+
+    // Lines 3-12: attach each crossing edge to one adjacent subquery.
+    for (i, pat) in query.patterns.iter().enumerate() {
+        if !crossing[i] {
+            continue;
+        }
+        let gs = group_of(&pat.s);
+        let go = group_of(&pat.o);
+        // Same WCC → Type-I attachment; otherwise the larger side wins
+        // (ties go to the subject side) → Type-II.
+        let target = if gs == go || initial_sizes[gs] >= initial_sizes[go] {
+            gs
+        } else {
+            go
+        };
+        pattern_sets[target].push(i);
+    }
+
+    // Lines 13-15: keep subqueries that actually carry patterns.
+    pattern_sets
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .map(|mut s| {
+            s.sort_unstable();
+            extract_subquery(query, s)
+        })
+        .collect()
+}
+
+/// Baseline decomposition into star subqueries: repeatedly pick the query
+/// vertex covering the most unassigned patterns and peel that star off.
+pub fn decompose_stars(query: &Query) -> Vec<Subquery> {
+    if query.patterns.is_empty() {
+        return Vec::new();
+    }
+    let mut assigned = vec![false; query.patterns.len()];
+    let mut out = Vec::new();
+    loop {
+        // Count unassigned incidences per query vertex.
+        let mut counts: FxHashMap<QNode, usize> = FxHashMap::default();
+        for (i, pat) in query.patterns.iter().enumerate() {
+            if assigned[i] {
+                continue;
+            }
+            *counts.entry(pat.s).or_insert(0) += 1;
+            if pat.o != pat.s {
+                *counts.entry(pat.o).or_insert(0) += 1;
+            }
+        }
+        let Some((&center, _)) = counts.iter().max_by_key(|(n, c)| (**c, std::cmp::Reverse(*n)))
+        else {
+            break;
+        };
+        let star: Vec<usize> = query
+            .patterns
+            .iter()
+            .enumerate()
+            .filter(|(i, pat)| !assigned[*i] && (pat.s == center || pat.o == center))
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!star.is_empty());
+        for &i in &star {
+            assigned[i] = true;
+        }
+        out.push(extract_subquery(query, star));
+        if assigned.iter().all(|&a| a) {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieq::CrossingSet;
+    use mpc_rdf::PropertyId;
+
+    fn v(i: u32) -> QNode {
+        QNode::Var(i)
+    }
+
+    fn prop(i: u32) -> QLabel {
+        QLabel::Prop(PropertyId(i))
+    }
+
+    fn q(patterns: Vec<TriplePattern>, nvars: u32) -> Query {
+        Query::new(patterns, (0..nvars).map(|i| format!("v{i}")).collect())
+    }
+
+    /// Properties ≥3 crossing.
+    fn oracle() -> CrossingSet {
+        CrossingSet(vec![false, false, false, true, true])
+    }
+
+    #[test]
+    fn every_pattern_lands_in_exactly_one_subquery() {
+        // Q5-like: two internal clusters + crossing and var-property edges.
+        let query = Query::new(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(3), prop(0), v(4)),
+                TriplePattern::new(v(2), prop(3), v(3)),
+                TriplePattern::new(v(4), QLabel::Var(5), v(0)),
+            ],
+            (0..6).map(|i| format!("v{i}")).collect(),
+        );
+        let subs = decompose_crossing_aware(&query, &oracle());
+        let mut seen = vec![0usize; query.patterns.len()];
+        for s in &subs {
+            for &i in &s.pattern_indices {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn internal_query_stays_whole() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+            ],
+            3,
+        );
+        let subs = decompose_crossing_aware(&query, &oracle());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].pattern_indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn crossing_edge_attaches_to_larger_side() {
+        // {?0,?1,?2} internal, {?3,?4} internal, crossing edge between ?2
+        // and ?3 → goes with the 3-vertex side.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(3), prop(0), v(4)),
+                TriplePattern::new(v(2), prop(3), v(3)),
+            ],
+            5,
+        );
+        let subs = decompose_crossing_aware(&query, &oracle());
+        assert_eq!(subs.len(), 2);
+        let with_crossing = subs
+            .iter()
+            .find(|s| s.pattern_indices.contains(&3))
+            .unwrap();
+        assert!(with_crossing.pattern_indices.contains(&0));
+        assert!(with_crossing.pattern_indices.contains(&1));
+    }
+
+    #[test]
+    fn same_component_crossing_edge_type_i_attachment() {
+        // Triangle with one crossing edge inside the same WCC.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(0), prop(3), v(2)),
+            ],
+            3,
+        );
+        let subs = decompose_crossing_aware(&query, &oracle());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].pattern_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn singleton_groups_without_patterns_are_dropped() {
+        // Path ?0 -p0- ?1 -p3- ?2: ?2 is a singleton; its only edge is
+        // attached to the bigger side, so no ?2-only subquery remains.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+            ],
+            3,
+        );
+        let subs = decompose_crossing_aware(&query, &oracle());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].pattern_indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn extracted_subqueries_have_dense_vars() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(3), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(4)),
+            ],
+            5,
+        );
+        let sub = extract_subquery(&query, vec![0, 1]);
+        assert_eq!(sub.query.var_count(), 3);
+        assert_eq!(sub.parent_vars, vec![3, 1, 4]);
+        assert_eq!(sub.query.var_names, vec!["v3", "v1", "v4"]);
+    }
+
+    #[test]
+    fn star_decomposition_covers_all_patterns() {
+        // Path of length 4 → at least two stars.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(2), prop(3), v(3)),
+                TriplePattern::new(v(3), prop(4), v(4)),
+            ],
+            5,
+        );
+        let subs = decompose_stars(&query);
+        let mut seen = [0usize; 4];
+        for s in &subs {
+            assert!(s.query.is_star(), "star decomposition produced non-star");
+            for &i in &s.pattern_indices {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert!(subs.len() >= 2);
+    }
+
+    #[test]
+    fn star_query_decomposes_to_itself() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(0), prop(3), v(2)),
+                TriplePattern::new(v(3), prop(4), v(0)),
+            ],
+            4,
+        );
+        let subs = decompose_stars(&query);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].pattern_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mpc_decomposition_no_coarser_than_star_baseline() {
+        // Theorem: MPC's number of subqueries never exceeds the star
+        // baseline's, because internal components only merge stars.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(2), prop(3), v(3)),
+                TriplePattern::new(v(3), prop(0), v(4)),
+                TriplePattern::new(v(4), prop(1), v(5)),
+            ],
+            6,
+        );
+        let mpc = decompose_crossing_aware(&query, &oracle());
+        let stars = decompose_stars(&query);
+        assert!(mpc.len() <= stars.len());
+    }
+}

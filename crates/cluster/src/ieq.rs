@@ -1,0 +1,480 @@
+//! Independently Executable Query (IEQ) classification — Section V-A.
+//!
+//! Given the crossing-property set of a partitioning, a BGP query falls
+//! into one of four classes:
+//!
+//! * [`IeqClass::Internal`] — no crossing-property edges at all
+//!   (Definition 5.1); trivially independently executable (Theorem 3).
+//! * [`IeqClass::TypeI`] — still weakly connected once crossing-property
+//!   edges are removed (Definition 5.2).
+//! * [`IeqClass::TypeII`] — removal leaves one core component plus
+//!   one-vertex components, with every removed edge incident to the core
+//!   (Definition 5.3); sound thanks to 1-hop crossing-edge replication.
+//! * [`IeqClass::NonIeq`] — everything else; must be decomposed
+//!   (Algorithm 2) and joined across partitions.
+//!
+//! Per the paper's footnote 1, edges with a *variable* in the property
+//! position are treated as crossing-property edges throughout.
+//!
+//! One deviation from the letter of Definition 5.3: we additionally require
+//! removed edges to touch the core component, which excludes a
+//! crossing-property *self-loop on a leaf*. Such a self-loop lives only at
+//! the leaf's own partition (a self-loop is never a crossing edge, hence
+//! never replicated), so the match is not visible from the core's
+//! partition and independent execution would be unsound. The paper's
+//! wording ("no crossing property edges between any two one-vertex WCCs")
+//! does not forbid it only because its running examples have none.
+
+use mpc_core::Partitioning;
+use mpc_rdf::PropertyId;
+use mpc_sparql::{QLabel, Query, TriplePattern};
+
+/// The IEQ classification of a query against a crossing-property set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IeqClass {
+    /// Definition 5.1 — no crossing-property edge.
+    Internal,
+    /// Definition 5.2 — connected after removing crossing-property edges.
+    TypeI,
+    /// Definition 5.3 — one core + 1-hop leaves.
+    TypeII,
+    /// Not independently executable; needs decomposition + joins.
+    NonIeq,
+}
+
+impl IeqClass {
+    /// True for any of the three independently executable classes.
+    pub fn is_ieq(&self) -> bool {
+        !matches!(self, IeqClass::NonIeq)
+    }
+}
+
+/// A queryable view of "is this property crossing?".
+pub trait CrossingOracle {
+    /// True if `p` labels at least one crossing edge.
+    fn is_crossing(&self, p: PropertyId) -> bool;
+}
+
+impl CrossingOracle for Partitioning {
+    fn is_crossing(&self, p: PropertyId) -> bool {
+        self.is_crossing_property(p)
+    }
+}
+
+/// A crossing oracle backed by an explicit membership mask.
+#[derive(Clone, Debug)]
+pub struct CrossingSet(pub Vec<bool>);
+
+impl CrossingOracle for CrossingSet {
+    fn is_crossing(&self, p: PropertyId) -> bool {
+        self.0.get(p.index()).copied().unwrap_or(true)
+    }
+}
+
+/// True if this pattern must be treated as a crossing-property edge:
+/// its property is crossing, or its property is a variable (footnote 1).
+pub fn is_crossing_pattern(pat: &TriplePattern, oracle: &impl CrossingOracle) -> bool {
+    match pat.p {
+        QLabel::Var(_) => true,
+        QLabel::Prop(p) => oracle.is_crossing(p),
+    }
+}
+
+/// Classifies a query per Section V-A.
+///
+/// The paper assumes queries are weakly connected ("otherwise, each
+/// connected component of Q is considered separately"). A disconnected
+/// query can match its components in *different* partitions, so no
+/// independent-execution guarantee holds for it as a whole — it classifies
+/// [`IeqClass::NonIeq`] and Algorithm 2 (whose component split performs
+/// exactly the per-component treatment the paper prescribes, with the
+/// coordinator join supplying the cross product) takes over.
+pub fn classify(query: &Query, oracle: &impl CrossingOracle) -> IeqClass {
+    if query.patterns.is_empty() {
+        return IeqClass::Internal;
+    }
+    if !query.is_weakly_connected() {
+        return IeqClass::NonIeq;
+    }
+    let crossing: Vec<bool> = query
+        .patterns
+        .iter()
+        .map(|p| is_crossing_pattern(p, oracle))
+        .collect();
+    if crossing.iter().all(|&c| !c) {
+        return IeqClass::Internal;
+    }
+
+    // Vertex components once crossing edges are dropped. (Crossing-ness
+    // depends only on the pattern's label, so the filter needs no index.)
+    let comps = query.vertex_components(|pat| !is_crossing_pattern(pat, oracle));
+    if comps.len() <= 1 {
+        return IeqClass::TypeI;
+    }
+
+    // Map each query vertex to its component index.
+    let comp_of = |node: &mpc_sparql::QNode| -> usize {
+        comps
+            .iter()
+            .position(|c| c.contains(node))
+            .expect("every query vertex belongs to a component")
+    };
+
+    let non_singleton: Vec<usize> = comps
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.len() > 1)
+        .map(|(i, _)| i)
+        .collect();
+
+    let check_core = |core: usize| -> bool {
+        query.patterns.iter().enumerate().all(|(i, pat)| {
+            if !crossing[i] {
+                return true;
+            }
+            comp_of(&pat.s) == core || comp_of(&pat.o) == core
+        })
+    };
+
+    match non_singleton.len() {
+        0 => {
+            // All singletons: Type-II iff some component can serve as the
+            // core, i.e. every crossing edge touches it.
+            if (0..comps.len()).any(check_core) {
+                IeqClass::TypeII
+            } else {
+                IeqClass::NonIeq
+            }
+        }
+        1 => {
+            if check_core(non_singleton[0]) {
+                IeqClass::TypeII
+            } else {
+                IeqClass::NonIeq
+            }
+        }
+        _ => IeqClass::NonIeq,
+    }
+}
+
+/// True if the query localizes under a `radius`-hop replication guarantee
+/// (the k-hop generalization of Type-II; `radius = 1` coincides with
+/// [`classify`]`.is_ieq()`).
+///
+/// Rule: after removing crossing-property edges some component serves as
+/// the *core*; every query vertex must lie within `radius` hops of the
+/// core (in the full query graph) and every pattern must have an endpoint
+/// within `radius - 1` hops. A match's core lands inside one partition, so
+/// with `radius`-hop fragments every edge of the match is stored at that
+/// partition's site.
+pub fn is_khop_executable(
+    query: &Query,
+    oracle: &impl CrossingOracle,
+    radius: usize,
+) -> bool {
+    assert!(radius >= 1);
+    if query.patterns.is_empty() {
+        return true;
+    }
+    if !query.is_weakly_connected() {
+        return false;
+    }
+    let comps = query.vertex_components(|pat| !is_crossing_pattern(pat, oracle));
+    if comps.len() <= 1 {
+        return true; // internal or Type-I
+    }
+    // Adjacency over query vertices (all patterns).
+    let vertices = query.query_vertices();
+    let index: mpc_rdf::FxHashMap<mpc_sparql::QNode, usize> =
+        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
+    for pat in &query.patterns {
+        let a = index[&pat.s];
+        let b = index[&pat.o];
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    'core: for core in &comps {
+        // BFS distances from the core's vertex set.
+        let mut dist = vec![usize::MAX; vertices.len()];
+        let mut frontier: Vec<usize> = core.iter().map(|v| index[v]).collect();
+        for &v in &frontier {
+            dist[v] = 0;
+        }
+        let mut d = 0;
+        while !frontier.is_empty() && d < radius {
+            d += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in &adj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = d;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        if dist.iter().any(|&x| x > radius) {
+            continue 'core;
+        }
+        for pat in &query.patterns {
+            let ds = dist[index[&pat.s]];
+            let do_ = dist[index[&pat.o]];
+            if ds.min(do_) + 1 > radius {
+                continue 'core;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::VertexId;
+    use mpc_sparql::QNode;
+
+    fn v(i: u32) -> QNode {
+        QNode::Var(i)
+    }
+
+    fn c(i: u32) -> QNode {
+        QNode::Const(VertexId(i))
+    }
+
+    fn prop(i: u32) -> QLabel {
+        QLabel::Prop(PropertyId(i))
+    }
+
+    fn q(patterns: Vec<TriplePattern>, nvars: u32) -> Query {
+        Query::new(patterns, (0..nvars).map(|i| format!("v{i}")).collect())
+    }
+
+    /// Properties 0..4; property 3 and above crossing.
+    fn oracle() -> CrossingSet {
+        CrossingSet(vec![false, false, false, true, true])
+    }
+
+    #[test]
+    fn internal_query() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+            ],
+            3,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::Internal);
+        assert!(classify(&query, &oracle()).is_ieq());
+    }
+
+    #[test]
+    fn type_i_query() {
+        // Triangle where one edge is crossing: removing it leaves a path —
+        // still connected (this is the paper's Q3 shape).
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+                TriplePattern::new(v(0), prop(3), v(2)),
+            ],
+            3,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::TypeI);
+    }
+
+    #[test]
+    fn type_ii_query() {
+        // Core {?0,?1} + leaf ?2 hanging by a crossing edge (paper's Q4).
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+            ],
+            3,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::TypeII);
+    }
+
+    #[test]
+    fn non_ieq_two_cores() {
+        // Two 2-vertex internal components joined by a crossing edge.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+            ],
+            4,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::NonIeq);
+    }
+
+    #[test]
+    fn non_ieq_leaf_to_leaf_edge() {
+        // Core {?0,?1}; leaves ?2 and ?3; crossing edge between the leaves
+        // violates Definition 5.3 condition (2).
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+                TriplePattern::new(v(1), prop(3), v(3)),
+                TriplePattern::new(v(2), prop(4), v(3)),
+            ],
+            4,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::NonIeq);
+    }
+
+    #[test]
+    fn variable_property_counts_as_crossing() {
+        let query = Query::new(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), QLabel::Var(2), v(0)),
+            ],
+            vec!["a".into(), "b".into(), "p".into()],
+        );
+        // Still connected after removing the var edge → Type-I.
+        assert_eq!(classify(&query, &oracle()), IeqClass::TypeI);
+    }
+
+    #[test]
+    fn star_queries_are_always_ieq_theorem_5() {
+        // Stars with arbitrary crossing/internal mixes.
+        for mask in 0u32..(1 << 3) {
+            let props: Vec<QLabel> = (0..3)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        prop(3) // crossing
+                    } else {
+                        prop(0) // internal
+                    }
+                })
+                .collect();
+            let query = q(
+                vec![
+                    TriplePattern::new(v(0), props[0], v(1)),
+                    TriplePattern::new(v(0), props[1], v(2)),
+                    TriplePattern::new(c(9), props[2], v(0)),
+                ],
+                3,
+            );
+            assert!(query.is_star());
+            let class = classify(&query, &oracle());
+            assert!(
+                matches!(class, IeqClass::Internal | IeqClass::TypeII),
+                "mask {mask:b} gave {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_self_loop_on_leaf_is_not_ieq() {
+        // Core {?0,?1}; leaf ?2 with a crossing self-loop: unsound to run
+        // independently (see module docs), must classify NonIeq.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+                TriplePattern::new(v(2), prop(4), v(2)),
+            ],
+            3,
+        );
+        assert_eq!(classify(&query, &oracle()), IeqClass::NonIeq);
+    }
+
+    #[test]
+    fn single_crossing_pattern_is_type_ii() {
+        // ?x --crossing--> ?y alone: two singletons, edge touches both;
+        // either can serve as core.
+        let query = q(vec![TriplePattern::new(v(0), prop(3), v(1))], 2);
+        assert_eq!(classify(&query, &oracle()), IeqClass::TypeII);
+    }
+
+    #[test]
+    fn empty_query_is_internal() {
+        let query = q(vec![], 0);
+        assert_eq!(classify(&query, &oracle()), IeqClass::Internal);
+    }
+
+    #[test]
+    fn khop_radius_one_agrees_with_classify() {
+        let queries = vec![
+            // internal chain
+            q(vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(1), v(2)),
+            ], 3),
+            // Type-II leaf
+            q(vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+            ], 3),
+            // two cores — NonIeq
+            q(vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+            ], 4),
+            // leaf self-loop — NonIeq
+            q(vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+                TriplePattern::new(v(2), prop(4), v(2)),
+            ], 3),
+        ];
+        for query in queries {
+            assert_eq!(
+                is_khop_executable(&query, &oracle(), 1),
+                classify(&query, &oracle()).is_ieq(),
+                "query {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn khop_radius_two_localizes_two_cores() {
+        // Two internal cores joined by one crossing edge: not 1-hop
+        // executable, but with 2-hop replication the second core's edges
+        // (endpoints at distance 1 from the first core) are present.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        assert!(!is_khop_executable(&query, &oracle(), 1));
+        assert!(is_khop_executable(&query, &oracle(), 2));
+    }
+
+    #[test]
+    fn khop_leaf_self_loop_needs_radius_two() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(3), v(2)),
+                TriplePattern::new(v(2), prop(4), v(2)),
+            ],
+            3,
+        );
+        assert!(!is_khop_executable(&query, &oracle(), 1));
+        assert!(is_khop_executable(&query, &oracle(), 2));
+    }
+
+    #[test]
+    fn khop_disconnected_never_localizes() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        assert!(!is_khop_executable(&query, &oracle(), 5));
+    }
+}

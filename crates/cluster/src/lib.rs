@@ -1,0 +1,199 @@
+//! A simulated distributed SPARQL engine — the evaluation substrate of the
+//! MPC paper (Sections V and VI).
+//!
+//! The paper runs an 8-machine MPI cluster with a gStore instance per
+//! partition. This crate reproduces that architecture in-process:
+//!
+//! * [`site::Site`] — one "machine" holding a partition fragment in an
+//!   indexed store,
+//! * [`coordinator::DistributedEngine`] — receives queries, classifies them
+//!   ([`ieq`], Definitions 5.1–5.3), decomposes non-IEQs ([`decompose`],
+//!   Algorithm 2 or the star baseline), fans evaluation out to site threads,
+//!   and joins at the coordinator,
+//! * [`vp::VpEngine`] — the edge-disjoint (vertical partitioning) baseline
+//!   with per-pattern routing,
+//! * [`network::NetworkModel`] — charges simulated wire time for every
+//!   shipped binding, replacing the real LAN,
+//! * [`stats::ExecutionStats`] — the QDT / LET / JT / communication
+//!   breakdown reported in Tables IV–V and Figures 7–11.
+
+pub mod coordinator;
+pub mod decompose;
+pub mod ieq;
+pub mod network;
+pub mod partial;
+pub mod bloom;
+pub mod semijoin;
+pub mod site;
+pub mod stats;
+pub mod vp;
+pub mod wire;
+
+pub use coordinator::{DistributedEngine, ExecMode};
+pub use decompose::{decompose_crossing_aware, decompose_stars, extract_subquery, Subquery};
+pub use ieq::{classify, is_khop_executable, CrossingOracle, CrossingSet, IeqClass};
+pub use network::NetworkModel;
+pub use partial::{partial_evaluate, PartialEvalStats};
+pub use bloom::BloomFilter;
+pub use semijoin::{bloom_reduce, ReductionStats};
+pub use site::Site;
+pub use stats::{ExecutionStats, FiveNumber};
+pub use vp::VpEngine;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mpc_core::{
+        MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
+        VerticalPartitioner,
+    };
+    use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+    use mpc_sparql::{evaluate, LocalStore, QLabel, QNode, Query, TriplePattern};
+    use proptest::prelude::*;
+
+    fn graph_strategy() -> impl Strategy<Value = RdfGraph> {
+        (4usize..20, 2usize..5).prop_flat_map(|(n, l)| {
+            proptest::collection::vec((0..n as u32, 0..l as u32, 0..n as u32), 4..60).prop_map(
+                move |edges| {
+                    let triples = edges
+                        .into_iter()
+                        .map(|(s, p, o)| Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                        .collect();
+                    RdfGraph::from_raw(n, l, triples)
+                },
+            )
+        })
+    }
+
+    /// Random connected-ish queries: a chain of patterns sharing variables,
+    /// guaranteeing weak connectivity (the paper's standing assumption).
+    fn query_strategy() -> impl Strategy<Value = Query> {
+        proptest::collection::vec((0u32..5, any::<bool>(), 0u32..5, any::<bool>()), 1..4)
+            .prop_map(|specs| {
+                let mut patterns = Vec::new();
+                for (i, (p, flip, other, _)) in specs.iter().enumerate() {
+                    // Chain: pattern i links var i and var i+1 (or a repeat
+                    // var for cycles), property p.
+                    let a = QNode::Var(i as u32);
+                    let b = QNode::Var(if *flip { (*other) % (i as u32 + 2) } else { i as u32 + 1 });
+                    patterns.push(TriplePattern::new(a, QLabel::Prop(PropertyId(*p)), b));
+                }
+                // Remap variables densely: cycle-closing patterns can skip
+                // the last chain variable, which would otherwise leave a
+                // declared-but-unused var.
+                let mut map = std::collections::HashMap::new();
+                let mut names: Vec<String> = Vec::new();
+                let patterns: Vec<TriplePattern> = patterns
+                    .into_iter()
+                    .map(|pat| {
+                        let mut remap = |n: QNode| match n {
+                            QNode::Var(v) => {
+                                let next = names.len() as u32;
+                                let id = *map.entry(v).or_insert_with(|| {
+                                    names.push(format!("v{v}"));
+                                    next
+                                });
+                                QNode::Var(id)
+                            }
+                            c => c,
+                        };
+                        let s = remap(pat.s);
+                        let o = remap(pat.o);
+                        TriplePattern::new(s, pat.p, o)
+                    })
+                    .collect();
+                Query::new(patterns, names)
+            })
+    }
+
+    fn reference(g: &RdfGraph, q: &Query) -> mpc_sparql::Bindings {
+        evaluate(q, &LocalStore::from_graph(g))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The paper's headline soundness claim (Theorems 3–5 + Algorithm 2
+        /// correctness): distributed execution over ANY vertex-disjoint
+        /// partitioning returns exactly the centralized result, whether the
+        /// query is an IEQ (independent path) or not (decomposed path) —
+        /// under both execution modes.
+        #[test]
+        fn distributed_equals_centralized(
+            g in graph_strategy(),
+            query in query_strategy(),
+            k in 2usize..4,
+        ) {
+            let expected = reference(&g, &query);
+            let parts: Vec<Box<dyn Partitioner>> = vec![
+                Box::new(MpcPartitioner::new(MpcConfig::with_k(k))),
+                Box::new(SubjectHashPartitioner::new(k)),
+                Box::new(MinEdgeCutPartitioner::new(k)),
+            ];
+            for partitioner in parts {
+                let partitioning = partitioner.partition(&g);
+                let engine = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+                for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
+                    let (result, stats) = engine.execute_mode(&query, mode);
+                    prop_assert_eq!(
+                        &result, &expected,
+                        "{} mode {:?} class {:?}", partitioner.name(), mode, stats.class
+                    );
+                }
+            }
+            // VP engine too.
+            let ep = VerticalPartitioner::new(k).partition(&g);
+            let vp = VpEngine::build(&g, &ep, NetworkModel::free());
+            let (result, _) = vp.execute(&query);
+            prop_assert_eq!(&result, &expected, "VP");
+        }
+
+        /// k-hop replication soundness: engines with radius 2 and 3 return
+        /// exactly the centralized result (for every query — IEQ or not),
+        /// and store at least as many triples as the 1-hop engine.
+        #[test]
+        fn khop_engines_are_sound(
+            g in graph_strategy(),
+            query in query_strategy(),
+            k in 2usize..4,
+        ) {
+            let expected = reference(&g, &query);
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let one_hop = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            let mut prev_stored = one_hop.stored_triples();
+            for radius in [2usize, 3] {
+                let engine = DistributedEngine::build_with_radius(
+                    &g, &partitioning, NetworkModel::free(), radius,
+                );
+                prop_assert!(engine.stored_triples() >= prev_stored);
+                prev_stored = engine.stored_triples();
+                let (result, _) = engine.execute(&query);
+                prop_assert_eq!(&result, &expected, "radius {}", radius);
+            }
+        }
+
+        /// Theorem 5 as a property: star queries are never NonIeq.
+        #[test]
+        fn stars_are_always_ieq(
+            g in graph_strategy(),
+            center_props in proptest::collection::vec(0u32..5, 1..4),
+            k in 2usize..4,
+        ) {
+            let mut patterns = Vec::new();
+            for (i, p) in center_props.iter().enumerate() {
+                patterns.push(TriplePattern::new(
+                    QNode::Var(0),
+                    QLabel::Prop(PropertyId(*p)),
+                    QNode::Var(i as u32 + 1),
+                ));
+            }
+            let query = Query::new(
+                patterns,
+                (0..=center_props.len()).map(|i| format!("v{i}")).collect(),
+            );
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let engine = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            prop_assert!(engine.classify(&query).is_ieq());
+        }
+    }
+}

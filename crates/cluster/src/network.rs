@@ -1,0 +1,94 @@
+//! The simulated interconnect.
+//!
+//! The paper's cluster is 8 machines on a LAN driven by MPICH; here every
+//! site lives in one process, so shipping bindings is free unless we charge
+//! for it. This model charges the classical linear cost: a fixed per-message
+//! latency plus bytes over bandwidth. Defaults approximate the paper's
+//! gigabit-LAN era hardware.
+
+use std::time::Duration;
+
+/// Linear latency + bandwidth network cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// Fixed cost per message (MPI send/recv pair).
+    pub latency: Duration,
+    /// Payload throughput in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            // 100 µs per message, 1 Gbit/s ≈ 125 MB/s.
+            latency: Duration::from_micros(100),
+            bandwidth: 125e6,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with zero cost (for correctness-only tests).
+    pub fn free() -> Self {
+        NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// Simulated time to ship `bytes` of payload in `messages` messages.
+    pub fn transfer_time(&self, bytes: u64, messages: u64) -> Duration {
+        let wire = if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+        } else {
+            Duration::ZERO
+        };
+        self.latency * messages as u32 + wire
+    }
+
+    /// Bytes to ship a binding table: 8 bytes per value plus a small row
+    /// header, mirroring a simple length-prefixed wire format.
+    pub fn binding_bytes(rows: usize, width: usize) -> u64 {
+        (rows as u64) * (8 * width as u64 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_messages_zero_bytes() {
+        let n = NetworkModel::default();
+        assert_eq!(n.transfer_time(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_scales_with_messages() {
+        let n = NetworkModel {
+            latency: Duration::from_millis(1),
+            bandwidth: f64::INFINITY,
+        };
+        assert_eq!(n.transfer_time(0, 5), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_bytes() {
+        let n = NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth: 1e6,
+        };
+        assert_eq!(n.transfer_time(500_000, 1), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        assert_eq!(NetworkModel::free().transfer_time(1 << 30, 1 << 10), Duration::ZERO);
+    }
+
+    #[test]
+    fn binding_bytes_counts_rows_and_width() {
+        assert_eq!(NetworkModel::binding_bytes(0, 3), 0);
+        assert_eq!(NetworkModel::binding_bytes(10, 2), 10 * (16 + 4));
+    }
+}

@@ -1,0 +1,215 @@
+//! Bloom-filter semijoin reduction of decomposed subquery results.
+//!
+//! When a non-IEQ is decomposed, each subquery's matches are shipped to the
+//! coordinator and joined. Most shipped rows die in the join: a row of
+//! subquery `q_i` survives only if its shared-variable values appear in the
+//! other subqueries' results. AdPart \[3\] and WORQ \[24\] exploit this with
+//! distributed semijoins / Bloom-join reductions; this module implements
+//! the Bloom variant: for every shared variable, a small filter of the
+//! values present in the *smallest* table mentioning it is (virtually)
+//! broadcast, and every other table drops rows whose value cannot match.
+//!
+//! Reduction never removes rows that would survive the join (Bloom filters
+//! have no false negatives), so the final result is unchanged — only the
+//! shipped volume shrinks. The filters themselves are charged to the
+//! network at their wire size.
+
+use crate::bloom::BloomFilter;
+use mpc_rdf::FxHashMap;
+use mpc_sparql::Bindings;
+
+/// Target false-positive probability of the reduction filters.
+pub const FPP: f64 = 0.01;
+
+/// Outcome of a reduction pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Rows across all tables before reduction.
+    pub rows_before: usize,
+    /// Rows across all tables after reduction.
+    pub rows_after: usize,
+    /// Wire bytes of all broadcast filters.
+    pub filter_bytes: u64,
+}
+
+/// Applies one Bloom-semijoin pass to the tables in place.
+///
+/// For each variable occurring in ≥2 tables, the smallest table mentioning
+/// it donates a filter; every other table keeps only rows whose value may
+/// appear in the filter.
+pub fn bloom_reduce(tables: &mut [Bindings]) -> ReductionStats {
+    let rows_before: usize = tables.iter().map(Bindings::len).sum();
+    let mut stats = ReductionStats {
+        rows_before,
+        rows_after: rows_before,
+        filter_bytes: 0,
+    };
+    if tables.len() < 2 {
+        return stats;
+    }
+
+    // Shared variables and the tables they occur in.
+    let mut occurrences: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for (ti, t) in tables.iter().enumerate() {
+        for &v in &t.vars {
+            occurrences.entry(v).or_default().push(ti);
+        }
+    }
+    let mut shared: Vec<(u32, Vec<usize>)> = occurrences
+        .into_iter()
+        .filter(|(_, ts)| ts.len() >= 2)
+        .collect();
+    shared.sort_unstable_by_key(|&(v, _)| v); // deterministic order
+
+    for (var, table_ids) in shared {
+        // Donor: the currently smallest table containing the variable.
+        let donor = *table_ids
+            .iter()
+            .min_by_key(|&&ti| tables[ti].len())
+            .expect("at least two tables");
+        let donor_col = tables[donor]
+            .column_of(var)
+            .expect("occurrence implies a column");
+        let filter = BloomFilter::from_values(
+            tables[donor].rows.iter().map(|row| row[donor_col]),
+            tables[donor].len(),
+            FPP,
+        );
+        stats.filter_bytes += filter.byte_len();
+        for &ti in &table_ids {
+            if ti == donor {
+                continue;
+            }
+            let col = tables[ti].column_of(var).expect("column exists");
+            tables[ti].rows.retain(|row| filter.maybe_contains(row[col]));
+        }
+    }
+    stats.rows_after = tables.iter().map(Bindings::len).sum();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_sparql::join_all;
+
+    fn table(vars: &[u32], rows: &[&[u32]]) -> Bindings {
+        let mut b = Bindings::new(vars.to_vec());
+        for r in rows {
+            b.push(r.to_vec());
+        }
+        b
+    }
+
+    #[test]
+    fn reduction_preserves_join_result() {
+        let a = table(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30], &[4, 40]]);
+        let b = table(&[1, 2], &[&[10, 100], &[99, 990]]);
+        let unreduced = join_all(&[a.clone(), b.clone()]);
+        let mut tables = [a, b];
+        let stats = bloom_reduce(&mut tables);
+        assert!(stats.rows_after <= stats.rows_before);
+        let reduced = join_all(&tables);
+        assert_eq!(reduced, unreduced);
+    }
+
+    #[test]
+    fn selective_joins_shrink_a_lot() {
+        // 1000 rows on one side, only 3 join-able.
+        let big_rows: Vec<Vec<u32>> = (0..1000).map(|i| vec![i, i + 1_000_000]).collect();
+        let mut big = Bindings::new(vec![0, 1]);
+        for r in big_rows {
+            big.push(r);
+        }
+        let small = table(&[0, 2], &[&[1, 7], &[2, 8], &[3, 9]]);
+        let mut tables = [big, small];
+        let stats = bloom_reduce(&mut tables);
+        assert!(stats.rows_after < 100, "after {}", stats.rows_after);
+        assert!(stats.filter_bytes > 0);
+        // The 3 matching rows survive.
+        let joined = join_all(&tables);
+        assert_eq!(joined.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_tables_are_untouched() {
+        let a = table(&[0], &[&[1], &[2]]);
+        let b = table(&[1], &[&[7]]);
+        let mut tables = [a.clone(), b.clone()];
+        let stats = bloom_reduce(&mut tables);
+        assert_eq!(stats.rows_before, stats.rows_after);
+        assert_eq!(stats.filter_bytes, 0);
+        assert_eq!(tables[0], a);
+        assert_eq!(tables[1], b);
+    }
+
+    #[test]
+    fn single_table_is_a_noop() {
+        let a = table(&[0], &[&[1]]);
+        let mut tables = [a.clone()];
+        let stats = bloom_reduce(&mut tables);
+        assert_eq!(stats.rows_before, 1);
+        assert_eq!(tables[0], a);
+    }
+
+    #[test]
+    fn three_way_chain_reduces_middle() {
+        let a = table(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let mid_rows: Vec<Vec<u32>> = (0..500).map(|i| vec![i, i]).collect();
+        let mut mid = Bindings::new(vec![1, 2]);
+        for r in mid_rows {
+            mid.push(r);
+        }
+        let c = table(&[2, 3], &[&[10, 5]]);
+        let expected = join_all(&[a.clone(), mid.clone(), c.clone()]);
+        let mut tables = [a, mid, c];
+        let stats = bloom_reduce(&mut tables);
+        assert!(stats.rows_after < stats.rows_before);
+        assert_eq!(join_all(&tables), expected);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mpc_sparql::join_all;
+    use proptest::prelude::*;
+
+    fn tables_strategy() -> impl Strategy<Value = Vec<Bindings>> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..5, 1..3),
+                proptest::collection::vec(proptest::collection::vec(0u32..8, 2), 0..30),
+            ),
+            2..4,
+        )
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .map(|(mut vars, rows)| {
+                    vars.sort_unstable();
+                    vars.dedup();
+                    let width = vars.len();
+                    let mut b = Bindings::new(vars);
+                    for r in rows {
+                        b.push(r.into_iter().take(width).chain(std::iter::repeat(0)).take(width).collect());
+                    }
+                    b.sort_dedup();
+                    b
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The semijoin reduction never changes the join result.
+        #[test]
+        fn reduction_is_join_invariant(tables in tables_strategy()) {
+            let expected = join_all(&tables);
+            let mut reduced = tables.clone();
+            let stats = bloom_reduce(&mut reduced);
+            prop_assert!(stats.rows_after <= stats.rows_before);
+            prop_assert_eq!(join_all(&reduced), expected);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-query execution statistics — the quantities Tables IV/V and
+//! Figures 7/8/10/11 report.
+
+use crate::ieq::IeqClass;
+use std::time::Duration;
+
+/// Timing and volume breakdown of one distributed query execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionStats {
+    /// IEQ classification under the engine's crossing-property set.
+    pub class: IeqClass,
+    /// True if the query ran without inter-partition joins.
+    pub independent: bool,
+    /// Number of executed subqueries (1 when independent).
+    pub subqueries: usize,
+    /// QDT — classification + decomposition time.
+    pub decomposition_time: Duration,
+    /// LET — local evaluation time, the *max* across sites (sites run in
+    /// parallel, so the slowest site gates the stage).
+    pub local_eval_time: Duration,
+    /// JT — coordinator-side join time (zero for IEQs).
+    pub join_time: Duration,
+    /// Payload bytes shipped site → coordinator.
+    pub comm_bytes: u64,
+    /// Simulated network time for those bytes.
+    pub comm_time: Duration,
+    /// Final result cardinality.
+    pub result_rows: usize,
+}
+
+impl ExecutionStats {
+    /// End-to-end response time: QDT + LET + communication + JT.
+    pub fn total(&self) -> Duration {
+        self.decomposition_time + self.local_eval_time + self.comm_time + self.join_time
+    }
+}
+
+/// Five-number summary (min / Q1 / median / Q3 / max) over a set of query
+/// response times — the boxplot shape of Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary of a sample (milliseconds, typically).
+    ///
+    /// # Panics
+    /// Panics if the sample is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "five-number summary of empty sample");
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in timings"));
+        let q = |f: f64| -> f64 {
+            let pos = f * (s.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                s[lo]
+            } else {
+                s[lo] + (s[hi] - s[lo]) * (pos - lo as f64)
+            }
+        };
+        FiveNumber {
+            min: s[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *s.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let stats = ExecutionStats {
+            class: IeqClass::Internal,
+            independent: true,
+            subqueries: 1,
+            decomposition_time: Duration::from_millis(1),
+            local_eval_time: Duration::from_millis(2),
+            join_time: Duration::from_millis(3),
+            comm_bytes: 0,
+            comm_time: Duration::from_millis(4),
+            result_rows: 0,
+        };
+        assert_eq!(stats.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn five_number_of_singleton() {
+        let f = FiveNumber::of(&[5.0]);
+        assert_eq!(f.min, 5.0);
+        assert_eq!(f.median, 5.0);
+        assert_eq!(f.max, 5.0);
+    }
+
+    #[test]
+    fn five_number_of_uniform() {
+        let s: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let f = FiveNumber::of(&s);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 3.0);
+        assert_eq!(f.median, 5.0);
+        assert_eq!(f.q3, 7.0);
+        assert_eq!(f.max, 9.0);
+    }
+
+    #[test]
+    fn five_number_interpolates() {
+        let f = FiveNumber::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.median, 2.5);
+        assert!((f.q1 - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn five_number_rejects_empty() {
+        FiveNumber::of(&[]);
+    }
+}

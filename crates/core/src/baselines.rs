@@ -1,0 +1,176 @@
+//! Baseline partitioners the paper compares against (Section VI-A):
+//! subject hashing (SHAPE/AdPart style), full-graph min edge-cut (METIS),
+//! and vertical/edge-disjoint partitioning (HadoopRDF/S2RDF style).
+
+use crate::partitioning::{EdgePartitioning, Partitioning};
+use crate::Partitioner;
+use mpc_metis::MetisConfig;
+use mpc_rdf::{FxBuildHasher, PartitionId, RdfGraph};
+use std::hash::{BuildHasher, Hash};
+
+/// `Subject_Hash`: every vertex goes to `hash(v) mod k`. All triples of one
+/// subject land together, so star queries localize (the property SHAPE and
+/// AdPart rely on).
+#[derive(Clone, Debug)]
+pub struct SubjectHashPartitioner {
+    /// Number of partitions.
+    pub k: usize,
+}
+
+impl SubjectHashPartitioner {
+    /// Creates a `k`-way subject-hash partitioner.
+    pub fn new(k: usize) -> Self {
+        SubjectHashPartitioner { k }
+    }
+}
+
+fn hash_to_part<T: Hash>(value: T, k: usize) -> PartitionId {
+    let h = FxBuildHasher::default().hash_one(value);
+    PartitionId((h % k as u64) as u16)
+}
+
+impl Partitioner for SubjectHashPartitioner {
+    fn name(&self) -> &'static str {
+        "Subject_Hash"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn partition(&self, g: &RdfGraph) -> Partitioning {
+        let assignment = g.vertex_ids().map(|v| hash_to_part(v.0, self.k)).collect();
+        Partitioning::new(g, self.k, assignment)
+    }
+}
+
+/// `METIS`: min edge-cut over the whole RDF graph via the multilevel
+/// partitioner (the paper's EAGRE / H-RDF-3X / TriAD baseline).
+#[derive(Clone, Debug)]
+pub struct MinEdgeCutPartitioner {
+    /// Number of partitions.
+    pub k: usize,
+    /// Multilevel partitioner settings.
+    pub metis: MetisConfig,
+}
+
+impl MinEdgeCutPartitioner {
+    /// Creates a `k`-way min edge-cut partitioner with default settings.
+    pub fn new(k: usize) -> Self {
+        MinEdgeCutPartitioner {
+            k,
+            metis: MetisConfig::default(),
+        }
+    }
+}
+
+impl Partitioner for MinEdgeCutPartitioner {
+    fn name(&self) -> &'static str {
+        "METIS"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn partition(&self, g: &RdfGraph) -> Partitioning {
+        let raw = mpc_metis::partition_rdf(g, self.k, &self.metis);
+        let assignment = raw.into_iter().map(|p| PartitionId(p as u16)).collect();
+        Partitioning::new(g, self.k, assignment)
+    }
+}
+
+/// `VP`: edge-disjoint vertical partitioning — all triples of a property go
+/// to `hash(p) mod k` (HadoopRDF / S2RDF / WORQ style).
+#[derive(Clone, Debug)]
+pub struct VerticalPartitioner {
+    /// Number of partitions.
+    pub k: usize,
+}
+
+impl VerticalPartitioner {
+    /// Creates a `k`-way vertical partitioner.
+    pub fn new(k: usize) -> Self {
+        VerticalPartitioner { k }
+    }
+
+    /// Produces the edge-disjoint partitioning (VP is not vertex-disjoint,
+    /// so it does not implement [`Partitioner`]).
+    pub fn partition(&self, g: &RdfGraph) -> EdgePartitioning {
+        let parts = g
+            .property_ids()
+            .map(|p| hash_to_part(p.0 ^ 0x9e37_79b9, self.k))
+            .collect();
+        EdgePartitioning::new(g, self.k, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn chain(n: u32) -> RdfGraph {
+        let triples = (0..n - 1).map(|i| t(i, i % 4, i + 1)).collect();
+        RdfGraph::from_raw(n as usize, 4, triples)
+    }
+
+    #[test]
+    fn subject_hash_assigns_everything() {
+        let g = chain(100);
+        let p = SubjectHashPartitioner::new(4);
+        let part = p.partition(&g);
+        part.validate(&g).unwrap();
+        assert_eq!(part.k(), 4);
+        // Hashing spreads vertices: no empty partition on 100 vertices.
+        assert!(part.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn subject_hash_is_deterministic() {
+        let g = chain(50);
+        let p = SubjectHashPartitioner::new(8);
+        assert_eq!(p.partition(&g).assignment(), p.partition(&g).assignment());
+    }
+
+    #[test]
+    fn min_edge_cut_beats_hash_on_cut() {
+        // Two dense clusters: METIS should cut far fewer edges than hashing.
+        let mut triples = Vec::new();
+        for i in 0..20u32 {
+            for j in 0..20u32 {
+                if i < j {
+                    triples.push(t(i, 0, j));
+                    triples.push(t(i + 20, 1, j + 20));
+                }
+            }
+        }
+        triples.push(t(0, 2, 20));
+        let g = RdfGraph::from_raw(40, 3, triples);
+        let metis = MinEdgeCutPartitioner::new(2).partition(&g);
+        let hash = SubjectHashPartitioner::new(2).partition(&g);
+        metis.validate(&g).unwrap();
+        assert!(metis.crossing_edge_count() < hash.crossing_edge_count());
+        assert_eq!(metis.crossing_edge_count(), 1);
+    }
+
+    #[test]
+    fn vertical_partitioner_routes_all_property_edges_together() {
+        let g = chain(40);
+        let vp = VerticalPartitioner::new(3);
+        let ep = vp.partition(&g);
+        let frags = ep.fragments(&g);
+        assert_eq!(frags.iter().map(|f| f.len()).sum::<usize>(), g.triple_count());
+        for p in g.property_ids() {
+            let home = ep.part_of_property(p);
+            for (i, frag) in frags.iter().enumerate() {
+                let has = frag.iter().any(|t| t.p == p);
+                assert_eq!(has, i == home.index() && g.property_frequency(p) > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Coarsening and uncoarsening (Section IV-B).
+//!
+//! Every WCC of `G[L_in]` collapses into one supervertex whose weight is the
+//! WCC's vertex count; the edges of the coarsened graph `G_c` are the
+//! remaining (non-internal-property) edges between different supervertices.
+//! A vertex-disjoint partitioner (our METIS substrate) then splits `G_c`,
+//! and the assignment is projected back onto `G` — which by construction
+//! keeps every internal-property edge inside a single partition.
+
+use crate::select::Selection;
+use mpc_metis::WeightedGraph;
+use mpc_rdf::RdfGraph;
+
+/// The coarsened graph plus the projection map.
+#[derive(Clone, Debug)]
+pub struct Coarsened {
+    /// Supervertex of each original vertex.
+    pub comp_of: Vec<u32>,
+    /// Number of supervertices.
+    pub supervertex_count: usize,
+    /// `G_c`: supervertex weights = WCC sizes, edges = collapsed
+    /// non-internal edges between supervertices.
+    pub graph: WeightedGraph,
+}
+
+/// Coarsens `g` by the WCCs of `G[L_in]` recorded in `selection.dsu`.
+pub fn coarsen(g: &RdfGraph, selection: &mut Selection) -> Coarsened {
+    let (comp_of, count) = selection.dsu.dense_components();
+    let mut vwgt = vec![0u64; count];
+    for v in 0..g.vertex_count() {
+        vwgt[comp_of[v] as usize] += 1;
+    }
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for t in g.triples() {
+        let cs = comp_of[t.s.index()];
+        let co = comp_of[t.o.index()];
+        if cs != co {
+            debug_assert!(
+                !selection.is_internal[t.p.index()],
+                "internal property edge bridges two supervertices"
+            );
+            edges.push((cs, co, 1));
+        }
+    }
+    Coarsened {
+        comp_of,
+        supervertex_count: count,
+        graph: WeightedGraph::from_edge_list(count, &edges, vwgt),
+    }
+}
+
+/// Projects a supervertex assignment back to original vertices.
+pub fn uncoarsen(coarsened: &Coarsened, coarse_part: &[u32]) -> Vec<u32> {
+    debug_assert_eq!(coarse_part.len(), coarsened.supervertex_count);
+    coarsened
+        .comp_of
+        .iter()
+        .map(|&c| coarse_part[c as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{forward_greedy, SelectConfig, SelectStrategy};
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    /// Two 2-vertex clusters joined by a property-2 bridge; with k=2 the
+    /// greedy selects {p0, p1} and the bridge stays crossing.
+    fn bridged() -> RdfGraph {
+        RdfGraph::from_raw(4, 3, vec![t(0, 0, 1), t(2, 1, 3), t(1, 2, 2)])
+    }
+
+    fn selection(g: &RdfGraph) -> crate::select::Selection {
+        forward_greedy(
+            g,
+            &SelectConfig {
+                k: 2,
+                epsilon: 0.1,
+                strategy: SelectStrategy::ForwardGreedy,
+                prune_oversized: true,
+                reverse_threshold: 512,
+            },
+        )
+    }
+
+    #[test]
+    fn coarsens_wccs_to_supervertices() {
+        let g = bridged();
+        let mut sel = selection(&g);
+        let c = coarsen(&g, &mut sel);
+        assert_eq!(c.supervertex_count, 2);
+        assert_eq!(c.graph.total_weight(), 4);
+        // The bridge is the single coarse edge (stored twice in CSR).
+        assert_eq!(c.graph.arc_count(), 2);
+        // Each cluster maps together.
+        assert_eq!(c.comp_of[0], c.comp_of[1]);
+        assert_eq!(c.comp_of[2], c.comp_of[3]);
+        assert_ne!(c.comp_of[1], c.comp_of[2]);
+    }
+
+    #[test]
+    fn uncoarsen_projects() {
+        let g = bridged();
+        let mut sel = selection(&g);
+        let c = coarsen(&g, &mut sel);
+        let coarse_part: Vec<u32> = (0..c.supervertex_count as u32).collect();
+        let part = uncoarsen(&c, &coarse_part);
+        assert_eq!(part[0], part[1]);
+        assert_eq!(part[2], part[3]);
+        assert_ne!(part[0], part[2]);
+    }
+
+    #[test]
+    fn parallel_coarse_edges_merge() {
+        // Property 2 (freq 2, standalone cost 2) wins the tie-break and is
+        // selected first, blocking p0/p1; its two WCCs {1,2} and {0,3}
+        // become the supervertices, bridged by the two cluster edges.
+        let g = RdfGraph::from_raw(
+            4,
+            3,
+            vec![t(0, 0, 1), t(2, 1, 3), t(1, 2, 2), t(0, 2, 3)],
+        );
+        let mut sel = selection(&g);
+        assert!(sel.is_internal[2]);
+        let c = coarsen(&g, &mut sel);
+        assert_eq!(c.supervertex_count, 2);
+        let w: Vec<_> = c.graph.neighbors(0).collect();
+        assert_eq!(w, vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Incremental partition maintenance under triple insertions.
+//!
+//! The paper's partitioning is offline; a deployed system also has to
+//! absorb new triples without a full re-partition (compare WASP \[5\] and
+//! the adaptive schemes in Section II). This module keeps an assignment
+//! alive under a stream of insertions with MPC's objective in mind:
+//!
+//! * a brand-new vertex attached to an existing one is co-located with it,
+//!   so the new edge stays internal and no property turns crossing;
+//! * when both endpoints are new, the lighter partition wins (balance);
+//! * placements respect the `(1+ε)|V|/k` cap where possible — if the
+//!   preferred partition is full, the edge is allowed to cross instead of
+//!   violating balance (crossing beats overload, matching Definition 4.1's
+//!   hard constraint);
+//! * crossing-property flags are maintained incrementally and always match
+//!   what a from-scratch [`Partitioning::new`] would derive.
+//!
+//! The structure is deliberately assignment-level: it does not rewrite
+//! history (no vertex migration), which is the same trade-off streaming
+//! partitioners make.
+
+use crate::partitioning::Partitioning;
+use mpc_rdf::{PartitionId, PropertyId, RdfGraph, Triple};
+
+/// An evolving vertex→partition assignment with incremental crossing
+/// bookkeeping.
+#[derive(Clone, Debug)]
+pub struct IncrementalPartitioning {
+    k: usize,
+    epsilon: f64,
+    assignment: Vec<PartitionId>,
+    part_sizes: Vec<usize>,
+    crossing_property: Vec<bool>,
+    crossing_edges: usize,
+    total_edges: usize,
+}
+
+impl IncrementalPartitioning {
+    /// Starts from an existing partitioning of `g`.
+    pub fn from_partitioning(g: &RdfGraph, base: &Partitioning, epsilon: f64) -> Self {
+        let crossing_property = g
+            .property_ids()
+            .map(|p| base.is_crossing_property(p))
+            .collect();
+        IncrementalPartitioning {
+            k: base.k(),
+            epsilon,
+            assignment: base.assignment().to_vec(),
+            part_sizes: base.part_sizes().to_vec(),
+            crossing_property,
+            crossing_edges: base.crossing_edge_count(),
+            total_edges: g.triple_count(),
+        }
+    }
+
+    /// Current number of assigned vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Current crossing-property count.
+    pub fn crossing_property_count(&self) -> usize {
+        self.crossing_property.iter().filter(|&&c| c).count()
+    }
+
+    /// Current crossing-edge count.
+    pub fn crossing_edge_count(&self) -> usize {
+        self.crossing_edges
+    }
+
+    /// The balance cap `(1+ε)|V|/k` at the current vertex count.
+    fn cap(&self) -> usize {
+        (((1.0 + self.epsilon) * self.assignment.len() as f64) / self.k as f64).ceil() as usize
+    }
+
+    /// The lightest partition.
+    fn lightest(&self) -> PartitionId {
+        let i = (0..self.k)
+            .min_by_key(|&i| self.part_sizes[i])
+            .expect("k >= 1");
+        PartitionId(i as u16)
+    }
+
+    /// Places a new vertex, preferring `wanted` unless it is at the cap.
+    fn place(&mut self, wanted: Option<PartitionId>) -> PartitionId {
+        let cap = self.cap().max(1);
+        let part = match wanted {
+            Some(p) if self.part_sizes[p.index()] < cap => p,
+            _ => self.lightest(),
+        };
+        self.assignment.push(part);
+        self.part_sizes[part.index()] += 1;
+        part
+    }
+
+    /// Inserts one triple. Endpoint ids may extend the vertex space by at
+    /// most one contiguous block (ids must not skip ahead); property ids
+    /// may extend the property space.
+    ///
+    /// # Panics
+    /// Panics if an endpoint id is more than one past the current maximum
+    /// (the caller allocates vertex ids densely, as [`RdfGraph`] does).
+    pub fn insert(&mut self, t: Triple) {
+        // Grow the property space as needed.
+        if t.p.index() >= self.crossing_property.len() {
+            self.crossing_property.resize(t.p.index() + 1, false);
+        }
+        let n = self.assignment.len();
+        let (s_new, o_new) = (t.s.index() >= n, t.o.index() >= n);
+        match (s_new, o_new) {
+            (false, false) => {}
+            (true, false) => {
+                assert_eq!(t.s.index(), n, "vertex ids must be dense");
+                let want = self.assignment[t.o.index()];
+                self.place(Some(want));
+            }
+            (false, true) => {
+                assert_eq!(t.o.index(), n, "vertex ids must be dense");
+                let want = self.assignment[t.s.index()];
+                self.place(Some(want));
+            }
+            (true, true) => {
+                // s first, then o next to it.
+                assert_eq!(t.s.index().min(t.o.index()), n, "vertex ids must be dense");
+                if t.s == t.o {
+                    self.place(None);
+                } else {
+                    assert_eq!(t.s.index().max(t.o.index()), n + 1, "vertex ids must be dense");
+                    let first = self.place(None);
+                    self.place(Some(first));
+                }
+            }
+        }
+        self.total_edges += 1;
+        if self.assignment[t.s.index()] != self.assignment[t.o.index()] {
+            self.crossing_edges += 1;
+            self.crossing_property[t.p.index()] = true;
+        }
+    }
+
+    /// Inserts a batch.
+    pub fn insert_all(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// True if `p` is currently a crossing property.
+    pub fn is_crossing_property(&self, p: PropertyId) -> bool {
+        self.crossing_property.get(p.index()).copied().unwrap_or(false)
+    }
+
+    /// Freezes into a [`Partitioning`] of the extended graph, re-deriving
+    /// (and thereby double-checking) the crossing sets.
+    ///
+    /// # Panics
+    /// Panics if `g` does not match the tracked vertex/edge counts.
+    pub fn into_partitioning(self, g: &RdfGraph) -> Partitioning {
+        assert_eq!(g.vertex_count(), self.assignment.len(), "graph mismatch");
+        assert_eq!(g.triple_count(), self.total_edges, "graph mismatch");
+        Partitioning::new(g, self.k, self.assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::SubjectHashPartitioner;
+    use crate::Partitioner;
+    use mpc_rdf::VertexId;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn base_graph() -> RdfGraph {
+        RdfGraph::from_raw(
+            8,
+            2,
+            vec![t(0, 0, 1), t(1, 0, 2), t(3, 0, 4), t(5, 1, 6), t(6, 1, 7)],
+        )
+    }
+
+    fn extended_graph(extra: &[Triple]) -> RdfGraph {
+        let g = base_graph();
+        let mut triples = g.triples().to_vec();
+        triples.extend_from_slice(extra);
+        let max_v = triples
+            .iter()
+            .flat_map(|t| [t.s.index(), t.o.index()])
+            .max()
+            .unwrap()
+            + 1;
+        let max_p = triples.iter().map(|t| t.p.index()).max().unwrap() + 1;
+        RdfGraph::from_raw(max_v.max(8), max_p.max(2), triples)
+    }
+
+    fn start() -> (RdfGraph, IncrementalPartitioning) {
+        let g = base_graph();
+        let part = SubjectHashPartitioner::new(2).partition(&g);
+        let inc = IncrementalPartitioning::from_partitioning(&g, &part, 0.5);
+        (g, inc)
+    }
+
+    #[test]
+    fn new_leaf_colocates_with_its_anchor() {
+        let (_, mut inc) = start();
+        let extra = [t(1, 0, 8), t(8, 1, 9)];
+        inc.insert_all(extra.iter().copied());
+        // Vertex 8 joins vertex 1's partition; 9 joins 8's: no new
+        // crossing edges from these inserts.
+        let g2 = extended_graph(&extra);
+        let final_part = inc.clone().into_partitioning(&g2);
+        assert_eq!(final_part.part_of(VertexId(8)), final_part.part_of(VertexId(1)));
+        assert_eq!(final_part.part_of(VertexId(9)), final_part.part_of(VertexId(8)));
+    }
+
+    #[test]
+    fn incremental_flags_match_recomputed_partitioning() {
+        let (_, mut inc) = start();
+        let extra = [
+            t(0, 1, 5), // between existing vertices — may cross
+            t(2, 0, 8),
+            t(8, 1, 9),
+            t(9, 2, 0), // new property 2
+        ];
+        inc.insert_all(extra.iter().copied());
+        let g2 = extended_graph(&extra);
+        let recomputed = inc.clone().into_partitioning(&g2);
+        assert_eq!(inc.crossing_edge_count(), recomputed.crossing_edge_count());
+        for p in g2.property_ids() {
+            assert_eq!(
+                inc.is_crossing_property(p),
+                recomputed.is_crossing_property(p),
+                "{p}"
+            );
+        }
+        recomputed.validate(&g2).unwrap();
+    }
+
+    #[test]
+    fn both_new_vertices_stay_together() {
+        let (_, mut inc) = start();
+        inc.insert(t(8, 0, 9));
+        assert_eq!(inc.vertex_count(), 10);
+        let g2 = extended_graph(&[t(8, 0, 9)]);
+        let part = inc.into_partitioning(&g2);
+        assert_eq!(part.part_of(VertexId(8)), part.part_of(VertexId(9)));
+    }
+
+    #[test]
+    fn balance_cap_forces_crossing_rather_than_overload() {
+        // Tiny epsilon: partitions fill quickly, so anchored placement must
+        // fall back to the lightest partition and the edge crosses.
+        let g = base_graph();
+        let part = SubjectHashPartitioner::new(2).partition(&g);
+        let mut inc = IncrementalPartitioning::from_partitioning(&g, &part, 0.0);
+        // Chain many new vertices off vertex 0; its partition hits the cap.
+        let mut extra = Vec::new();
+        for i in 0..6u32 {
+            extra.push(t(0, 0, 8 + i));
+        }
+        inc.insert_all(extra.iter().copied());
+        let g2 = extended_graph(&extra);
+        let final_part = inc.into_partitioning(&g2);
+        let cap = (((1.0) * g2.vertex_count() as f64) / 2.0).ceil() as usize + 1;
+        assert!(
+            final_part.part_sizes().iter().all(|&s| s <= cap),
+            "sizes {:?} exceed cap {cap}",
+            final_part.part_sizes()
+        );
+    }
+
+    #[test]
+    fn self_loop_new_vertex() {
+        let (_, mut inc) = start();
+        inc.insert(t(8, 1, 8));
+        assert_eq!(inc.vertex_count(), 9);
+        // Self-loops never cross.
+        assert_eq!(inc.crossing_edge_count(), {
+            let g = base_graph();
+            SubjectHashPartitioner::new(2)
+                .partition(&g)
+                .crossing_edge_count()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_sparse_vertex_ids() {
+        let (_, mut inc) = start();
+        inc.insert(t(0, 0, 42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::baselines::SubjectHashPartitioner;
+    use crate::Partitioner;
+    use mpc_rdf::VertexId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Incremental bookkeeping always agrees with a from-scratch
+        /// derivation on the final graph.
+        #[test]
+        fn incremental_equals_recomputed(
+            base_edges in proptest::collection::vec((0u32..10, 0u32..3, 0u32..10), 1..20),
+            // Insert script: each step either links two existing vertices
+            // (false) or attaches a fresh vertex to an existing one (true).
+            script in proptest::collection::vec(
+                (any::<bool>(), 0u32..10, 0u32..3, 0u32..10), 0..15),
+            k in 2usize..4,
+        ) {
+            let base_triples: Vec<Triple> = base_edges
+                .iter()
+                .map(|&(s, p, o)| Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                .collect();
+            let g = RdfGraph::from_raw(10, 3, base_triples.clone());
+            let part = SubjectHashPartitioner::new(k).partition(&g);
+            let mut inc = IncrementalPartitioning::from_partitioning(&g, &part, 0.5);
+
+            let mut all = base_triples;
+            let mut next_vertex = 10u32;
+            for (fresh, a, p, b) in script {
+                let t = if fresh {
+                    let v = next_vertex;
+                    next_vertex += 1;
+                    Triple::new(VertexId(a), PropertyId(p), VertexId(v))
+                } else {
+                    Triple::new(VertexId(a), PropertyId(p), VertexId(b))
+                };
+                inc.insert(t);
+                all.push(t);
+            }
+            let g2 = RdfGraph::from_raw(next_vertex as usize, 3, all);
+            let crossing_edges = inc.crossing_edge_count();
+            let crossing_props: Vec<bool> =
+                g2.property_ids().map(|p| inc.is_crossing_property(p)).collect();
+            let final_part = inc.into_partitioning(&g2);
+            prop_assert!(final_part.validate(&g2).is_ok());
+            prop_assert_eq!(crossing_edges, final_part.crossing_edge_count());
+            for p in g2.property_ids() {
+                prop_assert_eq!(crossing_props[p.index()], final_part.is_crossing_property(p));
+            }
+        }
+    }
+}

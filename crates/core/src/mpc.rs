@@ -1,0 +1,221 @@
+//! The MPC partitioner: select → coarsen → partition `G_c` → uncoarsen.
+
+use crate::coarsen::{coarsen, uncoarsen};
+use crate::partitioning::Partitioning;
+use crate::select::{select_internal_properties, SelectConfig, SelectStrategy, Selection};
+use crate::Partitioner;
+use mpc_metis::MetisConfig;
+use mpc_rdf::{PartitionId, RdfGraph};
+use std::time::{Duration, Instant};
+
+/// Configuration of the full MPC pipeline.
+#[derive(Clone, Debug)]
+pub struct MpcConfig {
+    /// Number of partitions `k`.
+    pub k: usize,
+    /// Imbalance tolerance ε (Definition 4.1).
+    pub epsilon: f64,
+    /// Greedy direction for internal property selection.
+    pub strategy: SelectStrategy,
+    /// Prune individually-oversized properties up front (Section IV-E).
+    pub prune_oversized: bool,
+    /// `Auto` strategy switches to reverse greedy above this property count.
+    pub reverse_threshold: usize,
+    /// Settings of the coarse-graph partitioner.
+    pub metis: MetisConfig,
+    /// Optional workload weights: when set, internal property selection
+    /// maximizes total weight instead of count (the weighted-MPC extension
+    /// the paper defers to future work).
+    pub weights: Option<crate::weighted::PropertyWeights>,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            k: 8,
+            epsilon: 0.1,
+            strategy: SelectStrategy::Auto,
+            prune_oversized: true,
+            reverse_threshold: 512,
+            metis: MetisConfig::default(),
+            weights: None,
+        }
+    }
+}
+
+impl MpcConfig {
+    /// Convenience constructor for a `k`-way config with defaults.
+    pub fn with_k(k: usize) -> Self {
+        MpcConfig {
+            k,
+            ..Default::default()
+        }
+    }
+
+    fn select_config(&self) -> SelectConfig {
+        SelectConfig {
+            k: self.k,
+            epsilon: self.epsilon,
+            strategy: self.strategy,
+            prune_oversized: self.prune_oversized,
+            reverse_threshold: self.reverse_threshold,
+        }
+    }
+}
+
+/// Timing and size diagnostics of one MPC run.
+#[derive(Clone, Debug)]
+pub struct MpcReport {
+    /// Time in internal property selection (Algorithm 1).
+    pub selection_time: Duration,
+    /// Time coarsening + partitioning `G_c` + uncoarsening.
+    pub partition_time: Duration,
+    /// `|L_in|` selected.
+    pub internal_properties: usize,
+    /// Properties pruned as individually oversized.
+    pub pruned_properties: usize,
+    /// Supervertices in `G_c`.
+    pub coarse_vertices: usize,
+    /// `Cost(L_in)` — size of the largest WCC of `G[L_in]`.
+    pub selection_cost: u64,
+}
+
+/// The Minimum Property-Cut partitioner (Section IV).
+#[derive(Clone, Debug, Default)]
+pub struct MpcPartitioner {
+    /// Pipeline configuration.
+    pub config: MpcConfig,
+}
+
+impl MpcPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: MpcConfig) -> Self {
+        MpcPartitioner { config }
+    }
+
+    /// Runs the pipeline, returning the partitioning plus diagnostics.
+    pub fn partition_with_report(&self, g: &RdfGraph) -> (Partitioning, MpcReport) {
+        let cfg = &self.config;
+        let t0 = Instant::now();
+        let mut selection: Selection = match &cfg.weights {
+            Some(w) => crate::weighted::weighted_greedy(g, &cfg.select_config(), w),
+            None => select_internal_properties(g, &cfg.select_config()),
+        };
+        let selection_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let coarse = coarsen(g, &mut selection);
+        let coarse_part = mpc_metis::partition(&coarse.graph, cfg.k, &cfg.metis);
+        let raw = uncoarsen(&coarse, &coarse_part);
+        let assignment = raw.into_iter().map(|p| PartitionId(p as u16)).collect();
+        let partitioning = Partitioning::new(g, cfg.k, assignment);
+        let partition_time = t1.elapsed();
+
+        let report = MpcReport {
+            selection_time,
+            partition_time,
+            internal_properties: selection.internal_count(),
+            pruned_properties: selection.pruned.len(),
+            coarse_vertices: coarse.supervertex_count,
+            selection_cost: selection.cost,
+        };
+        (partitioning, report)
+    }
+}
+
+impl Partitioner for MpcPartitioner {
+    fn name(&self) -> &'static str {
+        "MPC"
+    }
+
+    fn k(&self) -> usize {
+        self.config.k
+    }
+
+    fn partition(&self, g: &RdfGraph) -> Partitioning {
+        self.partition_with_report(g).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    /// Fig. 1/2-style graph: two domains connected only by property 2.
+    /// The bridge property alone spans 9 vertices (> cap 8), so the
+    /// oversized-property pruning removes it up front and the two domain
+    /// chains become the internal properties.
+    fn two_domains() -> RdfGraph {
+        let mut triples = Vec::new();
+        // Domain A: vertices 0..8 chained by property 0.
+        for i in 0..7 {
+            triples.push(t(i, 0, i + 1));
+        }
+        // Domain B: vertices 8..16 chained by property 1.
+        for i in 8..15 {
+            triples.push(t(i, 1, i + 1));
+        }
+        // Bridges with property 2: vertex 3 linked to all of domain B.
+        for j in 8..16 {
+            triples.push(t(3, 2, j));
+        }
+        RdfGraph::from_raw(16, 3, triples)
+    }
+
+    #[test]
+    fn mpc_minimizes_crossing_properties() {
+        let g = two_domains();
+        let mpc = MpcPartitioner::new(MpcConfig::with_k(2));
+        let (part, report) = mpc.partition_with_report(&g);
+        part.validate(&g).unwrap();
+        assert_eq!(part.crossing_property_count(), 1);
+        assert!(part.is_crossing_property(PropertyId(2)));
+        assert_eq!(report.internal_properties, 2);
+        assert_eq!(report.coarse_vertices, 2);
+    }
+
+    #[test]
+    fn internal_property_edges_never_cross() {
+        let g = two_domains();
+        let mpc = MpcPartitioner::new(MpcConfig::with_k(2));
+        let (part, _) = mpc.partition_with_report(&g);
+        for t in g.triples() {
+            if !part.is_crossing_property(t.p) {
+                assert_eq!(part.part_of(t.s), part.part_of(t.o));
+            }
+        }
+    }
+
+    #[test]
+    fn respects_size_cap() {
+        let g = two_domains();
+        let cfg = MpcConfig::with_k(2);
+        let cap = (((1.0 + cfg.epsilon) * 16.0) / 2.0).floor() as usize;
+        let (part, _) = MpcPartitioner::new(cfg).partition_with_report(&g);
+        assert!(part.part_sizes().iter().all(|&s| s <= cap));
+    }
+
+    #[test]
+    fn partitioner_trait_surface() {
+        let g = two_domains();
+        let mpc = MpcPartitioner::new(MpcConfig::with_k(2));
+        assert_eq!(mpc.name(), "MPC");
+        assert_eq!(mpc.k(), 2);
+        let part = mpc.partition(&g);
+        assert_eq!(part.k(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_domains();
+        let mpc = MpcPartitioner::new(MpcConfig::with_k(2));
+        let a = mpc.partition(&g);
+        let b = mpc.partition(&g);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

@@ -1,0 +1,509 @@
+//! Vertex-disjoint and edge-disjoint partitionings (Definition 3.3).
+
+use mpc_rdf::{FxHashSet, PartitionId, PropertyId, RdfGraph, Triple, VertexId};
+
+/// A vertex-disjoint partitioning `F = {F_1, ..., F_k}` of an RDF graph
+/// with 1-hop crossing-edge replication (Definition 3.3).
+///
+/// Construction derives everything the paper's definitions need:
+/// crossing edges `E^c`, crossing properties `L_cross` (Definition 3.4),
+/// per-partition vertex counts, and imbalance.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    k: usize,
+    assignment: Vec<PartitionId>,
+    crossing_edges: Vec<u32>,
+    crossing_property: Vec<bool>,
+    crossing_property_count: usize,
+    part_sizes: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Wraps a per-vertex assignment, deriving crossing edges/properties.
+    ///
+    /// # Panics
+    /// Panics if `assignment` does not cover every vertex of `g` or
+    /// references a part `>= k`.
+    pub fn new(g: &RdfGraph, k: usize, assignment: Vec<PartitionId>) -> Self {
+        assert_eq!(assignment.len(), g.vertex_count(), "assignment must cover V");
+        let mut part_sizes = vec![0usize; k];
+        for &p in &assignment {
+            assert!(p.index() < k, "partition id {p} out of range for k={k}");
+            part_sizes[p.index()] += 1;
+        }
+        let mut crossing_edges = Vec::new();
+        let mut crossing_property = vec![false; g.property_count()];
+        for (i, t) in g.triples().iter().enumerate() {
+            if assignment[t.s.index()] != assignment[t.o.index()] {
+                crossing_edges.push(i as u32);
+                crossing_property[t.p.index()] = true;
+            }
+        }
+        let crossing_property_count = crossing_property.iter().filter(|&&c| c).count();
+        Partitioning {
+            k,
+            assignment,
+            crossing_edges,
+            crossing_property,
+            crossing_property_count,
+            part_sizes,
+        }
+    }
+
+    /// Number of partitions `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The partition holding vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> PartitionId {
+        self.assignment[v.index()]
+    }
+
+    /// The raw per-vertex assignment.
+    pub fn assignment(&self) -> &[PartitionId] {
+        &self.assignment
+    }
+
+    /// Indices (into the graph's triple list) of all crossing edges `E^c`.
+    pub fn crossing_edge_indices(&self) -> &[u32] {
+        &self.crossing_edges
+    }
+
+    /// `|E^c|` — the number of crossing edges (Table II's second column).
+    pub fn crossing_edge_count(&self) -> usize {
+        self.crossing_edges.len()
+    }
+
+    /// True if `p` labels at least one crossing edge (Definition 3.4).
+    #[inline]
+    pub fn is_crossing_property(&self, p: PropertyId) -> bool {
+        self.crossing_property[p.index()]
+    }
+
+    /// `|L_cross|` — the number of crossing properties (Table II's first
+    /// column, the quantity MPC minimizes).
+    pub fn crossing_property_count(&self) -> usize {
+        self.crossing_property_count
+    }
+
+    /// All crossing properties.
+    pub fn crossing_properties(&self) -> Vec<PropertyId> {
+        self.crossing_property
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| PropertyId(i as u32))
+            .collect()
+    }
+
+    /// All internal properties `L_in = L - L_cross`.
+    pub fn internal_properties(&self) -> Vec<PropertyId> {
+        self.crossing_property
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| PropertyId(i as u32))
+            .collect()
+    }
+
+    /// `|V_i|` for each partition.
+    pub fn part_sizes(&self) -> &[usize] {
+        &self.part_sizes
+    }
+
+    /// `max_i |V_i| / (|V| / k)` — 1.0 means perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.part_sizes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.k as f64;
+        let max = *self.part_sizes.iter().max().unwrap() as f64;
+        max / ideal
+    }
+
+    /// Materializes fragment `F_i = (V_i ∪ V_i^e, E_i ∪ E_i^c)`:
+    /// internal edges plus replicas of every crossing edge incident to the
+    /// partition, with the extended-vertex set `V_i^e`.
+    pub fn fragment(&self, g: &RdfGraph, part: PartitionId) -> Fragment {
+        let mut triples = Vec::new();
+        let mut extended: FxHashSet<VertexId> = FxHashSet::default();
+        for t in g.triples() {
+            let ps = self.assignment[t.s.index()];
+            let po = self.assignment[t.o.index()];
+            if ps == part && po == part {
+                triples.push(*t);
+            } else if ps == part {
+                triples.push(*t);
+                extended.insert(t.o);
+            } else if po == part {
+                triples.push(*t);
+                extended.insert(t.s);
+            }
+        }
+        Fragment {
+            part,
+            triples,
+            extended_vertices: extended,
+        }
+    }
+
+    /// Materializes fragments with a `radius`-hop replication guarantee:
+    /// fragment `F_i` stores every edge with an endpoint within
+    /// `radius - 1` (undirected) hops of `V_i`. `radius = 1` is exactly
+    /// [`Partitioning::fragments`] — internal edges plus crossing-edge
+    /// replicas. Larger radii localize more queries at a steep storage
+    /// cost, which is why the paper (Section I-A) sticks to 1-hop; the
+    /// k-hop ablation quantifies that trade-off.
+    pub fn fragments_with_radius(&self, g: &RdfGraph, radius: usize) -> Vec<Fragment> {
+        assert!(radius >= 1, "replication radius must be at least 1");
+        if radius == 1 {
+            return self.fragments(g);
+        }
+        // Per-partition BFS over the undirected adjacency up to radius-1.
+        let adj = g.undirected_adjacency();
+        let n = g.vertex_count();
+        const UNSEEN: u32 = u32::MAX;
+        let mut frags: Vec<Fragment> = Vec::with_capacity(self.k);
+        for part in 0..self.k as u16 {
+            let part = PartitionId(part);
+            let mut dist = vec![UNSEEN; n];
+            let mut frontier: Vec<u32> = (0..n as u32)
+                .filter(|&v| self.assignment[v as usize] == part)
+                .collect();
+            for &v in &frontier {
+                dist[v as usize] = 0;
+            }
+            for d in 1..radius as u32 {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &(v, _) in &adj[u as usize] {
+                        if dist[v.index()] == UNSEEN {
+                            dist[v.index()] = d;
+                            next.push(v.0);
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            let mut triples = Vec::new();
+            let mut extended: FxHashSet<VertexId> = FxHashSet::default();
+            for t in g.triples() {
+                let ds = dist[t.s.index()];
+                let do_ = dist[t.o.index()];
+                if ds.min(do_) < radius as u32 {
+                    triples.push(*t);
+                    for v in [t.s, t.o] {
+                        if self.assignment[v.index()] != part {
+                            extended.insert(v);
+                        }
+                    }
+                }
+            }
+            frags.push(Fragment {
+                part,
+                triples,
+                extended_vertices: extended,
+            });
+        }
+        frags
+    }
+
+    /// Total stored triples across fragments divided by `|E|` — the storage
+    /// overhead of replication (1.0 = no replication at all).
+    pub fn replication_ratio(&self, g: &RdfGraph, radius: usize) -> f64 {
+        let stored: usize = self
+            .fragments_with_radius(g, radius)
+            .iter()
+            .map(|f| f.triples.len())
+            .sum();
+        stored as f64 / g.triple_count().max(1) as f64
+    }
+
+    /// Materializes all `k` fragments in one pass over the graph.
+    pub fn fragments(&self, g: &RdfGraph) -> Vec<Fragment> {
+        let mut frags: Vec<Fragment> = (0..self.k)
+            .map(|i| Fragment {
+                part: PartitionId(i as u16),
+                triples: Vec::new(),
+                extended_vertices: FxHashSet::default(),
+            })
+            .collect();
+        for t in g.triples() {
+            let ps = self.assignment[t.s.index()];
+            let po = self.assignment[t.o.index()];
+            frags[ps.index()].triples.push(*t);
+            if ps != po {
+                frags[po.index()].triples.push(*t);
+                frags[ps.index()].extended_vertices.insert(t.o);
+                frags[po.index()].extended_vertices.insert(t.s);
+            }
+        }
+        frags
+    }
+
+    /// Checks every invariant of Definition 3.3 plus Definition 3.4
+    /// consistency. Returns a description of the first violation.
+    pub fn validate(&self, g: &RdfGraph) -> Result<(), String> {
+        if self.assignment.len() != g.vertex_count() {
+            return Err("assignment does not cover V".into());
+        }
+        // (1) every vertex in exactly one partition — structural, given the
+        // assignment is a total function into 0..k (checked in new()).
+        // (3)+(4): crossing edges are exactly those with endpoints apart,
+        // and replicas land at both endpoint fragments.
+        let frags = self.fragments(g);
+        let mut replica_total = 0usize;
+        for f in &frags {
+            for t in &f.triples {
+                let ps = self.part_of(t.s);
+                let po = self.part_of(t.o);
+                if ps != f.part && po != f.part {
+                    return Err(format!(
+                        "fragment {} stores edge {:?} with no endpoint in it",
+                        f.part, t
+                    ));
+                }
+                if ps != po {
+                    replica_total += 1;
+                }
+            }
+            for &v in &f.extended_vertices {
+                if self.part_of(v) == f.part {
+                    return Err(format!(
+                        "fragment {} lists its own vertex {v} as extended",
+                        f.part
+                    ));
+                }
+            }
+        }
+        if replica_total != 2 * self.crossing_edges.len() {
+            return Err(format!(
+                "crossing edges must be replicated exactly twice: {} replicas for {} crossing edges",
+                replica_total,
+                self.crossing_edges.len()
+            ));
+        }
+        // Fragments jointly cover E exactly once per internal edge.
+        let frag_edges: usize = frags.iter().map(|f| f.triples.len()).sum();
+        if frag_edges != g.triple_count() + self.crossing_edges.len() {
+            return Err("fragments do not cover E with 1-hop replication".into());
+        }
+        // Definition 3.4: crossing properties are exactly the labels of E^c.
+        let mut seen = vec![false; g.property_count()];
+        for &i in &self.crossing_edges {
+            seen[g.triple(i).p.index()] = true;
+        }
+        if seen != self.crossing_property {
+            return Err("crossing property set inconsistent with E^c".into());
+        }
+        Ok(())
+    }
+}
+
+/// One partition's materialized data: `E_i ∪ E_i^c` plus `V_i^e`.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Which partition this is.
+    pub part: PartitionId,
+    /// Internal edges and crossing-edge replicas.
+    pub triples: Vec<Triple>,
+    /// Replicated foreign endpoints (`V_i^e` in Definition 3.3).
+    pub extended_vertices: FxHashSet<VertexId>,
+}
+
+/// An edge-disjoint (vertical) partitioning: every *edge* lives in exactly
+/// one partition, decided by its property. Vertices may be copied.
+/// This models the paper's VP baseline (HadoopRDF / S2RDF style).
+#[derive(Clone, Debug)]
+pub struct EdgePartitioning {
+    k: usize,
+    /// Partition of each property.
+    property_part: Vec<PartitionId>,
+}
+
+impl EdgePartitioning {
+    /// Builds from a per-property assignment.
+    pub fn new(g: &RdfGraph, k: usize, property_part: Vec<PartitionId>) -> Self {
+        assert_eq!(property_part.len(), g.property_count());
+        assert!(property_part.iter().all(|p| p.index() < k));
+        EdgePartitioning { k, property_part }
+    }
+
+    /// Number of partitions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The partition storing all edges labeled `p`.
+    pub fn part_of_property(&self, p: PropertyId) -> PartitionId {
+        self.property_part[p.index()]
+    }
+
+    /// Materializes the edge-disjoint fragments.
+    pub fn fragments(&self, g: &RdfGraph) -> Vec<Vec<Triple>> {
+        let mut frags: Vec<Vec<Triple>> = vec![Vec::new(); self.k];
+        for t in g.triples() {
+            frags[self.property_part[t.p.index()].index()].push(*t);
+        }
+        frags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PropertyId, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    /// Fig. 2-style mini graph: two clusters {0,1,2} and {3,4,5} joined by
+    /// property 1 edges; property 0 internal to each cluster.
+    fn sample() -> RdfGraph {
+        RdfGraph::from_raw(
+            6,
+            2,
+            vec![t(0, 0, 1), t(1, 0, 2), t(3, 0, 4), t(4, 0, 5), t(2, 1, 3), t(0, 1, 5)],
+        )
+    }
+
+    fn split() -> Vec<PartitionId> {
+        vec![0, 0, 0, 1, 1, 1].into_iter().map(PartitionId).collect()
+    }
+
+    #[test]
+    fn crossing_sets_derived() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        assert_eq!(part.crossing_edge_count(), 2);
+        assert_eq!(part.crossing_property_count(), 1);
+        assert!(part.is_crossing_property(PropertyId(1)));
+        assert!(!part.is_crossing_property(PropertyId(0)));
+        assert_eq!(part.internal_properties(), vec![PropertyId(0)]);
+        assert_eq!(part.crossing_properties(), vec![PropertyId(1)]);
+    }
+
+    #[test]
+    fn part_sizes_and_imbalance() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        assert_eq!(part.part_sizes(), &[3, 3]);
+        assert!((part.imbalance() - 1.0).abs() < 1e-9);
+
+        let skew = Partitioning::new(
+            &g,
+            2,
+            vec![0, 0, 0, 0, 0, 1].into_iter().map(PartitionId).collect(),
+        );
+        assert!((skew.imbalance() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragments_replicate_crossing_edges() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        let frags = part.fragments(&g);
+        assert_eq!(frags.len(), 2);
+        // Each fragment: 2 internal + 2 crossing replicas.
+        assert_eq!(frags[0].triples.len(), 4);
+        assert_eq!(frags[1].triples.len(), 4);
+        // Extended vertices are the foreign endpoints of crossing edges.
+        assert!(frags[0].extended_vertices.contains(&VertexId(3)));
+        assert!(frags[0].extended_vertices.contains(&VertexId(5)));
+        assert!(frags[1].extended_vertices.contains(&VertexId(2)));
+        assert!(frags[1].extended_vertices.contains(&VertexId(0)));
+    }
+
+    #[test]
+    fn fragment_matches_fragments() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        let all = part.fragments(&g);
+        for (i, expected) in all.iter().enumerate() {
+            let single = part.fragment(&g, PartitionId(i as u16));
+            let mut a = single.triples.clone();
+            let mut b = expected.triples.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            assert_eq!(single.extended_vertices, expected.extended_vertices);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_partitioning() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        part.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn single_partition_has_no_crossings() {
+        let g = sample();
+        let part = Partitioning::new(&g, 1, vec![PartitionId(0); 6]);
+        assert_eq!(part.crossing_edge_count(), 0);
+        assert_eq!(part.crossing_property_count(), 0);
+        part.validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_part_ids() {
+        let g = sample();
+        Partitioning::new(&g, 2, vec![PartitionId(7); 6]);
+    }
+
+    #[test]
+    fn radius_one_fragments_match_plain_fragments() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        let plain = part.fragments(&g);
+        let radius1 = part.fragments_with_radius(&g, 1);
+        for (a, b) in plain.iter().zip(&radius1) {
+            let mut x = a.triples.clone();
+            let mut y = b.triples.clone();
+            x.sort();
+            y.sort();
+            assert_eq!(x, y);
+            assert_eq!(a.extended_vertices, b.extended_vertices);
+        }
+    }
+
+    #[test]
+    fn radius_two_fragments_grow_and_cover() {
+        let g = sample();
+        let part = Partitioning::new(&g, 2, split());
+        let r1: usize = part.fragments(&g).iter().map(|f| f.triples.len()).sum();
+        let r2: usize = part
+            .fragments_with_radius(&g, 2)
+            .iter()
+            .map(|f| f.triples.len())
+            .sum();
+        assert!(r2 >= r1);
+        assert!(part.replication_ratio(&g, 2) >= part.replication_ratio(&g, 1));
+        // Radius 2 still only stores subgraphs of G.
+        for f in part.fragments_with_radius(&g, 2) {
+            for t in &f.triples {
+                assert!(g.triples().contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_partitioning_routes_by_property() {
+        let g = sample();
+        let ep = EdgePartitioning::new(&g, 2, vec![PartitionId(0), PartitionId(1)]);
+        let frags = ep.fragments(&g);
+        assert_eq!(frags[0].len(), 4); // property 0 edges
+        assert_eq!(frags[1].len(), 2); // property 1 edges
+        assert!(frags[0].iter().all(|t| t.p == PropertyId(0)));
+        assert_eq!(ep.part_of_property(PropertyId(1)), PartitionId(1));
+    }
+}

@@ -1,0 +1,530 @@
+//! Workload sampling: draws BGP queries of prescribed shapes from an
+//! actual graph, so sampled queries have matches by construction.
+//!
+//! This replaces the WatDiv query-template instantiator and the LSQ query
+//! logs of DBpedia/LGD: a [`ShapeMix`] fixes the proportion of star,
+//! path, snowflake and single-pattern queries, and the sampler grows each
+//! query along real edges.
+
+use mpc_rdf::{RdfGraph, Triple, VertexId};
+use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Query shapes the sampler can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// One triple pattern.
+    Single,
+    /// A star with this many arms around one center.
+    Star(usize),
+    /// A path of this many patterns.
+    Path(usize),
+    /// A path of 2 with extra arms at both endpoints.
+    Snowflake,
+}
+
+/// A weighted mix of shapes; weights need not sum to 1.
+#[derive(Clone, Debug)]
+pub struct ShapeMix(pub Vec<(Shape, f64)>);
+
+impl ShapeMix {
+    /// Mix mirroring the WatDiv default workload (≈50% stars, per the
+    /// paper's Table III where 50% of the log localizes on any
+    /// vertex-disjoint scheme).
+    pub fn watdiv_like() -> Self {
+        ShapeMix(vec![
+            (Shape::Star(2), 0.25),
+            (Shape::Star(3), 0.15),
+            (Shape::Single, 0.10),
+            (Shape::Path(2), 0.20),
+            (Shape::Path(3), 0.15),
+            (Shape::Snowflake, 0.15),
+        ])
+    }
+
+    /// Mix mirroring the DBpedia LSQ log (≈47% stars incl. singles).
+    pub fn dbpedia_like() -> Self {
+        ShapeMix(vec![
+            (Shape::Single, 0.22),
+            (Shape::Star(2), 0.15),
+            (Shape::Star(3), 0.10),
+            (Shape::Path(2), 0.28),
+            (Shape::Path(3), 0.15),
+            (Shape::Snowflake, 0.10),
+        ])
+    }
+
+    /// Mix mirroring the LGD LSQ log (≈97% stars, many single-triple).
+    pub fn lgd_like() -> Self {
+        ShapeMix(vec![
+            (Shape::Single, 0.62),
+            (Shape::Star(2), 0.25),
+            (Shape::Star(3), 0.10),
+            (Shape::Path(2), 0.02),
+            (Shape::Snowflake, 0.01),
+        ])
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> Shape {
+        let total: f64 = self.0.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (shape, w) in &self.0 {
+            if x < *w {
+                return *shape;
+            }
+            x -= w;
+        }
+        self.0.last().expect("non-empty mix").0
+    }
+}
+
+/// Samples queries from a graph.
+pub struct QuerySampler<'g> {
+    graph: &'g RdfGraph,
+    /// Incident triple indices (out and in) per vertex.
+    incident: Vec<Vec<u32>>,
+    rng: StdRng,
+    /// Probability that a leaf vertex becomes a constant.
+    pub const_leaf_prob: f64,
+    /// Probability that a pattern's property becomes a variable.
+    pub var_property_prob: f64,
+    /// Path/snowflake growth avoids properties covering more than this
+    /// fraction of all edges: multi-hop all-variable walks through hub
+    /// properties (think `rdf:type`) have combinatorially exploding result
+    /// sets that no real query log contains.
+    pub hub_fraction: f64,
+    /// Optional per-property mask: when set, sampling only uses triples
+    /// whose property is allowed. Benchmark-query construction uses this to
+    /// stay on domain-local properties.
+    pub property_mask: Option<Vec<bool>>,
+}
+
+impl<'g> QuerySampler<'g> {
+    /// Builds the incidence index (O(|E|)).
+    pub fn new(graph: &'g RdfGraph, seed: u64) -> Self {
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); graph.vertex_count()];
+        for (i, t) in graph.triples().iter().enumerate() {
+            incident[t.s.index()].push(i as u32);
+            if t.o != t.s {
+                incident[t.o.index()].push(i as u32);
+            }
+        }
+        QuerySampler {
+            graph,
+            incident,
+            rng: StdRng::seed_from_u64(seed),
+            const_leaf_prob: 0.3,
+            var_property_prob: 0.02,
+            hub_fraction: 0.02,
+            property_mask: None,
+        }
+    }
+
+    /// True if the property mask (when set) permits this triple.
+    fn allowed(&self, t: &Triple) -> bool {
+        match &self.property_mask {
+            Some(mask) => mask.get(t.p.index()).copied().unwrap_or(false),
+            None => true,
+        }
+    }
+
+    /// True if `t`'s property is a hub (covers too many edges for
+    /// multi-hop growth).
+    fn is_hub(&self, t: &Triple) -> bool {
+        let cap = ((self.graph.triple_count() as f64) * self.hub_fraction).max(50.0) as usize;
+        self.graph.property_frequency(t.p) > cap
+    }
+
+    /// Random triple avoiding hub and masked-out properties (best effort).
+    fn random_triple_selective(&mut self) -> Triple {
+        for _ in 0..256 {
+            let t = self.random_triple();
+            if !self.is_hub(&t) && self.allowed(&t) {
+                return t;
+            }
+        }
+        self.random_triple()
+    }
+
+    /// Random incident triple avoiding hub and masked-out properties
+    /// (best effort).
+    fn random_incident_selective(&mut self, v: VertexId) -> Option<Triple> {
+        for _ in 0..24 {
+            let t = self.random_incident(v)?;
+            if !self.is_hub(&t) && self.allowed(&t) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Samples one query of the given shape.
+    pub fn sample(&mut self, shape: Shape) -> Query {
+        match shape {
+            Shape::Single => self.star(1),
+            Shape::Star(arms) => self.star(arms.max(1)),
+            Shape::Path(len) => self.path(len.max(1)),
+            Shape::Snowflake => self.snowflake(),
+        }
+    }
+
+    /// Samples `n` queries from a shape mix.
+    pub fn sample_log(&mut self, n: usize, mix: &ShapeMix) -> Vec<Query> {
+        (0..n)
+            .map(|_| {
+                let shape = mix.pick(&mut self.rng);
+                self.sample(shape)
+            })
+            .collect()
+    }
+
+    fn random_triple(&mut self) -> Triple {
+        let i = self.rng.gen_range(0..self.graph.triple_count());
+        self.graph.triple(i as u32)
+    }
+
+    fn random_incident(&mut self, v: VertexId) -> Option<Triple> {
+        let list = &self.incident[v.index()];
+        if list.is_empty() {
+            return None;
+        }
+        let i = list[self.rng.gen_range(0..list.len())];
+        Some(self.graph.triple(i))
+    }
+
+    /// Grows a star around the subject (or object) of a random triple.
+    ///
+    /// Centers with huge degree (hub class vertices) are rejected: an
+    /// all-variable star on a vertex with 10^5 incident edges has
+    /// `deg^arms` matches, which no real query log contains.
+    fn star(&mut self, arms: usize) -> Query {
+        const MAX_CENTER_DEGREE: usize = 200;
+        let mut center = self.random_triple().s;
+        let mut found = false;
+        for _ in 0..64 {
+            let t = self.random_triple();
+            let cand = if self.incident[t.s.index()].len()
+                >= self.incident[t.o.index()].len()
+            {
+                t.s
+            } else {
+                t.o
+            };
+            let deg = self.incident[cand.index()].len();
+            if deg >= arms.min(3) && deg <= MAX_CENTER_DEGREE {
+                center = cand;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            // Fall back to any subject (subjects are entities, whose
+            // out-degree is bounded in all our generators).
+            center = self.random_triple_selective().s;
+        }
+        let seed = self
+            .random_incident(center)
+            .expect("center has incident edges");
+        let mut b = Builder::new(self);
+        let c = b.vertex_var(center);
+        // Arms must use distinct (property, direction) pairs: repeating an
+        // all-variable arm (e.g. two `?x type ?y` arms with fresh leaf
+        // vars) multiplies the result by the center's degree per repeat,
+        // which real query logs never do.
+        let mut chosen: Vec<Triple> = vec![];
+        let mut keys: Vec<(mpc_rdf::PropertyId, bool)> = vec![];
+        for _ in 0..arms * 6 {
+            if chosen.len() >= arms {
+                break;
+            }
+            if let Some(t) = b.sampler.random_incident(center) {
+                let key = (t.p, t.s == center);
+                if !chosen.contains(&t) && !keys.contains(&key) && b.sampler.allowed(&t) {
+                    keys.push(key);
+                    chosen.push(t);
+                }
+            }
+        }
+        if chosen.is_empty() {
+            chosen.push(seed);
+        }
+        let multi = chosen.len() > 1;
+        for t in chosen {
+            // Hub-property arms in multi-arm stars get constant leaves
+            // (`?x type <Class>` style); a variable leaf there multiplies
+            // the result by the hub's fan-out.
+            let force_const = multi && b.sampler.is_hub(&t);
+            b.add_edge_anchored(t, (center, c), force_const);
+        }
+        b.finish()
+    }
+
+    /// Grows a path by a random walk (avoiding hub properties).
+    fn path(&mut self, len: usize) -> Query {
+        let seed = self.random_triple_selective();
+        let mut b = Builder::new(self);
+        let mut frontier = seed.o;
+        let mut frontier_node = b.vertex_var(seed.o);
+        let start = b.vertex_var(seed.s);
+        b.add_edge_with(seed, start, frontier_node);
+        let mut steps = 1;
+        let mut guard = 0;
+        while steps < len && guard < len * 8 {
+            guard += 1;
+            let Some(t) = b.sampler.random_incident_selective(frontier) else {
+                break;
+            };
+            let next = if t.s == frontier { t.o } else { t.s };
+            let next_node = b.vertex_var(next);
+            let (sn, on) = if t.s == frontier {
+                (frontier_node, next_node)
+            } else {
+                (next_node, frontier_node)
+            };
+            if b.add_edge_with(t, sn, on) {
+                frontier = next;
+                frontier_node = next_node;
+                steps += 1;
+            }
+        }
+        b.finish()
+    }
+
+    /// A 2-path with one extra arm at each endpoint (hub-avoiding).
+    fn snowflake(&mut self) -> Query {
+        let seed = self.random_triple_selective();
+        let mut b = Builder::new(self);
+        let left = b.vertex_var(seed.s);
+        let right = b.vertex_var(seed.o);
+        b.add_edge_with(seed, left, right);
+        for (v, node) in [(seed.s, left), (seed.o, right)] {
+            if let Some(t) = b.sampler.random_incident_selective(v) {
+                b.add_edge(t, Some((v, node)));
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Internal query assembly: tracks the data-vertex → query-node mapping and
+/// randomizes constants/variables consistently.
+struct Builder<'a, 'g> {
+    sampler: &'a mut QuerySampler<'g>,
+    patterns: Vec<TriplePattern>,
+    names: Vec<String>,
+    map: mpc_rdf::FxHashMap<VertexId, QNode>,
+}
+
+impl<'a, 'g> Builder<'a, 'g> {
+    fn new(sampler: &'a mut QuerySampler<'g>) -> Self {
+        Builder {
+            sampler,
+            patterns: Vec::new(),
+            names: Vec::new(),
+            map: Default::default(),
+        }
+    }
+
+    /// Maps a data vertex to a fresh variable (always a variable — used
+    /// for structural positions like centers and path spines).
+    fn vertex_var(&mut self, v: VertexId) -> QNode {
+        if let Some(&n) = self.map.get(&v) {
+            return n;
+        }
+        let node = QNode::Var(self.names.len() as u32);
+        self.names.push(format!("v{}", self.names.len()));
+        self.map.insert(v, node);
+        node
+    }
+
+    /// Maps a data vertex to a node: reuses an existing mapping, otherwise
+    /// flips a coin between a constant and a fresh variable
+    /// (`force_const` skips the coin).
+    fn vertex_node(&mut self, v: VertexId, force_const: bool) -> QNode {
+        if let Some(&n) = self.map.get(&v) {
+            return n;
+        }
+        let node = if force_const || self.sampler.rng.gen_bool(self.sampler.const_leaf_prob) {
+            QNode::Const(v)
+        } else {
+            let n = QNode::Var(self.names.len() as u32);
+            self.names.push(format!("v{}", self.names.len()));
+            n
+        };
+        self.map.insert(v, node);
+        node
+    }
+
+    fn label(&mut self, t: &Triple) -> QLabel {
+        if self.sampler.rng.gen_bool(self.sampler.var_property_prob) {
+            let n = QLabel::Var(self.names.len() as u32);
+            self.names.push(format!("p{}", self.names.len()));
+            n
+        } else {
+            QLabel::Prop(t.p)
+        }
+    }
+
+    /// Adds a pattern for a data triple; `anchor` forces one endpoint's
+    /// node. Returns false if the pattern duplicates an existing one.
+    fn add_edge(&mut self, t: Triple, anchor: Option<(VertexId, QNode)>) -> bool {
+        match anchor {
+            Some(a) => self.add_edge_anchored(t, a, false),
+            None => {
+                let s = self.vertex_node(t.s, false);
+                let o = self.vertex_node(t.o, false);
+                self.push(t, s, o)
+            }
+        }
+    }
+
+    /// Like [`Self::add_edge`] with a mandatory anchor; `force_const`
+    /// makes the non-anchored endpoint a constant.
+    fn add_edge_anchored(
+        &mut self,
+        t: Triple,
+        anchor: (VertexId, QNode),
+        force_const: bool,
+    ) -> bool {
+        let (av, an) = anchor;
+        let s = if av == t.s {
+            an
+        } else {
+            self.vertex_node(t.s, force_const)
+        };
+        let o = if av == t.o {
+            an
+        } else {
+            self.vertex_node(t.o, force_const)
+        };
+        self.push(t, s, o)
+    }
+
+    fn add_edge_with(&mut self, t: Triple, s: QNode, o: QNode) -> bool {
+        self.push(t, s, o)
+    }
+
+    fn push(&mut self, t: Triple, s: QNode, o: QNode) -> bool {
+        let p = self.label(&t);
+        let pat = TriplePattern::new(s, p, o);
+        if self.patterns.contains(&pat) {
+            return false;
+        }
+        self.patterns.push(pat);
+        true
+    }
+
+    fn finish(self) -> Query {
+        debug_assert!(!self.patterns.is_empty());
+        Query::new(self.patterns, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::{generate, RealisticConfig};
+    use mpc_sparql::{evaluate, LocalStore};
+
+    fn graph() -> RdfGraph {
+        generate(&RealisticConfig {
+            name: "t",
+            vertices: 1_000,
+            triples: 5_000,
+            properties: 32,
+            domains: 8,
+            zipf: 1.0,
+            global_fraction: 0.1,
+            type_like: true,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn sampled_queries_have_matches() {
+        let g = graph();
+        let store = LocalStore::from_graph(&g);
+        let mut sampler = QuerySampler::new(&g, 3);
+        for shape in [
+            Shape::Single,
+            Shape::Star(2),
+            Shape::Star(4),
+            Shape::Path(2),
+            Shape::Path(4),
+            Shape::Snowflake,
+        ] {
+            for _ in 0..5 {
+                let q = sampler.sample(shape);
+                assert!(!q.patterns.is_empty());
+                let result = evaluate(&q, &store);
+                assert!(
+                    !result.is_empty(),
+                    "{shape:?} produced an empty-result query: {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stars_are_stars() {
+        let g = graph();
+        let mut sampler = QuerySampler::new(&g, 5);
+        for _ in 0..20 {
+            let q = sampler.sample(Shape::Star(3));
+            assert!(q.is_star(), "not a star: {q:?}");
+        }
+    }
+
+    #[test]
+    fn queries_are_weakly_connected() {
+        let g = graph();
+        let mut sampler = QuerySampler::new(&g, 9);
+        let mix = ShapeMix::watdiv_like();
+        for q in sampler.sample_log(100, &mix) {
+            assert!(q.is_weakly_connected(), "disconnected: {q:?}");
+        }
+    }
+
+    #[test]
+    fn log_sampling_is_deterministic() {
+        let g = graph();
+        let mix = ShapeMix::dbpedia_like();
+        let a: Vec<Query> = QuerySampler::new(&g, 7).sample_log(50, &mix);
+        let b: Vec<Query> = QuerySampler::new(&g, 7).sample_log(50, &mix);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.patterns, y.patterns);
+        }
+    }
+
+    #[test]
+    fn lgd_mix_is_star_heavy() {
+        let g = graph();
+        let mut sampler = QuerySampler::new(&g, 13);
+        let log = sampler.sample_log(300, &ShapeMix::lgd_like());
+        let stars = log.iter().filter(|q| q.is_star()).count();
+        assert!(stars as f64 / 300.0 > 0.85, "stars: {stars}/300");
+    }
+
+    #[test]
+    fn all_declared_vars_are_used() {
+        // evaluate() requires every declared var to appear in a pattern.
+        let g = graph();
+        let mut sampler = QuerySampler::new(&g, 21);
+        for q in sampler.sample_log(200, &ShapeMix::watdiv_like()) {
+            let mut used = vec![false; q.var_count()];
+            for p in &q.patterns {
+                if let QNode::Var(v) = p.s {
+                    used[v as usize] = true;
+                }
+                if let QNode::Var(v) = p.o {
+                    used[v as usize] = true;
+                }
+                if let QLabel::Var(v) = p.p {
+                    used[v as usize] = true;
+                }
+            }
+            assert!(used.iter().all(|&u| u), "unused var in {q:?}");
+        }
+    }
+}

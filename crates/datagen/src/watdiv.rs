@@ -1,0 +1,286 @@
+//! A WatDiv-style synthetic dataset: an e-commerce schema with exactly 86
+//! properties, heterogeneous entities, and the trait the paper highlights
+//! (Section VI-C2): "entities in WatDiv are less homogeneous and most
+//! entities share common properties" — the cross-type hub properties
+//! (`likes`, `purchaseFrom`, `follows`, …) connect users, products and
+//! retailers globally, so MPC's advantage over edge-cut methods is real
+//! but smaller than on the domain-clustered datasets.
+
+use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct properties (matches WatDiv).
+pub const PROPERTY_COUNT: usize = 86;
+
+/// Structural property ids (the remainder up to 86 are per-type
+/// attribute properties, mirroring WatDiv's many literal attributes).
+pub mod prop {
+    /// `rdf:type`.
+    pub const TYPE: u32 = 0;
+    /// User → User.
+    pub const FOLLOWS: u32 = 1;
+    /// User → User.
+    pub const FRIEND_OF: u32 = 2;
+    /// User → Product.
+    pub const LIKES: u32 = 3;
+    /// User → Retailer.
+    pub const PURCHASE_FROM: u32 = 4;
+    /// Retailer → Product.
+    pub const SELLS: u32 = 5;
+    /// Review → Product.
+    pub const REVIEW_FOR: u32 = 6;
+    /// Review → User.
+    pub const REVIEWER: u32 = 7;
+    /// Product → Genre.
+    pub const HAS_GENRE: u32 = 8;
+    /// Product → Producer.
+    pub const PRODUCED_BY: u32 = 9;
+    /// User → City.
+    pub const LOCATED_IN: u32 = 10;
+    /// City → Country.
+    pub const PART_OF: u32 = 11;
+    /// Website → Product (offer).
+    pub const OFFERS: u32 = 12;
+    /// Retailer → Website.
+    pub const HOMEPAGE: u32 = 13;
+    /// First per-type attribute property id.
+    pub const ATTR_BASE: u32 = 14;
+}
+
+/// Entity classes.
+const CLASSES: usize = 10; // User, Product, Retailer, Review, Website, City, Country, Genre, Producer, Purchase
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct WatdivConfig {
+    /// Scale factor: approximate number of users (drives all entity
+    /// counts; ≈25 triples per user).
+    pub scale: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WatdivConfig {
+    fn default() -> Self {
+        WatdivConfig {
+            scale: 4_000,
+            seed: 0x3a7d_1ff0,
+        }
+    }
+}
+
+/// The generated dataset plus entity ranges for query construction.
+#[derive(Clone, Debug)]
+pub struct WatdivDataset {
+    /// The RDF graph.
+    pub graph: RdfGraph,
+    /// `[start, end)` vertex ranges per entity kind.
+    pub users: (u32, u32),
+    /// Product range.
+    pub products: (u32, u32),
+    /// Retailer range.
+    pub retailers: (u32, u32),
+    /// Review range.
+    pub reviews: (u32, u32),
+}
+
+/// Generates a WatDiv-style graph.
+pub fn generate(cfg: &WatdivConfig) -> WatdivDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let users = cfg.scale as u32;
+    let products = (cfg.scale / 2).max(8) as u32;
+    let retailers = (cfg.scale / 50).max(4) as u32;
+    let reviews = cfg.scale as u32;
+    let websites = retailers;
+    let cities = (cfg.scale / 100).max(8) as u32;
+    let countries = 12u32;
+    let genres = 24u32;
+    let producers = (cfg.scale / 40).max(6) as u32;
+
+    // Layout: contiguous ranges.
+    let mut next = 0u32;
+    let mut range = |n: u32| {
+        let r = (next, next + n);
+        next += n;
+        r
+    };
+    let class_r = range(CLASSES as u32);
+    let user_r = range(users);
+    let product_r = range(products);
+    let retailer_r = range(retailers);
+    let review_r = range(reviews);
+    let website_r = range(websites);
+    let city_r = range(cities);
+    let country_r = range(countries);
+    let genre_r = range(genres);
+    let producer_r = range(producers);
+
+    let mut triples: Vec<Triple> = Vec::new();
+    let add = |triples: &mut Vec<Triple>, s: u32, p: u32, o: u32| {
+        triples.push(Triple::new(VertexId(s), PropertyId(p), VertexId(o)));
+    };
+    let pick = |rng: &mut StdRng, r: (u32, u32)| rng.gen_range(r.0..r.1);
+
+    // Attribute property pool: 72 attribute properties (ATTR_BASE..86),
+    // partitioned among entity kinds; attribute objects come from small
+    // per-property value pools (WatDiv literals repeat heavily).
+    let attr_count = PROPERTY_COUNT as u32 - prop::ATTR_BASE;
+    let value_pool_r = range(attr_count * 16);
+    let attr_value = |rng: &mut StdRng, attr: u32| -> u32 {
+        value_pool_r.0 + (attr - prop::ATTR_BASE) * 16 + rng.gen_range(0..16)
+    };
+    // Attributes are spread over the nine *emitted* entity kinds (the
+    // tenth class id is reserved) so every property is populated.
+    const EMITTED_KINDS: u32 = 9;
+    let attrs_of = |kind: u32| -> Vec<u32> {
+        (0..attr_count)
+            .filter(|a| a % EMITTED_KINDS == kind)
+            .map(|a| prop::ATTR_BASE + a)
+            .collect()
+    };
+
+    let emit_entity = |triples: &mut Vec<Triple>,
+                           rng: &mut StdRng,
+                           id: u32,
+                           kind: u32,
+                           attr_probability: f64| {
+        add(triples, id, prop::TYPE, class_r.0 + kind);
+        for a in attrs_of(kind) {
+            if rng.gen_bool(attr_probability) {
+                let v = attr_value(rng, a);
+                add(triples, id, a, v);
+            }
+        }
+    };
+
+    // Users.
+    for u in user_r.0..user_r.1 {
+        emit_entity(&mut triples, &mut rng, u, 0, 0.5);
+        add(&mut triples, u, prop::LOCATED_IN, pick(&mut rng, city_r));
+        for _ in 0..rng.gen_range(0..3) {
+            add(&mut triples, u, prop::FOLLOWS, pick(&mut rng, user_r));
+        }
+        if rng.gen_bool(0.6) {
+            add(&mut triples, u, prop::FRIEND_OF, pick(&mut rng, user_r));
+        }
+        for _ in 0..rng.gen_range(1..4) {
+            add(&mut triples, u, prop::LIKES, pick(&mut rng, product_r));
+        }
+        if rng.gen_bool(0.7) {
+            add(&mut triples, u, prop::PURCHASE_FROM, pick(&mut rng, retailer_r));
+        }
+    }
+    // Products.
+    for p in product_r.0..product_r.1 {
+        emit_entity(&mut triples, &mut rng, p, 1, 0.6);
+        add(&mut triples, p, prop::HAS_GENRE, pick(&mut rng, genre_r));
+        add(&mut triples, p, prop::PRODUCED_BY, pick(&mut rng, producer_r));
+    }
+    // Retailers.
+    for r in retailer_r.0..retailer_r.1 {
+        emit_entity(&mut triples, &mut rng, r, 2, 0.7);
+        add(&mut triples, r, prop::HOMEPAGE, website_r.0 + (r - retailer_r.0));
+        for _ in 0..rng.gen_range(5..20) {
+            add(&mut triples, r, prop::SELLS, pick(&mut rng, product_r));
+        }
+    }
+    // Reviews.
+    for rv in review_r.0..review_r.1 {
+        emit_entity(&mut triples, &mut rng, rv, 3, 0.5);
+        add(&mut triples, rv, prop::REVIEW_FOR, pick(&mut rng, product_r));
+        add(&mut triples, rv, prop::REVIEWER, pick(&mut rng, user_r));
+    }
+    // Websites offer products.
+    for w in website_r.0..website_r.1 {
+        emit_entity(&mut triples, &mut rng, w, 4, 0.4);
+        for _ in 0..rng.gen_range(3..10) {
+            add(&mut triples, w, prop::OFFERS, pick(&mut rng, product_r));
+        }
+    }
+    // Cities and countries.
+    for c in city_r.0..city_r.1 {
+        emit_entity(&mut triples, &mut rng, c, 5, 0.4);
+        add(&mut triples, c, prop::PART_OF, pick(&mut rng, country_r));
+    }
+    for c in country_r.0..country_r.1 {
+        emit_entity(&mut triples, &mut rng, c, 6, 0.4);
+    }
+    for g in genre_r.0..genre_r.1 {
+        emit_entity(&mut triples, &mut rng, g, 7, 0.3);
+    }
+    for p in producer_r.0..producer_r.1 {
+        emit_entity(&mut triples, &mut rng, p, 8, 0.4);
+    }
+
+    let graph = RdfGraph::from_raw(next as usize, PROPERTY_COUNT, triples);
+    WatdivDataset {
+        graph,
+        users: user_r,
+        products: product_r,
+        retailers: retailer_r,
+        reviews: review_r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_count_is_86() {
+        let d = generate(&WatdivConfig {
+            scale: 500,
+            seed: 1,
+        });
+        assert_eq!(d.graph.property_count(), 86);
+        // The heavily used structural properties are populated.
+        for p in [
+            prop::TYPE,
+            prop::FOLLOWS,
+            prop::LIKES,
+            prop::SELLS,
+            prop::REVIEW_FOR,
+            prop::REVIEWER,
+        ] {
+            assert!(d.graph.property_frequency(PropertyId(p)) > 0);
+        }
+    }
+
+    #[test]
+    fn most_properties_populated() {
+        let d = generate(&WatdivConfig {
+            scale: 2_000,
+            seed: 2,
+        });
+        let populated = d
+            .graph
+            .property_ids()
+            .filter(|&p| d.graph.property_frequency(p) > 0)
+            .count();
+        assert!(populated >= 80, "only {populated}/86 populated");
+    }
+
+    #[test]
+    fn triples_scale_with_users() {
+        let small = generate(&WatdivConfig { scale: 500, seed: 3 });
+        let large = generate(&WatdivConfig { scale: 2_000, seed: 3 });
+        assert!(large.graph.triple_count() > 3 * small.graph.triple_count());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WatdivConfig { scale: 300, seed: 9 };
+        assert_eq!(generate(&cfg).graph.triples(), generate(&cfg).graph.triples());
+    }
+
+    #[test]
+    fn hub_properties_span_entity_ranges() {
+        let d = generate(&WatdivConfig { scale: 1_000, seed: 4 });
+        // likes: users → products, crossing the range boundary by design.
+        for t in d.graph.property_triples(PropertyId(prop::LIKES)).take(50) {
+            assert!(t.s.0 >= d.users.0 && t.s.0 < d.users.1);
+            assert!(t.o.0 >= d.products.0 && t.o.0 < d.products.1);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Disjoint-set forests for tracking weakly connected components.
+//!
+//! Section IV-D of the MPC paper proposes the disjoint-set forest as the
+//! data structure behind the greedy internal-property selection: the cost of
+//! a candidate set `L'` is the size of the largest WCC of the induced
+//! subgraph `G[L']` (Definition 4.2), and WCCs can be maintained
+//! incrementally under edge insertion with near-constant amortized UNION /
+//! FIND.
+//!
+//! Beyond the textbook structure (union by rank + path compression + subtree
+//! sizes, exactly the three per-node fields the paper lists), this crate adds
+//! the operation the greedy loop actually needs: a **non-destructive trial
+//! merge** ([`DisjointSetForest::trial_merge_cost`]) that answers
+//! "what would `Cost(L_in ∪ {p})` be?" in `O(|E_p| α(|V|))` without cloning
+//! the forest, by running a tiny hashmap-overlay DSU over the roots touched
+//! by `p`'s edges. Committing the winner ([`DisjointSetForest::merge_from`])
+//! merges `DS({p})` into `DS(L_in)` exactly as the paper describes.
+
+use mpc_rdf::FxHashMap;
+
+/// A disjoint-set forest over vertices `0..len`.
+///
+/// Each node carries the `parent` / `rank` / `size` triple of Section IV-D.
+/// `size` is only meaningful at roots (it is the number of vertices in the
+/// rooted tree, i.e. the WCC size).
+///
+/// # Examples
+///
+/// ```
+/// use mpc_dsu::DisjointSetForest;
+///
+/// let mut dsu = DisjointSetForest::from_edges(5, [(0, 1), (1, 2)]);
+/// assert_eq!(dsu.max_component_size(), 3);
+/// // What would admitting edges (2,3) and (3,4) cost? (Definition 4.2)
+/// assert_eq!(dsu.trial_merge_cost([(2, 3), (3, 4)]), 5);
+/// // The trial did not modify the forest.
+/// assert_eq!(dsu.component_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DisjointSetForest {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    size: Vec<u32>,
+    max_component: u32,
+    component_count: usize,
+}
+
+impl DisjointSetForest {
+    /// Creates a forest of `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "forest too large for u32 ids");
+        DisjointSetForest {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            size: vec![1; n],
+            max_component: if n == 0 { 0 } else { 1 },
+            component_count: n,
+        }
+    }
+
+    /// Builds `DS({p})`-style forest directly from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut dsu = Self::new(n);
+        for (u, v) in edges {
+            dsu.union(u, v);
+        }
+        dsu
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// FIND with full path compression: every node on the walk is pointed
+    /// directly at the root (the variant the paper describes).
+    pub fn find(&mut self, u: u32) -> u32 {
+        debug_assert!((u as usize) < self.parent.len());
+        // Iterative two-pass: find the root, then compress.
+        let mut root = u;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = u;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// FIND without mutation (no compression). Used when the forest is
+    /// shared read-only, e.g. while probing another forest during a merge.
+    pub fn find_no_compress(&self, u: u32) -> u32 {
+        let mut root = u;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root
+    }
+
+    /// UNION by rank. Returns `true` if two distinct components were merged.
+    pub fn union(&mut self, u: u32, v: u32) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.size[hi as usize] += self.size[lo as usize];
+        self.max_component = self.max_component.max(self.size[hi as usize]);
+        self.component_count -= 1;
+        true
+    }
+
+    /// True if `u` and `v` are in the same component.
+    pub fn same_set(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Size of the component containing `u`.
+    pub fn component_size(&mut self, u: u32) -> u32 {
+        let r = self.find(u);
+        self.size[r as usize]
+    }
+
+    /// Size of the largest component — `Cost(L')` of Definition 4.2 when the
+    /// forest tracks `WCC(G[L'])`.
+    pub fn max_component_size(&self) -> u32 {
+        self.max_component
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.component_count
+    }
+
+    /// The sizes of all components, unordered.
+    pub fn component_sizes(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32)
+            .filter(|&u| self.parent[u as usize] == u)
+            .map(|r| self.size[r as usize])
+            .collect()
+    }
+
+    /// Relabels components densely: returns `(component_of, count)` where
+    /// `component_of[v] ∈ 0..count`. This is the coarsening map of Section
+    /// IV-B (each WCC of `G[L_in]` becomes one supervertex).
+    pub fn dense_components(&mut self) -> (Vec<u32>, usize) {
+        let n = self.parent.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut out = vec![0u32; n];
+        for v in 0..n as u32 {
+            let r = self.find(v);
+            if label[r as usize] == u32::MAX {
+                label[r as usize] = next;
+                next += 1;
+            }
+            out[v as usize] = label[r as usize];
+        }
+        (out, next as usize)
+    }
+
+    /// The cost (Definition 4.2) of additionally unioning `edges` — i.e.
+    /// `Cost(L_in ∪ {p})` when `self` is `DS(L_in)` and `edges` are the
+    /// edges of property `p` — **without modifying the component structure**
+    /// beyond path compression.
+    ///
+    /// Only the components actually touched by `edges` can grow, so the
+    /// answer is the max of the current largest component and the largest
+    /// merged group, computed with a hashmap-overlay DSU keyed by the roots
+    /// of `self`.
+    pub fn trial_merge_cost(&mut self, edges: impl IntoIterator<Item = (u32, u32)>) -> u32 {
+        let mut overlay = OverlayDsu::default();
+        let mut max = self.max_component;
+        for (u, v) in edges {
+            let ru = self.find(u);
+            let rv = self.find(v);
+            if ru == rv {
+                continue;
+            }
+            let merged = overlay.union(ru, rv, &self.size);
+            max = max.max(merged);
+        }
+        max
+    }
+
+    /// Commits a property: unions every edge. Equivalent to the paper's
+    /// `DS(L_in ∪ {p}) = merge(DS(L_in), DS({p}))` but driven by the edge
+    /// list (the source `DS({p})` is implicit in its edges).
+    pub fn merge_edges(&mut self, edges: impl IntoIterator<Item = (u32, u32)>) {
+        for (u, v) in edges {
+            self.union(u, v);
+        }
+    }
+
+    /// Merges another forest into this one, following Section IV-D
+    /// verbatim: for each vertex `u` of `other`, FIND its root `uRoot` in
+    /// `other` and UNION `u` with `uRoot` here.
+    pub fn merge_from(&mut self, other: &DisjointSetForest) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "forests must cover the same vertex set"
+        );
+        for u in 0..other.len() as u32 {
+            let root = other.find_no_compress(u);
+            if root != u {
+                self.union(u, root);
+            }
+        }
+    }
+}
+
+/// Hashmap-backed DSU over the roots of a base forest, used for trial
+/// merges. Sizes are seeded lazily from the base forest's root sizes.
+#[derive(Default)]
+struct OverlayDsu {
+    parent: FxHashMap<u32, u32>,
+    size: FxHashMap<u32, u32>,
+}
+
+impl OverlayDsu {
+    fn find(&mut self, u: u32) -> u32 {
+        let mut root = u;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Compress.
+        let mut cur = u;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == root {
+                break;
+            }
+            self.parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+
+    /// Unions two base-forest roots; returns the size of the merged group.
+    fn union(&mut self, a: u32, b: u32, base_sizes: &[u32]) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        let size_of = |me: &Self, r: u32| *me.size.get(&r).unwrap_or(&base_sizes[r as usize]);
+        if ra == rb {
+            return size_of(self, ra);
+        }
+        let total = size_of(self, ra) + size_of(self, rb);
+        self.parent.insert(rb, ra);
+        self.parent.entry(ra).or_insert(ra);
+        self.size.insert(ra, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = DisjointSetForest::new(4);
+        assert_eq!(d.component_count(), 4);
+        assert_eq!(d.max_component_size(), 1);
+        assert_eq!(d.component_size(2), 1);
+        assert!(!d.same_set(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut d = DisjointSetForest::new(5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2)); // already together
+        assert_eq!(d.component_count(), 3);
+        assert_eq!(d.max_component_size(), 3);
+        assert_eq!(d.component_size(0), 3);
+        assert_eq!(d.component_size(3), 1);
+        assert!(d.same_set(0, 2));
+        assert!(!d.same_set(0, 3));
+    }
+
+    #[test]
+    fn from_edges() {
+        let mut d = DisjointSetForest::from_edges(6, [(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(d.component_count(), 3);
+        assert_eq!(d.max_component_size(), 3);
+        assert!(d.same_set(2, 4));
+    }
+
+    #[test]
+    fn component_sizes_sum_to_n() {
+        let d = DisjointSetForest::from_edges(10, [(0, 1), (1, 2), (5, 6)]);
+        let sizes = d.component_sizes();
+        assert_eq!(sizes.iter().sum::<u32>(), 10);
+        assert_eq!(sizes.len(), d.component_count());
+        assert_eq!(*sizes.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn dense_components_are_dense_and_consistent() {
+        let mut d = DisjointSetForest::from_edges(6, [(0, 3), (1, 4)]);
+        let (labels, count) = d.dense_components();
+        assert_eq!(count, 4);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert!(labels.iter().all(|&l| (l as usize) < count));
+    }
+
+    #[test]
+    fn trial_merge_cost_matches_commit() {
+        let mut d = DisjointSetForest::from_edges(8, [(0, 1), (2, 3)]);
+        let edges = [(1u32, 2u32), (4, 5)];
+        let predicted = d.trial_merge_cost(edges);
+        assert_eq!(predicted, 4); // {0,1}+{2,3}
+        // The forest is unchanged by the trial.
+        assert_eq!(d.component_count(), 6);
+        assert_eq!(d.max_component_size(), 2);
+        d.merge_edges(edges);
+        assert_eq!(d.max_component_size(), predicted);
+    }
+
+    #[test]
+    fn trial_merge_with_internal_edges_is_noop() {
+        let mut d = DisjointSetForest::from_edges(4, [(0, 1)]);
+        // Edge within an existing component: cost unchanged.
+        assert_eq!(d.trial_merge_cost([(0u32, 1u32)]), 2);
+    }
+
+    #[test]
+    fn trial_merge_chains_overlay_groups() {
+        // Three singleton comps merged transitively through the overlay.
+        let mut d = DisjointSetForest::new(3);
+        assert_eq!(d.trial_merge_cost([(0u32, 1u32), (1, 2)]), 3);
+    }
+
+    #[test]
+    fn merge_from_paper_variant() {
+        let mut lin = DisjointSetForest::from_edges(6, [(0, 1)]);
+        let p = DisjointSetForest::from_edges(6, [(1, 2), (4, 5)]);
+        lin.merge_from(&p);
+        assert!(lin.same_set(0, 2));
+        assert!(lin.same_set(4, 5));
+        assert!(!lin.same_set(0, 4));
+        assert_eq!(lin.max_component_size(), 3);
+        assert_eq!(lin.component_count(), 3); // {0,1,2} {3} {4,5}
+    }
+
+    #[test]
+    fn find_no_compress_agrees_with_find() {
+        let mut d = DisjointSetForest::from_edges(10, [(0, 1), (1, 2), (2, 3), (7, 8)]);
+        for v in 0..10 {
+            let frozen = d.find_no_compress(v);
+            assert_eq!(d.find(v), frozen);
+        }
+    }
+
+    #[test]
+    fn empty_forest() {
+        let d = DisjointSetForest::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.max_component_size(), 0);
+        assert_eq!(d.component_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_union_is_noop() {
+        let mut d = DisjointSetForest::new(3);
+        assert!(!d.union(1, 1));
+        assert_eq!(d.component_count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force component computation for cross-checking.
+    fn brute_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut label: Vec<u32> = (0..n as u32).collect();
+        // Iterate to fixpoint: propagate min label along edges.
+        loop {
+            let mut changed = false;
+            for &(u, v) in edges {
+                let (lu, lv) = (label[u as usize], label[v as usize]);
+                let m = lu.min(lv);
+                if lu != m {
+                    label[u as usize] = m;
+                    changed = true;
+                }
+                if lv != m {
+                    label[v as usize] = m;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        label
+    }
+
+    fn edges_strategy(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges)
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(edges in edges_strategy(24, 60)) {
+            let n = 24usize;
+            let mut d = DisjointSetForest::from_edges(n, edges.iter().copied());
+            let brute = brute_components(n, &edges);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    let same_brute = brute[u as usize] == brute[v as usize];
+                    prop_assert_eq!(d.same_set(u, v), same_brute);
+                }
+            }
+        }
+
+        #[test]
+        fn sizes_and_counts_consistent(edges in edges_strategy(32, 80)) {
+            let n = 32usize;
+            let mut d = DisjointSetForest::from_edges(n, edges.iter().copied());
+            let sizes = d.component_sizes();
+            prop_assert_eq!(sizes.iter().sum::<u32>() as usize, n);
+            prop_assert_eq!(sizes.len(), d.component_count());
+            prop_assert_eq!(*sizes.iter().max().unwrap(), d.max_component_size());
+            for u in 0..n as u32 {
+                let r = d.find(u);
+                prop_assert_eq!(d.find(r), r); // roots are fixpoints
+            }
+        }
+
+        #[test]
+        fn trial_merge_equals_commit(
+            base in edges_strategy(20, 30),
+            extra in edges_strategy(20, 20),
+        ) {
+            let n = 20usize;
+            let mut d = DisjointSetForest::from_edges(n, base.iter().copied());
+            let before_count = d.component_count();
+            let before_max = d.max_component_size();
+            let predicted = d.trial_merge_cost(extra.iter().copied());
+            // Trial must not alter structure.
+            prop_assert_eq!(d.component_count(), before_count);
+            prop_assert_eq!(d.max_component_size(), before_max);
+            d.merge_edges(extra.iter().copied());
+            prop_assert_eq!(predicted, d.max_component_size());
+        }
+
+        #[test]
+        fn merge_from_equals_merge_edges(
+            base in edges_strategy(16, 20),
+            extra in edges_strategy(16, 20),
+        ) {
+            let n = 16usize;
+            let mut a = DisjointSetForest::from_edges(n, base.iter().copied());
+            let mut b = a.clone();
+            let other = DisjointSetForest::from_edges(n, extra.iter().copied());
+            a.merge_from(&other);
+            b.merge_edges(extra.iter().copied());
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    prop_assert_eq!(a.same_set(u, v), b.same_set(u, v));
+                }
+            }
+            prop_assert_eq!(a.max_component_size(), b.max_component_size());
+        }
+
+        #[test]
+        fn dense_components_partition(edges in edges_strategy(24, 40)) {
+            let mut d = DisjointSetForest::from_edges(24, edges.iter().copied());
+            let (labels, count) = d.dense_components();
+            prop_assert_eq!(count, d.component_count());
+            for u in 0..24u32 {
+                for v in 0..24u32 {
+                    prop_assert_eq!(
+                        labels[u as usize] == labels[v as usize],
+                        d.same_set(u, v)
+                    );
+                }
+            }
+        }
+    }
+}

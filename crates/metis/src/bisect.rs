@@ -1,0 +1,185 @@
+//! Initial bisection by greedy graph growing (GGGP).
+//!
+//! A region is grown from a random seed, always absorbing the frontier
+//! vertex whose move decreases the prospective cut the most, until the
+//! region reaches its target weight. Several random trials are run and the
+//! best (lowest-cut, then best-balanced) bisection is kept. The result is
+//! rough; FM refinement (see [`crate::refine`]) repairs it at every
+//! uncoarsening level.
+
+use crate::wgraph::WeightedGraph;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Grows one bisection; returns side (0/1) per vertex.
+fn grow_once(g: &WeightedGraph, target_left: u64, rng: &mut impl Rng) -> Vec<u8> {
+    let n = g.vertex_count();
+    let mut side = vec![1u8; n];
+    if n == 0 {
+        return side;
+    }
+    let mut left_weight = 0u64;
+    // Max-heap of (gain, vertex) with lazy invalidation. Gain of adding v to
+    // the left region = (weight to left) - (weight to right).
+    let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+    let mut gain: Vec<i64> = (0..n)
+        .map(|u| {
+            -(g.neighbors(u as u32).map(|(_, w)| w as i64).sum::<i64>())
+        })
+        .collect();
+    let mut in_heap = vec![false; n];
+
+    while left_weight < target_left {
+        // Need a (new) seed if the heap is exhausted.
+        let next = loop {
+            match heap.pop() {
+                Some((gcand, v)) => {
+                    if side[v as usize] == 0 {
+                        continue; // stale: already absorbed
+                    }
+                    if gcand != gain[v as usize] {
+                        continue; // stale gain; freshest entry is elsewhere
+                    }
+                    break v;
+                }
+                None => {
+                    // Pick a random unabsorbed vertex as a fresh seed
+                    // (handles disconnected graphs).
+                    let mut v = rng.gen_range(0..n as u32);
+                    let mut guard = 0;
+                    while side[v as usize] == 0 {
+                        v = (v + 1) % n as u32;
+                        guard += 1;
+                        debug_assert!(guard <= n, "all vertices absorbed");
+                    }
+                    break v;
+                }
+            }
+        };
+        side[next as usize] = 0;
+        left_weight += g.vwgt[next as usize];
+        // Update neighbor gains: next moved to the left, so every right
+        // neighbor's gain rises by 2w (w now counts toward left, not right).
+        for (v, w) in g.neighbors(next) {
+            if side[v as usize] == 1 {
+                gain[v as usize] += 2 * w as i64;
+                heap.push((gain[v as usize], v));
+                in_heap[v as usize] = true;
+            }
+        }
+    }
+    side
+}
+
+/// Runs `trials` greedy growings and returns the bisection with the lowest
+/// cut (ties broken by balance).
+pub fn bisect(
+    g: &WeightedGraph,
+    target_left: u64,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let mut best: Option<(u64, u64, Vec<u8>)> = None;
+    for _ in 0..trials.max(1) {
+        let side = grow_once(g, target_left, rng);
+        let cut = side_cut(g, &side);
+        let left: u64 = (0..g.vertex_count())
+            .filter(|&v| side[v] == 0)
+            .map(|v| g.vwgt[v])
+            .sum();
+        let imbalance = left.abs_diff(target_left);
+        let better = match &best {
+            None => true,
+            Some((bc, bi, _)) => (cut, imbalance) < (*bc, *bi),
+        };
+        if better {
+            best = Some((cut, imbalance, side));
+        }
+    }
+    best.expect("trials >= 1").2
+}
+
+/// Cut weight of a bisection.
+pub fn side_cut(g: &WeightedGraph, side: &[u8]) -> u64 {
+    let mut cut = 0u64;
+    for u in 0..g.vertex_count() {
+        for (v, w) in g.neighbors(u as u32) {
+            if side[u] != side[v as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// Weights of the two sides.
+pub fn side_weights(g: &WeightedGraph, side: &[u8]) -> [u64; 2] {
+    let mut w = [0u64; 2];
+    for v in 0..g.vertex_count() {
+        w[side[v] as usize] += g.vwgt[v];
+    }
+    w
+}
+
+/// Keeps the priority queue type local; exported for reuse in refinement.
+pub(crate) type _MinHeapUnused = Reverse<u32>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> WeightedGraph {
+        // Two 4-cliques joined by a single light edge: the obvious bisection
+        // cuts only that bridge.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b, 10));
+                edges.push((a + 4, b + 4, 10));
+            }
+        }
+        edges.push((0, 4, 1));
+        WeightedGraph::from_edge_list(8, &edges, vec![1; 8])
+    }
+
+    #[test]
+    fn finds_the_bridge_cut() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(42);
+        let side = bisect(&g, 4, 8, &mut rng);
+        assert_eq!(side_cut(&g, &side), 1);
+        assert_eq!(side_weights(&g, &side), [4, 4]);
+    }
+
+    #[test]
+    fn reaches_target_weight() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(1);
+        let side = grow_once(&g, 3, &mut rng);
+        let w = side_weights(&g, &side);
+        assert!(w[0] >= 3);
+        assert!(w[0] <= 4); // grows by unit-weight vertices
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two components with no edges between them at all.
+        let g = WeightedGraph::from_edge_list(6, &[(0, 1, 1), (3, 4, 1)], vec![1; 6]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let side = bisect(&g, 3, 4, &mut rng);
+        let w = side_weights(&g, &side);
+        assert_eq!(w[0] + w[1], 6);
+        assert!(w[0] >= 3);
+    }
+
+    #[test]
+    fn zero_target_leaves_everything_right() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(9);
+        let side = grow_once(&g, 0, &mut rng);
+        assert!(side.iter().all(|&s| s == 1));
+    }
+}

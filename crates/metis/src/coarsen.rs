@@ -1,0 +1,217 @@
+//! Coarsening by heavy-edge matching (HEM).
+//!
+//! Each level computes a matching that prefers heavy edges (they can never
+//! be cut once collapsed), merges matched pairs into supervertices, and
+//! aggregates adjacency. Levels repeat until the graph is small enough for
+//! initial partitioning or the matching stops making progress.
+
+use crate::wgraph::WeightedGraph;
+use mpc_rdf::FxHashMap;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One coarsening level: the coarser graph plus the projection map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: WeightedGraph,
+    /// For each fine vertex, its coarse vertex.
+    pub map: Vec<u32>,
+}
+
+/// Computes a heavy-edge matching and collapses it into a coarser graph.
+///
+/// Vertices are visited in random order; an unmatched vertex matches its
+/// unmatched neighbor with the heaviest connecting edge (ties broken by
+/// first encounter). Unmatched vertices are copied through.
+pub fn coarsen_once(g: &WeightedGraph, rng: &mut impl Rng) -> CoarseLevel {
+    let n = g.vertex_count();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &u in &order {
+        if mate[u as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
+        for (v, w) in g.neighbors(u) {
+            if v != u && mate[v as usize] == UNMATCHED
+                && best.is_none_or(|(_, bw)| w > bw) {
+                    best = Some((v, w));
+                }
+        }
+        match best {
+            Some((v, _)) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // matched with itself
+        }
+    }
+
+    // Assign coarse ids: the smaller endpoint of each matched pair owns the
+    // coarse vertex.
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for u in 0..n as u32 {
+        if map[u as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[u as usize];
+        map[u as usize] = next;
+        if m != u && m != UNMATCHED {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+
+    // Aggregate vertex weights and adjacency.
+    let mut vwgt = vec![0u64; coarse_n];
+    for u in 0..n {
+        vwgt[map[u] as usize] += g.vwgt[u];
+    }
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); coarse_n];
+    // Use a scratch map to merge parallel coarse edges per coarse vertex.
+    let mut scratch: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); coarse_n];
+    for u in 0..n as u32 {
+        members[map[u as usize] as usize].push(u);
+    }
+    for (cu, mem) in members.iter().enumerate() {
+        scratch.clear();
+        for &u in mem {
+            for (v, w) in g.neighbors(u) {
+                let cv = map[v as usize];
+                if cv as usize != cu {
+                    *scratch.entry(cv).or_insert(0) += w;
+                }
+            }
+        }
+        let mut list: Vec<(u32, u32)> = scratch.iter().map(|(&v, &w)| (v, w)).collect();
+        list.sort_unstable_by_key(|&(v, _)| v);
+        adj[cu] = list;
+    }
+
+    CoarseLevel {
+        graph: WeightedGraph::from_adjacency(adj, vwgt),
+        map,
+    }
+}
+
+/// Coarsens until `target_size` vertices remain or shrinkage stalls.
+///
+/// Returns the levels from finest to coarsest; `levels[i].map` projects
+/// level `i`'s *input* vertices onto level `i`'s coarse graph.
+pub fn coarsen_to(
+    g: &WeightedGraph,
+    target_size: usize,
+    rng: &mut impl Rng,
+) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    while current.vertex_count() > target_size {
+        let level = coarsen_once(&current, rng);
+        let shrank = level.graph.vertex_count() < (current.vertex_count() * 95) / 100;
+        let next = level.graph.clone();
+        levels.push(level);
+        if !shrank {
+            break; // matching stalled (e.g. star graphs) — stop here
+        }
+        current = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> WeightedGraph {
+        let edges: Vec<(u32, u32, u32)> = (0..n)
+            .map(|i| (i as u32, ((i + 1) % n) as u32, 1))
+            .collect();
+        WeightedGraph::from_edge_list(n, &edges, vec![1; n])
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight() {
+        let g = ring(64);
+        let mut rng = StdRng::seed_from_u64(1);
+        let level = coarsen_once(&g, &mut rng);
+        assert_eq!(level.graph.total_weight(), g.total_weight());
+        assert!(level.graph.vertex_count() < g.vertex_count());
+        assert!(level.graph.vertex_count() >= g.vertex_count() / 2);
+    }
+
+    #[test]
+    fn map_is_onto_coarse_ids() {
+        let g = ring(32);
+        let mut rng = StdRng::seed_from_u64(7);
+        let level = coarsen_once(&g, &mut rng);
+        let coarse_n = level.graph.vertex_count();
+        let mut seen = vec![false; coarse_n];
+        for &c in &level.map {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn matched_pairs_are_adjacent() {
+        let g = ring(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let level = coarsen_once(&g, &mut rng);
+        // Group fine vertices by coarse id; any group of 2 must be an edge.
+        let mut groups: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for (u, &c) in level.map.iter().enumerate() {
+            groups.entry(c).or_default().push(u as u32);
+        }
+        for (_, mem) in groups {
+            assert!(mem.len() <= 2);
+            if mem.len() == 2 {
+                assert!(g.neighbors(mem[0]).any(|(v, _)| v == mem[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_edges_preferred() {
+        // Triangle where edge (0,1) has weight 100: it must be matched.
+        let g = WeightedGraph::from_edge_list(
+            3,
+            &[(0, 1, 100), (1, 2, 1), (0, 2, 1)],
+            vec![1, 1, 1],
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let level = coarsen_once(&g, &mut rng);
+        assert_eq!(level.map[0], level.map[1]);
+        assert_ne!(level.map[0], level.map[2]);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = ring(256);
+        let mut rng = StdRng::seed_from_u64(11);
+        let levels = coarsen_to(&g, 16, &mut rng);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        // Either at/below target or stalled; rings never stall badly.
+        assert!(last.vertex_count() <= 32);
+        assert_eq!(last.total_weight(), 256);
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully() {
+        let g = WeightedGraph::from_edge_list(10, &[], vec![1; 10]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let levels = coarsen_to(&g, 4, &mut rng);
+        // No matching possible: exactly one stalled level.
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].graph.vertex_count(), 10);
+    }
+}

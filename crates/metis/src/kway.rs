@@ -1,0 +1,413 @@
+//! k-way partitioning by recursive multilevel bisection.
+
+use crate::bisect::bisect;
+use crate::coarsen::coarsen_to;
+use crate::refine::fm_refine;
+use crate::wgraph::WeightedGraph;
+use mpc_rdf::RdfGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs of the multilevel partitioner.
+#[derive(Clone, Debug)]
+pub struct MetisConfig {
+    /// Maximum imbalance ratio ε: each part may weigh up to
+    /// `(1 + ε) · total / k`.
+    pub epsilon: f64,
+    /// RNG seed (the partitioner is fully deterministic given the seed).
+    pub seed: u64,
+    /// Stop coarsening when this many vertices remain.
+    pub coarsen_to: usize,
+    /// Number of greedy-graph-growing trials for the initial bisection.
+    pub init_trials: usize,
+    /// FM passes per uncoarsening level.
+    pub fm_passes: usize,
+    /// Direct k-way refinement passes after recursive bisection (greedy
+    /// positive-gain moves across all part pairs — repairs the cuts that
+    /// recursive bisection cannot see because it fixes half the parts per
+    /// level).
+    pub kway_passes: usize,
+}
+
+impl Default for MetisConfig {
+    fn default() -> Self {
+        MetisConfig {
+            epsilon: 0.1,
+            seed: 0x6d65_7469, // "meti"
+            coarsen_to: 200,
+            init_trials: 4,
+            fm_passes: 2,
+            kway_passes: 2,
+        }
+    }
+}
+
+/// Partitions `g` into `k` parts, minimizing edge-cut under the balance
+/// constraint. Returns the part id (`0..k`) of every vertex.
+pub fn partition(g: &WeightedGraph, k: usize, cfg: &MetisConfig) -> Vec<u32> {
+    assert!(k >= 1, "k must be positive");
+    let mut part = vec![0u32; g.vertex_count()];
+    if k == 1 || g.vertex_count() == 0 {
+        return part;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vertices: Vec<u32> = (0..g.vertex_count() as u32).collect();
+    // Recursive bisection compounds per-level slack multiplicatively, so
+    // distribute the global ε across the ⌈log2 k⌉ levels: each level gets
+    // (1+ε)^(1/levels) - 1 and the final parts respect (1+ε)·total/k.
+    let levels = (k as f64).log2().ceil().max(1.0);
+    let level_cfg = MetisConfig {
+        epsilon: (1.0 + cfg.epsilon).powf(1.0 / levels) - 1.0,
+        ..cfg.clone()
+    };
+    recurse(g, &vertices, k, 0, &level_cfg, &mut rng, &mut part);
+    rebalance(g, &mut part, k, cfg.epsilon);
+    kway_refine(g, &mut part, k, cfg.epsilon, cfg.kway_passes);
+    part
+}
+
+/// Greedy direct k-way refinement: every pass scans boundary vertices and
+/// moves each to the adjacent part with the largest positive cut gain,
+/// provided balance allows it. Strictly monotone in the cut, so it always
+/// terminates; it repairs inter-pair cuts that recursive bisection never
+/// reconsiders.
+fn kway_refine(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64, passes: usize) {
+    if k < 2 {
+        return;
+    }
+    let total = g.total_weight();
+    let cap = (((1.0 + epsilon) * total as f64) / k as f64).ceil() as u64;
+    let mut weights = vec![0u64; k];
+    for v in 0..g.vertex_count() {
+        weights[part[v] as usize] += g.vwgt[v];
+    }
+    let mut conn = vec![0i64; k];
+    for _ in 0..passes {
+        let mut moved = false;
+        for v in 0..g.vertex_count() as u32 {
+            let from = part[v as usize] as usize;
+            // Connectivity of v to each part.
+            let mut touched: Vec<usize> = Vec::new();
+            for (u, w) in g.neighbors(v) {
+                let p = part[u as usize] as usize;
+                if conn[p] == 0 {
+                    touched.push(p);
+                }
+                conn[p] += w as i64;
+            }
+            // Best positive-gain admissible move.
+            let mut best: Option<(i64, usize)> = None;
+            for &p in &touched {
+                if p == from {
+                    continue;
+                }
+                let gain = conn[p] - conn[from];
+                if gain > 0
+                    && weights[p] + g.vwgt[v as usize] <= cap
+                    && best.is_none_or(|(bg, _)| gain > bg)
+                {
+                    best = Some((gain, p));
+                }
+            }
+            for &p in &touched {
+                conn[p] = 0;
+            }
+            if let Some((_, to)) = best {
+                weights[from] -= g.vwgt[v as usize];
+                weights[to] += g.vwgt[v as usize];
+                part[v as usize] = to as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Greedy balance repair: while some part exceeds `(1+ε)·total/k`, move the
+/// cheapest-to-cut vertex from the most overweight part to the lightest
+/// part. Needed when vertex weights are lumpy (MPC's coarsened supervertex
+/// graphs): recursive bisection can strand a heavy supervertex in an
+/// already-full part, and FM alone will not migrate it across parts that
+/// were split at different recursion levels.
+fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64) {
+    let total = g.total_weight();
+    if total == 0 {
+        return;
+    }
+    let cap = (((1.0 + epsilon) * total as f64) / k as f64).ceil() as u64;
+    let mut weights = vec![0u64; k];
+    for v in 0..g.vertex_count() {
+        weights[part[v] as usize] += g.vwgt[v];
+    }
+    let max_moves = g.vertex_count().max(16);
+    for _ in 0..max_moves {
+        let over = match (0..k).filter(|&p| weights[p] > cap).max_by_key(|&p| weights[p]) {
+            Some(p) => p,
+            None => return,
+        };
+        let light = (0..k).min_by_key(|&p| weights[p]).expect("k >= 1");
+        if light == over {
+            return;
+        }
+        // Best candidate: highest (gain toward light) per unit weight among
+        // vertices whose move does not overshoot the light part's cap; fall
+        // back to the smallest vertex if none qualifies.
+        let mut best: Option<(i64, u32)> = None; // (score, vertex)
+        let mut smallest: Option<(u64, u32)> = None;
+        for v in 0..g.vertex_count() as u32 {
+            if part[v as usize] != over as u32 || g.vwgt[v as usize] == 0 {
+                continue;
+            }
+            let vw = g.vwgt[v as usize];
+            if let Some((sw, _)) = smallest {
+                if vw < sw {
+                    smallest = Some((vw, v));
+                }
+            } else {
+                smallest = Some((vw, v));
+            }
+            if weights[light] + vw > cap {
+                continue;
+            }
+            let mut gain = 0i64;
+            for (u, w) in g.neighbors(v) {
+                if part[u as usize] == light as u32 {
+                    gain += w as i64;
+                } else if part[u as usize] == over as u32 {
+                    gain -= w as i64;
+                }
+            }
+            if best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, v));
+            }
+        }
+        let v = match best.map(|(_, v)| v).or(smallest.map(|(_, v)| v)) {
+            Some(v) => v,
+            None => return, // overweight part has no movable vertex
+        };
+        weights[over] -= g.vwgt[v as usize];
+        weights[light] += g.vwgt[v as usize];
+        part[v as usize] = light as u32;
+    }
+}
+
+/// Partitions an RDF graph's undirected unit-weight view (the paper's METIS
+/// baseline): the returned vector assigns every RDF vertex to a part.
+pub fn partition_rdf(g: &RdfGraph, k: usize, cfg: &MetisConfig) -> Vec<u32> {
+    partition(&WeightedGraph::from_rdf(g), k, cfg)
+}
+
+/// Recursively bisects the subgraph induced by `vertices` into `k` parts,
+/// writing `base..base+k` part ids into `out`.
+fn recurse(
+    g: &WeightedGraph,
+    vertices: &[u32],
+    k: usize,
+    base: u32,
+    cfg: &MetisConfig,
+    rng: &mut StdRng,
+    out: &mut [u32],
+) {
+    if k == 1 {
+        for &v in vertices {
+            out[v as usize] = base;
+        }
+        return;
+    }
+    let kl = k / 2 + k % 2; // left gets the larger half for odd k
+    let kr = k - kl;
+    let (sub, _to_local) = induce(g, vertices);
+    let total = sub.total_weight();
+    let target_left = total * kl as u64 / k as u64;
+
+    let side = multilevel_bisect(&sub, target_left, total - target_left, cfg, rng);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (local, &v) in vertices.iter().enumerate() {
+        if side[local] == 0 {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    recurse(g, &left, kl, base, cfg, rng, out);
+    recurse(g, &right, kr, base + kl as u32, cfg, rng, out);
+}
+
+/// Multilevel 2-way: coarsen, bisect the coarsest graph, project back with
+/// FM refinement at each level.
+fn multilevel_bisect(
+    g: &WeightedGraph,
+    target_left: u64,
+    target_right: u64,
+    cfg: &MetisConfig,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let slack = |t: u64| ((t as f64) * (1.0 + cfg.epsilon)).ceil() as u64;
+    let max_side = [slack(target_left).max(1), slack(target_right).max(1)];
+
+    let levels = coarsen_to(g, cfg.coarsen_to, rng);
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
+    let mut side = bisect(coarsest, target_left, cfg.init_trials, rng);
+    fm_refine(coarsest, &mut side, max_side, cfg.fm_passes);
+
+    // Project back through the levels, refining at each.
+    for i in (0..levels.len()).rev() {
+        let fine_graph = if i == 0 { g } else { &levels[i - 1].graph };
+        let map = &levels[i].map;
+        let mut fine_side = vec![0u8; fine_graph.vertex_count()];
+        for (v, &c) in map.iter().enumerate() {
+            fine_side[v] = side[c as usize];
+        }
+        fm_refine(fine_graph, &mut fine_side, max_side, cfg.fm_passes);
+        side = fine_side;
+    }
+    side
+}
+
+/// Induces the subgraph on `vertices` (edges to outside vertices dropped).
+/// Returns the subgraph and the local index of each global vertex.
+fn induce(g: &WeightedGraph, vertices: &[u32]) -> (WeightedGraph, Vec<u32>) {
+    const ABSENT: u32 = u32::MAX;
+    let mut to_local = vec![ABSENT; g.vertex_count()];
+    for (i, &v) in vertices.iter().enumerate() {
+        to_local[v as usize] = i as u32;
+    }
+    let mut adj: Vec<Vec<(u32, u32)>> = Vec::with_capacity(vertices.len());
+    let mut vwgt = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        let mut list = Vec::new();
+        for (u, w) in g.neighbors(v) {
+            let lu = to_local[u as usize];
+            if lu != ABSENT {
+                list.push((lu, w));
+            }
+        }
+        adj.push(list);
+        vwgt.push(g.vwgt[v as usize]);
+    }
+    (WeightedGraph::from_adjacency(adj, vwgt), to_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edge_cut, part_weights};
+
+    fn grid(w: usize, h: usize) -> WeightedGraph {
+        let idx = |x: usize, y: usize| (y * w + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        WeightedGraph::from_edge_list(w * h, &edges, vec![1; w * h])
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let g = grid(4, 4);
+        let part = partition(&g, 1, &MetisConfig::default());
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn bisection_of_grid_is_balanced_and_cheap() {
+        let g = grid(8, 8);
+        let cfg = MetisConfig::default();
+        let part = partition(&g, 2, &cfg);
+        let w = part_weights(&g, &part, 2);
+        assert_eq!(w[0] + w[1], 64);
+        let cap = ((64.0_f64 / 2.0) * 1.1).ceil() as u64;
+        assert!(w[0] <= cap && w[1] <= cap, "weights {w:?} exceed cap {cap}");
+        // A straight cut across an 8x8 grid costs 8; allow some slack.
+        let cut = edge_cut(&g, &part);
+        assert!(cut <= 14, "cut {cut} too large for an 8x8 grid bisection");
+    }
+
+    #[test]
+    fn four_way_uses_all_parts() {
+        let g = grid(10, 10);
+        let cfg = MetisConfig::default();
+        let part = partition(&g, 4, &cfg);
+        let w = part_weights(&g, &part, 4);
+        assert!(w.iter().all(|&x| x > 0), "empty part in {w:?}");
+        assert_eq!(w.iter().sum::<u64>(), 100);
+        let cap = ((100.0_f64 / 4.0) * 1.25).ceil() as u64; // recursive slack compounds
+        assert!(w.iter().all(|&x| x <= cap), "weights {w:?} exceed {cap}");
+    }
+
+    #[test]
+    fn two_cliques_find_natural_cut() {
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                edges.push((a, b, 1));
+                edges.push((a + 10, b + 10, 1));
+            }
+        }
+        edges.push((0, 10, 1));
+        let g = WeightedGraph::from_edge_list(20, &edges, vec![1; 20]);
+        let part = partition(&g, 2, &MetisConfig::default());
+        assert_eq!(edge_cut(&g, &part), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid(6, 6);
+        let cfg = MetisConfig::default();
+        assert_eq!(partition(&g, 3, &cfg), partition(&g, 3, &cfg));
+    }
+
+    #[test]
+    fn k_larger_than_n_leaves_empty_parts_but_assigns_all() {
+        let g = grid(2, 1); // 2 vertices
+        let part = partition(&g, 4, &MetisConfig::default());
+        assert_eq!(part.len(), 2);
+        assert!(part.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn kway_refinement_reduces_cut() {
+        // Four 6-cliques in a ring: recursive bisection with 1 pass can
+        // leave stragglers; k-way refinement must not worsen the cut.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let base = c * 6;
+            for a in 0..6u32 {
+                for b in (a + 1)..6 {
+                    edges.push((base + a, base + b, 1));
+                }
+            }
+            edges.push((base, ((c + 1) % 4) * 6, 1));
+        }
+        let g = WeightedGraph::from_edge_list(24, &edges, vec![1; 24]);
+        let with = MetisConfig::default();
+        let without = MetisConfig {
+            kway_passes: 0,
+            ..MetisConfig::default()
+        };
+        let cut_with = crate::edge_cut(&g, &partition(&g, 4, &with));
+        let cut_without = crate::edge_cut(&g, &partition(&g, 4, &without));
+        assert!(cut_with <= cut_without, "{cut_with} > {cut_without}");
+        assert_eq!(cut_with, 4, "ring of cliques cuts exactly the 4 bridges");
+    }
+
+    #[test]
+    fn odd_k_balanced() {
+        let g = grid(9, 9);
+        let part = partition(&g, 3, &MetisConfig::default());
+        let w = part_weights(&g, &part, 3);
+        assert_eq!(w.iter().sum::<u64>(), 81);
+        assert!(w.iter().all(|&x| (18..=36).contains(&x)), "bad balance {w:?}");
+    }
+}

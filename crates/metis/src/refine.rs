@@ -1,0 +1,194 @@
+//! Fiduccia–Mattheyses (FM) bisection refinement.
+//!
+//! Each pass tentatively moves boundary vertices one at a time — always the
+//! highest-gain admissible move, locking each moved vertex — and finally
+//! rolls back to the best prefix seen. Passes repeat until a pass yields no
+//! improvement. This is the classical linear-time refinement METIS applies
+//! at every uncoarsening level.
+
+use crate::bisect::{side_cut, side_weights};
+use crate::wgraph::WeightedGraph;
+use std::collections::BinaryHeap;
+
+/// Refines a bisection in place.
+///
+/// * `max_side` — maximum admissible weight per side (balance constraint).
+///   Moves that would push the destination side above its cap are skipped,
+///   unless the source side itself is above cap (rebalancing moves are then
+///   always admissible).
+/// * `max_passes` — upper bound on FM passes (2–3 suffices in practice).
+///
+/// Returns the final cut weight.
+pub fn fm_refine(
+    g: &WeightedGraph,
+    side: &mut [u8],
+    max_side: [u64; 2],
+    max_passes: usize,
+) -> u64 {
+    let n = g.vertex_count();
+    let mut weights = side_weights(g, side);
+    let mut cut = side_cut(g, side);
+
+    for _ in 0..max_passes {
+        let mut gain: Vec<i64> = vec![0; n];
+        let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+        // Seed with boundary vertices only (interior moves only become
+        // attractive after neighbors move and are pushed lazily below) —
+        // unless a side is overweight, in which case there may be no
+        // boundary at all and every vertex must be a move candidate.
+        let must_rebalance = weights[0] > max_side[0] || weights[1] > max_side[1];
+        for u in 0..n as u32 {
+            gain[u as usize] = move_gain(g, side, u);
+            if must_rebalance || is_boundary(g, side, u) {
+                heap.push((gain[u as usize], u));
+            }
+        }
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        // Best prefix = lexicographically best (is_balanced, cut_delta):
+        // a prefix that restores balance always beats one that does not,
+        // otherwise the largest cut improvement wins.
+        let balanced =
+            |w: &[u64; 2]| w[0] <= max_side[0] && w[1] <= max_side[1];
+        let mut best_prefix = 0usize;
+        let mut best_key = (balanced(&weights), 0i64);
+        let mut delta = 0i64;
+
+        while let Some((gcand, u)) = heap.pop() {
+            let ui = u as usize;
+            if locked[ui] || gcand != gain[ui] {
+                continue; // stale entry
+            }
+            let from = side[ui] as usize;
+            let to = 1 - from;
+            let vw = g.vwgt[ui];
+            let source_overweight = weights[from] > max_side[from];
+            if weights[to] + vw > max_side[to] && !source_overweight {
+                continue; // would break balance
+            }
+            // Commit the tentative move.
+            side[ui] = to as u8;
+            weights[from] -= vw;
+            weights[to] += vw;
+            locked[ui] = true;
+            delta += gain[ui];
+            moves.push(u);
+            let key = (balanced(&weights), delta);
+            if key > best_key {
+                best_key = key;
+                best_prefix = moves.len();
+            }
+            for (v, _) in g.neighbors(u) {
+                if !locked[v as usize] {
+                    gain[v as usize] = move_gain(g, side, v);
+                    heap.push((gain[v as usize], v));
+                }
+            }
+        }
+
+        // Roll back everything after the best prefix.
+        for &u in &moves[best_prefix..] {
+            let ui = u as usize;
+            let cur = side[ui] as usize;
+            side[ui] = (1 - cur) as u8;
+            weights[cur] -= g.vwgt[ui];
+            weights[1 - cur] += g.vwgt[ui];
+        }
+        cut = (cut as i64 - best_key.1) as u64;
+        if best_prefix == 0 {
+            break; // pass made no progress
+        }
+        if best_key.1 <= 0 && !must_rebalance {
+            break; // no cut improvement and balance was already fine
+        }
+    }
+    debug_assert_eq!(cut, side_cut(g, side));
+    cut
+}
+
+/// Gain of moving `u` to the other side: external minus internal edge
+/// weight.
+#[inline]
+fn move_gain(g: &WeightedGraph, side: &[u8], u: u32) -> i64 {
+    let mut gain = 0i64;
+    let su = side[u as usize];
+    for (v, w) in g.neighbors(u) {
+        if side[v as usize] == su {
+            gain -= w as i64;
+        } else {
+            gain += w as i64;
+        }
+    }
+    gain
+}
+
+#[inline]
+fn is_boundary(g: &WeightedGraph, side: &[u8], u: u32) -> bool {
+    let su = side[u as usize];
+    g.neighbors(u).any(|(v, _)| side[v as usize] != su)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> WeightedGraph {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b, 10));
+                edges.push((a + 4, b + 4, 10));
+            }
+        }
+        edges.push((0, 4, 1));
+        WeightedGraph::from_edge_list(8, &edges, vec![1; 8])
+    }
+
+    #[test]
+    fn repairs_a_bad_bisection() {
+        let g = two_cliques();
+        // Deliberately wrong: one vertex of each clique swapped.
+        let mut side = vec![0, 0, 0, 1, 1, 1, 1, 0];
+        let before = side_cut(&g, &side);
+        let after = fm_refine(&g, &mut side, [5, 5], 4);
+        assert!(after < before);
+        assert_eq!(after, 1); // optimal: only the bridge is cut
+        assert_eq!(side_weights(&g, &side), [4, 4]);
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = two_cliques();
+        let mut side = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // Caps forbid any growth: nothing may move.
+        let cut = fm_refine(&g, &mut side, [4, 4], 3);
+        assert_eq!(cut, 1);
+        assert_eq!(side_weights(&g, &side), [4, 4]);
+    }
+
+    #[test]
+    fn rebalances_overweight_side() {
+        let g = two_cliques();
+        // Everything on side 0: grossly overweight.
+        let mut side = vec![0u8; 8];
+        fm_refine(&g, &mut side, [5, 5], 6);
+        let w = side_weights(&g, &side);
+        assert!(w[0] <= 5, "side 0 still overweight: {w:?}");
+    }
+
+    #[test]
+    fn stable_on_optimal_input() {
+        let g = two_cliques();
+        let mut side = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let cut = fm_refine(&g, &mut side, [5, 5], 3);
+        assert_eq!(cut, 1);
+        assert_eq!(side, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = WeightedGraph::from_edge_list(0, &[], vec![]);
+        let mut side: Vec<u8> = vec![];
+        assert_eq!(fm_refine(&g, &mut side, [0, 0], 2), 0);
+    }
+}

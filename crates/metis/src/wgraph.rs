@@ -1,0 +1,185 @@
+//! Weighted undirected graphs in CSR form — the partitioner's working
+//! representation (the same `xadj`/`adjncy`/`adjwgt`/`vwgt` layout METIS
+//! uses).
+
+use mpc_rdf::RdfGraph;
+
+/// An undirected graph with vertex and edge weights, stored as CSR.
+///
+/// Every undirected edge `{u, v}` appears twice: once in `u`'s neighbor
+/// list and once in `v`'s. Parallel input edges must be collapsed into one
+/// weighted edge before construction (the constructors do this).
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    /// Vertex weights (supervertex sizes after coarsening; 1 initially).
+    pub vwgt: Vec<u64>,
+    /// CSR offsets, length `n + 1`.
+    pub xadj: Vec<u32>,
+    /// Concatenated neighbor lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: Vec<u32>,
+}
+
+impl WeightedGraph {
+    /// Builds from per-vertex adjacency lists of `(neighbor, weight)` pairs.
+    /// Lists must already be symmetric and duplicate-free; self-loops are
+    /// skipped.
+    pub fn from_adjacency(adj: Vec<Vec<(u32, u32)>>, vwgt: Vec<u64>) -> Self {
+        assert_eq!(adj.len(), vwgt.len());
+        let n = adj.len();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0u32);
+        let total: usize = adj.iter().map(|l| l.len()).sum();
+        let mut adjncy = Vec::with_capacity(total);
+        let mut adjwgt = Vec::with_capacity(total);
+        for (u, list) in adj.into_iter().enumerate() {
+            for (v, w) in list {
+                if v as usize == u {
+                    continue;
+                }
+                debug_assert!((v as usize) < n);
+                adjncy.push(v);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len() as u32);
+        }
+        WeightedGraph {
+            vwgt,
+            xadj,
+            adjncy,
+            adjwgt,
+        }
+    }
+
+    /// Builds from a list of undirected edges `(u, v, w)`. Parallel edges
+    /// are merged by summing weights; self-loops are dropped.
+    pub fn from_edge_list(n: usize, edges: &[(u32, u32, u32)], vwgt: Vec<u64>) -> Self {
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            let mut w = 0usize;
+            for r in 0..list.len() {
+                if w > 0 && list[w - 1].0 == list[r].0 {
+                    list[w - 1].1 += list[r].1;
+                } else {
+                    list[w] = list[r];
+                    w += 1;
+                }
+            }
+            list.truncate(w);
+        }
+        Self::from_adjacency(adj, vwgt)
+    }
+
+    /// Builds the unit-weight undirected view of an RDF graph: parallel
+    /// edges (regardless of property or direction) collapse into one edge
+    /// whose weight is their multiplicity. This is how the paper feeds an
+    /// RDF graph to METIS.
+    pub fn from_rdf(g: &RdfGraph) -> Self {
+        let adj = g
+            .undirected_adjacency()
+            .into_iter()
+            .map(|list| list.into_iter().map(|(v, w)| (v.0, w)).collect())
+            .collect();
+        let vwgt = vec![1u64; g.vertex_count()];
+        Self::from_adjacency(adj, vwgt)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of stored (directed) arcs; undirected edge count is half.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Iterator over `(neighbor, edge_weight)` of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.xadj[u as usize] as usize;
+        let hi = self.xadj[u as usize + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Degree (number of distinct neighbors) of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        (self.xadj[u as usize + 1] - self.xadj[u as usize]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    #[test]
+    fn from_edge_list_merges_parallel_edges() {
+        let g = WeightedGraph::from_edge_list(
+            3,
+            &[(0, 1, 2), (1, 0, 3), (1, 2, 1), (2, 2, 9)],
+            vec![1, 1, 1],
+        );
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 5)]);
+        assert_eq!(g.degree(1), 2);
+        // Self-loop dropped.
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.arc_count(), 4);
+    }
+
+    #[test]
+    fn symmetry() {
+        let g = WeightedGraph::from_edge_list(4, &[(0, 1, 1), (1, 2, 4), (0, 3, 2)], vec![1; 4]);
+        for u in 0..4u32 {
+            for (v, w) in g.neighbors(u) {
+                assert!(g.neighbors(v).any(|(x, xw)| x == u && xw == w));
+            }
+        }
+    }
+
+    #[test]
+    fn from_rdf_collapses_directions() {
+        let g = RdfGraph::from_raw(
+            3,
+            2,
+            vec![
+                Triple::new(VertexId(0), PropertyId(0), VertexId(1)),
+                Triple::new(VertexId(1), PropertyId(1), VertexId(0)),
+                Triple::new(VertexId(1), PropertyId(0), VertexId(2)),
+            ],
+        );
+        let w = WeightedGraph::from_rdf(&g);
+        assert_eq!(w.vertex_count(), 3);
+        assert_eq!(w.total_weight(), 3);
+        let n0: Vec<_> = w.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::from_edge_list(0, &[], vec![]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+}

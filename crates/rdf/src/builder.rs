@@ -1,0 +1,105 @@
+//! Incremental graph construction with term interning.
+
+use crate::dictionary::Dictionary;
+use crate::graph::RdfGraph;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Builds an [`RdfGraph`] by interning [`Term`]s as triples arrive.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    dict: Dictionary,
+    triples: Vec<Triple>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates space for `n` triples.
+    pub fn with_capacity(n: usize) -> Self {
+        GraphBuilder {
+            dict: Dictionary::new(),
+            triples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds one `(subject, property, object)` triple of terms.
+    pub fn add(&mut self, subject: &Term, property: &str, object: &Term) {
+        let s = self.dict.intern_vertex(subject);
+        let p = self.dict.intern_property(property);
+        let o = self.dict.intern_vertex(object);
+        self.triples.push(Triple::new(s, p, o));
+    }
+
+    /// Adds one triple of IRIs (the common case in tests and examples).
+    pub fn add_iris(&mut self, subject: &str, property: &str, object: &str) {
+        self.add(&Term::iri(subject), property, &Term::iri(object));
+    }
+
+    /// Number of triples added so far.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if no triples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Read access to the dictionary built so far.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Finalizes into an [`RdfGraph`], consuming the builder.
+    pub fn build(self) -> RdfGraph {
+        RdfGraph::from_dictionary(self.dict, self.triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PropertyId, VertexId};
+
+    #[test]
+    fn builds_small_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_iris("http://x/alice", "http://x/knows", "http://x/bob");
+        b.add_iris("http://x/bob", "http://x/knows", "http://x/carol");
+        b.add(
+            &Term::iri("http://x/alice"),
+            "http://x/name",
+            &Term::literal("Alice"),
+        );
+        assert_eq!(b.len(), 3);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 4); // alice, bob, carol, "Alice"
+        assert_eq!(g.property_count(), 2);
+        assert_eq!(g.triple_count(), 3);
+    }
+
+    #[test]
+    fn interning_reuses_ids() {
+        let mut b = GraphBuilder::new();
+        b.add_iris("a", "p", "b");
+        b.add_iris("b", "p", "a");
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.property_count(), 1);
+        assert_eq!(g.triples()[0], Triple::new(VertexId(0), PropertyId(0), VertexId(1)));
+        assert_eq!(g.triples()[1], Triple::new(VertexId(1), PropertyId(0), VertexId(0)));
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.triple_count(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Dictionary encoding: interning RDF terms and property IRIs to dense ids.
+//!
+//! Distributed RDF systems universally dictionary-encode their data
+//! (gStore, TriAD, AdPart all do); every layer above this one — the
+//! partitioners, the triple store, the matcher — works exclusively on
+//! [`VertexId`] / [`PropertyId`] integers.
+
+use crate::hash::FxHashMap;
+use crate::ids::{PropertyId, VertexId};
+use crate::term::Term;
+
+/// Two-sided mapping between terms and dense integer ids.
+///
+/// Vertices (subjects/objects) and properties are interned in separate id
+/// spaces, mirroring Definition 3.1 where `V` and `L` are distinct sets.
+#[derive(Default, Clone, Debug)]
+pub struct Dictionary {
+    vertex_by_key: FxHashMap<String, VertexId>,
+    vertices: Vec<Term>,
+    property_by_iri: FxHashMap<String, PropertyId>,
+    properties: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term as a vertex, returning its id (existing or fresh).
+    pub fn intern_vertex(&mut self, term: &Term) -> VertexId {
+        let key = term.dictionary_key();
+        if let Some(&id) = self.vertex_by_key.get(&key) {
+            return id;
+        }
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertex_by_key.insert(key, id);
+        self.vertices.push(term.clone());
+        id
+    }
+
+    /// Interns a property IRI, returning its id (existing or fresh).
+    pub fn intern_property(&mut self, iri: &str) -> PropertyId {
+        if let Some(&id) = self.property_by_iri.get(iri) {
+            return id;
+        }
+        let id = PropertyId(self.properties.len() as u32);
+        self.property_by_iri.insert(iri.to_owned(), id);
+        self.properties.push(iri.to_owned());
+        id
+    }
+
+    /// Looks up a vertex id by term, without interning.
+    pub fn vertex_id(&self, term: &Term) -> Option<VertexId> {
+        self.vertex_by_key.get(&term.dictionary_key()).copied()
+    }
+
+    /// Looks up a property id by IRI, without interning.
+    pub fn property_id(&self, iri: &str) -> Option<PropertyId> {
+        self.property_by_iri.get(iri).copied()
+    }
+
+    /// The term behind a vertex id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn vertex_term(&self, id: VertexId) -> &Term {
+        &self.vertices[id.index()]
+    }
+
+    /// The IRI behind a property id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn property_iri(&self, id: PropertyId) -> &str {
+        &self.properties[id.index()]
+    }
+
+    /// Number of interned vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of interned properties.
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &Term)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (VertexId(i as u32), t))
+    }
+
+    /// Iterates over `(id, iri)` pairs in id order.
+    pub fn properties(&self) -> impl Iterator<Item = (PropertyId, &str)> {
+        self.properties
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PropertyId(i as u32), p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a1 = d.intern_vertex(&Term::iri("http://x/a"));
+        let a2 = d.intern_vertex(&Term::iri("http://x/a"));
+        assert_eq!(a1, a2);
+        assert_eq!(d.vertex_count(), 1);
+
+        let p1 = d.intern_property("http://x/p");
+        let p2 = d.intern_property("http://x/p");
+        assert_eq!(p1, p2);
+        assert_eq!(d.property_count(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for i in 0..10 {
+            let id = d.intern_vertex(&Term::iri(format!("http://x/{i}")));
+            assert_eq!(id, VertexId(i));
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Term::lang_literal("chat", "fr");
+        let id = d.intern_vertex(&t);
+        assert_eq!(d.vertex_term(id), &t);
+        assert_eq!(d.vertex_id(&t), Some(id));
+        assert_eq!(d.vertex_id(&Term::literal("chat")), None);
+
+        let p = d.intern_property("http://x/knows");
+        assert_eq!(d.property_iri(p), "http://x/knows");
+        assert_eq!(d.property_id("http://x/knows"), Some(p));
+        assert_eq!(d.property_id("http://x/unknown"), None);
+    }
+
+    #[test]
+    fn vertex_and_property_spaces_are_independent() {
+        let mut d = Dictionary::new();
+        let v = d.intern_vertex(&Term::iri("http://x/same"));
+        let p = d.intern_property("http://x/same");
+        assert_eq!(v.0, 0);
+        assert_eq!(p.0, 0); // same raw value, different id space
+    }
+
+    #[test]
+    fn iteration_matches_counts() {
+        let mut d = Dictionary::new();
+        d.intern_vertex(&Term::iri("a"));
+        d.intern_vertex(&Term::blank("b"));
+        d.intern_property("p");
+        assert_eq!(d.vertices().count(), 2);
+        assert_eq!(d.properties().count(), 1);
+    }
+}

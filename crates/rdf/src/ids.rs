@@ -1,0 +1,135 @@
+//! Compact integer identifiers for vertices, properties, and partitions.
+//!
+//! The whole workspace works on dictionary-encoded graphs, so identifiers
+//! are newtypes over small integers: `u32` comfortably covers the scaled
+//! dataset sizes we reproduce, and halving the index width (vs `usize`)
+//! halves the memory traffic of the edge arrays that dominate the greedy
+//! cost oracle.
+
+use std::fmt;
+
+/// Identifier of a vertex (subject or object) of an [`crate::RdfGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge label (property) of an [`crate::RdfGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PropertyId(pub u32);
+
+/// Identifier of a partition / site in a `k`-way partitioning.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartitionId(pub u16);
+
+impl VertexId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PropertyId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PartitionId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for PropertyId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        PropertyId(v)
+    }
+}
+
+impl From<u16> for PartitionId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        PartitionId(v)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(VertexId(17).index(), 17);
+        assert_eq!(PropertyId(3).index(), 3);
+        assert_eq!(PartitionId(2).index(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(5).to_string(), "v5");
+        assert_eq!(PropertyId(1).to_string(), "p1");
+        assert_eq!(PartitionId(0).to_string(), "F0");
+        assert_eq!(format!("{:?}", VertexId(5)), "v5");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(PropertyId(9) > PropertyId(3));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(VertexId::from(4u32), VertexId(4));
+        assert_eq!(PropertyId::from(4u32), PropertyId(4));
+        assert_eq!(PartitionId::from(4u16), PartitionId(4));
+    }
+}

@@ -1,0 +1,197 @@
+//! RDF terms: IRIs, literals, and blank nodes.
+
+use std::fmt;
+
+/// An RDF term as it appears in a triple before dictionary encoding.
+///
+/// Literals keep their lexical form plus an optional datatype IRI or
+/// language tag; that is enough for the BGP fragment the paper evaluates
+/// (queries match terms by identity, never by typed-value semantics).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// An IRI, stored without the surrounding angle brackets.
+    Iri(String),
+    /// A literal: lexical form, optional datatype IRI, optional language tag.
+    Literal {
+        /// The lexical form, unescaped.
+        lexical: String,
+        /// Datatype IRI, if any (mutually exclusive with `language` in
+        /// well-formed RDF; we keep both optional and let the parser decide).
+        datatype: Option<String>,
+        /// Language tag without the leading `@`, if any.
+        language: Option<String>,
+    },
+    /// A blank node, stored without the leading `_:`.
+    Blank(String),
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Convenience constructor for a plain (untyped, untagged) literal.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// Convenience constructor for a typed literal.
+    pub fn typed_literal(s: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// Convenience constructor for a language-tagged literal.
+    pub fn lang_literal(s: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: None,
+            language: Some(lang.into()),
+        }
+    }
+
+    /// Convenience constructor for a blank node.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// True if this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// True if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// A canonical single-string key for dictionary interning.
+    ///
+    /// The leading sigil disambiguates term kinds so `<x>` and `"x"` never
+    /// collide: `I` for IRIs, `B` for blank nodes, and the N-Triples
+    /// serialization for literals.
+    pub fn dictionary_key(&self) -> String {
+        match self {
+            Term::Iri(i) => format!("I{i}"),
+            Term::Blank(b) => format!("B{b}"),
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => match (datatype, language) {
+                (Some(dt), _) => format!("L{lexical}\u{1}{dt}"),
+                (None, Some(lang)) => format!("L{lexical}\u{2}{lang}"),
+                (None, None) => format!("L{lexical}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "<{i}>"),
+            Term::Blank(b) => write!(f, "_:{b}"),
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
+                write!(f, "\"{}\"", escape_literal(lexical))?;
+                if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                } else if let Some(lang) = language {
+                    write!(f, "@{lang}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_iri_and_blank() {
+        assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+    }
+
+    #[test]
+    fn display_literals() {
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#int").to_string(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>"
+        );
+        assert_eq!(Term::lang_literal("chat", "fr").to_string(), "\"chat\"@fr");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            Term::literal("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn dictionary_keys_disambiguate_kinds() {
+        let iri = Term::iri("x");
+        let lit = Term::literal("x");
+        let blank = Term::blank("x");
+        assert_ne!(iri.dictionary_key(), lit.dictionary_key());
+        assert_ne!(iri.dictionary_key(), blank.dictionary_key());
+        assert_ne!(lit.dictionary_key(), blank.dictionary_key());
+    }
+
+    #[test]
+    fn dictionary_keys_disambiguate_literal_flavours() {
+        let plain = Term::literal("x");
+        let typed = Term::typed_literal("x", "dt");
+        let tagged = Term::lang_literal("x", "en");
+        assert_ne!(plain.dictionary_key(), typed.dictionary_key());
+        assert_ne!(plain.dictionary_key(), tagged.dictionary_key());
+        assert_ne!(typed.dictionary_key(), tagged.dictionary_key());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Term::iri("a").is_iri());
+        assert!(Term::literal("a").is_literal());
+        assert!(Term::blank("a").is_blank());
+        assert!(!Term::iri("a").is_literal());
+    }
+}

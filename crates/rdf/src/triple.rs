@@ -1,0 +1,63 @@
+//! Dictionary-encoded triples (directed labeled edges).
+
+use crate::ids::{PropertyId, VertexId};
+
+/// A dictionary-encoded RDF triple: one directed edge `s --p--> o`.
+///
+/// This is the `E`/`f` part of Definition 3.1: `E` is a *multiset* of
+/// directed edges and `f(e)` is the edge's property label. Twelve bytes per
+/// edge keeps the per-property edge arrays cache-friendly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Triple {
+    /// Subject vertex.
+    pub s: VertexId,
+    /// Property (edge label).
+    pub p: PropertyId,
+    /// Object vertex.
+    pub o: VertexId,
+}
+
+impl Triple {
+    /// Constructs a triple from raw ids.
+    #[inline]
+    pub fn new(s: VertexId, p: PropertyId, o: VertexId) -> Self {
+        Triple { s, p, o }
+    }
+
+    /// The two endpoints `(s, o)` of the edge.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.s, self.o)
+    }
+
+    /// True if this is a self-loop (`s == o`).
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.s == self.o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Triple::new(VertexId(1), PropertyId(2), VertexId(3));
+        assert_eq!(t.endpoints(), (VertexId(1), VertexId(3)));
+        assert!(!t.is_loop());
+        assert!(Triple::new(VertexId(4), PropertyId(0), VertexId(4)).is_loop());
+    }
+
+    #[test]
+    fn triple_is_small() {
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+    }
+
+    #[test]
+    fn ordering_is_spo() {
+        let a = Triple::new(VertexId(0), PropertyId(9), VertexId(9));
+        let b = Triple::new(VertexId(1), PropertyId(0), VertexId(0));
+        assert!(a < b);
+    }
+}

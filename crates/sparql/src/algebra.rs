@@ -1,0 +1,293 @@
+//! Binding tables and the relational operators distributed execution
+//! needs: union (for combining per-partition results) and natural hash
+//! join (for combining decomposed subqueries).
+
+use mpc_rdf::FxHashMap;
+
+/// A table of variable bindings: `vars` are global variable indices (the
+/// columns), `rows` their values. Values are raw `u32` ids — vertex ids for
+/// vertex variables, property ids for property variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bindings {
+    /// Column variables (global indices into the query's variable space).
+    pub vars: Vec<u32>,
+    /// Rows; every row has `vars.len()` values.
+    pub rows: Vec<Vec<u32>>,
+}
+
+impl Bindings {
+    /// An empty table with the given columns.
+    pub fn new(vars: Vec<u32>) -> Self {
+        Bindings {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The join identity: zero columns, one empty row.
+    pub fn unit() -> Self {
+        Bindings {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the row width mismatches the columns.
+    pub fn push(&mut self, row: Vec<u32>) {
+        debug_assert_eq!(row.len(), self.vars.len());
+        self.rows.push(row);
+    }
+
+    /// Sorts rows and removes duplicates (set semantics).
+    pub fn sort_dedup(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Column position of a variable, if present.
+    pub fn column_of(&self, var: u32) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var)
+    }
+
+    /// Unions another table with the same variable set into this one
+    /// (columns may be ordered differently), deduplicating.
+    pub fn union_in_place(&mut self, other: &Bindings) {
+        assert_eq!(
+            sorted(&self.vars),
+            sorted(&other.vars),
+            "union requires identical variable sets"
+        );
+        if self.vars == other.vars {
+            self.rows.extend(other.rows.iter().cloned());
+        } else {
+            // Remap other's columns into our order.
+            let perm: Vec<usize> = self
+                .vars
+                .iter()
+                .map(|v| other.column_of(*v).expect("same variable sets"))
+                .collect();
+            for row in &other.rows {
+                self.rows.push(perm.iter().map(|&i| row[i]).collect());
+            }
+        }
+        self.sort_dedup();
+    }
+
+    /// Projects onto a subset of variables, deduplicating.
+    pub fn project(&self, vars: &[u32]) -> Bindings {
+        let cols: Vec<usize> = vars
+            .iter()
+            .map(|v| self.column_of(*v).expect("projected variable must exist"))
+            .collect();
+        let mut out = Bindings::new(vars.to_vec());
+        for row in &self.rows {
+            out.rows.push(cols.iter().map(|&c| row[c]).collect());
+        }
+        out.sort_dedup();
+        out
+    }
+}
+
+fn sorted(v: &[u32]) -> Vec<u32> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Natural hash join on the shared variables. Output columns are `a`'s
+/// variables followed by `b`'s non-shared variables. If no variables are
+/// shared this degenerates to a cross product.
+pub fn hash_join(a: &Bindings, b: &Bindings) -> Bindings {
+    // Shared variables and their column positions in both tables.
+    let shared: Vec<(usize, usize)> = a
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(ia, v)| b.column_of(*v).map(|ib| (ia, ib)))
+        .collect();
+    let b_only: Vec<usize> = (0..b.vars.len())
+        .filter(|&ib| !a.vars.contains(&b.vars[ib]))
+        .collect();
+    let mut out_vars = a.vars.clone();
+    out_vars.extend(b_only.iter().map(|&ib| b.vars[ib]));
+    let mut out = Bindings::new(out_vars);
+
+    // Build on the smaller side for memory; probing is symmetric.
+    let (build, probe, build_is_a) = if a.len() <= b.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
+    let key_cols_build: Vec<usize> = shared
+        .iter()
+        .map(|&(ia, ib)| if build_is_a { ia } else { ib })
+        .collect();
+    let key_cols_probe: Vec<usize> = shared
+        .iter()
+        .map(|&(ia, ib)| if build_is_a { ib } else { ia })
+        .collect();
+
+    let mut table: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
+    for (ri, row) in build.rows.iter().enumerate() {
+        let key: Vec<u32> = key_cols_build.iter().map(|&c| row[c]).collect();
+        table.entry(key).or_default().push(ri);
+    }
+    for probe_row in &probe.rows {
+        let key: Vec<u32> = key_cols_probe.iter().map(|&c| probe_row[c]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let build_row = &build.rows[ri];
+                let (a_row, b_row) = if build_is_a {
+                    (build_row, probe_row)
+                } else {
+                    (probe_row, build_row)
+                };
+                let mut row: Vec<u32> = a_row.clone();
+                row.extend(b_only.iter().map(|&ib| b_row[ib]));
+                out.rows.push(row);
+            }
+        }
+    }
+    out.sort_dedup();
+    out
+}
+
+/// Joins many tables left to right, starting from the smallest pair first
+/// would be better planning; the caller controls the order. An empty input
+/// list yields the unit table.
+pub fn join_all(tables: &[Bindings]) -> Bindings {
+    match tables {
+        [] => Bindings::unit(),
+        [one] => {
+            let mut b = one.clone();
+            b.sort_dedup();
+            b
+        }
+        [first, rest @ ..] => {
+            let mut acc = first.clone();
+            for (i, t) in rest.iter().enumerate() {
+                acc = hash_join(&acc, t);
+                if acc.is_empty() {
+                    // Short-circuit, but keep the full output schema: the
+                    // remaining tables' columns still belong to the result.
+                    let mut vars = acc.vars;
+                    for later in &rest[i + 1..] {
+                        for &v in &later.vars {
+                            if !vars.contains(&v) {
+                                vars.push(v);
+                            }
+                        }
+                    }
+                    return Bindings::new(vars);
+                }
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(vars: &[u32], rows: &[&[u32]]) -> Bindings {
+        let mut out = Bindings::new(vars.to_vec());
+        for r in rows {
+            out.push(r.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn union_dedups_and_reorders() {
+        let mut x = b(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let y = b(&[1, 0], &[&[2, 1], &[5, 6]]);
+        x.union_in_place(&y);
+        assert_eq!(x.rows, vec![vec![1, 2], vec![3, 4], vec![6, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical variable sets")]
+    fn union_rejects_different_vars() {
+        let mut x = b(&[0], &[&[1]]);
+        let y = b(&[1], &[&[1]]);
+        x.union_in_place(&y);
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        let x = b(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let y = b(&[1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = hash_join(&x, &y);
+        assert_eq!(j.vars, vec![0, 1, 2]);
+        assert_eq!(j.rows, vec![vec![1, 10, 100], vec![1, 10, 101]]);
+    }
+
+    #[test]
+    fn join_without_shared_vars_is_cross_product() {
+        let x = b(&[0], &[&[1], &[2]]);
+        let y = b(&[1], &[&[7], &[8]]);
+        let j = hash_join(&x, &y);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_is_symmetric_on_content() {
+        let x = b(&[0, 1], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let y = b(&[1], &[&[10]]);
+        let xy = hash_join(&x, &y);
+        let yx = hash_join(&y, &x);
+        // Same multiset of bindings modulo column order.
+        assert_eq!(xy.len(), yx.len());
+        let proj = yx.project(&[0, 1]);
+        assert_eq!(xy.project(&[0, 1]), proj);
+    }
+
+    #[test]
+    fn join_all_unit_and_chain() {
+        assert_eq!(join_all(&[]), Bindings::unit());
+        let x = b(&[0, 1], &[&[1, 10]]);
+        let y = b(&[1, 2], &[&[10, 5]]);
+        let z = b(&[2, 3], &[&[5, 9]]);
+        let j = join_all(&[x, y, z]);
+        assert_eq!(j.rows, vec![vec![1, 10, 5, 9]]);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let x = b(&[0], &[&[3], &[4]]);
+        let j = hash_join(&Bindings::unit(), &x);
+        assert_eq!(j.project(&[0]), {
+            let mut e = x.clone();
+            e.sort_dedup();
+            e
+        });
+    }
+
+    #[test]
+    fn project_dedups() {
+        let x = b(&[0, 1], &[&[1, 10], &[1, 20]]);
+        let p = x.project(&[0]);
+        assert_eq!(p.rows, vec![vec![1]]);
+    }
+
+    #[test]
+    fn empty_join_short_circuits() {
+        let x = b(&[0], &[]);
+        let y = b(&[0], &[&[1]]);
+        assert!(hash_join(&x, &y).is_empty());
+    }
+}

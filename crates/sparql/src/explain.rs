@@ -1,0 +1,237 @@
+//! Query plan introspection: a static rendering of the matcher's greedy
+//! pattern order with per-pattern index choice and candidate estimates.
+//!
+//! [`crate::matcher::evaluate`] picks, at every depth, the remaining
+//! pattern with the fewest candidates under the current bindings. This
+//! module replays that choice statically: constants narrow counts exactly;
+//! a variable bound by an earlier step makes the position *join-bound*
+//! (its selectivity is unknown statically, so the estimate falls back to
+//! the constant-only count as an upper bound).
+
+use crate::query::{QLabel, QNode, Query};
+use crate::store::{LocalStore, Pattern};
+
+/// One step of the (static) plan.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// Index of the pattern in the query.
+    pub pattern_index: usize,
+    /// Which index permutation serves this step.
+    pub access_path: &'static str,
+    /// Upper bound on candidates (constant-only count).
+    pub estimated_candidates: usize,
+    /// Positions bound by earlier steps when this one runs: (s, p, o).
+    pub join_bound: (bool, bool, bool),
+}
+
+/// Produces the static plan for a query over a store.
+#[allow(clippy::needless_range_loop)] // loop indexes both `used` and `query.patterns`
+pub fn explain(query: &Query, store: &LocalStore) -> Vec<PlanStep> {
+    let n = query.patterns.len();
+    let mut bound = vec![false; query.var_count()];
+    let mut used = vec![false; n];
+    let mut steps = Vec::with_capacity(n);
+
+    let const_pattern = |i: usize| -> Pattern {
+        let pat = &query.patterns[i];
+        Pattern {
+            s: match pat.s {
+                QNode::Const(c) => Some(c),
+                QNode::Var(_) => None,
+            },
+            p: match pat.p {
+                QLabel::Prop(p) => Some(p),
+                QLabel::Var(_) => None,
+            },
+            o: match pat.o {
+                QNode::Const(c) => Some(c),
+                QNode::Var(_) => None,
+            },
+        }
+    };
+
+    for _ in 0..n {
+        // Candidate score: (fewest estimated candidates, most bound
+        // positions) — the same preference the dynamic matcher converges
+        // to, since bound positions shrink the runtime count.
+        let mut best: Option<(usize, usize, usize)> = None; // (est, -bound, idx)
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let pat = &query.patterns[i];
+            let est = store.count(&const_pattern(i));
+            let bound_positions = [
+                matches!(pat.s, QNode::Var(v) if bound[v as usize]),
+                matches!(pat.p, QLabel::Var(v) if bound[v as usize]),
+                matches!(pat.o, QNode::Var(v) if bound[v as usize]),
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+            let key = (est.saturating_sub(est * bound_positions / 4), 3 - bound_positions, i);
+            if best.is_none() || key < best.unwrap() {
+                best = Some(key);
+            }
+        }
+        let (_, _, idx) = best.expect("unused pattern remains");
+        used[idx] = true;
+        let pat = &query.patterns[idx];
+        let join_bound = (
+            matches!(pat.s, QNode::Var(v) if bound[v as usize]),
+            matches!(pat.p, QLabel::Var(v) if bound[v as usize]),
+            matches!(pat.o, QNode::Var(v) if bound[v as usize]),
+        );
+        let s_known = matches!(pat.s, QNode::Const(_)) || join_bound.0;
+        let p_known = matches!(pat.p, QLabel::Prop(_)) || join_bound.1;
+        let o_known = matches!(pat.o, QNode::Const(_)) || join_bound.2;
+        let access_path = match (s_known, p_known, o_known) {
+            (true, true, true) => "SPO(s,p,o)",
+            (true, true, false) => "SPO(s,p)",
+            (true, false, false) => "SPO(s)",
+            (false, true, true) => "POS(p,o)",
+            (false, true, false) => "POS(p)",
+            (false, false, true) => "OSP(o)",
+            (true, false, true) => "OSP(o,s)",
+            (false, false, false) => "scan",
+        };
+        steps.push(PlanStep {
+            pattern_index: idx,
+            access_path,
+            estimated_candidates: store.count(&const_pattern(idx)),
+            join_bound,
+        });
+        // Mark this pattern's variables bound.
+        for node in [pat.s, pat.o] {
+            if let QNode::Var(v) = node {
+                bound[v as usize] = true;
+            }
+        }
+        if let QLabel::Var(v) = pat.p {
+            bound[v as usize] = true;
+        }
+    }
+    steps
+}
+
+/// Renders a plan as indented text, one line per step.
+pub fn render(query: &Query, steps: &[PlanStep]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (depth, step) in steps.iter().enumerate() {
+        let pat = &query.patterns[step.pattern_index];
+        let node = |n: &QNode| match n {
+            QNode::Var(v) => format!("?{}", query.var_names[*v as usize]),
+            QNode::Const(c) => format!("{c}"),
+        };
+        let label = match pat.p {
+            QLabel::Var(v) => format!("?{}", query.var_names[v as usize]),
+            QLabel::Prop(p) => format!("{p}"),
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}#{} {} {} {}  via {}  (≤{} candidates)",
+            "",
+            step.pattern_index,
+            node(&pat.s),
+            label,
+            node(&pat.o),
+            step.access_path,
+            step.estimated_candidates,
+            indent = depth * 2,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::TriplePattern;
+    use mpc_rdf::{PropertyId, Triple, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn store() -> LocalStore {
+        // Property 0 is frequent; property 1 is rare.
+        let mut triples: Vec<Triple> = (0..50).map(|i| t(i, 0, i + 1)).collect();
+        triples.push(t(3, 1, 99));
+        LocalStore::new(triples)
+    }
+
+    fn q(patterns: Vec<TriplePattern>, nvars: u32) -> Query {
+        Query::new(patterns, (0..nvars).map(|i| format!("v{i}")).collect())
+    }
+
+    #[test]
+    fn selective_pattern_leads() {
+        let query = q(
+            vec![
+                TriplePattern::new(QNode::Var(0), QLabel::Prop(PropertyId(0)), QNode::Var(1)),
+                TriplePattern::new(QNode::Var(1), QLabel::Prop(PropertyId(1)), QNode::Var(2)),
+            ],
+            3,
+        );
+        let steps = explain(&query, &store());
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].pattern_index, 1, "rare pattern should lead");
+        assert_eq!(steps[0].estimated_candidates, 1);
+        // The second step joins through ?1.
+        assert!(steps[1].join_bound.0 || steps[1].join_bound.2);
+    }
+
+    #[test]
+    fn access_paths_reflect_known_positions() {
+        let query = q(
+            vec![TriplePattern::new(
+                QNode::Const(VertexId(3)),
+                QLabel::Prop(PropertyId(1)),
+                QNode::Var(0),
+            )],
+            1,
+        );
+        let steps = explain(&query, &store());
+        assert_eq!(steps[0].access_path, "SPO(s,p)");
+
+        let scan = q(
+            vec![TriplePattern::new(QNode::Var(0), QLabel::Var(1), QNode::Var(2))],
+            3,
+        );
+        let steps = explain(&scan, &store());
+        assert_eq!(steps[0].access_path, "scan");
+    }
+
+    #[test]
+    fn every_pattern_appears_exactly_once() {
+        let query = q(
+            vec![
+                TriplePattern::new(QNode::Var(0), QLabel::Prop(PropertyId(0)), QNode::Var(1)),
+                TriplePattern::new(QNode::Var(1), QLabel::Prop(PropertyId(0)), QNode::Var(2)),
+                TriplePattern::new(QNode::Var(2), QLabel::Prop(PropertyId(1)), QNode::Var(3)),
+            ],
+            4,
+        );
+        let steps = explain(&query, &store());
+        let mut seen: Vec<usize> = steps.iter().map(|s| s.pattern_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let query = q(
+            vec![
+                TriplePattern::new(QNode::Var(0), QLabel::Prop(PropertyId(1)), QNode::Var(1)),
+                TriplePattern::new(QNode::Var(1), QLabel::Prop(PropertyId(0)), QNode::Var(2)),
+            ],
+            3,
+        );
+        let steps = explain(&query, &store());
+        let text = render(&query, &steps);
+        assert!(text.contains("?v0"));
+        assert!(text.contains("candidates"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! SPARQL BGP machinery: query graphs, a query parser, an indexed triple
+//! store, a homomorphism matcher, and the bindings algebra (union / hash
+//! join) used by distributed execution.
+//!
+//! This crate is the "centralized RDF engine" substrate the paper runs at
+//! every site (the authors used gStore): [`store::LocalStore`] answers all
+//! eight triple-pattern access paths via SPO/POS/OSP sorted permutations,
+//! and [`matcher::evaluate`] enumerates BGP homomorphisms (Definition 3.6)
+//! with dynamic selectivity-based pattern ordering.
+
+pub mod algebra;
+pub mod explain;
+pub mod matcher;
+pub mod parser;
+pub mod query;
+pub mod store;
+
+pub use algebra::{hash_join, join_all, Bindings};
+pub use explain::{explain, render as render_plan, PlanStep};
+pub use matcher::evaluate;
+pub use parser::{
+    numeric_value, parse_query, CompareOp, Filter, FilterOperand, ParsedQuery, QueryParseError,
+};
+pub use query::{QLabel, QNode, Query, QueryBuilder, TriplePattern};
+pub use store::{LocalStore, Pattern};

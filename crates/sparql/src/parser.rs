@@ -1,0 +1,1005 @@
+//! A parser for the SPARQL BGP fragment (Definition 3.5).
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := prefix* 'SELECT' ('*' | var+) 'WHERE' '{' triples '}'
+//! prefix  := 'PREFIX' NAME ':' IRIREF
+//! triples := pattern ('.' pattern)* '.'?
+//! pattern := term term term
+//! term    := var | IRIREF | prefixed | literal | 'a'
+//! ```
+//!
+//! where `a` abbreviates `rdf:type` as in Turtle. Parsed queries hold RDF
+//! [`Term`]s; [`ParsedQuery::resolve`] maps them into dictionary ids,
+//! returning `None` if any constant is absent from the dictionary (the
+//! query is then provably empty on that graph).
+
+use crate::query::{QLabel, QNode, Query, TriplePattern};
+use mpc_rdf::{Dictionary, FxHashMap, Term};
+use std::fmt;
+
+/// The rdf:type IRI that the keyword `a` abbreviates.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct QueryParseError(pub String);
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// A term position in a parsed pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PTerm {
+    /// A variable name (without `?`).
+    Var(String),
+    /// A constant term.
+    Term(Term),
+}
+
+/// One parsed triple pattern.
+#[derive(Clone, Debug)]
+pub struct PPattern {
+    /// Subject.
+    pub s: PTerm,
+    /// Predicate (must be a variable or an IRI).
+    pub p: PTerm,
+    /// Object.
+    pub o: PTerm,
+}
+
+/// A comparison operator in a FILTER expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=` — term equality.
+    Eq,
+    /// `!=` — term inequality.
+    Ne,
+    /// `<` — numeric less-than.
+    Lt,
+    /// `<=` — numeric less-or-equal.
+    Le,
+    /// `>` — numeric greater-than.
+    Gt,
+    /// `>=` — numeric greater-or-equal.
+    Ge,
+}
+
+impl CompareOp {
+    fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "=" => CompareOp::Eq,
+            "!=" => CompareOp::Ne,
+            "<" => CompareOp::Lt,
+            "<=" => CompareOp::Le,
+            ">" => CompareOp::Gt,
+            ">=" => CompareOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// One side of a FILTER comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilterOperand {
+    /// A variable name (without `?`).
+    Var(String),
+    /// A constant term (IRIs, literals; bare numbers become typed
+    /// literals).
+    Term(Term),
+}
+
+/// A `FILTER(lhs op rhs)` constraint.
+#[derive(Clone, Debug)]
+pub struct Filter {
+    /// Left operand.
+    pub lhs: FilterOperand,
+    /// Operator.
+    pub op: CompareOp,
+    /// Right operand.
+    pub rhs: FilterOperand,
+}
+
+/// A parsed (unresolved) query.
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// Projection list (empty means `SELECT *`).
+    pub select: Vec<String>,
+    /// True if `SELECT DISTINCT` was written. (Results are set-semantic
+    /// either way in this engine; the keyword is accepted for
+    /// compatibility.)
+    pub distinct: bool,
+    /// The triple patterns.
+    pub patterns: Vec<PPattern>,
+    /// `FILTER(...)` constraints, applied post-matching.
+    pub filters: Vec<Filter>,
+    /// `LIMIT n`, if present.
+    pub limit: Option<usize>,
+    /// `OFFSET n`, if present.
+    pub offset: Option<usize>,
+}
+
+impl ParsedQuery {
+    /// Resolves terms against a dictionary. Returns `Ok(None)` if some
+    /// constant does not occur in the dictionary — the query can have no
+    /// matches on that graph.
+    pub fn resolve(&self, dict: &Dictionary) -> Result<Option<Query>, QueryParseError> {
+        let mut var_names: Vec<String> = Vec::new();
+        let mut var_index: FxHashMap<String, u32> = FxHashMap::default();
+        let mut intern = |name: &str, var_names: &mut Vec<String>| -> u32 {
+            if let Some(&i) = var_index.get(name) {
+                return i;
+            }
+            let i = var_names.len() as u32;
+            var_index.insert(name.to_owned(), i);
+            var_names.push(name.to_owned());
+            i
+        };
+        let mut patterns = Vec::with_capacity(self.patterns.len());
+        for pat in &self.patterns {
+            let s = match &pat.s {
+                PTerm::Var(v) => QNode::Var(intern(v, &mut var_names)),
+                PTerm::Term(t) => match dict.vertex_id(t) {
+                    Some(id) => QNode::Const(id),
+                    None => return Ok(None),
+                },
+            };
+            let o = match &pat.o {
+                PTerm::Var(v) => QNode::Var(intern(v, &mut var_names)),
+                PTerm::Term(t) => match dict.vertex_id(t) {
+                    Some(id) => QNode::Const(id),
+                    None => return Ok(None),
+                },
+            };
+            let p = match &pat.p {
+                PTerm::Var(v) => QLabel::Var(intern(v, &mut var_names)),
+                PTerm::Term(Term::Iri(iri)) => match dict.property_id(iri) {
+                    Some(id) => QLabel::Prop(id),
+                    None => return Ok(None),
+                },
+                PTerm::Term(other) => {
+                    return Err(QueryParseError(format!(
+                        "predicate must be an IRI or variable, got {other}"
+                    )))
+                }
+            };
+            patterns.push(TriplePattern::new(s, p, o));
+        }
+        Ok(Some(Query::new(patterns, var_names)))
+    }
+
+    /// Column indices of the projection over a resolved query: `None` for
+    /// `SELECT *`. Errors if a projected variable does not occur in the
+    /// patterns.
+    pub fn projection(&self, query: &Query) -> Result<Option<Vec<u32>>, QueryParseError> {
+        if self.select.is_empty() {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(self.select.len());
+        for name in &self.select {
+            match query.var_names.iter().position(|n| n == name) {
+                Some(i) => out.push(i as u32),
+                None => {
+                    return Err(QueryParseError(format!(
+                        "projected variable ?{name} does not occur in the BGP"
+                    )))
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Applies FILTERs, projection, LIMIT and OFFSET to a full result.
+    ///
+    /// Filters need the dictionary to look bound ids back up as terms;
+    /// `=`/`!=` compare terms for identity, the ordering operators compare
+    /// numeric literal values (rows where either side is non-numeric are
+    /// dropped, mirroring SPARQL's error-as-false semantics).
+    pub fn finish(
+        &self,
+        query: &Query,
+        mut bindings: crate::algebra::Bindings,
+        dict: &Dictionary,
+    ) -> Result<crate::algebra::Bindings, QueryParseError> {
+        if !self.filters.is_empty() {
+            self.apply_filters(query, &mut bindings, dict)?;
+        }
+        let mut out = match self.projection(query)? {
+            Some(cols) => bindings.project(&cols),
+            None => bindings,
+        };
+        let offset = self.offset.unwrap_or(0);
+        if offset > 0 {
+            out.rows.drain(..offset.min(out.rows.len()));
+        }
+        if let Some(limit) = self.limit {
+            out.rows.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    fn apply_filters(
+        &self,
+        query: &Query,
+        bindings: &mut crate::algebra::Bindings,
+        dict: &Dictionary,
+    ) -> Result<(), QueryParseError> {
+        use crate::query::QLabel;
+        if dict.vertex_count() == 0 && dict.property_count() == 0 {
+            return Err(QueryParseError(
+                "FILTER evaluation requires a dictionary-backed graph".into(),
+            ));
+        }
+        // Which variables sit in the property position?
+        let mut is_property_var = vec![false; query.var_count()];
+        for pat in &query.patterns {
+            if let QLabel::Var(v) = pat.p {
+                is_property_var[v as usize] = true;
+            }
+        }
+        // Resolve each filter's operands to column indices or terms.
+        enum Side {
+            Col(usize, bool), // column, is_property_var
+            Term(Term),
+        }
+        let mut sides: Vec<(Side, CompareOp, Side)> = Vec::with_capacity(self.filters.len());
+        for f in &self.filters {
+            let resolve = |o: &FilterOperand| -> Result<Side, QueryParseError> {
+                match o {
+                    FilterOperand::Var(name) => {
+                        let idx = query
+                            .var_names
+                            .iter()
+                            .position(|n| n == name)
+                            .ok_or_else(|| {
+                                QueryParseError(format!(
+                                    "FILTER variable ?{name} does not occur in the BGP"
+                                ))
+                            })?;
+                        let col = bindings.column_of(idx as u32).ok_or_else(|| {
+                            QueryParseError(format!("?{name} missing from bindings"))
+                        })?;
+                        Ok(Side::Col(col, is_property_var[idx]))
+                    }
+                    FilterOperand::Term(t) => Ok(Side::Term(t.clone())),
+                }
+            };
+            sides.push((resolve(&f.lhs)?, f.op, resolve(&f.rhs)?));
+        }
+        let term_of = |side: &Side, row: &[u32]| -> Term {
+            match side {
+                Side::Term(t) => t.clone(),
+                Side::Col(col, true) => {
+                    Term::Iri(dict.property_iri(mpc_rdf_property(row[*col])).to_owned())
+                }
+                Side::Col(col, false) => dict.vertex_term(mpc_rdf_vertex(row[*col])).clone(),
+            }
+        };
+        bindings.rows.retain(|row| {
+            sides.iter().all(|(lhs, op, rhs)| {
+                let a = term_of(lhs, row);
+                let b = term_of(rhs, row);
+                match op {
+                    CompareOp::Eq => a == b,
+                    CompareOp::Ne => a != b,
+                    ordering => match (numeric_value(&a), numeric_value(&b)) {
+                        (Some(x), Some(y)) => match ordering {
+                            CompareOp::Lt => x < y,
+                            CompareOp::Le => x <= y,
+                            CompareOp::Gt => x > y,
+                            CompareOp::Ge => x >= y,
+                            _ => unreachable!(),
+                        },
+                        _ => false, // SPARQL: type error → row filtered out
+                    },
+                }
+            })
+        });
+        Ok(())
+    }
+}
+
+fn mpc_rdf_vertex(v: u32) -> mpc_rdf::VertexId {
+    mpc_rdf::VertexId(v)
+}
+
+fn mpc_rdf_property(v: u32) -> mpc_rdf::PropertyId {
+    mpc_rdf::PropertyId(v)
+}
+
+/// The numeric value of a literal term, if its lexical form parses.
+pub fn numeric_value(term: &Term) -> Option<f64> {
+    match term {
+        Term::Literal { lexical, .. } => lexical.trim().parse::<f64>().ok(),
+        _ => None,
+    }
+}
+
+/// Parses a query string into a [`ParsedQuery`].
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sparql::parse_query;
+///
+/// let q = parse_query(
+///     "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?a ex:knows ?b . ?b a ex:Person }",
+/// ).unwrap();
+/// assert_eq!(q.select, vec!["a"]);
+/// assert_eq!(q.patterns.len(), 2);
+/// ```
+pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = TokenCursor { tokens, pos: 0 };
+
+    let mut prefixes: FxHashMap<String, String> = FxHashMap::default();
+    loop {
+        match p.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("prefix") => {
+                p.advance();
+                let name = match p.next() {
+                    Some(Token::Word(w)) => {
+                        let w = w.strip_suffix(':').unwrap_or(&w).to_owned();
+                        w
+                    }
+                    other => return Err(err(format!("expected prefix name, got {other:?}"))),
+                };
+                let iri = match p.next() {
+                    Some(Token::Iri(i)) => i,
+                    other => return Err(err(format!("expected prefix IRI, got {other:?}"))),
+                };
+                prefixes.insert(name, iri);
+            }
+            _ => break,
+        }
+    }
+
+    match p.next() {
+        Some(Token::Word(w)) if w.eq_ignore_ascii_case("select") => {}
+        other => return Err(err(format!("expected SELECT, got {other:?}"))),
+    }
+    let mut distinct = false;
+    if matches!(p.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("distinct")) {
+        distinct = true;
+        p.advance();
+    }
+    let mut select = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Token::Var(v)) => {
+                select.push(v.clone());
+                p.advance();
+            }
+            Some(Token::Star) => {
+                p.advance();
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("where") => break,
+            other => return Err(err(format!("expected ?var, * or WHERE, got {other:?}"))),
+        }
+    }
+    p.advance(); // WHERE
+    match p.next() {
+        Some(Token::OpenBrace) => {}
+        other => return Err(err(format!("expected '{{', got {other:?}"))),
+    }
+
+    let mut patterns = Vec::new();
+    let mut filters = Vec::new();
+    loop {
+        if matches!(p.peek(), Some(Token::CloseBrace)) {
+            p.advance();
+            break;
+        }
+        if matches!(p.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("filter")) {
+            p.advance();
+            filters.push(parse_filter(&mut p, &prefixes)?);
+            // Optional '.' after a filter.
+            if matches!(p.peek(), Some(Token::Dot)) {
+                p.advance();
+            }
+            continue;
+        }
+        let s = parse_term(&mut p, &prefixes)?;
+        let pred = parse_term(&mut p, &prefixes)?;
+        let o = parse_term(&mut p, &prefixes)?;
+        if let PTerm::Term(t) = &pred {
+            if !matches!(t, Term::Iri(_)) {
+                return Err(err(format!("predicate must be an IRI or variable: {t}")));
+            }
+        }
+        patterns.push(PPattern { s, p: pred, o });
+        match p.peek() {
+            Some(Token::Dot) => {
+                p.advance();
+            }
+            Some(Token::CloseBrace) => {}
+            other => return Err(err(format!("expected '.' or '}}', got {other:?}"))),
+        }
+    }
+    if patterns.is_empty() {
+        return Err(err("query has no triple patterns".into()));
+    }
+
+    // Solution modifiers, in any order.
+    let mut limit = None;
+    let mut offset = None;
+    loop {
+        match p.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("limit") => {
+                p.advance();
+                limit = Some(parse_count(&mut p, "LIMIT")?);
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("offset") => {
+                p.advance();
+                offset = Some(parse_count(&mut p, "OFFSET")?);
+            }
+            Some(other) => return Err(err(format!("unexpected trailing token {other:?}"))),
+            None => break,
+        }
+    }
+    Ok(ParsedQuery {
+        select,
+        distinct,
+        patterns,
+        filters,
+        limit,
+        offset,
+    })
+}
+
+/// Parses `( operand op operand )` after the FILTER keyword.
+fn parse_filter(
+    p: &mut TokenCursor,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<Filter, QueryParseError> {
+    match p.next() {
+        Some(Token::OpenParen) => {}
+        other => return Err(err(format!("FILTER expects '(', got {other:?}"))),
+    }
+    let lhs = parse_filter_operand(p, prefixes)?;
+    let op = match p.next() {
+        Some(Token::Op(text)) => CompareOp::parse(text)
+            .ok_or_else(|| err(format!("unknown operator '{text}'")))?,
+        other => return Err(err(format!("FILTER expects an operator, got {other:?}"))),
+    };
+    let rhs = parse_filter_operand(p, prefixes)?;
+    match p.next() {
+        Some(Token::CloseParen) => {}
+        other => return Err(err(format!("FILTER expects ')', got {other:?}"))),
+    }
+    Ok(Filter { lhs, op, rhs })
+}
+
+fn parse_filter_operand(
+    p: &mut TokenCursor,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<FilterOperand, QueryParseError> {
+    match p.next() {
+        Some(Token::Var(v)) => Ok(FilterOperand::Var(v)),
+        Some(Token::Iri(i)) => Ok(FilterOperand::Term(Term::Iri(i))),
+        Some(Token::Literal(t)) => Ok(FilterOperand::Term(t)),
+        Some(Token::Word(w)) => {
+            // Bare numbers become typed literals; prefixed names resolve.
+            if w.parse::<i64>().is_ok() {
+                return Ok(FilterOperand::Term(Term::typed_literal(
+                    w,
+                    "http://www.w3.org/2001/XMLSchema#integer",
+                )));
+            }
+            if w.parse::<f64>().is_ok() {
+                return Ok(FilterOperand::Term(Term::typed_literal(
+                    w,
+                    "http://www.w3.org/2001/XMLSchema#decimal",
+                )));
+            }
+            if let Some((pfx, local)) = w.split_once(':') {
+                if let Some(base) = prefixes.get(pfx) {
+                    return Ok(FilterOperand::Term(Term::Iri(format!("{base}{local}"))));
+                }
+            }
+            Err(err(format!("bad FILTER operand '{w}'")))
+        }
+        other => Err(err(format!("bad FILTER operand {other:?}"))),
+    }
+}
+
+fn parse_count(p: &mut TokenCursor, what: &str) -> Result<usize, QueryParseError> {
+    match p.next() {
+        Some(Token::Word(w)) => w
+            .parse::<usize>()
+            .map_err(|_| err(format!("{what} expects a number, got '{w}'"))),
+        other => Err(err(format!("{what} expects a number, got {other:?}"))),
+    }
+}
+
+fn err(message: String) -> QueryParseError {
+    QueryParseError(message)
+}
+
+fn parse_term(
+    p: &mut TokenCursor,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<PTerm, QueryParseError> {
+    match p.next() {
+        Some(Token::Var(v)) => Ok(PTerm::Var(v)),
+        Some(Token::Iri(i)) => Ok(PTerm::Term(Term::Iri(i))),
+        Some(Token::Literal(t)) => Ok(PTerm::Term(t)),
+        Some(Token::Word(w)) => {
+            if w == "a" {
+                return Ok(PTerm::Term(Term::Iri(RDF_TYPE.to_owned())));
+            }
+            if let Some((pfx, local)) = w.split_once(':') {
+                if let Some(base) = prefixes.get(pfx) {
+                    return Ok(PTerm::Term(Term::Iri(format!("{base}{local}"))));
+                }
+                return Err(err(format!("unknown prefix '{pfx}:'")));
+            }
+            Err(err(format!("unexpected token '{w}'")))
+        }
+        other => Err(err(format!("expected term, got {other:?}"))),
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Word(String),
+    Var(String),
+    Iri(String),
+    Literal(Term),
+    OpenBrace,
+    CloseBrace,
+    OpenParen,
+    CloseParen,
+    Dot,
+    Star,
+    /// A comparison operator inside FILTER: = != < <= > >=.
+    Op(&'static str),
+}
+
+struct TokenCursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl TokenCursor {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, QueryParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::OpenBrace);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::OpenParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::CloseParen);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Op("="));
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Op("!="));
+                } else {
+                    return Err(err("expected '=' after '!'".into()));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Op(">="));
+                } else {
+                    tokens.push(Token::Op(">"));
+                }
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::CloseBrace);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '?' | '$' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err("empty variable name".into()));
+                }
+                tokens.push(Token::Var(name));
+            }
+            '<' => {
+                chars.next();
+                // `<` is an IRI opener in term position but a comparison
+                // operator inside FILTER; what follows disambiguates.
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        tokens.push(Token::Op("<="));
+                    }
+                    Some(&c2)
+                        if c2.is_whitespace()
+                            || c2.is_ascii_digit()
+                            || matches!(c2, '?' | '$' | '"' | '-' | '+') =>
+                    {
+                        tokens.push(Token::Op("<"));
+                    }
+                    _ => {
+                        let mut iri = String::new();
+                        loop {
+                            match chars.next() {
+                                Some('>') => break,
+                                Some(c) => iri.push(c),
+                                None => return Err(err("unterminated IRI".into())),
+                            }
+                        }
+                        tokens.push(Token::Iri(iri));
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut lex = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => lex.push('"'),
+                            Some('\\') => lex.push('\\'),
+                            Some('n') => lex.push('\n'),
+                            Some('t') => lex.push('\t'),
+                            Some(c) => return Err(err(format!("bad escape '\\{c}'"))),
+                            None => return Err(err("dangling escape".into())),
+                        },
+                        Some(c) => lex.push(c),
+                        None => return Err(err("unterminated literal".into())),
+                    }
+                }
+                // Optional @lang or ^^<dt>.
+                match chars.peek() {
+                    Some('@') => {
+                        chars.next();
+                        let mut lang = String::new();
+                        while let Some(&c) = chars.peek() {
+                            if c.is_ascii_alphanumeric() || c == '-' {
+                                lang.push(c);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        tokens.push(Token::Literal(Term::lang_literal(lex, lang)));
+                    }
+                    Some('^') => {
+                        chars.next();
+                        if chars.next() != Some('^') || chars.next() != Some('<') {
+                            return Err(err("datatype must be '^^<iri>'".into()));
+                        }
+                        let mut dt = String::new();
+                        loop {
+                            match chars.next() {
+                                Some('>') => break,
+                                Some(c) => dt.push(c),
+                                None => return Err(err("unterminated datatype IRI".into())),
+                            }
+                        }
+                        tokens.push(Token::Literal(Term::typed_literal(lex, dt)));
+                    }
+                    _ => tokens.push(Token::Literal(Term::literal(lex))),
+                }
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '/') {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    return Err(err(format!("unexpected character '{c}'")));
+                }
+                tokens.push(Token::Word(word));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::GraphBuilder;
+
+    fn sample_dict() -> Dictionary {
+        let mut b = GraphBuilder::new();
+        b.add_iris("http://x/alice", "http://x/knows", "http://x/bob");
+        b.add_iris("http://x/bob", "http://x/knows", "http://x/carol");
+        b.add(
+            &Term::iri("http://x/alice"),
+            RDF_TYPE,
+            &Term::iri("http://x/Person"),
+        );
+        b.build().dictionary().clone()
+    }
+
+    #[test]
+    fn parses_basic_select() {
+        let q = parse_query(
+            "PREFIX x: <http://x/>\n\
+             SELECT ?a ?b WHERE { ?a x:knows ?b . }",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["a", "b"]);
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(
+            q.patterns[0].p,
+            PTerm::Term(Term::iri("http://x/knows"))
+        );
+    }
+
+    #[test]
+    fn resolves_against_dictionary() {
+        let dict = sample_dict();
+        let q = parse_query(
+            "PREFIX x: <http://x/>\n\
+             SELECT * WHERE { ?a x:knows ?b . ?b x:knows ?c }",
+        )
+        .unwrap();
+        let resolved = q.resolve(&dict).unwrap().unwrap();
+        assert_eq!(resolved.patterns.len(), 2);
+        assert_eq!(resolved.var_count(), 3);
+    }
+
+    #[test]
+    fn unknown_constant_resolves_to_none() {
+        let dict = sample_dict();
+        let q = parse_query("SELECT * WHERE { ?a <http://x/unknownProp> ?b }").unwrap();
+        assert!(q.resolve(&dict).unwrap().is_none());
+        let q2 =
+            parse_query("PREFIX x: <http://x/> SELECT * WHERE { <http://x/nobody> x:knows ?b }")
+                .unwrap();
+        assert!(q2.resolve(&dict).unwrap().is_none());
+    }
+
+    #[test]
+    fn a_keyword_is_rdf_type() {
+        let dict = sample_dict();
+        let q = parse_query("SELECT ?x WHERE { ?x a <http://x/Person> }").unwrap();
+        let resolved = q.resolve(&dict).unwrap().unwrap();
+        assert_eq!(resolved.patterns.len(), 1);
+        assert!(resolved.patterns[0].p.as_prop().is_some());
+    }
+
+    #[test]
+    fn property_variables_parse() {
+        let dict = sample_dict();
+        let q = parse_query("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        let resolved = q.resolve(&dict).unwrap().unwrap();
+        assert!(resolved.has_property_variables());
+    }
+
+    #[test]
+    fn literal_objects() {
+        let q = parse_query(r#"SELECT ?x WHERE { ?x <http://x/name> "Alice" }"#).unwrap();
+        match &q.patterns[0].o {
+            PTerm::Term(Term::Literal { lexical, .. }) => assert_eq!(lexical, "Alice"),
+            other => panic!("expected literal, got {other:?}"),
+        }
+        let q2 = parse_query(r#"SELECT ?x WHERE { ?x <http://x/age> "5"^^<http://x/int> }"#)
+            .unwrap();
+        assert!(matches!(&q2.patterns[0].o, PTerm::Term(Term::Literal { .. })));
+    }
+
+    #[test]
+    fn trailing_dot_optional() {
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y }").is_ok());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y . }").is_ok());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_query(
+            "# leading comment\nSELECT ?x WHERE { # inner\n ?x <p> ?y }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("WHERE { ?x <p> ?y }").is_err()); // no SELECT
+        assert!(parse_query("SELECT ?x { ?x <p> ?y }").is_err()); // no WHERE
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> }").is_err()); // 2 terms
+        assert!(parse_query("SELECT ?x WHERE { }").is_err()); // empty BGP
+        assert!(parse_query("SELECT ?x WHERE { ?x \"lit\" ?y }").is_err()); // literal predicate
+        assert!(parse_query("SELECT ?x WHERE { ?x unknown:p ?y }").is_err()); // unknown prefix
+    }
+
+    #[test]
+    fn filter_parsing() {
+        let q = parse_query(
+            "PREFIX x: <http://x/> SELECT ?a WHERE { \
+             ?a x:age ?n . FILTER(?n >= 18) . FILTER(?a != x:bob) }",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters[0].op, CompareOp::Ge);
+        assert!(matches!(&q.filters[0].rhs, FilterOperand::Term(Term::Literal { lexical, .. }) if lexical == "18"));
+        assert_eq!(q.filters[1].op, CompareOp::Ne);
+
+        // Operators tokenize next to IRIs without confusion.
+        let q2 = parse_query(
+            "SELECT ?a WHERE { ?a <http://x/p> ?b . FILTER(?b = <http://x/c>) }",
+        )
+        .unwrap();
+        assert_eq!(q2.filters.len(), 1);
+        assert!(parse_query("SELECT ?a WHERE { ?a <p> ?b . FILTER ?b }").is_err());
+        assert!(parse_query("SELECT ?a WHERE { ?a <p> ?b . FILTER(?b ! ?a) }").is_err());
+    }
+
+    #[test]
+    fn filters_apply_in_finish() {
+        use crate::matcher::evaluate;
+        use crate::store::LocalStore;
+        let mut b = mpc_rdf::GraphBuilder::new();
+        b.add(&Term::iri("http://x/alice"), "http://x/age", &Term::typed_literal("31", "http://www.w3.org/2001/XMLSchema#integer"));
+        b.add(&Term::iri("http://x/bob"), "http://x/age", &Term::typed_literal("12", "http://www.w3.org/2001/XMLSchema#integer"));
+        b.add(&Term::iri("http://x/carol"), "http://x/age", &Term::literal("n/a"));
+        let g = b.build();
+        let parsed = parse_query(
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:age ?n . FILTER(?n >= 18) }",
+        )
+        .unwrap();
+        let query = parsed.resolve(g.dictionary()).unwrap().unwrap();
+        let full = evaluate(&query, &LocalStore::from_graph(&g));
+        assert_eq!(full.len(), 3);
+        let result = parsed.finish(&query, full, g.dictionary()).unwrap();
+        // Only alice passes: bob is 12, carol's age is non-numeric.
+        assert_eq!(result.len(), 1);
+        let alice = g.dictionary().vertex_id(&Term::iri("http://x/alice")).unwrap();
+        assert_eq!(result.rows[0][0], alice.0);
+
+        // Term equality filter.
+        let parsed2 = parse_query(
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:age ?n . FILTER(?p = x:bob) }",
+        )
+        .unwrap();
+        let q2 = parsed2.resolve(g.dictionary()).unwrap().unwrap();
+        let full2 = evaluate(&q2, &LocalStore::from_graph(&g));
+        let r2 = parsed2.finish(&q2, full2, g.dictionary()).unwrap();
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn numeric_value_parses_literals_only() {
+        assert_eq!(numeric_value(&Term::literal("42")), Some(42.0));
+        assert_eq!(numeric_value(&Term::typed_literal("-3.5", "dt")), Some(-3.5));
+        assert_eq!(numeric_value(&Term::literal("hello")), None);
+        assert_eq!(numeric_value(&Term::iri("42")), None);
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let q = parse_query(
+            "SELECT DISTINCT ?x WHERE { ?x <http://x/knows> ?y } LIMIT 5 OFFSET 2",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.offset, Some(2));
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } LIMIT nope").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } GARBAGE").is_err());
+    }
+
+    #[test]
+    fn projection_and_finish() {
+        use crate::matcher::evaluate;
+        use crate::store::LocalStore;
+        let dict = sample_dict();
+        let parsed = parse_query(
+            "PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } LIMIT 1",
+        )
+        .unwrap();
+        let query = parsed.resolve(&dict).unwrap().unwrap();
+        let cols = parsed.projection(&query).unwrap().unwrap();
+        assert_eq!(cols, vec![0]);
+
+        // Build a store over the same dictionary's graph.
+        let mut b = mpc_rdf::GraphBuilder::new();
+        b.add_iris("http://x/alice", "http://x/knows", "http://x/bob");
+        b.add_iris("http://x/bob", "http://x/knows", "http://x/carol");
+        let g = b.build();
+        let parsed2 = parse_query(
+            "PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } LIMIT 1",
+        )
+        .unwrap();
+        let q2 = parsed2.resolve(g.dictionary()).unwrap().unwrap();
+        let full = evaluate(&q2, &LocalStore::from_graph(&g));
+        assert_eq!(full.len(), 2);
+        let finished = parsed2.finish(&q2, full, g.dictionary()).unwrap();
+        assert_eq!(finished.vars, vec![0]);
+        assert_eq!(finished.len(), 1);
+
+        // Projecting a variable that does not occur errors.
+        let bad = parse_query("PREFIX x: <http://x/> SELECT ?zzz WHERE { ?a x:knows ?b }")
+            .unwrap();
+        let qb = bad.resolve(g.dictionary()).unwrap().unwrap();
+        assert!(bad.projection(&qb).is_err());
+    }
+
+    #[test]
+    fn unknown_literal_predicate_in_resolve() {
+        // A literal sneaking into predicate position via ParsedQuery is
+        // rejected at resolve time as well.
+        let pq = ParsedQuery {
+            select: vec![],
+            distinct: false,
+            filters: vec![],
+            limit: None,
+            offset: None,
+            patterns: vec![PPattern {
+                s: PTerm::Var("x".into()),
+                p: PTerm::Term(Term::literal("oops")),
+                o: PTerm::Var("y".into()),
+            }],
+        };
+        let dict = sample_dict();
+        assert!(pq.resolve(&dict).is_err());
+    }
+}

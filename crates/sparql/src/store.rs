@@ -1,0 +1,320 @@
+//! An indexed triple store — the per-site "centralized RDF engine".
+//!
+//! Each partition site holds one [`LocalStore`] over its fragment. Three
+//! sorted permutation indexes (SPO, POS, OSP) answer every triple-pattern
+//! access path by binary search, the standard layout of centralized RDF
+//! engines (RDF-3X, gStore's VS-tree plays the same role).
+
+use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+
+/// A sorted-permutation triple store.
+///
+/// Duplicate triples are removed at construction: SPARQL BGP matching has
+/// set semantics, so multiset duplicates can only produce duplicate rows.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_rdf::{PropertyId, Triple, VertexId};
+/// use mpc_sparql::{LocalStore, Pattern};
+///
+/// let store = LocalStore::new(vec![
+///     Triple::new(VertexId(0), PropertyId(0), VertexId(1)),
+///     Triple::new(VertexId(0), PropertyId(1), VertexId(2)),
+/// ]);
+/// let by_subject = Pattern { s: Some(VertexId(0)), ..Pattern::any() };
+/// assert_eq!(store.count(&by_subject), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalStore {
+    triples: Vec<Triple>,
+    /// Indices sorted by (s, p, o).
+    spo: Vec<u32>,
+    /// Indices sorted by (p, o, s).
+    pos: Vec<u32>,
+    /// Indices sorted by (o, s, p).
+    osp: Vec<u32>,
+}
+
+/// A triple-pattern access: each position is either bound or free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pattern {
+    /// Bound subject.
+    pub s: Option<VertexId>,
+    /// Bound property.
+    pub p: Option<PropertyId>,
+    /// Bound object.
+    pub o: Option<VertexId>,
+}
+
+impl Pattern {
+    /// A fully unbound pattern.
+    pub fn any() -> Self {
+        Pattern::default()
+    }
+
+    /// True if a triple matches all bound positions.
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+impl LocalStore {
+    /// Builds a store from triples (duplicates are dropped).
+    pub fn new(mut triples: Vec<Triple>) -> Self {
+        triples.sort_unstable();
+        triples.dedup();
+        let n = triples.len() as u32;
+        let mut spo: Vec<u32> = (0..n).collect(); // already (s,p,o)-sorted
+        let mut pos: Vec<u32> = (0..n).collect();
+        let mut osp: Vec<u32> = (0..n).collect();
+        spo.sort_unstable_by_key(|&i| {
+            let t = triples[i as usize];
+            (t.s, t.p, t.o)
+        });
+        pos.sort_unstable_by_key(|&i| {
+            let t = triples[i as usize];
+            (t.p, t.o, t.s)
+        });
+        osp.sort_unstable_by_key(|&i| {
+            let t = triples[i as usize];
+            (t.o, t.s, t.p)
+        });
+        LocalStore {
+            triples,
+            spo,
+            pos,
+            osp,
+        }
+    }
+
+    /// Builds a store over a whole RDF graph.
+    pub fn from_graph(g: &RdfGraph) -> Self {
+        Self::new(g.triples().to_vec())
+    }
+
+    /// Number of stored (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All stored triples in (s, p, o) order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of triples matching a pattern — the matcher's selectivity
+    /// estimate. Costs two binary searches.
+    pub fn count(&self, pat: &Pattern) -> usize {
+        self.select_range(pat).len()
+    }
+
+    /// Iterates all triples matching a pattern, using the best index.
+    /// Every access path is fully covered by one of the three sorted
+    /// permutations, so no residual filtering is needed.
+    pub fn scan<'a>(&'a self, pat: &Pattern) -> impl Iterator<Item = Triple> + 'a {
+        self.select_range(pat)
+            .iter()
+            .map(move |&i| self.triples[i as usize])
+    }
+
+    /// Picks the index whose sort order covers the bound positions and
+    /// narrows it by binary search.
+    fn select_range(&self, pat: &Pattern) -> &[u32] {
+        let t = |i: &u32| self.triples[*i as usize];
+        match (pat.s, pat.p, pat.o) {
+            (None, None, None) => &self.spo,
+            // Prefixes of SPO.
+            (Some(s), None, None) => range_by(&self.spo, |i| t(i).s.cmp(&s)),
+            (Some(s), Some(p), None) => {
+                range_by(&self.spo, |i| (t(i).s, t(i).p).cmp(&(s, p)))
+            }
+            (Some(s), Some(p), Some(o)) => {
+                range_by(&self.spo, |i| (t(i).s, t(i).p, t(i).o).cmp(&(s, p, o)))
+            }
+            // Prefixes of POS.
+            (None, Some(p), None) => range_by(&self.pos, |i| t(i).p.cmp(&p)),
+            (None, Some(p), Some(o)) => {
+                range_by(&self.pos, |i| (t(i).p, t(i).o).cmp(&(p, o)))
+            }
+            // Prefixes of OSP.
+            (None, None, Some(o)) => range_by(&self.osp, |i| t(i).o.cmp(&o)),
+            (Some(s), None, Some(o)) => {
+                range_by(&self.osp, |i| (t(i).o, t(i).s).cmp(&(o, s)))
+            }
+        }
+    }
+}
+
+/// Binary-searches the maximal subslice where `cmp` returns `Equal`,
+/// assuming the slice is sorted consistently with `cmp`.
+fn range_by<F>(index: &[u32], cmp: F) -> &[u32]
+where
+    F: Fn(&u32) -> std::cmp::Ordering,
+{
+    let lo = index.partition_point(|i| cmp(i) == std::cmp::Ordering::Less);
+    let hi = index.partition_point(|i| cmp(i) != std::cmp::Ordering::Greater);
+    &index[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn store() -> LocalStore {
+        LocalStore::new(vec![
+            t(0, 0, 1),
+            t(0, 0, 2),
+            t(0, 1, 1),
+            t(1, 0, 2),
+            t(2, 1, 0),
+            t(2, 1, 0), // duplicate
+        ])
+    }
+
+    #[test]
+    fn dedups() {
+        assert_eq!(store().len(), 5);
+    }
+
+    #[test]
+    fn full_scan() {
+        let s = store();
+        assert_eq!(s.scan(&Pattern::any()).count(), 5);
+    }
+
+    #[test]
+    fn all_access_paths() {
+        let s = store();
+        let by = |sp: Option<u32>, pp: Option<u32>, op: Option<u32>| Pattern {
+            s: sp.map(VertexId),
+            p: pp.map(PropertyId),
+            o: op.map(VertexId),
+        };
+        // s
+        assert_eq!(s.scan(&by(Some(0), None, None)).count(), 3);
+        // s,p
+        assert_eq!(s.scan(&by(Some(0), Some(0), None)).count(), 2);
+        // s,p,o
+        assert_eq!(s.scan(&by(Some(0), Some(0), Some(2))).count(), 1);
+        assert_eq!(s.scan(&by(Some(0), Some(1), Some(2))).count(), 0);
+        // p
+        assert_eq!(s.scan(&by(None, Some(1), None)).count(), 2);
+        // p,o
+        assert_eq!(s.scan(&by(None, Some(0), Some(2))).count(), 2);
+        // o
+        assert_eq!(s.scan(&by(None, None, Some(1))).count(), 2);
+        // s,o
+        assert_eq!(s.scan(&by(Some(0), None, Some(1))).count(), 2);
+    }
+
+    #[test]
+    fn scan_results_match_pattern() {
+        let s = store();
+        let pat = Pattern {
+            s: Some(VertexId(0)),
+            p: None,
+            o: Some(VertexId(1)),
+        };
+        for t in s.scan(&pat) {
+            assert!(pat.matches(&t));
+        }
+    }
+
+    #[test]
+    fn count_equals_scan_len() {
+        let s = store();
+        let pats = [
+            Pattern::any(),
+            Pattern {
+                s: Some(VertexId(0)),
+                ..Default::default()
+            },
+            Pattern {
+                p: Some(PropertyId(1)),
+                ..Default::default()
+            },
+            Pattern {
+                o: Some(VertexId(2)),
+                ..Default::default()
+            },
+        ];
+        for pat in pats {
+            assert_eq!(s.count(&pat), s.scan(&pat).count());
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = LocalStore::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.scan(&Pattern::any()).count(), 0);
+    }
+
+    #[test]
+    fn missing_keys_yield_empty() {
+        let s = store();
+        let pat = Pattern {
+            s: Some(VertexId(99)),
+            ..Default::default()
+        };
+        assert_eq!(s.count(&pat), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn triples_strategy() -> impl Strategy<Value = Vec<Triple>> {
+        proptest::collection::vec((0u32..8, 0u32..4, 0u32..8), 0..60).prop_map(|v| {
+            v.into_iter()
+                .map(|(s, p, o)| Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                .collect()
+        })
+    }
+
+    fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+        (
+            proptest::option::of(0u32..8),
+            proptest::option::of(0u32..4),
+            proptest::option::of(0u32..8),
+        )
+            .prop_map(|(s, p, o)| Pattern {
+                s: s.map(VertexId),
+                p: p.map(PropertyId),
+                o: o.map(VertexId),
+            })
+    }
+
+    proptest! {
+        /// Every access path returns exactly the brute-force filter result.
+        #[test]
+        fn scan_equals_filter(triples in triples_strategy(), pat in pattern_strategy()) {
+            let store = LocalStore::new(triples.clone());
+            let mut expected: Vec<Triple> = {
+                let mut t = triples;
+                t.sort_unstable();
+                t.dedup();
+                t.into_iter().filter(|t| pat.matches(t)).collect()
+            };
+            expected.sort_unstable();
+            let mut got: Vec<Triple> = store.scan(&pat).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

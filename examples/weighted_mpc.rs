@@ -1,0 +1,61 @@
+//! Workload-weighted MPC (the extension the paper defers to future work):
+//! feed the query log's property frequencies into internal property
+//! selection and compare the workload IEQ rate against unweighted MPC.
+//!
+//! ```sh
+//! cargo run --release --example weighted_mpc
+//! ```
+
+use mpc::cluster::{classify, CrossingSet};
+use mpc::core::{MpcConfig, MpcPartitioner, Partitioner, PropertyWeights};
+use mpc::datagen::realistic::{generate, RealisticConfig};
+use mpc::datagen::{QuerySampler, ShapeMix};
+
+fn main() {
+    const K: usize = 8;
+    let cfg = RealisticConfig::dbpedia_like().scaled(0.2);
+    let graph = generate(&cfg);
+    // A skewed workload: the log hammers a subset of properties.
+    let mut sampler = QuerySampler::new(&graph, 0xbeef);
+    let log = sampler.sample_log(400, &ShapeMix::dbpedia_like());
+    println!(
+        "{} analog: {} triples, {} properties; workload: {} queries\n",
+        cfg.name,
+        graph.triple_count(),
+        graph.property_count(),
+        log.len()
+    );
+
+    let weights = PropertyWeights::from_workload(log.iter(), graph.property_count());
+
+    let ieq_rate = |partitioning: &mpc::core::Partitioning| -> f64 {
+        let crossing = CrossingSet(
+            graph
+                .property_ids()
+                .map(|p| partitioning.is_crossing_property(p))
+                .collect(),
+        );
+        let ieqs = log.iter().filter(|q| classify(q, &crossing).is_ieq()).count();
+        100.0 * ieqs as f64 / log.len() as f64
+    };
+
+    let plain = MpcPartitioner::new(MpcConfig::with_k(K)).partition(&graph);
+    let weighted = MpcPartitioner::new(MpcConfig {
+        weights: Some(weights),
+        ..MpcConfig::with_k(K)
+    })
+    .partition(&graph);
+
+    println!(
+        "{:<14} |L_cross| = {:<5} workload IEQs = {:.1}%",
+        "MPC",
+        plain.crossing_property_count(),
+        ieq_rate(&plain)
+    );
+    println!(
+        "{:<14} |L_cross| = {:<5} workload IEQs = {:.1}%",
+        "weighted MPC",
+        weighted.crossing_property_count(),
+        ieq_rate(&weighted)
+    );
+}

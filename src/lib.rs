@@ -1,0 +1,54 @@
+//! Umbrella crate for the MPC (Minimum Property-Cut) RDF graph partitioning
+//! reproduction. Re-exports every workspace crate under one roof so examples
+//! and downstream users can depend on a single `mpc` crate.
+//!
+//! * [`rdf`] — RDF terms, dictionary encoding, graphs, N-Triples I/O.
+//! * [`dsu`] — disjoint-set forests (Section IV-D of the paper).
+//! * [`metis`] — multilevel min edge-cut partitioner (METIS substrate).
+//! * [`core`] — the MPC partitioning algorithm and baselines.
+//! * [`sparql`] — BGP queries, triple store, homomorphism matcher.
+//! * [`cluster`] — simulated distributed engine (IEQ classification,
+//!   Algorithm 2 decomposition, per-stage execution statistics).
+//! * [`datagen`] — seeded dataset and workload generators.
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use mpc::cluster::{DistributedEngine, NetworkModel};
+//! use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
+//! use mpc::rdf::ntriples;
+//! use mpc::sparql::parse_query;
+//!
+//! // A tiny two-community graph: `knows` stays inside communities,
+//! // `follows` bridges them.
+//! let graph = ntriples::parse_str(
+//!     "<a> <knows> <b> .\n\
+//!      <b> <knows> <c> .\n\
+//!      <x> <knows> <y> .\n\
+//!      <y> <knows> <z> .\n\
+//!      <c> <follows> <x> .\n",
+//! ).unwrap();
+//!
+//! // Partition with MPC: `follows` becomes the only crossing property.
+//! let partitioning = MpcPartitioner::new(MpcConfig::with_k(2)).partition(&graph);
+//! assert_eq!(partitioning.crossing_property_count(), 1);
+//!
+//! // A non-star path query over `knows` runs without inter-partition joins.
+//! let engine = DistributedEngine::build(&graph, &partitioning, NetworkModel::default());
+//! let query = parse_query("SELECT * WHERE { ?a <knows> ?b . ?b <knows> ?c }")
+//!     .unwrap()
+//!     .resolve(graph.dictionary())
+//!     .unwrap()
+//!     .unwrap();
+//! let (result, stats) = engine.execute(&query);
+//! assert!(stats.independent);
+//! assert_eq!(result.len(), 2); // a→b→c and x→y→z
+//! ```
+
+pub use mpc_cluster as cluster;
+pub use mpc_core as core;
+pub use mpc_datagen as datagen;
+pub use mpc_dsu as dsu;
+pub use mpc_metis as metis;
+pub use mpc_rdf as rdf;
+pub use mpc_sparql as sparql;
