@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: build, test, lint, and docs for the whole workspace.
+# Usage: ./ci.sh
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> ci.sh: all green"

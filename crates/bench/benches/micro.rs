@@ -15,7 +15,7 @@ use mpc_datagen::realistic::{generate as gen_real, RealisticConfig};
 use mpc_datagen::{QuerySampler, Shape};
 use mpc_dsu::DisjointSetForest;
 use mpc_metis::{partition, MetisConfig, WeightedGraph};
-use mpc_sparql::{evaluate, LocalStore};
+use mpc_sparql::{evaluate, evaluate_observed, LocalStore, MatchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -137,6 +137,36 @@ fn bench_matcher(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability acceptance gate: the matcher hot loop with the no-op
+/// `()` observer must cost the same as the plain `evaluate` (the observer
+/// is monomorphized away), and the counting observer's overhead should
+/// stay small. Compare `obs_overhead/{plain,noop_observer}` medians —
+/// the target is ≤2% difference.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    let d = lubm::generate(&LubmConfig {
+        universities: 3,
+        ..Default::default()
+    });
+    let store = LocalStore::from_graph(&d.graph);
+    let queries = d.benchmark_queries();
+    let lq2 = &queries.iter().find(|q| q.name == "LQ2").unwrap().query;
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(evaluate(lq2, &store)))
+    });
+    group.bench_function("noop_observer", |b| {
+        b.iter(|| black_box(evaluate_observed(lq2, &store, &mut ())))
+    });
+    group.bench_function("counting_observer", |b| {
+        b.iter(|| {
+            let mut stats = MatchStats::default();
+            let out = evaluate_observed(lq2, &store, &mut stats);
+            black_box((out, stats))
+        })
+    });
+    group.finish();
+}
+
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("planning");
     let graph = gen_real(&RealisticConfig {
@@ -240,6 +270,7 @@ criterion_group! {
         bench_selection,
         bench_metis,
         bench_matcher,
+        bench_obs_overhead,
         bench_planning,
         bench_distributed,
         bench_end_to_end_partition

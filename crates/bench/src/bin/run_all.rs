@@ -14,5 +14,6 @@ fn main() {
     mpc_bench::experiments::table7::run();
     mpc_bench::experiments::khop::run();
     mpc_bench::experiments::semijoin::run();
+    mpc_bench::experiments::runreport::run();
     println!("\nAll experiments done in {:.1}s; outputs in bench_results/.", t0.elapsed().as_secs_f64());
 }

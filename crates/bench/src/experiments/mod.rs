@@ -6,6 +6,7 @@ pub mod khop;
 pub mod semijoin;
 pub mod fig7;
 pub mod fig8;
+pub mod runreport;
 pub mod scalability;
 pub mod stages;
 pub mod table2;

@@ -7,6 +7,7 @@ use mpc_core::{
     EdgePartitioning, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
     Partitioning, SubjectHashPartitioner, VerticalPartitioner,
 };
+use mpc_obs::{Json, Recorder};
 use mpc_rdf::RdfGraph;
 use mpc_sparql::Query;
 use std::time::{Duration, Instant};
@@ -79,6 +80,31 @@ pub fn partition_with(method: Method, graph: &RdfGraph) -> Partitioned {
     }
 }
 
+/// Like [`partition_with`], but folds per-stage spans and counters into
+/// `rec`. Only MPC has internal stages; the baselines record a single
+/// `partition.total` timer.
+pub fn partition_with_traced(method: Method, graph: &RdfGraph, rec: &Recorder) -> Partitioned {
+    let t0 = Instant::now();
+    let partitioning = match method {
+        Method::Mpc => {
+            MpcPartitioner::new(MpcConfig::with_k(K))
+                .partition_traced(graph, rec)
+                .0
+        }
+        _ => {
+            let span = rec.span("partition.total");
+            let p = method.partitioner().partition(graph);
+            drop(span);
+            p
+        }
+    };
+    Partitioned {
+        method,
+        partitioning,
+        partition_time: t0.elapsed(),
+    }
+}
+
 /// The VP baseline: edge-disjoint partitioning plus timing.
 pub fn partition_vp(graph: &RdfGraph) -> (EdgePartitioning, Duration) {
     let t0 = Instant::now();
@@ -127,7 +153,88 @@ pub fn run(engine: &DistributedEngine, method: Method, query: &Query) -> Executi
     engine.execute_mode(query, method.native_mode()).1
 }
 
+/// Like [`run`], but folds query spans and matcher counters into `rec`.
+pub fn run_traced(
+    engine: &DistributedEngine,
+    method: Method,
+    query: &Query,
+    rec: &Recorder,
+) -> ExecutionStats {
+    engine.execute_traced(query, method.native_mode(), rec).1
+}
+
 /// Milliseconds of total response time.
 pub fn total_ms(stats: &ExecutionStats) -> f64 {
     stats.total().as_secs_f64() * 1e3
+}
+
+/// A machine-readable record of one instrumented benchmark run: metadata
+/// plus every timer and counter the [`Recorder`] collected. Serialized to
+/// `bench_results/<experiment>.json` (see `docs/OBSERVABILITY.md` for the
+/// schema).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Experiment name — becomes the output file stem.
+    pub experiment: String,
+    /// Dataset the run used.
+    pub dataset: String,
+    /// Partitioning method under test.
+    pub method: String,
+    /// Number of partitions/sites.
+    pub k: usize,
+    /// Dataset scale factor (`MPC_BENCH_SCALE`).
+    pub scale: f64,
+    /// Every metric the run recorded.
+    pub metrics: mpc_obs::Report,
+}
+
+impl RunReport {
+    /// Assembles a report from run metadata and a recorder's contents.
+    pub fn new(experiment: &str, dataset: &str, method: Method, scale: f64, rec: &Recorder) -> Self {
+        RunReport {
+            experiment: experiment.to_owned(),
+            dataset: dataset.to_owned(),
+            method: method.name().to_owned(),
+            k: K,
+            scale,
+            metrics: rec.report(),
+        }
+    }
+
+    /// The JSON document: `{"experiment", "dataset", "method", "k",
+    /// "scale", "metrics"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("dataset", Json::from(self.dataset.as_str())),
+            ("method", Json::from(self.method.as_str())),
+            ("k", Json::from(self.k as u64)),
+            ("scale", Json::from(self.scale)),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+
+    /// Writes the pretty-printed JSON to
+    /// `bench_results/<experiment>.json`, returning the path.
+    pub fn write(&self) -> std::path::PathBuf {
+        crate::report::write_json(&self.experiment, &self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_report_serializes_metadata_and_metrics() {
+        let rec = Recorder::enabled();
+        rec.add("query.match.steps", 7);
+        rec.record("partition.select", Duration::from_millis(3));
+        let report = RunReport::new("unit_test", "lubm", Method::Mpc, 1.0, &rec);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"experiment\": \"unit_test\""), "{json}");
+        assert!(json.contains("\"method\": \"MPC\""), "{json}");
+        assert!(json.contains("\"steps\": 7"), "{json}");
+        assert!(json.contains("\"select\""), "{json}");
+    }
 }

@@ -14,7 +14,7 @@
 //! | `table7`   | Table VII — greedy vs MPC-Exact |
 //! | `ablation_khop` | extension: k-hop replication trade-off |
 //! | `ablation_semijoin` | extension: Bloom-semijoin reduction |
-//! | `run_all`  | everything above, writing `bench_results/` |
+//! | `run_all`  | everything above, plus an instrumented run writing `bench_results/run_report.json` |
 //!
 //! All binaries honor `MPC_BENCH_SCALE` (default 1.0) to shrink or grow
 //! the generated datasets, and write both stdout and

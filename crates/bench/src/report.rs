@@ -108,6 +108,14 @@ pub fn emit(file: &str, title: &str, body: &str) {
     }
 }
 
+/// Writes a pretty-printed JSON document to `bench_results/<file>.json`,
+/// returning the path.
+pub fn write_json(file: &str, json: &mpc_obs::Json) -> PathBuf {
+    let path = results_dir().join(format!("{file}.json"));
+    let _ = fs::write(&path, format!("{}\n", json.pretty()));
+    path
+}
+
 /// Truncates (re-starts) an experiment's output file.
 pub fn fresh(file: &str) {
     let path = results_dir().join(format!("{file}.txt"));

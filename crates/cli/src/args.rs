@@ -3,17 +3,29 @@
 use crate::CliError;
 use mpc_rdf::FxHashMap;
 
-/// Parsed `--key value` options.
+/// Parsed `--key value` options plus valueless `--flag` switches.
 #[derive(Debug, Default)]
 pub struct Options {
     values: FxHashMap<String, String>,
+    flags: Vec<String>,
 }
 
 impl Options {
     /// Parses alternating `--key value` pairs; rejects positional arguments
     /// and unknown keys.
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        Self::parse_with_flags(args, allowed, &[])
+    }
+
+    /// Like [`Options::parse`], but names in `flags` are boolean switches
+    /// that take no value (e.g. `--profile`).
+    pub fn parse_with_flags(
+        args: &[String],
+        allowed: &[&str],
+        flags: &[&str],
+    ) -> Result<Self, CliError> {
         let mut values = FxHashMap::default();
+        let mut seen_flags = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let key = &args[i];
@@ -22,11 +34,20 @@ impl Options {
                     "unexpected positional argument '{key}'"
                 )));
             };
+            if flags.contains(&name) {
+                if seen_flags.iter().any(|f| f == name) {
+                    return Err(CliError::new(format!("flag '--{name}' given twice")));
+                }
+                seen_flags.push(name.to_owned());
+                i += 1;
+                continue;
+            }
             if !allowed.contains(&name) {
                 return Err(CliError::new(format!(
                     "unknown option '--{name}' (expected one of: {})",
                     allowed
                         .iter()
+                        .chain(flags)
                         .map(|a| format!("--{a}"))
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -40,7 +61,15 @@ impl Options {
             }
             i += 2;
         }
-        Ok(Options { values })
+        Ok(Options {
+            values,
+            flags: seen_flags,
+        })
+    }
+
+    /// True if the boolean switch `name` was present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 
     /// A required option.
@@ -90,6 +119,23 @@ mod tests {
         assert!(Options::parse(&strs(&["positional"]), &["k"]).is_err());
         assert!(Options::parse(&strs(&["--k"]), &["k"]).is_err());
         assert!(Options::parse(&strs(&["--k", "1", "--k", "2"]), &["k"]).is_err());
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let o = Options::parse_with_flags(
+            &strs(&["--profile", "--k", "8"]),
+            &["k"],
+            &["profile"],
+        )
+        .unwrap();
+        assert!(o.flag("profile"));
+        assert!(!o.flag("other"));
+        assert_eq!(o.parse_or::<usize>("k", 1).unwrap(), 8);
+        // A flag name is not accepted as a value-taking option elsewhere.
+        assert!(Options::parse_with_flags(&strs(&["--profile", "--profile"]), &[], &["profile"])
+            .is_err());
+        assert!(Options::parse(&strs(&["--profile"]), &["k"]).is_err());
     }
 
     #[test]

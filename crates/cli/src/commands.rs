@@ -9,6 +9,7 @@ use mpc_core::{
 use mpc_datagen::lubm::{self, LubmConfig};
 use mpc_datagen::realistic::{generate as gen_real, RealisticConfig};
 use mpc_datagen::watdiv::{self, WatdivConfig};
+use mpc_obs::Recorder;
 use mpc_rdf::{ntriples, turtle, RdfGraph, VertexId};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -154,15 +155,35 @@ fn build_partitioner(method: &str, k: usize, epsilon: f64) -> Result<Box<dyn Par
 
 /// `mpc partition`.
 pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let o = Options::parse(args, &["input", "out", "method", "k", "epsilon"])?;
+    let o = Options::parse_with_flags(
+        args,
+        &["input", "out", "method", "k", "epsilon"],
+        &["profile"],
+    )?;
     let graph = load_graph(o.required("input")?)?;
     let out_path = o.required("out")?;
     let k: usize = o.parse_or("k", 8)?;
     let epsilon: f64 = o.parse_or("epsilon", 0.1)?;
     let method = o.get("method").unwrap_or("mpc");
     let partitioner = build_partitioner(method, k, epsilon)?;
+    let rec = if o.flag("profile") {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let t0 = Instant::now();
-    let partitioning = partitioner.partition(&graph);
+    let partitioning = if rec.is_enabled() && method == "mpc" {
+        // The MPC pipeline has per-stage spans; baselines only get the
+        // overall timer below.
+        let mpc = MpcPartitioner::new(MpcConfig {
+            epsilon,
+            ..MpcConfig::with_k(k)
+        });
+        mpc.partition_traced(&graph, &rec).0
+    } else {
+        let _total = rec.span("partition.total");
+        partitioner.partition(&graph)
+    };
     let took = t0.elapsed();
     let file = File::create(out_path)
         .map_err(|e| CliError::new(format!("cannot create '{out_path}': {e}")))?;
@@ -179,6 +200,10 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         partitioning.imbalance()
     )?;
     writeln!(out, "saved to {out_path}")?;
+    if rec.is_enabled() {
+        writeln!(out, "\nprofile:")?;
+        write!(out, "{}", rec.report().to_text())?;
+    }
     Ok(())
 }
 
@@ -246,7 +271,11 @@ pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `mpc query`.
 pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let o = Options::parse(args, &["input", "partitions", "query", "mode", "radius", "limit"])?;
+    let o = Options::parse_with_flags(
+        args,
+        &["input", "partitions", "query", "mode", "radius", "limit"],
+        &["profile"],
+    )?;
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
     let (parsed, resolved) = load_query(o.required("query")?, &graph)?;
@@ -262,7 +291,12 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let engine =
         DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
-    let (bindings, stats_) = engine.execute_mode(&query, mode);
+    let rec = if o.flag("profile") {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let (bindings, stats_) = engine.execute_traced(&query, mode, &rec);
     let result = parsed
         .finish(&query, bindings, graph.dictionary())
         .map_err(|e| CliError::new(e.to_string()))?;
@@ -307,6 +341,10 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         stats_.comm_bytes,
         stats_.total().as_secs_f64() * 1e3,
     )?;
+    if rec.is_enabled() {
+        writeln!(out, "\nprofile:")?;
+        write!(out, "{}", rec.report().to_text())?;
+    }
     Ok(())
 }
 

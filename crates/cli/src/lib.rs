@@ -82,12 +82,14 @@ USAGE:
                   [--scale <F>] [--seed <N>] [--format <nt|ttl>]
     mpc stats     --input <FILE.nt|FILE.ttl> [--properties <N>]
     mpc partition --input <FILE> --out <FILE.parts>
-                  [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>]
+                  [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>] [--profile]
     mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
     mpc explain   --input <FILE> --query <FILE.rq>
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
+                  [--profile]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
-anything else → Turtle."
+anything else → Turtle. `--profile` appends a stage-timing and counter
+breakdown (see docs/OBSERVABILITY.md)."
 }

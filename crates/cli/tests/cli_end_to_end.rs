@@ -113,6 +113,59 @@ fn turtle_input_works() {
 }
 
 #[test]
+fn profile_flag_prints_stage_breakdown() {
+    let dir = temp_dir("profile");
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    let query_file = dir.join("q.rq");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    let out = run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4", "--profile",
+    ])
+    .unwrap();
+    assert!(out.contains("profile:"), "{out}");
+    assert!(out.contains("select"), "{out}");
+    assert!(out.contains("metis"), "{out}");
+    assert!(out.contains("uncoarsen"), "{out}");
+
+    // A two-pattern query so the join stage is exercised too.
+    std::fs::write(
+        &query_file,
+        "SELECT ?x ?y ?z WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }",
+    )
+    .unwrap();
+    let out = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--profile",
+    ])
+    .unwrap();
+    assert!(out.contains("profile:"), "{out}");
+    assert!(out.contains("qdt"), "{out}");
+    // The join span only exists when the query was decomposed.
+    assert!(out.contains("join") || out.contains("independent=true"), "{out}");
+    assert!(out.contains("comm"), "{out}");
+    assert!(out.contains("site0"), "{out}");
+    assert!(out.contains("match"), "{out}");
+
+    // Without the flag, no profile section is emitted.
+    let out = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(!out.contains("profile:"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors() {
     assert!(run(&[]).is_err());
     assert!(run(&["bogus"]).unwrap_err().contains("unknown command"));

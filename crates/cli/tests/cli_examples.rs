@@ -1,0 +1,80 @@
+//! The README "Quickstart" CLI examples, run verbatim so the
+//! documentation cannot rot: the exact argument strings shown in
+//! README.md are asserted to (a) still appear in the README and (b)
+//! still work end to end.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    mpc_cli::run(&args, &mut out).unwrap_or_else(|e| panic!("{args:?} failed: {e}"));
+    String::from_utf8(out).expect("utf8 output")
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpc-cli-readme-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The README command lines (everything after `mpc`/`--`), with `$DIR/`
+/// standing in for the working directory.
+const README_EXAMPLES: [&str; 3] = [
+    "generate --dataset lubm --scale 1 --out lubm.nt",
+    "partition --input lubm.nt --out lubm.parts --method mpc --k 8",
+    "query --input lubm.nt --partitions lubm.parts --query q.rq",
+];
+const README_QUERY: &str = "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5";
+
+#[test]
+fn readme_still_contains_the_examples() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("README.md at the workspace root");
+    for example in README_EXAMPLES {
+        assert!(
+            readme.contains(example),
+            "README.md no longer shows `{example}` — update this test and the docs together"
+        );
+    }
+    assert!(readme.contains(README_QUERY), "README query example changed");
+}
+
+#[test]
+fn readme_examples_run_end_to_end() {
+    let dir = temp_dir();
+    let in_dir = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    std::fs::write(dir.join("q.rq"), README_QUERY).unwrap();
+
+    // Each README line, with file names anchored into the temp dir.
+    let rewrite = |example: &str| -> Vec<String> {
+        example
+            .split_whitespace()
+            .map(|tok| {
+                if tok.contains('.') && !tok.starts_with("--") {
+                    in_dir(tok)
+                } else {
+                    tok.to_owned()
+                }
+            })
+            .collect()
+    };
+
+    let gen: Vec<String> = rewrite(README_EXAMPLES[0]);
+    let out = run(&gen.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.contains("wrote"), "{out}");
+    assert!(out.contains("18 properties"), "{out}");
+
+    let part: Vec<String> = rewrite(README_EXAMPLES[1]);
+    let out = run(&part.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.contains("MPC partitioned into k=8"), "{out}");
+    assert!(out.contains("|L_cross|="), "{out}");
+
+    let query: Vec<String> = rewrite(README_EXAMPLES[2]);
+    let out = run(&query.iter().map(String::as_str).collect::<Vec<_>>());
+    // `?x <urn:p:8> ?y LIMIT 5` — header row + at most 5 result rows.
+    assert!(out.starts_with("?x\t?y"), "{out}");
+    assert!(out.contains("5 rows;"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -22,8 +22,11 @@ use crate::site::Site;
 use crate::stats::ExecutionStats;
 use crate::wire;
 use mpc_core::Partitioning;
+use mpc_obs::Recorder;
 use mpc_rdf::{FxHashMap, RdfGraph};
-use mpc_sparql::{evaluate, join_all, Bindings, Query, TriplePattern};
+use mpc_sparql::{
+    evaluate, evaluate_observed, join_all, Bindings, MatchStats, Query, TriplePattern,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -165,12 +168,31 @@ impl DistributedEngine {
     /// Executes a query under the given mode, returning all-variable
     /// bindings plus the per-stage statistics.
     pub fn execute_mode(&self, query: &Query, mode: ExecMode) -> (Bindings, ExecutionStats) {
+        self.execute_traced(query, mode, &Recorder::disabled())
+    }
+
+    /// [`Self::execute_mode`], recording the QDT / per-site LET / comm /
+    /// join breakdown plus plan-cache, semijoin, and matcher counters
+    /// under `query.*` (see docs/OBSERVABILITY.md). With a disabled
+    /// recorder this is exactly `execute_mode`: sites run the
+    /// unobserved matcher and nothing is formatted or allocated.
+    pub fn execute_traced(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        rec: &Recorder,
+    ) -> (Bindings, ExecutionStats) {
+        let qdt_span = rec.span("query.qdt");
         let t0 = Instant::now();
         let key = (query.patterns.clone(), mode == ExecMode::CrossingAware);
         let cached = self.plans.lock().get(&key).cloned();
         let plan_entry = match cached {
-            Some(p) => p,
+            Some(p) => {
+                rec.incr("query.plan_cache.hits");
+                p
+            }
             None => {
+                rec.incr("query.plan_cache.misses");
                 let class = self.classify(query);
                 let subqueries = if self.is_independent(query, mode) {
                     None
@@ -190,11 +212,12 @@ impl DistributedEngine {
         let class = plan_entry.class;
         let plan: Option<Arc<Vec<Subquery>>> = plan_entry.subqueries;
         let decomposition_time = t0.elapsed();
+        drop(qdt_span);
 
-        match plan {
+        let (result, stats) = match plan {
             None => {
                 let (result, local_eval_time, comm_bytes, comm_time) =
-                    self.run_everywhere_and_union(query);
+                    self.run_everywhere_and_union(query, rec);
                 let stats = ExecutionStats {
                     class,
                     independent: true,
@@ -210,7 +233,8 @@ impl DistributedEngine {
             }
             Some(subqueries) => {
                 let (tables, local_eval_time, comm_bytes, comm_time) =
-                    self.run_subqueries(&subqueries);
+                    self.run_subqueries(&subqueries, rec);
+                let join_span = rec.span("query.join");
                 let t_join = Instant::now();
                 // Join smaller tables first.
                 let mut ordered = tables;
@@ -221,6 +245,7 @@ impl DistributedEngine {
                 let all_vars: Vec<u32> = (0..query.var_count() as u32).collect();
                 let result = joined.project(&all_vars);
                 let join_time = t_join.elapsed();
+                drop(join_span);
                 let stats = ExecutionStats {
                     class,
                     independent: false,
@@ -234,7 +259,15 @@ impl DistributedEngine {
                 };
                 (result, stats)
             }
+        };
+        if rec.is_enabled() {
+            rec.set("query.subqueries", stats.subqueries as u64);
+            rec.set("query.independent", stats.independent as u64);
+            rec.set("query.result_rows", stats.result_rows as u64);
+            rec.record("query.let", stats.local_eval_time);
+            rec.record("query.comm", stats.comm_time);
         }
+        (result, stats)
     }
 
     /// Independent evaluation: the query runs on every site in parallel;
@@ -243,21 +276,39 @@ impl DistributedEngine {
     fn run_everywhere_and_union(
         &self,
         query: &Query,
+        rec: &Recorder,
     ) -> (Bindings, Duration, u64, Duration) {
-        let per_site = self.parallel_eval(|site| evaluate(query, &site.store));
+        // Only observe the matcher when the recorder is live — the
+        // unobserved arm monomorphizes to the exact pre-instrumentation
+        // search loop.
+        let observe = rec.is_enabled();
+        let per_site = self.parallel_eval(|site| {
+            if observe {
+                let mut mstats = MatchStats::default();
+                let b = evaluate_observed(query, &site.store, &mut mstats);
+                (b, Some(mstats))
+            } else {
+                (evaluate(query, &site.store), None)
+            }
+        });
         let mut comm_bytes = 0u64;
         let width = query.var_count();
         let mut result = Bindings::new((0..width as u32).collect());
         let mut max_time = Duration::ZERO;
-        for (bindings, took) in per_site {
+        for (i, ((bindings, mstats), took)) in per_site.into_iter().enumerate() {
+            if let Some(mstats) = mstats {
+                rec.record(&format!("query.let.site{i}"), took);
+                record_match_stats(rec, &mstats);
+            }
             comm_bytes += wire::encoded_len(bindings.len(), width);
             max_time = max_time.max(took);
             result.rows.extend(bindings.rows);
         }
         result.sort_dedup();
-        let comm_time = self
-            .network
-            .transfer_time(comm_bytes, self.sites.len() as u64);
+        let messages = self.sites.len() as u64;
+        let comm_time = self.network.transfer_time(comm_bytes, messages);
+        rec.add("query.comm.bytes", comm_bytes);
+        rec.add("query.comm.messages", messages);
         (result, max_time, comm_bytes, comm_time)
     }
 
@@ -272,19 +323,35 @@ impl DistributedEngine {
     fn run_subqueries(
         &self,
         subqueries: &[Subquery],
+        rec: &Recorder,
     ) -> (Vec<Bindings>, Duration, u64, Duration) {
+        let observe = rec.is_enabled();
         let per_site = self.parallel_eval(|site| {
-            subqueries
-                .iter()
-                .map(|sq| evaluate(&sq.query, &site.store))
-                .collect::<Vec<Bindings>>()
+            if observe {
+                let mut mstats = MatchStats::default();
+                let tables = subqueries
+                    .iter()
+                    .map(|sq| evaluate_observed(&sq.query, &site.store, &mut mstats))
+                    .collect::<Vec<Bindings>>();
+                (tables, Some(mstats))
+            } else {
+                let tables = subqueries
+                    .iter()
+                    .map(|sq| evaluate(&sq.query, &site.store))
+                    .collect::<Vec<Bindings>>();
+                (tables, None)
+            }
         });
         let mut max_time = Duration::ZERO;
         let mut merged: Vec<Bindings> = subqueries
             .iter()
             .map(|sq| Bindings::new(sq.parent_vars.clone()))
             .collect();
-        for (site_tables, took) in per_site {
+        for (i, ((site_tables, mstats), took)) in per_site.into_iter().enumerate() {
+            if let Some(mstats) = mstats {
+                rec.record(&format!("query.let.site{i}"), took);
+                record_match_stats(rec, &mstats);
+            }
             max_time = max_time.max(took);
             for (j, table) in site_tables.into_iter().enumerate() {
                 merged[j].rows.extend(table.rows);
@@ -297,12 +364,25 @@ impl DistributedEngine {
         if self.semijoin_reduction {
             let stats = semijoin::bloom_reduce(&mut merged);
             comm_bytes += stats.filter_bytes;
+            if rec.is_enabled() {
+                rec.add("query.semijoin.rows_before", stats.rows_before as u64);
+                rec.add("query.semijoin.rows_after", stats.rows_after as u64);
+                rec.add("query.semijoin.filter_bytes", stats.filter_bytes);
+                if stats.rows_before > 0 {
+                    rec.set(
+                        "query.semijoin.kept_permille",
+                        (stats.rows_after as u64 * 1000) / stats.rows_before as u64,
+                    );
+                }
+            }
         }
         for table in &merged {
             comm_bytes += wire::encoded_len(table.len(), table.vars.len());
         }
         let messages = (self.sites.len() * subqueries.len()) as u64;
         let comm_time = self.network.transfer_time(comm_bytes, messages);
+        rec.add("query.comm.bytes", comm_bytes);
+        rec.add("query.comm.messages", messages);
         (merged, max_time, comm_bytes, comm_time)
     }
 
@@ -329,6 +409,17 @@ impl DistributedEngine {
                 .map(|h| h.join().expect("site thread panicked"))
                 .collect()
         })
+    }
+}
+
+/// Folds one site's matcher counters into `query.match.*`.
+fn record_match_stats(rec: &Recorder, stats: &MatchStats) {
+    rec.add("query.match.steps", stats.steps);
+    rec.add("query.match.candidates", stats.candidates_scanned);
+    rec.add("query.match.backtracks", stats.backtracks);
+    rec.add("query.match.rows_emitted", stats.rows_emitted);
+    for (path, n) in &stats.access_paths {
+        rec.add(&format!("query.match.path.{path}"), *n);
     }
 }
 
@@ -543,6 +634,61 @@ mod tests {
         // Both modes cache separately.
         let _ = engine.execute_mode(&query, ExecMode::StarOnly);
         assert_eq!(engine.cached_plan_count(), 2);
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced_and_records_breakdown() {
+        let g = dataset();
+        let engine = mpc_engine(&g);
+        // Non-IEQ: exercises decompose, per-site LET, comm, and join.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        let rec = Recorder::enabled();
+        let (traced, tstats) = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
+        let (plain, _) = engine.execute(&query);
+        assert_eq!(traced, plain, "tracing must not change results");
+
+        assert_eq!(rec.counter("query.plan_cache.misses"), Some(1));
+        assert_eq!(rec.counter("query.subqueries"), Some(tstats.subqueries as u64));
+        assert!(rec.timer("query.qdt").is_some());
+        assert!(rec.timer("query.join").is_some());
+        assert!(rec.timer("query.let.site0").is_some(), "per-site LET breakdown");
+        assert!(rec.timer("query.let.site1").is_some());
+        assert_eq!(rec.counter("query.comm.bytes"), Some(tstats.comm_bytes));
+        assert!(rec.counter("query.match.candidates").unwrap() > 0);
+        assert!(rec.counter("query.match.steps").unwrap() > 0);
+        // Second run over the same engine hits the plan cache.
+        let _ = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
+        assert_eq!(rec.counter("query.plan_cache.hits"), Some(1));
+    }
+
+    #[test]
+    fn traced_semijoin_reduction_records_ratio() {
+        let g = dataset();
+        let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(&g);
+        let mut engine = DistributedEngine::build(&g, &part, NetworkModel::free());
+        engine.semijoin_reduction = true;
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        let rec = Recorder::enabled();
+        let (result, _) = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
+        assert_eq!(result, reference(&g, &query));
+        let before = rec.counter("query.semijoin.rows_before").unwrap();
+        let after = rec.counter("query.semijoin.rows_after").unwrap();
+        assert!(after <= before);
+        assert!(rec.counter("query.semijoin.kept_permille").unwrap() <= 1000);
     }
 
     #[test]

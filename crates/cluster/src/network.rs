@@ -37,13 +37,27 @@ impl NetworkModel {
     }
 
     /// Simulated time to ship `bytes` of payload in `messages` messages.
+    ///
+    /// Saturating throughout: byte counts near `u64::MAX`, huge message
+    /// counts, and degenerate bandwidths (zero, negative, NaN, infinite —
+    /// all treated as "free wire") clamp to `Duration::MAX` / zero rather
+    /// than truncating or panicking.
     pub fn transfer_time(&self, bytes: u64, messages: u64) -> Duration {
         let wire = if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
-            Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+            let secs = bytes as f64 / self.bandwidth;
+            if secs >= Duration::MAX.as_secs_f64() {
+                Duration::MAX
+            } else {
+                Duration::from_secs_f64(secs)
+            }
         } else {
             Duration::ZERO
         };
-        self.latency * messages as u32 + wire
+        let latency = self
+            .latency
+            .checked_mul(u32::try_from(messages).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX);
+        latency.saturating_add(wire)
     }
 
     /// Bytes to ship a binding table: 8 bytes per value plus a small row
@@ -84,6 +98,63 @@ mod tests {
     #[test]
     fn free_model_is_free() {
         assert_eq!(NetworkModel::free().transfer_time(1 << 30, 1 << 10), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_bandwidth_charges_no_wire_time() {
+        // Zero (and negative / NaN) bandwidth means "unmodeled wire":
+        // only latency is charged, instead of dividing by zero.
+        let n = NetworkModel {
+            latency: Duration::from_millis(2),
+            bandwidth: 0.0,
+        };
+        assert_eq!(n.transfer_time(1 << 40, 3), Duration::from_millis(6));
+        let neg = NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth: -5.0,
+        };
+        assert_eq!(neg.transfer_time(1 << 40, 0), Duration::ZERO);
+        let nan = NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth: f64::NAN,
+        };
+        assert_eq!(nan.transfer_time(123, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_messages_still_charges_wire_time() {
+        let n = NetworkModel {
+            latency: Duration::from_secs(1),
+            bandwidth: 1e6,
+        };
+        assert_eq!(n.transfer_time(1_000_000, 0), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn saturating_byte_count_does_not_panic() {
+        let n = NetworkModel {
+            latency: Duration::from_micros(100),
+            bandwidth: 1.0, // one byte per second: u64::MAX bytes ≈ 5.8e11 years
+        };
+        let t = n.transfer_time(u64::MAX, 1);
+        assert!(t >= Duration::from_secs(u64::MAX / 2), "clamped, not wrapped: {t:?}");
+    }
+
+    #[test]
+    fn message_counts_beyond_u32_saturate_instead_of_truncating() {
+        let n = NetworkModel {
+            latency: Duration::from_nanos(1),
+            bandwidth: f64::INFINITY,
+        };
+        // The old `messages as u32` truncated u32::MAX + 1 to zero.
+        let just_over = n.transfer_time(0, u64::from(u32::MAX) + 1);
+        assert!(just_over >= n.transfer_time(0, u64::from(u32::MAX)));
+        // Latency * huge message count clamps to Duration::MAX.
+        let big = NetworkModel {
+            latency: Duration::from_secs(1 << 40),
+            bandwidth: f64::INFINITY,
+        };
+        assert_eq!(big.transfer_time(0, u64::MAX), Duration::MAX);
     }
 
     #[test]

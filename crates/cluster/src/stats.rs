@@ -104,8 +104,22 @@ mod tests {
     fn five_number_of_singleton() {
         let f = FiveNumber::of(&[5.0]);
         assert_eq!(f.min, 5.0);
+        assert_eq!(f.q1, 5.0);
         assert_eq!(f.median, 5.0);
+        assert_eq!(f.q3, 5.0);
         assert_eq!(f.max, 5.0);
+    }
+
+    #[test]
+    fn five_number_of_pair() {
+        // Two elements: quartiles interpolate linearly between them
+        // (pos = f * (len-1), so q1 = 25% of the way from min to max).
+        let f = FiveNumber::of(&[2.0, 4.0]);
+        assert_eq!(f.min, 2.0);
+        assert_eq!(f.q1, 2.5);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 3.5);
+        assert_eq!(f.max, 4.0);
     }
 
     #[test]

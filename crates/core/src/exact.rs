@@ -126,6 +126,7 @@ pub fn exact_select(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
         pruned: Vec::new(),
         dsu,
         cost,
+        stats: Default::default(),
     }
 }
 

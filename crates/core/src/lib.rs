@@ -36,7 +36,7 @@ pub use dynamic::IncrementalPartitioning;
 pub use exact::MpcExactPartitioner;
 pub use mpc::{MpcConfig, MpcPartitioner, MpcReport};
 pub use partitioning::{EdgePartitioning, Fragment, Partitioning};
-pub use select::{SelectConfig, SelectStrategy, Selection};
+pub use select::{SelectConfig, SelectStats, SelectStrategy, Selection};
 pub use weighted::{weighted_greedy, PropertyWeights};
 
 use mpc_rdf::RdfGraph;

@@ -5,8 +5,9 @@ use crate::partitioning::Partitioning;
 use crate::select::{select_internal_properties, SelectConfig, SelectStrategy, Selection};
 use crate::Partitioner;
 use mpc_metis::MetisConfig;
+use mpc_obs::Recorder;
 use mpc_rdf::{PartitionId, RdfGraph};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the full MPC pipeline.
 #[derive(Clone, Debug)]
@@ -95,21 +96,45 @@ impl MpcPartitioner {
 
     /// Runs the pipeline, returning the partitioning plus diagnostics.
     pub fn partition_with_report(&self, g: &RdfGraph) -> (Partitioning, MpcReport) {
+        self.partition_traced(g, &Recorder::disabled())
+    }
+
+    /// [`Self::partition_with_report`], recording stage times and work
+    /// counters under `partition.*` (see docs/OBSERVABILITY.md).
+    pub fn partition_traced(&self, g: &RdfGraph, rec: &Recorder) -> (Partitioning, MpcReport) {
         let cfg = &self.config;
-        let t0 = Instant::now();
+        let select_span = rec.span("partition.select");
         let mut selection: Selection = match &cfg.weights {
             Some(w) => crate::weighted::weighted_greedy(g, &cfg.select_config(), w),
             None => select_internal_properties(g, &cfg.select_config()),
         };
-        let selection_time = t0.elapsed();
+        let selection_time = select_span.finish();
+        rec.set("partition.select.internal", selection.internal_count() as u64);
+        rec.set("partition.select.pruned", selection.pruned.len() as u64);
+        rec.set("partition.select.cost", selection.cost);
+        rec.set("partition.select.rounds", selection.stats.rounds);
+        rec.set("partition.select.heap_pops", selection.stats.heap_pops);
+        rec.set("partition.select.stale_repushes", selection.stats.stale_repushes);
+        rec.set("partition.select.dsu_merges", selection.dsu_merges() as u64);
 
-        let t1 = Instant::now();
+        let coarsen_span = rec.span("partition.coarsen");
         let coarse = coarsen(g, &mut selection);
-        let coarse_part = mpc_metis::partition(&coarse.graph, cfg.k, &cfg.metis);
+        let mut partition_time = coarsen_span.finish();
+        rec.set("partition.coarsen.supervertices", coarse.supervertex_count as u64);
+
+        let metis_span = rec.span("partition.metis");
+        let coarse_part = mpc_metis::partition_traced(&coarse.graph, cfg.k, &cfg.metis, rec);
+        partition_time += metis_span.finish();
+
+        let uncoarsen_span = rec.span("partition.uncoarsen");
         let raw = uncoarsen(&coarse, &coarse_part);
         let assignment = raw.into_iter().map(|p| PartitionId(p as u16)).collect();
         let partitioning = Partitioning::new(g, cfg.k, assignment);
-        let partition_time = t1.elapsed();
+        partition_time += uncoarsen_span.finish();
+        rec.set(
+            "partition.crossing_properties",
+            partitioning.crossing_property_count() as u64,
+        );
 
         let report = MpcReport {
             selection_time,
@@ -208,6 +233,26 @@ mod tests {
         assert_eq!(mpc.k(), 2);
         let part = mpc.partition(&g);
         assert_eq!(part.k(), 2);
+    }
+
+    #[test]
+    fn traced_partition_records_pipeline_stages() {
+        let g = two_domains();
+        let rec = Recorder::enabled();
+        let mpc = MpcPartitioner::new(MpcConfig::with_k(2));
+        let (part, report) = mpc.partition_traced(&g, &rec);
+        let (untraced, _) = mpc.partition_with_report(&g);
+        assert_eq!(part.assignment(), untraced.assignment(), "tracing must not change output");
+        assert_eq!(rec.counter("partition.select.internal"), Some(2));
+        assert_eq!(rec.counter("partition.select.pruned"), Some(1));
+        assert_eq!(rec.counter("partition.coarsen.supervertices"), Some(2));
+        assert_eq!(rec.counter("partition.crossing_properties"), Some(1));
+        assert!(rec.timer("partition.select").is_some());
+        assert!(rec.timer("partition.uncoarsen").is_some());
+        assert_eq!(
+            rec.timer("partition.select").unwrap().total,
+            report.selection_time
+        );
     }
 
     #[test]

@@ -75,6 +75,30 @@ impl SelectConfig {
     }
 }
 
+/// Work counters and the per-round cost trajectory of one greedy run.
+///
+/// Plain data, filled by whichever greedy direction ran; `mpc-core`
+/// stays free of the observability crate and callers fold these into a
+/// recorder if they want them in a report (see `MpcPartitioner::
+/// partition_traced`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Greedy rounds that changed `L_in`: admissions in the forward and
+    /// weighted directions, removals in reverse.
+    pub rounds: u64,
+    /// Priority-queue pops in the lazy-evaluation directions (zero for
+    /// reverse greedy, which has no queue).
+    pub heap_pops: u64,
+    /// Popped keys whose cost had grown and were re-pushed instead of
+    /// admitted — the price of lazy re-evaluation.
+    pub stale_repushes: u64,
+    /// Candidates dropped permanently because their fresh cost exceeded
+    /// the cap (monotonicity makes the drop final).
+    pub dropped_over_cap: u64,
+    /// `Cost(L_in)` after each round, in round order.
+    pub cost_trajectory: Vec<u64>,
+}
+
 /// Outcome of internal property selection.
 #[derive(Clone, Debug)]
 pub struct Selection {
@@ -89,12 +113,20 @@ pub struct Selection {
     pub dsu: DisjointSetForest,
     /// `Cost(L_in)` of the final set.
     pub cost: u64,
+    /// Work counters and the cost-per-round trajectory of the greedy run.
+    pub stats: SelectStats,
 }
 
 impl Selection {
     /// Number of selected internal properties `|L_in|`.
     pub fn internal_count(&self) -> usize {
         self.internal.len()
+    }
+
+    /// Merges performed by the selection's disjoint-set forest — the
+    /// number of union operations that actually joined two components.
+    pub fn dsu_merges(&self) -> usize {
+        self.dsu.len() - self.dsu.component_count()
     }
 }
 
@@ -159,16 +191,21 @@ pub fn forward_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
     // Lines 5-16 (lazy variant). Costs only grow as L_in grows, so a popped
     // stale key is a lower bound; recompute and re-push unless it is still
     // the minimum.
+    let mut stats = SelectStats::default();
+    let mut cost_now = 0u64;
     while let Some(Reverse((stale_cost, Reverse(freq), pid))) = heap.pop() {
+        stats.heap_pops += 1;
         let p = PropertyId(pid);
         let fresh = dsu.trial_merge_cost(property_edges(g, p)) as u64;
         if fresh > cap {
+            stats.dropped_over_cap += 1;
             continue; // monotone: can never fit again — drop for good
         }
         if fresh > stale_cost {
             // The cost grew since this key was pushed. Even if it might
             // still be the global minimum, re-pushing keeps the invariant
             // "popped key == current cost" and costs one extra pop.
+            stats.stale_repushes += 1;
             heap.push(Reverse((fresh, Reverse(freq), pid)));
             continue;
         }
@@ -178,6 +215,9 @@ pub fn forward_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
         dsu.merge_edges(property_edges(g, p));
         is_internal[pid as usize] = true;
         internal.push(p);
+        stats.rounds += 1;
+        cost_now = cost_now.max(fresh);
+        stats.cost_trajectory.push(cost_now);
     }
 
     let cost = dsu.max_component_size() as u64;
@@ -187,6 +227,7 @@ pub fn forward_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
         pruned,
         dsu,
         cost,
+        stats,
     }
 }
 
@@ -199,6 +240,7 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
     let cap = cfg.cap(g.vertex_count());
     let n = g.vertex_count();
     let mut is_internal = vec![true; g.property_count()];
+    let mut stats = SelectStats::default();
 
     loop {
         let mut dsu = DisjointSetForest::new(n);
@@ -219,6 +261,7 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
                 pruned: Vec::new(),
                 dsu,
                 cost,
+                stats,
             };
         }
         // Find the root of the largest component to restrict candidates.
@@ -259,8 +302,10 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
                 best = Some((c, f, p));
             }
         }
-        let (_, _, remove) = best.expect("candidates is non-empty");
+        let (residual, _, remove) = best.expect("candidates is non-empty");
         is_internal[remove.index()] = false;
+        stats.rounds += 1;
+        stats.cost_trajectory.push(residual);
     }
 }
 
@@ -374,6 +419,30 @@ mod tests {
         let sel = forward_greedy(&g, &SelectConfig::default());
         assert_eq!(sel.internal_count(), 0);
         assert_eq!(sel.cost, 0);
+    }
+
+    #[test]
+    fn forward_stats_track_rounds_and_trajectory() {
+        let g = bridged();
+        let sel = forward_greedy(&g, &cfg(2, 0.1, SelectStrategy::ForwardGreedy));
+        assert_eq!(sel.stats.rounds, sel.internal_count() as u64);
+        assert_eq!(sel.stats.cost_trajectory.len(), sel.internal_count());
+        // The trajectory is nondecreasing and ends at the final cost.
+        assert!(sel.stats.cost_trajectory.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sel.stats.cost_trajectory.last().copied(), Some(sel.cost));
+        // Bridge property popped once, found over cap, dropped.
+        assert!(sel.stats.heap_pops >= 3);
+        assert_eq!(sel.stats.dropped_over_cap, 1);
+        assert_eq!(sel.dsu_merges(), 2);
+    }
+
+    #[test]
+    fn reverse_stats_track_removals() {
+        let g = bridged();
+        let sel = reverse_greedy(&g, &cfg(2, 0.1, SelectStrategy::ReverseGreedy));
+        assert_eq!(sel.stats.rounds, 1, "one removal fixes the bridged graph");
+        assert_eq!(sel.stats.cost_trajectory, vec![sel.cost]);
+        assert_eq!(sel.stats.heap_pops, 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! stale densities are upper bounds, and popping the max-stale candidate
 //! and re-checking it against the next key yields the true greedy choice.
 
-use crate::select::{SelectConfig, Selection};
+use crate::select::{SelectConfig, SelectStats, Selection};
 use mpc_dsu::DisjointSetForest;
 use mpc_rdf::{PropertyId, RdfGraph};
 use mpc_sparql::{QLabel, Query};
@@ -109,11 +109,14 @@ pub fn weighted_greedy(
         heap.push((Density(weights.get(p) / (1.0 + delta as f64)), p.0));
     }
 
+    let mut stats = SelectStats::default();
     while let Some((Density(stale), pid)) = heap.pop() {
+        stats.heap_pops += 1;
         let p = PropertyId(pid);
         let current = dsu.max_component_size() as u64;
         let fresh_cost = dsu.trial_merge_cost(edges(p)) as u64;
         if fresh_cost > cap {
+            stats.dropped_over_cap += 1;
             continue; // monotone: never fits again
         }
         let delta = fresh_cost.saturating_sub(current);
@@ -122,12 +125,15 @@ pub fn weighted_greedy(
             .peek()
             .is_none_or(|(Density(next), _)| fresh >= *next);
         if fresh < stale && !still_max {
+            stats.stale_repushes += 1;
             heap.push((Density(fresh), pid));
             continue;
         }
         dsu.merge_edges(edges(p));
         is_internal[pid as usize] = true;
         internal.push(p);
+        stats.rounds += 1;
+        stats.cost_trajectory.push(current.max(fresh_cost));
     }
 
     let cost = dsu.max_component_size() as u64;
@@ -137,6 +143,7 @@ pub fn weighted_greedy(
         pruned,
         dsu,
         cost,
+        stats,
     }
 }
 

@@ -16,6 +16,8 @@
 //! by `p`'s edges. Committing the winner ([`DisjointSetForest::merge_from`])
 //! merges `DS({p})` into `DS(L_in)` exactly as the paper describes.
 
+#![warn(missing_docs)]
+
 use mpc_rdf::FxHashMap;
 
 /// A disjoint-set forest over vertices `0..len`.

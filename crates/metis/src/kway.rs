@@ -2,8 +2,9 @@
 
 use crate::bisect::bisect;
 use crate::coarsen::coarsen_to;
-use crate::refine::fm_refine;
+use crate::refine::fm_refine_traced;
 use crate::wgraph::WeightedGraph;
+use mpc_obs::Recorder;
 use mpc_rdf::RdfGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +46,17 @@ impl Default for MetisConfig {
 /// Partitions `g` into `k` parts, minimizing edge-cut under the balance
 /// constraint. Returns the part id (`0..k`) of every vertex.
 pub fn partition(g: &WeightedGraph, k: usize, cfg: &MetisConfig) -> Vec<u32> {
+    partition_traced(g, k, cfg, &Recorder::disabled())
+}
+
+/// [`partition`], recording stage times and refinement work under
+/// `metis.*` (see docs/OBSERVABILITY.md).
+pub fn partition_traced(
+    g: &WeightedGraph,
+    k: usize,
+    cfg: &MetisConfig,
+    rec: &Recorder,
+) -> Vec<u32> {
     assert!(k >= 1, "k must be positive");
     let mut part = vec![0u32; g.vertex_count()];
     if k == 1 || g.vertex_count() == 0 {
@@ -60,9 +72,18 @@ pub fn partition(g: &WeightedGraph, k: usize, cfg: &MetisConfig) -> Vec<u32> {
         epsilon: (1.0 + cfg.epsilon).powf(1.0 / levels) - 1.0,
         ..cfg.clone()
     };
-    recurse(g, &vertices, k, 0, &level_cfg, &mut rng, &mut part);
-    rebalance(g, &mut part, k, cfg.epsilon);
-    kway_refine(g, &mut part, k, cfg.epsilon, cfg.kway_passes);
+    {
+        let _s = rec.span("metis.recurse");
+        recurse(g, &vertices, k, 0, &level_cfg, &mut rng, &mut part, rec);
+    }
+    {
+        let _s = rec.span("metis.rebalance");
+        rebalance(g, &mut part, k, cfg.epsilon);
+    }
+    {
+        let _s = rec.span("metis.kway_refine");
+        kway_refine(g, &mut part, k, cfg.epsilon, cfg.kway_passes);
+    }
     part
 }
 
@@ -201,6 +222,7 @@ pub fn partition_rdf(g: &RdfGraph, k: usize, cfg: &MetisConfig) -> Vec<u32> {
 
 /// Recursively bisects the subgraph induced by `vertices` into `k` parts,
 /// writing `base..base+k` part ids into `out`.
+#[allow(clippy::too_many_arguments)] // internal recursion mirror of partition_traced
 fn recurse(
     g: &WeightedGraph,
     vertices: &[u32],
@@ -209,6 +231,7 @@ fn recurse(
     cfg: &MetisConfig,
     rng: &mut StdRng,
     out: &mut [u32],
+    rec: &Recorder,
 ) {
     if k == 1 {
         for &v in vertices {
@@ -222,7 +245,7 @@ fn recurse(
     let total = sub.total_weight();
     let target_left = total * kl as u64 / k as u64;
 
-    let side = multilevel_bisect(&sub, target_left, total - target_left, cfg, rng);
+    let side = multilevel_bisect(&sub, target_left, total - target_left, cfg, rng, rec);
 
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -233,8 +256,8 @@ fn recurse(
             right.push(v);
         }
     }
-    recurse(g, &left, kl, base, cfg, rng, out);
-    recurse(g, &right, kr, base + kl as u32, cfg, rng, out);
+    recurse(g, &left, kl, base, cfg, rng, out, rec);
+    recurse(g, &right, kr, base + kl as u32, cfg, rng, out, rec);
 }
 
 /// Multilevel 2-way: coarsen, bisect the coarsest graph, project back with
@@ -245,14 +268,26 @@ fn multilevel_bisect(
     target_right: u64,
     cfg: &MetisConfig,
     rng: &mut impl Rng,
+    rec: &Recorder,
 ) -> Vec<u8> {
     let slack = |t: u64| ((t as f64) * (1.0 + cfg.epsilon)).ceil() as u64;
     let max_side = [slack(target_left).max(1), slack(target_right).max(1)];
 
-    let levels = coarsen_to(g, cfg.coarsen_to, rng);
+    rec.incr("metis.bisections");
+    let levels = {
+        let _s = rec.span("metis.coarsen");
+        coarsen_to(g, cfg.coarsen_to, rng)
+    };
+    rec.add("metis.coarsen.levels", levels.len() as u64);
     let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
-    let mut side = bisect(coarsest, target_left, cfg.init_trials, rng);
-    fm_refine(coarsest, &mut side, max_side, cfg.fm_passes);
+    let mut side = {
+        let _s = rec.span("metis.init_bisect");
+        bisect(coarsest, target_left, cfg.init_trials, rng)
+    };
+    {
+        let _s = rec.span("metis.refine");
+        fm_refine_traced(coarsest, &mut side, max_side, cfg.fm_passes, rec);
+    }
 
     // Project back through the levels, refining at each.
     for i in (0..levels.len()).rev() {
@@ -262,7 +297,8 @@ fn multilevel_bisect(
         for (v, &c) in map.iter().enumerate() {
             fine_side[v] = side[c as usize];
         }
-        fm_refine(fine_graph, &mut fine_side, max_side, cfg.fm_passes);
+        let _s = rec.span("metis.refine");
+        fm_refine_traced(fine_graph, &mut fine_side, max_side, cfg.fm_passes, rec);
         side = fine_side;
     }
     side
@@ -359,6 +395,20 @@ mod tests {
         let g = WeightedGraph::from_edge_list(20, &edges, vec![1; 20]);
         let part = partition(&g, 2, &MetisConfig::default());
         assert_eq!(edge_cut(&g, &part), 1);
+    }
+
+    #[test]
+    fn traced_partition_matches_untraced_and_records_stages() {
+        let g = grid(8, 8);
+        let cfg = MetisConfig::default();
+        let rec = Recorder::enabled();
+        let traced = partition_traced(&g, 4, &cfg, &rec);
+        assert_eq!(traced, partition(&g, 4, &cfg), "tracing must not change the cut");
+        // 4-way recursion performs 3 bisections.
+        assert_eq!(rec.counter("metis.bisections"), Some(3));
+        assert!(rec.timer("metis.recurse").is_some());
+        assert!(rec.timer("metis.kway_refine").is_some());
+        assert!(rec.counter("metis.fm.passes").unwrap() >= 3);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod kway;
 pub mod refine;
 pub mod wgraph;
 
-pub use kway::{partition, partition_rdf, MetisConfig};
+pub use kway::{partition, partition_rdf, partition_traced, MetisConfig};
+pub use refine::{fm_refine, fm_refine_traced};
 pub use wgraph::WeightedGraph;
 
 /// Total weight of edges crossing between different parts.

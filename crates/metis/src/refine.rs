@@ -8,6 +8,7 @@
 
 use crate::bisect::{side_cut, side_weights};
 use crate::wgraph::WeightedGraph;
+use mpc_obs::Recorder;
 use std::collections::BinaryHeap;
 
 /// Refines a bisection in place.
@@ -24,6 +25,18 @@ pub fn fm_refine(
     side: &mut [u8],
     max_side: [u64; 2],
     max_passes: usize,
+) -> u64 {
+    fm_refine_traced(g, side, max_side, max_passes, &Recorder::disabled())
+}
+
+/// [`fm_refine`], recording pass counts, move/rollback totals, and the
+/// accumulated cut gain under `metis.fm.*` (see docs/OBSERVABILITY.md).
+pub fn fm_refine_traced(
+    g: &WeightedGraph,
+    side: &mut [u8],
+    max_side: [u64; 2],
+    max_passes: usize,
+    rec: &Recorder,
 ) -> u64 {
     let n = g.vertex_count();
     let mut weights = side_weights(g, side);
@@ -95,6 +108,12 @@ pub fn fm_refine(
             weights[1 - cur] += g.vwgt[ui];
         }
         cut = (cut as i64 - best_key.1) as u64;
+        rec.incr("metis.fm.passes");
+        rec.add("metis.fm.moves_committed", best_prefix as u64);
+        rec.add("metis.fm.moves_rolled_back", (moves.len() - best_prefix) as u64);
+        if best_key.1 > 0 {
+            rec.add("metis.fm.cut_gain", best_key.1 as u64);
+        }
         if best_prefix == 0 {
             break; // pass made no progress
         }
@@ -154,6 +173,21 @@ mod tests {
         assert!(after < before);
         assert_eq!(after, 1); // optimal: only the bridge is cut
         assert_eq!(side_weights(&g, &side), [4, 4]);
+    }
+
+    #[test]
+    fn traced_refinement_records_work() {
+        let g = two_cliques();
+        let mut side = vec![0, 0, 0, 1, 1, 1, 1, 0];
+        let rec = Recorder::enabled();
+        let after = fm_refine_traced(&g, &mut side, [5, 5], 4, &rec);
+        assert_eq!(after, 1, "tracing must not change the refinement");
+        assert!(rec.counter("metis.fm.passes").unwrap() >= 1);
+        // The two swapped vertices must both move home.
+        assert!(rec.counter("metis.fm.moves_committed").unwrap() >= 2);
+        let gain = rec.counter("metis.fm.cut_gain").unwrap();
+        let before = side_cut(&g, &[0, 0, 0, 1, 1, 1, 1, 0]);
+        assert_eq!(gain, before - after, "gain accounts for the cut delta");
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Lightweight observability for the MPC reproduction: scoped spans,
+//! counters, and hierarchical run reports.
+//!
+//! The paper's evaluation is a story about *where time goes* — query
+//! decomposition vs. local evaluation vs. communication vs. joins — so
+//! every layer of the stack (partitioner, matcher, cluster) records
+//! into this crate. Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** [`Recorder::disabled`] holds no
+//!    allocation; every recording method is a branch on an `Option`
+//!    that the optimizer sees through. Hot loops that cannot afford
+//!    even a disabled recorder use compile-time sinks instead (see the
+//!    `MatchObserver` pattern in `mpc-sparql`).
+//! 2. **No heavy dependencies.** Plain `std`; JSON output is the
+//!    hand-rolled [`Json`] model in [`json`].
+//! 3. **Thread-friendly.** Metrics live under flat dot-separated names
+//!    (`query.let.site3`), so worker threads record independently and
+//!    the hierarchy is reconstructed afterwards by [`Report`] —
+//!    no cross-thread span-nesting bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use mpc_obs::Recorder;
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let _span = rec.span("query.decompose");
+//!     rec.add("query.comm.bytes", 1824);
+//! } // span records its elapsed time on drop
+//! let report = rec.report();
+//! assert!(report.to_text().contains("decompose"));
+//! println!("{}", report.to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+pub use json::Json;
+pub use report::{Report, ReportNode, TimerStat};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    // BTreeMaps keep report ordering deterministic across runs.
+    timers: Mutex<BTreeMap<String, TimerStat>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// A cloneable handle that collects timers and counters, or does
+/// nothing at all when disabled.
+///
+/// Clones share the same underlying store, so a recorder can be handed
+/// to worker threads and every thread's metrics land in one report.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that collects metrics.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A recorder that ignores everything. This is `Default` and costs
+    /// one `Option` check per recording call.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder is collecting metrics.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a scoped timer; the elapsed time is recorded under
+    /// `name` when the returned [`Span`] drops.
+    ///
+    /// When the recorder is disabled this allocates nothing and the
+    /// span drop is a no-op.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            live: self
+                .inner
+                .as_ref()
+                .map(|inner| (Arc::clone(inner), name.to_owned(), Instant::now())),
+        }
+    }
+
+    /// Records one duration observation under `name`.
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            record_into(inner, name, elapsed);
+        }
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = inner.counters.lock().unwrap();
+            let slot = counters.entry(name.to_owned()).or_insert(0);
+            *slot = slot.saturating_add(delta);
+        }
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the counter `name` to `value`, replacing any prior value.
+    ///
+    /// Use for gauges that are computed once (e.g. a reduction ratio
+    /// in permille) rather than accumulated.
+    pub fn set(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters.lock().unwrap().insert(name.to_owned(), value);
+        }
+    }
+
+    /// Current value of the counter `name`, or `None` if never touched
+    /// (or the recorder is disabled).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        inner.counters.lock().unwrap().get(name).copied()
+    }
+
+    /// Aggregate of all durations recorded under `name`, if any.
+    pub fn timer(&self, name: &str) -> Option<TimerStat> {
+        let inner = self.inner.as_ref()?;
+        inner.timers.lock().unwrap().get(name).copied()
+    }
+
+    /// Snapshots every collected metric into a hierarchical [`Report`].
+    ///
+    /// A disabled recorder returns an empty report.
+    pub fn report(&self) -> Report {
+        match &self.inner {
+            Some(inner) => Report::from_metrics(
+                &inner.timers.lock().unwrap(),
+                &inner.counters.lock().unwrap(),
+            ),
+            None => Report::default(),
+        }
+    }
+}
+
+fn record_into(inner: &Inner, name: &str, elapsed: Duration) {
+    inner
+        .timers
+        .lock()
+        .unwrap()
+        .entry(name.to_owned())
+        .or_default()
+        .record(elapsed);
+}
+
+/// RAII guard returned by [`Recorder::span`]; records the elapsed time
+/// under its name when dropped.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    live: Option<(Arc<Inner>, String, Instant)>,
+}
+
+impl Span {
+    /// Stops the span now and returns the elapsed time (also recorded,
+    /// as on drop). Useful when the duration feeds another computation.
+    pub fn finish(mut self) -> Duration {
+        match self.live.take() {
+            Some((inner, name, start)) => {
+                let elapsed = start.elapsed();
+                record_into(&inner, &name, elapsed);
+                elapsed
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.live.take() {
+            record_into(&inner, &name, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span("a.b");
+        }
+        rec.incr("c");
+        rec.add("c", 5);
+        rec.set("g", 9);
+        rec.record("t", Duration::from_millis(1));
+        assert_eq!(rec.counter("c"), None);
+        assert_eq!(rec.timer("t"), None);
+        assert!(rec.report().is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("stage.inner");
+        }
+        let t = rec.timer("stage.inner").unwrap();
+        assert_eq!(t.count, 1);
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let rec = Recorder::enabled();
+        let elapsed = rec.span("x").finish();
+        let t = rec.timer("x").unwrap();
+        assert_eq!(t.count, 1);
+        assert_eq!(t.total, elapsed);
+    }
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let rec = Recorder::enabled();
+        rec.incr("n");
+        rec.add("n", 2);
+        assert_eq!(rec.counter("n"), Some(3));
+        rec.add("n", u64::MAX);
+        assert_eq!(rec.counter("n"), Some(u64::MAX));
+        rec.set("n", 7);
+        assert_eq!(rec.counter("n"), Some(7));
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.incr("shared");
+        assert_eq!(rec.counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn threads_record_into_one_report() {
+        let rec = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let _s = rec.span(format!("query.let.site{i}").as_str());
+                    rec.add("query.comm.bytes", 10);
+                });
+            }
+        });
+        assert_eq!(rec.counter("query.comm.bytes"), Some(40));
+        let report = rec.report();
+        let sites = &report.root.children["query"].children["let"];
+        assert_eq!(sites.children.len(), 4);
+    }
+
+    #[test]
+    fn report_roundtrip_text_and_json() {
+        let rec = Recorder::enabled();
+        rec.record("partition.select", Duration::from_millis(5));
+        rec.set("partition.select.rounds", 12);
+        let report = rec.report();
+        let text = report.to_text();
+        assert!(text.contains("partition"));
+        assert!(text.contains("= 12"));
+        let json = report.to_json().to_string();
+        assert!(json.contains(r#""rounds":12"#));
+    }
+}

@@ -1,0 +1,247 @@
+//! Hierarchical run reports assembled from flat, dot-separated metrics.
+//!
+//! The [`crate::Recorder`] stores every metric under a flat dotted name
+//! such as `query.let.site3` or `partition.select.rounds`. That keeps
+//! recording cheap and thread-safe (no cross-thread span nesting to
+//! track), and this module reconstructs the hierarchy afterwards:
+//! [`Report::from_metrics`] splits names on `.` and builds a tree whose
+//! inner nodes are the name segments and whose leaves carry a
+//! [`TimerStat`] or a counter value.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Aggregate of every duration recorded under one timer name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// How many durations were recorded.
+    pub count: u64,
+    /// Sum of all recorded durations.
+    pub total: Duration,
+    /// Largest single recorded duration.
+    pub max: Duration,
+}
+
+impl TimerStat {
+    /// Folds one more observation into the aggregate.
+    pub fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.max = self.max.max(d);
+    }
+
+    /// Mean duration per observation; zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// The payload at one node of a [`Report`] tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportNode {
+    /// Timer aggregate recorded at exactly this name, if any.
+    pub timer: Option<TimerStat>,
+    /// Counter value recorded at exactly this name, if any.
+    pub counter: Option<u64>,
+    /// Children keyed by the next dotted-name segment, in sorted order.
+    pub children: BTreeMap<String, ReportNode>,
+}
+
+/// A snapshot of all metrics a recorder has collected, as a tree.
+///
+/// Obtained from [`crate::Recorder::report`]; render with
+/// [`Report::to_text`] for terminals or [`Report::to_json`] for files.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Root children (top-level name segments such as `query`).
+    pub root: ReportNode,
+}
+
+impl Report {
+    /// Builds a report tree from flat dotted-name metric maps.
+    pub fn from_metrics(
+        timers: &BTreeMap<String, TimerStat>,
+        counters: &BTreeMap<String, u64>,
+    ) -> Report {
+        let mut root = ReportNode::default();
+        for (name, stat) in timers {
+            node_at(&mut root, name).timer = Some(*stat);
+        }
+        for (name, value) in counters {
+            node_at(&mut root, name).counter = Some(*value);
+        }
+        Report { root }
+    }
+
+    /// True when no metric was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Renders the tree as indented text, one metric per line.
+    ///
+    /// ```text
+    /// query
+    ///   decompose                      0.12ms
+    ///   let
+    ///     site0                        3.40ms
+    ///   comm.bytes                     = 1824
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        render_text(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Renders the tree as a [`Json`] object mirroring the hierarchy.
+    ///
+    /// Timers become `{"ms": f64, "calls": u64, "max_ms": f64}` objects
+    /// and counters become plain integers; a node that has both a value
+    /// and children nests the value under `"self"`.
+    pub fn to_json(&self) -> Json {
+        node_to_json(&self.root)
+    }
+}
+
+fn node_at<'a>(root: &'a mut ReportNode, dotted: &str) -> &'a mut ReportNode {
+    let mut node = root;
+    for seg in dotted.split('.') {
+        node = node.children.entry(seg.to_owned()).or_default();
+    }
+    node
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+fn render_text(node: &ReportNode, depth: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    for (name, child) in &node.children {
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        match (&child.timer, &child.counter) {
+            (None, None) => {
+                let _ = writeln!(out, "{label}");
+            }
+            (timer, counter) => {
+                let mut vals = Vec::new();
+                if let Some(t) = timer {
+                    let mut v = fmt_ms(t.total);
+                    if t.count > 1 {
+                        v.push_str(&format!(" ({} calls, max {})", t.count, fmt_ms(t.max)));
+                    }
+                    vals.push(v);
+                }
+                if let Some(c) = counter {
+                    vals.push(format!("= {c}"));
+                }
+                let _ = writeln!(out, "{label:<34} {}", vals.join("  "));
+            }
+        }
+        render_text(child, depth + 1, out);
+    }
+}
+
+fn timer_json(t: &TimerStat) -> Json {
+    Json::obj([
+        ("ms", Json::Num(t.total.as_secs_f64() * 1e3)),
+        ("calls", Json::UInt(t.count)),
+        ("max_ms", Json::Num(t.max.as_secs_f64() * 1e3)),
+    ])
+}
+
+fn value_json(node: &ReportNode) -> Option<Json> {
+    match (&node.timer, &node.counter) {
+        (Some(t), None) => Some(timer_json(t)),
+        (None, Some(c)) => Some(Json::UInt(*c)),
+        (Some(t), Some(c)) => Some(Json::obj([
+            ("timer", timer_json(t)),
+            ("count", Json::UInt(*c)),
+        ])),
+        (None, None) => None,
+    }
+}
+
+fn node_to_json(node: &ReportNode) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    for (name, child) in &node.children {
+        let value = if child.children.is_empty() {
+            value_json(child).unwrap_or(Json::Null)
+        } else {
+            match node_to_json(child) {
+                Json::Obj(mut inner) => {
+                    if let Some(v) = value_json(child) {
+                        inner.insert(0, ("self".to_owned(), v));
+                    }
+                    Json::Obj(inner)
+                }
+                other => other,
+            }
+        };
+        pairs.push((name.clone(), value));
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut timers = BTreeMap::new();
+        let mut t = TimerStat::default();
+        t.record(Duration::from_millis(3));
+        t.record(Duration::from_millis(1));
+        timers.insert("query.let.site0".to_owned(), t);
+        let mut q = TimerStat::default();
+        q.record(Duration::from_millis(10));
+        timers.insert("query".to_owned(), q);
+        let mut counters = BTreeMap::new();
+        counters.insert("query.comm.bytes".to_owned(), 1824);
+        Report::from_metrics(&timers, &counters)
+    }
+
+    #[test]
+    fn tree_shape_follows_dotted_names() {
+        let r = sample();
+        let query = &r.root.children["query"];
+        assert_eq!(query.timer.unwrap().count, 1);
+        let site0 = &query.children["let"].children["site0"];
+        assert_eq!(site0.timer.unwrap().count, 2);
+        assert_eq!(site0.timer.unwrap().total, Duration::from_millis(4));
+        assert_eq!(site0.timer.unwrap().max, Duration::from_millis(3));
+        assert_eq!(query.children["comm"].children["bytes"].counter, Some(1824));
+    }
+
+    #[test]
+    fn text_render_contains_all_metrics() {
+        let text = sample().to_text();
+        assert!(text.contains("query"), "{text}");
+        assert!(text.contains("site0"), "{text}");
+        assert!(text.contains("(2 calls, max 3.00ms)"), "{text}");
+        assert!(text.contains("= 1824"), "{text}");
+    }
+
+    #[test]
+    fn json_render_nests_self_value() {
+        let json = sample().to_json().to_string();
+        // `query` has both a timer and children, so its timer nests under "self".
+        assert!(json.contains(r#""query":{"self":{"ms":10"#), "{json}");
+        assert!(json.contains(r#""bytes":1824"#), "{json}");
+        assert!(json.contains(r#""calls":2"#), "{json}");
+    }
+
+    #[test]
+    fn timer_stat_mean() {
+        let mut t = TimerStat::default();
+        assert_eq!(t.mean(), Duration::ZERO);
+        t.record(Duration::from_millis(2));
+        t.record(Duration::from_millis(4));
+        assert_eq!(t.mean(), Duration::from_millis(3));
+    }
+}

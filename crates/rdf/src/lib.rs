@@ -13,6 +13,8 @@
 //!   (the sanctioned dependency set has no fast-hash crate and SipHash is
 //!   needlessly slow for small integer keys).
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod dictionary;
 pub mod graph;

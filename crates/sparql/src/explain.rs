@@ -24,6 +24,25 @@ pub struct PlanStep {
     pub join_bound: (bool, bool, bool),
 }
 
+/// Names the index permutation that serves a pattern whose (s, p, o)
+/// positions are known (constant or already bound) as given.
+///
+/// Shared between the static planner here and the runtime matcher's
+/// [`crate::matcher::MatchObserver`], so plan estimates and observed
+/// per-path counters use identical labels and can be compared directly.
+pub fn access_path_name(s_known: bool, p_known: bool, o_known: bool) -> &'static str {
+    match (s_known, p_known, o_known) {
+        (true, true, true) => "SPO(s,p,o)",
+        (true, true, false) => "SPO(s,p)",
+        (true, false, false) => "SPO(s)",
+        (false, true, true) => "POS(p,o)",
+        (false, true, false) => "POS(p)",
+        (false, false, true) => "OSP(o)",
+        (true, false, true) => "OSP(o,s)",
+        (false, false, false) => "scan",
+    }
+}
+
 /// Produces the static plan for a query over a store.
 #[allow(clippy::needless_range_loop)] // loop indexes both `used` and `query.patterns`
 pub fn explain(query: &Query, store: &LocalStore) -> Vec<PlanStep> {
@@ -85,16 +104,7 @@ pub fn explain(query: &Query, store: &LocalStore) -> Vec<PlanStep> {
         let s_known = matches!(pat.s, QNode::Const(_)) || join_bound.0;
         let p_known = matches!(pat.p, QLabel::Prop(_)) || join_bound.1;
         let o_known = matches!(pat.o, QNode::Const(_)) || join_bound.2;
-        let access_path = match (s_known, p_known, o_known) {
-            (true, true, true) => "SPO(s,p,o)",
-            (true, true, false) => "SPO(s,p)",
-            (true, false, false) => "SPO(s)",
-            (false, true, true) => "POS(p,o)",
-            (false, true, false) => "POS(p)",
-            (false, false, true) => "OSP(o)",
-            (true, false, true) => "OSP(o,s)",
-            (false, false, false) => "scan",
-        };
+        let access_path = access_path_name(s_known, p_known, o_known);
         steps.push(PlanStep {
             pattern_index: idx,
             access_path,

@@ -16,8 +16,8 @@ pub mod query;
 pub mod store;
 
 pub use algebra::{hash_join, join_all, Bindings};
-pub use explain::{explain, render as render_plan, PlanStep};
-pub use matcher::evaluate;
+pub use explain::{access_path_name, explain, render as render_plan, PlanStep};
+pub use matcher::{evaluate, evaluate_observed, MatchObserver, MatchStats};
 pub use parser::{
     numeric_value, parse_query, CompareOp, Filter, FilterOperand, ParsedQuery, QueryParseError,
 };

@@ -11,15 +11,111 @@
 //! used by graph-based engines like gStore.
 
 use crate::algebra::Bindings;
+use crate::explain::access_path_name;
 use crate::query::{QLabel, QNode, Query};
 use crate::store::{LocalStore, Pattern};
 use mpc_rdf::{PropertyId, Triple, VertexId};
+use std::collections::BTreeMap;
+
+/// Compile-time sink for matcher events.
+///
+/// The search is monomorphized over the observer, so the default `()`
+/// impl erases every callback at compile time — `evaluate` pays nothing
+/// for the instrumentation. Pass a [`MatchStats`] to
+/// [`evaluate_observed`] to count work instead.
+pub trait MatchObserver {
+    /// The search chose `pattern_index` at this node, served by the
+    /// index permutation `access_path` (labels shared with
+    /// [`crate::explain::access_path_name`]), with `candidates`
+    /// matching triples to try.
+    #[inline]
+    fn pattern_chosen(&mut self, pattern_index: usize, access_path: &'static str, candidates: usize) {
+        let _ = (pattern_index, access_path, candidates);
+    }
+
+    /// One candidate triple was examined.
+    #[inline]
+    fn candidate_scanned(&mut self) {}
+
+    /// A candidate's bindings conflicted with the partial assignment
+    /// and the search retreated without recursing.
+    #[inline]
+    fn backtracked(&mut self) {}
+
+    /// A full match was emitted (pre-dedup).
+    #[inline]
+    fn row_emitted(&mut self) {}
+}
+
+/// The no-op observer used by [`evaluate`].
+impl MatchObserver for () {}
+
+/// Counting observer: totals of matcher work, per access path and overall.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Search nodes where a pattern was chosen (recursion depth steps).
+    pub steps: u64,
+    /// Candidate triples examined across all steps.
+    pub candidates_scanned: u64,
+    /// Candidates rejected because a binding conflicted (dead ends).
+    pub backtracks: u64,
+    /// Full matches emitted before deduplication.
+    pub rows_emitted: u64,
+    /// How many steps each index permutation served, keyed by the
+    /// labels of [`crate::explain::access_path_name`].
+    pub access_paths: BTreeMap<&'static str, u64>,
+}
+
+impl MatchObserver for MatchStats {
+    #[inline]
+    fn pattern_chosen(&mut self, _pattern_index: usize, access_path: &'static str, _candidates: usize) {
+        self.steps += 1;
+        *self.access_paths.entry(access_path).or_insert(0) += 1;
+    }
+
+    #[inline]
+    fn candidate_scanned(&mut self) {
+        self.candidates_scanned += 1;
+    }
+
+    #[inline]
+    fn backtracked(&mut self) {
+        self.backtracks += 1;
+    }
+
+    #[inline]
+    fn row_emitted(&mut self) {
+        self.rows_emitted += 1;
+    }
+}
+
+impl MatchStats {
+    /// Folds this into another accumulator (e.g. across per-site runs).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.steps += other.steps;
+        self.candidates_scanned += other.candidates_scanned;
+        self.backtracks += other.backtracks;
+        self.rows_emitted += other.rows_emitted;
+        for (path, n) in &other.access_paths {
+            *self.access_paths.entry(path).or_insert(0) += n;
+        }
+    }
+}
 
 /// Evaluates a BGP query over a store, returning all distinct bindings of
 /// **all** variables (projection is the caller's business).
 ///
 /// An empty query yields the unit table (one empty row).
 pub fn evaluate(query: &Query, store: &LocalStore) -> Bindings {
+    evaluate_observed(query, store, &mut ())
+}
+
+/// [`evaluate`], reporting search events to `obs` as it runs.
+pub fn evaluate_observed(
+    query: &Query,
+    store: &LocalStore,
+    obs: &mut impl MatchObserver,
+) -> Bindings {
     if query.patterns.is_empty() {
         return Bindings::unit();
     }
@@ -28,7 +124,7 @@ pub fn evaluate(query: &Query, store: &LocalStore) -> Bindings {
     let mut used = vec![false; query.patterns.len()];
     let vars: Vec<u32> = (0..nvars as u32).collect();
     let mut out = Bindings::new(vars);
-    search(query, store, &mut used, &mut binding, &mut out);
+    search(query, store, &mut used, &mut binding, &mut out, obs);
     out.sort_dedup();
     out
 }
@@ -57,6 +153,7 @@ fn search(
     used: &mut [bool],
     binding: &mut Vec<Option<u32>>,
     out: &mut Bindings,
+    obs: &mut impl MatchObserver,
 ) {
     // Pick the unused pattern with the fewest candidates. Preferring
     // patterns connected to already-bound variables falls out naturally:
@@ -71,7 +168,7 @@ fn search(
             next = Some((i, count));
         }
     }
-    let Some((idx, _)) = next else {
+    let Some((idx, count)) = next else {
         // All patterns matched: emit the row. Every variable must be bound
         // because each one occurs in some pattern.
         let row: Vec<u32> = binding
@@ -79,22 +176,31 @@ fn search(
             .map(|b| b.expect("all query variables bound at a full match"))
             .collect();
         out.push(row);
+        obs.row_emitted();
         return;
     };
 
     used[idx] = true;
     let pat = query.patterns[idx];
     let resolved = resolve(&pat, binding);
+    obs.pattern_chosen(
+        idx,
+        access_path_name(resolved.s.is_some(), resolved.p.is_some(), resolved.o.is_some()),
+        count,
+    );
     // Materialize candidates: the recursive search below may probe the
     // store again, so the iterator cannot stay borrowed.
     let candidates: Vec<Triple> = store.scan(&resolved).collect();
     for t in candidates {
+        obs.candidate_scanned();
         let mut newly_bound: Vec<u32> = Vec::with_capacity(3);
         if try_bind(&pat.s, t.s.0, binding, &mut newly_bound)
             && try_bind_label(&pat.p, t.p.0, binding, &mut newly_bound)
             && try_bind(&pat.o, t.o.0, binding, &mut newly_bound)
         {
-            search(query, store, used, binding, out);
+            search(query, store, used, binding, out, obs);
+        } else {
+            obs.backtracked();
         }
         for v in newly_bound {
             binding[v as usize] = None;
@@ -297,6 +403,63 @@ mod tests {
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(0))], 1);
         let result = evaluate(&query, &store);
         assert_eq!(result.rows, vec![vec![5]]);
+    }
+
+    #[test]
+    fn observer_counts_match_the_search() {
+        // ?x knows ?y . ?y knows ?z — one result row over `store()`.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(0), v(2)),
+            ],
+            3,
+        );
+        let store = store();
+        let mut stats = MatchStats::default();
+        let observed = evaluate_observed(&query, &store, &mut stats);
+        assert_eq!(observed, evaluate(&query, &store), "observer must not change results");
+        assert_eq!(stats.rows_emitted, 1);
+        assert!(stats.steps >= 2, "one step per matched pattern: {stats:?}");
+        assert!(stats.candidates_scanned >= stats.steps, "{stats:?}");
+        let path_total: u64 = stats.access_paths.values().sum();
+        assert_eq!(path_total, stats.steps, "every step has an access path");
+    }
+
+    #[test]
+    fn observer_counts_backtracks_on_dead_ends() {
+        // ?x knows ?x over a store with no self-loop: every candidate
+        // conflicts when o must equal the already-bound s.
+        let store = LocalStore::new(vec![t(0, 0, 1), t(1, 0, 2)]);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(0))], 1);
+        let mut stats = MatchStats::default();
+        let result = evaluate_observed(&query, &store, &mut stats);
+        assert!(result.is_empty());
+        assert_eq!(stats.backtracks, 2, "{stats:?}");
+        assert_eq!(stats.rows_emitted, 0);
+    }
+
+    #[test]
+    fn match_stats_merge_accumulates() {
+        let mut a = MatchStats {
+            steps: 1,
+            candidates_scanned: 5,
+            backtracks: 2,
+            rows_emitted: 1,
+            access_paths: [("POS(p)", 1)].into_iter().collect(),
+        };
+        let b = MatchStats {
+            steps: 2,
+            candidates_scanned: 3,
+            backtracks: 0,
+            rows_emitted: 2,
+            access_paths: [("POS(p)", 1), ("scan", 1)].into_iter().collect(),
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.candidates_scanned, 8);
+        assert_eq!(a.access_paths["POS(p)"], 2);
+        assert_eq!(a.access_paths["scan"], 1);
     }
 
     #[test]
