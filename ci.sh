@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# Local CI gate: build, test, lint, and docs for the whole workspace.
-# Usage: ./ci.sh
+# Local CI gate: build, test, lint, analyze, verify, and docs for the
+# whole workspace. Usage: ./ci.sh
 set -eu
 
 echo "==> cargo build --release"
@@ -11,6 +11,19 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> mpc analyze (workspace lint engine)"
+cargo run -q --release -p mpc-analyze -- lint
+
+echo "==> mpc partition --verify (invariant smoke on generated LUBM)"
+CI_TMP=$(mktemp -d)
+trap 'rm -rf "$CI_TMP"' EXIT
+MPC=./target/release/mpc
+"$MPC" generate --dataset lubm --scale 0.3 --seed 7 --out "$CI_TMP/lubm.nt"
+"$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/lubm.parts" \
+    --method mpc --k 4 --verify
+"$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/hash.parts" \
+    --method hash --k 4 --verify
 
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

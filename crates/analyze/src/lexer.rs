@@ -1,0 +1,388 @@
+//! A minimal Rust tokenizer — just enough syntax awareness for the lint
+//! rules: it distinguishes identifiers, literals, punctuation, lifetimes,
+//! and comments, and never confuses rule-relevant tokens with the inside
+//! of a string, a char literal, or a comment.
+//!
+//! It is deliberately *not* a full lexer: numeric literals are lumped into
+//! one token kind, and multi-character operators arrive as single-char
+//! punctuation. Every rule in [`crate::rules`] works on adjacency of
+//! identifier/punctuation tokens, so that resolution is sufficient.
+
+/// Kinds of tokens the lint rules can observe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Numeric literal, including suffix (`0u32`, `1.5e3`, `0xff`).
+    Number,
+    /// String literal (regular, raw, or byte); `text` holds the content
+    /// without quotes or raw-string hashes.
+    Str,
+    /// Character literal; `text` holds the source between the quotes.
+    Char,
+    /// Lifetime such as `'a` or `'static`; `text` holds the name.
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this is this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment with its 1-based starting source line. `text` excludes the
+/// `//`/`/*` markers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the comment markers.
+    pub text: String,
+}
+
+/// Tokenizer output: the token stream plus all comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source. Unterminated constructs (string, block comment)
+/// simply run to end of input rather than erroring: the linter must never
+/// crash on a source file that rustc itself will reject with a better
+/// message.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start.min(i)..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = if depth == 0 { i - 2 } else { i };
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start.min(end)..end].iter().collect(),
+                });
+            }
+            '"' => {
+                let (text, ni, nl) = lex_string(&b, i, line);
+                out.tokens.push(Token { kind: TokenKind::Str, text, line });
+                line = nl;
+                i = ni;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (text, ni, nl) = lex_prefixed_string(&b, i, line);
+                out.tokens.push(Token { kind: TokenKind::Str, text, line });
+                line = nl;
+                i = ni;
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\\' {
+                            i += 1;
+                        }
+                        if i < b.len() {
+                            i += 1;
+                        }
+                    }
+                    let end = i.min(b.len());
+                    i = (i + 1).min(b.len());
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: b[start.min(end)..end].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // `r#ident` raw identifiers: the `r`/`b` string case above
+                // already consumed string-like prefixes, so a lone `r`
+                // followed by `#` is a raw identifier.
+                if i < b.len() && b[i] == '#' && (c == 'r') && i == start + 1 {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // One fractional part, but never eat the `..` of a range.
+                if i + 1 < b.len() && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br#"..."#, rb"..." (any # count).
+    let mut j = i;
+    let mut saw_quote_prefix = false;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        saw_quote_prefix = true;
+        j += 1;
+    }
+    if !saw_quote_prefix {
+        return false;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Lexes a plain `"..."` string starting at `i`; returns (content,
+/// next index, next line).
+fn lex_string(b: &[char], i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' {
+            j += 1;
+        }
+        if j < b.len() {
+            if b[j] == '\n' {
+                line += 1;
+            }
+            j += 1;
+        }
+    }
+    let end = j.min(b.len());
+    (b[start.min(end)..end].iter().collect(), (j + 1).min(b.len()), line)
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."` etc. starting at `i`.
+fn lex_prefixed_string(b: &[char], i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let raw = b[i..j].contains(&'r') && hashes > 0 || b[i] == 'r';
+    while j < b.len() {
+        if b[j] == '\n' {
+            line += 1;
+            j += 1;
+            continue;
+        }
+        if !raw && b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == '"' {
+            // For raw strings the closing quote must be followed by the
+            // same number of hashes.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < b.len() && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (b[start..j].iter().collect(), k, line);
+            }
+        }
+        j += 1;
+    }
+    (b[start.min(b.len())..].iter().collect(), b.len(), line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    let x = 1u32;\n}\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert!(l.tokens[1].is_ident("main"));
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+        let num = l.tokens.iter().find(|t| t.kind == TokenKind::Number).unwrap();
+        assert_eq!(num.text, "1u32");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "as u32 .unwrap()";"#);
+        assert_eq!(idents(r#"let s = "as u32 .unwrap()";"#), vec!["let", "s"]);
+        let s = l.tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.text, "as u32 .unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"quote \" inside\"#; let t = 1;";
+        let l = lex(src);
+        let s = l.tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.text, "quote \" inside");
+        assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let l = lex("// as u32\nlet x = 1; /* .unwrap() */\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].text.trim(), "as u32");
+        assert_eq!(l.comments[1].line, 2);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn range_does_not_become_float() {
+        let l = lex("for i in 0..16 {}");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "16"]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let s = \"a\nb\";\nlet x = 1;");
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! Command-line entry point: `cargo run -p mpc-analyze -- lint [--root DIR]`.
+//!
+//! Exit codes: 0 when the tree is clean, 1 when findings exist, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if i + 1 >= args.len() {
+                    eprintln!("mpc-analyze: --root needs a value");
+                    return ExitCode::from(2);
+                }
+                root = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "lint" if cmd.is_none() => {
+                cmd = Some("lint");
+                i += 1;
+            }
+            other => {
+                eprintln!("mpc-analyze: unknown argument `{other}`");
+                eprintln!("usage: mpc-analyze lint [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("lint") {
+        eprintln!("usage: mpc-analyze lint [--root DIR]");
+        return ExitCode::from(2);
+    }
+    match mpc_analyze::lint_workspace(&root) {
+        Ok(findings) => {
+            print!("{}", mpc_analyze::render_report(&findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("mpc-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-file model the rules operate on: the token stream, `#[cfg(test)]`
+//! region map, and parsed `mpc-allow` directives.
+
+use crate::lexer::{lex, Lexed};
+
+/// How a `.rs` file participates in the build — rules apply differently
+/// to library code, binaries, and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library target (`src/` excluding `src/bin` and `main.rs`).
+    Lib,
+    /// A binary target (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// Integration tests, benches, or examples (`tests/`, `benches/`,
+    /// `examples/`).
+    Test,
+}
+
+/// One `// mpc-allow: <rule> <justification>` escape-hatch directive.
+///
+/// A directive suppresses findings of `rule` on its own line and on the
+/// line directly below it (so it can sit either trailing the offending
+/// expression or on its own line above it). The justification is
+/// mandatory; a bare `mpc-allow: rule` is itself a finding.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule identifier the directive suppresses.
+    pub rule: String,
+    /// Free-text reason why the suppression is sound.
+    pub justification: String,
+}
+
+/// A lexed source file plus the derived facts the rules need.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, used in finding output.
+    pub path: String,
+    /// Name of the owning crate (directory name under `crates/`).
+    pub crate_name: String,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// True for `src/lib.rs` of a library crate.
+    pub is_crate_root: bool,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// All `mpc-allow` directives in the file.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes test regions and allow directives.
+    pub fn parse(
+        path: impl Into<String>,
+        crate_name: impl Into<String>,
+        kind: FileKind,
+        is_crate_root: bool,
+        src: &str,
+    ) -> SourceFile {
+        let lexed = lex(src);
+        let test_regions = find_test_regions(&lexed);
+        let allows = parse_allows(&lexed);
+        SourceFile {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            kind,
+            is_crate_root,
+            lexed,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// True if `line` is test-only code: the whole file is a test target,
+    /// or the line falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// True if an `mpc-allow` directive for `rule` covers `line`
+    /// (directive on the same line or on the line directly above).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    /// True if the file carries an `mpc-allow` directive for `rule`
+    /// anywhere — used by whole-file rules such as `crate-root`.
+    pub fn is_allowed_anywhere(&self, rule: &str) -> bool {
+        self.allows.iter().any(|a| a.rule == rule)
+    }
+}
+
+/// Finds line ranges of items annotated `#[cfg(test)]` (including
+/// `cfg(all(test, ...))` and friends — any `cfg` attribute whose argument
+/// list mentions the bare identifier `test`).
+fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 2 < t.len() {
+        if !(t[i].is_punct('#') && t[i + 1].is_punct('[') && t[i + 2].is_ident("cfg")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body up to its closing `]`, watching for `test`.
+        let mut j = i + 3;
+        let mut depth = 1; // the `[` we already saw
+        let mut mentions_test = false;
+        while j < t.len() && depth > 0 {
+            if t[j].is_punct('[') || t[j].is_punct('(') {
+                depth += 1;
+            } else if t[j].is_punct(']') || t[j].is_punct(')') {
+                depth -= 1;
+            } else if t[j].is_ident("test") {
+                mentions_test = true;
+            }
+            j += 1;
+        }
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item, then find the
+        // item's body: the next `{` at depth 0 (or a terminating `;` for
+        // `mod tests;` style declarations, which cover no lines here).
+        while j + 1 < t.len() && t[j].is_punct('#') && t[j + 1].is_punct('[') {
+            let mut d = 0;
+            while j < t.len() {
+                if t[j].is_punct('[') {
+                    d += 1;
+                } else if t[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let start_line = t[i].line;
+        let mut brace_depth = 0i32;
+        let mut end_line = start_line;
+        while j < t.len() {
+            if t[j].is_punct(';') && brace_depth == 0 {
+                end_line = t[j].line;
+                j += 1;
+                break;
+            }
+            if t[j].is_punct('{') {
+                brace_depth += 1;
+            } else if t[j].is_punct('}') {
+                brace_depth -= 1;
+                if brace_depth == 0 {
+                    end_line = t[j].line;
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line.max(start_line)));
+        i = j;
+    }
+    regions
+}
+
+/// Extracts `mpc-allow: <rule> <justification>` directives from comments.
+fn parse_allows(lexed: &Lexed) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("mpc-allow:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (rule, justification) = match rest.split_once(char::is_whitespace) {
+            Some((r, j)) => (r.to_string(), j.trim().to_string()),
+            None => (rest.to_string(), String::new()),
+        };
+        out.push(AllowDirective { line: c.line, rule, justification });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_covers_mod_body() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", "x", FileKind::Lib, false, src);
+        assert_eq!(f.test_regions, vec![(2, 5)]);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t {\n}\n";
+        let f = SourceFile::parse("x.rs", "x", FileKind::Lib, false, src);
+        assert_eq!(f.test_regions, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn cfg_without_test_ignored() {
+        let src = "#[cfg(feature = \"x\")]\nmod m {\n fn f() {}\n}\n";
+        let f = SourceFile::parse("x.rs", "x", FileKind::Lib, false, src);
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_before_body() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n fn f() {}\n}\n";
+        let f = SourceFile::parse("x.rs", "x", FileKind::Lib, false, src);
+        assert_eq!(f.test_regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn allow_directive_parsing_and_scope() {
+        let src = "let a = x as u32; // mpc-allow: narrowing-cast len fits in u32\n\
+                   // mpc-allow: unwrap-expect checked above\n\
+                   let b = y.unwrap();\n\
+                   // mpc-allow: narrowing-cast\n";
+        let f = SourceFile::parse("x.rs", "x", FileKind::Lib, false, src);
+        assert_eq!(f.allows.len(), 3);
+        assert!(f.is_allowed("narrowing-cast", 1));
+        assert!(f.is_allowed("unwrap-expect", 3));
+        assert!(!f.is_allowed("unwrap-expect", 1));
+        assert_eq!(f.allows[2].justification, "");
+    }
+
+    #[test]
+    fn test_file_kind_is_all_test() {
+        let f = SourceFile::parse("tests/t.rs", "x", FileKind::Test, false, "fn f() {}\n");
+        assert!(f.in_test_code(1));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a lib crate root that warns on missing docs but forgot
+//! `#![forbid(unsafe_code)]` — exactly one `crate-root` finding.
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Fixture: an `mpc-allow` directive naming a rule that does not exist —
+//! exactly one `mpc-allow` finding.
+
+// mpc-allow: made-up-rule this rule id is not in ALL_RULES
+pub fn noop(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,5 @@
+//! Fixture: exactly one `narrowing-cast` finding (the `as u32` below).
+
+pub fn shrink(x: usize) -> u32 {
+    x as u32
+}

@@ -1,0 +1,14 @@
+//! Fixture: records one metric; the companion `obs_doc.md` documents it
+//! plus one stale name — exactly one `obs-doc` finding (the stale row).
+
+pub fn touch(rec: &Recorder) {
+    rec.incr("fixture.queries");
+}
+
+/// Stand-in for `mpc_obs::Recorder` so the fixture is self-contained.
+pub struct Recorder;
+
+impl Recorder {
+    /// Bumps a counter.
+    pub fn incr(&self, _name: &str) {}
+}

@@ -1,0 +1,6 @@
+//! Fixture: a `*_traced` function with no untraced sibling in the same
+//! crate — exactly one `traced-counterpart` finding.
+
+pub fn refine_traced(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,5 @@
+//! Fixture: exactly one `unwrap-expect` finding (the `.unwrap()` below).
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,105 @@
+//! Two-sided check on the lint engine: each fixture under
+//! `tests/fixtures/` trips exactly its rule, and the live workspace is
+//! completely clean. The second half is what keeps the engine honest —
+//! a finding introduced anywhere in the repo fails this test, not just
+//! `ci.sh`.
+
+use std::path::{Path, PathBuf};
+
+use mpc_analyze::rules::{
+    RULE_CRATE_ROOT, RULE_MPC_ALLOW, RULE_NARROWING_CAST, RULE_OBS_DOC, RULE_TRACED_COUNTERPART,
+    RULE_UNWRAP_EXPECT,
+};
+use mpc_analyze::{lint_files, lint_workspace, render_report, FileKind, SourceFile};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Parses a fixture as non-root library code of a throwaway crate and
+/// runs the full rule set over it alone.
+fn lint_fixture(name: &str, is_crate_root: bool) -> Vec<mpc_analyze::Finding> {
+    let src = fixture(name);
+    let file = SourceFile::parse(
+        format!("fixtures/{name}"),
+        "fixture",
+        FileKind::Lib,
+        is_crate_root,
+        &src,
+    );
+    lint_files(std::slice::from_ref(&file), None)
+}
+
+#[track_caller]
+fn assert_single(findings: &[mpc_analyze::Finding], rule: &str) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one [{rule}] finding, got:\n{}",
+        render_report(findings)
+    );
+    assert_eq!(findings[0].rule, rule, "wrong rule:\n{}", render_report(findings));
+}
+
+#[test]
+fn narrowing_cast_fixture_trips_only_that_rule() {
+    assert_single(&lint_fixture("narrowing_cast.rs", false), RULE_NARROWING_CAST);
+}
+
+#[test]
+fn unwrap_expect_fixture_trips_only_that_rule() {
+    assert_single(&lint_fixture("unwrap_expect.rs", false), RULE_UNWRAP_EXPECT);
+}
+
+#[test]
+fn crate_root_fixture_trips_only_that_rule() {
+    assert_single(&lint_fixture("crate_root.rs", true), RULE_CRATE_ROOT);
+}
+
+#[test]
+fn traced_counterpart_fixture_trips_only_that_rule() {
+    assert_single(
+        &lint_fixture("traced_counterpart.rs", false),
+        RULE_TRACED_COUNTERPART,
+    );
+}
+
+#[test]
+fn mpc_allow_fixture_trips_only_that_rule() {
+    assert_single(&lint_fixture("mpc_allow.rs", false), RULE_MPC_ALLOW);
+}
+
+#[test]
+fn obs_doc_fixture_flags_the_stale_row_only() {
+    let src = fixture("obs_doc.rs");
+    let doc = fixture("obs_doc.md");
+    let file = SourceFile::parse(
+        "fixtures/obs_doc.rs",
+        "fixture",
+        FileKind::Lib,
+        false,
+        &src,
+    );
+    let findings = lint_files(std::slice::from_ref(&file), Some(("fixtures/obs_doc.md", &doc)));
+    assert_single(&findings, RULE_OBS_DOC);
+    assert!(
+        findings[0].message.contains("fixture.stale"),
+        "finding should name the stale metric:\n{}",
+        render_report(&findings)
+    );
+}
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must stay lint-clean; run `mpc analyze` locally.\n{}",
+        render_report(&findings)
+    );
+}

@@ -3,6 +3,8 @@
 //! selection with and without oversized-property pruning, and the
 //! trial-merge cost oracle vs naive forest cloning.
 
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)] // bench code: ids are tiny and panicking on bad setup is fine
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_cluster::{
     bloom_reduce, classify, decompose_crossing_aware, partial_evaluate, CrossingSet, Site,

@@ -13,6 +13,7 @@ use mpc_datagen::watdiv::{self, WatdivConfig};
 use mpc_datagen::{NamedQuery, QuerySampler, ShapeMix};
 use mpc_rdf::RdfGraph;
 use mpc_sparql::Query;
+use mpc_rdf::narrow;
 
 /// One dataset plus its workloads.
 pub struct DatasetBundle {
@@ -37,12 +38,12 @@ pub fn scale_factor() -> f64 {
 
 /// Number of log queries to sample (paper: 1000), scaled.
 pub fn log_size() -> usize {
-    ((1000.0 * scale_factor()) as usize).clamp(50, 5000)
+    narrow::usize_from_f64(1000.0 * scale_factor()).clamp(50, 5000)
 }
 
 /// LUBM analog (default ≈ 20 universities ≈ 170k triples).
 pub fn lubm_bundle() -> DatasetBundle {
-    let universities = ((20.0 * scale_factor()) as usize).max(2);
+    let universities = narrow::usize_from_f64(20.0 * scale_factor()).max(2);
     let d = lubm::generate(&LubmConfig {
         universities,
         ..Default::default()
@@ -73,7 +74,7 @@ pub fn lubm_at(universities: usize) -> DatasetBundle {
 
 /// WatDiv analog (default ≈ 4k users ≈ 120k triples) with a sampled log.
 pub fn watdiv_bundle() -> DatasetBundle {
-    let scale = ((4000.0 * scale_factor()) as usize).max(200);
+    let scale = narrow::usize_from_f64(4000.0 * scale_factor()).max(200);
     watdiv_at(scale)
 }
 

@@ -7,6 +7,7 @@ use crate::datasets::{lubm_at, scale_factor, watdiv_at};
 use crate::harness::{build_engines, partition_with, total_ms, Method};
 use crate::report::{emit, fresh, secs, Table};
 use mpc_cluster::{DistributedEngine, NetworkModel};
+use mpc_rdf::narrow;
 
 /// Regenerates Figs. 9 and 10.
 pub fn run() {
@@ -14,11 +15,11 @@ pub fn run() {
     let f = scale_factor();
     let lubm_sizes: Vec<usize> = [4.0, 16.0, 64.0]
         .iter()
-        .map(|&u| ((u * f) as usize).max(2))
+        .map(|&u| narrow::usize_from_f64(u * f).max(2))
         .collect();
     let watdiv_sizes: Vec<usize> = [1000.0, 4000.0, 16000.0]
         .iter()
-        .map(|&u| ((u * f) as usize).max(100))
+        .map(|&u| narrow::usize_from_f64(u * f).max(100))
         .collect();
 
     // Fig. 9: offline scalability.

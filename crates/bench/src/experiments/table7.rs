@@ -8,6 +8,7 @@ use crate::report::{emit, fresh, secs, Table};
 use mpc_core::{MpcConfig, MpcExactPartitioner, MpcPartitioner, Partitioner};
 use mpc_datagen::lubm::{self, LubmConfig};
 use std::time::Instant;
+use mpc_rdf::narrow;
 
 /// Regenerates Table VII.
 pub fn run() {
@@ -15,7 +16,7 @@ pub fn run() {
     // The exact search clones disjoint-set forests along the DFS, so run it
     // on a moderate LUBM instance (still hundreds of thousands of triples
     // at scale 1.0).
-    let universities = ((8.0 * scale_factor()) as usize).max(2);
+    let universities = narrow::usize_from_f64(8.0 * scale_factor()).max(2);
     let d = lubm::generate(&LubmConfig {
         universities,
         ..Default::default()

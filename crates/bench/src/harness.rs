@@ -144,6 +144,7 @@ pub fn build_engines(bundle: DatasetBundle) -> EngineSet {
 impl EngineSet {
     /// The engine of one vertex-disjoint method.
     pub fn engine(&self, method: Method) -> &DistributedEngine {
+        // mpc-allow: unwrap-expect the loop above builds an engine for every method in the list
         &self.engines.iter().find(|(m, _)| *m == method).expect("method built").1
     }
 }

@@ -20,6 +20,9 @@
 //! the generated datasets, and write both stdout and
 //! `bench_results/<name>.txt`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod datasets;
 pub mod harness;
 pub mod report;

@@ -14,6 +14,7 @@ use mpc_rdf::{ntriples, turtle, RdfGraph, VertexId};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::time::Instant;
+use mpc_rdf::narrow;
 
 /// Loads a graph, picking the parser by file extension.
 pub fn load_graph(path: &str) -> Result<RdfGraph, CliError> {
@@ -40,14 +41,14 @@ pub fn generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let graph = match dataset {
         "lubm" => {
             lubm::generate(&LubmConfig {
-                universities: ((10.0 * scale) as usize).max(1),
+                universities: narrow::usize_from_f64(10.0 * scale).max(1),
                 seed,
             })
             .graph
         }
         "watdiv" => {
             watdiv::generate(&WatdivConfig {
-                scale: ((4000.0 * scale) as usize).max(50),
+                scale: narrow::usize_from_f64(4000.0 * scale).max(50),
                 seed,
             })
             .graph
@@ -158,7 +159,7 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
         &["input", "out", "method", "k", "epsilon"],
-        &["profile"],
+        &["profile", "verify"],
     )?;
     let graph = load_graph(o.required("input")?)?;
     let out_path = o.required("out")?;
@@ -185,6 +186,23 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         partitioner.partition(&graph)
     };
     let took = t0.elapsed();
+    if o.flag("verify") {
+        // Structural invariants are hard requirements. The Definition 4.1
+        // balance bound is not: it constrains the selection stage's WCC
+        // cap, but coarse partitioning + uncoarsening only approximate it
+        // on raw vertex counts, so imbalance is reported rather than
+        // enforced (pass `Some(epsilon)` to `validate_partitioning` to
+        // enforce it, as the core test-suite does for known-balanced
+        // assignments).
+        mpc_core::validate::validate_partitioning(&graph, &partitioning, None)
+            .map_err(|v| CliError::new(format!("partition verification failed: {v}")))?;
+        writeln!(
+            out,
+            "verified: vertex-disjointness and crossing-edge/property accounting hold \
+             (measured imbalance {:.3}, \u{03b5}={epsilon})",
+            partitioning.imbalance()
+        )?;
+    }
     let file = File::create(out_path)
         .map_err(|e| CliError::new(format!("cannot create '{out_path}': {e}")))?;
     let mut writer = BufWriter::new(file);
@@ -205,6 +223,25 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         write!(out, "{}", rec.report().to_text())?;
     }
     Ok(())
+}
+
+/// `mpc analyze` — runs the workspace lint engine (see
+/// `docs/STATIC_ANALYSIS.md`) from the repository root.
+pub fn analyze(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse(args, &["root"])?;
+    let root = o.get("root").unwrap_or(".");
+    let findings = mpc_analyze::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| CliError::new(format!("cannot scan '{root}': {e}")))?;
+    write!(out, "{}", mpc_analyze::render_report(&findings))?;
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::new(format!(
+            "{} lint finding(s); see docs/STATIC_ANALYSIS.md for the rules \
+             and the mpc-allow escape hatch",
+            findings.len()
+        )))
+    }
 }
 
 fn load_query(

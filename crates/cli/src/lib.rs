@@ -8,9 +8,13 @@
 //! * `partition` — partition a graph with MPC or a baseline and save the
 //!   assignment,
 //! * `classify` — IEQ-classify a SPARQL query against a saved partitioning,
-//! * `query` — execute a SPARQL query on the simulated cluster.
+//! * `query` — execute a SPARQL query on the simulated cluster,
+//! * `analyze` — run the workspace lint engine (docs/STATIC_ANALYSIS.md).
 //!
 //! All logic lives here (testable); `src/bin/mpc.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
@@ -60,6 +64,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "stats" => commands::stats(rest, out),
         "partition" => commands::partition(rest, out),
         "classify" => commands::classify(rest, out),
+        "analyze" => commands::analyze(rest, out),
         "explain" => commands::explain(rest, out),
         "query" => commands::query(rest, out),
         "help" | "--help" | "-h" => {
@@ -83,7 +88,9 @@ USAGE:
     mpc stats     --input <FILE.nt|FILE.ttl> [--properties <N>]
     mpc partition --input <FILE> --out <FILE.parts>
                   [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>] [--profile]
+                  [--verify]
     mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
+    mpc analyze   [--root <DIR>]
     mpc explain   --input <FILE> --query <FILE.rq>
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
@@ -91,5 +98,7 @@ USAGE:
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
-breakdown (see docs/OBSERVABILITY.md)."
+breakdown (see docs/OBSERVABILITY.md). `--verify` re-checks every
+partition invariant from scratch before saving (docs/STATIC_ANALYSIS.md).
+`analyze` runs the workspace lint engine from the repository root."
 }

@@ -15,6 +15,7 @@ use crate::CliError;
 use mpc_core::Partitioning;
 use mpc_rdf::{PartitionId, RdfGraph};
 use std::io::{BufRead, Write};
+use mpc_rdf::narrow;
 
 /// Writes a partitioning.
 pub fn write(
@@ -83,7 +84,7 @@ pub fn read(input: &mut dyn BufRead, g: &RdfGraph) -> Result<Partitioning, CliEr
                 lineno + 2
             )));
         }
-        assignment.push(PartitionId(part as u16));
+        assignment.push(PartitionId(narrow::u16_from(part)));
     }
     if assignment.len() != vertices {
         return Err(CliError::new(format!(

@@ -1,6 +1,8 @@
 //! End-to-end CLI flow: generate → stats → partition → classify → query,
 //! exercising file I/O and both graph formats.
 
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
 use std::path::PathBuf;
 
 fn run(args: &[&str]) -> Result<String, String> {

@@ -3,6 +3,8 @@
 //! README.md are asserted to (a) still appear in the README and (b)
 //! still work end to end.
 
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
 use std::path::PathBuf;
 
 fn run(args: &[&str]) -> String {

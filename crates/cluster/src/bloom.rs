@@ -10,6 +10,7 @@
 //! `k` probe positions; the bit array is sized for a requested
 //! false-positive probability.
 
+use mpc_rdf::narrow;
 use mpc_rdf::FxBuildHasher;
 use std::hash::{BuildHasher, Hash};
 
@@ -29,8 +30,8 @@ impl BloomFilter {
         let n = expected.max(1) as f64;
         let p = fpp.clamp(1e-6, 0.5);
         let m = (-(n * p.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
-        let bit_count = (m as usize).next_power_of_two().max(64);
-        let k = ((bit_count as f64 / n) * std::f64::consts::LN_2).round() as u32;
+        let bit_count = narrow::usize_from_f64(m).next_power_of_two().max(64);
+        let k = narrow::u32_from_f64(((bit_count as f64 / n) * std::f64::consts::LN_2).round());
         BloomFilter {
             bits: vec![0u64; bit_count / 64],
             bit_count,
@@ -38,6 +39,8 @@ impl BloomFilter {
         }
     }
 
+    // Masked probe indices are < bit_count, which is a usize.
+    #[allow(clippy::cast_possible_truncation)]
     fn probes(&self, value: u32) -> impl Iterator<Item = usize> + '_ {
         let hasher = FxBuildHasher::default();
         let h1 = hasher.hash_one(value);

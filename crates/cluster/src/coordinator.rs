@@ -30,6 +30,7 @@ use mpc_sparql::{
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use mpc_rdf::narrow;
 
 /// How the engine recognizes and decomposes queries.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -242,7 +243,7 @@ impl DistributedEngine {
                 let joined = join_all(&ordered);
                 // Normalize the column order to the full variable space so
                 // callers see the same layout as independent execution.
-                let all_vars: Vec<u32> = (0..query.var_count() as u32).collect();
+                let all_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
                 let result = joined.project(&all_vars);
                 let join_time = t_join.elapsed();
                 drop(join_span);
@@ -293,7 +294,7 @@ impl DistributedEngine {
         });
         let mut comm_bytes = 0u64;
         let width = query.var_count();
-        let mut result = Bindings::new((0..width as u32).collect());
+        let mut result = Bindings::new((0..narrow::u32_from(width)).collect());
         let mut max_time = Duration::ZERO;
         for (i, ((bindings, mstats), took)) in per_site.into_iter().enumerate() {
             if let Some(mstats) = mstats {
@@ -406,7 +407,7 @@ impl DistributedEngine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("site thread panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         })
     }

@@ -17,6 +17,7 @@
 use crate::ieq::{is_crossing_pattern, CrossingOracle};
 use mpc_rdf::FxHashMap;
 use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
+use mpc_rdf::narrow;
 
 /// One independently executable subquery of a decomposition.
 #[derive(Clone, Debug)]
@@ -39,7 +40,7 @@ pub fn extract_subquery(parent: &Query, pattern_indices: Vec<usize>) -> Subquery
         if let Some(&l) = map.get(&v) {
             return l;
         }
-        let l = names.len() as u32;
+        let l = narrow::u32_from(names.len());
         map.insert(v, l);
         names.push(parent.var_names[v as usize].clone());
         parent_vars.push(v);
@@ -95,6 +96,7 @@ pub fn decompose_crossing_aware(
         vertex_groups
             .iter()
             .position(|g| g.contains(node))
+            // mpc-allow: unwrap-expect group() assigns every query vertex to exactly one group
             .expect("every query vertex is grouped")
     };
     let initial_sizes: Vec<usize> = vertex_groups.iter().map(|g| g.len()).collect();

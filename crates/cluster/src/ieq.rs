@@ -117,6 +117,7 @@ pub fn classify(query: &Query, oracle: &impl CrossingOracle) -> IeqClass {
         comps
             .iter()
             .position(|c| c.contains(node))
+            // mpc-allow: unwrap-expect the WCC pass labels every query vertex before this lookup
             .expect("every query vertex belongs to a component")
     };
 

@@ -17,6 +17,9 @@
 //! * [`stats::ExecutionStats`] — the QDT / LET / JT / communication
 //!   breakdown reported in Tables IV–V and Figures 7–11.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod coordinator;
 pub mod decompose;
 pub mod ieq;
@@ -41,6 +44,7 @@ pub use stats::{ExecutionStats, FiveNumber};
 pub use vp::VpEngine;
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use mpc_core::{

@@ -39,6 +39,7 @@ use crate::decompose::extract_subquery;
 use mpc_rdf::FxHashMap;
 use mpc_sparql::{evaluate, Bindings, Query};
 use std::time::{Duration, Instant};
+use mpc_rdf::narrow;
 
 /// Upper bound on `|E(Q)|` for the exponential subset enumeration.
 pub const MAX_PATTERNS: usize = 12;
@@ -117,7 +118,7 @@ pub fn partial_evaluate(
             stats.local_eval_time += s.local_eval_time;
             stats.assembly_time += s.assembly_time;
         }
-        let all_vars: Vec<u32> = (0..query.var_count() as u32).collect();
+        let all_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
         return (acc.project(&all_vars), stats);
     }
     let full_mask: u32 = (1u32 << n) - 1;
@@ -266,10 +267,10 @@ pub fn partial_evaluate(
     }
     let result = match dp.remove(&full_mask) {
         Some(table) => {
-            let all_vars: Vec<u32> = (0..query.var_count() as u32).collect();
+            let all_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
             table.project(&all_vars)
         }
-        None => Bindings::new((0..query.var_count() as u32).collect()),
+        None => Bindings::new((0..narrow::u32_from(query.var_count())).collect()),
     };
     stats.assembly_time = t1.elapsed();
     (result, stats)
@@ -349,6 +350,7 @@ fn connected_subsets(query: &Query) -> Vec<u32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use crate::site::Site;
@@ -531,6 +533,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use crate::site::Site;

@@ -66,9 +66,11 @@ pub fn bloom_reduce(tables: &mut [Bindings]) -> ReductionStats {
         let donor = *table_ids
             .iter()
             .min_by_key(|&&ti| tables[ti].len())
+            // mpc-allow: unwrap-expect caller guarantees >= 2 tables; checked at entry
             .expect("at least two tables");
         let donor_col = tables[donor]
             .column_of(var)
+            // mpc-allow: unwrap-expect var was taken from this table's occurrence list
             .expect("occurrence implies a column");
         let filter = BloomFilter::from_values(
             tables[donor].rows.iter().map(|row| row[donor_col]),
@@ -80,6 +82,7 @@ pub fn bloom_reduce(tables: &mut [Bindings]) -> ReductionStats {
             if ti == donor {
                 continue;
             }
+            // mpc-allow: unwrap-expect occurrences map only lists tables containing var
             let col = tables[ti].column_of(var).expect("column exists");
             tables[ti].rows.retain(|row| filter.maybe_contains(row[col]));
         }

@@ -3,6 +3,7 @@
 
 use crate::ieq::IeqClass;
 use std::time::Duration;
+use mpc_rdf::narrow;
 
 /// Timing and volume breakdown of one distributed query execution.
 #[derive(Clone, Copy, Debug)]
@@ -59,11 +60,11 @@ impl FiveNumber {
     pub fn of(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "five-number summary of empty sample");
         let mut s = samples.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in timings"));
+        s.sort_by(|a, b| a.total_cmp(b));
         let q = |f: f64| -> f64 {
             let pos = f * (s.len() - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
+            let lo = narrow::usize_from_f64(pos.floor());
+            let hi = narrow::usize_from_f64(pos.ceil());
             if lo == hi {
                 s[lo]
             } else {
@@ -75,7 +76,7 @@ impl FiveNumber {
             q1: q(0.25),
             median: q(0.5),
             q3: q(0.75),
-            max: *s.last().unwrap(),
+            max: s[s.len() - 1],
         }
     }
 }

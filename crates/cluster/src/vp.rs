@@ -17,6 +17,7 @@ use mpc_core::EdgePartitioning;
 use mpc_rdf::{PartitionId, RdfGraph};
 use mpc_sparql::{evaluate, join_all, Bindings, LocalStore, QLabel, Query};
 use std::time::{Duration, Instant};
+use mpc_rdf::narrow;
 
 /// A simulated VP cluster: one store per site, triples routed by property.
 pub struct VpEngine {
@@ -147,7 +148,7 @@ impl VpEngine {
         let subqueries = tables.len();
         tables.sort_by_key(Bindings::len);
         let joined = join_all(&tables);
-        let all_vars: Vec<u32> = (0..query.var_count() as u32).collect();
+        let all_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
         let result = joined.project(&all_vars);
         let join_time = t2.elapsed();
 

@@ -12,14 +12,15 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mpc_sparql::Bindings;
+use mpc_rdf::narrow;
 
 /// Serializes a binding table.
 pub fn encode_bindings(b: &Bindings) -> Bytes {
     let cols = b.vars.len();
     let mut buf =
         BytesMut::with_capacity(8 + 4 * cols + 4 * cols * b.rows.len());
-    buf.put_u32_le(cols as u32);
-    buf.put_u32_le(b.rows.len() as u32);
+    buf.put_u32_le(narrow::u32_from(cols));
+    buf.put_u32_le(narrow::u32_from(b.rows.len()));
     for &v in &b.vars {
         buf.put_u32_le(v);
     }
@@ -56,6 +57,7 @@ pub fn encoded_len(rows: usize, cols: usize) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
 

@@ -7,6 +7,7 @@ use crate::Partitioner;
 use mpc_metis::MetisConfig;
 use mpc_rdf::{FxBuildHasher, PartitionId, RdfGraph};
 use std::hash::{BuildHasher, Hash};
+use mpc_rdf::narrow;
 
 /// `Subject_Hash`: every vertex goes to `hash(v) mod k`. All triples of one
 /// subject land together, so star queries localize (the property SHAPE and
@@ -26,7 +27,7 @@ impl SubjectHashPartitioner {
 
 fn hash_to_part<T: Hash>(value: T, k: usize) -> PartitionId {
     let h = FxBuildHasher::default().hash_one(value);
-    PartitionId((h % k as u64) as u16)
+    PartitionId(narrow::u16_from(h % k as u64))
 }
 
 impl Partitioner for SubjectHashPartitioner {
@@ -75,7 +76,7 @@ impl Partitioner for MinEdgeCutPartitioner {
 
     fn partition(&self, g: &RdfGraph) -> Partitioning {
         let raw = mpc_metis::partition_rdf(g, self.k, &self.metis);
-        let assignment = raw.into_iter().map(|p| PartitionId(p as u16)).collect();
+        let assignment = raw.into_iter().map(|p| PartitionId(narrow::u16_from(p))).collect();
         Partitioning::new(g, self.k, assignment)
     }
 }

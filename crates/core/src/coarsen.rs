@@ -60,6 +60,7 @@ pub fn uncoarsen(coarsened: &Coarsened, coarse_part: &[u32]) -> Vec<u32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use crate::select::{forward_greedy, SelectConfig, SelectStrategy};

@@ -21,6 +21,7 @@
 
 use crate::partitioning::Partitioning;
 use mpc_rdf::{PartitionId, PropertyId, RdfGraph, Triple};
+use mpc_rdf::narrow;
 
 /// An evolving vertex→partition assignment with incremental crossing
 /// bookkeeping.
@@ -70,15 +71,16 @@ impl IncrementalPartitioning {
 
     /// The balance cap `(1+ε)|V|/k` at the current vertex count.
     fn cap(&self) -> usize {
-        (((1.0 + self.epsilon) * self.assignment.len() as f64) / self.k as f64).ceil() as usize
+        narrow::usize_from_f64((((1.0 + self.epsilon) * self.assignment.len() as f64) / self.k as f64).ceil())
     }
 
     /// The lightest partition.
     fn lightest(&self) -> PartitionId {
         let i = (0..self.k)
             .min_by_key(|&i| self.part_sizes[i])
+            // mpc-allow: unwrap-expect part_sizes has k >= 1 entries, so min_by_key is Some
             .expect("k >= 1");
-        PartitionId(i as u16)
+        PartitionId(narrow::u16_from(i))
     }
 
     /// Places a new vertex, preferring `wanted` unless it is at the cap.
@@ -163,6 +165,7 @@ impl IncrementalPartitioning {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use crate::baselines::SubjectHashPartitioner;
@@ -294,6 +297,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use crate::baselines::SubjectHashPartitioner;

@@ -13,6 +13,7 @@ use crate::Partitioner;
 use mpc_dsu::DisjointSetForest;
 use mpc_metis::MetisConfig;
 use mpc_rdf::{PartitionId, PropertyId, RdfGraph};
+use mpc_rdf::narrow;
 
 /// Hard limit on `|L|` for the exact search (2^30 nodes is already absurd;
 /// the bound-based pruning usually cuts far below that, but we refuse
@@ -173,7 +174,7 @@ impl Partitioner for MpcExactPartitioner {
         let raw = mpc_metis::partition(&coarse.graph, self.k, &self.metis);
         let assignment = uncoarsen(&coarse, &raw)
             .into_iter()
-            .map(|p| PartitionId(p as u16))
+            .map(|p| PartitionId(narrow::u16_from(p)))
             .collect();
         Partitioning::new(g, self.k, assignment)
     }

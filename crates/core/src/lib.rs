@@ -22,6 +22,9 @@
 //! (`MPC-Exact`, Table VII), all producing the same [`Partitioning`] type
 //! so the evaluation layer treats them uniformly.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod coarsen;
 pub mod dynamic;
@@ -29,6 +32,7 @@ pub mod exact;
 pub mod mpc;
 pub mod partitioning;
 pub mod select;
+pub mod validate;
 pub mod weighted;
 
 pub use baselines::{MinEdgeCutPartitioner, SubjectHashPartitioner, VerticalPartitioner};
@@ -37,6 +41,7 @@ pub use exact::MpcExactPartitioner;
 pub use mpc::{MpcConfig, MpcPartitioner, MpcReport};
 pub use partitioning::{EdgePartitioning, Fragment, Partitioning};
 pub use select::{SelectConfig, SelectStats, SelectStrategy, Selection};
+pub use validate::{validate_partitioning, validate_selection, InvariantViolation};
 pub use weighted::{weighted_greedy, PropertyWeights};
 
 use mpc_rdf::RdfGraph;
@@ -56,6 +61,7 @@ pub trait Partitioner {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use mpc_rdf::{PropertyId, Triple, VertexId};

@@ -8,6 +8,7 @@ use mpc_metis::MetisConfig;
 use mpc_obs::Recorder;
 use mpc_rdf::{PartitionId, RdfGraph};
 use std::time::Duration;
+use mpc_rdf::narrow;
 
 /// Configuration of the full MPC pipeline.
 #[derive(Clone, Debug)]
@@ -81,6 +82,19 @@ pub struct MpcReport {
     pub selection_cost: u64,
 }
 
+/// Panics in debug builds (tests, `ci.sh` debug runs) when a pipeline
+/// stage hands corrupted state downstream; compiled out of release
+/// builds like any `debug_assert!`. See `crate::validate` for what each
+/// stage check covers.
+#[inline]
+fn debug_assert_stage(stage: &str, result: Result<(), crate::validate::InvariantViolation>) {
+    if cfg!(debug_assertions) {
+        if let Err(violation) = result {
+            panic!("MPC {stage} stage invariant violated: {violation}");
+        }
+    }
+}
+
 /// The Minimum Property-Cut partitioner (Section IV).
 #[derive(Clone, Debug, Default)]
 pub struct MpcPartitioner {
@@ -109,6 +123,7 @@ impl MpcPartitioner {
             None => select_internal_properties(g, &cfg.select_config()),
         };
         let selection_time = select_span.finish();
+        debug_assert_stage("select", crate::validate::validate_selection(g, &selection));
         rec.set("partition.select.internal", selection.internal_count() as u64);
         rec.set("partition.select.pruned", selection.pruned.len() as u64);
         rec.set("partition.select.cost", selection.cost);
@@ -119,17 +134,26 @@ impl MpcPartitioner {
 
         let coarsen_span = rec.span("partition.coarsen");
         let coarse = coarsen(g, &mut selection);
+        debug_assert_stage("coarsen", crate::validate::validate_dsu(&selection.dsu));
         let mut partition_time = coarsen_span.finish();
         rec.set("partition.coarsen.supervertices", coarse.supervertex_count as u64);
 
         let metis_span = rec.span("partition.metis");
         let coarse_part = mpc_metis::partition_traced(&coarse.graph, cfg.k, &cfg.metis, rec);
+        debug_assert!(
+            coarse_part.iter().all(|&p| (p as usize) < cfg.k),
+            "metis stage assigned a supervertex to a partition >= k"
+        );
         partition_time += metis_span.finish();
 
         let uncoarsen_span = rec.span("partition.uncoarsen");
         let raw = uncoarsen(&coarse, &coarse_part);
-        let assignment = raw.into_iter().map(|p| PartitionId(p as u16)).collect();
+        let assignment = raw.into_iter().map(|p| PartitionId(narrow::u16_from(p))).collect();
         let partitioning = Partitioning::new(g, cfg.k, assignment);
+        debug_assert_stage(
+            "uncoarsen",
+            crate::validate::validate_partitioning(g, &partitioning, None),
+        );
         partition_time += uncoarsen_span.finish();
         rec.set(
             "partition.crossing_properties",
@@ -163,6 +187,7 @@ impl Partitioner for MpcPartitioner {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use mpc_rdf::{PropertyId, Triple, VertexId};

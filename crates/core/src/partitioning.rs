@@ -1,6 +1,7 @@
 //! Vertex-disjoint and edge-disjoint partitionings (Definition 3.3).
 
 use mpc_rdf::{FxHashSet, PartitionId, PropertyId, RdfGraph, Triple, VertexId};
+use mpc_rdf::narrow;
 
 /// A vertex-disjoint partitioning `F = {F_1, ..., F_k}` of an RDF graph
 /// with 1-hop crossing-edge replication (Definition 3.3).
@@ -35,10 +36,35 @@ impl Partitioning {
         let mut crossing_property = vec![false; g.property_count()];
         for (i, t) in g.triples().iter().enumerate() {
             if assignment[t.s.index()] != assignment[t.o.index()] {
-                crossing_edges.push(i as u32);
+                crossing_edges.push(narrow::u32_from(i));
                 crossing_property[t.p.index()] = true;
             }
         }
+        let crossing_property_count = crossing_property.iter().filter(|&&c| c).count();
+        Partitioning {
+            k,
+            assignment,
+            crossing_edges,
+            crossing_property,
+            crossing_property_count,
+            part_sizes,
+        }
+    }
+
+    /// Assembles a `Partitioning` directly from cached parts **without
+    /// deriving or cross-checking them** — the inverse of what [`Self::new`]
+    /// guarantees. Exists so tests (and the invariant verifier's own test
+    /// suite) can construct deliberately corrupted instances;
+    /// `crate::validate::validate_partitioning` must reject any instance
+    /// whose caches disagree with the assignment.
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        k: usize,
+        assignment: Vec<PartitionId>,
+        crossing_edges: Vec<u32>,
+        crossing_property: Vec<bool>,
+        part_sizes: Vec<usize>,
+    ) -> Self {
         let crossing_property_count = crossing_property.iter().filter(|&&c| c).count();
         Partitioning {
             k,
@@ -94,7 +120,7 @@ impl Partitioning {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c)
-            .map(|(i, _)| PropertyId(i as u32))
+            .map(|(i, _)| PropertyId(narrow::u32_from(i)))
             .collect()
     }
 
@@ -104,7 +130,7 @@ impl Partitioning {
             .iter()
             .enumerate()
             .filter(|(_, &c)| !c)
-            .map(|(i, _)| PropertyId(i as u32))
+            .map(|(i, _)| PropertyId(narrow::u32_from(i)))
             .collect()
     }
 
@@ -120,7 +146,7 @@ impl Partitioning {
             return 1.0;
         }
         let ideal = total as f64 / self.k as f64;
-        let max = *self.part_sizes.iter().max().unwrap() as f64;
+        let max = self.part_sizes.iter().max().copied().unwrap_or(0) as f64;
         max / ideal
     }
 
@@ -167,16 +193,16 @@ impl Partitioning {
         let n = g.vertex_count();
         const UNSEEN: u32 = u32::MAX;
         let mut frags: Vec<Fragment> = Vec::with_capacity(self.k);
-        for part in 0..self.k as u16 {
+        for part in 0..narrow::u16_from(self.k) {
             let part = PartitionId(part);
             let mut dist = vec![UNSEEN; n];
-            let mut frontier: Vec<u32> = (0..n as u32)
+            let mut frontier: Vec<u32> = (0..narrow::u32_from(n))
                 .filter(|&v| self.assignment[v as usize] == part)
                 .collect();
             for &v in &frontier {
                 dist[v as usize] = 0;
             }
-            for d in 1..radius as u32 {
+            for d in 1..narrow::u32_from(radius) {
                 let mut next = Vec::new();
                 for &u in &frontier {
                     for &(v, _) in &adj[u as usize] {
@@ -196,7 +222,7 @@ impl Partitioning {
             for t in g.triples() {
                 let ds = dist[t.s.index()];
                 let do_ = dist[t.o.index()];
-                if ds.min(do_) < radius as u32 {
+                if ds.min(do_) < narrow::u32_from(radius) {
                     triples.push(*t);
                     for v in [t.s, t.o] {
                         if self.assignment[v.index()] != part {
@@ -229,7 +255,7 @@ impl Partitioning {
     pub fn fragments(&self, g: &RdfGraph) -> Vec<Fragment> {
         let mut frags: Vec<Fragment> = (0..self.k)
             .map(|i| Fragment {
-                part: PartitionId(i as u16),
+                part: PartitionId(narrow::u16_from(i)),
                 triples: Vec::new(),
                 extended_vertices: FxHashSet::default(),
             })
@@ -356,6 +382,7 @@ impl EdgePartitioning {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use mpc_rdf::{PropertyId, VertexId};

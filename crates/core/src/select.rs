@@ -27,6 +27,7 @@ use mpc_dsu::DisjointSetForest;
 use mpc_rdf::{PropertyId, RdfGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use mpc_rdf::narrow;
 
 /// Which greedy direction to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,7 +72,7 @@ impl Default for SelectConfig {
 impl SelectConfig {
     /// The size cap `(1+ε)·|V|/k` every WCC of `G[L_in]` must respect.
     pub fn cap(&self, vertex_count: usize) -> u64 {
-        (((1.0 + self.epsilon) * vertex_count as f64) / self.k as f64).floor() as u64
+        narrow::u64_from_f64((((1.0 + self.epsilon) * vertex_count as f64) / self.k as f64).floor())
     }
 }
 
@@ -266,12 +267,13 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
         }
         // Find the root of the largest component to restrict candidates.
         let mut max_root = None;
-        for v in 0..n as u32 {
+        for v in 0..narrow::u32_from(n) {
             if dsu.component_size(v) as u64 == cost {
                 max_root = Some(dsu.find(v));
                 break;
             }
         }
+        // mpc-allow: unwrap-expect loop above saw at least one root because n > 0
         let max_root = max_root.expect("non-empty max component");
         let candidates: Vec<PropertyId> = g
             .property_ids()
@@ -302,6 +304,7 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
                 best = Some((c, f, p));
             }
         }
+        // mpc-allow: unwrap-expect candidates is non-empty on this branch, so best is Some
         let (residual, _, remove) = best.expect("candidates is non-empty");
         is_internal[remove.index()] = false;
         stats.rounds += 1;
@@ -310,6 +313,7 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use mpc_rdf::{Triple, VertexId};

@@ -1,0 +1,406 @@
+//! Runtime partition-invariant verifier.
+//!
+//! [`Partitioning`] caches derived data — crossing edges, crossing
+//! properties, per-partition sizes — next to the assignment it was derived
+//! from. Every optimization that touches those caches (incremental
+//! updates, coarsening round-trips, file round-trips) risks letting them
+//! drift from the assignment. This module recomputes everything from
+//! scratch and compares, turning silent drift into a typed
+//! [`InvariantViolation`].
+//!
+//! Three layers use it:
+//!
+//! * `debug_assert!` seams after each pipeline stage in
+//!   [`crate::mpc::MpcPartitioner::partition_traced`] — free in release
+//!   builds, always-on in `cargo test`;
+//! * the property-based harness in `crates/core/tests/`, which feeds it
+//!   random graphs and hand-corrupted partitionings;
+//! * `mpc partition --verify`, which re-checks whatever the partitioner
+//!   produced before writing it out (wired into `ci.sh`).
+
+use crate::partitioning::Partitioning;
+use crate::select::Selection;
+use mpc_dsu::DisjointSetForest;
+use mpc_rdf::RdfGraph;
+use mpc_rdf::narrow;
+
+/// One violated invariant of Definition 3.3/3.4 or of the supporting
+/// data structures. The variants carry the recorded vs recomputed values
+/// so a failure message pinpoints the drift.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvariantViolation {
+    /// The assignment vector does not have one entry per vertex.
+    VertexCoverage {
+        /// `|V|` of the graph being validated against.
+        vertices: usize,
+        /// Length of the assignment vector.
+        assigned: usize,
+    },
+    /// A vertex is assigned to a partition `>= k`.
+    PartOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// Its recorded partition.
+        part: usize,
+        /// The partition count `k`.
+        k: usize,
+    },
+    /// A cached per-partition size disagrees with a recount.
+    PartSizeDrift {
+        /// The partition whose size drifted.
+        part: usize,
+        /// The cached `|V_i|`.
+        recorded: usize,
+        /// The recounted `|V_i|`.
+        recounted: usize,
+    },
+    /// The cached crossing-edge list disagrees with a recount over all
+    /// triples (Definition 3.3's `E^c`).
+    CrossingEdgeDrift {
+        /// Number of cached crossing edges.
+        recorded: usize,
+        /// Number found by the recount.
+        recounted: usize,
+        /// First triple index present in exactly one of the two sets,
+        /// if the counts alone don't show the drift.
+        first_divergence: Option<u32>,
+    },
+    /// The cached crossing-property set disagrees with the properties
+    /// labelling recounted crossing edges (Definition 3.4's `L_cross`).
+    CrossingPropertyDrift {
+        /// Property whose crossing flag is wrong.
+        property: usize,
+        /// The cached flag.
+        recorded: bool,
+    },
+    /// The cached `|L_cross|` disagrees with the cached flags.
+    CrossingPropertyCountDrift {
+        /// The cached count.
+        recorded: usize,
+        /// Count of set flags.
+        recounted: usize,
+    },
+    /// A partition exceeds the balance bound `(1+ε)·|V|/k`
+    /// (Definition 4.1).
+    BalanceExceeded {
+        /// The oversized partition.
+        part: usize,
+        /// Its vertex count.
+        size: usize,
+        /// The bound it had to respect.
+        bound: usize,
+    },
+    /// The selection's disjoint-set forest is structurally corrupt
+    /// (cycle, bad sizes — see `DisjointSetForest::check_invariants`).
+    DsuCorrupt(
+        /// Description from the forest's own checker.
+        String,
+    ),
+    /// The selection's cached cost differs from the forest's largest
+    /// component (Definition 4.2).
+    SelectionCostDrift {
+        /// The cached `Cost(L_in)`.
+        recorded: u64,
+        /// `max_component_size()` of the forest.
+        recounted: u64,
+    },
+    /// The selection's internal-property list and membership bitmap
+    /// disagree.
+    SelectionMembershipDrift {
+        /// Property with inconsistent membership.
+        property: usize,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use InvariantViolation::*;
+        match self {
+            VertexCoverage { vertices, assigned } => write!(
+                f,
+                "assignment covers {assigned} vertices but the graph has {vertices}"
+            ),
+            PartOutOfRange { vertex, part, k } => {
+                write!(f, "vertex {vertex} assigned to partition {part} >= k={k}")
+            }
+            PartSizeDrift { part, recorded, recounted } => write!(
+                f,
+                "partition {part} records {recorded} vertices but holds {recounted}"
+            ),
+            CrossingEdgeDrift { recorded, recounted, first_divergence } => {
+                write!(
+                    f,
+                    "crossing-edge cache has {recorded} edges, recount found {recounted}"
+                )?;
+                if let Some(i) = first_divergence {
+                    write!(f, " (first divergence at triple {i})")?;
+                }
+                Ok(())
+            }
+            CrossingPropertyDrift { property, recorded } => write!(
+                f,
+                "property {property} cached as {} but recount says otherwise",
+                if *recorded { "crossing" } else { "internal" }
+            ),
+            CrossingPropertyCountDrift { recorded, recounted } => write!(
+                f,
+                "|L_cross| cached as {recorded} but {recounted} properties are flagged"
+            ),
+            BalanceExceeded { part, size, bound } => write!(
+                f,
+                "partition {part} has {size} vertices, over the (1+\u{03b5})|V|/k bound {bound}"
+            ),
+            DsuCorrupt(detail) => write!(f, "disjoint-set forest corrupt: {detail}"),
+            SelectionCostDrift { recorded, recounted } => write!(
+                f,
+                "selection cost cached as {recorded} but largest WCC is {recounted}"
+            ),
+            SelectionMembershipDrift { property } => write!(
+                f,
+                "property {property} is in exactly one of internal list / membership bitmap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Verifies a [`Partitioning`] against the graph it claims to partition,
+/// recomputing every cached quantity from scratch:
+///
+/// 1. **Vertex-disjointness** — the assignment is a total function
+///    `V -> 0..k` and the cached `|V_i|` match a recount.
+/// 2. **Crossing-edge accounting** — the cached `E^c` equals the set of
+///    triples whose endpoints live in different partitions.
+/// 3. **Crossing-property accounting** — the cached `L_cross` flags equal
+///    the recounted property set of `E^c`, and `|L_cross|` matches.
+/// 4. **Balance** (only when `epsilon` is given) — every partition
+///    respects `|V_i| <= (1+ε)·|V|/k`, Definition 4.1. Callers that ran a
+///    partitioner without a balance guarantee (e.g. subject hashing) pass
+///    `None` and read [`Partitioning::imbalance`] instead.
+///
+/// Runs in `O(|V| + |E| + |L|)`; cheap enough for a `--verify` pass over
+/// benchmark-scale graphs.
+pub fn validate_partitioning(
+    g: &RdfGraph,
+    p: &Partitioning,
+    epsilon: Option<f64>,
+) -> Result<(), InvariantViolation> {
+    let k = p.k();
+    let assignment = p.assignment();
+    if assignment.len() != g.vertex_count() {
+        return Err(InvariantViolation::VertexCoverage {
+            vertices: g.vertex_count(),
+            assigned: assignment.len(),
+        });
+    }
+    let mut sizes = vec![0usize; k];
+    for (v, part) in assignment.iter().enumerate() {
+        if part.index() >= k {
+            return Err(InvariantViolation::PartOutOfRange { vertex: v, part: part.index(), k });
+        }
+        sizes[part.index()] += 1;
+    }
+    for (part, (&recounted, &recorded)) in sizes.iter().zip(p.part_sizes()).enumerate() {
+        if recorded != recounted {
+            return Err(InvariantViolation::PartSizeDrift { part, recorded, recounted });
+        }
+    }
+
+    // Recount E^c and L_cross from the triples.
+    let mut crossing = Vec::new();
+    let mut is_crossing = vec![false; g.property_count()];
+    for (i, t) in g.triples().iter().enumerate() {
+        if assignment[t.s.index()] != assignment[t.o.index()] {
+            // Triple indices fit u32 by RdfGraph construction.
+            crossing.push(u32::try_from(i).unwrap_or(u32::MAX));
+            is_crossing[t.p.index()] = true;
+        }
+    }
+    let cached = p.crossing_edge_indices();
+    if cached != crossing.as_slice() {
+        let first_divergence = cached
+            .iter()
+            .zip(&crossing)
+            .find(|(a, b)| a != b)
+            .map(|(a, _)| *a)
+            .or_else(|| cached.get(crossing.len()).copied())
+            .or_else(|| crossing.get(cached.len()).copied());
+        return Err(InvariantViolation::CrossingEdgeDrift {
+            recorded: cached.len(),
+            recounted: crossing.len(),
+            first_divergence,
+        });
+    }
+    let mut flagged = 0usize;
+    for pid in g.property_ids() {
+        let recorded = p.is_crossing_property(pid);
+        if recorded != is_crossing[pid.index()] {
+            return Err(InvariantViolation::CrossingPropertyDrift {
+                property: pid.index(),
+                recorded,
+            });
+        }
+        if recorded {
+            flagged += 1;
+        }
+    }
+    if flagged != p.crossing_property_count() {
+        return Err(InvariantViolation::CrossingPropertyCountDrift {
+            recorded: p.crossing_property_count(),
+            recounted: flagged,
+        });
+    }
+
+    if let Some(eps) = epsilon {
+        let bound = balance_bound(g.vertex_count(), k, eps);
+        for (part, &size) in sizes.iter().enumerate() {
+            if size > bound {
+                return Err(InvariantViolation::BalanceExceeded { part, size, bound });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The Definition 4.1 cap `⌈(1+ε)·|V|/k⌉` a partition's vertex count must
+/// not exceed.
+pub fn balance_bound(vertex_count: usize, k: usize, epsilon: f64) -> usize {
+    if k == 0 {
+        return vertex_count;
+    }
+    let raw = (1.0 + epsilon) * vertex_count as f64 / k as f64;
+    narrow::usize_from_f64(raw.ceil())
+}
+
+/// Verifies a [`Selection`] after the greedy stage: the disjoint-set
+/// forest is structurally sound ([`DisjointSetForest::check_invariants`]),
+/// the cached cost equals the forest's largest component, and the
+/// internal-property list agrees with the membership bitmap.
+pub fn validate_selection(g: &RdfGraph, sel: &Selection) -> Result<(), InvariantViolation> {
+    validate_dsu(&sel.dsu)?;
+    let recounted = u64::from(sel.dsu.max_component_size());
+    if sel.cost != recounted {
+        return Err(InvariantViolation::SelectionCostDrift { recorded: sel.cost, recounted });
+    }
+    let mut in_list = vec![false; g.property_count()];
+    for p in &sel.internal {
+        if p.index() >= in_list.len() {
+            return Err(InvariantViolation::SelectionMembershipDrift { property: p.index() });
+        }
+        in_list[p.index()] = true;
+    }
+    for (property, (&a, &b)) in in_list.iter().zip(&sel.is_internal).enumerate() {
+        if a != b {
+            return Err(InvariantViolation::SelectionMembershipDrift { property });
+        }
+    }
+    Ok(())
+}
+
+/// Wraps [`DisjointSetForest::check_invariants`] into the typed error.
+pub fn validate_dsu(dsu: &DisjointSetForest) -> Result<(), InvariantViolation> {
+    dsu.check_invariants().map_err(InvariantViolation::DsuCorrupt)
+}
+
+#[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PartitionId, PropertyId, Triple, VertexId};
+
+    fn ring_graph(n: usize, props: usize) -> RdfGraph {
+        let triples: Vec<Triple> = (0..n)
+            .map(|i| {
+                Triple::new(
+                    VertexId(i as u32),
+                    PropertyId((i % props) as u32),
+                    VertexId(((i + 1) % n) as u32),
+                )
+            })
+            .collect();
+        RdfGraph::from_raw(n, props, triples)
+    }
+
+    fn round_robin(n: usize, k: usize) -> Vec<PartitionId> {
+        (0..n).map(|i| PartitionId((i % k) as u16)).collect()
+    }
+
+    #[test]
+    fn fresh_partitioning_is_valid() {
+        let g = ring_graph(12, 3);
+        let p = Partitioning::new(&g, 4, round_robin(12, 4));
+        assert_eq!(validate_partitioning(&g, &p, None), Ok(()));
+        assert_eq!(validate_partitioning(&g, &p, Some(0.0)), Ok(()));
+    }
+
+    #[test]
+    fn balance_violation_detected() {
+        let g = ring_graph(12, 3);
+        // Everything on partition 0 of 4: size 12 > ceil(1.1 * 3) = 4.
+        let p = Partitioning::new(&g, 4, vec![PartitionId(0); 12]);
+        assert_eq!(validate_partitioning(&g, &p, None), Ok(()));
+        let err = validate_partitioning(&g, &p, Some(0.1)).unwrap_err();
+        assert!(matches!(err, InvariantViolation::BalanceExceeded { part: 0, size: 12, .. }));
+    }
+
+    #[test]
+    fn corrupted_caches_are_rejected() {
+        let g = ring_graph(10, 2);
+        let p = Partitioning::new(&g, 2, round_robin(10, 2));
+
+        // Drop a crossing edge from the cache.
+        let mut edges: Vec<u32> = p.crossing_edge_indices().to_vec();
+        edges.pop();
+        let bad = Partitioning::from_raw_parts(
+            p.k(),
+            p.assignment().to_vec(),
+            edges,
+            (0..g.property_count()).map(|i| p.is_crossing_property(PropertyId(i as u32))).collect(),
+            p.part_sizes().to_vec(),
+        );
+        assert!(matches!(
+            validate_partitioning(&g, &bad, None).unwrap_err(),
+            InvariantViolation::CrossingEdgeDrift { .. }
+        ));
+
+        // Flip a crossing-property flag.
+        let mut flags: Vec<bool> =
+            (0..g.property_count()).map(|i| p.is_crossing_property(PropertyId(i as u32))).collect();
+        flags[0] = !flags[0];
+        let bad = Partitioning::from_raw_parts(
+            p.k(),
+            p.assignment().to_vec(),
+            p.crossing_edge_indices().to_vec(),
+            flags,
+            p.part_sizes().to_vec(),
+        );
+        assert!(matches!(
+            validate_partitioning(&g, &bad, None).unwrap_err(),
+            InvariantViolation::CrossingPropertyDrift { .. }
+        ));
+
+        // Corrupt a part size.
+        let mut sizes = p.part_sizes().to_vec();
+        sizes[0] += 1;
+        let bad = Partitioning::from_raw_parts(
+            p.k(),
+            p.assignment().to_vec(),
+            p.crossing_edge_indices().to_vec(),
+            (0..g.property_count()).map(|i| p.is_crossing_property(PropertyId(i as u32))).collect(),
+            sizes,
+        );
+        assert!(matches!(
+            validate_partitioning(&g, &bad, None).unwrap_err(),
+            InvariantViolation::PartSizeDrift { part: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = InvariantViolation::BalanceExceeded { part: 2, size: 9, bound: 5 };
+        let s = v.to_string();
+        assert!(s.contains("partition 2"), "got: {s}");
+        assert!(s.contains('9'), "got: {s}");
+    }
+}

@@ -73,7 +73,7 @@ impl Eq for Density {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Density {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("densities are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -1,0 +1,141 @@
+//! Property-based harness for the partition-invariant verifier
+//! (`mpc_core::validate`): on random graphs, freshly derived
+//! partitionings always validate, every hand-corrupted cache is
+//! rejected, and the full MPC pipeline (with its debug-build stage
+//! assertions active under `cargo test`) produces partitionings the
+//! verifier accepts.
+
+#![allow(clippy::cast_possible_truncation)] // test code: ids are tiny and panics are the failure mode
+
+use mpc_core::validate::{validate_partitioning, validate_selection, InvariantViolation};
+use mpc_core::{MpcConfig, MpcPartitioner, Partitioning};
+use mpc_rdf::{PartitionId, PropertyId, RdfGraph, Triple, VertexId};
+use proptest::prelude::*;
+
+/// Random graph (as raw triples), partition count, and a random total
+/// assignment — the inputs every test here starts from.
+fn graph_k_assignment() -> impl Strategy<Value = (RdfGraph, usize, Vec<PartitionId>)> {
+    (2usize..24, 1usize..6, 2usize..5)
+        .prop_flat_map(|(n, props, k)| {
+            (
+                proptest::collection::vec(
+                    (0..n as u32, 0..props as u32, 0..n as u32),
+                    0..50,
+                ),
+                proptest::collection::vec(0..k as u16, n),
+                Just((n, props, k)),
+            )
+        })
+        .prop_map(|(raw, parts, (n, props, k))| {
+            let triples = raw
+                .into_iter()
+                .map(|(s, p, o)| Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                .collect();
+            let g = RdfGraph::from_raw(n, props, triples);
+            let assignment = parts.into_iter().map(PartitionId).collect();
+            (g, k, assignment)
+        })
+}
+
+proptest! {
+    #[test]
+    fn fresh_partitionings_always_validate((g, k, assignment) in graph_k_assignment()) {
+        let p = Partitioning::new(&g, k, assignment);
+        prop_assert_eq!(validate_partitioning(&g, &p, None), Ok(()));
+        // epsilon = k-1 makes the bound >= |V|, so any assignment fits.
+        prop_assert_eq!(validate_partitioning(&g, &p, Some(k as f64)), Ok(()));
+    }
+
+    #[test]
+    fn reassigning_a_vertex_invalidates_caches((g, k, assignment) in graph_k_assignment()) {
+        let p = Partitioning::new(&g, k, assignment);
+        // Move vertex 0 to another partition without refreshing any cache:
+        // the per-partition recount must catch the drift.
+        let mut assignment = p.assignment().to_vec();
+        assignment[0] = PartitionId((assignment[0].0 + 1) % k as u16);
+        let flags = (0..g.property_count())
+            .map(|i| p.is_crossing_property(PropertyId(i as u32)))
+            .collect();
+        let corrupt = Partitioning::from_raw_parts(
+            k,
+            assignment,
+            p.crossing_edge_indices().to_vec(),
+            flags,
+            p.part_sizes().to_vec(),
+        );
+        let err = validate_partitioning(&g, &corrupt, None);
+        prop_assert!(matches!(err, Err(InvariantViolation::PartSizeDrift { .. })), "got {err:?}");
+    }
+
+    #[test]
+    fn dropping_a_crossing_edge_is_rejected((g, k, assignment) in graph_k_assignment()) {
+        let p = Partitioning::new(&g, k, assignment);
+        prop_assume!(p.crossing_edge_count() > 0);
+        let mut edges = p.crossing_edge_indices().to_vec();
+        edges.pop();
+        let flags = (0..g.property_count())
+            .map(|i| p.is_crossing_property(PropertyId(i as u32)))
+            .collect();
+        let corrupt = Partitioning::from_raw_parts(
+            k,
+            p.assignment().to_vec(),
+            edges,
+            flags,
+            p.part_sizes().to_vec(),
+        );
+        let err = validate_partitioning(&g, &corrupt, None);
+        prop_assert!(
+            matches!(err, Err(InvariantViolation::CrossingEdgeDrift { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn flipping_a_property_flag_is_rejected((g, k, assignment) in graph_k_assignment()) {
+        prop_assume!(g.property_count() > 0);
+        let p = Partitioning::new(&g, k, assignment);
+        let mut flags: Vec<bool> = (0..g.property_count())
+            .map(|i| p.is_crossing_property(PropertyId(i as u32)))
+            .collect();
+        flags[0] = !flags[0];
+        let corrupt = Partitioning::from_raw_parts(
+            k,
+            p.assignment().to_vec(),
+            p.crossing_edge_indices().to_vec(),
+            flags,
+            p.part_sizes().to_vec(),
+        );
+        let err = validate_partitioning(&g, &corrupt, None);
+        prop_assert!(
+            matches!(err, Err(InvariantViolation::CrossingPropertyDrift { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mpc_pipeline_output_validates((g, _k, _a) in graph_k_assignment()) {
+        // The pipeline's own debug_assert seams fire under cargo test;
+        // this additionally validates the final artifact end to end.
+        let partitioner = MpcPartitioner::new(MpcConfig::with_k(2));
+        let (p, _report) = partitioner.partition_with_report(&g);
+        prop_assert_eq!(validate_partitioning(&g, &p, None), Ok(()));
+    }
+}
+
+#[test]
+fn selection_validates_on_a_concrete_graph() {
+    let triples: Vec<Triple> = (0..20u32)
+        .map(|i| Triple::new(VertexId(i % 10), PropertyId(i % 4), VertexId((i + 3) % 10)))
+        .collect();
+    let g = RdfGraph::from_raw(10, 4, triples);
+    let sel = mpc_core::select::select_internal_properties(&g, &mpc_core::SelectConfig::default());
+    assert_eq!(validate_selection(&g, &sel), Ok(()));
+
+    // Corrupt the cached cost: must be rejected.
+    let mut bad = sel;
+    bad.cost += 1;
+    assert!(matches!(
+        validate_selection(&g, &bad),
+        Err(InvariantViolation::SelectionCostDrift { .. })
+    ));
+}

@@ -13,6 +13,9 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod lubm;
 pub mod real_queries;
 pub mod realistic;

@@ -19,6 +19,7 @@ use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
 use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use mpc_rdf::narrow;
 
 /// LUBM's 18 properties.
 pub mod prop {
@@ -85,6 +86,7 @@ pub mod prop {
 
 /// Class vertices (objects of `rdf:type`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
 pub enum Class {
     /// A university.
     University = 0,
@@ -167,7 +169,8 @@ pub fn generate(cfg: &LubmConfig) -> LubmDataset {
     };
 
     // Global vertices: classes and research topics.
-    let class_base = alloc(CLASS_COUNT as u32, &mut next_vertex);
+    let class_base = alloc(narrow::u32_from(CLASS_COUNT), &mut next_vertex);
+    // mpc-allow: narrowing-cast Class is repr(u32); the discriminant cast is lossless
     let class = |c: Class| class_base + c as u32;
     let topic_base = alloc(TOPIC_COUNT, &mut next_vertex);
     for t in 0..TOPIC_COUNT {
@@ -216,8 +219,8 @@ pub fn generate(cfg: &LubmConfig) -> LubmDataset {
             }
 
             // Faculty.
-            let faculty_count = rng.gen_range(7..=10);
-            let mut faculty: Vec<u32> = Vec::with_capacity(faculty_count as usize);
+            let faculty_count = rng.gen_range(7usize..=10);
+            let mut faculty: Vec<u32> = Vec::with_capacity(faculty_count);
             for fi in 0..faculty_count {
                 let person = alloc(1, &mut next_vertex);
                 faculty.push(person);
@@ -326,7 +329,7 @@ pub fn generate(cfg: &LubmConfig) -> LubmDataset {
     let graph = RdfGraph::from_raw(next_vertex as usize, prop::COUNT, triples);
     let mut class_ids = [VertexId(0); CLASS_COUNT];
     for (i, id) in class_ids.iter_mut().enumerate() {
-        *id = VertexId(class_base + i as u32);
+        *id = VertexId(class_base + narrow::u32_from(i));
     }
     LubmDataset {
         graph,

@@ -21,11 +21,12 @@ use crate::NamedQuery;
 use mpc_dsu::DisjointSetForest;
 use mpc_rdf::RdfGraph;
 use mpc_sparql::Query;
+use mpc_rdf::narrow;
 
 /// Properties whose standalone induced subgraph's largest WCC stays below
 /// `|V| / divisor` — the "domain-local" properties.
 pub fn local_property_mask(graph: &RdfGraph, divisor: usize) -> Vec<bool> {
-    let cap = (graph.vertex_count() / divisor.max(1)).max(2) as u32;
+    let cap = narrow::u32_from((graph.vertex_count() / divisor.max(1)).max(2));
     graph
         .property_ids()
         .map(|p| {

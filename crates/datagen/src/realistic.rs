@@ -17,6 +17,7 @@
 use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use mpc_rdf::narrow;
 
 /// Parameters of the generator.
 #[derive(Clone, Debug)]
@@ -106,8 +107,8 @@ impl RealisticConfig {
 
     /// Uniformly scales vertex and triple counts (for scalability sweeps).
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.vertices = ((self.vertices as f64 * factor) as usize).max(100);
-        self.triples = ((self.triples as f64 * factor) as usize).max(100);
+        self.vertices = narrow::usize_from_f64(self.vertices as f64 * factor).max(100);
+        self.triples = narrow::usize_from_f64(self.triples as f64 * factor).max(100);
         self
     }
 }
@@ -119,7 +120,7 @@ const CLASS_POOL: u32 = 40;
 pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
     assert!(cfg.domains >= 1 && cfg.vertices >= cfg.domains);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n = cfg.vertices as u32;
+    let n = narrow::u32_from(cfg.vertices);
     let class_base = n; // class vertices appended after entities
     let total_vertices = if cfg.type_like {
         cfg.vertices + CLASS_POOL as usize
@@ -128,7 +129,7 @@ pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
     };
 
     // Domain layout: contiguous blocks of entities.
-    let domain_size = (cfg.vertices / cfg.domains).max(1) as u32;
+    let domain_size = narrow::u32_from((cfg.vertices / cfg.domains).max(1));
     let domain_start =
         |d: u32| -> u32 { (d * domain_size).min(n.saturating_sub(1)) };
     let domain_of_range = |d: u32| -> (u32, u32) {
@@ -148,7 +149,7 @@ pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
     let total_weight: f64 = weights.iter().sum();
     let mut freqs: Vec<usize> = weights
         .iter()
-        .map(|w| ((w / total_weight) * cfg.triples as f64).round().max(1.0) as usize)
+        .map(|w| narrow::usize_from_f64(((w / total_weight) * cfg.triples as f64).round().max(1.0)))
         .collect();
     // Adjust the head property so the total lands on the budget.
     let sum: usize = freqs.iter().sum();
@@ -164,7 +165,7 @@ pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
     // ones, which is what lets MPC's oversized-property pruning discard
     // them instead of letting mid-sized cross-domain properties glue the
     // domain structure together.
-    let global_count = ((cfg.properties as f64) * cfg.global_fraction).round() as usize;
+    let global_count = narrow::usize_from_f64(((cfg.properties as f64) * cfg.global_fraction).round());
     let global: Vec<bool> = (0..cfg.properties)
         .map(|p| {
             if cfg.type_like && p == 0 {
@@ -177,7 +178,7 @@ pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
 
     let mut triples = Vec::with_capacity(cfg.triples);
     for (p, &freq) in freqs.iter().enumerate() {
-        let pid = PropertyId(p as u32);
+        let pid = PropertyId(narrow::u32_from(p));
         if cfg.type_like && p == 0 {
             // rdf:type: every subject anywhere, object from the class pool.
             for _ in 0..freq {
@@ -195,7 +196,7 @@ pub fn generate(cfg: &RealisticConfig) -> RdfGraph {
             // Local property: sticks to a handful of domains, with edges
             // inside one domain.
             let home_domains: Vec<u32> = (0..rng.gen_range(1..=4))
-                .map(|_| rng.gen_range(0..cfg.domains as u32))
+                .map(|_| rng.gen_range(0..narrow::u32_from(cfg.domains)))
                 .collect();
             for _ in 0..freq {
                 let d = home_domains[rng.gen_range(0..home_domains.len())];

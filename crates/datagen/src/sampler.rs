@@ -10,6 +10,7 @@ use mpc_rdf::{RdfGraph, Triple, VertexId};
 use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use mpc_rdf::narrow;
 
 /// Query shapes the sampler can produce.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +76,7 @@ impl ShapeMix {
             }
             x -= w;
         }
+        // mpc-allow: unwrap-expect WeightedMix::new rejects empty mixes
         self.0.last().expect("non-empty mix").0
     }
 }
@@ -105,9 +107,9 @@ impl<'g> QuerySampler<'g> {
     pub fn new(graph: &'g RdfGraph, seed: u64) -> Self {
         let mut incident: Vec<Vec<u32>> = vec![Vec::new(); graph.vertex_count()];
         for (i, t) in graph.triples().iter().enumerate() {
-            incident[t.s.index()].push(i as u32);
+            incident[t.s.index()].push(narrow::u32_from(i));
             if t.o != t.s {
-                incident[t.o.index()].push(i as u32);
+                incident[t.o.index()].push(narrow::u32_from(i));
             }
         }
         QuerySampler {
@@ -132,7 +134,7 @@ impl<'g> QuerySampler<'g> {
     /// True if `t`'s property is a hub (covers too many edges for
     /// multi-hop growth).
     fn is_hub(&self, t: &Triple) -> bool {
-        let cap = ((self.graph.triple_count() as f64) * self.hub_fraction).max(50.0) as usize;
+        let cap = narrow::usize_from_f64(((self.graph.triple_count() as f64) * self.hub_fraction).max(50.0));
         self.graph.property_frequency(t.p) > cap
     }
 
@@ -181,7 +183,7 @@ impl<'g> QuerySampler<'g> {
 
     fn random_triple(&mut self) -> Triple {
         let i = self.rng.gen_range(0..self.graph.triple_count());
-        self.graph.triple(i as u32)
+        self.graph.triple(narrow::u32_from(i))
     }
 
     fn random_incident(&mut self, v: VertexId) -> Option<Triple> {
@@ -225,6 +227,7 @@ impl<'g> QuerySampler<'g> {
         }
         let seed = self
             .random_incident(center)
+            // mpc-allow: unwrap-expect center was drawn from a triple, so it has incident edges
             .expect("center has incident edges");
         let mut b = Builder::new(self);
         let c = b.vertex_var(center);
@@ -332,7 +335,7 @@ impl<'a, 'g> Builder<'a, 'g> {
         if let Some(&n) = self.map.get(&v) {
             return n;
         }
-        let node = QNode::Var(self.names.len() as u32);
+        let node = QNode::Var(narrow::u32_from(self.names.len()));
         self.names.push(format!("v{}", self.names.len()));
         self.map.insert(v, node);
         node
@@ -348,7 +351,7 @@ impl<'a, 'g> Builder<'a, 'g> {
         let node = if force_const || self.sampler.rng.gen_bool(self.sampler.const_leaf_prob) {
             QNode::Const(v)
         } else {
-            let n = QNode::Var(self.names.len() as u32);
+            let n = QNode::Var(narrow::u32_from(self.names.len()));
             self.names.push(format!("v{}", self.names.len()));
             n
         };
@@ -358,7 +361,7 @@ impl<'a, 'g> Builder<'a, 'g> {
 
     fn label(&mut self, t: &Triple) -> QLabel {
         if self.sampler.rng.gen_bool(self.sampler.var_property_prob) {
-            let n = QLabel::Var(self.names.len() as u32);
+            let n = QLabel::Var(narrow::u32_from(self.names.len()));
             self.names.push(format!("p{}", self.names.len()));
             n
         } else {

@@ -9,6 +9,7 @@
 use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use mpc_rdf::narrow;
 
 /// Number of distinct properties (matches WatDiv).
 pub const PROPERTY_COUNT: usize = 86;
@@ -88,15 +89,15 @@ pub struct WatdivDataset {
 /// Generates a WatDiv-style graph.
 pub fn generate(cfg: &WatdivConfig) -> WatdivDataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let users = cfg.scale as u32;
-    let products = (cfg.scale / 2).max(8) as u32;
-    let retailers = (cfg.scale / 50).max(4) as u32;
-    let reviews = cfg.scale as u32;
+    let users = narrow::u32_from(cfg.scale);
+    let products = narrow::u32_from((cfg.scale / 2).max(8));
+    let retailers = narrow::u32_from((cfg.scale / 50).max(4));
+    let reviews = narrow::u32_from(cfg.scale);
     let websites = retailers;
-    let cities = (cfg.scale / 100).max(8) as u32;
+    let cities = narrow::u32_from((cfg.scale / 100).max(8));
     let countries = 12u32;
     let genres = 24u32;
-    let producers = (cfg.scale / 40).max(6) as u32;
+    let producers = narrow::u32_from((cfg.scale / 40).max(6));
 
     // Layout: contiguous ranges.
     let mut next = 0u32;
@@ -105,7 +106,7 @@ pub fn generate(cfg: &WatdivConfig) -> WatdivDataset {
         next += n;
         r
     };
-    let class_r = range(CLASSES as u32);
+    let class_r = range(narrow::u32_from(CLASSES));
     let user_r = range(users);
     let product_r = range(products);
     let retailer_r = range(retailers);
@@ -125,7 +126,7 @@ pub fn generate(cfg: &WatdivConfig) -> WatdivDataset {
     // Attribute property pool: 72 attribute properties (ATTR_BASE..86),
     // partitioned among entity kinds; attribute objects come from small
     // per-property value pools (WatDiv literals repeat heavily).
-    let attr_count = PROPERTY_COUNT as u32 - prop::ATTR_BASE;
+    let attr_count = narrow::u32_from(PROPERTY_COUNT) - prop::ATTR_BASE;
     let value_pool_r = range(attr_count * 16);
     let attr_value = |rng: &mut StdRng, attr: u32| -> u32 {
         value_pool_r.0 + (attr - prop::ATTR_BASE) * 16 + rng.gen_range(0..16)

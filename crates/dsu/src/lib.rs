@@ -16,9 +16,11 @@
 //! by `p`'s edges. Committing the winner ([`DisjointSetForest::merge_from`])
 //! merges `DS({p})` into `DS(L_in)` exactly as the paper describes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mpc_rdf::FxHashMap;
+use mpc_rdf::narrow;
 
 /// A disjoint-set forest over vertices `0..len`.
 ///
@@ -52,7 +54,7 @@ impl DisjointSetForest {
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "forest too large for u32 ids");
         DisjointSetForest {
-            parent: (0..n as u32).collect(),
+            parent: (0..narrow::u32_from(n)).collect(),
             rank: vec![0; n],
             size: vec![1; n],
             max_component: if n == 0 { 0 } else { 1 },
@@ -153,7 +155,7 @@ impl DisjointSetForest {
 
     /// The sizes of all components, unordered.
     pub fn component_sizes(&self) -> Vec<u32> {
-        (0..self.parent.len() as u32)
+        (0..narrow::u32_from(self.parent.len()))
             .filter(|&u| self.parent[u as usize] == u)
             .map(|r| self.size[r as usize])
             .collect()
@@ -167,7 +169,7 @@ impl DisjointSetForest {
         let mut label = vec![u32::MAX; n];
         let mut next = 0u32;
         let mut out = vec![0u32; n];
-        for v in 0..n as u32 {
+        for v in 0..narrow::u32_from(n) {
             let r = self.find(v);
             if label[r as usize] == u32::MAX {
                 label[r as usize] = next;
@@ -220,12 +222,95 @@ impl DisjointSetForest {
             other.len(),
             "forests must cover the same vertex set"
         );
-        for u in 0..other.len() as u32 {
+        for u in 0..narrow::u32_from(other.len()) {
             let root = other.find_no_compress(u);
             if root != u {
                 self.union(u, root);
             }
         }
+    }
+
+    /// Verifies the structural invariants of the forest, in `O(n α(n))`:
+    ///
+    /// * every parent pointer is in range and the parent graph is a forest
+    ///   (acyclic — every walk reaches a self-parented root);
+    /// * rank strictly increases along parent pointers (the union-by-rank
+    ///   invariant that bounds tree height, preserved by path compression);
+    /// * root sizes are exactly the component populations, they sum to
+    ///   `n`, and the cached `max_component` / `component_count` match.
+    ///
+    /// Used by the partition-invariant verifier (`mpc_core::validate`) and
+    /// by `debug_assert!` seams after selection. Returns a description of
+    /// the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.parent.len();
+        const UNRESOLVED: u32 = u32::MAX;
+        let mut root_of = vec![UNRESOLVED; n];
+        let mut path = Vec::new();
+        for start in 0..narrow::u32_from(n) {
+            if root_of[start as usize] != UNRESOLVED {
+                continue;
+            }
+            path.clear();
+            let mut cur = start;
+            let root = loop {
+                if cur as usize >= n {
+                    return Err(format!("parent pointer {cur} out of range (n={n})"));
+                }
+                if root_of[cur as usize] != UNRESOLVED {
+                    break root_of[cur as usize];
+                }
+                let p = self.parent[cur as usize];
+                if p == cur {
+                    break cur;
+                }
+                if self.rank[p as usize] <= self.rank[cur as usize] {
+                    return Err(format!(
+                        "rank does not increase along parent edge {cur} -> {p}"
+                    ));
+                }
+                if path.len() > n {
+                    return Err(format!("cycle in parent forest reachable from {start}"));
+                }
+                path.push(cur);
+                cur = p;
+            };
+            root_of[start as usize] = root;
+            for &v in &path {
+                root_of[v as usize] = root;
+            }
+        }
+        let mut pop = vec![0u32; n];
+        for &r in &root_of {
+            pop[r as usize] += 1;
+        }
+        let mut roots = 0usize;
+        let mut max_seen = 0u32;
+        for v in 0..n {
+            if root_of[v] as usize == v {
+                roots += 1;
+                max_seen = max_seen.max(pop[v]);
+                if self.size[v] != pop[v] {
+                    return Err(format!(
+                        "root {v} records size {} but its component has {} vertices",
+                        self.size[v], pop[v]
+                    ));
+                }
+            }
+        }
+        if roots != self.component_count {
+            return Err(format!(
+                "component_count is {} but the forest has {roots} roots",
+                self.component_count
+            ));
+        }
+        if n > 0 && max_seen != self.max_component {
+            return Err(format!(
+                "max_component is {} but the largest component has {max_seen} vertices",
+                self.max_component
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -275,6 +360,7 @@ impl OverlayDsu {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
 
@@ -307,6 +393,38 @@ mod tests {
         assert_eq!(d.component_count(), 3);
         assert_eq!(d.max_component_size(), 3);
         assert!(d.same_set(2, 4));
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_forests() {
+        let mut d = DisjointSetForest::from_edges(64, (0..40u32).map(|i| (i, i + 13)));
+        assert_eq!(d.check_invariants(), Ok(()));
+        let _ = d.find(60); // path compression must not break invariants
+        assert_eq!(d.check_invariants(), Ok(()));
+        assert_eq!(DisjointSetForest::new(0).check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn check_invariants_rejects_corruption() {
+        // Parent cycle (also violates strict rank increase).
+        let mut d = DisjointSetForest::from_edges(4, [(0, 1)]);
+        d.parent[0] = 1;
+        d.parent[1] = 0;
+        assert!(d.check_invariants().is_err());
+
+        let mut d = DisjointSetForest::from_edges(4, [(0, 1)]);
+        let root = d.find(0) as usize;
+        d.size[root] = 7;
+        let err = d.check_invariants().unwrap_err();
+        assert!(err.contains("size"), "unexpected error: {err}");
+
+        let mut d = DisjointSetForest::from_edges(4, [(0, 1)]);
+        d.component_count = 99;
+        assert!(d.check_invariants().is_err());
+
+        let mut d = DisjointSetForest::from_edges(4, [(0, 1)]);
+        d.max_component = 4;
+        assert!(d.check_invariants().is_err());
     }
 
     #[test]
@@ -394,6 +512,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -11,6 +11,7 @@ use crate::wgraph::WeightedGraph;
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use mpc_rdf::narrow;
 
 /// Grows one bisection; returns side (0/1) per vertex.
 fn grow_once(g: &WeightedGraph, target_left: u64, rng: &mut impl Rng) -> Vec<u8> {
@@ -25,7 +26,7 @@ fn grow_once(g: &WeightedGraph, target_left: u64, rng: &mut impl Rng) -> Vec<u8>
     let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
     let mut gain: Vec<i64> = (0..n)
         .map(|u| {
-            -(g.neighbors(u as u32).map(|(_, w)| w as i64).sum::<i64>())
+            -(g.neighbors(narrow::u32_from(u)).map(|(_, w)| w as i64).sum::<i64>())
         })
         .collect();
     let mut in_heap = vec![false; n];
@@ -46,10 +47,10 @@ fn grow_once(g: &WeightedGraph, target_left: u64, rng: &mut impl Rng) -> Vec<u8>
                 None => {
                     // Pick a random unabsorbed vertex as a fresh seed
                     // (handles disconnected graphs).
-                    let mut v = rng.gen_range(0..n as u32);
+                    let mut v = rng.gen_range(0..narrow::u32_from(n));
                     let mut guard = 0;
                     while side[v as usize] == 0 {
-                        v = (v + 1) % n as u32;
+                        v = (v + 1) % narrow::u32_from(n);
                         guard += 1;
                         debug_assert!(guard <= n, "all vertices absorbed");
                     }
@@ -97,6 +98,7 @@ pub fn bisect(
             best = Some((cut, imbalance, side));
         }
     }
+    // mpc-allow: unwrap-expect trials >= 1 so the loop produced at least one candidate
     best.expect("trials >= 1").2
 }
 
@@ -104,7 +106,7 @@ pub fn bisect(
 pub fn side_cut(g: &WeightedGraph, side: &[u8]) -> u64 {
     let mut cut = 0u64;
     for u in 0..g.vertex_count() {
-        for (v, w) in g.neighbors(u as u32) {
+        for (v, w) in g.neighbors(narrow::u32_from(u)) {
             if side[u] != side[v as usize] {
                 cut += w as u64;
             }

@@ -9,6 +9,7 @@ use crate::wgraph::WeightedGraph;
 use mpc_rdf::FxHashMap;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use mpc_rdf::narrow;
 
 /// One coarsening level: the coarser graph plus the projection map.
 #[derive(Clone, Debug)]
@@ -26,7 +27,7 @@ pub struct CoarseLevel {
 /// first encounter). Unmatched vertices are copied through.
 pub fn coarsen_once(g: &WeightedGraph, rng: &mut impl Rng) -> CoarseLevel {
     let n = g.vertex_count();
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<u32> = (0..narrow::u32_from(n)).collect();
     order.shuffle(rng);
 
     const UNMATCHED: u32 = u32::MAX;
@@ -55,7 +56,7 @@ pub fn coarsen_once(g: &WeightedGraph, rng: &mut impl Rng) -> CoarseLevel {
     // coarse vertex.
     let mut map = vec![UNMATCHED; n];
     let mut next = 0u32;
-    for u in 0..n as u32 {
+    for u in 0..narrow::u32_from(n) {
         if map[u as usize] != UNMATCHED {
             continue;
         }
@@ -77,7 +78,7 @@ pub fn coarsen_once(g: &WeightedGraph, rng: &mut impl Rng) -> CoarseLevel {
     // Use a scratch map to merge parallel coarse edges per coarse vertex.
     let mut scratch: FxHashMap<u32, u32> = FxHashMap::default();
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); coarse_n];
-    for u in 0..n as u32 {
+    for u in 0..narrow::u32_from(n) {
         members[map[u as usize] as usize].push(u);
     }
     for (cu, mem) in members.iter().enumerate() {
@@ -126,6 +127,7 @@ pub fn coarsen_to(
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

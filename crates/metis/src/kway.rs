@@ -8,6 +8,7 @@ use mpc_obs::Recorder;
 use mpc_rdf::RdfGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use mpc_rdf::narrow;
 
 /// Tuning knobs of the multilevel partitioner.
 #[derive(Clone, Debug)]
@@ -63,7 +64,7 @@ pub fn partition_traced(
         return part;
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let vertices: Vec<u32> = (0..g.vertex_count() as u32).collect();
+    let vertices: Vec<u32> = (0..narrow::u32_from(g.vertex_count())).collect();
     // Recursive bisection compounds per-level slack multiplicatively, so
     // distribute the global ε across the ⌈log2 k⌉ levels: each level gets
     // (1+ε)^(1/levels) - 1 and the final parts respect (1+ε)·total/k.
@@ -97,7 +98,7 @@ fn kway_refine(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64, pass
         return;
     }
     let total = g.total_weight();
-    let cap = (((1.0 + epsilon) * total as f64) / k as f64).ceil() as u64;
+    let cap = narrow::u64_from_f64((((1.0 + epsilon) * total as f64) / k as f64).ceil());
     let mut weights = vec![0u64; k];
     for v in 0..g.vertex_count() {
         weights[part[v] as usize] += g.vwgt[v];
@@ -105,7 +106,7 @@ fn kway_refine(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64, pass
     let mut conn = vec![0i64; k];
     for _ in 0..passes {
         let mut moved = false;
-        for v in 0..g.vertex_count() as u32 {
+        for v in 0..narrow::u32_from(g.vertex_count()) {
             let from = part[v as usize] as usize;
             // Connectivity of v to each part.
             let mut touched: Vec<usize> = Vec::new();
@@ -136,7 +137,7 @@ fn kway_refine(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64, pass
             if let Some((_, to)) = best {
                 weights[from] -= g.vwgt[v as usize];
                 weights[to] += g.vwgt[v as usize];
-                part[v as usize] = to as u32;
+                part[v as usize] = narrow::u32_from(to);
                 moved = true;
             }
         }
@@ -157,7 +158,7 @@ fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64) {
     if total == 0 {
         return;
     }
-    let cap = (((1.0 + epsilon) * total as f64) / k as f64).ceil() as u64;
+    let cap = narrow::u64_from_f64((((1.0 + epsilon) * total as f64) / k as f64).ceil());
     let mut weights = vec![0u64; k];
     for v in 0..g.vertex_count() {
         weights[part[v] as usize] += g.vwgt[v];
@@ -168,17 +169,19 @@ fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64) {
             Some(p) => p,
             None => return,
         };
+        // mpc-allow: unwrap-expect weights has k >= 1 entries, so min_by_key is Some
         let light = (0..k).min_by_key(|&p| weights[p]).expect("k >= 1");
         if light == over {
             return;
         }
+        let (over_u, light_u) = (narrow::u32_from(over), narrow::u32_from(light));
         // Best candidate: highest (gain toward light) per unit weight among
         // vertices whose move does not overshoot the light part's cap; fall
         // back to the smallest vertex if none qualifies.
         let mut best: Option<(i64, u32)> = None; // (score, vertex)
         let mut smallest: Option<(u64, u32)> = None;
-        for v in 0..g.vertex_count() as u32 {
-            if part[v as usize] != over as u32 || g.vwgt[v as usize] == 0 {
+        for v in 0..narrow::u32_from(g.vertex_count()) {
+            if part[v as usize] != over_u || g.vwgt[v as usize] == 0 {
                 continue;
             }
             let vw = g.vwgt[v as usize];
@@ -194,9 +197,9 @@ fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64) {
             }
             let mut gain = 0i64;
             for (u, w) in g.neighbors(v) {
-                if part[u as usize] == light as u32 {
+                if part[u as usize] == light_u {
                     gain += w as i64;
-                } else if part[u as usize] == over as u32 {
+                } else if part[u as usize] == over_u {
                     gain -= w as i64;
                 }
             }
@@ -210,7 +213,7 @@ fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, epsilon: f64) {
         };
         weights[over] -= g.vwgt[v as usize];
         weights[light] += g.vwgt[v as usize];
-        part[v as usize] = light as u32;
+        part[v as usize] = light_u;
     }
 }
 
@@ -257,7 +260,7 @@ fn recurse(
         }
     }
     recurse(g, &left, kl, base, cfg, rng, out, rec);
-    recurse(g, &right, kr, base + kl as u32, cfg, rng, out, rec);
+    recurse(g, &right, kr, base + narrow::u32_from(kl), cfg, rng, out, rec);
 }
 
 /// Multilevel 2-way: coarsen, bisect the coarsest graph, project back with
@@ -270,7 +273,7 @@ fn multilevel_bisect(
     rng: &mut impl Rng,
     rec: &Recorder,
 ) -> Vec<u8> {
-    let slack = |t: u64| ((t as f64) * (1.0 + cfg.epsilon)).ceil() as u64;
+    let slack = |t: u64| narrow::u64_from_f64(((t as f64) * (1.0 + cfg.epsilon)).ceil());
     let max_side = [slack(target_left).max(1), slack(target_right).max(1)];
 
     rec.incr("metis.bisections");
@@ -310,7 +313,7 @@ fn induce(g: &WeightedGraph, vertices: &[u32]) -> (WeightedGraph, Vec<u32>) {
     const ABSENT: u32 = u32::MAX;
     let mut to_local = vec![ABSENT; g.vertex_count()];
     for (i, &v) in vertices.iter().enumerate() {
-        to_local[v as usize] = i as u32;
+        to_local[v as usize] = narrow::u32_from(i);
     }
     let mut adj: Vec<Vec<(u32, u32)>> = Vec::with_capacity(vertices.len());
     let mut vwgt = Vec::with_capacity(vertices.len());
@@ -329,6 +332,7 @@ fn induce(g: &WeightedGraph, vertices: &[u32]) -> (WeightedGraph, Vec<u32>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use crate::{edge_cut, part_weights};

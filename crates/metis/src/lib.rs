@@ -19,6 +19,9 @@
 //! The public entry points are [`partition`] (on a [`WeightedGraph`]) and
 //! [`partition_rdf`] (directly on an [`mpc_rdf::RdfGraph`]).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bisect;
 pub mod coarsen;
 pub mod kway;
@@ -29,6 +32,8 @@ pub use kway::{partition, partition_rdf, partition_traced, MetisConfig};
 pub use refine::{fm_refine, fm_refine_traced};
 pub use wgraph::WeightedGraph;
 
+use mpc_rdf::narrow;
+
 /// Total weight of edges crossing between different parts.
 ///
 /// Each undirected edge is stored twice in the CSR structure, so the sum of
@@ -37,7 +42,7 @@ pub fn edge_cut(g: &WeightedGraph, part: &[u32]) -> u64 {
     debug_assert_eq!(part.len(), g.vertex_count());
     let mut cut = 0u64;
     for u in 0..g.vertex_count() {
-        for (v, w) in g.neighbors(u as u32) {
+        for (v, w) in g.neighbors(narrow::u32_from(u)) {
             if part[u] != part[v as usize] {
                 cut += w as u64;
             }
@@ -56,6 +61,7 @@ pub fn part_weights(g: &WeightedGraph, part: &[u32], k: usize) -> Vec<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
 
@@ -76,6 +82,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -10,6 +10,7 @@ use crate::bisect::{side_cut, side_weights};
 use crate::wgraph::WeightedGraph;
 use mpc_obs::Recorder;
 use std::collections::BinaryHeap;
+use mpc_rdf::narrow;
 
 /// Refines a bisection in place.
 ///
@@ -50,7 +51,7 @@ pub fn fm_refine_traced(
         // unless a side is overweight, in which case there may be no
         // boundary at all and every vertex must be a move candidate.
         let must_rebalance = weights[0] > max_side[0] || weights[1] > max_side[1];
-        for u in 0..n as u32 {
+        for u in 0..narrow::u32_from(n) {
             gain[u as usize] = move_gain(g, side, u);
             if must_rebalance || is_boundary(g, side, u) {
                 heap.push((gain[u as usize], u));
@@ -80,7 +81,7 @@ pub fn fm_refine_traced(
                 continue; // would break balance
             }
             // Commit the tentative move.
-            side[ui] = to as u8;
+            side[ui] = 1 - side[ui];
             weights[from] -= vw;
             weights[to] += vw;
             locked[ui] = true;
@@ -103,16 +104,16 @@ pub fn fm_refine_traced(
         for &u in &moves[best_prefix..] {
             let ui = u as usize;
             let cur = side[ui] as usize;
-            side[ui] = (1 - cur) as u8;
+            side[ui] = 1 - side[ui];
             weights[cur] -= g.vwgt[ui];
             weights[1 - cur] += g.vwgt[ui];
         }
-        cut = (cut as i64 - best_key.1) as u64;
+        cut = u64::try_from(cut as i64 - best_key.1).unwrap_or(0);
         rec.incr("metis.fm.passes");
         rec.add("metis.fm.moves_committed", best_prefix as u64);
         rec.add("metis.fm.moves_rolled_back", (moves.len() - best_prefix) as u64);
         if best_key.1 > 0 {
-            rec.add("metis.fm.cut_gain", best_key.1 as u64);
+            rec.add("metis.fm.cut_gain", u64::try_from(best_key.1).unwrap_or(0));
         }
         if best_prefix == 0 {
             break; // pass made no progress

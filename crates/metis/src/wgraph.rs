@@ -3,6 +3,7 @@
 //! uses).
 
 use mpc_rdf::RdfGraph;
+use mpc_rdf::narrow;
 
 /// An undirected graph with vertex and edge weights, stored as CSR.
 ///
@@ -42,7 +43,7 @@ impl WeightedGraph {
                 adjncy.push(v);
                 adjwgt.push(w);
             }
-            xadj.push(adjncy.len() as u32);
+            xadj.push(narrow::u32_from(adjncy.len()));
         }
         WeightedGraph {
             vwgt,

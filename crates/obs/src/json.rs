@@ -134,7 +134,7 @@ impl fmt::Display for Escaped<'_> {
                 '\n' => f.write_str("\\n")?,
                 '\r' => f.write_str("\\r")?,
                 '\t' => f.write_str("\\t")?,
-                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c if u32::from(c) < 0x20 => write!(f, "\\u{:04x}", u32::from(c))?,
                 c => write!(f, "{c}")?,
             }
         }

@@ -33,6 +33,7 @@
 //! println!("{}", report.to_json());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
@@ -105,7 +106,7 @@ impl Recorder {
     /// Adds `delta` to the counter `name` (creating it at zero).
     pub fn add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut counters = inner.counters.lock().unwrap();
+            let mut counters = relock(&inner.counters);
             let slot = counters.entry(name.to_owned()).or_insert(0);
             *slot = slot.saturating_add(delta);
         }
@@ -122,7 +123,7 @@ impl Recorder {
     /// in permille) rather than accumulated.
     pub fn set(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
-            inner.counters.lock().unwrap().insert(name.to_owned(), value);
+            relock(&inner.counters).insert(name.to_owned(), value);
         }
     }
 
@@ -130,13 +131,13 @@ impl Recorder {
     /// (or the recorder is disabled).
     pub fn counter(&self, name: &str) -> Option<u64> {
         let inner = self.inner.as_ref()?;
-        inner.counters.lock().unwrap().get(name).copied()
+        relock(&inner.counters).get(name).copied()
     }
 
     /// Aggregate of all durations recorded under `name`, if any.
     pub fn timer(&self, name: &str) -> Option<TimerStat> {
         let inner = self.inner.as_ref()?;
-        inner.timers.lock().unwrap().get(name).copied()
+        relock(&inner.timers).get(name).copied()
     }
 
     /// Snapshots every collected metric into a hierarchical [`Report`].
@@ -145,19 +146,22 @@ impl Recorder {
     pub fn report(&self) -> Report {
         match &self.inner {
             Some(inner) => Report::from_metrics(
-                &inner.timers.lock().unwrap(),
-                &inner.counters.lock().unwrap(),
+                &relock(&inner.timers),
+                &relock(&inner.counters),
             ),
             None => Report::default(),
         }
     }
 }
 
+/// Locks a metrics mutex, recovering the map if another thread panicked
+/// while holding it — observability must never take the process down.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn record_into(inner: &Inner, name: &str, elapsed: Duration) {
-    inner
-        .timers
-        .lock()
-        .unwrap()
+    relock(&inner.timers)
         .entry(name.to_owned())
         .or_default()
         .record(elapsed);

@@ -36,7 +36,8 @@ impl TimerStat {
         if self.count == 0 {
             Duration::ZERO
         } else {
-            self.total / self.count as u32
+            let nanos = self.total.as_nanos() / u128::from(self.count);
+            Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
         }
     }
 }

@@ -8,6 +8,7 @@
 use crate::hash::FxHashMap;
 use crate::ids::{PropertyId, VertexId};
 use crate::term::Term;
+use crate::narrow;
 
 /// Two-sided mapping between terms and dense integer ids.
 ///
@@ -33,7 +34,7 @@ impl Dictionary {
         if let Some(&id) = self.vertex_by_key.get(&key) {
             return id;
         }
-        let id = VertexId(self.vertices.len() as u32);
+        let id = VertexId(narrow::u32_from(self.vertices.len()));
         self.vertex_by_key.insert(key, id);
         self.vertices.push(term.clone());
         id
@@ -44,7 +45,7 @@ impl Dictionary {
         if let Some(&id) = self.property_by_iri.get(iri) {
             return id;
         }
-        let id = PropertyId(self.properties.len() as u32);
+        let id = PropertyId(narrow::u32_from(self.properties.len()));
         self.property_by_iri.insert(iri.to_owned(), id);
         self.properties.push(iri.to_owned());
         id
@@ -91,7 +92,7 @@ impl Dictionary {
         self.vertices
             .iter()
             .enumerate()
-            .map(|(i, t)| (VertexId(i as u32), t))
+            .map(|(i, t)| (VertexId(narrow::u32_from(i)), t))
     }
 
     /// Iterates over `(id, iri)` pairs in id order.
@@ -99,7 +100,7 @@ impl Dictionary {
         self.properties
             .iter()
             .enumerate()
-            .map(|(i, p)| (PropertyId(i as u32), p.as_str()))
+            .map(|(i, p)| (PropertyId(narrow::u32_from(i)), p.as_str()))
     }
 }
 

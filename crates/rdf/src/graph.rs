@@ -3,6 +3,7 @@
 use crate::dictionary::Dictionary;
 use crate::ids::{PropertyId, VertexId};
 use crate::triple::Triple;
+use crate::narrow;
 
 /// An RDF graph `G = {V, E, L, f}` (Definition 3.1).
 ///
@@ -77,7 +78,7 @@ impl RdfGraph {
         let mut prop_triples = vec![0u32; triples.len()];
         for (i, t) in triples.iter().enumerate() {
             let slot = cursor[t.p.index()];
-            prop_triples[slot as usize] = i as u32;
+            prop_triples[slot as usize] = narrow::u32_from(i);
             cursor[t.p.index()] += 1;
         }
         RdfGraph {
@@ -128,12 +129,12 @@ impl RdfGraph {
 
     /// Iterator over all property ids.
     pub fn property_ids(&self) -> impl Iterator<Item = PropertyId> {
-        (0..self.property_count as u32).map(PropertyId)
+        (0..narrow::u32_from(self.property_count)).map(PropertyId)
     }
 
     /// Iterator over all vertex ids.
     pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
-        (0..self.vertex_count as u32).map(VertexId)
+        (0..narrow::u32_from(self.vertex_count)).map(VertexId)
     }
 
     /// Indices (into [`triples`](Self::triples)) of all edges labeled `p`.

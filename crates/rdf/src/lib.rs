@@ -13,6 +13,7 @@
 //!   (the sanctioned dependency set has no fast-hash crate and SipHash is
 //!   needlessly slow for small integer keys).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -20,6 +21,7 @@ pub mod dictionary;
 pub mod graph;
 pub mod hash;
 pub mod ids;
+pub mod narrow;
 pub mod ntriples;
 pub mod term;
 pub mod turtle;

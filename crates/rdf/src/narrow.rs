@@ -1,0 +1,107 @@
+//! Checked narrowing conversions.
+//!
+//! The workspace stores vertex/property ids as `u32` and partition ids as
+//! `u16` (see [`crate::ids`]), but containers are indexed with `usize`, so
+//! index → id conversions are everywhere. A bare `as` cast silently
+//! truncates when the invariant ("this graph fits in the id space") is
+//! violated; these helpers panic loudly instead, turning a data-corruption
+//! bug into an immediate, attributable failure. `mpc-analyze` (the
+//! `narrowing-cast` rule) and clippy's `cast_possible_truncation` keep bare
+//! casts out of library code, funnelling conversions through here.
+//!
+//! All helpers are `#[inline]` + `#[track_caller]`: release-mode codegen is
+//! a compare-and-branch that predicts perfectly, and a failure reports the
+//! caller's line, not this module.
+
+use std::fmt;
+
+/// Converts a container index or count to a `u32` id, panicking on
+/// overflow.
+#[inline]
+#[track_caller]
+pub fn u32_from<T>(i: T) -> u32
+where
+    T: Copy + fmt::Display + TryInto<u32>,
+{
+    match i.try_into() {
+        Ok(v) => v,
+        Err(_) => panic!("index {i} does not fit in the u32 id space"),
+    }
+}
+
+/// Converts a container index or count to a `u16` id, panicking on
+/// overflow.
+#[inline]
+#[track_caller]
+pub fn u16_from<T>(i: T) -> u16
+where
+    T: Copy + fmt::Display + TryInto<u16>,
+{
+    match i.try_into() {
+        Ok(v) => v,
+        Err(_) => panic!("index {i} does not fit in the u16 id space"),
+    }
+}
+
+/// Rounds a finite, non-negative `f64` sizing formula to `usize`,
+/// saturating at the ends. NaN maps to 0.
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn usize_from_f64(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        0
+    } else if v >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        v as usize
+    }
+}
+
+/// Rounds a finite, non-negative `f64` sizing formula to `u64`,
+/// saturating at the ends. NaN maps to 0.
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn u64_from_f64(v: f64) -> u64 {
+    if v.is_nan() || v <= 0.0 {
+        0
+    } else if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // mpc-allow: narrowing-cast range-checked above; this is the one audited float cast site
+        v as u64
+    }
+}
+
+/// Rounds a finite, non-negative `f64` sizing formula to `u32`,
+/// saturating at the ends. NaN maps to 0.
+#[inline]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn u32_from_f64(v: f64) -> u32 {
+    if v.is_nan() || v <= 0.0 {
+        0
+    } else if v >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        // mpc-allow: narrowing-cast range-checked above; this is the one audited float cast site
+        v as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(u32_from(0), 0);
+        assert_eq!(u32_from(4_000_000_000usize), 4_000_000_000);
+        assert_eq!(u16_from(65_535), 65_535);
+        assert_eq!(u32_from(7u64), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_index_panics() {
+        let _ = u16_from(65_536usize);
+    }
+}

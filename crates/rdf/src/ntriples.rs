@@ -112,7 +112,9 @@ pub fn write_graph<W: Write>(graph: &RdfGraph, mut out: W) -> io::Result<()> {
 /// Serializes a graph to an N-Triples string.
 pub fn to_string(graph: &RdfGraph) -> String {
     let mut buf = Vec::new();
+    // mpc-allow: unwrap-expect io::Write on Vec<u8> is infallible
     write_graph(graph, &mut buf).expect("writing to Vec cannot fail");
+    // mpc-allow: unwrap-expect the serializer only emits str fragments, hence valid UTF-8
     String::from_utf8(buf).expect("serializer emits UTF-8")
 }
 

@@ -122,7 +122,7 @@ impl Parser {
         self.peek().is_none()
     }
 
-    fn expect(&mut self, c: char) -> Result<(), TurtleError> {
+    fn expect_char(&mut self, c: char) -> Result<(), TurtleError> {
         self.skip_ws();
         match self.bump() {
             Some(x) if x == c => Ok(()),
@@ -156,7 +156,7 @@ impl Parser {
                 let iri = self.parse_iri_ref()?;
                 self.prefixes.insert(name, iri);
                 if at_form {
-                    self.expect('.')?;
+                    self.expect_char('.')?;
                 }
                 Ok(true)
             }
@@ -166,7 +166,7 @@ impl Parser {
                 let iri = self.parse_iri_ref()?;
                 self.base = iri;
                 if at_form {
-                    self.expect('.')?;
+                    self.expect_char('.')?;
                 }
                 Ok(true)
             }
@@ -494,8 +494,9 @@ impl Parser {
 
     fn parse_numeric(&mut self) -> Result<Term, TurtleError> {
         let mut text = String::new();
-        if matches!(self.peek(), Some('+') | Some('-')) {
-            text.push(self.bump().unwrap());
+        if let Some(sign @ ('+' | '-')) = self.peek() {
+            self.bump();
+            text.push(sign);
         }
         let mut is_decimal = false;
         while let Some(c) = self.peek() {
@@ -562,11 +563,13 @@ pub fn to_string(graph: &RdfGraph, prefixes: &[(&str, &str)]) -> String {
     let mut order: Vec<u32> = Vec::new();
     let mut groups: crate::hash::FxHashMap<u32, Vec<usize>> = Default::default();
     for (i, t) in graph.triples().iter().enumerate() {
-        groups.entry(t.s.0).or_insert_with(|| {
-            order.push(t.s.0);
-            Vec::new()
-        });
-        groups.get_mut(&t.s.0).unwrap().push(i);
+        groups
+            .entry(t.s.0)
+            .or_insert_with(|| {
+                order.push(t.s.0);
+                Vec::new()
+            })
+            .push(i);
     }
     for s in order {
         let idxs = &groups[&s];

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of the [`bytes` 1.x](https://docs.rs/bytes)
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this provides a
+//! minimal cheaply-cloneable byte buffer ([`Bytes`]), a growable builder
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits — just enough
+//! for the wire codec in `mpc-cluster`. [`Bytes`] shares one allocation
+//! across clones and slices via `Arc`, matching the real crate's zero-copy
+//! `slice`/`clone` semantics (without the vectored-IO machinery).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous slice of immutable bytes.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Number of bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-view of `range` (relative to this view).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read cursor over a byte source (little-endian helpers only).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// A view of the remaining bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes four bytes as a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let c = self.chunk();
+        assert!(c.len() >= 4, "buffer underflow");
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Consumes eight bytes as a little-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let c = self.chunk();
+        assert!(c.len() >= 8, "buffer underflow");
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+/// Write cursor over a growable byte sink (little-endian helpers only).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32s() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(7);
+        buf.put_u32_le(u32::MAX);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_u32_le(), u32::MAX);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(ss.as_ref(), &[3]);
+        assert_eq!(b.as_ref(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u64_le(), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.get_u32_le();
+    }
+}

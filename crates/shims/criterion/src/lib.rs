@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of the [`criterion` 0.5](https://docs.rs/criterion)
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this provides a
+//! minimal wall-clock benchmark harness with the same surface:
+//! [`Criterion`] with `measurement_time`/`warm_up_time`/`sample_size`
+//! builders, [`BenchmarkGroup::bench_function`]/`bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It times each closure
+//! for roughly the configured measurement window and prints median-of-batch
+//! nanoseconds per iteration — no statistics engine, plots, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (configuration + output).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window run before measuring.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets how many timed samples are collected.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            samples: self.criterion.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(ns) => println!("bench {}/{id}: {ns:.0} ns/iter", self.name),
+            None => println!("bench {}/{id}: no measurement (iter never called)", self.name),
+        }
+    }
+
+    /// Runs one benchmark closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly: first for the warm-up window, then for
+    /// `sample_size` timed batches spread over the measurement window,
+    /// recording the median batch's nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+        let budget = self.measurement.as_nanos() / self.samples.max(1) as u128;
+        let batch = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+        self.report = Some(per_iter_ns[per_iter_ns.len() / 2]);
+    }
+}
+
+/// Identifies a parameterized benchmark as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("sum", 4), &vec![1u64; 4], |b, v| {
+            b.iter(|| v.iter().sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,71 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive length range for generated collections
+/// (mirrors `proptest::collection::SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "cannot sample empty length range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "cannot sample empty length range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `len` and whose elements
+/// come from `elem`.
+pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, len: len.into() }
+}
+
+/// Output of [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.max - self.len.min + 1) as u64;
+        let n = self.len.min + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0u32..5, 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

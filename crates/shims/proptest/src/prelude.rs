@@ -1,0 +1,11 @@
+//! One-stop import mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Alias module so `prop::collection::vec(..)`-style paths work.
+pub mod prop {
+    pub use crate::{collection, option};
+}

@@ -77,6 +77,7 @@ impl Bindings {
             let perm: Vec<usize> = self
                 .vars
                 .iter()
+                // mpc-allow: unwrap-expect join key vars occur in both tables by construction
                 .map(|v| other.column_of(*v).expect("same variable sets"))
                 .collect();
             for row in &other.rows {
@@ -90,6 +91,7 @@ impl Bindings {
     pub fn project(&self, vars: &[u32]) -> Bindings {
         let cols: Vec<usize> = vars
             .iter()
+            // mpc-allow: unwrap-expect projection was validated against var_names at parse time
             .map(|v| self.column_of(*v).expect("projected variable must exist"))
             .collect();
         let mut out = Bindings::new(vars.to_vec());

@@ -89,10 +89,11 @@ pub fn explain(query: &Query, store: &LocalStore) -> Vec<PlanStep> {
             .filter(|&&b| b)
             .count();
             let key = (est.saturating_sub(est * bound_positions / 4), 3 - bound_positions, i);
-            if best.is_none() || key < best.unwrap() {
+            if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
+        // mpc-allow: unwrap-expect unused is non-empty inside this loop, so one pattern remains
         let (_, _, idx) = best.expect("unused pattern remains");
         used[idx] = true;
         let pat = &query.patterns[idx];

@@ -8,6 +8,9 @@
 //! and [`matcher::evaluate`] enumerates BGP homomorphisms (Definition 3.6)
 //! with dynamic selectivity-based pattern ordering.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod algebra;
 pub mod explain;
 pub mod matcher;

@@ -16,6 +16,7 @@ use crate::query::{QLabel, QNode, Query};
 use crate::store::{LocalStore, Pattern};
 use mpc_rdf::{PropertyId, Triple, VertexId};
 use std::collections::BTreeMap;
+use mpc_rdf::narrow;
 
 /// Compile-time sink for matcher events.
 ///
@@ -122,7 +123,7 @@ pub fn evaluate_observed(
     let nvars = query.var_count();
     let mut binding: Vec<Option<u32>> = vec![None; nvars];
     let mut used = vec![false; query.patterns.len()];
-    let vars: Vec<u32> = (0..nvars as u32).collect();
+    let vars: Vec<u32> = (0..narrow::u32_from(nvars)).collect();
     let mut out = Bindings::new(vars);
     search(query, store, &mut used, &mut binding, &mut out, obs);
     out.sort_dedup();
@@ -173,6 +174,7 @@ fn search(
         // because each one occurs in some pattern.
         let row: Vec<u32> = binding
             .iter()
+            // mpc-allow: unwrap-expect depth == patterns.len() means every variable is bound
             .map(|b| b.expect("all query variables bound at a full match"))
             .collect();
         out.push(row);
@@ -258,7 +260,7 @@ pub fn evaluate_bruteforce(query: &Query, store: &LocalStore) -> Bindings {
         return Bindings::unit();
     }
     let nvars = query.var_count();
-    let vars: Vec<u32> = (0..nvars as u32).collect();
+    let vars: Vec<u32> = (0..narrow::u32_from(nvars)).collect();
     let mut out = Bindings::new(vars);
     let triples: Vec<Triple> = store.triples().to_vec();
     let mut binding: Vec<Option<u32>> = vec![None; nvars];
@@ -271,7 +273,8 @@ pub fn evaluate_bruteforce(query: &Query, store: &LocalStore) -> Bindings {
         out: &mut Bindings,
     ) {
         if depth == query.patterns.len() {
-            out.push(binding.iter().map(|b| b.unwrap()).collect());
+            // mpc-allow: unwrap-expect a full match binds every variable by construction
+            out.push(binding.iter().map(|b| b.expect("full match binds every variable")).collect());
             return;
         }
         let pat = query.patterns[depth];
@@ -294,6 +297,7 @@ pub fn evaluate_bruteforce(query: &Query, store: &LocalStore) -> Bindings {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod tests {
     use super::*;
     use crate::query::TriplePattern;
@@ -480,6 +484,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 mod proptests {
     use super::*;
     use crate::query::TriplePattern;

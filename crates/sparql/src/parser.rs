@@ -18,6 +18,7 @@
 use crate::query::{QLabel, QNode, Query, TriplePattern};
 use mpc_rdf::{Dictionary, FxHashMap, Term};
 use std::fmt;
+use mpc_rdf::narrow;
 
 /// The rdf:type IRI that the keyword `a` abbreviates.
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
@@ -136,7 +137,7 @@ impl ParsedQuery {
             if let Some(&i) = var_index.get(name) {
                 return i;
             }
-            let i = var_names.len() as u32;
+            let i = narrow::u32_from(var_names.len());
             var_index.insert(name.to_owned(), i);
             var_names.push(name.to_owned());
             i
@@ -184,7 +185,7 @@ impl ParsedQuery {
         let mut out = Vec::with_capacity(self.select.len());
         for name in &self.select {
             match query.var_names.iter().position(|n| n == name) {
-                Some(i) => out.push(i as u32),
+                Some(i) => out.push(narrow::u32_from(i)),
                 None => {
                     return Err(QueryParseError(format!(
                         "projected variable ?{name} does not occur in the BGP"
@@ -262,7 +263,7 @@ impl ParsedQuery {
                                     "FILTER variable ?{name} does not occur in the BGP"
                                 ))
                             })?;
-                        let col = bindings.column_of(idx as u32).ok_or_else(|| {
+                        let col = bindings.column_of(narrow::u32_from(idx)).ok_or_else(|| {
                             QueryParseError(format!("?{name} missing from bindings"))
                         })?;
                         Ok(Side::Col(col, is_property_var[idx]))

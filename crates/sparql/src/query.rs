@@ -1,6 +1,7 @@
 //! SPARQL BGP query graphs (Definition 3.5).
 
 use mpc_rdf::{FxHashMap, PropertyId, VertexId};
+use mpc_rdf::narrow;
 
 /// A query vertex: either a variable or a constant RDF vertex.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -287,7 +288,7 @@ impl QueryBuilder {
         if let Some(&i) = self.var_index.get(name) {
             return i;
         }
-        let i = self.var_names.len() as u32;
+        let i = narrow::u32_from(self.var_names.len());
         self.var_index.insert(name.to_owned(), i);
         self.var_names.push(name.to_owned());
         i

@@ -6,6 +6,7 @@
 //! engines (RDF-3X, gStore's VS-tree plays the same role).
 
 use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+use mpc_rdf::narrow;
 
 /// A sorted-permutation triple store.
 ///
@@ -67,7 +68,7 @@ impl LocalStore {
     pub fn new(mut triples: Vec<Triple>) -> Self {
         triples.sort_unstable();
         triples.dedup();
-        let n = triples.len() as u32;
+        let n = narrow::u32_from(triples.len());
         let mut spo: Vec<u32> = (0..n).collect(); // already (s,p,o)-sorted
         let mut pos: Vec<u32> = (0..n).collect();
         let mut osp: Vec<u32> = (0..n).collect();

@@ -7,6 +7,8 @@
 //! cargo run --release --example partial_evaluation
 //! ```
 
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
 use mpc::cluster::{partial_evaluate, DistributedEngine, NetworkModel, Site};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner};
 use mpc::datagen::lubm::{self, LubmConfig};

@@ -7,6 +7,8 @@
 //! cargo run --example query_decomposition
 //! ```
 
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
 use mpc::cluster::{classify, decompose_crossing_aware, CrossingSet};
 use mpc::rdf::GraphBuilder;
 use mpc::sparql::parse_query;

@@ -45,6 +45,9 @@
 //! assert_eq!(result.len(), 2); // a→b→c and x→y→z
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use mpc_cluster as cluster;
 pub use mpc_core as core;
 pub use mpc_datagen as datagen;

@@ -2,6 +2,8 @@
 //! grow a LUBM graph, maintain the assignment, rebuild sites, and verify
 //! query results and IEQ behaviour survive.
 
+#![allow(clippy::cast_possible_truncation)] // test code: ids are tiny and panics are the failure mode
+
 use mpc::cluster::{DistributedEngine, NetworkModel};
 use mpc::core::{IncrementalPartitioning, MpcConfig, MpcPartitioner, Partitioner};
 use mpc::datagen::lubm::{self, prop, LubmConfig};

@@ -2,6 +2,8 @@
 //! graph/partitioning, the Fig. 1/4/5 example queries, their IEQ
 //! classifications, and the Fig. 6 decomposition of Q5.
 
+#![allow(clippy::cast_possible_truncation)] // test code: ids are tiny and panics are the failure mode
+
 use mpc::cluster::{
     classify, decompose_crossing_aware, CrossingSet, DistributedEngine, IeqClass, NetworkModel,
 };

@@ -1,6 +1,8 @@
 //! Property-based integration tests for the paper's theorems, spanning all
 //! crates (generators, partitioners, cluster).
 
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // test code: ids are tiny and panics are the failure mode
+
 use mpc::cluster::{classify, CrossingSet, DistributedEngine, IeqClass, NetworkModel};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 use mpc::dsu::DisjointSetForest;
