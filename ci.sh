@@ -25,6 +25,18 @@ MPC=./target/release/mpc
 "$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/hash.parts" \
     --method hash --k 4 --verify
 
+echo "==> chaos smoke (deterministic fault-injection report, docs/FAULT_TOLERANCE.md)"
+echo 'SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5' > "$CI_TMP/q.rq"
+chaos_query() {
+    "$MPC" query --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+        --query "$CI_TMP/q.rq" --chaos "crash=0.2,slow=0.2,slow-factor=2" \
+        --seed 7 --retries 2 --deadline-ms 50 --replicas 1 | grep '^chaos:'
+}
+chaos_query > "$CI_TMP/chaos.1"
+chaos_query > "$CI_TMP/chaos.2"
+cmp "$CI_TMP/chaos.1" "$CI_TMP/chaos.2"
+cat "$CI_TMP/chaos.1"
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -1,0 +1,4 @@
+//! Robustness sweep: completeness vs fault rate. See `mpc_bench::experiments::chaos`.
+fn main() {
+    mpc_bench::experiments::chaos::run();
+}

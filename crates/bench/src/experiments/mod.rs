@@ -1,6 +1,7 @@
 //! One module per paper artifact; each exposes `run()` which prints the
 //! regenerated table/figure and appends it to `bench_results/`.
 
+pub mod chaos;
 pub mod fig11;
 pub mod khop;
 pub mod semijoin;

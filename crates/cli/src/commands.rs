@@ -2,7 +2,10 @@
 
 use crate::args::Options;
 use crate::{partfile, CliError};
-use mpc_cluster::{classify as classify_query, CrossingSet, DistributedEngine, ExecMode, NetworkModel};
+use mpc_cluster::{
+    classify as classify_query, CrossingSet, DistributedEngine, ExecMode, FaultPlan,
+    NetworkModel, RetryPolicy,
+};
 use mpc_core::{
     MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
 };
@@ -310,8 +313,20 @@ pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
-        &["input", "partitions", "query", "mode", "radius", "limit"],
-        &["profile"],
+        &[
+            "input",
+            "partitions",
+            "query",
+            "mode",
+            "radius",
+            "limit",
+            "chaos",
+            "seed",
+            "retries",
+            "deadline-ms",
+            "replicas",
+        ],
+        &["profile", "strict"],
     )?;
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
@@ -326,14 +341,35 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "0 results (query references terms absent from the graph)")?;
         return Ok(());
     };
-    let engine =
+    let mut engine =
         DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    if let Some(spec) = o.get("chaos") {
+        let mut plan = FaultPlan::parse(spec).map_err(CliError::new)?;
+        plan.seed = o.parse_or("seed", 42)?;
+        let policy = RetryPolicy {
+            max_retries: o.parse_or("retries", RetryPolicy::default().max_retries)?,
+            deadline: std::time::Duration::from_millis(o.parse_or("deadline-ms", 500)?),
+            ..RetryPolicy::default()
+        };
+        let replicas: usize = o.parse_or("replicas", 1)?;
+        engine.enable_fault_tolerance(plan, policy, replicas, !o.flag("strict"));
+    } else if o.flag("strict") {
+        return Err(CliError::new("--strict only applies with --chaos"));
+    }
     let rec = if o.flag("profile") {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
-    let (bindings, stats_) = engine.execute_traced(&query, mode, &rec);
+    let (bindings, stats_, complete, failed_sites) = if engine.fault_tolerance_enabled() {
+        let (partial, stats_) = engine
+            .execute_fault_tolerant_traced(&query, mode, &rec)
+            .map_err(|e| CliError::new(format!("query failed: {e}")))?;
+        (partial.rows, stats_, partial.complete, partial.failed_sites)
+    } else {
+        let (bindings, stats_) = engine.execute_traced(&query, mode, &rec);
+        (bindings, stats_, true, Vec::new())
+    };
     let result = parsed
         .finish(&query, bindings, graph.dictionary())
         .map_err(|e| CliError::new(e.to_string()))?;
@@ -378,6 +414,22 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         stats_.comm_bytes,
         stats_.total().as_secs_f64() * 1e3,
     )?;
+    if engine.fault_tolerance_enabled() {
+        // Every figure on this line is a deterministic function of
+        // (--chaos spec, --seed, query): ci.sh runs the command twice and
+        // diffs it to pin down reproducibility.
+        let f = stats_.faults;
+        writeln!(
+            out,
+            "chaos: complete={complete} failed_sites={failed_sites:?} attempts={} \
+             retries={} failovers={} injected={} penalty={:.3}ms",
+            f.attempts,
+            f.retries,
+            f.failovers,
+            f.injected,
+            f.penalty.as_secs_f64() * 1e3,
+        )?;
+    }
     if rec.is_enabled() {
         writeln!(out, "\nprofile:")?;
         write!(out, "{}", rec.report().to_text())?;

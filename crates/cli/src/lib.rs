@@ -94,11 +94,21 @@ USAGE:
     mpc explain   --input <FILE> --query <FILE.rq>
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
-                  [--profile]
+                  [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
+                  [--deadline-ms <N>] [--replicas <N>] [--strict]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
 breakdown (see docs/OBSERVABILITY.md). `--verify` re-checks every
 partition invariant from scratch before saving (docs/STATIC_ANALYSIS.md).
-`analyze` runs the workspace lint engine from the repository root."
+`analyze` runs the workspace lint engine from the repository root.
+
+`--chaos` runs the query on a fallible cluster (docs/FAULT_TOLERANCE.md):
+SPEC is `crash=0.1,stall=0.05,corrupt=0.02,overload=0.1,slow=0.2,\
+slow-factor=3,cut=2+5`. Faults are sampled deterministically from
+`--seed`; the coordinator retries `--retries` times per host with
+exponential backoff, gives each request `--deadline-ms`, fails over
+across `--replicas` extra hosts per fragment, and — unless `--strict` —
+degrades gracefully, reporting `complete=false` plus the failed sites
+instead of erroring."
 }

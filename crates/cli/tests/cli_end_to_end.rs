@@ -206,3 +206,76 @@ fn mismatched_partition_file_is_rejected() {
     assert!(err.contains("was built for a graph"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn chaos_query_reports_deterministically() {
+    let dir = temp_dir("chaos");
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    let query_file = dir.join("q.rq");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+    ])
+    .unwrap();
+    std::fs::write(&query_file, "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5").unwrap();
+
+    let args = [
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--chaos", "crash=0.2,slow=0.2,slow-factor=2", "--seed", "7",
+        "--retries", "2", "--deadline-ms", "50", "--replicas", "1",
+    ];
+    let chaos_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("chaos:"))
+            .expect("chaos report line")
+            .to_owned()
+    };
+    let first = run(&args).unwrap();
+    let second = run(&args).unwrap();
+    assert_eq!(chaos_line(&first), chaos_line(&second), "same seed, same report");
+    assert!(chaos_line(&first).contains("complete="), "{first}");
+    assert!(chaos_line(&first).contains("attempts="), "{first}");
+
+    // Cutting every coordinator link with no replicas degrades gracefully…
+    let cut = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--chaos", "cut=0+1+2+3", "--retries", "0", "--replicas", "0",
+    ])
+    .unwrap();
+    assert!(chaos_line(&cut).contains("complete=false"), "{cut}");
+    assert!(chaos_line(&cut).contains("failed_sites=[0, 1, 2, 3]"), "{cut}");
+
+    // …while --strict turns the same scenario into an error.
+    let err = run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--chaos", "cut=0+1+2+3", "--retries", "0", "--replicas", "0", "--strict",
+    ])
+    .unwrap_err();
+    assert!(err.contains("query failed"), "{err}");
+
+    // A malformed spec and a lone --strict are rejected up front.
+    assert!(run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--chaos", "bogus=1",
+    ])
+    .unwrap_err()
+    .contains("unknown chaos key"));
+    assert!(run(&[
+        "query", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--query", query_file.to_str().unwrap(),
+        "--strict",
+    ])
+    .unwrap_err()
+    .contains("--strict only applies"));
+    std::fs::remove_dir_all(&dir).ok();
+}

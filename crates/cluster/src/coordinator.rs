@@ -15,11 +15,13 @@
 //! parallel. Result shipping is charged to the simulated [`NetworkModel`].
 
 use crate::decompose::{decompose_crossing_aware, decompose_stars, Subquery};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, SiteError};
 use crate::ieq::{classify, is_khop_executable, CrossingSet, IeqClass};
-use crate::network::NetworkModel;
+use crate::network::{NetworkModel, COORDINATOR};
+use crate::retry::{RetryPolicy, SimClock};
 use crate::semijoin;
 use crate::site::Site;
-use crate::stats::ExecutionStats;
+use crate::stats::{ExecutionStats, FaultStats};
 use crate::wire;
 use mpc_core::Partitioning;
 use mpc_obs::Recorder;
@@ -28,6 +30,7 @@ use mpc_sparql::{
     evaluate, evaluate_observed, join_all, Bindings, MatchStats, Query, TriplePattern,
 };
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use mpc_rdf::narrow;
@@ -54,6 +57,98 @@ struct CachedPlan {
     subqueries: Option<Arc<Vec<Subquery>>>,
 }
 
+/// The (possibly partial) result of a fault-tolerant execution: graceful
+/// degradation makes incompleteness *explicit* instead of silently wrong.
+///
+/// When `complete` is false, `rows` is still sound — every row is a true
+/// answer (missing fragments can only *remove* matches from a union or a
+/// join, never invent them) — but some answers may be absent, and
+/// `failed_sites` names the fragments that stayed unreachable.
+#[derive(Clone, Debug)]
+pub struct PartialBindings {
+    /// The assembled bindings (the exact answer when `complete`).
+    pub rows: Bindings,
+    /// True iff every fragment contributed.
+    pub complete: bool,
+    /// Fragments that stayed unreachable after all replicas and retries.
+    pub failed_sites: Vec<u16>,
+}
+
+/// Fault-tolerance configuration: an injector (the simulated failure
+/// source) plus the coordinator's countermeasures.
+struct FaultLayer {
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    /// Extra replica hosts per fragment (0 = primaries only). Fragment
+    /// `f`'s replica chain is `f, f+1, …, f+replicas` (mod site count).
+    replicas: usize,
+    /// Degrade gracefully (return [`PartialBindings`] with
+    /// `complete == false`) instead of failing the whole query.
+    graceful: bool,
+}
+
+/// Everything one fragment's request chain produced: the decoded tables
+/// (`None` if every host and retry was exhausted) plus the deterministic
+/// fault accounting.
+struct FragmentOutcome {
+    tables: Option<Vec<Bindings>>,
+    eval_time: Duration,
+    bytes: u64,
+    messages: u64,
+    attempts: u64,
+    retries: u64,
+    failovers: u64,
+    injected: u64,
+    penalty: Duration,
+    error: Option<SiteError>,
+}
+
+/// Fragment outcomes folded into per-query totals.
+struct FoldedOutcomes {
+    /// Per-fragment tables, `None` where the fragment failed.
+    tables: Vec<Option<Vec<Bindings>>>,
+    faults: FaultStats,
+    local_eval_time: Duration,
+    comm_bytes: u64,
+    messages: u64,
+    failed_sites: Vec<u16>,
+    first_error: Option<SiteError>,
+}
+
+fn fold_outcomes(outcomes: Vec<FragmentOutcome>) -> FoldedOutcomes {
+    let mut folded = FoldedOutcomes {
+        tables: Vec::with_capacity(outcomes.len()),
+        faults: FaultStats::default(),
+        local_eval_time: Duration::ZERO,
+        comm_bytes: 0,
+        messages: 0,
+        failed_sites: Vec::new(),
+        first_error: None,
+    };
+    for (i, out) in outcomes.into_iter().enumerate() {
+        folded.faults.attempts += out.attempts;
+        folded.faults.retries += out.retries;
+        folded.faults.failovers += out.failovers;
+        folded.faults.injected += out.injected;
+        // Fragments recover in parallel: the slowest chain gates the stage.
+        folded.faults.penalty = folded.faults.penalty.max(out.penalty);
+        folded.local_eval_time = folded.local_eval_time.max(out.eval_time);
+        if out.tables.is_none() {
+            folded.failed_sites.push(narrow::u16_from(i));
+            if folded.first_error.is_none() {
+                folded.first_error = out.error;
+            }
+        } else {
+            folded.comm_bytes += out.bytes;
+            folded.messages += out.messages;
+        }
+        folded.tables.push(out.tables);
+    }
+    folded.faults.failed_fragments = folded.failed_sites.len() as u64;
+    folded.faults.degraded = !folded.failed_sites.is_empty();
+    folded
+}
+
 /// A simulated distributed SPARQL engine over a vertex-disjoint
 /// partitioning.
 pub struct DistributedEngine {
@@ -70,6 +165,11 @@ pub struct DistributedEngine {
     pub semijoin_reduction: bool,
     /// Plan cache keyed by (pattern list, crossing-aware?).
     plans: Mutex<FxHashMap<(Vec<TriplePattern>, bool), CachedPlan>>,
+    /// Fault-tolerance layer; `None` on the (default) infallible path.
+    fault: Option<FaultLayer>,
+    /// Monotone query number — a coordinate of every fault decision, so a
+    /// workload's fault sequence is reproducible query by query.
+    query_seq: AtomicU64,
 }
 
 impl DistributedEngine {
@@ -111,7 +211,34 @@ impl DistributedEngine {
             radius,
             semijoin_reduction: false,
             plans: Mutex::new(FxHashMap::default()),
+            fault: None,
+            query_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Arms the chaos layer: `plan` describes the faults the simulated
+    /// cluster will experience; `policy`, `replicas`, and `graceful`
+    /// describe the coordinator's countermeasures. The plan's `cut_sites`
+    /// are applied to the network model's link-down mask.
+    pub fn enable_fault_tolerance(
+        &mut self,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        replicas: usize,
+        graceful: bool,
+    ) {
+        self.network = self.network.with_links_down(&plan.cut_sites);
+        self.fault = Some(FaultLayer {
+            injector: FaultInjector::new(plan),
+            policy,
+            replicas,
+            graceful,
+        });
+    }
+
+    /// True once [`Self::enable_fault_tolerance`] has armed the chaos layer.
+    pub fn fault_tolerance_enabled(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// The replication radius of this engine's fragments.
@@ -185,31 +312,7 @@ impl DistributedEngine {
     ) -> (Bindings, ExecutionStats) {
         let qdt_span = rec.span("query.qdt");
         let t0 = Instant::now();
-        let key = (query.patterns.clone(), mode == ExecMode::CrossingAware);
-        let cached = self.plans.lock().get(&key).cloned();
-        let plan_entry = match cached {
-            Some(p) => {
-                rec.incr("query.plan_cache.hits");
-                p
-            }
-            None => {
-                rec.incr("query.plan_cache.misses");
-                let class = self.classify(query);
-                let subqueries = if self.is_independent(query, mode) {
-                    None
-                } else {
-                    Some(Arc::new(match mode {
-                        ExecMode::CrossingAware => {
-                            decompose_crossing_aware(query, &self.crossing)
-                        }
-                        ExecMode::StarOnly => decompose_stars(query),
-                    }))
-                };
-                let entry = CachedPlan { class, subqueries };
-                self.plans.lock().insert(key, entry.clone());
-                entry
-            }
-        };
+        let plan_entry = self.lookup_plan(query, mode, rec);
         let class = plan_entry.class;
         let plan: Option<Arc<Vec<Subquery>>> = plan_entry.subqueries;
         let decomposition_time = t0.elapsed();
@@ -229,6 +332,7 @@ impl DistributedEngine {
                     comm_bytes,
                     comm_time,
                     result_rows: result.len(),
+                    faults: FaultStats::default(),
                 };
                 (result, stats)
             }
@@ -257,6 +361,7 @@ impl DistributedEngine {
                     comm_bytes,
                     comm_time,
                     result_rows: result.len(),
+                    faults: FaultStats::default(),
                 };
                 (result, stats)
             }
@@ -269,6 +374,312 @@ impl DistributedEngine {
             rec.record("query.comm", stats.comm_time);
         }
         (result, stats)
+    }
+
+    /// Plan-cache lookup: classification plus (for non-IEQs) decomposition,
+    /// computed once per (pattern list, mode) and reused.
+    fn lookup_plan(&self, query: &Query, mode: ExecMode, rec: &Recorder) -> CachedPlan {
+        let key = (query.patterns.clone(), mode == ExecMode::CrossingAware);
+        let cached = self.plans.lock().get(&key).cloned();
+        match cached {
+            Some(p) => {
+                rec.incr("query.plan_cache.hits");
+                p
+            }
+            None => {
+                rec.incr("query.plan_cache.misses");
+                let class = self.classify(query);
+                let subqueries = if self.is_independent(query, mode) {
+                    None
+                } else {
+                    Some(Arc::new(match mode {
+                        ExecMode::CrossingAware => {
+                            decompose_crossing_aware(query, &self.crossing)
+                        }
+                        ExecMode::StarOnly => decompose_stars(query),
+                    }))
+                };
+                let entry = CachedPlan { class, subqueries };
+                self.plans.lock().insert(key, entry.clone());
+                entry
+            }
+        }
+    }
+
+    /// [`Self::execute_fault_tolerant_traced`] with a disabled recorder.
+    pub fn execute_fault_tolerant(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
+        self.execute_fault_tolerant_traced(query, mode, &Recorder::disabled())
+    }
+
+    /// Executes a query on the fallible cluster: every fragment request can
+    /// crash, stall past its deadline, corrupt its payload, be shed, or
+    /// straggle, per the armed [`FaultPlan`]; the coordinator answers with
+    /// bounded retries (exponential backoff + seeded jitter, charged to a
+    /// simulated clock), failover along each fragment's replica chain, and
+    /// — in graceful mode — explicit partial results.
+    ///
+    /// The contract (pinned by the `chaos_*` proptests): the returned
+    /// bindings are either exactly the fault-free answer with
+    /// `complete == true`, or a sound subset with `complete == false` and
+    /// the unreachable fragments named — never silently wrong, never a
+    /// panic. In strict mode (`graceful == false`) an unreachable fragment
+    /// fails the query with the first [`SiteError`] observed on it.
+    ///
+    /// Without an armed fault layer this is [`Self::execute_traced`] with
+    /// a `complete` wrapper.
+    pub fn execute_fault_tolerant_traced(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        rec: &Recorder,
+    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
+        let Some(layer) = &self.fault else {
+            let (rows, stats) = self.execute_traced(query, mode, rec);
+            return Ok((
+                PartialBindings {
+                    rows,
+                    complete: true,
+                    failed_sites: Vec::new(),
+                },
+                stats,
+            ));
+        };
+        let qdt_span = rec.span("query.qdt");
+        let t0 = Instant::now();
+        let plan_entry = self.lookup_plan(query, mode, rec);
+        let class = plan_entry.class;
+        let decomposition_time = t0.elapsed();
+        drop(qdt_span);
+        let query_seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
+        let comm_seed = layer.injector.plan().seed ^ query_seq;
+
+        let (result, stats) = match plan_entry.subqueries {
+            None => {
+                let folded =
+                    fold_outcomes(self.request_all_fragments(layer, query_seq, &[query]));
+                if let Some(err) = self.strict_failure(layer, &folded) {
+                    return Err(err);
+                }
+                let width = query.var_count();
+                let mut result = Bindings::new((0..narrow::u32_from(width)).collect());
+                for tables in folded.tables.into_iter().flatten() {
+                    for table in tables {
+                        result.rows.extend(table.rows);
+                    }
+                }
+                result.sort_dedup();
+                let comm_time = self.network.transfer_time_seeded(
+                    folded.comm_bytes,
+                    folded.messages,
+                    comm_seed,
+                );
+                let stats = ExecutionStats {
+                    class,
+                    independent: true,
+                    subqueries: 1,
+                    decomposition_time,
+                    local_eval_time: folded.local_eval_time,
+                    join_time: Duration::ZERO,
+                    comm_bytes: folded.comm_bytes,
+                    comm_time,
+                    result_rows: result.len(),
+                    faults: folded.faults,
+                };
+                let partial = PartialBindings {
+                    rows: result,
+                    complete: !folded.faults.degraded,
+                    failed_sites: folded.failed_sites,
+                };
+                (partial, stats)
+            }
+            Some(subqueries) => {
+                let sub_refs: Vec<&Query> = subqueries.iter().map(|sq| &sq.query).collect();
+                let folded =
+                    fold_outcomes(self.request_all_fragments(layer, query_seq, &sub_refs));
+                if let Some(err) = self.strict_failure(layer, &folded) {
+                    return Err(err);
+                }
+                let mut merged: Vec<Bindings> = subqueries
+                    .iter()
+                    .map(|sq| Bindings::new(sq.parent_vars.clone()))
+                    .collect();
+                for tables in folded.tables.into_iter().flatten() {
+                    for (j, table) in tables.into_iter().enumerate() {
+                        merged[j].rows.extend(table.rows);
+                    }
+                }
+                for table in &mut merged {
+                    table.sort_dedup();
+                }
+                let comm_time = self.network.transfer_time_seeded(
+                    folded.comm_bytes,
+                    folded.messages,
+                    comm_seed,
+                );
+                let join_span = rec.span("query.join");
+                let t_join = Instant::now();
+                merged.sort_by_key(Bindings::len);
+                let joined = join_all(&merged);
+                let all_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
+                let result = joined.project(&all_vars);
+                let join_time = t_join.elapsed();
+                drop(join_span);
+                let stats = ExecutionStats {
+                    class,
+                    independent: false,
+                    subqueries: subqueries.len(),
+                    decomposition_time,
+                    local_eval_time: folded.local_eval_time,
+                    join_time,
+                    comm_bytes: folded.comm_bytes,
+                    comm_time,
+                    result_rows: result.len(),
+                    faults: folded.faults,
+                };
+                let partial = PartialBindings {
+                    rows: result,
+                    complete: !folded.faults.degraded,
+                    failed_sites: folded.failed_sites,
+                };
+                (partial, stats)
+            }
+        };
+        if rec.is_enabled() {
+            rec.set("query.subqueries", stats.subqueries as u64);
+            rec.set("query.independent", u64::from(stats.independent));
+            rec.set("query.result_rows", stats.result_rows as u64);
+            rec.record("query.let", stats.local_eval_time);
+            rec.record("query.comm", stats.comm_time);
+            rec.add("query.comm.bytes", stats.comm_bytes);
+            rec.add("query.fault.attempts", stats.faults.attempts);
+            rec.add("query.fault.retries", stats.faults.retries);
+            rec.add("query.fault.failovers", stats.faults.failovers);
+            rec.add("query.fault.injected", stats.faults.injected);
+            rec.add("query.fault.failed_sites", stats.faults.failed_fragments);
+            rec.set("query.fault.degraded", u64::from(stats.faults.degraded));
+            rec.record("query.fault.penalty", stats.faults.penalty);
+        }
+        Ok((result, stats))
+    }
+
+    /// In strict (non-graceful) mode, a failed fragment fails the query.
+    fn strict_failure(&self, layer: &FaultLayer, folded: &FoldedOutcomes) -> Option<SiteError> {
+        if layer.graceful || folded.failed_sites.is_empty() {
+            return None;
+        }
+        Some(folded.first_error.unwrap_or(SiteError::Crashed {
+            host: folded.failed_sites[0],
+        }))
+    }
+
+    /// Issues every fragment's request chain in parallel (one thread per
+    /// fragment, like the infallible path's fan-out).
+    fn request_all_fragments(
+        &self,
+        layer: &FaultLayer,
+        query_seq: u64,
+        queries: &[&Query],
+    ) -> Vec<FragmentOutcome> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.sites.len())
+                .map(|i| scope.spawn(move || self.request_fragment(layer, query_seq, i, queries)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
+    }
+
+    /// One fragment's request chain: walk the replica hosts in order, give
+    /// each host `max_retries + 1` attempts with exponential backoff
+    /// between them, and stop at the first success. Detection costs and
+    /// backoff waits are charged to a [`SimClock`], never slept — every
+    /// charge is a deterministic function of (plan, seed, query_seq), so
+    /// the penalty is reproducible while the run stays fast.
+    fn request_fragment(
+        &self,
+        layer: &FaultLayer,
+        query_seq: u64,
+        fragment_idx: usize,
+        queries: &[&Query],
+    ) -> FragmentOutcome {
+        let fragment = narrow::u16_from(fragment_idx);
+        let site_count = self.sites.len();
+        let replicas = layer.replicas.min(site_count.saturating_sub(1));
+        let mut clock = SimClock::new();
+        let mut out = FragmentOutcome {
+            tables: None,
+            eval_time: Duration::ZERO,
+            bytes: 0,
+            messages: 0,
+            attempts: 0,
+            retries: 0,
+            failovers: 0,
+            injected: 0,
+            penalty: Duration::ZERO,
+            error: None,
+        };
+        'hosts: for offset in 0..=replicas {
+            let host = narrow::u16_from((fragment_idx + offset) % site_count);
+            if offset > 0 {
+                out.failovers += 1;
+            }
+            for attempt in 0..=layer.policy.max_retries {
+                out.attempts += 1;
+                // A severed coordinator↔host link behaves like a stall: the
+                // request dies on the wire and the deadline expires.
+                let fault = if self.network.partitioned(COORDINATOR, host) {
+                    Some(FaultKind::Stall)
+                } else {
+                    layer.injector.decide(query_seq, fragment, host, attempt)
+                };
+                if fault.is_some() {
+                    out.injected += 1;
+                }
+                let served = self.sites[fragment_idx].respond(
+                    queries,
+                    host,
+                    fault,
+                    layer.injector.plan().slow_factor,
+                    layer.policy.deadline,
+                );
+                match served {
+                    Ok(resp) => {
+                        out.bytes = resp.bytes;
+                        out.messages = queries.len() as u64;
+                        out.eval_time = resp.eval_time;
+                        out.tables = Some(resp.tables);
+                        break 'hosts;
+                    }
+                    Err(e) => {
+                        out.error = Some(e);
+                        clock.charge(match e {
+                            // A stalled site costs the full deadline.
+                            SiteError::Timeout { deadline, .. } => deadline,
+                            // Refusals and rejected payloads are detected
+                            // after one round trip.
+                            SiteError::Crashed { .. }
+                            | SiteError::Overloaded { .. }
+                            | SiteError::CorruptPayload { .. } => self.network.latency,
+                        });
+                        if attempt < layer.policy.max_retries {
+                            out.retries += 1;
+                            clock.charge(layer.policy.backoff(
+                                attempt,
+                                layer.injector.attempt_hash(query_seq, fragment, host, attempt),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out.penalty = clock.elapsed();
+        out
     }
 
     /// Independent evaluation: the query runs on every site in parallel;
@@ -580,6 +991,7 @@ mod tests {
         let slow = NetworkModel {
             latency: Duration::from_millis(10),
             bandwidth: 1.0,
+            ..NetworkModel::free()
         };
         let engine = DistributedEngine::build(&g, &part, slow);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
@@ -714,5 +1126,275 @@ mod tests {
         );
         let (result, _) = engine.execute(&query);
         assert_eq!(result, reference(&g, &query));
+    }
+
+    // ---- fault-tolerant execution ------------------------------------
+
+    use crate::fault::{FaultKind, FaultPlan, ScriptedFault, SiteError};
+    use crate::retry::RetryPolicy;
+
+    fn chaos_engine(
+        g: &RdfGraph,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        replicas: usize,
+        graceful: bool,
+    ) -> DistributedEngine {
+        let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(g);
+        let mut engine = DistributedEngine::build(g, &part, NetworkModel::free());
+        engine.enable_fault_tolerance(plan, policy, replicas, graceful);
+        engine
+    }
+
+    fn scripted(
+        fragment: Option<u16>,
+        host: Option<u16>,
+        kind: FaultKind,
+        first_attempts: u32,
+    ) -> FaultPlan {
+        FaultPlan {
+            scripted: vec![ScriptedFault {
+                fragment,
+                host,
+                kind,
+                first_attempts,
+            }],
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn unarmed_engine_answers_complete_with_zero_fault_stats() {
+        let g = dataset();
+        let engine = mpc_engine(&g);
+        assert!(!engine.fault_tolerance_enabled());
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(partial.complete);
+        assert!(partial.failed_sites.is_empty());
+        assert_eq!(partial.rows, reference(&g, &query));
+        assert_eq!(stats.faults, crate::stats::FaultStats::default());
+    }
+
+    #[test]
+    fn quiet_plan_matches_plain_execution_on_both_paths() {
+        let g = dataset();
+        let engine = chaos_engine(&g, FaultPlan::none(), RetryPolicy::default(), 1, true);
+        assert!(engine.fault_tolerance_enabled());
+        // IEQ (independent) and non-IEQ (decomposed) queries.
+        let independent = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let decomposed = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        for query in [&independent, &decomposed] {
+            let (partial, stats) = engine
+                .execute_fault_tolerant(query, ExecMode::CrossingAware)
+                .unwrap();
+            assert!(partial.complete);
+            assert_eq!(partial.rows, reference(&g, query));
+            assert_eq!(stats.faults.injected, 0);
+            assert_eq!(stats.faults.retries, 0);
+            assert_eq!(stats.faults.penalty, Duration::ZERO);
+            // One successful attempt per fragment.
+            assert_eq!(stats.faults.attempts, engine.site_count() as u64);
+        }
+    }
+
+    #[test]
+    fn crash_then_retry_succeeds_with_exact_counts() {
+        let g = dataset();
+        // Fragment 0's primary crashes on the first attempt only.
+        let plan = scripted(Some(0), Some(0), FaultKind::Crash, 1);
+        let engine = chaos_engine(&g, plan, RetryPolicy::default(), 0, false);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(partial.complete);
+        assert_eq!(partial.rows, reference(&g, &query));
+        assert_eq!(stats.faults.injected, 1);
+        assert_eq!(stats.faults.retries, 1);
+        assert_eq!(stats.faults.failovers, 0);
+        // Fragment 0 took two attempts, fragment 1 one.
+        assert_eq!(stats.faults.attempts, 3);
+        assert!(!stats.faults.degraded);
+        // The backoff before the retry was charged, not slept.
+        assert!(stats.faults.penalty >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn deadline_expiry_fails_over_to_replica() {
+        let g = dataset();
+        // Fragment 0's primary stalls forever; only host 0 is scripted, so
+        // the replica (host 1) answers.
+        let plan = scripted(Some(0), Some(0), FaultKind::Stall, u32::MAX);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            jitter: 0.0,
+            deadline: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let engine = chaos_engine(&g, plan, policy, 1, false);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(partial.complete);
+        assert_eq!(partial.rows, reference(&g, &query));
+        assert_eq!(stats.faults.failovers, 1);
+        assert_eq!(stats.faults.retries, 0);
+        // Exactly one expired deadline was charged to the simulated clock.
+        assert_eq!(stats.faults.penalty, Duration::from_millis(200));
+        assert!(stats.total() >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn quorum_loss_degrades_gracefully_and_names_sites() {
+        let g = dataset();
+        // Every host serving fragment 0 crashes, every time.
+        let plan = scripted(Some(0), None, FaultKind::Crash, u32::MAX);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let engine = chaos_engine(&g, plan.clone(), policy, 1, true);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(!partial.complete, "missing fragment must be reported");
+        assert_eq!(partial.failed_sites, vec![0]);
+        assert!(stats.faults.degraded);
+        assert_eq!(stats.faults.failed_fragments, 1);
+        // 2 hosts × 2 attempts for fragment 0, one attempt for fragment 1.
+        assert_eq!(stats.faults.attempts, 5);
+        assert_eq!(stats.faults.retries, 2);
+        assert_eq!(stats.faults.failovers, 1);
+        // Sound subset: no invented rows.
+        let expected = reference(&g, &query);
+        assert!(partial.rows.rows.iter().all(|r| expected.rows.contains(r)));
+
+        // Strict mode turns the same scenario into an error naming a host.
+        let strict = chaos_engine(&g, plan, policy, 1, false);
+        let err = strict
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap_err();
+        assert!(matches!(err, SiteError::Crashed { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_payloads_are_detected_and_retried() {
+        let g = dataset();
+        // Every fragment's first attempt returns a damaged payload.
+        let plan = scripted(None, None, FaultKind::Corrupt, 1);
+        let engine = chaos_engine(&g, plan, RetryPolicy::default(), 0, false);
+        // Non-IEQ query: the corrupt payload crosses the decomposed path.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(partial.complete);
+        assert_eq!(partial.rows, reference(&g, &query));
+        assert_eq!(stats.faults.injected, 2, "one corrupt payload per fragment");
+        assert_eq!(stats.faults.retries, 2);
+        assert_eq!(stats.faults.attempts, 4);
+    }
+
+    #[test]
+    fn cut_site_fails_over_via_replica() {
+        let g = dataset();
+        let plan = FaultPlan {
+            cut_sites: vec![0],
+            ..FaultPlan::none()
+        };
+        let policy = RetryPolicy {
+            max_retries: 0,
+            jitter: 0.0,
+            deadline: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let engine = chaos_engine(&g, plan, policy, 1, false);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let (partial, stats) = engine
+            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+            .unwrap();
+        assert!(partial.complete);
+        assert_eq!(partial.rows, reference(&g, &query));
+        // The severed link behaves as a stall: deadline, then failover.
+        assert_eq!(stats.faults.failovers, 1);
+        assert_eq!(stats.faults.injected, 1);
+        assert_eq!(stats.faults.penalty, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn same_seed_and_plan_give_identical_fault_stats() {
+        let g = dataset();
+        let queries = [
+            q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2),
+            q(
+                vec![
+                    TriplePattern::new(v(0), prop(0), v(1)),
+                    TriplePattern::new(v(1), prop(2), v(2)),
+                    TriplePattern::new(v(2), prop(1), v(3)),
+                ],
+                4,
+            ),
+            q(vec![TriplePattern::new(v(0), prop(2), v(1))], 2),
+        ];
+        let run = || {
+            let engine = chaos_engine(
+                &g,
+                FaultPlan::uniform(99, 0.12),
+                RetryPolicy::default(),
+                1,
+                true,
+            );
+            queries
+                .iter()
+                .map(|query| {
+                    let (partial, stats) = engine
+                        .execute_fault_tolerant(query, ExecMode::CrossingAware)
+                        .unwrap();
+                    (partial.complete, partial.failed_sites.clone(), stats.faults)
+                })
+                .collect::<Vec<_>>()
+        };
+        // FaultStats is Eq: bit-identical counters AND penalty durations.
+        assert_eq!(run(), run(), "same seed + same plan must reproduce exactly");
+    }
+
+    #[test]
+    fn traced_chaos_execution_records_fault_counters() {
+        let g = dataset();
+        let plan = scripted(Some(0), Some(0), FaultKind::Crash, 1);
+        let engine = chaos_engine(&g, plan, RetryPolicy::default(), 0, false);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let rec = Recorder::enabled();
+        let (partial, stats) = engine
+            .execute_fault_tolerant_traced(&query, ExecMode::CrossingAware, &rec)
+            .unwrap();
+        assert!(partial.complete);
+        assert_eq!(rec.counter("query.fault.attempts"), Some(stats.faults.attempts));
+        assert_eq!(rec.counter("query.fault.retries"), Some(1));
+        assert_eq!(rec.counter("query.fault.injected"), Some(1));
+        assert_eq!(rec.counter("query.fault.failovers"), Some(0));
+        assert_eq!(rec.counter("query.fault.degraded"), Some(0));
+        assert!(rec.timer("query.fault.penalty").is_some());
+        assert_eq!(rec.counter("query.comm.bytes"), Some(stats.comm_bytes));
     }
 }

@@ -22,25 +22,29 @@
 
 pub mod coordinator;
 pub mod decompose;
+pub mod fault;
 pub mod ieq;
 pub mod network;
 pub mod partial;
 pub mod bloom;
+pub mod retry;
 pub mod semijoin;
 pub mod site;
 pub mod stats;
 pub mod vp;
 pub mod wire;
 
-pub use coordinator::{DistributedEngine, ExecMode};
+pub use coordinator::{DistributedEngine, ExecMode, PartialBindings};
 pub use decompose::{decompose_crossing_aware, decompose_stars, extract_subquery, Subquery};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, ScriptedFault, SiteError};
 pub use ieq::{classify, is_khop_executable, CrossingOracle, CrossingSet, IeqClass};
-pub use network::NetworkModel;
+pub use network::{NetworkModel, COORDINATOR};
 pub use partial::{partial_evaluate, PartialEvalStats};
 pub use bloom::BloomFilter;
+pub use retry::{RetryPolicy, SimClock};
 pub use semijoin::{bloom_reduce, ReductionStats};
-pub use site::Site;
-pub use stats::{ExecutionStats, FiveNumber};
+pub use site::{Site, SiteResponse};
+pub use stats::{ExecutionStats, FaultStats, FiveNumber};
 pub use vp::VpEngine;
 
 #[cfg(test)]
@@ -173,6 +177,53 @@ mod proptests {
                 prev_stored = engine.stored_triples();
                 let (result, _) = engine.execute(&query);
                 prop_assert_eq!(&result, &expected, "radius {}", radius);
+            }
+        }
+
+        /// The chaos headline invariant: under ANY fault plan, graceful
+        /// execution returns either exactly the fault-free reference answer
+        /// (`complete == true`) or an explicitly incomplete *sound* subset
+        /// with the unreachable fragments named — never silently wrong,
+        /// never a panic.
+        #[test]
+        fn chaos_execution_is_exact_or_explicitly_incomplete(
+            g in graph_strategy(),
+            query in query_strategy(),
+            seed in any::<u64>(),
+            rate in 0.0f64..0.18,
+            k in 2usize..4,
+            replicas in 0usize..3,
+        ) {
+            let expected = reference(&g, &query);
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let mut engine =
+                DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            engine.enable_fault_tolerance(
+                FaultPlan::uniform(seed, rate),
+                RetryPolicy::default(),
+                replicas,
+                true,
+            );
+            for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
+                let (partial, stats) = engine
+                    .execute_fault_tolerant(&query, mode)
+                    .expect("graceful mode never errors");
+                if partial.complete {
+                    prop_assert_eq!(
+                        &partial.rows, &expected,
+                        "complete result must be exact (mode {:?})", mode
+                    );
+                    prop_assert!(partial.failed_sites.is_empty());
+                } else {
+                    prop_assert!(stats.faults.degraded);
+                    prop_assert!(!partial.failed_sites.is_empty());
+                    for row in &partial.rows.rows {
+                        prop_assert!(
+                            expected.rows.contains(row),
+                            "degraded result invented row {:?} (mode {:?})", row, mode
+                        );
+                    }
+                }
             }
         }
 

@@ -5,16 +5,39 @@
 //! for it. This model charges the classical linear cost: a fixed per-message
 //! latency plus bytes over bandwidth. Defaults approximate the paper's
 //! gigabit-LAN era hardware.
+//!
+//! For chaos experiments the model also carries two optional, off-by-default
+//! imperfections: bounded per-message **jitter** (sampled from a seeded
+//! stream, so charges stay reproducible) and a **link-down mask** that
+//! models a network partition — [`NetworkModel::partitioned`] answers
+//! whether two endpoints can currently talk. With both left at their
+//! defaults, [`NetworkModel::default`] and [`NetworkModel::free`] behave
+//! byte-identically to the jitter-free model.
 
+use crate::fault::{splitmix64, unit_f64};
 use std::time::Duration;
 
-/// Linear latency + bandwidth network cost model.
+/// Conventional endpoint id for the coordinator in
+/// [`NetworkModel::partitioned`] queries (sites use their partition index).
+pub const COORDINATOR: u16 = u16::MAX;
+
+/// Linear latency + bandwidth network cost model, with optional seeded
+/// jitter and a link-down mask for partition faults.
 #[derive(Clone, Copy, Debug)]
 pub struct NetworkModel {
     /// Fixed cost per message (MPI send/recv pair).
     pub latency: Duration,
     /// Payload throughput in bytes per second.
     pub bandwidth: f64,
+    /// Maximum extra delay per message; each message draws uniformly from
+    /// `[0, jitter]` out of a seeded stream. `ZERO` (the default) keeps
+    /// [`NetworkModel::transfer_time`] exact.
+    pub jitter: Duration,
+    /// Bitmask of sites on the far side of a network partition: bit `s`
+    /// set means the link between site `s` and the rest of the cluster is
+    /// down. Supports site indices below 64; `0` (the default) means a
+    /// fully connected network.
+    pub down_mask: u64,
 }
 
 impl Default for NetworkModel {
@@ -23,6 +46,8 @@ impl Default for NetworkModel {
             // 100 µs per message, 1 Gbit/s ≈ 125 MB/s.
             latency: Duration::from_micros(100),
             bandwidth: 125e6,
+            jitter: Duration::ZERO,
+            down_mask: 0,
         }
     }
 }
@@ -33,15 +58,39 @@ impl NetworkModel {
         NetworkModel {
             latency: Duration::ZERO,
             bandwidth: f64::INFINITY,
+            jitter: Duration::ZERO,
+            down_mask: 0,
         }
+    }
+
+    /// Marks each site in `sites` as cut off (sets its `down_mask` bit).
+    /// Sites ≥ 64 are ignored — the mask cannot represent them, and the
+    /// simulated clusters stay far below that.
+    pub fn with_links_down(mut self, sites: &[u16]) -> Self {
+        for &s in sites {
+            if s < 64 {
+                self.down_mask |= 1u64 << s;
+            }
+        }
+        self
+    }
+
+    /// True if a network partition currently separates endpoints `a` and
+    /// `b` (either of which may be [`COORDINATOR`]). Two endpoints are
+    /// partitioned iff exactly one of them sits behind the down mask;
+    /// endpoints ≥ 64 (including the coordinator) are on the near side.
+    pub fn partitioned(&self, a: u16, b: u16) -> bool {
+        let side = |e: u16| e < 64 && (self.down_mask >> e) & 1 == 1;
+        side(a) != side(b)
     }
 
     /// Simulated time to ship `bytes` of payload in `messages` messages.
     ///
-    /// Saturating throughout: byte counts near `u64::MAX`, huge message
-    /// counts, and degenerate bandwidths (zero, negative, NaN, infinite —
-    /// all treated as "free wire") clamp to `Duration::MAX` / zero rather
-    /// than truncating or panicking.
+    /// Saturating throughout: the latency product is computed in `u128`
+    /// nanoseconds and clamped to [`Duration::MAX`], so byte counts near
+    /// `u64::MAX`, message counts beyond `u32::MAX`, and degenerate
+    /// bandwidths (zero, negative, NaN, infinite — all treated as "free
+    /// wire") clamp rather than truncating or panicking.
     pub fn transfer_time(&self, bytes: u64, messages: u64) -> Duration {
         let wire = if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
             let secs = bytes as f64 / self.bandwidth;
@@ -53,11 +102,34 @@ impl NetworkModel {
         } else {
             Duration::ZERO
         };
-        let latency = self
-            .latency
-            .checked_mul(u32::try_from(messages).unwrap_or(u32::MAX))
-            .unwrap_or(Duration::MAX);
+        let latency = saturating_mul_nanos(self.latency, messages);
         latency.saturating_add(wire)
+    }
+
+    /// [`NetworkModel::transfer_time`] plus seeded per-message jitter.
+    ///
+    /// Each message draws an extra delay uniformly from `[0, jitter]`;
+    /// the draws come from a SplitMix stream over `(seed, message index)`,
+    /// so the same seed always charges the same total. Message counts
+    /// beyond 1024 charge the stream's expected value (`jitter/2` each)
+    /// for the remainder instead of iterating — the tail of a
+    /// million-message transfer does not need per-message resolution.
+    pub fn transfer_time_seeded(&self, bytes: u64, messages: u64, seed: u64) -> Duration {
+        let base = self.transfer_time(bytes, messages);
+        if self.jitter.is_zero() || messages == 0 {
+            return base;
+        }
+        let sampled = messages.min(1024);
+        let mut extra = Duration::ZERO;
+        for i in 0..sampled {
+            let u = unit_f64(splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9)));
+            extra = extra.saturating_add(self.jitter.mul_f64(u));
+        }
+        let tail = messages - sampled;
+        if tail > 0 {
+            extra = extra.saturating_add(saturating_mul_nanos(self.jitter, tail) / 2);
+        }
+        base.saturating_add(extra)
     }
 
     /// Bytes to ship a binding table: 8 bytes per value plus a small row
@@ -65,6 +137,21 @@ impl NetworkModel {
     pub fn binding_bytes(rows: usize, width: usize) -> u64 {
         (rows as u64) * (8 * width as u64 + 4)
     }
+}
+
+/// `d * n` computed in `u128` nanoseconds, saturating to
+/// [`Duration::MAX`] — no silent clamp of `n` to `u32`.
+fn saturating_mul_nanos(d: Duration, n: u64) -> Duration {
+    let Some(nanos) = d.as_nanos().checked_mul(u128::from(n)) else {
+        return Duration::MAX;
+    };
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    let secs = nanos / NANOS_PER_SEC;
+    let Ok(secs) = u64::try_from(secs) else {
+        return Duration::MAX;
+    };
+    let rem = u32::try_from(nanos % NANOS_PER_SEC).unwrap_or(0); // < 1e9, always fits
+    Duration::new(secs, rem)
 }
 
 #[cfg(test)]
@@ -82,6 +169,7 @@ mod tests {
         let n = NetworkModel {
             latency: Duration::from_millis(1),
             bandwidth: f64::INFINITY,
+            ..NetworkModel::free()
         };
         assert_eq!(n.transfer_time(0, 5), Duration::from_millis(5));
     }
@@ -91,6 +179,7 @@ mod tests {
         let n = NetworkModel {
             latency: Duration::ZERO,
             bandwidth: 1e6,
+            ..NetworkModel::free()
         };
         assert_eq!(n.transfer_time(500_000, 1), Duration::from_millis(500));
     }
@@ -101,22 +190,44 @@ mod tests {
     }
 
     #[test]
+    fn default_and_free_have_no_jitter_or_partitions() {
+        // The chaos fields must not perturb the stock models: seeded
+        // transfer time is byte-identical to the plain one, and no pair
+        // of endpoints is partitioned.
+        for n in [NetworkModel::default(), NetworkModel::free()] {
+            assert_eq!(n.jitter, Duration::ZERO);
+            assert_eq!(n.down_mask, 0);
+            for seed in [0u64, 7, u64::MAX] {
+                assert_eq!(
+                    n.transfer_time_seeded(123_456, 17, seed),
+                    n.transfer_time(123_456, 17)
+                );
+            }
+            assert!(!n.partitioned(0, 1));
+            assert!(!n.partitioned(COORDINATOR, 63));
+        }
+    }
+
+    #[test]
     fn zero_bandwidth_charges_no_wire_time() {
         // Zero (and negative / NaN) bandwidth means "unmodeled wire":
         // only latency is charged, instead of dividing by zero.
         let n = NetworkModel {
             latency: Duration::from_millis(2),
             bandwidth: 0.0,
+            ..NetworkModel::free()
         };
         assert_eq!(n.transfer_time(1 << 40, 3), Duration::from_millis(6));
         let neg = NetworkModel {
             latency: Duration::ZERO,
             bandwidth: -5.0,
+            ..NetworkModel::free()
         };
         assert_eq!(neg.transfer_time(1 << 40, 0), Duration::ZERO);
         let nan = NetworkModel {
             latency: Duration::ZERO,
             bandwidth: f64::NAN,
+            ..NetworkModel::free()
         };
         assert_eq!(nan.transfer_time(123, 0), Duration::ZERO);
     }
@@ -126,6 +237,7 @@ mod tests {
         let n = NetworkModel {
             latency: Duration::from_secs(1),
             bandwidth: 1e6,
+            ..NetworkModel::free()
         };
         assert_eq!(n.transfer_time(1_000_000, 0), Duration::from_secs(1));
     }
@@ -135,26 +247,77 @@ mod tests {
         let n = NetworkModel {
             latency: Duration::from_micros(100),
             bandwidth: 1.0, // one byte per second: u64::MAX bytes ≈ 5.8e11 years
+            ..NetworkModel::free()
         };
         let t = n.transfer_time(u64::MAX, 1);
         assert!(t >= Duration::from_secs(u64::MAX / 2), "clamped, not wrapped: {t:?}");
     }
 
     #[test]
-    fn message_counts_beyond_u32_saturate_instead_of_truncating() {
+    fn message_counts_beyond_u32_scale_exactly() {
+        // The old code clamped `messages` to u32::MAX, silently flattening
+        // larger counts; the u128 product keeps scaling linearly.
         let n = NetworkModel {
             latency: Duration::from_nanos(1),
             bandwidth: f64::INFINITY,
+            ..NetworkModel::free()
         };
-        // The old `messages as u32` truncated u32::MAX + 1 to zero.
-        let just_over = n.transfer_time(0, u64::from(u32::MAX) + 1);
-        assert!(just_over >= n.transfer_time(0, u64::from(u32::MAX)));
+        let m = u64::from(u32::MAX) + 7;
+        assert_eq!(n.transfer_time(0, m), Duration::from_nanos(m));
+        assert!(n.transfer_time(0, m) > n.transfer_time(0, u64::from(u32::MAX)));
         // Latency * huge message count clamps to Duration::MAX.
         let big = NetworkModel {
             latency: Duration::from_secs(1 << 40),
             bandwidth: f64::INFINITY,
+            ..NetworkModel::free()
         };
         assert_eq!(big.transfer_time(0, u64::MAX), Duration::MAX);
+        // Near the edge but representable: secs = 2^32 * (2^32+something)
+        // nanoseconds stays below Duration::MAX and must not clamp.
+        let mid = NetworkModel {
+            latency: Duration::from_secs(1),
+            bandwidth: f64::INFINITY,
+            ..NetworkModel::free()
+        };
+        assert_eq!(mid.transfer_time(0, 1 << 40), Duration::from_secs(1 << 40));
+    }
+
+    #[test]
+    fn jitter_is_bounded_deterministic_and_additive() {
+        let n = NetworkModel {
+            latency: Duration::from_millis(1),
+            bandwidth: f64::INFINITY,
+            jitter: Duration::from_millis(2),
+            ..NetworkModel::free()
+        };
+        let base = n.transfer_time(0, 10);
+        let jittered = n.transfer_time_seeded(0, 10, 99);
+        assert!(jittered >= base);
+        assert!(jittered <= base + Duration::from_millis(2 * 10));
+        assert_eq!(jittered, n.transfer_time_seeded(0, 10, 99), "seeded ⇒ reproducible");
+        assert_ne!(
+            n.transfer_time_seeded(0, 10, 1),
+            n.transfer_time_seeded(0, 10, 2),
+            "different seeds spread"
+        );
+        // Huge message counts finish without iterating per message.
+        let many = n.transfer_time_seeded(0, 1 << 40, 5);
+        assert!(many >= n.transfer_time(0, 1 << 40));
+    }
+
+    #[test]
+    fn link_down_mask_partitions_pairs() {
+        let n = NetworkModel::free().with_links_down(&[2, 5]);
+        assert!(n.partitioned(COORDINATOR, 2));
+        assert!(n.partitioned(0, 2));
+        assert!(n.partitioned(5, 1));
+        assert!(!n.partitioned(2, 5), "both behind the same partition");
+        assert!(!n.partitioned(0, 1));
+        assert!(!n.partitioned(COORDINATOR, 0));
+        // Sites ≥ 64 cannot be masked and never read the mask.
+        let big = NetworkModel::free().with_links_down(&[64, 100]);
+        assert_eq!(big.down_mask, 0);
+        assert!(!big.partitioned(64, 0));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Retry policy: per-request deadlines, bounded retries with exponential
+//! backoff + seeded jitter, and the simulated clock the penalties are
+//! charged to.
+//!
+//! Nothing here sleeps. A real coordinator would block on a socket or a
+//! timer; this simulation charges those waits to a [`SimClock`] instead,
+//! the same way [`crate::NetworkModel`] charges wire time — so a chaos
+//! run finishes in milliseconds of real time while reporting seconds of
+//! simulated penalty, and every charged duration is a deterministic
+//! function of the fault plan and seed.
+
+use crate::fault::{splitmix64, unit_f64};
+use std::time::Duration;
+
+/// How the coordinator retries failed site requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-attempts per host after the first try (0 = fail over at once).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^n`, capped below.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff wait.
+    pub max_backoff: Duration,
+    /// Extra uniform jitter in `[0, jitter * backoff)` added to each wait
+    /// to de-synchronize retry storms. Sampled from the seeded stream, so
+    /// the total is still deterministic.
+    pub jitter: f64,
+    /// Per-request deadline; a stalled site charges exactly this long.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.2,
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The simulated wait before retry number `attempt` (0-based), with
+    /// jitter drawn deterministically from `stream` (a per-attempt hash).
+    pub fn backoff(&self, attempt: u32, stream: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let u = unit_f64(splitmix64(stream ^ 0xBACC_0FF5));
+        let extra = exp.mul_f64(self.jitter * u);
+        (exp + extra).min(self.max_backoff)
+    }
+}
+
+/// A simulated clock: an accumulator for charged (not slept) time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock(Duration);
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        SimClock(Duration::ZERO)
+    }
+
+    /// Charges `d` to the clock (saturating).
+    pub fn charge(&mut self, d: Duration) {
+        self.0 = self.0.saturating_add(d);
+    }
+
+    /// Total simulated time charged so far.
+    pub fn elapsed(&self) -> Duration {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_jitter() -> RetryPolicy {
+        RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_without_jitter() {
+        let p = no_jitter();
+        assert_eq!(p.backoff(0, 1), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, 1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, 1), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let p = no_jitter();
+        assert_eq!(p.backoff(30, 1), p.max_backoff);
+        // Shift overflow (attempt ≥ 32) saturates instead of wrapping.
+        assert_eq!(p.backoff(63, 1), p.max_backoff);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for stream in 0..50u64 {
+            let b = p.backoff(1, stream);
+            let base = Duration::from_millis(20);
+            assert!(b >= base && b <= base.mul_f64(1.5), "{b:?}");
+            assert_eq!(b, p.backoff(1, stream), "same stream, same wait");
+        }
+        // Different streams actually spread out.
+        assert_ne!(p.backoff(1, 1), p.backoff(1, 2));
+    }
+
+    #[test]
+    fn sim_clock_accumulates_and_saturates() {
+        let mut c = SimClock::new();
+        c.charge(Duration::from_secs(1));
+        c.charge(Duration::from_secs(2));
+        assert_eq!(c.elapsed(), Duration::from_secs(3));
+        c.charge(Duration::MAX);
+        assert_eq!(c.elapsed(), Duration::MAX);
+    }
+}

@@ -1,9 +1,11 @@
 //! A site: one machine of the simulated cluster, holding one partition
 //! fragment in an indexed local store.
 
+use crate::fault::{FaultKind, SiteError};
+use crate::wire;
 use mpc_core::Fragment;
 use mpc_rdf::{FxHashSet, PartitionId, VertexId};
-use mpc_sparql::LocalStore;
+use mpc_sparql::{evaluate, Bindings, LocalStore, Query};
 use std::time::{Duration, Instant};
 
 /// One cluster site hosting a partition fragment.
@@ -15,6 +17,19 @@ pub struct Site {
     pub store: LocalStore,
     /// The replicated foreign endpoints `V_i^e`.
     pub extended: FxHashSet<VertexId>,
+}
+
+/// A successful site response: the evaluated tables after the wire
+/// round-trip, plus the (simulated) evaluation time and payload size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteResponse {
+    /// One decoded binding table per requested query.
+    pub tables: Vec<Bindings>,
+    /// Local evaluation time; scaled by the plan's `slow_factor` when a
+    /// straggler fault was injected.
+    pub eval_time: Duration,
+    /// Total wire bytes of the shipped tables.
+    pub bytes: u64,
 }
 
 impl Site {
@@ -38,6 +53,71 @@ impl Site {
     pub fn triple_count(&self) -> usize {
         self.store.len()
     }
+
+    /// Serves one coordinator request, honoring an injected fault.
+    ///
+    /// On the happy path every result table takes the real wire
+    /// round-trip — [`wire::encode_bindings`] then
+    /// [`wire::decode_bindings`] — so what the coordinator consumes is
+    /// exactly what survived the codec's validation. Faults map to the
+    /// [`SiteError`] taxonomy:
+    ///
+    /// * `Crash` / `Overload` → refused before evaluation,
+    /// * `Stall` → [`SiteError::Timeout`] after `deadline` (the
+    ///   coordinator charges the wait to its simulated clock),
+    /// * `Corrupt` → the site evaluates and encodes normally, the payload
+    ///   loses its last byte in flight, and the decode length check
+    ///   rejects it — corruption is *detected*, never consumed,
+    /// * `Slow` → correct answer, `slow_factor`× the evaluation time.
+    pub fn respond(
+        &self,
+        queries: &[&Query],
+        host: u16,
+        fault: Option<FaultKind>,
+        slow_factor: f64,
+        deadline: Duration,
+    ) -> Result<SiteResponse, SiteError> {
+        match fault {
+            Some(FaultKind::Crash) => return Err(SiteError::Crashed { host }),
+            Some(FaultKind::Overload) => return Err(SiteError::Overloaded { host }),
+            Some(FaultKind::Stall) => return Err(SiteError::Timeout { host, deadline }),
+            Some(FaultKind::Corrupt) | Some(FaultKind::Slow) | None => {}
+        }
+        let t0 = Instant::now();
+        let results: Vec<Bindings> = queries.iter().map(|q| evaluate(q, &self.store)).collect();
+        let mut eval_time = t0.elapsed();
+        if fault == Some(FaultKind::Slow) && slow_factor > 1.0 {
+            eval_time = eval_time.mul_f64(slow_factor);
+        }
+        let mut tables = Vec::with_capacity(results.len());
+        let mut bytes = 0u64;
+        for (i, table) in results.into_iter().enumerate() {
+            let encoded = match wire::encode_bindings(&table) {
+                Ok(b) => b,
+                // An unframeable table cannot cross the wire coherently.
+                Err(_) => return Err(SiteError::CorruptPayload { host }),
+            };
+            let corrupt_this = fault == Some(FaultKind::Corrupt) && i + 1 == queries.len();
+            let payload = if corrupt_this {
+                // Damaged in flight: drop the trailing byte. The decoder's
+                // length check catches this for every table shape (see
+                // wire::tests::one_byte_truncation_is_always_detected).
+                encoded.slice(0..encoded.len().saturating_sub(1))
+            } else {
+                encoded
+            };
+            bytes += payload.len() as u64;
+            match wire::decode_bindings(payload) {
+                Ok(decoded) => tables.push(decoded),
+                Err(_) => return Err(SiteError::CorruptPayload { host }),
+            }
+        }
+        Ok(SiteResponse {
+            tables,
+            eval_time,
+            bytes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -45,18 +125,40 @@ mod tests {
     use super::*;
     use mpc_core::{Partitioner, SubjectHashPartitioner};
     use mpc_rdf::{PropertyId, RdfGraph, Triple};
+    use mpc_sparql::{QLabel, QNode, TriplePattern};
 
     fn t(s: u32, p: u32, o: u32) -> Triple {
         Triple::new(VertexId(s), PropertyId(p), VertexId(o))
     }
 
-    #[test]
-    fn loads_fragments() {
-        let g = RdfGraph::from_raw(
+    fn graph() -> RdfGraph {
+        RdfGraph::from_raw(
             6,
             2,
             vec![t(0, 0, 1), t(1, 0, 2), t(3, 1, 4), t(2, 1, 3)],
-        );
+        )
+    }
+
+    fn one_site() -> Site {
+        let g = graph();
+        let part = SubjectHashPartitioner::new(1).partition(&g);
+        Site::load(part.fragments(&g).remove(0)).0
+    }
+
+    fn query() -> Query {
+        Query::new(
+            vec![TriplePattern::new(
+                QNode::Var(0),
+                QLabel::Prop(PropertyId(0)),
+                QNode::Var(1),
+            )],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn loads_fragments() {
+        let g = graph();
         let part = SubjectHashPartitioner::new(2).partition(&g);
         let frags = part.fragments(&g);
         let total_internal: usize = frags
@@ -69,5 +171,49 @@ mod tests {
             })
             .sum();
         assert_eq!(total_internal, g.triple_count() + part.crossing_edge_count());
+    }
+
+    #[test]
+    fn respond_round_trips_through_the_wire() {
+        let site = one_site();
+        let q = query();
+        let resp = site
+            .respond(&[&q], 0, None, 1.0, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(resp.tables.len(), 1);
+        assert_eq!(resp.tables[0], evaluate(&q, &site.store));
+        assert_eq!(
+            resp.bytes,
+            wire::encoded_len(resp.tables[0].len(), resp.tables[0].vars.len())
+        );
+    }
+
+    #[test]
+    fn respond_maps_faults_to_the_error_taxonomy() {
+        let site = one_site();
+        let q = query();
+        let deadline = Duration::from_millis(250);
+        let call = |fault| site.respond(&[&q], 3, Some(fault), 2.0, deadline);
+        assert_eq!(call(FaultKind::Crash), Err(SiteError::Crashed { host: 3 }));
+        assert_eq!(call(FaultKind::Overload), Err(SiteError::Overloaded { host: 3 }));
+        assert_eq!(
+            call(FaultKind::Stall),
+            Err(SiteError::Timeout { host: 3, deadline })
+        );
+        assert_eq!(
+            call(FaultKind::Corrupt),
+            Err(SiteError::CorruptPayload { host: 3 }),
+            "a truncated payload must be detected, not consumed"
+        );
+    }
+
+    #[test]
+    fn slow_fault_still_answers_correctly() {
+        let site = one_site();
+        let q = query();
+        let resp = site
+            .respond(&[&q], 0, Some(FaultKind::Slow), 8.0, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(resp.tables[0], evaluate(&q, &site.store));
     }
 }

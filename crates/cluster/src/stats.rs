@@ -5,6 +5,34 @@ use crate::ieq::IeqClass;
 use std::time::Duration;
 use mpc_rdf::narrow;
 
+/// Fault-tolerance counters for one execution (all zero on the
+/// fault-free path).
+///
+/// Every field is a deterministic function of the engine's fault plan,
+/// seed, and query sequence — never of wall-clock time or thread
+/// scheduling — so two runs with the same seed and plan produce
+/// bit-identical `FaultStats` (the reproducibility contract
+/// docs/FAULT_TOLERANCE.md spells out).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Site request attempts issued (first tries + retries, all hosts).
+    pub attempts: u64,
+    /// Re-attempts after a retryable fault (same host).
+    pub retries: u64,
+    /// Hand-offs to a replica host after a host exhausted its retries.
+    pub failovers: u64,
+    /// Faults the injector actually fired (including straggler slowdowns).
+    pub injected: u64,
+    /// Fragments that stayed unreachable after every host and retry.
+    pub failed_fragments: u64,
+    /// True if the returned result is explicitly incomplete.
+    pub degraded: bool,
+    /// Simulated penalty time: backoff waits, expired deadlines, and
+    /// fault-detection latencies, charged to the slowest fragment's
+    /// request chain (fragments recover in parallel).
+    pub penalty: Duration,
+}
+
 /// Timing and volume breakdown of one distributed query execution.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutionStats {
@@ -27,12 +55,19 @@ pub struct ExecutionStats {
     pub comm_time: Duration,
     /// Final result cardinality.
     pub result_rows: usize,
+    /// Retry/failover/degradation counters (zero on the fault-free path).
+    pub faults: FaultStats,
 }
 
 impl ExecutionStats {
-    /// End-to-end response time: QDT + LET + communication + JT.
+    /// End-to-end response time: QDT + LET + communication + JT, plus any
+    /// simulated fault penalty (backoffs and expired deadlines).
     pub fn total(&self) -> Duration {
-        self.decomposition_time + self.local_eval_time + self.comm_time + self.join_time
+        self.decomposition_time
+            + self.local_eval_time
+            + self.comm_time
+            + self.join_time
+            + self.faults.penalty
     }
 }
 
@@ -97,8 +132,18 @@ mod tests {
             comm_bytes: 0,
             comm_time: Duration::from_millis(4),
             result_rows: 0,
+            faults: FaultStats::default(),
         };
         assert_eq!(stats.total(), Duration::from_millis(10));
+        // The simulated fault penalty is part of the response time.
+        let degraded = ExecutionStats {
+            faults: FaultStats {
+                penalty: Duration::from_millis(5),
+                ..FaultStats::default()
+            },
+            ..stats
+        };
+        assert_eq!(degraded.total(), Duration::from_millis(15));
     }
 
     #[test]

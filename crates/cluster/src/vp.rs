@@ -11,7 +11,7 @@
 use crate::decompose::extract_subquery;
 use crate::network::NetworkModel;
 use crate::wire;
-use crate::stats::ExecutionStats;
+use crate::stats::{ExecutionStats, FaultStats};
 use crate::ieq::IeqClass;
 use mpc_core::EdgePartitioning;
 use mpc_rdf::{PartitionId, RdfGraph};
@@ -107,6 +107,7 @@ impl VpEngine {
                 comm_bytes,
                 comm_time,
                 result_rows: result.len(),
+                faults: FaultStats::default(),
             };
             return (result, stats);
         }
@@ -162,6 +163,7 @@ impl VpEngine {
             comm_bytes,
             comm_time,
             result_rows: result.len(),
+            faults: FaultStats::default(),
         };
         (result, stats)
     }

@@ -9,14 +9,76 @@
 //! u32 column_count | u32 row_count | column vars (u32 × cols)
 //! | rows (u32 × cols × rows)
 //! ```
+//!
+//! Both directions are fallible and total: encoding rejects malformed
+//! tables (a row whose length disagrees with the column count) instead of
+//! silently mis-framing them, and decoding validates the header against
+//! the actual byte count — with the size arithmetic done in `u64` — so a
+//! truncated, padded, or header-corrupted buffer is rejected rather than
+//! panicking or decoding to a different table. The chaos layer
+//! (`crates/cluster/src/fault.rs`) relies on this: an injected
+//! [`crate::fault::FaultKind::Corrupt`] truncates a real payload and the
+//! coordinator must *detect* it, never consume it.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mpc_sparql::Bindings;
 use mpc_rdf::narrow;
+use std::fmt;
 
-/// Serializes a binding table.
-pub fn encode_bindings(b: &Bindings) -> Bytes {
+/// Why a buffer or table was rejected by the codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer than the 8 header bytes.
+    MissingHeader,
+    /// Payload length disagrees with the header's `cols`/`rows`.
+    LengthMismatch {
+        /// Bytes the header promises.
+        expected: u64,
+        /// Bytes actually present after the header.
+        actual: u64,
+    },
+    /// A row's length disagrees with the table's column count (encode).
+    RowShape {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The table's column count.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::MissingHeader => write!(f, "payload shorter than the 8-byte header"),
+            WireError::LengthMismatch { expected, actual } => write!(
+                f,
+                "payload length mismatch: header promises {expected} bytes, got {actual}"
+            ),
+            WireError::RowShape { row, len, cols } => write!(
+                f,
+                "row {row} has {len} values in a {cols}-column table"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a binding table; rejects rows whose length disagrees with
+/// the column count (such a table cannot be framed coherently).
+pub fn encode_bindings(b: &Bindings) -> Result<Bytes, WireError> {
     let cols = b.vars.len();
+    for (i, row) in b.rows.iter().enumerate() {
+        if row.len() != cols {
+            return Err(WireError::RowShape {
+                row: i,
+                len: row.len(),
+                cols,
+            });
+        }
+    }
     let mut buf =
         BytesMut::with_capacity(8 + 4 * cols + 4 * cols * b.rows.len());
     buf.put_u32_le(narrow::u32_from(cols));
@@ -25,35 +87,48 @@ pub fn encode_bindings(b: &Bindings) -> Bytes {
         buf.put_u32_le(v);
     }
     for row in &b.rows {
-        debug_assert_eq!(row.len(), cols);
         for &val in row {
             buf.put_u32_le(val);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Deserializes a binding table; `None` on malformed input.
-pub fn decode_bindings(mut data: Bytes) -> Option<Bindings> {
+/// Deserializes a binding table, validating the byte count against the
+/// header (in `u64`, so adversarial `cols`/`rows` cannot overflow the
+/// check on any platform).
+pub fn decode_bindings(mut data: Bytes) -> Result<Bindings, WireError> {
     if data.remaining() < 8 {
-        return None;
+        return Err(WireError::MissingHeader);
     }
     let cols = data.get_u32_le() as usize;
     let rows = data.get_u32_le() as usize;
-    if data.remaining() != 4 * cols + 4 * cols * rows {
-        return None;
+    let expected = payload_len(rows, cols);
+    if data.remaining() as u64 != expected {
+        return Err(WireError::LengthMismatch {
+            expected,
+            actual: data.remaining() as u64,
+        });
     }
     let vars = (0..cols).map(|_| data.get_u32_le()).collect();
     let mut out = Bindings::new(vars);
     for _ in 0..rows {
         out.rows.push((0..cols).map(|_| data.get_u32_le()).collect());
     }
-    Some(out)
+    Ok(out)
+}
+
+/// Bytes after the header: column vars plus row data (saturating).
+fn payload_len(rows: usize, cols: usize) -> u64 {
+    let cols = cols as u64;
+    (4u64.saturating_mul(cols))
+        .saturating_add(4u64.saturating_mul(cols).saturating_mul(rows as u64))
 }
 
 /// Serialized size without materializing the buffer (used for costing).
+/// Saturates at `u64::MAX` instead of wrapping for absurd dimensions.
 pub fn encoded_len(rows: usize, cols: usize) -> u64 {
-    8 + 4 * cols as u64 + 4 * (cols as u64) * rows as u64
+    8u64.saturating_add(payload_len(rows, cols))
 }
 
 #[cfg(test)]
@@ -72,7 +147,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let b = table(&[0, 2, 5], &[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
-        let encoded = encode_bindings(&b);
+        let encoded = encode_bindings(&b).unwrap();
         assert_eq!(encoded.len() as u64, encoded_len(3, 3));
         let decoded = decode_bindings(encoded).unwrap();
         assert_eq!(decoded, b);
@@ -81,35 +156,164 @@ mod tests {
     #[test]
     fn empty_table_round_trip() {
         let b = table(&[7], &[]);
-        let decoded = decode_bindings(encode_bindings(&b)).unwrap();
+        let decoded = decode_bindings(encode_bindings(&b).unwrap()).unwrap();
         assert_eq!(decoded, b);
     }
 
     #[test]
     fn unit_table_round_trip() {
         let b = Bindings::unit();
-        let decoded = decode_bindings(encode_bindings(&b)).unwrap();
+        let decoded = decode_bindings(encode_bindings(&b).unwrap()).unwrap();
         assert_eq!(decoded, b);
     }
 
     #[test]
     fn rejects_truncated_input() {
         let b = table(&[0, 1], &[&[1, 2]]);
-        let encoded = encode_bindings(&b);
+        let encoded = encode_bindings(&b).unwrap();
         let truncated = encoded.slice(0..encoded.len() - 2);
-        assert!(decode_bindings(truncated).is_none());
-        assert!(decode_bindings(Bytes::from_static(&[1, 2, 3])).is_none());
+        assert!(matches!(
+            decode_bindings(truncated),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            decode_bindings(Bytes::from_static(&[1, 2, 3])),
+            Err(WireError::MissingHeader)
+        );
     }
 
     #[test]
-    fn encoded_len_matches() {
+    fn one_byte_truncation_is_always_detected() {
+        // The fault injector corrupts payloads by dropping the last byte;
+        // the length check must catch that for every table shape,
+        // including the 1-column case where dropping a whole word would
+        // masquerade as one fewer row.
+        for (cols, nrows) in [(0usize, 0usize), (1, 1), (1, 4), (2, 3), (3, 1)] {
+            let vars: Vec<u32> = (0..cols as u32).collect();
+            let mut b = Bindings::new(vars);
+            for i in 0..nrows {
+                b.rows.push(vec![i as u32; cols]);
+            }
+            let encoded = encode_bindings(&b).unwrap();
+            let truncated = encoded.slice(0..encoded.len() - 1);
+            assert!(decode_bindings(truncated).is_err(), "cols={cols} rows={nrows}");
+        }
+    }
+
+    #[test]
+    fn rejects_row_length_mismatch() {
+        let mut b = table(&[0, 1], &[&[1, 2]]);
+        b.rows.push(vec![9]); // too short for 2 columns
+        assert_eq!(
+            encode_bindings(&b),
+            Err(WireError::RowShape {
+                row: 1,
+                len: 1,
+                cols: 2
+            })
+        );
+        b.rows[1] = vec![9, 9, 9]; // too long
+        assert!(matches!(encode_bindings(&b), Err(WireError::RowShape { .. })));
+    }
+
+    #[test]
+    fn rejects_adversarial_header_dimensions() {
+        // A header promising u32::MAX × u32::MAX values must be rejected
+        // by arithmetic that cannot overflow, not by an allocation panic.
+        let mut buf = bytes::BytesMut::with_capacity(16);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            decode_bindings(buf.freeze()),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_len_matches_and_saturates() {
         for (rows, cols) in [(0usize, 0usize), (1, 1), (10, 3), (1000, 5)] {
             let vars: Vec<u32> = (0..cols as u32).collect();
             let mut b = Bindings::new(vars);
             for i in 0..rows {
                 b.push(vec![i as u32; cols]);
             }
-            assert_eq!(encode_bindings(&b).len() as u64, encoded_len(rows, cols));
+            assert_eq!(
+                encode_bindings(&b).unwrap().len() as u64,
+                encoded_len(rows, cols)
+            );
+        }
+        assert_eq!(encoded_len(usize::MAX, usize::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn wire_error_displays() {
+        assert!(WireError::MissingHeader.to_string().contains("header"));
+        let e = WireError::LengthMismatch {
+            expected: 10,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bindings_strategy() -> impl Strategy<Value = Bindings> {
+        (0usize..6, 0usize..20).prop_flat_map(|(cols, nrows)| {
+            let vars = proptest::collection::vec(any::<u32>(), cols..=cols);
+            let rows = proptest::collection::vec(
+                proptest::collection::vec(any::<u32>(), cols..=cols),
+                nrows..=nrows,
+            );
+            (vars, rows).prop_map(|(vars, rows)| {
+                let mut b = Bindings::new(vars);
+                b.rows = rows;
+                b
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// encode → decode is the identity for every well-formed table.
+        #[test]
+        fn round_trip_is_identity(b in bindings_strategy()) {
+            let encoded = encode_bindings(&b).unwrap();
+            prop_assert_eq!(encoded.len() as u64, encoded_len(b.rows.len(), b.vars.len()));
+            let decoded = decode_bindings(encoded).unwrap();
+            prop_assert_eq!(decoded, b);
+        }
+
+        /// Decoding arbitrary bytes never panics: it either produces a
+        /// table whose re-encoding is the input, or an error.
+        #[test]
+        fn decode_of_arbitrary_bytes_never_panics(
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let bytes = Bytes::from(data.clone());
+            // A decode error is fine; success must re-encode to the input.
+            if let Ok(table) = decode_bindings(bytes) {
+                let re = encode_bindings(&table).unwrap();
+                prop_assert_eq!(re.as_ref(), &data[..], "decode/encode disagree");
+            }
+        }
+
+        /// Any strict prefix of a valid encoding is rejected (the chaos
+        /// layer's truncation corruption is always detected).
+        #[test]
+        fn malformed_prefix_is_rejected(b in bindings_strategy(), cut in 1usize..64) {
+            let encoded = encode_bindings(&b).unwrap();
+            prop_assume!(!encoded.is_empty());
+            let cut = cut.min(encoded.len());
+            let truncated = encoded.slice(0..encoded.len() - cut);
+            prop_assert!(decode_bindings(truncated).is_err());
         }
     }
 }

@@ -33,7 +33,7 @@ fn query_results_survive_wire_round_trip() {
     let store = LocalStore::from_graph(&d.graph);
     for nq in d.benchmark_queries() {
         let result = evaluate(&nq.query, &store);
-        let bytes = encode_bindings(&result);
+        let bytes = encode_bindings(&result).expect("well-shaped rows");
         let decoded = decode_bindings(bytes).expect("well-formed payload");
         assert_eq!(decoded, result, "{}", nq.name);
     }
