@@ -6,8 +6,11 @@ set -eu
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (MPC_THREADS=1)"
+MPC_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q (MPC_THREADS=4)"
+MPC_THREADS=4 cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -24,6 +27,25 @@ MPC=./target/release/mpc
     --method mpc --k 4 --verify
 "$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/hash.parts" \
     --method hash --k 4 --verify
+
+echo "==> parallel determinism smoke (bit-identical output across thread counts, docs/PARALLELISM.md)"
+MPC_THREADS=1 "$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/t1.parts" \
+    --method mpc --k 4
+MPC_THREADS=4 "$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/t4.parts" \
+    --method mpc --k 4
+cmp "$CI_TMP/t1.parts" "$CI_TMP/t4.parts"
+echo 'SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 50' > "$CI_TMP/qpar.rq"
+par_query() {
+    "$MPC" query --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+        --query "$CI_TMP/qpar.rq" --threads "$1"
+}
+par_query 1 > "$CI_TMP/par.1"
+par_query 4 > "$CI_TMP/par.4"
+# The trailing stats line carries wall-clock timings; everything above it
+# (the bindings) must match byte for byte.
+grep -v 'QDT=' "$CI_TMP/par.1" > "$CI_TMP/par.1.rows"
+grep -v 'QDT=' "$CI_TMP/par.4" > "$CI_TMP/par.4.rows"
+cmp "$CI_TMP/par.1.rows" "$CI_TMP/par.4.rows"
 
 echo "==> chaos smoke (deterministic fault-injection report, docs/FAULT_TOLERANCE.md)"
 echo 'SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5' > "$CI_TMP/q.rq"

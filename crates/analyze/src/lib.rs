@@ -16,6 +16,9 @@
 //!   has an untraced counterpart in the same crate.
 //! * [`rules::RULE_OBS_DOC`] — span/counter names used in code and the
 //!   reference tables in `docs/OBSERVABILITY.md` stay in sync, both ways.
+//! * [`rules::RULE_DEPRECATED_EXEC`] — no calls to the deprecated
+//!   `DistributedEngine::execute*` shims outside `mpc-cluster`; execution
+//!   goes through the unified `run(query, &ExecRequest)` entry point.
 //!
 //! Any finding can be suppressed in place with a justified
 //! `// mpc-allow: <rule> <justification>` comment on the offending line or
@@ -56,6 +59,7 @@ pub fn lint_files(files: &[SourceFile], obs_doc: Option<(&str, &str)>) -> Vec<Fi
         rules::check_narrowing_casts(f, &mut out);
         rules::check_unwrap_expect(f, &mut out);
         rules::check_crate_root(f, &mut out);
+        rules::check_deprecated_exec(f, &mut out);
         rules::check_allow_directives(f, &mut out);
     }
     rules::check_traced_counterparts(files, &mut out);

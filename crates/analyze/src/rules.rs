@@ -18,6 +18,8 @@ pub const RULE_TRACED_COUNTERPART: &str = "traced-counterpart";
 pub const RULE_OBS_DOC: &str = "obs-doc";
 /// Rule identifier: malformed `mpc-allow` directives.
 pub const RULE_MPC_ALLOW: &str = "mpc-allow";
+/// Rule identifier: deprecated `execute*` shims outside `mpc-cluster`.
+pub const RULE_DEPRECATED_EXEC: &str = "deprecated-exec";
 
 /// All rule identifiers a directive may name.
 pub const ALL_RULES: &[&str] = &[
@@ -27,6 +29,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_TRACED_COUNTERPART,
     RULE_OBS_DOC,
     RULE_MPC_ALLOW,
+    RULE_DEPRECATED_EXEC,
 ];
 
 /// Integer types a cast *into* is considered narrowing. The workspace
@@ -112,6 +115,56 @@ pub fn check_unwrap_expect(f: &SourceFile, out: &mut Vec<Finding>) {
             message: format!(
                 ".{}() in library code panics the caller; return a Result or add \
                  `// mpc-allow: unwrap-expect <why it cannot fail>`",
+                name.text
+            ),
+        });
+    }
+}
+
+/// The deprecated [`DistributedEngine`] shims that the unified
+/// `run(query, &ExecRequest)` entry point replaced. Bare `.execute(` is
+/// deliberately absent: other engines (e.g. `VpEngine`) legitimately
+/// expose an `execute` method.
+const DEPRECATED_EXEC_METHODS: &[&str] = &[
+    "execute_mode",
+    "execute_traced",
+    "execute_fault_tolerant",
+    "execute_fault_tolerant_traced",
+];
+
+/// Flags calls to the deprecated `DistributedEngine::execute*` shims in
+/// non-test code outside `mpc-cluster` itself. New call sites must go
+/// through `run(query, &ExecRequest)` — one entry point, every knob —
+/// so execution options never fork into method-name combinatorics again.
+/// The shims stay only for downstream source compatibility.
+pub fn check_deprecated_exec(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.crate_name == "cluster" || f.kind == FileKind::Test {
+        return;
+    }
+    let t = &f.lexed.tokens;
+    for i in 0..t.len().saturating_sub(2) {
+        if !t[i].is_punct('.') {
+            continue;
+        }
+        let name = &t[i + 1];
+        if name.kind != TokenKind::Ident
+            || !DEPRECATED_EXEC_METHODS.contains(&name.text.as_str())
+            || !t[i + 2].is_punct('(')
+        {
+            continue;
+        }
+        let line = name.line;
+        if f.in_test_code(line) || f.is_allowed(RULE_DEPRECATED_EXEC, line) {
+            continue;
+        }
+        out.push(Finding {
+            path: f.path.clone(),
+            line,
+            rule: RULE_DEPRECATED_EXEC,
+            message: format!(
+                "`.{}()` is a deprecated execution shim; build an `ExecRequest` and \
+                 call `DistributedEngine::run`, or add \
+                 `// mpc-allow: deprecated-exec <why the shim is needed>`",
                 name.text
             ),
         });
@@ -446,6 +499,32 @@ mod tests {
         out.clear();
         check_unwrap_expect(&lib_file("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n"), &mut out);
         assert!(out.is_empty(), "unwrap_or is not unwrap");
+    }
+
+    #[test]
+    fn deprecated_exec_flagged_outside_cluster_only() {
+        let src = "fn f(e: &E, q: &Q) { e.execute_mode(q, m); e.execute(q); }\n";
+        let mut out = Vec::new();
+        check_deprecated_exec(&lib_file(src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, RULE_DEPRECATED_EXEC);
+        assert!(out[0].message.contains("execute_mode"));
+
+        out.clear();
+        let in_cluster =
+            SourceFile::parse("crates/cluster/src/a.rs", "cluster", FileKind::Lib, false, src);
+        check_deprecated_exec(&in_cluster, &mut out);
+        assert!(out.is_empty(), "the shims' home crate may call them");
+
+        out.clear();
+        check_deprecated_exec(
+            &lib_file(
+                "fn f(e: &E, q: &Q) { e.execute_fault_tolerant(q) } \
+                 // mpc-allow: deprecated-exec migration pending\n",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "mpc-allow suppresses the finding");
     }
 
     #[test]

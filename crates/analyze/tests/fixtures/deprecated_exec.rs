@@ -1,0 +1,11 @@
+//! Fixture: trips only the deprecated-exec rule.
+
+fn go(engine: &Engine, q: &Query) -> u64 {
+    // A legitimate non-shim method with a similar name is not flagged…
+    let _ = engine.execute(q);
+    // …an allowed shim call is not flagged…
+    // mpc-allow: deprecated-exec exercising the legacy surface on purpose
+    let _ = engine.execute_traced(q, mode, rec);
+    // …but a bare shim call is.
+    engine.execute_mode(q, mode).1
+}

@@ -7,8 +7,8 @@
 use std::path::{Path, PathBuf};
 
 use mpc_analyze::rules::{
-    RULE_CRATE_ROOT, RULE_MPC_ALLOW, RULE_NARROWING_CAST, RULE_OBS_DOC, RULE_TRACED_COUNTERPART,
-    RULE_UNWRAP_EXPECT,
+    RULE_CRATE_ROOT, RULE_DEPRECATED_EXEC, RULE_MPC_ALLOW, RULE_NARROWING_CAST, RULE_OBS_DOC,
+    RULE_TRACED_COUNTERPART, RULE_UNWRAP_EXPECT,
 };
 use mpc_analyze::{lint_files, lint_workspace, render_report, FileKind, SourceFile};
 
@@ -65,6 +65,17 @@ fn traced_counterpart_fixture_trips_only_that_rule() {
     assert_single(
         &lint_fixture("traced_counterpart.rs", false),
         RULE_TRACED_COUNTERPART,
+    );
+}
+
+#[test]
+fn deprecated_exec_fixture_trips_only_that_rule() {
+    let findings = lint_fixture("deprecated_exec.rs", false);
+    assert_single(&findings, RULE_DEPRECATED_EXEC);
+    assert!(
+        findings[0].message.contains("execute_mode"),
+        "finding should name the shim:\n{}",
+        render_report(&findings)
     );
 }
 

@@ -70,12 +70,13 @@ fn selection_graph() -> mpc_rdf::RdfGraph {
 fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection");
     let graph = selection_graph();
-    let cfg = |strategy, prune| SelectConfig {
-        k: 8,
-        epsilon: 0.1,
-        strategy,
-        prune_oversized: prune,
-        reverse_threshold: usize::MAX,
+    let cfg = |strategy, prune| {
+        SelectConfig::new()
+            .with_k(8)
+            .with_epsilon(0.1)
+            .with_strategy(strategy)
+            .with_prune_oversized(prune)
+            .with_reverse_threshold(usize::MAX)
     };
     group.bench_function("forward_greedy", |b| {
         b.iter(|| black_box(forward_greedy(&graph, &cfg(SelectStrategy::ForwardGreedy, true))))

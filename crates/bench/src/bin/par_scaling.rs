@@ -1,0 +1,4 @@
+//! Parallel scaling at 1 vs 4 threads. See `mpc_bench::experiments::par_scaling`.
+fn main() {
+    mpc_bench::experiments::par_scaling::run();
+}

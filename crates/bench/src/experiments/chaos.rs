@@ -13,7 +13,7 @@
 use crate::datasets::lubm_bundle;
 use crate::harness::{partition_with, Method};
 use crate::report::{emit, fresh, pct, write_json, Table};
-use mpc_cluster::{DistributedEngine, ExecMode, FaultPlan, NetworkModel, RetryPolicy};
+use mpc_cluster::{DistributedEngine, ExecRequest, FaultPlan, NetworkModel, RetryPolicy};
 use mpc_obs::Json;
 
 /// Per-attempt rate for each fault kind (the total fault probability per
@@ -53,11 +53,16 @@ pub fn run() {
         let mut failed = 0u64;
         let mut penalty = std::time::Duration::ZERO;
         let queries = bundle.benchmark_queries.len();
+        // `FaultSpec::Inherit` (the default) picks up the armed layer, so
+        // `query_seq` still advances across the workload like the real
+        // cluster's would.
+        let req = ExecRequest::new();
         for nq in &bundle.benchmark_queries {
             let (partial, stats) = engine
-                .execute_fault_tolerant(&nq.query, ExecMode::CrossingAware)
+                .run(&nq.query, &req)
                 // mpc-allow: unwrap-expect graceful degradation turns every fragment failure into a partial result, never an Err
-                .expect("graceful mode never errors");
+                .expect("graceful mode never errors")
+                .into_parts();
             if partial.complete {
                 complete += 1;
             }

@@ -15,7 +15,7 @@
 //! completeness. See EXPERIMENTS.md for the discussion.
 
 use crate::datasets::{lubm_bundle, yago2_bundle, DatasetBundle};
-use crate::harness::{build_engines, partition_with, total_ms, Method};
+use crate::harness::{build_engines, exec, partition_with, total_ms, Method};
 use crate::report::{emit, fresh, ms, Table};
 use mpc_cluster::{partial_evaluate, ExecMode, NetworkModel, Site};
 
@@ -46,7 +46,7 @@ fn planning_table(
         let mut subq = Vec::new();
         for method in Method::ALL {
             let engine = set.engine(method);
-            let (_, stats) = engine.execute_mode(&nq.query, ExecMode::CrossingAware);
+            let (_, stats) = exec(engine, ExecMode::CrossingAware, &nq.query);
             cells.push(format!("{:.2}", total_ms(&stats)));
             if method != Method::Metis {
                 subq.push(stats.subqueries.to_string());

@@ -3,7 +3,7 @@
 //! paper's subplot pairs.
 
 use crate::datasets::{bio2rdf_bundle, lubm_bundle, yago2_bundle, DatasetBundle};
-use crate::harness::{build_engines, total_ms, Method};
+use crate::harness::{build_engines, run as run_query, total_ms, Method};
 use crate::report::{emit, fresh, Table};
 
 fn compare_table(bundle: DatasetBundle) -> (String, Table) {
@@ -24,7 +24,7 @@ fn compare_table(bundle: DatasetBundle) -> (String, Table) {
         let mut mpc_ieq = false;
         for method in Method::ALL {
             let engine = set.engine(method);
-            let (_, stats) = engine.execute_mode(&nq.query, method.native_mode());
+            let stats = run_query(engine, method, &nq.query);
             if method == Method::Mpc {
                 mpc_ieq = stats.independent;
             }

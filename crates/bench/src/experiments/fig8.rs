@@ -2,7 +2,7 @@
 //! response times over sampled query logs, per partitioning method.
 
 use crate::datasets::{dbpedia_bundle, lgd_bundle, watdiv_bundle, DatasetBundle};
-use crate::harness::{build_engines, total_ms, Method};
+use crate::harness::{build_engines, run as run_query, total_ms, Method};
 use crate::report::{emit, fresh, Table};
 use mpc_cluster::FiveNumber;
 
@@ -18,7 +18,7 @@ fn summary_table(bundle: DatasetBundle) -> (String, Table) {
         let mut times = Vec::with_capacity(log.len());
         let mut ieqs = 0usize;
         for q in log {
-            let (_, stats) = engine.execute_mode(q, method.native_mode());
+            let stats = run_query(engine, method, q);
             if stats.independent {
                 ieqs += 1;
             }

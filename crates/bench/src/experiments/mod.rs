@@ -4,6 +4,7 @@
 pub mod chaos;
 pub mod fig11;
 pub mod khop;
+pub mod par_scaling;
 pub mod semijoin;
 pub mod fig7;
 pub mod fig8;

@@ -4,9 +4,9 @@
 //! (partition + load) and online (query response) series.
 
 use crate::datasets::{lubm_at, scale_factor, watdiv_at};
-use crate::harness::{build_engines, partition_with, total_ms, Method};
+use crate::harness::{build_engines, exec, partition_with, total_ms, Method};
 use crate::report::{emit, fresh, secs, Table};
-use mpc_cluster::{DistributedEngine, NetworkModel};
+use mpc_cluster::{DistributedEngine, ExecMode, NetworkModel};
 use mpc_rdf::narrow;
 
 /// Regenerates Figs. 9 and 10.
@@ -46,7 +46,7 @@ pub fn run() {
         let times: Vec<f64> = bundle
             .benchmark_queries
             .iter()
-            .map(|nq| total_ms(&engine.execute(&nq.query).1))
+            .map(|nq| total_ms(&exec(&engine, ExecMode::CrossingAware, &nq.query).1))
             .collect();
         online.row(vec![
             "LUBM".into(),
@@ -74,7 +74,7 @@ pub fn run() {
         let engine = set.engine(Method::Mpc);
         let times: Vec<f64> = set.bundle.query_log[..nq]
             .iter()
-            .map(|q| total_ms(&engine.execute(q).1))
+            .map(|q| total_ms(&exec(engine, ExecMode::CrossingAware, q).1))
             .collect();
         online.row(vec![
             "WatDiv".into(),

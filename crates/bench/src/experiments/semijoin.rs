@@ -4,7 +4,7 @@
 //! partitioning, where the most queries need decomposition + joins.
 
 use crate::datasets::lubm_bundle;
-use crate::harness::{partition_with, total_ms, Method};
+use crate::harness::{exec, partition_with, total_ms, Method};
 use crate::report::{emit, fresh, Table};
 use mpc_cluster::{DistributedEngine, ExecMode, NetworkModel};
 
@@ -29,8 +29,8 @@ pub fn run() {
         if nq.query.is_star() {
             continue; // stars run independently; nothing to reduce
         }
-        let (r1, s1) = plain.execute_mode(&nq.query, ExecMode::StarOnly);
-        let (r2, s2) = reduced.execute_mode(&nq.query, ExecMode::StarOnly);
+        let (r1, s1) = exec(&plain, ExecMode::StarOnly, &nq.query);
+        let (r2, s2) = exec(&reduced, ExecMode::StarOnly, &nq.query);
         assert_eq!(r1, r2, "{}: reduction changed the result", nq.name);
         t.row(vec![
             nq.name.clone(),

@@ -5,16 +5,16 @@
 //! under MPC.
 
 use crate::datasets::{bio2rdf_bundle, lubm_bundle, yago2_bundle, DatasetBundle};
-use crate::harness::{partition_with, Method};
+use crate::harness::{exec, partition_with, Method};
 use crate::report::{emit, fresh, ms, Table};
-use mpc_cluster::{DistributedEngine, NetworkModel};
+use mpc_cluster::{DistributedEngine, ExecMode, NetworkModel};
 
 fn stage_table(bundle: &DatasetBundle) -> Table {
     let part = partition_with(Method::Mpc, &bundle.graph);
     let engine = DistributedEngine::build(&bundle.graph, &part.partitioning, NetworkModel::default());
     let mut t = Table::new(&["Query", "class", "QDT(ms)", "LET(ms)", "JT(ms)", "Total(ms)", "rows"]);
     for nq in &bundle.benchmark_queries {
-        let (_, stats) = engine.execute(&nq.query);
+        let (_, stats) = exec(&engine, ExecMode::CrossingAware, &nq.query);
         t.row(vec![
             nq.name.clone(),
             format!("{:?}", stats.class),

@@ -2,14 +2,14 @@
 //! a dataset and running workloads through them.
 
 use crate::datasets::DatasetBundle;
-use mpc_cluster::{DistributedEngine, ExecMode, ExecutionStats, NetworkModel, VpEngine};
+use mpc_cluster::{DistributedEngine, ExecMode, ExecRequest, ExecutionStats, NetworkModel, VpEngine};
 use mpc_core::{
     EdgePartitioning, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
     Partitioning, SubjectHashPartitioner, VerticalPartitioner,
 };
 use mpc_obs::{Json, Recorder};
 use mpc_rdf::RdfGraph;
-use mpc_sparql::Query;
+use mpc_sparql::{Bindings, Query};
 use std::time::{Duration, Instant};
 
 /// The number of partitions/sites used throughout the evaluation
@@ -122,16 +122,17 @@ pub struct EngineSet {
     pub vp: VpEngine,
 }
 
-/// Builds all four engines over a bundle.
+/// Builds all four engines over a bundle. The three vertex-disjoint
+/// methods partition and build independently, so they fan out over the
+/// mpc-par pool (`MPC_THREADS` caps it); each build is deterministic on
+/// its own, so the set is identical for every thread count.
 pub fn build_engines(bundle: DatasetBundle) -> EngineSet {
     let network = NetworkModel::default();
-    let engines = Method::ALL
-        .iter()
-        .map(|&m| {
-            let part = partition_with(m, &bundle.graph);
-            (m, DistributedEngine::build(&bundle.graph, &part.partitioning, network))
-        })
-        .collect();
+    let threads = mpc_par::resolve_threads(None);
+    let engines = mpc_par::par_map(threads, &Method::ALL, |_, &m| {
+        let part = partition_with(m, &bundle.graph);
+        (m, DistributedEngine::build(&bundle.graph, &part.partitioning, network))
+    });
     let (ep, _) = partition_vp(&bundle.graph);
     let vp = VpEngine::build(&bundle.graph, &ep, network);
     EngineSet {
@@ -149,9 +150,31 @@ impl EngineSet {
     }
 }
 
+/// Runs one query through the unified [`DistributedEngine::run`] entry
+/// point in an explicit mode, returning rows + stats. All bench engines
+/// are fault-free, so the request cannot fail.
+pub fn exec(engine: &DistributedEngine, mode: ExecMode, query: &Query) -> (Bindings, ExecutionStats) {
+    exec_traced(engine, mode, query, &Recorder::disabled())
+}
+
+/// Like [`exec`], but folds query spans and matcher counters into `rec`.
+pub fn exec_traced(
+    engine: &DistributedEngine,
+    mode: ExecMode,
+    query: &Query,
+    rec: &Recorder,
+) -> (Bindings, ExecutionStats) {
+    let outcome = engine
+        .run(query, &ExecRequest::new().mode(mode).traced(rec))
+        // mpc-allow: unwrap-expect `FaultSpec::Inherit` on an unarmed engine is infallible
+        .expect("no fault layer in play");
+    let (partial, stats) = outcome.into_parts();
+    (partial.rows, stats)
+}
+
 /// Runs a query on an engine in its native mode, returning the stats only.
 pub fn run(engine: &DistributedEngine, method: Method, query: &Query) -> ExecutionStats {
-    engine.execute_mode(query, method.native_mode()).1
+    exec(engine, method.native_mode(), query).1
 }
 
 /// Like [`run`], but folds query spans and matcher counters into `rec`.
@@ -161,7 +184,7 @@ pub fn run_traced(
     query: &Query,
     rec: &Recorder,
 ) -> ExecutionStats {
-    engine.execute_traced(query, method.native_mode(), rec).1
+    exec_traced(engine, method.native_mode(), query, rec).1
 }
 
 /// Milliseconds of total response time.
@@ -185,6 +208,8 @@ pub struct RunReport {
     pub k: usize,
     /// Dataset scale factor (`MPC_BENCH_SCALE`).
     pub scale: f64,
+    /// Worker-pool size the run resolved (`MPC_THREADS`, else the machine).
+    pub threads: usize,
     /// Every metric the run recorded.
     pub metrics: mpc_obs::Report,
 }
@@ -198,12 +223,13 @@ impl RunReport {
             method: method.name().to_owned(),
             k: K,
             scale,
+            threads: mpc_par::resolve_threads(None),
             metrics: rec.report(),
         }
     }
 
     /// The JSON document: `{"experiment", "dataset", "method", "k",
-    /// "scale", "metrics"}`.
+    /// "scale", "threads", "metrics"}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("experiment", Json::from(self.experiment.as_str())),
@@ -211,6 +237,7 @@ impl RunReport {
             ("method", Json::from(self.method.as_str())),
             ("k", Json::from(self.k as u64)),
             ("scale", Json::from(self.scale)),
+            ("threads", Json::from(self.threads as u64)),
             ("metrics", self.metrics.to_json()),
         ])
     }
@@ -235,6 +262,7 @@ mod tests {
         let json = report.to_json().pretty();
         assert!(json.contains("\"experiment\": \"unit_test\""), "{json}");
         assert!(json.contains("\"method\": \"MPC\""), "{json}");
+        assert!(json.contains("\"threads\""), "{json}");
         assert!(json.contains("\"steps\": 7"), "{json}");
         assert!(json.contains("\"select\""), "{json}");
     }

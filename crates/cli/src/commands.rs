@@ -3,8 +3,8 @@
 use crate::args::Options;
 use crate::{partfile, CliError};
 use mpc_cluster::{
-    classify as classify_query, CrossingSet, DistributedEngine, ExecMode, FaultPlan,
-    NetworkModel, RetryPolicy,
+    classify as classify_query, CrossingSet, DistributedEngine, ExecMode, ExecRequest, FaultPlan,
+    FaultSpec, NetworkModel, RetryPolicy,
 };
 use mpc_core::{
     MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
@@ -325,6 +325,7 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "retries",
             "deadline-ms",
             "replicas",
+            "threads",
         ],
         &["profile", "strict"],
     )?;
@@ -341,8 +342,23 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "0 results (query references terms absent from the graph)")?;
         return Ok(());
     };
-    let mut engine =
+    let engine =
         DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    // Every knob folds into one ExecRequest; the engine itself stays
+    // untouched, so one binary can serve chaos and clean runs alike.
+    let rec = if o.flag("profile") {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let mut req = ExecRequest::new().mode(mode).traced(&rec);
+    if let Some(t) = o.get("threads") {
+        let threads: usize = t
+            .parse()
+            .map_err(|_| CliError::new(format!("option '--threads': cannot parse '{t}'")))?;
+        req = req.threads(threads);
+    }
+    let chaos = o.get("chaos").is_some();
     if let Some(spec) = o.get("chaos") {
         let mut plan = FaultPlan::parse(spec).map_err(CliError::new)?;
         plan.seed = o.parse_or("seed", 42)?;
@@ -352,24 +368,20 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ..RetryPolicy::default()
         };
         let replicas: usize = o.parse_or("replicas", 1)?;
-        engine.enable_fault_tolerance(plan, policy, replicas, !o.flag("strict"));
+        req = req.fault(FaultSpec::Custom {
+            plan,
+            policy,
+            replicas,
+            graceful: !o.flag("strict"),
+        });
     } else if o.flag("strict") {
         return Err(CliError::new("--strict only applies with --chaos"));
     }
-    let rec = if o.flag("profile") {
-        Recorder::enabled()
-    } else {
-        Recorder::disabled()
-    };
-    let (bindings, stats_, complete, failed_sites) = if engine.fault_tolerance_enabled() {
-        let (partial, stats_) = engine
-            .execute_fault_tolerant_traced(&query, mode, &rec)
-            .map_err(|e| CliError::new(format!("query failed: {e}")))?;
-        (partial.rows, stats_, partial.complete, partial.failed_sites)
-    } else {
-        let (bindings, stats_) = engine.execute_traced(&query, mode, &rec);
-        (bindings, stats_, true, Vec::new())
-    };
+    let outcome = engine
+        .run(&query, &req)
+        .map_err(|e| CliError::new(format!("query failed: {e}")))?;
+    let (partial, stats_) = outcome.into_parts();
+    let (bindings, complete, failed_sites) = (partial.rows, partial.complete, partial.failed_sites);
     let result = parsed
         .finish(&query, bindings, graph.dictionary())
         .map_err(|e| CliError::new(e.to_string()))?;
@@ -414,7 +426,7 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         stats_.comm_bytes,
         stats_.total().as_secs_f64() * 1e3,
     )?;
-    if engine.fault_tolerance_enabled() {
+    if chaos {
         // Every figure on this line is a deterministic function of
         // (--chaos spec, --seed, query): ci.sh runs the command twice and
         // diffs it to pin down reproducibility.

@@ -95,7 +95,7 @@ USAGE:
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
-                  [--deadline-ms <N>] [--replicas <N>] [--strict]
+                  [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
@@ -110,5 +110,9 @@ slow-factor=3,cut=2+5`. Faults are sampled deterministically from
 exponential backoff, gives each request `--deadline-ms`, fails over
 across `--replicas` extra hosts per fragment, and — unless `--strict` —
 degrades gracefully, reporting `complete=false` plus the failed sites
-instead of erroring."
+instead of erroring.
+
+`--threads` caps the coordinator's worker pool (0 = auto; defaults to
+the `MPC_THREADS` environment variable, then the machine). Results are
+bit-identical for every thread count (docs/PARALLELISM.md)."
 }

@@ -10,9 +10,16 @@
 //!   every subquery on every site in parallel, unions per subquery, and
 //!   joins the subquery results at the coordinator.
 //!
-//! Sites run as real threads; the reported LET is the slowest site's
-//! measured evaluation time, matching a cluster where sites proceed in
-//! parallel. Result shipping is charged to the simulated [`NetworkModel`].
+//! Sites run as real threads on the bounded deterministic `mpc-par`
+//! pool (`MPC_THREADS` / [`ExecRequest::threads`]); the reported LET is
+//! the slowest site's measured evaluation time, matching a cluster where
+//! sites proceed in parallel. Result shipping is charged to the
+//! simulated [`NetworkModel`].
+//!
+//! The single entry point is [`DistributedEngine::run`], driven by an
+//! [`ExecRequest`] (mode, tracing, fault handling, threads) and
+//! returning an [`ExecOutcome`]. The historical `execute*` method family
+//! survives as deprecated shims for one release.
 
 use crate::decompose::{decompose_crossing_aware, decompose_stars, Subquery};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, SiteError};
@@ -36,15 +43,130 @@ use std::time::{Duration, Instant};
 use mpc_rdf::narrow;
 
 /// How the engine recognizes and decomposes queries.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ExecMode {
     /// Full MPC-style execution: IEQ classification by crossing properties,
     /// Algorithm 2 decomposition. (Also models `Subject_Hash+` / `METIS+`
     /// when built over those partitionings.)
+    #[default]
     CrossingAware,
     /// Classic baseline: only star queries run independently; everything
     /// else is decomposed into stars (SHAPE / H-RDF-3X style).
     StarOnly,
+}
+
+/// Fault handling for one [`ExecRequest`].
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub enum FaultSpec {
+    /// Use whatever fault layer the engine armed via
+    /// [`DistributedEngine::enable_fault_tolerance`] (none on a plain
+    /// engine). The default.
+    #[default]
+    Inherit,
+    /// Force the infallible path, even on an armed engine.
+    Disabled,
+    /// A per-request chaos layer: this request (only) runs against `plan`
+    /// with the given countermeasures; the plan's `cut_sites` are applied
+    /// to a per-request copy of the network model.
+    Custom {
+        /// The faults the simulated cluster will experience.
+        plan: FaultPlan,
+        /// Retry/backoff/deadline countermeasures.
+        policy: RetryPolicy,
+        /// Extra replica hosts per fragment (0 = primaries only).
+        replicas: usize,
+        /// Degrade to explicit [`PartialBindings`] instead of erroring.
+        graceful: bool,
+    },
+}
+
+/// One distributed execution, fully described: what to run it as
+/// ([`ExecMode`]), what to record, how to treat faults, and how many
+/// worker threads to fan out on. Construct with [`ExecRequest::new`] and
+/// chain the builder methods; every field also stays readable.
+///
+/// ```
+/// # use mpc_cluster::{ExecRequest, ExecMode};
+/// let req = ExecRequest::new().mode(ExecMode::StarOnly).threads(4);
+/// assert_eq!(req.threads, Some(4));
+/// ```
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct ExecRequest {
+    /// Recognition / decomposition strategy (default: crossing-aware MPC).
+    pub mode: ExecMode,
+    /// Where to record `query.*` / `par.*` metrics (default: disabled —
+    /// sites then run the unobserved matcher and nothing is allocated).
+    pub recorder: Recorder,
+    /// Fault handling (default: [`FaultSpec::Inherit`]).
+    pub fault: FaultSpec,
+    /// Worker threads for the per-site fan-out. `None` (default) and
+    /// `Some(0)` resolve via `MPC_THREADS`, then the machine's available
+    /// parallelism — see [`mpc_par::resolve_threads`]. Results are
+    /// bit-identical for every value (docs/PARALLELISM.md).
+    pub threads: Option<usize>,
+}
+
+impl ExecRequest {
+    /// A default request: crossing-aware, untraced, inheriting the
+    /// engine's fault layer, auto thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the execution mode.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Records the execution into `rec` (a cheap shared handle).
+    #[must_use]
+    pub fn traced(mut self, rec: &Recorder) -> Self {
+        self.recorder = rec.clone();
+        self
+    }
+
+    /// Sets the fault handling.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Pins the worker-thread count (0 = auto).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// What [`DistributedEngine::run`] produced: the (possibly partial)
+/// bindings plus the per-stage statistics.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The assembled result. `bindings.complete` is always true on the
+    /// infallible path; under faults it follows the graceful-degradation
+    /// contract of [`PartialBindings`].
+    pub bindings: PartialBindings,
+    /// Timing, volume, and fault accounting.
+    pub stats: ExecutionStats,
+}
+
+impl ExecOutcome {
+    /// The result rows (exact when [`PartialBindings::complete`]).
+    pub fn rows(&self) -> &Bindings {
+        &self.bindings.rows
+    }
+
+    /// Splits the outcome into its parts (the old tuple shape).
+    pub fn into_parts(self) -> (PartialBindings, ExecutionStats) {
+        (self.bindings, self.stats)
+    }
 }
 
 /// A cached query plan: classification plus (for non-IEQs) the
@@ -288,27 +410,110 @@ impl DistributedEngine {
         }
     }
 
+    /// Executes one request — the single entry point replacing the old
+    /// `execute*` family.
+    ///
+    /// * With no effective fault layer ([`FaultSpec::Disabled`], or
+    ///   [`FaultSpec::Inherit`] on an unarmed engine) this never errors
+    ///   and the outcome is always `complete`.
+    /// * With a fault layer it follows the chaos contract (pinned by the
+    ///   `chaos_*` proptests): the bindings are either exactly the
+    ///   fault-free answer with `complete == true`, or a sound subset
+    ///   with `complete == false` and the unreachable fragments named —
+    ///   never silently wrong, never a panic. In strict mode
+    ///   (`graceful == false`) an unreachable fragment fails the query
+    ///   with the first [`SiteError`] observed on it.
+    ///
+    /// The per-site fan-out runs on the bounded deterministic `mpc-par`
+    /// pool; see [`ExecRequest::threads`] for the knobs and
+    /// docs/PARALLELISM.md for the bit-identical-results contract.
+    pub fn run(&self, query: &Query, req: &ExecRequest) -> Result<ExecOutcome, SiteError> {
+        let threads = mpc_par::resolve_threads(req.threads);
+        let rec = &req.recorder;
+        rec.set("par.threads", threads as u64);
+        let custom_layer;
+        let (layer, network) = match &req.fault {
+            FaultSpec::Disabled => (None, self.network),
+            FaultSpec::Inherit => (self.fault.as_ref(), self.network),
+            FaultSpec::Custom {
+                plan,
+                policy,
+                replicas,
+                graceful,
+            } => {
+                let network = self.network.with_links_down(&plan.cut_sites);
+                custom_layer = FaultLayer {
+                    injector: FaultInjector::new(plan.clone()),
+                    policy: *policy,
+                    replicas: *replicas,
+                    graceful: *graceful,
+                };
+                (Some(&custom_layer), network)
+            }
+        };
+        match layer {
+            None => {
+                let (rows, stats) = self.exec_infallible(query, req.mode, rec, threads);
+                Ok(ExecOutcome {
+                    bindings: PartialBindings {
+                        rows,
+                        complete: true,
+                        failed_sites: Vec::new(),
+                    },
+                    stats,
+                })
+            }
+            Some(layer) => {
+                let (bindings, stats) =
+                    self.exec_fault_tolerant(query, req.mode, rec, threads, layer, &network)?;
+                Ok(ExecOutcome { bindings, stats })
+            }
+        }
+    }
+
     /// Executes with [`ExecMode::CrossingAware`] (the MPC path).
+    #[deprecated(note = "use `run(query, &ExecRequest::new().fault(FaultSpec::Disabled))`")]
     pub fn execute(&self, query: &Query) -> (Bindings, ExecutionStats) {
-        self.execute_mode(query, ExecMode::CrossingAware)
+        self.exec_shim(query, ExecMode::CrossingAware, &Recorder::disabled())
     }
 
     /// Executes a query under the given mode, returning all-variable
     /// bindings plus the per-stage statistics.
+    #[deprecated(note = "use `run` with `ExecRequest::new().mode(..).fault(FaultSpec::Disabled)`")]
     pub fn execute_mode(&self, query: &Query, mode: ExecMode) -> (Bindings, ExecutionStats) {
-        self.execute_traced(query, mode, &Recorder::disabled())
+        self.exec_shim(query, mode, &Recorder::disabled())
     }
 
-    /// [`Self::execute_mode`], recording the QDT / per-site LET / comm /
-    /// join breakdown plus plan-cache, semijoin, and matcher counters
-    /// under `query.*` (see docs/OBSERVABILITY.md). With a disabled
-    /// recorder this is exactly `execute_mode`: sites run the
-    /// unobserved matcher and nothing is formatted or allocated.
+    /// `execute_mode` with recording — see [`Self::run`] and
+    /// docs/OBSERVABILITY.md.
+    #[deprecated(note = "use `run` with `ExecRequest::new().traced(rec).fault(FaultSpec::Disabled)`")]
     pub fn execute_traced(
         &self,
         query: &Query,
         mode: ExecMode,
         rec: &Recorder,
+    ) -> (Bindings, ExecutionStats) {
+        self.exec_shim(query, mode, rec)
+    }
+
+    /// Shared body of the three infallible deprecated shims: the
+    /// fault-free path is total, so no `Result` plumbing is needed.
+    fn exec_shim(&self, query: &Query, mode: ExecMode, rec: &Recorder) -> (Bindings, ExecutionStats) {
+        let threads = mpc_par::resolve_threads(None);
+        rec.set("par.threads", threads as u64);
+        self.exec_infallible(query, mode, rec, threads)
+    }
+
+    /// The infallible execution path: QDT / per-site LET / comm / join
+    /// breakdown plus plan-cache, semijoin, and matcher counters under
+    /// `query.*`. With a disabled recorder, sites run the unobserved
+    /// matcher and nothing is formatted or allocated.
+    fn exec_infallible(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        rec: &Recorder,
+        threads: usize,
     ) -> (Bindings, ExecutionStats) {
         let qdt_span = rec.span("query.qdt");
         let t0 = Instant::now();
@@ -321,7 +526,7 @@ impl DistributedEngine {
         let (result, stats) = match plan {
             None => {
                 let (result, local_eval_time, comm_bytes, comm_time) =
-                    self.run_everywhere_and_union(query, rec);
+                    self.run_everywhere_and_union(query, rec, threads);
                 let stats = ExecutionStats {
                     class,
                     independent: true,
@@ -338,7 +543,7 @@ impl DistributedEngine {
             }
             Some(subqueries) => {
                 let (tables, local_eval_time, comm_bytes, comm_time) =
-                    self.run_subqueries(&subqueries, rec);
+                    self.run_subqueries(&subqueries, rec, threads);
                 let join_span = rec.span("query.join");
                 let t_join = Instant::now();
                 // Join smaller tables first.
@@ -406,48 +611,46 @@ impl DistributedEngine {
         }
     }
 
-    /// [`Self::execute_fault_tolerant_traced`] with a disabled recorder.
+    /// [`Self::run`] with the engine's armed fault layer, untraced —
+    /// returns the old tuple shape.
+    #[deprecated(note = "use `run` with an `ExecRequest` (fault handling defaults to `FaultSpec::Inherit`)")]
     pub fn execute_fault_tolerant(
         &self,
         query: &Query,
         mode: ExecMode,
     ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
-        self.execute_fault_tolerant_traced(query, mode, &Recorder::disabled())
+        self.run(query, &ExecRequest::new().mode(mode))
+            .map(ExecOutcome::into_parts)
     }
 
-    /// Executes a query on the fallible cluster: every fragment request can
-    /// crash, stall past its deadline, corrupt its payload, be shed, or
-    /// straggle, per the armed [`FaultPlan`]; the coordinator answers with
-    /// bounded retries (exponential backoff + seeded jitter, charged to a
-    /// simulated clock), failover along each fragment's replica chain, and
-    /// — in graceful mode — explicit partial results.
-    ///
-    /// The contract (pinned by the `chaos_*` proptests): the returned
-    /// bindings are either exactly the fault-free answer with
-    /// `complete == true`, or a sound subset with `complete == false` and
-    /// the unreachable fragments named — never silently wrong, never a
-    /// panic. In strict mode (`graceful == false`) an unreachable fragment
-    /// fails the query with the first [`SiteError`] observed on it.
-    ///
-    /// Without an armed fault layer this is [`Self::execute_traced`] with
-    /// a `complete` wrapper.
+    /// [`Self::execute_fault_tolerant`] with recording.
+    #[deprecated(note = "use `run` with `ExecRequest::new().traced(rec)`")]
     pub fn execute_fault_tolerant_traced(
         &self,
         query: &Query,
         mode: ExecMode,
         rec: &Recorder,
     ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
-        let Some(layer) = &self.fault else {
-            let (rows, stats) = self.execute_traced(query, mode, rec);
-            return Ok((
-                PartialBindings {
-                    rows,
-                    complete: true,
-                    failed_sites: Vec::new(),
-                },
-                stats,
-            ));
-        };
+        self.run(query, &ExecRequest::new().mode(mode).traced(rec))
+            .map(ExecOutcome::into_parts)
+    }
+
+    /// The fault-tolerant execution path: every fragment request can
+    /// crash, stall past its deadline, corrupt its payload, be shed, or
+    /// straggle, per `layer`'s [`FaultPlan`]; the coordinator answers with
+    /// bounded retries (exponential backoff + seeded jitter, charged to a
+    /// simulated clock), failover along each fragment's replica chain, and
+    /// — in graceful mode — explicit partial results. See [`Self::run`]
+    /// for the soundness contract.
+    fn exec_fault_tolerant(
+        &self,
+        query: &Query,
+        mode: ExecMode,
+        rec: &Recorder,
+        threads: usize,
+        layer: &FaultLayer,
+        network: &NetworkModel,
+    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
         let qdt_span = rec.span("query.qdt");
         let t0 = Instant::now();
         let plan_entry = self.lookup_plan(query, mode, rec);
@@ -459,8 +662,14 @@ impl DistributedEngine {
 
         let (result, stats) = match plan_entry.subqueries {
             None => {
-                let folded =
-                    fold_outcomes(self.request_all_fragments(layer, query_seq, &[query]));
+                let folded = fold_outcomes(self.request_all_fragments(
+                    layer,
+                    network,
+                    query_seq,
+                    &[query],
+                    threads,
+                    rec,
+                ));
                 if let Some(err) = self.strict_failure(layer, &folded) {
                     return Err(err);
                 }
@@ -472,7 +681,7 @@ impl DistributedEngine {
                     }
                 }
                 result.sort_dedup();
-                let comm_time = self.network.transfer_time_seeded(
+                let comm_time = network.transfer_time_seeded(
                     folded.comm_bytes,
                     folded.messages,
                     comm_seed,
@@ -498,8 +707,14 @@ impl DistributedEngine {
             }
             Some(subqueries) => {
                 let sub_refs: Vec<&Query> = subqueries.iter().map(|sq| &sq.query).collect();
-                let folded =
-                    fold_outcomes(self.request_all_fragments(layer, query_seq, &sub_refs));
+                let folded = fold_outcomes(self.request_all_fragments(
+                    layer,
+                    network,
+                    query_seq,
+                    &sub_refs,
+                    threads,
+                    rec,
+                ));
                 if let Some(err) = self.strict_failure(layer, &folded) {
                     return Err(err);
                 }
@@ -515,7 +730,7 @@ impl DistributedEngine {
                 for table in &mut merged {
                     table.sort_dedup();
                 }
-                let comm_time = self.network.transfer_time_seeded(
+                let comm_time = network.transfer_time_seeded(
                     folded.comm_bytes,
                     folded.messages,
                     comm_seed,
@@ -576,23 +791,24 @@ impl DistributedEngine {
         }))
     }
 
-    /// Issues every fragment's request chain in parallel (one thread per
-    /// fragment, like the infallible path's fan-out).
+    /// Issues every fragment's request chain on the bounded `mpc-par`
+    /// pool (the fault-tolerant twin of [`Self::parallel_eval`]).
+    /// Retries stay per-site inside each chain; outcomes come back in
+    /// fragment order regardless of thread count.
     fn request_all_fragments(
         &self,
         layer: &FaultLayer,
+        network: &NetworkModel,
         query_seq: u64,
         queries: &[&Query],
+        threads: usize,
+        rec: &Recorder,
     ) -> Vec<FragmentOutcome> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.sites.len())
-                .map(|i| scope.spawn(move || self.request_fragment(layer, query_seq, i, queries)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                .collect()
-        })
+        let (outcomes, pstats) = mpc_par::par_map_stats(threads, &self.sites, |i, _| {
+            self.request_fragment(layer, network, query_seq, i, queries)
+        });
+        record_par_stats(rec, &pstats);
+        outcomes
     }
 
     /// One fragment's request chain: walk the replica hosts in order, give
@@ -604,6 +820,7 @@ impl DistributedEngine {
     fn request_fragment(
         &self,
         layer: &FaultLayer,
+        network: &NetworkModel,
         query_seq: u64,
         fragment_idx: usize,
         queries: &[&Query],
@@ -633,7 +850,7 @@ impl DistributedEngine {
                 out.attempts += 1;
                 // A severed coordinator↔host link behaves like a stall: the
                 // request dies on the wire and the deadline expires.
-                let fault = if self.network.partitioned(COORDINATOR, host) {
+                let fault = if network.partitioned(COORDINATOR, host) {
                     Some(FaultKind::Stall)
                 } else {
                     layer.injector.decide(query_seq, fragment, host, attempt)
@@ -665,7 +882,7 @@ impl DistributedEngine {
                             // after one round trip.
                             SiteError::Crashed { .. }
                             | SiteError::Overloaded { .. }
-                            | SiteError::CorruptPayload { .. } => self.network.latency,
+                            | SiteError::CorruptPayload { .. } => network.latency,
                         });
                         if attempt < layer.policy.max_retries {
                             out.retries += 1;
@@ -689,12 +906,13 @@ impl DistributedEngine {
         &self,
         query: &Query,
         rec: &Recorder,
+        threads: usize,
     ) -> (Bindings, Duration, u64, Duration) {
         // Only observe the matcher when the recorder is live — the
         // unobserved arm monomorphizes to the exact pre-instrumentation
         // search loop.
         let observe = rec.is_enabled();
-        let per_site = self.parallel_eval(|site| {
+        let per_site = self.parallel_eval(threads, rec, |site| {
             if observe {
                 let mut mstats = MatchStats::default();
                 let b = evaluate_observed(query, &site.store, &mut mstats);
@@ -707,14 +925,21 @@ impl DistributedEngine {
         let width = query.var_count();
         let mut result = Bindings::new((0..narrow::u32_from(width)).collect());
         let mut max_time = Duration::ZERO;
+        // Workers never touch the recorder: per-site counters are summed
+        // here on the coordinator thread after the join, in site order,
+        // so `--profile` reports are reproducible for any thread count.
+        let mut match_total = MatchStats::default();
         for (i, ((bindings, mstats), took)) in per_site.into_iter().enumerate() {
             if let Some(mstats) = mstats {
                 rec.record(&format!("query.let.site{i}"), took);
-                record_match_stats(rec, &mstats);
+                merge_match_stats(&mut match_total, mstats);
             }
             comm_bytes += wire::encoded_len(bindings.len(), width);
             max_time = max_time.max(took);
             result.rows.extend(bindings.rows);
+        }
+        if observe {
+            record_match_stats(rec, &match_total);
         }
         result.sort_dedup();
         let messages = self.sites.len() as u64;
@@ -736,9 +961,10 @@ impl DistributedEngine {
         &self,
         subqueries: &[Subquery],
         rec: &Recorder,
+        threads: usize,
     ) -> (Vec<Bindings>, Duration, u64, Duration) {
         let observe = rec.is_enabled();
-        let per_site = self.parallel_eval(|site| {
+        let per_site = self.parallel_eval(threads, rec, |site| {
             if observe {
                 let mut mstats = MatchStats::default();
                 let tables = subqueries
@@ -759,15 +985,21 @@ impl DistributedEngine {
             .iter()
             .map(|sq| Bindings::new(sq.parent_vars.clone()))
             .collect();
+        // Same merge discipline as `run_everywhere_and_union`: counters
+        // are summed post-join in site order, never from worker threads.
+        let mut match_total = MatchStats::default();
         for (i, ((site_tables, mstats), took)) in per_site.into_iter().enumerate() {
             if let Some(mstats) = mstats {
                 rec.record(&format!("query.let.site{i}"), took);
-                record_match_stats(rec, &mstats);
+                merge_match_stats(&mut match_total, mstats);
             }
             max_time = max_time.max(took);
             for (j, table) in site_tables.into_iter().enumerate() {
                 merged[j].rows.extend(table.rows);
             }
+        }
+        if observe {
+            record_match_stats(rec, &match_total);
         }
         for table in &mut merged {
             table.sort_dedup();
@@ -798,33 +1030,49 @@ impl DistributedEngine {
         (merged, max_time, comm_bytes, comm_time)
     }
 
-    /// Runs `f` on every site in parallel, measuring each site's time.
+    /// Runs `f` on every site on the bounded `mpc-par` pool, measuring
+    /// each site's time. Results come back in site order for any thread
+    /// count; `f` must not touch the recorder (counters are merged by
+    /// the caller after the join — see the determinism contract in
+    /// docs/PARALLELISM.md).
     fn parallel_eval<T: Send>(
         &self,
+        threads: usize,
+        rec: &Recorder,
         f: impl Fn(&Site) -> T + Sync,
     ) -> Vec<(T, Duration)> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .sites
-                .iter()
-                .map(|site| {
-                    let f = &f;
-                    scope.spawn(move || {
-                        let t0 = Instant::now();
-                        let out = f(site);
-                        (out, t0.elapsed())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                .collect()
-        })
+        let (per_site, pstats) = mpc_par::par_map_stats(threads, &self.sites, |_, site| {
+            let t0 = Instant::now();
+            let out = f(site);
+            (out, t0.elapsed())
+        });
+        record_par_stats(rec, &pstats);
+        per_site
     }
 }
 
-/// Folds one site's matcher counters into `query.match.*`.
+/// Folds one fan-out's pool accounting into `par.*` (`par.threads`, the
+/// resolved thread budget, is a gauge set once per request in `run`).
+fn record_par_stats(rec: &Recorder, stats: &mpc_par::ParStats) {
+    if rec.is_enabled() {
+        rec.add("par.tasks", stats.tasks as u64);
+        rec.add("par.chunks", stats.chunks);
+    }
+}
+
+/// Sums one site's matcher counters into a running total (the
+/// order-independent merge recorded once per stage).
+fn merge_match_stats(total: &mut MatchStats, site: MatchStats) {
+    total.steps += site.steps;
+    total.candidates_scanned += site.candidates_scanned;
+    total.backtracks += site.backtracks;
+    total.rows_emitted += site.rows_emitted;
+    for (path, n) in site.access_paths {
+        *total.access_paths.entry(path).or_insert(0) += n;
+    }
+}
+
+/// Folds the merged matcher counters into `query.match.*`.
 fn record_match_stats(rec: &Recorder, stats: &MatchStats) {
     rec.add("query.match.steps", stats.steps);
     rec.add("query.match.candidates", stats.candidates_scanned);
@@ -836,6 +1084,10 @@ fn record_match_stats(rec: &Recorder, stats: &MatchStats) {
 }
 
 #[cfg(test)]
+// The deprecated execute* shims stay under test until they are removed:
+// these tests pin that each shim is exactly `run` with the corresponding
+// `ExecRequest`.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpc_core::{MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner};
@@ -1396,5 +1648,144 @@ mod tests {
         assert_eq!(rec.counter("query.fault.degraded"), Some(0));
         assert!(rec.timer("query.fault.penalty").is_some());
         assert_eq!(rec.counter("query.comm.bytes"), Some(stats.comm_bytes));
+    }
+
+    // ---- the unified ExecRequest → ExecOutcome entry point ------------
+
+    #[test]
+    fn request_defaults_are_crossing_aware_untraced_inherit_auto() {
+        let req = ExecRequest::new();
+        assert_eq!(req.mode, ExecMode::CrossingAware);
+        assert!(!req.recorder.is_enabled());
+        assert!(matches!(req.fault, FaultSpec::Inherit));
+        assert_eq!(req.threads, None);
+    }
+
+    #[test]
+    fn run_matches_the_deprecated_shims_on_every_path() {
+        let g = dataset();
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        // Infallible path.
+        let engine = mpc_engine(&g);
+        for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
+            let (rows, stats) = engine.execute_mode(&query, mode);
+            let outcome = engine
+                .run(&query, &ExecRequest::new().mode(mode))
+                .unwrap();
+            assert!(outcome.bindings.complete);
+            assert_eq!(outcome.rows(), &rows);
+            assert_eq!(outcome.stats.subqueries, stats.subqueries);
+        }
+        // Fault path: fresh engines, same seed — fault decisions are keyed
+        // on the engine's query sequence.
+        let plan = FaultPlan::uniform(7, 0.1);
+        let via_shim = {
+            let engine = chaos_engine(&g, plan.clone(), RetryPolicy::default(), 1, true);
+            let (partial, stats) = engine
+                .execute_fault_tolerant(&query, ExecMode::CrossingAware)
+                .unwrap();
+            (partial.rows, partial.complete, stats.faults)
+        };
+        let via_run = {
+            let engine = chaos_engine(&g, plan, RetryPolicy::default(), 1, true);
+            let (partial, stats) = engine
+                .run(&query, &ExecRequest::new())
+                .unwrap()
+                .into_parts();
+            (partial.rows, partial.complete, stats.faults)
+        };
+        assert_eq!(via_shim, via_run, "shims must be exactly `run`");
+    }
+
+    #[test]
+    fn fault_spec_disabled_bypasses_an_armed_engine() {
+        let g = dataset();
+        // Every request everywhere crashes, forever.
+        let plan = scripted(None, None, FaultKind::Crash, u32::MAX);
+        let engine = chaos_engine(&g, plan, RetryPolicy::default(), 1, true);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let outcome = engine
+            .run(&query, &ExecRequest::new().fault(FaultSpec::Disabled))
+            .unwrap();
+        assert!(outcome.bindings.complete);
+        assert_eq!(outcome.rows(), &reference(&g, &query));
+        assert_eq!(outcome.stats.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn fault_spec_custom_arms_one_request_only() {
+        let g = dataset();
+        let engine = mpc_engine(&g);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        // Fragment 0's primary crashes on the first attempt only.
+        let custom = FaultSpec::Custom {
+            plan: scripted(Some(0), Some(0), FaultKind::Crash, 1),
+            policy: RetryPolicy::default(),
+            replicas: 0,
+            graceful: false,
+        };
+        let outcome = engine
+            .run(&query, &ExecRequest::new().fault(custom))
+            .unwrap();
+        assert!(outcome.bindings.complete);
+        assert_eq!(outcome.rows(), &reference(&g, &query));
+        assert_eq!(outcome.stats.faults.injected, 1);
+        assert_eq!(outcome.stats.faults.retries, 1);
+        // The engine itself stays unarmed: the next request sees nothing.
+        assert!(!engine.fault_tolerance_enabled());
+        let plain = engine.run(&query, &ExecRequest::new()).unwrap();
+        assert_eq!(plain.stats.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn run_records_par_pool_metrics() {
+        let g = dataset();
+        let engine = mpc_engine(&g);
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let rec = Recorder::enabled();
+        let outcome = engine
+            .run(&query, &ExecRequest::new().traced(&rec).threads(4))
+            .unwrap();
+        assert!(outcome.bindings.complete);
+        assert_eq!(rec.counter("par.threads"), Some(4));
+        assert_eq!(
+            rec.counter("par.tasks"),
+            Some(engine.site_count() as u64),
+            "one pool task per site fan-out"
+        );
+        assert!(rec.counter("par.chunks").unwrap() >= 1);
+    }
+
+    #[test]
+    fn pinned_thread_counts_agree_with_each_other() {
+        let g = dataset();
+        let engine = mpc_engine(&g);
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+                TriplePattern::new(v(2), prop(1), v(3)),
+            ],
+            4,
+        );
+        let at = |t: usize| {
+            engine
+                .run(&query, &ExecRequest::new().threads(t))
+                .unwrap()
+                .bindings
+                .rows
+        };
+        let one = at(1);
+        assert_eq!(one, reference(&g, &query));
+        for t in [2, 3, 8] {
+            assert_eq!(at(t), one, "threads={t}");
+        }
     }
 }

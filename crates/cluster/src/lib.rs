@@ -34,7 +34,9 @@ pub mod stats;
 pub mod vp;
 pub mod wire;
 
-pub use coordinator::{DistributedEngine, ExecMode, PartialBindings};
+pub use coordinator::{
+    DistributedEngine, ExecMode, ExecOutcome, ExecRequest, FaultSpec, PartialBindings,
+};
 pub use decompose::{decompose_crossing_aware, decompose_stars, extract_subquery, Subquery};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, ScriptedFault, SiteError};
 pub use ieq::{classify, is_khop_executable, CrossingOracle, CrossingSet, IeqClass};
@@ -142,10 +144,12 @@ mod proptests {
                 let partitioning = partitioner.partition(&g);
                 let engine = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
                 for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
-                    let (result, stats) = engine.execute_mode(&query, mode);
+                    let outcome = engine
+                        .run(&query, &ExecRequest::new().mode(mode))
+                        .expect("fault-free execution is total");
                     prop_assert_eq!(
-                        &result, &expected,
-                        "{} mode {:?} class {:?}", partitioner.name(), mode, stats.class
+                        outcome.rows(), &expected,
+                        "{} mode {:?} class {:?}", partitioner.name(), mode, outcome.stats.class
                     );
                 }
             }
@@ -175,8 +179,10 @@ mod proptests {
                 );
                 prop_assert!(engine.stored_triples() >= prev_stored);
                 prev_stored = engine.stored_triples();
-                let (result, _) = engine.execute(&query);
-                prop_assert_eq!(&result, &expected, "radius {}", radius);
+                let outcome = engine
+                    .run(&query, &ExecRequest::new())
+                    .expect("fault-free execution is total");
+                prop_assert_eq!(outcome.rows(), &expected, "radius {}", radius);
             }
         }
 
@@ -206,8 +212,9 @@ mod proptests {
             );
             for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
                 let (partial, stats) = engine
-                    .execute_fault_tolerant(&query, mode)
-                    .expect("graceful mode never errors");
+                    .run(&query, &ExecRequest::new().mode(mode))
+                    .expect("graceful mode never errors")
+                    .into_parts();
                 if partial.complete {
                     prop_assert_eq!(
                         &partial.rows, &expected,
@@ -249,6 +256,100 @@ mod proptests {
             let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
             let engine = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
             prop_assert!(engine.classify(&query).is_ieq());
+        }
+
+        /// The mpc-par determinism contract (docs/PARALLELISM.md):
+        /// bindings, structural stats, and obs counters are bit-identical
+        /// for threads ∈ {1, 2, 8} — only wall-clock timers may differ.
+        #[test]
+        fn parallel_execution_is_deterministic_across_thread_counts(
+            g in graph_strategy(),
+            query in query_strategy(),
+            k in 2usize..4,
+        ) {
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let engine = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            // Warm the plan cache so every traced run below records the
+            // same hit/miss counters.
+            engine
+                .run(&query, &ExecRequest::new())
+                .expect("fault-free execution is total");
+            let run_at = |threads: usize| {
+                let rec = mpc_obs::Recorder::enabled();
+                let outcome = engine
+                    .run(&query, &ExecRequest::new().traced(&rec).threads(threads))
+                    .expect("fault-free execution is total");
+                let mut counters = rec.counters();
+                // The pool's own accounting legitimately varies with the
+                // thread budget; everything else must not.
+                counters.remove("par.threads");
+                counters.remove("par.chunks");
+                (outcome, counters)
+            };
+            let (base, base_counters) = run_at(1);
+            for threads in [2usize, 8] {
+                let (o, counters) = run_at(threads);
+                prop_assert_eq!(o.rows(), base.rows(), "threads {}", threads);
+                prop_assert_eq!(o.bindings.complete, base.bindings.complete);
+                prop_assert_eq!(o.stats.subqueries, base.stats.subqueries);
+                prop_assert_eq!(o.stats.independent, base.stats.independent);
+                prop_assert_eq!(o.stats.comm_bytes, base.stats.comm_bytes);
+                prop_assert_eq!(o.stats.result_rows, base.stats.result_rows);
+                prop_assert_eq!(&counters, &base_counters, "threads {}", threads);
+            }
+        }
+
+        /// Chaos + parallelism: the PR-3 trichotomy invariant holds on
+        /// the pooled fan-out, and the deterministic fault accounting is
+        /// identical for every thread count (fresh engine per count —
+        /// fault decisions are keyed on the engine's query sequence).
+        #[test]
+        fn chaos_parallel_execution_is_sound_and_thread_invariant(
+            g in graph_strategy(),
+            query in query_strategy(),
+            seed in any::<u64>(),
+            rate in 0.0f64..0.18,
+            k in 2usize..4,
+        ) {
+            let expected = reference(&g, &query);
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let run_at = |threads: usize| {
+                let mut engine =
+                    DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+                engine.enable_fault_tolerance(
+                    FaultPlan::uniform(seed, rate),
+                    RetryPolicy::default(),
+                    1,
+                    true,
+                );
+                engine
+                    .run(&query, &ExecRequest::new().threads(threads))
+                    .expect("graceful mode never errors")
+                    .into_parts()
+            };
+            let (base, base_stats) = run_at(1);
+            for threads in [4usize, 8] {
+                let (partial, stats) = run_at(threads);
+                // Exact or explicitly incomplete, never silently wrong.
+                if partial.complete {
+                    prop_assert_eq!(&partial.rows, &expected, "threads {}", threads);
+                    prop_assert!(partial.failed_sites.is_empty());
+                } else {
+                    prop_assert!(stats.faults.degraded);
+                    for row in &partial.rows.rows {
+                        prop_assert!(
+                            expected.rows.contains(row),
+                            "degraded result invented row {:?}", row
+                        );
+                    }
+                }
+                // Thread-count invariance of everything deterministic
+                // (FaultStats is Eq: counters AND simulated penalties).
+                prop_assert_eq!(&partial.rows, &base.rows, "threads {}", threads);
+                prop_assert_eq!(partial.complete, base.complete);
+                prop_assert_eq!(&partial.failed_sites, &base.failed_sites);
+                prop_assert_eq!(stats.faults, base_stats.faults);
+            }
         }
     }
 }

@@ -13,6 +13,7 @@ use mpc_rdf::narrow;
 /// scheduling — so two runs with the same seed and plan produce
 /// bit-identical `FaultStats` (the reproducibility contract
 /// docs/FAULT_TOLERANCE.md spells out).
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Site request attempts issued (first tries + retries, all hosts).
@@ -34,6 +35,7 @@ pub struct FaultStats {
 }
 
 /// Timing and volume breakdown of one distributed query execution.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutionStats {
     /// IEQ classification under the engine's crossing-property set.

@@ -79,13 +79,10 @@ mod tests {
     fn selection(g: &RdfGraph) -> crate::select::Selection {
         forward_greedy(
             g,
-            &SelectConfig {
-                k: 2,
-                epsilon: 0.1,
-                strategy: SelectStrategy::ForwardGreedy,
-                prune_oversized: true,
-                reverse_threshold: 512,
-            },
+            &SelectConfig::new()
+                .with_k(2)
+                .with_epsilon(0.1)
+                .with_strategy(SelectStrategy::ForwardGreedy),
         )
     }
 

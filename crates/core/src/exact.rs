@@ -191,13 +191,10 @@ mod tests {
     }
 
     fn cfg(k: usize) -> SelectConfig {
-        SelectConfig {
-            k,
-            epsilon: 0.1,
-            strategy: SelectStrategy::ForwardGreedy,
-            prune_oversized: true,
-            reverse_threshold: 512,
-        }
+        SelectConfig::new()
+            .with_k(k)
+            .with_epsilon(0.1)
+            .with_strategy(SelectStrategy::ForwardGreedy)
     }
 
     /// A graph engineered so greedy is suboptimal: property 0 alone has

@@ -61,6 +61,7 @@ impl MpcConfig {
             strategy: self.strategy,
             prune_oversized: self.prune_oversized,
             reverse_threshold: self.reverse_threshold,
+            threads: None,
         }
     }
 }

@@ -43,6 +43,11 @@ pub enum SelectStrategy {
 }
 
 /// Parameters of the selection.
+///
+/// `#[non_exhaustive]` + builder: construct with [`SelectConfig::new`]
+/// (or `default()`) and chain the `with_*` methods, so new options stop
+/// breaking downstream constructors.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct SelectConfig {
     /// Number of partitions `k`.
@@ -55,6 +60,11 @@ pub struct SelectConfig {
     pub prune_oversized: bool,
     /// `Auto` switches to reverse greedy above this property count.
     pub reverse_threshold: usize,
+    /// Worker threads for candidate cost evaluation. `None` / `Some(0)`
+    /// resolve via `MPC_THREADS`, then the machine — see
+    /// [`mpc_par::resolve_threads`]. The selection is bit-identical for
+    /// every value (docs/PARALLELISM.md).
+    pub threads: Option<usize>,
 }
 
 impl Default for SelectConfig {
@@ -65,11 +75,59 @@ impl Default for SelectConfig {
             strategy: SelectStrategy::Auto,
             prune_oversized: true,
             reverse_threshold: 512,
+            threads: None,
         }
     }
 }
 
 impl SelectConfig {
+    /// The defaults: `k = 8`, `ε = 0.1`, auto strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the partition count `k`.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the imbalance tolerance ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the greedy direction.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SelectStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables oversized-property pruning.
+    #[must_use]
+    pub fn with_prune_oversized(mut self, prune: bool) -> Self {
+        self.prune_oversized = prune;
+        self
+    }
+
+    /// Sets the `Auto` strategy's reverse-greedy switch-over threshold.
+    #[must_use]
+    pub fn with_reverse_threshold(mut self, threshold: usize) -> Self {
+        self.reverse_threshold = threshold;
+        self
+    }
+
+    /// Pins the worker-thread count (0 = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The size cap `(1+ε)·|V|/k` every WCC of `G[L_in]` must respect.
     pub fn cap(&self, vertex_count: usize) -> u64 {
         narrow::u64_from_f64((((1.0 + self.epsilon) * vertex_count as f64) / self.k as f64).floor())
@@ -177,10 +235,18 @@ pub fn forward_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
     // filter and the initial heap keys. Min-heap on (cost, -freq, id):
     // equal-cost candidates admit the more frequent property first, which
     // shrinks |E^c| without affecting |L_cross|.
+    //
+    // The standalone costs are independent per property, so they are
+    // evaluated on the mpc-par pool; heap keys are unique (the id is a
+    // component), so building the heap from the pool's in-order results
+    // yields the same admission sequence for every thread count.
+    let threads = mpc_par::resolve_threads(cfg.threads);
+    let props: Vec<PropertyId> = g.property_ids().collect();
+    let standalone: Vec<u64> = mpc_par::par_map(threads, &props, |_, &p| {
+        DisjointSetForest::from_edges(n, property_edges(g, p)).max_component_size() as u64
+    });
     let mut heap: BinaryHeap<Reverse<(u64, Reverse<u64>, u32)>> = BinaryHeap::new();
-    for p in g.property_ids() {
-        let own = DisjointSetForest::from_edges(n, property_edges(g, p));
-        let own_cost = own.max_component_size() as u64;
+    for (&p, &own_cost) in props.iter().zip(&standalone) {
         if cfg.prune_oversized && own_cost > cap {
             pruned.push(p);
             continue;
@@ -240,6 +306,7 @@ pub fn forward_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
 pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
     let cap = cfg.cap(g.vertex_count());
     let n = g.vertex_count();
+    let threads = mpc_par::resolve_threads(cfg.threads);
     let mut is_internal = vec![true; g.property_count()];
     let mut stats = SelectStats::default();
 
@@ -289,16 +356,22 @@ pub fn reverse_greedy(g: &RdfGraph, cfg: &SelectConfig) -> Selection {
         );
         // Pick the removal with the lowest residual cost; ties prefer
         // removing the least frequent property (fewer edges become
-        // crossing-capable).
-        let mut best: Option<(u64, u64, PropertyId)> = None;
-        for &p in &candidates {
+        // crossing-capable). Each candidate's forest rebuild is
+        // independent, so the residual costs come off the mpc-par pool;
+        // the argmin then scans them in candidate order, keeping the
+        // strict-`<` first-wins tie-break identical for any thread count.
+        let is_internal_now = &is_internal;
+        let residuals: Vec<u64> = mpc_par::par_map(threads, &candidates, |_, &p| {
             let mut trial = DisjointSetForest::new(n);
             for q in g.property_ids() {
-                if q != p && is_internal[q.index()] {
+                if q != p && is_internal_now[q.index()] {
                     trial.merge_edges(property_edges(g, q));
                 }
             }
-            let c = trial.max_component_size() as u64;
+            trial.max_component_size() as u64
+        });
+        let mut best: Option<(u64, u64, PropertyId)> = None;
+        for (&p, &c) in candidates.iter().zip(&residuals) {
             let f = g.property_frequency(p) as u64;
             if best.is_none_or(|(bc, bf, _)| (c, f) < (bc, bf)) {
                 best = Some((c, f, p));
@@ -331,13 +404,11 @@ mod tests {
     }
 
     fn cfg(k: usize, eps: f64, strategy: SelectStrategy) -> SelectConfig {
-        SelectConfig {
-            k,
-            epsilon: eps,
-            strategy,
-            prune_oversized: true,
-            reverse_threshold: 512,
-        }
+        SelectConfig::new()
+            .with_k(k)
+            .with_epsilon(eps)
+            .with_strategy(strategy)
+            .with_reverse_threshold(512)
     }
 
     #[test]
@@ -456,5 +527,47 @@ mod tests {
         let a = forward_greedy(&g, &c);
         let b = forward_greedy(&g, &c);
         assert_eq!(a.internal, b.internal);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = SelectConfig::new()
+            .with_k(4)
+            .with_epsilon(0.25)
+            .with_strategy(SelectStrategy::ReverseGreedy)
+            .with_prune_oversized(false)
+            .with_reverse_threshold(64)
+            .with_threads(2);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.epsilon, 0.25);
+        assert_eq!(c.strategy, SelectStrategy::ReverseGreedy);
+        assert!(!c.prune_oversized);
+        assert_eq!(c.reverse_threshold, 64);
+        assert_eq!(c.threads, Some(2));
+    }
+
+    #[test]
+    fn selection_is_identical_for_any_thread_count() {
+        // A larger random-ish graph so the pool actually chunks: both
+        // greedy directions must admit/remove the same properties in the
+        // same order regardless of the thread budget.
+        let mut triples = Vec::new();
+        for i in 0..240u32 {
+            triples.push(t(i % 60, i % 12, (i * 7 + 1) % 60));
+        }
+        let g = RdfGraph::from_raw(60, 12, triples);
+        for strategy in [SelectStrategy::ForwardGreedy, SelectStrategy::ReverseGreedy] {
+            let base = |t: usize| {
+                let c = cfg(4, 0.1, strategy).with_threads(t);
+                select_internal_properties(&g, &c)
+            };
+            let one = base(1);
+            for threads in [2, 8] {
+                let sel = base(threads);
+                assert_eq!(sel.internal, one.internal, "{strategy:?} threads={threads}");
+                assert_eq!(sel.cost, one.cost);
+                assert_eq!(sel.stats, one.stats, "work counters must match too");
+            }
+        }
     }
 }

@@ -96,11 +96,16 @@ pub fn weighted_greedy(
     let edges = |p: PropertyId| g.property_triples(p).map(|t| (t.s.0, t.o.0));
 
     // Initial densities from standalone costs (Δ relative to singleton
-    // components); oversized properties pruned as in Algorithm 1.
+    // components); oversized properties pruned as in Algorithm 1. The
+    // standalone costs come off the mpc-par pool, like `forward_greedy`;
+    // heap keys carry the property id, so ordering stays deterministic.
+    let threads = mpc_par::resolve_threads(cfg.threads);
+    let props: Vec<PropertyId> = g.property_ids().collect();
+    let standalone: Vec<u64> = mpc_par::par_map(threads, &props, |_, &p| {
+        DisjointSetForest::from_edges(n, edges(p)).max_component_size() as u64
+    });
     let mut heap: BinaryHeap<(Density, u32)> = BinaryHeap::new();
-    for p in g.property_ids() {
-        let own = DisjointSetForest::from_edges(n, edges(p));
-        let own_cost = own.max_component_size() as u64;
+    for (&p, &own_cost) in props.iter().zip(&standalone) {
         if cfg.prune_oversized && own_cost > cap {
             pruned.push(p);
             continue;
@@ -159,13 +164,10 @@ mod tests {
     }
 
     fn cfg(k: usize) -> SelectConfig {
-        SelectConfig {
-            k,
-            epsilon: 0.1,
-            strategy: SelectStrategy::ForwardGreedy,
-            prune_oversized: true,
-            reverse_threshold: 512,
-        }
+        SelectConfig::new()
+            .with_k(k)
+            .with_epsilon(0.1)
+            .with_strategy(SelectStrategy::ForwardGreedy)
     }
 
     /// Three mutually exclusive properties over one 3-vertex cluster: at

@@ -134,6 +134,17 @@ impl Recorder {
         relock(&inner.counters).get(name).copied()
     }
 
+    /// Snapshot of every counter (deterministically ordered). Timers are
+    /// excluded on purpose: counters are the reproducible half of a
+    /// report (the determinism proptests diff them across thread
+    /// counts), while timers measure wall clock.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            Some(inner) => relock(&inner.counters).clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
     /// Aggregate of all durations recorded under `name`, if any.
     pub fn timer(&self, name: &str) -> Option<TimerStat> {
         let inner = self.inner.as_ref()?;

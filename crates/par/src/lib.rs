@@ -1,0 +1,231 @@
+//! Deterministic scoped-thread work pool (`mpc-par`).
+//!
+//! Every parallel surface in the workspace — the coordinator's per-site
+//! fan-out, the greedy selector's candidate evaluation, the bench
+//! harness's independent runs — goes through [`par_map`]: a bounded pool
+//! of scoped threads pulling chunks of an indexed work list off a shared
+//! atomic cursor. Each worker keeps its results locally, tagged with the
+//! item index; after the join, results are sorted by index and returned
+//! in input order.
+//!
+//! # Determinism contract
+//!
+//! For a pure per-item function `f` (no shared mutable state, no
+//! dependence on timing), `par_map(t, items, f)` returns a `Vec` that is
+//! **bit-identical for every thread count `t`** — including `t = 1`,
+//! which runs the plain sequential loop. Thread scheduling only changes
+//! *when* an item is evaluated, never *which* result lands at index `i`
+//! or in what order results are merged. The `MPC_THREADS` environment
+//! variable (see [`resolve_threads`]) can therefore be flipped freely
+//! without perturbing any output the workspace produces — CI diffs
+//! partitioning and query output across `MPC_THREADS=1` and `=4`.
+//!
+//! The pool is zero-dependency by design: callers that want `par.*`
+//! observability metrics use [`par_map_stats`] and fold the returned
+//! [`ParStats`] into their own recorder, so `mpc-par` (like `mpc-core`)
+//! never depends on `mpc-obs`. See docs/PARALLELISM.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`resolve_threads`] when the caller
+/// passes no explicit thread count.
+pub const THREADS_ENV: &str = "MPC_THREADS";
+
+/// What one [`par_map_stats`] call did — for callers to fold into their
+/// own observability layer (`mpc-par` itself records nothing).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Worker threads actually used (after clamping to the task count).
+    pub threads: usize,
+    /// Items processed.
+    pub tasks: usize,
+    /// Chunks claimed off the shared cursor (1 on the sequential path).
+    pub chunks: u64,
+}
+
+/// Resolves the effective worker-thread count.
+///
+/// Priority: `explicit` (a `--threads` flag or builder option) →
+/// the `MPC_THREADS` environment variable → the machine's available
+/// parallelism → 1. The result is always ≥ 1; `0` from either source
+/// means "auto" and falls through to the next level.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order. See the crate docs for the
+/// determinism contract. Panics in `f` are propagated to the caller.
+pub fn par_map<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    par_map_stats(threads, items, f).0
+}
+
+/// [`par_map`] that also reports what the pool did as [`ParStats`].
+pub fn par_map_stats<I, R, F>(threads: usize, items: &[I], f: F) -> (Vec<R>, ParStats)
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let tasks = items.len();
+    let workers = threads.max(1).min(tasks);
+    if workers <= 1 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        let stats = ParStats {
+            threads: workers,
+            tasks,
+            chunks: u64::from(tasks > 0),
+        };
+        return (out, stats);
+    }
+    // Chunked claiming: small enough for balance (stragglers hand the
+    // tail to idle workers), large enough to amortize the atomic op.
+    let chunk = tasks.div_ceil(workers * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<(Vec<(usize, R)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut claimed = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= tasks {
+                            break;
+                        }
+                        claimed += 1;
+                        let end = (start + chunk).min(tasks);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            local.push((start + i, f(start + i, item)));
+                        }
+                    }
+                    (local, claimed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let chunks = per_worker.iter().map(|(_, c)| c).sum();
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(tasks);
+    for (local, _) in &mut per_worker {
+        tagged.append(local);
+    }
+    // Indices are unique, so the unstable sort is fully deterministic:
+    // the merge order never depends on which worker ran which chunk.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    let out = tagged.into_iter().map(|(_, r)| r).collect();
+    (
+        out,
+        ParStats {
+            threads: workers,
+            tasks,
+            chunks,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let (got, stats) = par_map_stats(threads, &items, |i, x| {
+                assert_eq!(items[i], *x);
+                x * x + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            assert_eq!(stats.tasks, items.len());
+            assert!(stats.threads <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_sequential() {
+        // A mildly hash-y function so ordering mistakes would show.
+        let items: Vec<u64> = (0..1000).map(|i| i * 2654435761).collect();
+        let f = |i: usize, x: &u64| x.rotate_left(u32::try_from(i % 63).unwrap()) ^ 0x9e3779b97f4a7c15;
+        let seq = par_map(1, &items, f);
+        for threads in [2, 4, 8] {
+            assert_eq!(par_map(threads, &items, f), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        let (out, stats) = par_map_stats(8, &none, |_, x: &u32| *x);
+        assert!(out.is_empty());
+        assert_eq!(stats.chunks, 0);
+        let (out, stats) = par_map_stats(8, &[7u32], |_, x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(stats.threads, 1, "one task never spawns");
+        assert_eq!(stats.chunks, 1);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_clamps() {
+        let items = [1u32, 2, 3];
+        let (out, stats) = par_map_stats(64, &items, |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert!(stats.threads <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map(4, &items, |_, x| {
+            assert!(*x != 33, "worker panic propagates");
+            *x
+        });
+    }
+
+    #[test]
+    fn resolve_threads_priority_chain() {
+        // Explicit beats everything.
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // Explicit 0 means auto → falls through to env / machine.
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(resolve_threads(Some(0)), 5);
+        assert_eq!(resolve_threads(None), 5);
+        // Garbage and zero in the env fall through to the machine.
+        std::env::set_var(THREADS_ENV, "zero");
+        assert!(resolve_threads(None) >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(resolve_threads(None) >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -6,7 +6,7 @@
 //! cargo run --release --example lubm_cluster
 //! ```
 
-use mpc::cluster::{DistributedEngine, ExecMode, NetworkModel};
+use mpc::cluster::{DistributedEngine, ExecMode, ExecRequest, NetworkModel};
 use mpc::core::{
     MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
 };
@@ -54,7 +54,10 @@ fn main() {
         let shape = if nq.query.is_star() { "star" } else { "non-star" };
         let mut row = format!("{:<6} {:<9}", nq.name, shape);
         for (_, mode, engine) in &engines {
-            let (_, stats) = engine.execute_mode(&nq.query, *mode);
+            let stats = engine
+                .run(&nq.query, &ExecRequest::new().mode(*mode))
+                .expect("no fault layer in play")
+                .stats;
             let marker = if stats.independent { "" } else { "*" };
             row.push_str(&format!("{:>11.2}{:<1}", stats.total().as_secs_f64() * 1e3, marker));
             row.push_str("   ");

@@ -9,7 +9,7 @@
 
 #![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
 
-use mpc::cluster::{partial_evaluate, DistributedEngine, NetworkModel, Site};
+use mpc::cluster::{partial_evaluate, DistributedEngine, ExecRequest, NetworkModel, Site};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner};
 use mpc::datagen::lubm::{self, LubmConfig};
 use mpc::sparql::{evaluate, LocalStore};
@@ -50,8 +50,11 @@ fn main() {
         assert_eq!(result, reference, "partial evaluation must be exact");
 
         let engine = DistributedEngine::build(&dataset.graph, &partitioning, NetworkModel::free());
-        let (r2, estats) = engine.execute(&lq9.query);
-        assert_eq!(r2, reference, "decomposition path must be exact");
+        let (r2, estats) = engine
+            .run(&lq9.query, &ExecRequest::new())
+            .expect("no fault layer in play")
+            .into_parts();
+        assert_eq!(r2.rows, reference, "decomposition path must be exact");
 
         println!(
             "\n{name}: |L_cross| = {}",

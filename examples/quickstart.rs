@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use mpc::cluster::{DistributedEngine, NetworkModel};
+use mpc::cluster::{DistributedEngine, ExecRequest, NetworkModel};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 use mpc::rdf::ntriples;
 use mpc::sparql::parse_query;
@@ -63,7 +63,10 @@ fn main() {
         .expect("all terms known");
 
     let class = engine.classify(&query);
-    let (result, stats) = engine.execute(&query);
+    let outcome = engine
+        .run(&query, &ExecRequest::new())
+        .expect("no fault layer in play");
+    let (result, stats) = (outcome.rows(), &outcome.stats);
     println!("query class: {class:?} (independent: {})", stats.independent);
     println!("results ({} rows):", result.len());
     for row in &result.rows {

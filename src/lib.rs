@@ -9,12 +9,13 @@
 //! * [`sparql`] — BGP queries, triple store, homomorphism matcher.
 //! * [`cluster`] — simulated distributed engine (IEQ classification,
 //!   Algorithm 2 decomposition, per-stage execution statistics).
+//! * [`par`] — deterministic scoped-thread work pool (docs/PARALLELISM.md).
 //! * [`datagen`] — seeded dataset and workload generators.
 //!
 //! # End-to-end example
 //!
 //! ```
-//! use mpc::cluster::{DistributedEngine, NetworkModel};
+//! use mpc::cluster::{DistributedEngine, ExecRequest, NetworkModel};
 //! use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 //! use mpc::rdf::ntriples;
 //! use mpc::sparql::parse_query;
@@ -40,9 +41,9 @@
 //!     .resolve(graph.dictionary())
 //!     .unwrap()
 //!     .unwrap();
-//! let (result, stats) = engine.execute(&query);
-//! assert!(stats.independent);
-//! assert_eq!(result.len(), 2); // a→b→c and x→y→z
+//! let outcome = engine.run(&query, &ExecRequest::new()).unwrap();
+//! assert!(outcome.stats.independent);
+//! assert_eq!(outcome.rows().len(), 2); // a→b→c and x→y→z
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,5 +54,6 @@ pub use mpc_core as core;
 pub use mpc_datagen as datagen;
 pub use mpc_dsu as dsu;
 pub use mpc_metis as metis;
+pub use mpc_par as par;
 pub use mpc_rdf as rdf;
 pub use mpc_sparql as sparql;

@@ -1,7 +1,7 @@
 //! End-to-end integration: generators → partitioners → simulated cluster,
 //! cross-checked against centralized evaluation.
 
-use mpc::cluster::{DistributedEngine, ExecMode, NetworkModel, VpEngine};
+use mpc::cluster::{DistributedEngine, ExecMode, ExecRequest, NetworkModel, VpEngine};
 use mpc::core::{
     MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
     VerticalPartitioner,
@@ -40,7 +40,11 @@ fn lubm_benchmark_queries_match_reference_on_all_engines() {
         let engine = DistributedEngine::build(&d.graph, part, NetworkModel::free());
         for nq in d.benchmark_queries() {
             let expected = evaluate(&nq.query, &store);
-            let (result, _) = engine.execute_mode(&nq.query, *mode);
+            let result = engine
+                .run(&nq.query, &ExecRequest::new().mode(*mode))
+                .unwrap()
+                .bindings
+                .rows;
             assert_eq!(result, expected, "{} under {mode:?}", nq.name);
         }
     }
@@ -102,7 +106,7 @@ fn watdiv_log_sample_matches_reference() {
     let vp = VpEngine::build(&d.graph, &ep, NetworkModel::free());
     for (i, q) in log.iter().enumerate() {
         let expected = evaluate(q, &store);
-        let (r1, _) = engine.execute(q);
+        let r1 = engine.run(q, &ExecRequest::new()).unwrap().bindings.rows;
         assert_eq!(r1, expected, "MPC on log query {i}");
         let (r2, _) = vp.execute(q);
         assert_eq!(r2, expected, "VP on log query {i}");
@@ -137,7 +141,7 @@ fn realistic_graph_round_trip() {
     let mut sampler = QuerySampler::new(&g, 123);
     for q in sampler.sample_log(30, &ShapeMix::dbpedia_like()) {
         let expected = evaluate(&q, &store);
-        let (result, _) = engine.execute(&q);
+        let result = engine.run(&q, &ExecRequest::new()).unwrap().bindings.rows;
         assert_eq!(result, expected);
     }
 }

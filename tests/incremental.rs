@@ -4,7 +4,7 @@
 
 #![allow(clippy::cast_possible_truncation)] // test code: ids are tiny and panics are the failure mode
 
-use mpc::cluster::{DistributedEngine, NetworkModel};
+use mpc::cluster::{DistributedEngine, ExecRequest, NetworkModel};
 use mpc::core::{IncrementalPartitioning, MpcConfig, MpcPartitioner, Partitioner};
 use mpc::datagen::lubm::{self, prop, LubmConfig};
 use mpc::rdf::{PropertyId, RdfGraph, Triple, VertexId};
@@ -74,7 +74,11 @@ fn grow_lubm_and_requery() {
         ],
         vec!["student".into()],
     );
-    let (result, stats) = engine.execute(&query);
+    let (result, stats) = engine
+        .run(&query, &ExecRequest::new())
+        .unwrap()
+        .into_parts();
+    let result = result.rows;
     let expected = evaluate(&query, &LocalStore::from_graph(&grown));
     assert_eq!(result, expected);
     assert!(result.len() >= 50, "all new students found");

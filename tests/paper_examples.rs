@@ -5,7 +5,8 @@
 #![allow(clippy::cast_possible_truncation)] // test code: ids are tiny and panics are the failure mode
 
 use mpc::cluster::{
-    classify, decompose_crossing_aware, CrossingSet, DistributedEngine, IeqClass, NetworkModel,
+    classify, decompose_crossing_aware, CrossingSet, DistributedEngine, ExecRequest, IeqClass,
+    NetworkModel,
 };
 use mpc::core::Partitioning;
 use mpc::rdf::{GraphBuilder, PartitionId, RdfGraph};
@@ -187,7 +188,7 @@ fn all_example_queries_execute_correctly_on_the_fig2_cluster() {
     for text in texts {
         let q = resolve(&g, text);
         let expected = evaluate(&q, &store);
-        let (result, _) = engine.execute(&q);
+        let result = engine.run(&q, &ExecRequest::new()).unwrap().bindings.rows;
         assert_eq!(result, expected, "query: {text}");
     }
 }

@@ -3,7 +3,7 @@
 
 #![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // test code: ids are tiny and panics are the failure mode
 
-use mpc::cluster::{classify, CrossingSet, DistributedEngine, IeqClass, NetworkModel};
+use mpc::cluster::{classify, CrossingSet, DistributedEngine, ExecRequest, IeqClass, NetworkModel};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 use mpc::dsu::DisjointSetForest;
 use mpc::rdf::{PropertyId, RdfGraph, Triple, VertexId};
@@ -69,9 +69,9 @@ proptest! {
         let crossing = CrossingSet(g.property_ids().map(|p| part.is_crossing_property(p)).collect());
         prop_assert_eq!(classify(&query, &crossing), IeqClass::Internal);
         let engine = DistributedEngine::build(&g, &part, NetworkModel::free());
-        let (result, stats) = engine.execute(&query);
-        prop_assert!(stats.independent);
-        prop_assert_eq!(result, evaluate(&query, &LocalStore::from_graph(&g)));
+        let outcome = engine.run(&query, &ExecRequest::new()).unwrap();
+        prop_assert!(outcome.stats.independent);
+        prop_assert_eq!(outcome.bindings.rows, evaluate(&query, &LocalStore::from_graph(&g)));
     }
 
     /// Theorem 5 + soundness: star queries over arbitrary properties are
@@ -106,9 +106,9 @@ proptest! {
             matches!(class, IeqClass::Internal | IeqClass::TypeI | IeqClass::TypeII),
             "star classified {:?}", class
         );
-        let (result, stats) = engine.execute(&query);
-        prop_assert!(stats.independent);
-        prop_assert_eq!(result, evaluate(&query, &LocalStore::from_graph(&g)));
+        let outcome = engine.run(&query, &ExecRequest::new()).unwrap();
+        prop_assert!(outcome.stats.independent);
+        prop_assert_eq!(outcome.bindings.rows, evaluate(&query, &LocalStore::from_graph(&g)));
     }
 
     /// Definition 4.1's balance constraint: MPC partitions respect the
@@ -120,7 +120,7 @@ proptest! {
         let cap = (((1.0 + cfg.epsilon) * g.vertex_count() as f64) / k as f64).floor() as u64;
         let selection = mpc::core::select::select_internal_properties(
             &g,
-            &mpc::core::SelectConfig { k, epsilon: cfg.epsilon, ..Default::default() },
+            &mpc::core::SelectConfig::new().with_k(k).with_epsilon(cfg.epsilon),
         );
         prop_assert!(selection.cost <= cap.max(1));
     }

@@ -80,7 +80,11 @@ fn weighted_mpc_queries_still_classify_and_execute() {
     let store = mpc::sparql::LocalStore::from_graph(&g);
     for q in &log {
         let _ = classify(q, &crossing);
-        let (result, _) = engine.execute(q);
+        let result = engine
+            .run(q, &mpc::cluster::ExecRequest::new())
+            .unwrap()
+            .bindings
+            .rows;
         assert_eq!(result, mpc::sparql::evaluate(q, &store));
     }
 }
