@@ -59,6 +59,27 @@ chaos_query > "$CI_TMP/chaos.2"
 cmp "$CI_TMP/chaos.1" "$CI_TMP/chaos.2"
 cat "$CI_TMP/chaos.1"
 
+echo "==> serve smoke (cached workload replay, deterministic + hitting, docs/SERVING.md)"
+cat > "$CI_TMP/workload.txt" <<'EOF'
+# two spellings of one BGP plus a distinct query, replayed
+SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }
+SELECT ?a ?b WHERE { ?b <urn:p:13> ?c . ?a <urn:p:8> ?b }
+SELECT ?x WHERE { ?x <urn:p:0> ?y }
+SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }
+EOF
+serve_replay() {
+    "$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+        --queries "$CI_TMP/workload.txt" --cache-entries 16 --limit 3 \
+        | grep -v '^time:'
+}
+serve_replay > "$CI_TMP/serve.1"
+serve_replay > "$CI_TMP/serve.2"
+# Outside the wall-clock line, two replays are byte-identical…
+cmp "$CI_TMP/serve.1" "$CI_TMP/serve.2"
+# …and the repeats actually hit the result cache.
+grep '^serve:' "$CI_TMP/serve.1" | grep -q 'cache_hits=2'
+grep '^serve:' "$CI_TMP/serve.1"
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -16,9 +16,10 @@
 //!   has an untraced counterpart in the same crate.
 //! * [`rules::RULE_OBS_DOC`] — span/counter names used in code and the
 //!   reference tables in `docs/OBSERVABILITY.md` stay in sync, both ways.
-//! * [`rules::RULE_DEPRECATED_EXEC`] — no calls to the deprecated
-//!   `DistributedEngine::execute*` shims outside `mpc-cluster`; execution
-//!   goes through the unified `run(query, &ExecRequest)` entry point.
+//! * [`rules::RULE_DEPRECATED_EXEC`] — the removed
+//!   `DistributedEngine::execute*` shim family stays gone: no definitions
+//!   anywhere, no calls outside `mpc-cluster`; execution goes through the
+//!   unified `run(query, &ExecRequest)` entry point.
 //!
 //! Any finding can be suppressed in place with a justified
 //! `// mpc-allow: <rule> <justification>` comment on the offending line or

@@ -18,7 +18,8 @@ pub const RULE_TRACED_COUNTERPART: &str = "traced-counterpart";
 pub const RULE_OBS_DOC: &str = "obs-doc";
 /// Rule identifier: malformed `mpc-allow` directives.
 pub const RULE_MPC_ALLOW: &str = "mpc-allow";
-/// Rule identifier: deprecated `execute*` shims outside `mpc-cluster`.
+/// Rule identifier: the removed `execute*` shim family — no calls
+/// outside `mpc-cluster`, no definitions anywhere.
 pub const RULE_DEPRECATED_EXEC: &str = "deprecated-exec";
 
 /// All rule identifiers a directive may name.
@@ -121,8 +122,8 @@ pub fn check_unwrap_expect(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// The deprecated [`DistributedEngine`] shims that the unified
-/// `run(query, &ExecRequest)` entry point replaced. Bare `.execute(` is
+/// The removed [`DistributedEngine`] shim names that the unified
+/// `run(query, &ExecRequest)` entry point replaced. Bare `execute` is
 /// deliberately absent: other engines (e.g. `VpEngine`) legitimately
 /// expose an `execute` method.
 const DEPRECATED_EXEC_METHODS: &[&str] = &[
@@ -132,13 +133,37 @@ const DEPRECATED_EXEC_METHODS: &[&str] = &[
     "execute_fault_tolerant_traced",
 ];
 
-/// Flags calls to the deprecated `DistributedEngine::execute*` shims in
-/// non-test code outside `mpc-cluster` itself. New call sites must go
-/// through `run(query, &ExecRequest)` — one entry point, every knob —
-/// so execution options never fork into method-name combinatorics again.
-/// The shims stay only for downstream source compatibility.
+/// The `execute*` family is gone; this rule keeps it gone. Two checks:
+///
+/// * **definitions** — `fn execute_mode` (and friends) must not reappear
+///   in non-test code *anywhere*, including `mpc-cluster`, their former
+///   home. Execution knobs belong on `ExecRequest`, not in method-name
+///   combinatorics.
+/// * **call sites** — `.execute_mode(...)` etc. is flagged outside
+///   `mpc-cluster` (the crate may keep internal helpers under test).
 pub fn check_deprecated_exec(f: &SourceFile, out: &mut Vec<Finding>) {
-    if f.crate_name == "cluster" || f.kind == FileKind::Test {
+    if f.kind == FileKind::Test {
+        return;
+    }
+    for (name, line) in fn_definitions(f) {
+        if !DEPRECATED_EXEC_METHODS.contains(&name.as_str()) {
+            continue;
+        }
+        if f.in_test_code(line) || f.is_allowed(RULE_DEPRECATED_EXEC, line) {
+            continue;
+        }
+        out.push(Finding {
+            path: f.path.clone(),
+            line,
+            rule: RULE_DEPRECATED_EXEC,
+            message: format!(
+                "`fn {name}` redefines a removed execution shim; route the knob \
+                 through `ExecRequest` and `DistributedEngine::run`, or add \
+                 `// mpc-allow: deprecated-exec <why the name must return>`"
+            ),
+        });
+    }
+    if f.crate_name == "cluster" {
         return;
     }
     let t = &f.lexed.tokens;
@@ -162,7 +187,7 @@ pub fn check_deprecated_exec(f: &SourceFile, out: &mut Vec<Finding>) {
             line,
             rule: RULE_DEPRECATED_EXEC,
             message: format!(
-                "`.{}()` is a deprecated execution shim; build an `ExecRequest` and \
+                "`.{}()` calls a removed execution shim; build an `ExecRequest` and \
                  call `DistributedEngine::run`, or add \
                  `// mpc-allow: deprecated-exec <why the shim is needed>`",
                 name.text
@@ -525,6 +550,30 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty(), "mpc-allow suppresses the finding");
+    }
+
+    #[test]
+    fn deprecated_exec_definitions_flagged_everywhere() {
+        // Even the shims' former home crate may not bring the names back.
+        let src = "impl DistributedEngine { pub fn execute_mode(&self) {} }\n";
+        let in_cluster =
+            SourceFile::parse("crates/cluster/src/a.rs", "cluster", FileKind::Lib, false, src);
+        let mut out = Vec::new();
+        check_deprecated_exec(&in_cluster, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("redefines"));
+
+        out.clear();
+        check_deprecated_exec(
+            &lib_file("pub fn execute(q: &Q) {}\npub fn execute_plan() {}\n"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "bare `execute` and other names stay legal");
+
+        out.clear();
+        let test_file = SourceFile::parse("crates/x/tests/t.rs", "x", FileKind::Test, false, src);
+        check_deprecated_exec(&test_file, &mut out);
+        assert!(out.is_empty(), "test code may define doubles");
     }
 
     #[test]

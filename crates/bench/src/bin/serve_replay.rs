@@ -1,0 +1,5 @@
+//! Serving-layer workload replay, cached vs uncached. See
+//! `mpc_bench::experiments::serve_replay`.
+fn main() {
+    mpc_bench::experiments::serve_replay::run();
+}

@@ -4,10 +4,11 @@ use crate::args::Options;
 use crate::{partfile, CliError};
 use mpc_cluster::{
     classify as classify_query, CrossingSet, DistributedEngine, ExecMode, ExecRequest, FaultPlan,
-    FaultSpec, NetworkModel, RetryPolicy,
+    FaultSpec, NetworkModel, RetryPolicy, ServeEngine,
 };
 use mpc_core::{
-    MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
+    MetisConfig, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
+    SubjectHashPartitioner,
 };
 use mpc_datagen::lubm::{self, LubmConfig};
 use mpc_datagen::realistic::{generate as gen_real, RealisticConfig};
@@ -15,7 +16,7 @@ use mpc_datagen::watdiv::{self, WatdivConfig};
 use mpc_obs::Recorder;
 use mpc_rdf::{ntriples, turtle, RdfGraph, VertexId};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::time::Instant;
 use mpc_rdf::narrow;
 
@@ -143,14 +144,37 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn build_partitioner(method: &str, k: usize, epsilon: f64) -> Result<Box<dyn Partitioner>, CliError> {
+fn mpc_config(k: usize, epsilon: f64, seed: u64, threads: Option<usize>) -> MpcConfig {
+    MpcConfig {
+        epsilon,
+        metis: MetisConfig {
+            seed,
+            ..MetisConfig::default()
+        },
+        threads,
+        ..MpcConfig::with_k(k)
+    }
+}
+
+fn build_partitioner(
+    method: &str,
+    k: usize,
+    epsilon: f64,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<Box<dyn Partitioner>, CliError> {
     match method {
-        "mpc" => Ok(Box::new(MpcPartitioner::new(MpcConfig {
-            epsilon,
-            ..MpcConfig::with_k(k)
-        }))),
+        "mpc" => Ok(Box::new(MpcPartitioner::new(mpc_config(
+            k, epsilon, seed, threads,
+        )))),
         "hash" => Ok(Box::new(SubjectHashPartitioner::new(k))),
-        "metis" => Ok(Box::new(MinEdgeCutPartitioner::new(k))),
+        "metis" => Ok(Box::new(MinEdgeCutPartitioner {
+            metis: MetisConfig {
+                seed,
+                ..MetisConfig::default()
+            },
+            ..MinEdgeCutPartitioner::new(k)
+        })),
         other => Err(CliError::new(format!(
             "unknown method '{other}' (mpc|hash|metis)"
         ))),
@@ -161,15 +185,17 @@ fn build_partitioner(method: &str, k: usize, epsilon: f64) -> Result<Box<dyn Par
 pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
-        &["input", "out", "method", "k", "epsilon"],
+        &["input", "out", "method", "k", "epsilon", "seed", "threads"],
         &["profile", "verify"],
     )?;
     let graph = load_graph(o.required("input")?)?;
     let out_path = o.required("out")?;
     let k: usize = o.parse_or("k", 8)?;
     let epsilon: f64 = o.parse_or("epsilon", 0.1)?;
+    let seed: u64 = o.parse_or("seed", MetisConfig::default().seed)?;
+    let threads = o.get("threads").map(|_| o.parse_or("threads", 0)).transpose()?;
     let method = o.get("method").unwrap_or("mpc");
-    let partitioner = build_partitioner(method, k, epsilon)?;
+    let partitioner = build_partitioner(method, k, epsilon, seed, threads)?;
     let rec = if o.flag("profile") {
         Recorder::enabled()
     } else {
@@ -179,10 +205,7 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let partitioning = if rec.is_enabled() && method == "mpc" {
         // The MPC pipeline has per-stage spans; baselines only get the
         // overall timer below.
-        let mpc = MpcPartitioner::new(MpcConfig {
-            epsilon,
-            ..MpcConfig::with_k(k)
-        });
+        let mpc = MpcPartitioner::new(mpc_config(k, epsilon, seed, threads));
         mpc.partition_traced(&graph, &rec).0
     } else {
         let _total = rec.span("partition.total");
@@ -309,6 +332,76 @@ pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn parse_mode(value: Option<&str>) -> Result<ExecMode, CliError> {
+    match value.unwrap_or("crossing") {
+        "crossing" => Ok(ExecMode::CrossingAware),
+        "star" => Ok(ExecMode::StarOnly),
+        other => Err(CliError::new(format!("unknown mode '{other}' (crossing|star)"))),
+    }
+}
+
+/// Parses the `--chaos` option family into a [`FaultSpec`]
+/// (docs/FAULT_TOLERANCE.md); `Ok(None)` when `--chaos` is absent.
+fn chaos_spec(o: &Options) -> Result<Option<FaultSpec>, CliError> {
+    let Some(spec) = o.get("chaos") else {
+        if o.flag("strict") {
+            return Err(CliError::new("--strict only applies with --chaos"));
+        }
+        return Ok(None);
+    };
+    let mut plan = FaultPlan::parse(spec).map_err(CliError::new)?;
+    plan.seed = o.parse_or("seed", 42)?;
+    let policy = RetryPolicy {
+        max_retries: o.parse_or("retries", RetryPolicy::default().max_retries)?,
+        deadline: std::time::Duration::from_millis(o.parse_or("deadline-ms", 500)?),
+        ..RetryPolicy::default()
+    };
+    let replicas: usize = o.parse_or("replicas", 1)?;
+    Ok(Some(FaultSpec::Custom {
+        plan,
+        policy,
+        replicas,
+        graceful: !o.flag("strict"),
+    }))
+}
+
+/// Prints a finished result table: `?a\t?b` header, one row per line
+/// (IRIs when the dictionary is full, `v{id}` otherwise), truncated at
+/// `display_limit` with a `… (N more rows)` marker.
+fn write_rows(
+    out: &mut dyn Write,
+    graph: &RdfGraph,
+    query: &mpc_sparql::Query,
+    result: &mpc_sparql::Bindings,
+    display_limit: usize,
+) -> Result<(), CliError> {
+    let names: Vec<&str> = result
+        .vars
+        .iter()
+        .map(|&v| query.var_names[v as usize].as_str())
+        .collect();
+    writeln!(out, "?{}", names.join("\t?"))?;
+    let dict = graph.dictionary();
+    let named = dict.vertex_count() == graph.vertex_count();
+    for row in result.rows.iter().take(display_limit) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|&v| {
+                if named {
+                    dict.vertex_term(VertexId(v)).to_string()
+                } else {
+                    format!("v{v}")
+                }
+            })
+            .collect();
+        writeln!(out, "{}", cells.join("\t"))?;
+    }
+    if result.rows.len() > display_limit {
+        writeln!(out, "… ({} more rows)", result.rows.len() - display_limit)?;
+    }
+    Ok(())
+}
+
 /// `mpc query`.
 pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
@@ -332,11 +425,7 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
     let (parsed, resolved) = load_query(o.required("query")?, &graph)?;
-    let mode = match o.get("mode").unwrap_or("crossing") {
-        "crossing" => ExecMode::CrossingAware,
-        "star" => ExecMode::StarOnly,
-        other => return Err(CliError::new(format!("unknown mode '{other}' (crossing|star)"))),
-    };
+    let mode = parse_mode(o.get("mode"))?;
     let radius: usize = o.parse_or("radius", 1)?;
     let Some(query) = resolved else {
         writeln!(out, "0 results (query references terms absent from the graph)")?;
@@ -352,30 +441,12 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Recorder::disabled()
     };
     let mut req = ExecRequest::new().mode(mode).traced(&rec);
-    if let Some(t) = o.get("threads") {
-        let threads: usize = t
-            .parse()
-            .map_err(|_| CliError::new(format!("option '--threads': cannot parse '{t}'")))?;
-        req = req.threads(threads);
+    if o.get("threads").is_some() {
+        req = req.threads(o.parse_or("threads", 0)?);
     }
     let chaos = o.get("chaos").is_some();
-    if let Some(spec) = o.get("chaos") {
-        let mut plan = FaultPlan::parse(spec).map_err(CliError::new)?;
-        plan.seed = o.parse_or("seed", 42)?;
-        let policy = RetryPolicy {
-            max_retries: o.parse_or("retries", RetryPolicy::default().max_retries)?,
-            deadline: std::time::Duration::from_millis(o.parse_or("deadline-ms", 500)?),
-            ..RetryPolicy::default()
-        };
-        let replicas: usize = o.parse_or("replicas", 1)?;
-        req = req.fault(FaultSpec::Custom {
-            plan,
-            policy,
-            replicas,
-            graceful: !o.flag("strict"),
-        });
-    } else if o.flag("strict") {
-        return Err(CliError::new("--strict only applies with --chaos"));
+    if let Some(fault) = chaos_spec(&o)? {
+        req = req.fault(fault);
     }
     let outcome = engine
         .run(&query, &req)
@@ -385,33 +456,8 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let result = parsed
         .finish(&query, bindings, graph.dictionary())
         .map_err(|e| CliError::new(e.to_string()))?;
-
-    // Header.
-    let names: Vec<&str> = result
-        .vars
-        .iter()
-        .map(|&v| query.var_names[v as usize].as_str())
-        .collect();
-    writeln!(out, "?{}", names.join("\t?"))?;
-    let dict = graph.dictionary();
-    let named = dict.vertex_count() == graph.vertex_count();
     let display_limit: usize = o.parse_or("limit", 20)?;
-    for row in result.rows.iter().take(display_limit) {
-        let cells: Vec<String> = row
-            .iter()
-            .map(|&v| {
-                if named {
-                    dict.vertex_term(VertexId(v)).to_string()
-                } else {
-                    format!("v{v}")
-                }
-            })
-            .collect();
-        writeln!(out, "{}", cells.join("\t"))?;
-    }
-    if result.rows.len() > display_limit {
-        writeln!(out, "… ({} more rows)", result.rows.len() - display_limit)?;
-    }
+    write_rows(out, &graph, &query, &result, display_limit)?;
     writeln!(
         out,
         "\n{} rows; class={:?} independent={} subqueries={} \
@@ -443,6 +489,178 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     }
     if rec.is_enabled() {
+        writeln!(out, "\nprofile:")?;
+        write!(out, "{}", rec.report().to_text())?;
+    }
+    Ok(())
+}
+
+/// Serves one workload line: parse, resolve, execute through the cached
+/// front end, print the result table plus a `[{idx}] rows=… cache=…`
+/// status line. Returns the row count.
+#[allow(clippy::too_many_arguments)] // one call site, plain plumbing
+fn serve_one(
+    server: &ServeEngine,
+    line: &str,
+    idx: usize,
+    graph: &RdfGraph,
+    req: &ExecRequest,
+    rec: &Recorder,
+    display_limit: usize,
+    out: &mut dyn Write,
+) -> Result<usize, CliError> {
+    let parsed = mpc_sparql::parse_query(line)
+        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    let resolved = parsed
+        .resolve(graph.dictionary())
+        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    let Some(query) = resolved else {
+        writeln!(out, "[{idx}] rows=0 cache=skip (terms absent from the graph)")?;
+        return Ok(0);
+    };
+    let hits_before = rec.counter("serve.cache.hit").unwrap_or(0);
+    let outcome = server
+        .serve(&query, req)
+        .map_err(|e| CliError::new(format!("query {idx} failed: {e}")))?;
+    let hit = rec.counter("serve.cache.hit").unwrap_or(0) > hits_before;
+    let (partial, _) = outcome.into_parts();
+    let result = parsed
+        .finish(&query, partial.rows, graph.dictionary())
+        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    write_rows(out, graph, &query, &result, display_limit)?;
+    writeln!(
+        out,
+        "[{idx}] rows={} cache={}",
+        result.rows.len(),
+        if hit { "hit" } else { "miss" }
+    )?;
+    Ok(result.rows.len())
+}
+
+/// `mpc serve` — the cached serving loop over the simulated cluster
+/// (docs/SERVING.md). With `--queries FILE` it replays a workload file —
+/// one SPARQL query per non-blank, non-`#` line; without it, the same
+/// format is read from stdin as a line-per-query REPL. Everything except
+/// the `time:` line is deterministic, so two replays of the same
+/// workload diff clean (ci.sh relies on that).
+pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse_with_flags(
+        args,
+        &[
+            "input",
+            "partitions",
+            "queries",
+            "mode",
+            "radius",
+            "limit",
+            "cache-entries",
+            "threads",
+            "chaos",
+            "seed",
+            "retries",
+            "deadline-ms",
+            "replicas",
+        ],
+        &["profile", "warm", "no-cache", "strict"],
+    )?;
+    let graph = load_graph(o.required("input")?)?;
+    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
+    let mode = parse_mode(o.get("mode"))?;
+    let radius: usize = o.parse_or("radius", 1)?;
+    let cache_entries: usize = o.parse_or("cache-entries", 256)?;
+    let display_limit: usize = o.parse_or("limit", 20)?;
+    let engine =
+        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    let server = ServeEngine::new(engine, cache_entries);
+    // Always-on recorder: it drives the per-query hit markers and the
+    // summary line; --profile additionally prints the full report.
+    let rec = Recorder::enabled();
+    let mut req = ExecRequest::new()
+        .mode(mode)
+        .traced(&rec)
+        .cached(!o.flag("no-cache"));
+    if o.get("threads").is_some() {
+        req = req.threads(o.parse_or("threads", 0)?);
+    }
+    if let Some(fault) = chaos_spec(&o)? {
+        // Chaos requests pass through the front end uncached — this
+        // exercises exactly the fault path docs/SERVING.md describes.
+        req = req.fault(fault);
+    }
+    let batch = o
+        .get("queries")
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))
+        })
+        .transpose()?;
+    if o.flag("warm") && batch.is_none() {
+        return Err(CliError::new("--warm requires --queries (a replayable workload)"));
+    }
+    let t0 = Instant::now();
+    let mut served = 0usize;
+    let mut total_rows = 0usize;
+    if let Some(text) = batch {
+        let workload: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if o.flag("warm") {
+            // Populate the cache with one untraced pass so the replay
+            // below reports steady-state hit rates.
+            let warm_req = req.clone().traced(&Recorder::disabled());
+            for line in &workload {
+                let parsed = mpc_sparql::parse_query(line)
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                if let Some(query) = parsed
+                    .resolve(graph.dictionary())
+                    .map_err(|e| CliError::new(e.to_string()))?
+                {
+                    server
+                        .serve(&query, &warm_req)
+                        .map_err(|e| CliError::new(format!("warm-up failed: {e}")))?;
+                }
+            }
+        }
+        for line in &workload {
+            served += 1;
+            total_rows +=
+                serve_one(&server, line, served, &graph, &req, &rec, display_limit, out)?;
+        }
+    } else {
+        // REPL: parse/execution errors are reported and the loop keeps
+        // going — an interactive session should survive a typo.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            served += 1;
+            match serve_one(&server, line, served, &graph, &req, &rec, display_limit, out) {
+                Ok(rows) => total_rows += rows,
+                Err(e) => writeln!(out, "[{served}] error: {e}")?,
+            }
+        }
+    }
+    let c = |name: &str| rec.counter(name).unwrap_or(0);
+    writeln!(
+        out,
+        "serve: queries={served} rows={total_rows} cache_hits={} cache_misses={} \
+         evictions={} plan_hits={} plan_misses={} entries={}/{} epoch={}",
+        c("serve.cache.hit"),
+        c("serve.cache.miss"),
+        c("serve.cache.evict"),
+        c("serve.plan.hit"),
+        c("serve.plan.miss"),
+        server.cache_len(),
+        server.cache_capacity(),
+        server.epoch(),
+    )?;
+    writeln!(out, "time: {:.2}ms total", t0.elapsed().as_secs_f64() * 1e3)?;
+    if o.flag("profile") {
         writeln!(out, "\nprofile:")?;
         write!(out, "{}", rec.report().to_text())?;
     }

@@ -9,6 +9,8 @@
 //!   assignment,
 //! * `classify` — IEQ-classify a SPARQL query against a saved partitioning,
 //! * `query` — execute a SPARQL query on the simulated cluster,
+//! * `serve` — replay a query workload through the cached serving front
+//!   end (docs/SERVING.md), batch or REPL,
 //! * `analyze` — run the workspace lint engine (docs/STATIC_ANALYSIS.md).
 //!
 //! All logic lives here (testable); `src/bin/mpc.rs` is a thin shim.
@@ -67,6 +69,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "analyze" => commands::analyze(rest, out),
         "explain" => commands::explain(rest, out),
         "query" => commands::query(rest, out),
+        "serve" => commands::serve(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -88,11 +91,16 @@ USAGE:
     mpc stats     --input <FILE.nt|FILE.ttl> [--properties <N>]
     mpc partition --input <FILE> --out <FILE.parts>
                   [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>] [--profile]
-                  [--verify]
+                  [--verify] [--seed <N>] [--threads <N>]
     mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
     mpc analyze   [--root <DIR>]
     mpc explain   --input <FILE> --query <FILE.rq>
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
+                  [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
+                  [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
+                  [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
+    mpc serve     --input <FILE> --partitions <FILE.parts> [--queries <FILE>]
+                  [--cache-entries <N>] [--warm] [--no-cache]
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
@@ -112,7 +120,19 @@ across `--replicas` extra hosts per fragment, and — unless `--strict` —
 degrades gracefully, reporting `complete=false` plus the failed sites
 instead of erroring.
 
-`--threads` caps the coordinator's worker pool (0 = auto; defaults to
-the `MPC_THREADS` environment variable, then the machine). Results are
-bit-identical for every thread count (docs/PARALLELISM.md)."
+`--threads` caps the worker pool — the coordinator's per-site fan-out
+for `query`/`serve`, the selection stage for `partition` (0 = auto;
+defaults to the `MPC_THREADS` environment variable, then the machine).
+Results are bit-identical for every thread count (docs/PARALLELISM.md).
+`--seed` pins the multilevel partitioner's RNG for `partition` and the
+fault sampler for `query`/`serve --chaos`.
+
+`serve` replays a workload through the cached serving front end
+(docs/SERVING.md): `--queries FILE` holds one SPARQL query per
+non-blank, non-# line; without it, the same format is read from stdin
+as a REPL. The result cache keeps `--cache-entries` results (default
+256; `--no-cache` bypasses it per request, 0 disables it); `--warm`
+pre-runs the workload once so the replay reports steady-state hits.
+Every output line except `time:` is deterministic — replaying a
+workload twice diffs clean."
 }

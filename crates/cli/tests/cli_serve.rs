@@ -1,0 +1,199 @@
+//! End-to-end `mpc serve` flow: workload replay through the cached
+//! serving front end, plus the uniform `--seed`/`--threads` knobs on
+//! `partition` (docs/SERVING.md).
+
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
+use std::path::{Path, PathBuf};
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    mpc_cli::run(&args, &mut out)
+        .map(|()| String::from_utf8(out).expect("utf8 output"))
+        .map_err(|e| e.message)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpc-serve-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// generate → partition, returning (data, parts) paths.
+fn setup(dir: &Path) -> (PathBuf, PathBuf) {
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+    ])
+    .unwrap();
+    (data, parts)
+}
+
+/// Everything but the wall-clock line — the deterministic part of the
+/// output (the same filter ci.sh applies before diffing two replays).
+fn stable_lines(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("time:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn summary_line(s: &str) -> String {
+    s.lines()
+        .find(|l| l.starts_with("serve:"))
+        .expect("serve summary line")
+        .to_owned()
+}
+
+#[test]
+fn workload_replay_hits_respelled_repeats_and_diffs_clean() {
+    let dir = temp_dir("replay");
+    let (data, parts) = setup(&dir);
+    let workload = dir.join("workload.txt");
+    // Three spellings of the same BGP (renamed variables, reordered
+    // patterns) plus one distinct query and a comment line.
+    std::fs::write(
+        &workload,
+        "# lubm serving workload\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }\n\
+         SELECT ?a ?b WHERE { ?b <urn:p:13> ?c . ?a <urn:p:8> ?b }\n\
+         SELECT ?x WHERE { ?x <urn:p:0> ?y }\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }\n",
+    )
+    .unwrap();
+    let args = [
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--cache-entries", "16", "--limit", "3",
+    ];
+    let first = run(&args).unwrap();
+    // The respelled repeat and the literal repeat both hit; the two
+    // distinct canonical queries miss.
+    assert!(first.contains("[1] rows="), "{first}");
+    assert!(first.lines().any(|l| l.starts_with("[1]") && l.ends_with("cache=miss")), "{first}");
+    assert!(first.lines().any(|l| l.starts_with("[2]") && l.ends_with("cache=hit")), "{first}");
+    assert!(first.lines().any(|l| l.starts_with("[3]") && l.ends_with("cache=miss")), "{first}");
+    assert!(first.lines().any(|l| l.starts_with("[4]") && l.ends_with("cache=hit")), "{first}");
+    let summary = summary_line(&first);
+    assert!(summary.contains("queries=4"), "{summary}");
+    assert!(summary.contains("cache_hits=2"), "{summary}");
+    assert!(summary.contains("cache_misses=2"), "{summary}");
+    assert!(summary.contains("entries=2/16"), "{summary}");
+    assert!(first.lines().any(|l| l.starts_with("time:")), "{first}");
+
+    // Replaying the same workload is deterministic outside the time line.
+    let second = run(&args).unwrap();
+    assert_eq!(stable_lines(&first), stable_lines(&second));
+
+    // --no-cache: same rows, zero hits.
+    let mut no_cache: Vec<&str> = args.to_vec();
+    no_cache.push("--no-cache");
+    let uncached = run(&no_cache).unwrap();
+    assert!(summary_line(&uncached).contains("cache_hits=0"), "{uncached}");
+    let rows = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with('[') && !l.starts_with("serve:") && !l.starts_with("time:"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(rows(&first), rows(&uncached), "cache must not change results");
+
+    // --warm: the printed replay is all hits.
+    let mut warm: Vec<&str> = args.to_vec();
+    warm.push("--warm");
+    let warmed = run(&warm).unwrap();
+    assert!(summary_line(&warmed).contains("cache_hits=4"), "{warmed}");
+    assert!(summary_line(&warmed).contains("cache_misses=0"), "{warmed}");
+    assert_eq!(rows(&first), rows(&warmed), "warming must not change results");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_requests_bypass_the_cache() {
+    let dir = temp_dir("chaos");
+    let (data, parts) = setup(&dir);
+    let workload = dir.join("workload.txt");
+    std::fs::write(
+        &workload,
+        "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y }\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y }\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--chaos", "slow=0.2,slow-factor=2", "--seed", "7",
+    ])
+    .unwrap();
+    // A repeated query under chaos still executes twice: fault-layer
+    // requests pass through uncached (docs/SERVING.md).
+    let summary = summary_line(&out);
+    assert!(summary.contains("cache_hits=0"), "{summary}");
+    assert!(summary.contains("cache_misses=0"), "{summary}");
+    assert!(summary.contains("entries=0/"), "{summary}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_flag_validation() {
+    let dir = temp_dir("flags");
+    let (data, parts) = setup(&dir);
+    // --warm is a workload-replay feature; a REPL has nothing to warm from.
+    let err = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--warm",
+    ])
+    .unwrap_err();
+    assert!(err.contains("--warm requires --queries"), "{err}");
+    // --strict still needs --chaos, exactly as in `mpc query`.
+    let err = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", "/nonexistent", "--strict",
+    ])
+    .unwrap_err();
+    assert!(err.contains("--strict only applies"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_seed_and_threads_are_uniform_knobs() {
+    let dir = temp_dir("partition-knobs");
+    let data = dir.join("lubm.nt");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    let parts = |tag: &str| dir.join(format!("lubm-{tag}.parts"));
+    for (tag, seed, threads) in [("a", "7", "1"), ("b", "7", "2"), ("c", "9", "2")] {
+        run(&[
+            "partition", "--input", data.to_str().unwrap(), "--out",
+            parts(tag).to_str().unwrap(), "--method", "mpc", "--k", "4",
+            "--seed", seed, "--threads", threads,
+        ])
+        .unwrap();
+    }
+    let read = |tag: &str| std::fs::read(parts(tag)).unwrap();
+    // Same seed → byte-identical assignment for any thread count
+    // (docs/PARALLELISM.md); a different seed may legitimately differ,
+    // but must still produce a loadable partitioning.
+    assert_eq!(read("a"), read("b"), "thread count must not change the partitioning");
+    let q = dir.join("q.rq");
+    std::fs::write(&q, "SELECT ?x WHERE { ?x <urn:p:8> ?y }").unwrap();
+    let out = run(&[
+        "classify", "--input", data.to_str().unwrap(), "--partitions",
+        parts("c").to_str().unwrap(), "--query", q.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("class:"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -17,9 +17,11 @@
 //! simulated [`NetworkModel`].
 //!
 //! The single entry point is [`DistributedEngine::run`], driven by an
-//! [`ExecRequest`] (mode, tracing, fault handling, threads) and
+//! [`ExecRequest`] (mode, tracing, fault handling, threads, caching) and
 //! returning an [`ExecOutcome`]. The historical `execute*` method family
-//! survives as deprecated shims for one release.
+//! is gone; the `deprecated-exec` lint (`mpc analyze`) keeps both its
+//! call sites *and* its method names from reappearing. For cached
+//! serving on top of this entry point, see [`crate::serve::ServeEngine`].
 
 use crate::decompose::{decompose_crossing_aware, decompose_stars, Subquery};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, SiteError};
@@ -34,7 +36,8 @@ use mpc_core::Partitioning;
 use mpc_obs::Recorder;
 use mpc_rdf::{FxHashMap, RdfGraph};
 use mpc_sparql::{
-    evaluate, evaluate_observed, join_all, Bindings, MatchStats, Query, TriplePattern,
+    evaluate_ordered, evaluate_ordered_observed, join_all, static_order, Bindings, MatchStats,
+    Query, StoreStats, TriplePattern,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,7 +95,7 @@ pub enum FaultSpec {
 /// assert_eq!(req.threads, Some(4));
 /// ```
 #[non_exhaustive]
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecRequest {
     /// Recognition / decomposition strategy (default: crossing-aware MPC).
     pub mode: ExecMode,
@@ -106,6 +109,23 @@ pub struct ExecRequest {
     /// parallelism — see [`mpc_par::resolve_threads`]. Results are
     /// bit-identical for every value (docs/PARALLELISM.md).
     pub threads: Option<usize>,
+    /// Allow answering from the serving layer's result cache (default:
+    /// true). Only [`crate::serve::ServeEngine`] consults this — a plain
+    /// [`DistributedEngine::run`] always executes. Set false to force a
+    /// full execution through a serving front end (docs/SERVING.md).
+    pub cached: bool,
+}
+
+impl Default for ExecRequest {
+    fn default() -> Self {
+        ExecRequest {
+            mode: ExecMode::default(),
+            recorder: Recorder::disabled(),
+            fault: FaultSpec::default(),
+            threads: None,
+            cached: true,
+        }
+    }
 }
 
 impl ExecRequest {
@@ -142,6 +162,14 @@ impl ExecRequest {
         self.threads = Some(threads);
         self
     }
+
+    /// Allows (default) or forbids answering from a serving layer's
+    /// result cache — see [`crate::serve::ServeEngine`].
+    #[must_use]
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
 }
 
 /// What [`DistributedEngine::run`] produced: the (possibly partial)
@@ -169,14 +197,21 @@ impl ExecOutcome {
     }
 }
 
-/// A cached query plan: classification plus (for non-IEQs) the
-/// decomposition. Real coordinators cache plans because the same query
+/// A cached query plan: classification, (for non-IEQs) the
+/// decomposition, and the statistics-driven static join orders the sites
+/// follow ([`mpc_sparql::static_order`] over the engine's aggregated
+/// [`StoreStats`]). Real coordinators cache plans because the same query
 /// templates repeat in workloads; the cache also lets repeated benchmark
 /// runs measure steady-state QDT.
 #[derive(Clone)]
 struct CachedPlan {
     class: IeqClass,
     subqueries: Option<Arc<Vec<Subquery>>>,
+    /// Pattern order for independent execution of the whole query.
+    order: Arc<Vec<usize>>,
+    /// Pattern order per subquery (parallel to `subqueries`; empty when
+    /// the query runs independently).
+    sub_orders: Arc<Vec<Vec<usize>>>,
 }
 
 /// The (possibly partial) result of a fault-tolerant execution: graceful
@@ -287,6 +322,10 @@ pub struct DistributedEngine {
     pub semijoin_reduction: bool,
     /// Plan cache keyed by (pattern list, crossing-aware?).
     plans: Mutex<FxHashMap<(Vec<TriplePattern>, bool), CachedPlan>>,
+    /// Per-property cardinality statistics aggregated across sites at
+    /// build time (crossing-edge replicas are counted once per site, so
+    /// counts are upper bounds — fine for comparing plan candidates).
+    stats: StoreStats,
     /// Fault-tolerance layer; `None` on the (default) infallible path.
     fault: Option<FaultLayer>,
     /// Monotone query number — a coordinate of every fault decision, so a
@@ -325,6 +364,10 @@ impl DistributedEngine {
                 site
             })
             .collect();
+        let mut stats = StoreStats::default();
+        for site in &sites {
+            stats.merge(site.store.stats());
+        }
         DistributedEngine {
             sites,
             crossing,
@@ -333,6 +376,7 @@ impl DistributedEngine {
             radius,
             semijoin_reduction: false,
             plans: Mutex::new(FxHashMap::default()),
+            stats,
             fault: None,
             query_seq: AtomicU64::new(0),
         }
@@ -391,6 +435,13 @@ impl DistributedEngine {
     /// The crossing-property set the engine plans against.
     pub fn crossing_set(&self) -> &CrossingSet {
         &self.crossing
+    }
+
+    /// The per-property cardinality statistics the planner orders joins
+    /// by (aggregated across sites at build time; replica counts make
+    /// them upper bounds).
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     /// IEQ classification of a query under this engine's partitioning.
@@ -471,39 +522,6 @@ impl DistributedEngine {
         }
     }
 
-    /// Executes with [`ExecMode::CrossingAware`] (the MPC path).
-    #[deprecated(note = "use `run(query, &ExecRequest::new().fault(FaultSpec::Disabled))`")]
-    pub fn execute(&self, query: &Query) -> (Bindings, ExecutionStats) {
-        self.exec_shim(query, ExecMode::CrossingAware, &Recorder::disabled())
-    }
-
-    /// Executes a query under the given mode, returning all-variable
-    /// bindings plus the per-stage statistics.
-    #[deprecated(note = "use `run` with `ExecRequest::new().mode(..).fault(FaultSpec::Disabled)`")]
-    pub fn execute_mode(&self, query: &Query, mode: ExecMode) -> (Bindings, ExecutionStats) {
-        self.exec_shim(query, mode, &Recorder::disabled())
-    }
-
-    /// `execute_mode` with recording — see [`Self::run`] and
-    /// docs/OBSERVABILITY.md.
-    #[deprecated(note = "use `run` with `ExecRequest::new().traced(rec).fault(FaultSpec::Disabled)`")]
-    pub fn execute_traced(
-        &self,
-        query: &Query,
-        mode: ExecMode,
-        rec: &Recorder,
-    ) -> (Bindings, ExecutionStats) {
-        self.exec_shim(query, mode, rec)
-    }
-
-    /// Shared body of the three infallible deprecated shims: the
-    /// fault-free path is total, so no `Result` plumbing is needed.
-    fn exec_shim(&self, query: &Query, mode: ExecMode, rec: &Recorder) -> (Bindings, ExecutionStats) {
-        let threads = mpc_par::resolve_threads(None);
-        rec.set("par.threads", threads as u64);
-        self.exec_infallible(query, mode, rec, threads)
-    }
-
     /// The infallible execution path: QDT / per-site LET / comm / join
     /// breakdown plus plan-cache, semijoin, and matcher counters under
     /// `query.*`. With a disabled recorder, sites run the unobserved
@@ -526,7 +544,7 @@ impl DistributedEngine {
         let (result, stats) = match plan {
             None => {
                 let (result, local_eval_time, comm_bytes, comm_time) =
-                    self.run_everywhere_and_union(query, rec, threads);
+                    self.run_everywhere_and_union(query, &plan_entry.order, rec, threads);
                 let stats = ExecutionStats {
                     class,
                     independent: true,
@@ -543,7 +561,7 @@ impl DistributedEngine {
             }
             Some(subqueries) => {
                 let (tables, local_eval_time, comm_bytes, comm_time) =
-                    self.run_subqueries(&subqueries, rec, threads);
+                    self.run_subqueries(&subqueries, &plan_entry.sub_orders, rec, threads);
                 let join_span = rec.span("query.join");
                 let t_join = Instant::now();
                 // Join smaller tables first.
@@ -581,8 +599,9 @@ impl DistributedEngine {
         (result, stats)
     }
 
-    /// Plan-cache lookup: classification plus (for non-IEQs) decomposition,
-    /// computed once per (pattern list, mode) and reused.
+    /// Plan-cache lookup: classification, (for non-IEQs) decomposition,
+    /// and static join orders, computed once per (pattern list, mode) and
+    /// reused.
     fn lookup_plan(&self, query: &Query, mode: ExecMode, rec: &Recorder) -> CachedPlan {
         let key = (query.patterns.clone(), mode == ExecMode::CrossingAware);
         let cached = self.plans.lock().get(&key).cloned();
@@ -604,35 +623,28 @@ impl DistributedEngine {
                         ExecMode::StarOnly => decompose_stars(query),
                     }))
                 };
-                let entry = CachedPlan { class, subqueries };
+                let order = Arc::new(static_order(
+                    &query.patterns,
+                    query.var_count(),
+                    &self.stats,
+                ));
+                let sub_orders = Arc::new(subqueries.as_deref().map_or_else(Vec::new, |subs| {
+                    subs.iter()
+                        .map(|sq| {
+                            static_order(&sq.query.patterns, sq.query.var_count(), &self.stats)
+                        })
+                        .collect()
+                }));
+                let entry = CachedPlan {
+                    class,
+                    subqueries,
+                    order,
+                    sub_orders,
+                };
                 self.plans.lock().insert(key, entry.clone());
                 entry
             }
         }
-    }
-
-    /// [`Self::run`] with the engine's armed fault layer, untraced —
-    /// returns the old tuple shape.
-    #[deprecated(note = "use `run` with an `ExecRequest` (fault handling defaults to `FaultSpec::Inherit`)")]
-    pub fn execute_fault_tolerant(
-        &self,
-        query: &Query,
-        mode: ExecMode,
-    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
-        self.run(query, &ExecRequest::new().mode(mode))
-            .map(ExecOutcome::into_parts)
-    }
-
-    /// [`Self::execute_fault_tolerant`] with recording.
-    #[deprecated(note = "use `run` with `ExecRequest::new().traced(rec)`")]
-    pub fn execute_fault_tolerant_traced(
-        &self,
-        query: &Query,
-        mode: ExecMode,
-        rec: &Recorder,
-    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
-        self.run(query, &ExecRequest::new().mode(mode).traced(rec))
-            .map(ExecOutcome::into_parts)
     }
 
     /// The fault-tolerant execution path: every fragment request can
@@ -899,12 +911,14 @@ impl DistributedEngine {
         out
     }
 
-    /// Independent evaluation: the query runs on every site in parallel;
-    /// results are unioned (crossing-edge replicas can duplicate matches,
-    /// so the union dedups).
+    /// Independent evaluation: the query runs on every site in parallel
+    /// under the plan's static join `order`; results are unioned
+    /// (crossing-edge replicas can duplicate matches, so the union
+    /// dedups).
     fn run_everywhere_and_union(
         &self,
         query: &Query,
+        order: &[usize],
         rec: &Recorder,
         threads: usize,
     ) -> (Bindings, Duration, u64, Duration) {
@@ -915,10 +929,10 @@ impl DistributedEngine {
         let per_site = self.parallel_eval(threads, rec, |site| {
             if observe {
                 let mut mstats = MatchStats::default();
-                let b = evaluate_observed(query, &site.store, &mut mstats);
+                let b = evaluate_ordered_observed(query, &site.store, order, &mut mstats);
                 (b, Some(mstats))
             } else {
-                (evaluate(query, &site.store), None)
+                (evaluate_ordered(query, &site.store, order), None)
             }
         });
         let mut comm_bytes = 0u64;
@@ -949,7 +963,8 @@ impl DistributedEngine {
         (result, max_time, comm_bytes, comm_time)
     }
 
-    /// Decomposed evaluation: every subquery runs on every site; per-site
+    /// Decomposed evaluation: every subquery runs on every site under its
+    /// static join order (`orders` is parallel to `subqueries`); per-site
     /// time is the sum of that site's subquery times (a site evaluates its
     /// subqueries sequentially), the stage time is the max across sites.
     ///
@@ -960,22 +975,28 @@ impl DistributedEngine {
     fn run_subqueries(
         &self,
         subqueries: &[Subquery],
+        orders: &[Vec<usize>],
         rec: &Recorder,
         threads: usize,
     ) -> (Vec<Bindings>, Duration, u64, Duration) {
+        debug_assert_eq!(subqueries.len(), orders.len());
         let observe = rec.is_enabled();
         let per_site = self.parallel_eval(threads, rec, |site| {
             if observe {
                 let mut mstats = MatchStats::default();
                 let tables = subqueries
                     .iter()
-                    .map(|sq| evaluate_observed(&sq.query, &site.store, &mut mstats))
+                    .zip(orders)
+                    .map(|(sq, ord)| {
+                        evaluate_ordered_observed(&sq.query, &site.store, ord, &mut mstats)
+                    })
                     .collect::<Vec<Bindings>>();
                 (tables, Some(mstats))
             } else {
                 let tables = subqueries
                     .iter()
-                    .map(|sq| evaluate(&sq.query, &site.store))
+                    .zip(orders)
+                    .map(|(sq, ord)| evaluate_ordered(&sq.query, &site.store, ord))
                     .collect::<Vec<Bindings>>();
                 (tables, None)
             }
@@ -1084,15 +1105,11 @@ fn record_match_stats(rec: &Recorder, stats: &MatchStats) {
 }
 
 #[cfg(test)]
-// The deprecated execute* shims stay under test until they are removed:
-// these tests pin that each shim is exactly `run` with the corresponding
-// `ExecRequest`.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpc_core::{MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner};
     use mpc_rdf::{PropertyId, Triple, VertexId};
-    use mpc_sparql::{LocalStore, QLabel, QNode, TriplePattern};
+    use mpc_sparql::{evaluate, LocalStore, QLabel, QNode, TriplePattern};
 
     fn t(s: u32, p: u32, o: u32) -> Triple {
         Triple::new(VertexId(s), PropertyId(p), VertexId(o))
@@ -1135,6 +1152,51 @@ mod tests {
         evaluate(query, &LocalStore::from_graph(g))
     }
 
+    /// Infallible execution through the unified entry point (the old
+    /// `execute` shape).
+    fn exec(engine: &DistributedEngine, query: &Query) -> (Bindings, ExecutionStats) {
+        exec_mode(engine, query, ExecMode::CrossingAware)
+    }
+
+    /// Infallible execution under `mode` (the old `execute_mode` shape).
+    fn exec_mode(
+        engine: &DistributedEngine,
+        query: &Query,
+        mode: ExecMode,
+    ) -> (Bindings, ExecutionStats) {
+        let (partial, stats) = engine
+            .run(query, &ExecRequest::new().mode(mode))
+            .unwrap()
+            .into_parts();
+        assert!(partial.complete);
+        (partial.rows, stats)
+    }
+
+    /// Traced infallible execution (the old `execute_traced` shape).
+    fn exec_traced(
+        engine: &DistributedEngine,
+        query: &Query,
+        rec: &Recorder,
+    ) -> (Bindings, ExecutionStats) {
+        let (partial, stats) = engine
+            .run(query, &ExecRequest::new().traced(rec))
+            .unwrap()
+            .into_parts();
+        assert!(partial.complete);
+        (partial.rows, stats)
+    }
+
+    /// Execution with the engine's inherited fault layer (the old
+    /// `execute_fault_tolerant` shape).
+    fn exec_ft(
+        engine: &DistributedEngine,
+        query: &Query,
+    ) -> Result<(PartialBindings, ExecutionStats), SiteError> {
+        engine
+            .run(query, &ExecRequest::new())
+            .map(ExecOutcome::into_parts)
+    }
+
     #[test]
     fn internal_query_runs_independently_and_matches_reference() {
         let g = dataset();
@@ -1147,7 +1209,7 @@ mod tests {
             ],
             3,
         );
-        let (result, stats) = engine.execute(&query);
+        let (result, stats) = exec(&engine, &query);
         assert!(stats.independent);
         assert_eq!(stats.join_time, Duration::ZERO);
         assert_eq!(result, reference(&g, &query));
@@ -1167,7 +1229,7 @@ mod tests {
             ],
             4,
         );
-        let (result, stats) = engine.execute(&query);
+        let (result, stats) = exec(&engine, &query);
         assert_eq!(stats.class, IeqClass::NonIeq);
         assert!(!stats.independent);
         assert!(stats.subqueries >= 2);
@@ -1189,8 +1251,8 @@ mod tests {
             ],
             4,
         );
-        let (r1, s1) = engine.execute_mode(&query, ExecMode::CrossingAware);
-        let (r2, s2) = engine.execute_mode(&query, ExecMode::StarOnly);
+        let (r1, s1) = exec_mode(&engine, &query, ExecMode::CrossingAware);
+        let (r2, s2) = exec_mode(&engine, &query, ExecMode::StarOnly);
         assert!(s1.independent);
         assert!(!s2.independent);
         assert_eq!(r1, r2);
@@ -1210,8 +1272,8 @@ mod tests {
             3,
         );
         assert!(query.is_star());
-        let (r1, s1) = engine.execute_mode(&query, ExecMode::CrossingAware);
-        let (r2, s2) = engine.execute_mode(&query, ExecMode::StarOnly);
+        let (r1, s1) = exec_mode(&engine, &query, ExecMode::CrossingAware);
+        let (r2, s2) = exec_mode(&engine, &query, ExecMode::StarOnly);
         assert!(s1.independent, "Theorem 5: stars are IEQs under MPC");
         assert!(s2.independent);
         assert_eq!(r1, r2);
@@ -1231,7 +1293,7 @@ mod tests {
             ],
             4,
         );
-        let (result, stats) = engine.execute_mode(&query, ExecMode::StarOnly);
+        let (result, stats) = exec_mode(&engine, &query, ExecMode::StarOnly);
         assert!(!stats.independent);
         assert_eq!(result, reference(&g, &query));
     }
@@ -1247,7 +1309,7 @@ mod tests {
         };
         let engine = DistributedEngine::build(&g, &part, slow);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (_, stats) = engine.execute(&query);
+        let (_, stats) = exec(&engine, &query);
         assert!(stats.comm_time >= Duration::from_millis(20));
         assert!(stats.comm_bytes > 0);
     }
@@ -1268,8 +1330,8 @@ mod tests {
             ],
             4,
         );
-        let (r1, s1) = plain.execute(&query);
-        let (r2, s2) = reduced.execute(&query);
+        let (r1, s1) = exec(&plain, &query);
+        let (r2, s2) = exec(&reduced, &query);
         assert!(!s1.independent);
         assert_eq!(r1, r2);
         // Reduction ships fewer row bytes; filters add a constant, so just
@@ -1290,14 +1352,14 @@ mod tests {
             4,
         );
         assert_eq!(engine.cached_plan_count(), 0);
-        let (r1, s1) = engine.execute(&query);
+        let (r1, s1) = exec(&engine, &query);
         assert_eq!(engine.cached_plan_count(), 1);
-        let (r2, s2) = engine.execute(&query);
+        let (r2, s2) = exec(&engine, &query);
         assert_eq!(engine.cached_plan_count(), 1);
         assert_eq!(r1, r2);
         assert_eq!(s1.subqueries, s2.subqueries);
         // Both modes cache separately.
-        let _ = engine.execute_mode(&query, ExecMode::StarOnly);
+        let _ = exec_mode(&engine, &query, ExecMode::StarOnly);
         assert_eq!(engine.cached_plan_count(), 2);
     }
 
@@ -1315,8 +1377,8 @@ mod tests {
             4,
         );
         let rec = Recorder::enabled();
-        let (traced, tstats) = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
-        let (plain, _) = engine.execute(&query);
+        let (traced, tstats) = exec_traced(&engine, &query, &rec);
+        let (plain, _) = exec(&engine, &query);
         assert_eq!(traced, plain, "tracing must not change results");
 
         assert_eq!(rec.counter("query.plan_cache.misses"), Some(1));
@@ -1329,7 +1391,7 @@ mod tests {
         assert!(rec.counter("query.match.candidates").unwrap() > 0);
         assert!(rec.counter("query.match.steps").unwrap() > 0);
         // Second run over the same engine hits the plan cache.
-        let _ = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
+        let _ = exec_traced(&engine, &query, &rec);
         assert_eq!(rec.counter("query.plan_cache.hits"), Some(1));
     }
 
@@ -1348,7 +1410,7 @@ mod tests {
             4,
         );
         let rec = Recorder::enabled();
-        let (result, _) = engine.execute_traced(&query, ExecMode::CrossingAware, &rec);
+        let (result, _) = exec_traced(&engine, &query, &rec);
         assert_eq!(result, reference(&g, &query));
         let before = rec.counter("query.semijoin.rows_before").unwrap();
         let after = rec.counter("query.semijoin.rows_after").unwrap();
@@ -1376,7 +1438,7 @@ mod tests {
             ],
             vec!["a".into(), "b".into(), "p".into(), "c".into()],
         );
-        let (result, _) = engine.execute(&query);
+        let (result, _) = exec(&engine, &query);
         assert_eq!(result, reference(&g, &query));
     }
 
@@ -1421,9 +1483,7 @@ mod tests {
         let engine = mpc_engine(&g);
         assert!(!engine.fault_tolerance_enabled());
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(partial.complete);
         assert!(partial.failed_sites.is_empty());
         assert_eq!(partial.rows, reference(&g, &query));
@@ -1446,9 +1506,7 @@ mod tests {
             4,
         );
         for query in [&independent, &decomposed] {
-            let (partial, stats) = engine
-                .execute_fault_tolerant(query, ExecMode::CrossingAware)
-                .unwrap();
+            let (partial, stats) = exec_ft(&engine, query).unwrap();
             assert!(partial.complete);
             assert_eq!(partial.rows, reference(&g, query));
             assert_eq!(stats.faults.injected, 0);
@@ -1466,9 +1524,7 @@ mod tests {
         let plan = scripted(Some(0), Some(0), FaultKind::Crash, 1);
         let engine = chaos_engine(&g, plan, RetryPolicy::default(), 0, false);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(partial.complete);
         assert_eq!(partial.rows, reference(&g, &query));
         assert_eq!(stats.faults.injected, 1);
@@ -1495,9 +1551,7 @@ mod tests {
         };
         let engine = chaos_engine(&g, plan, policy, 1, false);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(partial.complete);
         assert_eq!(partial.rows, reference(&g, &query));
         assert_eq!(stats.faults.failovers, 1);
@@ -1519,9 +1573,7 @@ mod tests {
         };
         let engine = chaos_engine(&g, plan.clone(), policy, 1, true);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(!partial.complete, "missing fragment must be reported");
         assert_eq!(partial.failed_sites, vec![0]);
         assert!(stats.faults.degraded);
@@ -1536,9 +1588,7 @@ mod tests {
 
         // Strict mode turns the same scenario into an error naming a host.
         let strict = chaos_engine(&g, plan, policy, 1, false);
-        let err = strict
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap_err();
+        let err = exec_ft(&strict, &query).unwrap_err();
         assert!(matches!(err, SiteError::Crashed { .. }), "{err}");
     }
 
@@ -1557,9 +1607,7 @@ mod tests {
             ],
             4,
         );
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(partial.complete);
         assert_eq!(partial.rows, reference(&g, &query));
         assert_eq!(stats.faults.injected, 2, "one corrupt payload per fragment");
@@ -1582,9 +1630,7 @@ mod tests {
         };
         let engine = chaos_engine(&g, plan, policy, 1, false);
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
-        let (partial, stats) = engine
-            .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-            .unwrap();
+        let (partial, stats) = exec_ft(&engine, &query).unwrap();
         assert!(partial.complete);
         assert_eq!(partial.rows, reference(&g, &query));
         // The severed link behaves as a stall: deadline, then failover.
@@ -1619,9 +1665,7 @@ mod tests {
             queries
                 .iter()
                 .map(|query| {
-                    let (partial, stats) = engine
-                        .execute_fault_tolerant(query, ExecMode::CrossingAware)
-                        .unwrap();
+                    let (partial, stats) = exec_ft(&engine, query).unwrap();
                     (partial.complete, partial.failed_sites.clone(), stats.faults)
                 })
                 .collect::<Vec<_>>()
@@ -1638,8 +1682,9 @@ mod tests {
         let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
         let rec = Recorder::enabled();
         let (partial, stats) = engine
-            .execute_fault_tolerant_traced(&query, ExecMode::CrossingAware, &rec)
-            .unwrap();
+            .run(&query, &ExecRequest::new().traced(&rec))
+            .unwrap()
+            .into_parts();
         assert!(partial.complete);
         assert_eq!(rec.counter("query.fault.attempts"), Some(stats.faults.attempts));
         assert_eq!(rec.counter("query.fault.retries"), Some(1));
@@ -1659,10 +1704,12 @@ mod tests {
         assert!(!req.recorder.is_enabled());
         assert!(matches!(req.fault, FaultSpec::Inherit));
         assert_eq!(req.threads, None);
+        assert!(req.cached, "caching opt-out, not opt-in");
+        assert!(!req.cached(false).cached);
     }
 
     #[test]
-    fn run_matches_the_deprecated_shims_on_every_path() {
+    fn run_is_reproducible_across_fresh_engines_on_every_path() {
         let g = dataset();
         let query = q(
             vec![
@@ -1672,36 +1719,24 @@ mod tests {
             ],
             4,
         );
-        // Infallible path.
+        // Infallible path: both modes match the centralized reference.
         let engine = mpc_engine(&g);
         for mode in [ExecMode::CrossingAware, ExecMode::StarOnly] {
-            let (rows, stats) = engine.execute_mode(&query, mode);
             let outcome = engine
                 .run(&query, &ExecRequest::new().mode(mode))
                 .unwrap();
             assert!(outcome.bindings.complete);
-            assert_eq!(outcome.rows(), &rows);
-            assert_eq!(outcome.stats.subqueries, stats.subqueries);
+            assert_eq!(outcome.rows(), &reference(&g, &query));
         }
         // Fault path: fresh engines, same seed — fault decisions are keyed
-        // on the engine's query sequence.
+        // on the engine's query sequence, so a rerun reproduces exactly.
         let plan = FaultPlan::uniform(7, 0.1);
-        let via_shim = {
+        let run_once = || {
             let engine = chaos_engine(&g, plan.clone(), RetryPolicy::default(), 1, true);
-            let (partial, stats) = engine
-                .execute_fault_tolerant(&query, ExecMode::CrossingAware)
-                .unwrap();
+            let (partial, stats) = exec_ft(&engine, &query).unwrap();
             (partial.rows, partial.complete, stats.faults)
         };
-        let via_run = {
-            let engine = chaos_engine(&g, plan, RetryPolicy::default(), 1, true);
-            let (partial, stats) = engine
-                .run(&query, &ExecRequest::new())
-                .unwrap()
-                .into_parts();
-            (partial.rows, partial.complete, stats.faults)
-        };
-        assert_eq!(via_shim, via_run, "shims must be exactly `run`");
+        assert_eq!(run_once(), run_once(), "fresh engines must agree");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   and joins at the coordinator,
 //! * [`vp::VpEngine`] — the edge-disjoint (vertical partitioning) baseline
 //!   with per-pattern routing,
+//! * [`serve::ServeEngine`] — the workload serving front end: canonical
+//!   query keys, plan/result caching, epoch invalidation (docs/SERVING.md),
 //! * [`network::NetworkModel`] — charges simulated wire time for every
 //!   shipped binding, replacing the real LAN,
 //! * [`stats::ExecutionStats`] — the QDT / LET / JT / communication
@@ -29,6 +31,7 @@ pub mod partial;
 pub mod bloom;
 pub mod retry;
 pub mod semijoin;
+pub mod serve;
 pub mod site;
 pub mod stats;
 pub mod vp;
@@ -45,6 +48,7 @@ pub use partial::{partial_evaluate, PartialEvalStats};
 pub use bloom::BloomFilter;
 pub use retry::{RetryPolicy, SimClock};
 pub use semijoin::{bloom_reduce, ReductionStats};
+pub use serve::ServeEngine;
 pub use site::{Site, SiteResponse};
 pub use stats::{ExecutionStats, FaultStats, FiveNumber};
 pub use vp::VpEngine;
@@ -296,6 +300,78 @@ mod proptests {
                 prop_assert_eq!(o.stats.comm_bytes, base.stats.comm_bytes);
                 prop_assert_eq!(o.stats.result_rows, base.stats.result_rows);
                 prop_assert_eq!(&counters, &base_counters, "threads {}", threads);
+            }
+        }
+
+        /// The serving-layer headline contract: across a random workload
+        /// of repeated, respelled queries, a cached [`ServeEngine`]
+        /// returns bit-identical bindings to an uncached engine — before
+        /// AND immediately after an epoch bump (repartition).
+        #[test]
+        fn serving_is_bit_identical_to_uncached_across_workloads(
+            g in graph_strategy(),
+            queries in proptest::collection::vec(query_strategy(), 1..5),
+            replay in proptest::collection::vec((0usize..5, any::<bool>()), 1..12),
+            k in 2usize..4,
+        ) {
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let build = || DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            let mut serve = ServeEngine::new(build(), 4);
+            let uncached = build();
+            let replay_once = |serve: &ServeEngine, mode_flip: bool| -> Result<(), TestCaseError> {
+                for &(qi, star) in &replay {
+                    let query = &queries[qi % queries.len()];
+                    let mode = if star != mode_flip { ExecMode::StarOnly } else { ExecMode::CrossingAware };
+                    let req = ExecRequest::new().mode(mode);
+                    let served = serve.serve(query, &req).expect("fault-free serving is total");
+                    let direct = uncached.run(query, &req).expect("fault-free execution is total");
+                    prop_assert_eq!(served.rows(), direct.rows(), "query {} mode {:?}", qi, mode);
+                    prop_assert!(served.bindings.complete);
+                }
+                Ok(())
+            };
+            replay_once(&serve, false)?;
+            // Repartition: every cached entry must become unaddressable,
+            // and the replay must still agree answer for answer.
+            serve.repartition(build());
+            replay_once(&serve, true)?;
+        }
+
+        /// Serving under chaos: fault-layer requests pass through the
+        /// front end uncached, so a ServeEngine and a bare engine driven
+        /// by the same interleaved workload stay in query-sequence
+        /// lockstep — identical rows, completeness, and fault accounting.
+        #[test]
+        fn serving_passes_chaos_requests_through_in_lockstep(
+            g in graph_strategy(),
+            queries in proptest::collection::vec(query_strategy(), 1..4),
+            replay in proptest::collection::vec((0usize..4, any::<bool>()), 1..8),
+            seed in any::<u64>(),
+            rate in 0.0f64..0.18,
+            k in 2usize..4,
+        ) {
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let build = || DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            let serve = ServeEngine::new(build(), 4);
+            let bare = build();
+            let chaos = || FaultSpec::Custom {
+                plan: FaultPlan::uniform(seed, rate),
+                policy: RetryPolicy::default(),
+                replicas: 1,
+                graceful: true,
+            };
+            for &(qi, with_chaos) in &replay {
+                let query = &queries[qi % queries.len()];
+                let req = if with_chaos {
+                    ExecRequest::new().fault(chaos())
+                } else {
+                    ExecRequest::new()
+                };
+                let served = serve.serve(query, &req).expect("graceful mode never errors");
+                let direct = bare.run(query, &req).expect("graceful mode never errors");
+                prop_assert_eq!(served.rows(), direct.rows(), "query {}", qi);
+                prop_assert_eq!(served.bindings.complete, direct.bindings.complete);
+                prop_assert_eq!(served.stats.faults, direct.stats.faults, "lockstep query_seq");
             }
         }
 

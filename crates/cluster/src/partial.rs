@@ -77,7 +77,7 @@ struct PieceMatches {
 
 /// Evaluates `query` over the fragments by partial evaluation + assembly.
 /// Returns all-variable bindings (same layout as
-/// [`crate::DistributedEngine::execute`]) plus statistics.
+/// [`crate::DistributedEngine::run`]) plus statistics.
 ///
 /// # Panics
 /// Panics if the query has more than [`MAX_PATTERNS`] patterns.

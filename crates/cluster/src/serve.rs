@@ -1,0 +1,497 @@
+//! The workload serving layer: canonical query keys, a memoized
+//! canonicalization step, and a bounded LRU result cache with epoch
+//! invalidation (docs/SERVING.md).
+//!
+//! A served workload repeats the same query templates with cosmetic
+//! variation — renamed variables, reordered patterns, re-parsed
+//! whitespace. [`ServeEngine`] wraps a [`DistributedEngine`] and answers
+//! such repeats from a result cache keyed by the *canonical* form of the
+//! query ([`mpc_sparql::canonicalize`]) plus the engine's **partition
+//! epoch**: every repartition bumps the epoch, so entries computed over
+//! a stale partitioning can never be returned — they simply stop being
+//! addressable and age out of the LRU.
+//!
+//! The contract is strict: a cache hit returns bindings **bit-identical**
+//! to what an uncached execution of the same request would return
+//! (pinned by the `serving_*` proptests in this crate). Three rules keep
+//! that contract cheap to trust:
+//!
+//! * misses execute the *canonical* query and store its canonical
+//!   bindings; hits restore the requester's variable numbering via
+//!   [`mpc_sparql::CanonicalQuery::restore_bindings`] — a pure column
+//!   permutation, so no cached row is ever reinterpreted;
+//! * requests with an effective fault layer pass straight through to
+//!   [`DistributedEngine::run`], uncached — fault decisions are keyed on
+//!   the engine's query sequence, and a cache hit would desynchronize
+//!   it (and a degraded answer must never be replayed as authoritative);
+//! * [`ExecRequest::cached`]`(false)` forces a full execution along the
+//!   exact same canonical path, so the only difference is the cache.
+use crate::coordinator::{
+    DistributedEngine, ExecMode, ExecOutcome, ExecRequest, FaultSpec, PartialBindings,
+};
+use crate::fault::SiteError;
+use crate::stats::ExecutionStats;
+use mpc_obs::Recorder;
+use mpc_rdf::FxHashMap;
+use mpc_sparql::{canonicalize, Bindings, CanonicalQuery, Query, TriplePattern};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A result-cache address: canonical pattern list, canonical variable
+/// count, crossing-aware mode flag, and the partition epoch the entry
+/// was computed under.
+type ResultKey = (Vec<TriplePattern>, usize, bool, u64);
+
+/// A raw spelling as the canonicalization memo sees it: the query's
+/// pattern list plus its variable count.
+type RawKey = (Vec<TriplePattern>, usize);
+
+/// One cached execution: the canonical bindings plus the stats of the
+/// run that populated the entry.
+struct CacheEntry {
+    stamp: u64,
+    rows: Bindings,
+    stats: ExecutionStats,
+}
+
+/// A bounded LRU keyed by [`ResultKey`]. Recency is a monotone stamp
+/// bumped on every touch; eviction removes the minimum stamp. The O(n)
+/// eviction scan is deliberate — capacities are small (hundreds), and
+/// the determinism argument ("unique monotone stamps, unique victim")
+/// stays one sentence long.
+struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: FxHashMap<ResultKey, CacheEntry>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    fn get(&mut self, key: &ResultKey) -> Option<(Bindings, ExecutionStats)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.stamp = tick;
+        Some((entry.rows.clone(), entry.stats))
+    }
+
+    /// Inserts, evicting the least-recently-used entry when full.
+    /// Returns true when an eviction happened.
+    fn insert(&mut self, key: ResultKey, rows: Bindings, stats: ExecutionStats) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                stamp: self.tick,
+                rows,
+                stats,
+            },
+        );
+        evicted
+    }
+}
+
+/// A query-serving front end over a [`DistributedEngine`]: canonical
+/// keys, memoized canonicalization, and a bounded result cache that the
+/// partition epoch invalidates wholesale. See the [module docs](self)
+/// for the bit-identical contract.
+///
+/// ```
+/// # use mpc_cluster::{DistributedEngine, ExecRequest, NetworkModel, ServeEngine};
+/// # use mpc_core::{MpcConfig, MpcPartitioner, Partitioner};
+/// # use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+/// # use mpc_sparql::{QLabel, QNode, Query, TriplePattern};
+/// # let g = RdfGraph::from_raw(4, 1, vec![Triple::new(VertexId(0), PropertyId(0), VertexId(1))]);
+/// # let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(&g);
+/// let engine = DistributedEngine::build(&g, &part, NetworkModel::free());
+/// let serve = ServeEngine::new(engine, 128);
+/// let query = Query::new(
+///     vec![TriplePattern::new(QNode::Var(0), QLabel::Prop(PropertyId(0)), QNode::Var(1))],
+///     vec!["s".into(), "o".into()],
+/// );
+/// let first = serve.serve(&query, &ExecRequest::new()).unwrap();
+/// let again = serve.serve(&query, &ExecRequest::new()).unwrap(); // cache hit
+/// assert_eq!(first.rows(), again.rows());
+/// ```
+pub struct ServeEngine {
+    inner: DistributedEngine,
+    /// The partition epoch: a component of every result-cache key.
+    /// Bumped by [`Self::repartition`] / [`Self::bump_epoch`], which
+    /// makes every existing entry unaddressable at once.
+    epoch: AtomicU64,
+    /// Canonicalization memo: raw (patterns, var count) → the canonical
+    /// query and the restore map. Pure function of the query, so never
+    /// invalidated (unbounded, like the engine's own plan cache).
+    canon_memo: Mutex<FxHashMap<RawKey, Arc<CanonicalQuery>>>,
+    cache: Mutex<ResultCache>,
+    cache_capacity: usize,
+}
+
+impl ServeEngine {
+    /// Wraps `inner`, keeping at most `cache_entries` cached results
+    /// (0 disables the result cache; canonicalization is still memoized).
+    pub fn new(inner: DistributedEngine, cache_entries: usize) -> Self {
+        ServeEngine {
+            inner,
+            epoch: AtomicU64::new(0),
+            canon_memo: Mutex::new(FxHashMap::default()),
+            cache: Mutex::new(ResultCache::new(cache_entries)),
+            cache_capacity: cache_entries,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &DistributedEngine {
+        &self.inner
+    }
+
+    /// The current partition epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached result by moving to a new epoch, without
+    /// replacing the engine. For callers that mutate partition-dependent
+    /// engine state in place (e.g. toggling semijoin reduction).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Replaces the wrapped engine (a repartition) and bumps the epoch,
+    /// so no result computed over the old partitioning stays servable.
+    pub fn repartition(&mut self, inner: DistributedEngine) {
+        self.inner = inner;
+        self.bump_epoch();
+        // The canonicalization memo survives: it is partition-independent.
+    }
+
+    /// Number of live result-cache entries (stale epochs included until
+    /// they age out).
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().entries.len()
+    }
+
+    /// The configured result-cache capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Serves one request. Identical in results to
+    /// [`DistributedEngine::run`] on the same request — the cache can
+    /// change only *when* work happens, never what comes back. On a hit,
+    /// `stats` are those of the execution that populated the entry.
+    ///
+    /// Counters (when `req.recorder` is live): `serve.plan.hit` /
+    /// `serve.plan.miss` for the canonicalization memo and
+    /// `serve.cache.hit` / `serve.cache.miss` / `serve.cache.evict` for
+    /// the result cache. Fault-layer pass-throughs record neither.
+    pub fn serve(&self, query: &Query, req: &ExecRequest) -> Result<ExecOutcome, SiteError> {
+        // Chaos requests pass through uncached so the engine's query
+        // sequence advances exactly as it would without a front end.
+        let fault_effective = match req.fault {
+            FaultSpec::Disabled => false,
+            FaultSpec::Inherit => self.inner.fault_tolerance_enabled(),
+            FaultSpec::Custom { .. } => true,
+        };
+        if fault_effective {
+            return self.inner.run(query, req);
+        }
+        let rec = &req.recorder;
+        let canon = self.lookup_canon(query, rec);
+        let use_cache = req.cached && self.cache_capacity > 0;
+        let key = (
+            canon.query.patterns.clone(),
+            canon.query.var_count(),
+            req.mode == ExecMode::CrossingAware,
+            self.epoch(),
+        );
+        if use_cache {
+            let hit = self.cache.lock().get(&key);
+            if let Some((rows, stats)) = hit {
+                rec.incr("serve.cache.hit");
+                return Ok(complete_outcome(canon.restore_bindings(&rows), stats));
+            }
+            rec.incr("serve.cache.miss");
+        }
+        let (partial, stats) = self.inner.run(&canon.query, req)?.into_parts();
+        if use_cache {
+            let evicted = self
+                .cache
+                .lock()
+                .insert(key, partial.rows.clone(), stats);
+            if evicted {
+                rec.incr("serve.cache.evict");
+            }
+        }
+        Ok(complete_outcome(canon.restore_bindings(&partial.rows), stats))
+    }
+
+    /// Canonicalization memo lookup (`serve.plan.*`). Keyed by the raw
+    /// pattern list so every spelling pays the labeling search once.
+    fn lookup_canon(&self, query: &Query, rec: &Recorder) -> Arc<CanonicalQuery> {
+        let key = (query.patterns.clone(), query.var_count());
+        if let Some(canon) = self.canon_memo.lock().get(&key) {
+            rec.incr("serve.plan.hit");
+            return canon.clone();
+        }
+        rec.incr("serve.plan.miss");
+        let canon = Arc::new(canonicalize(query));
+        self.canon_memo.lock().insert(key, canon.clone());
+        canon
+    }
+}
+
+/// Wraps infallible-path bindings (always complete) into an outcome.
+fn complete_outcome(rows: Bindings, stats: ExecutionStats) -> ExecOutcome {
+    ExecOutcome {
+        bindings: PartialBindings {
+            rows,
+            complete: true,
+            failed_sites: Vec::new(),
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, ScriptedFault};
+    use crate::network::NetworkModel;
+    use crate::retry::RetryPolicy;
+    use mpc_core::{MpcConfig, MpcPartitioner, Partitioner};
+    use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+    use mpc_sparql::{evaluate, LocalStore, QLabel, QNode};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn v(i: u32) -> QNode {
+        QNode::Var(i)
+    }
+
+    fn prop(i: u32) -> QLabel {
+        QLabel::Prop(PropertyId(i))
+    }
+
+    fn q(patterns: Vec<TriplePattern>, nvars: u32) -> Query {
+        Query::new(patterns, (0..nvars).map(|i| format!("v{i}")).collect())
+    }
+
+    fn dataset() -> RdfGraph {
+        let mut triples = Vec::new();
+        for i in 0..7 {
+            triples.push(t(i, 0, i + 1));
+        }
+        for i in 8..15 {
+            triples.push(t(i, 1, i + 1));
+        }
+        for j in 8..16 {
+            triples.push(t(3, 2, j));
+        }
+        RdfGraph::from_raw(16, 3, triples)
+    }
+
+    fn engine(g: &RdfGraph) -> DistributedEngine {
+        let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(g);
+        DistributedEngine::build(g, &part, NetworkModel::free())
+    }
+
+    fn serve_engine(g: &RdfGraph, entries: usize) -> ServeEngine {
+        ServeEngine::new(engine(g), entries)
+    }
+
+    fn reference(g: &RdfGraph, query: &Query) -> Bindings {
+        evaluate(query, &LocalStore::from_graph(g))
+    }
+
+    fn path_query() -> Query {
+        q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(2), v(2)),
+            ],
+            3,
+        )
+    }
+
+    /// The same BGP with variables renamed and patterns reordered.
+    fn path_query_respelled() -> Query {
+        q(
+            vec![
+                TriplePattern::new(v(0), prop(2), v(2)),
+                TriplePattern::new(v(1), prop(0), v(0)),
+            ],
+            3,
+        )
+        // ?1 -p0-> ?0 -p2-> ?2 : same shape, different spelling. The
+        // canonical answer restores to THIS query's variable numbering.
+    }
+
+    #[test]
+    fn hits_are_bit_identical_to_uncached_and_counted() {
+        let g = dataset();
+        let serve = serve_engine(&g, 8);
+        let query = path_query();
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let first = serve.serve(&query, &req).unwrap();
+        let second = serve.serve(&query, &req).unwrap();
+        let uncached = serve.serve(&query, &req.clone().cached(false)).unwrap();
+        assert_eq!(first.rows(), second.rows());
+        assert_eq!(first.rows(), uncached.rows());
+        assert_eq!(first.rows(), &reference(&g, &query));
+        assert_eq!(rec.counter("serve.cache.miss"), Some(1));
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+        assert_eq!(rec.counter("serve.plan.miss"), Some(1));
+        assert_eq!(rec.counter("serve.plan.hit"), Some(2));
+        assert_eq!(serve.cache_len(), 1);
+    }
+
+    #[test]
+    fn respelled_queries_share_one_entry_and_restore_their_own_columns() {
+        let g = dataset();
+        let serve = serve_engine(&g, 8);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let a = serve.serve(&path_query(), &req).unwrap();
+        let b = serve.serve(&path_query_respelled(), &req).unwrap();
+        assert_eq!(serve.cache_len(), 1, "one canonical entry for both spellings");
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+        assert_eq!(a.rows(), &reference(&g, &path_query()));
+        assert_eq!(b.rows(), &reference(&g, &path_query_respelled()));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_without_wrong_answers() {
+        let g = dataset();
+        let mut serve = serve_engine(&g, 8);
+        let query = path_query();
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let before = serve.serve(&query, &req).unwrap();
+        assert_eq!(serve.epoch(), 0);
+        serve.repartition(engine(&g));
+        assert_eq!(serve.epoch(), 1);
+        // The stale entry is unaddressable: the next serve is a miss and
+        // recomputes over the new engine.
+        let after = serve.serve(&query, &req).unwrap();
+        assert_eq!(rec.counter("serve.cache.miss"), Some(2));
+        assert_eq!(rec.counter("serve.cache.hit"), None);
+        assert_eq!(before.rows(), after.rows());
+        // And the new entry serves hits again.
+        let _ = serve.serve(&query, &req).unwrap();
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let g = dataset();
+        let serve = serve_engine(&g, 2);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let q0 = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let q1 = q(vec![TriplePattern::new(v(0), prop(1), v(1))], 2);
+        let q2 = q(vec![TriplePattern::new(v(0), prop(2), v(1))], 2);
+        let _ = serve.serve(&q0, &req).unwrap();
+        let _ = serve.serve(&q1, &req).unwrap();
+        let _ = serve.serve(&q0, &req).unwrap(); // q0 recent, q1 is LRU
+        let _ = serve.serve(&q2, &req).unwrap(); // evicts q1
+        assert_eq!(rec.counter("serve.cache.evict"), Some(1));
+        assert_eq!(serve.cache_len(), 2);
+        let hits_before = rec.counter("serve.cache.hit");
+        let _ = serve.serve(&q0, &req).unwrap(); // still cached
+        assert_eq!(rec.counter("serve.cache.hit"), hits_before.map(|h| h + 1));
+        let _ = serve.serve(&q1, &req).unwrap(); // evicted → miss
+        assert_eq!(rec.counter("serve.cache.miss"), Some(4));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_result_cache() {
+        let g = dataset();
+        let serve = serve_engine(&g, 0);
+        let query = path_query();
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let a = serve.serve(&query, &req).unwrap();
+        let b = serve.serve(&query, &req).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(serve.cache_len(), 0);
+        assert_eq!(rec.counter("serve.cache.hit"), None);
+        assert_eq!(rec.counter("serve.cache.miss"), None);
+        // Canonicalization is still memoized.
+        assert_eq!(rec.counter("serve.plan.hit"), Some(1));
+    }
+
+    #[test]
+    fn modes_cache_separately_but_agree_on_rows() {
+        let g = dataset();
+        let serve = serve_engine(&g, 8);
+        let query = path_query();
+        let a = serve
+            .serve(&query, &ExecRequest::new().mode(ExecMode::CrossingAware))
+            .unwrap();
+        let b = serve
+            .serve(&query, &ExecRequest::new().mode(ExecMode::StarOnly))
+            .unwrap();
+        assert_eq!(serve.cache_len(), 2);
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn chaos_requests_pass_through_uncached_in_lockstep() {
+        let g = dataset();
+        let query = path_query();
+        let custom = || FaultSpec::Custom {
+            plan: FaultPlan {
+                scripted: vec![ScriptedFault {
+                    fragment: Some(0),
+                    host: Some(0),
+                    kind: FaultKind::Crash,
+                    first_attempts: 1,
+                }],
+                ..FaultPlan::none()
+            },
+            policy: RetryPolicy::default(),
+            replicas: 0,
+            graceful: false,
+        };
+        let serve = serve_engine(&g, 8);
+        let bare = engine(&g);
+        for round in 0..3 {
+            let via_serve = serve
+                .serve(&query, &ExecRequest::new().fault(custom()))
+                .unwrap();
+            let via_bare = bare
+                .run(&query, &ExecRequest::new().fault(custom()))
+                .unwrap();
+            assert_eq!(via_serve.rows(), via_bare.rows(), "round {round}");
+            assert_eq!(
+                via_serve.stats.faults, via_bare.stats.faults,
+                "query_seq must stay in lockstep (round {round})"
+            );
+        }
+        assert_eq!(serve.cache_len(), 0, "chaos results must never be cached");
+    }
+}

@@ -39,6 +39,9 @@ pub use baselines::{MinEdgeCutPartitioner, SubjectHashPartitioner, VerticalParti
 pub use dynamic::IncrementalPartitioning;
 pub use exact::MpcExactPartitioner;
 pub use mpc::{MpcConfig, MpcPartitioner, MpcReport};
+// Re-exported so downstream crates can tune `MpcConfig::metis` (e.g. its
+// seed) without depending on `mpc-metis` directly.
+pub use mpc_metis::MetisConfig;
 pub use partitioning::{EdgePartitioning, Fragment, Partitioning};
 pub use select::{SelectConfig, SelectStats, SelectStrategy, Selection};
 pub use validate::{validate_partitioning, validate_selection, InvariantViolation};

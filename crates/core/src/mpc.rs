@@ -29,6 +29,11 @@ pub struct MpcConfig {
     /// maximizes total weight instead of count (the weighted-MPC extension
     /// the paper defers to future work).
     pub weights: Option<crate::weighted::PropertyWeights>,
+    /// Worker threads for the selection stage's candidate cost
+    /// evaluation. `None` / `Some(0)` resolve via `MPC_THREADS`, then the
+    /// machine; the result is bit-identical for every value
+    /// (docs/PARALLELISM.md).
+    pub threads: Option<usize>,
 }
 
 impl Default for MpcConfig {
@@ -41,6 +46,7 @@ impl Default for MpcConfig {
             reverse_threshold: 512,
             metis: MetisConfig::default(),
             weights: None,
+            threads: None,
         }
     }
 }
@@ -61,7 +67,7 @@ impl MpcConfig {
             strategy: self.strategy,
             prune_oversized: self.prune_oversized,
             reverse_threshold: self.reverse_threshold,
-            threads: None,
+            threads: self.threads,
         }
     }
 }

@@ -12,17 +12,24 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod canon;
 pub mod explain;
 pub mod matcher;
 pub mod parser;
+pub mod planner;
 pub mod query;
 pub mod store;
 
 pub use algebra::{hash_join, join_all, Bindings};
+pub use canon::{canonical_key, canonicalize, CanonicalKey, CanonicalQuery};
 pub use explain::{access_path_name, explain, render as render_plan, PlanStep};
-pub use matcher::{evaluate, evaluate_observed, MatchObserver, MatchStats};
+pub use matcher::{
+    evaluate, evaluate_observed, evaluate_ordered, evaluate_ordered_observed, MatchObserver,
+    MatchStats,
+};
 pub use parser::{
     numeric_value, parse_query, CompareOp, Filter, FilterOperand, ParsedQuery, QueryParseError,
 };
+pub use planner::{estimate, static_order};
 pub use query::{QLabel, QNode, Query, QueryBuilder, TriplePattern};
-pub use store::{LocalStore, Pattern};
+pub use store::{LocalStore, Pattern, PropertyCard, StoreStats};

@@ -130,6 +130,92 @@ pub fn evaluate_observed(
     out
 }
 
+/// Evaluates a BGP following a fixed pattern order — a static plan from
+/// [`crate::planner::static_order`] — instead of the dynamic
+/// minimum-candidate strategy. Output is identical to [`evaluate`] (both
+/// sort and deduplicate); only the amount of search work differs, which
+/// is why the serving layer can swap strategies per plan without
+/// breaking its bit-identical contract.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..query.patterns.len()`.
+pub fn evaluate_ordered(query: &Query, store: &LocalStore, order: &[usize]) -> Bindings {
+    evaluate_ordered_observed(query, store, order, &mut ())
+}
+
+/// [`evaluate_ordered`], reporting search events to `obs` as it runs.
+pub fn evaluate_ordered_observed(
+    query: &Query,
+    store: &LocalStore,
+    order: &[usize],
+    obs: &mut impl MatchObserver,
+) -> Bindings {
+    let mut seen = vec![false; query.patterns.len()];
+    assert_eq!(order.len(), query.patterns.len(), "order must cover every pattern");
+    for &i in order {
+        assert!(
+            i < seen.len() && !seen[i],
+            "order must be a permutation of 0..{}",
+            seen.len()
+        );
+        seen[i] = true;
+    }
+    if query.patterns.is_empty() {
+        return Bindings::unit();
+    }
+    let nvars = query.var_count();
+    let mut binding: Vec<Option<u32>> = vec![None; nvars];
+    let vars: Vec<u32> = (0..narrow::u32_from(nvars)).collect();
+    let mut out = Bindings::new(vars);
+    ordered_search(query, store, order, 0, &mut binding, &mut out, obs);
+    out.sort_dedup();
+    out
+}
+
+fn ordered_search(
+    query: &Query,
+    store: &LocalStore,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Vec<Option<u32>>,
+    out: &mut Bindings,
+    obs: &mut impl MatchObserver,
+) {
+    let Some(&idx) = order.get(depth) else {
+        let row: Vec<u32> = binding
+            .iter()
+            // mpc-allow: unwrap-expect a full match binds every variable (order covers all patterns)
+            .map(|b| b.expect("all query variables bound at a full match"))
+            .collect();
+        out.push(row);
+        obs.row_emitted();
+        return;
+    };
+    let pat = query.patterns[idx];
+    let resolved = resolve(&pat, binding);
+    let candidates: Vec<Triple> = store.scan(&resolved).collect();
+    obs.pattern_chosen(
+        idx,
+        access_path_name(resolved.s.is_some(), resolved.p.is_some(), resolved.o.is_some()),
+        candidates.len(),
+    );
+    for t in candidates {
+        obs.candidate_scanned();
+        let mut newly_bound: Vec<u32> = Vec::with_capacity(3);
+        if try_bind(&pat.s, t.s.0, binding, &mut newly_bound)
+            && try_bind_label(&pat.p, t.p.0, binding, &mut newly_bound)
+            && try_bind(&pat.o, t.o.0, binding, &mut newly_bound)
+        {
+            ordered_search(query, store, order, depth + 1, binding, out, obs);
+        } else {
+            obs.backtracked();
+        }
+        for v in newly_bound {
+            binding[v as usize] = None;
+        }
+    }
+}
+
 /// Resolves a pattern against the current partial binding: bound positions
 /// become constants, unbound stay free.
 fn resolve(pat: &crate::query::TriplePattern, binding: &[Option<u32>]) -> Pattern {
@@ -444,6 +530,46 @@ mod tests {
     }
 
     #[test]
+    fn ordered_evaluation_matches_dynamic_for_every_order() {
+        // ?x knows ?y . ?y knows ?z over `store()` — try both orders.
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(0), v(2)),
+            ],
+            3,
+        );
+        let store = store();
+        let reference = evaluate(&query, &store);
+        assert_eq!(evaluate_ordered(&query, &store, &[0, 1]), reference);
+        assert_eq!(evaluate_ordered(&query, &store, &[1, 0]), reference);
+    }
+
+    #[test]
+    fn ordered_evaluation_reports_to_observer() {
+        let query = q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2);
+        let store = store();
+        let mut stats = MatchStats::default();
+        let got = evaluate_ordered_observed(&query, &store, &[0], &mut stats);
+        assert_eq!(got, evaluate(&query, &store));
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.rows_emitted, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn ordered_evaluation_rejects_non_permutations() {
+        let query = q(
+            vec![
+                TriplePattern::new(v(0), prop(0), v(1)),
+                TriplePattern::new(v(1), prop(0), v(2)),
+            ],
+            3,
+        );
+        let _ = evaluate_ordered(&query, &store(), &[0, 0]);
+    }
+
+    #[test]
     fn match_stats_merge_accumulates() {
         let mut a = MatchStats {
             steps: 1,
@@ -549,6 +675,31 @@ mod proptests {
             let fast = evaluate(&query, &store);
             let slow = evaluate_bruteforce(&query, &store);
             prop_assert_eq!(fast, slow);
+        }
+
+        /// A fixed pattern order — any permutation — yields exactly the
+        /// dynamic strategy's result (the serving layer's bit-identical
+        /// contract rests on this).
+        #[test]
+        fn any_static_order_matches_dynamic(
+            store in store_strategy(),
+            query in query_strategy(),
+            seed in any::<u64>(),
+        ) {
+            // Seeded Fisher–Yates over the pattern indices.
+            let mut order: Vec<usize> = (0..query.patterns.len()).collect();
+            let mut state = seed | 1;
+            for i in (1..order.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let j = (state % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            prop_assert_eq!(
+                evaluate_ordered(&query, &store, &order),
+                evaluate(&query, &store)
+            );
         }
     }
 }

@@ -23,7 +23,7 @@ impl QNode {
 }
 
 /// A query edge label: a property constant or a variable.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum QLabel {
     /// A variable in the property position.
     Var(u32),
@@ -50,7 +50,11 @@ impl QLabel {
 }
 
 /// One triple pattern `s --p--> o`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// The derived ordering (subject, then property, then object) is what
+/// [`crate::canon`] sorts canonical pattern lists by; it has no semantic
+/// meaning beyond being total and deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TriplePattern {
     /// Subject node.
     pub s: QNode,

@@ -5,8 +5,83 @@
 //! access path by binary search, the standard layout of centralized RDF
 //! engines (RDF-3X, gStore's VS-tree plays the same role).
 
-use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+use mpc_rdf::{FxHashMap, PropertyId, RdfGraph, Triple, VertexId};
 use mpc_rdf::narrow;
+
+/// Cardinalities of one predicate: the planner's selectivity statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PropertyCard {
+    /// Triples carrying this property.
+    pub triples: u64,
+    /// Distinct subjects among them.
+    pub distinct_subjects: u64,
+    /// Distinct objects among them.
+    pub distinct_objects: u64,
+}
+
+/// Per-property cardinality statistics, computed once at store build time
+/// (the sorted POS permutation makes every figure a linear scan).
+///
+/// [`StoreStats::merge`] aggregates per-site statistics into a
+/// cluster-wide estimate: triple counts add exactly (sites hold disjoint
+/// fragments), while distinct counts add to an *upper bound* (a vertex
+/// replicated as an extended-fragment boundary can be counted twice).
+/// The static planner only compares estimates, so bounds suffice.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total (distinct) triples in the store.
+    pub triples: u64,
+    /// Per-property cardinalities, keyed by raw property id.
+    pub properties: FxHashMap<u32, PropertyCard>,
+}
+
+impl StoreStats {
+    /// The cardinalities of one property; zeroes if the property is absent.
+    pub fn card(&self, p: PropertyId) -> PropertyCard {
+        self.properties.get(&p.0).copied().unwrap_or_default()
+    }
+
+    /// Folds another site's statistics into this aggregate.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.triples = self.triples.saturating_add(other.triples);
+        for (p, card) in &other.properties {
+            let slot = self.properties.entry(*p).or_default();
+            slot.triples = slot.triples.saturating_add(card.triples);
+            slot.distinct_subjects = slot.distinct_subjects.saturating_add(card.distinct_subjects);
+            slot.distinct_objects = slot.distinct_objects.saturating_add(card.distinct_objects);
+        }
+    }
+
+    /// Computes statistics from a sorted, deduplicated triple list and its
+    /// POS permutation (distinct objects fall out of the (p, o, s) runs;
+    /// distinct subjects need one extra (p, s) sort).
+    fn compute(triples: &[Triple], pos: &[u32]) -> StoreStats {
+        let mut properties: FxHashMap<u32, PropertyCard> = FxHashMap::default();
+        let mut prev: Option<(PropertyId, VertexId)> = None;
+        for &i in pos {
+            let t = triples[i as usize];
+            let slot = properties.entry(t.p.0).or_default();
+            slot.triples += 1;
+            if prev != Some((t.p, t.o)) {
+                slot.distinct_objects += 1;
+            }
+            prev = Some((t.p, t.o));
+        }
+        let mut ps: Vec<(PropertyId, VertexId)> =
+            triples.iter().map(|t| (t.p, t.s)).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        for (p, _) in ps {
+            if let Some(slot) = properties.get_mut(&p.0) {
+                slot.distinct_subjects += 1;
+            }
+        }
+        StoreStats {
+            triples: triples.len() as u64,
+            properties,
+        }
+    }
+}
 
 /// A sorted-permutation triple store.
 ///
@@ -35,6 +110,8 @@ pub struct LocalStore {
     pos: Vec<u32>,
     /// Indices sorted by (o, s, p).
     osp: Vec<u32>,
+    /// Per-property cardinalities, computed at build time.
+    stats: StoreStats,
 }
 
 /// A triple-pattern access: each position is either bound or free.
@@ -84,11 +161,13 @@ impl LocalStore {
             let t = triples[i as usize];
             (t.o, t.s, t.p)
         });
+        let stats = StoreStats::compute(&triples, &pos);
         LocalStore {
             triples,
             spo,
             pos,
             osp,
+            stats,
         }
     }
 
@@ -110,6 +189,11 @@ impl LocalStore {
     /// All stored triples in (s, p, o) order.
     pub fn triples(&self) -> &[Triple] {
         &self.triples
+    }
+
+    /// Per-property cardinality statistics of this store.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     /// Number of triples matching a pattern — the matcher's selectivity
@@ -265,6 +349,35 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_per_property_cardinalities() {
+        let s = store();
+        // p0: (0,0,1) (0,0,2) (1,0,2) → 3 triples, 2 subjects, 2 objects.
+        let p0 = s.stats().card(PropertyId(0));
+        assert_eq!(p0.triples, 3);
+        assert_eq!(p0.distinct_subjects, 2);
+        assert_eq!(p0.distinct_objects, 2);
+        // p1: (0,1,1) (2,1,0) → 2 triples, 2 subjects, 2 objects.
+        let p1 = s.stats().card(PropertyId(1));
+        assert_eq!(p1.triples, 2);
+        assert_eq!(p1.distinct_subjects, 2);
+        assert_eq!(p1.distinct_objects, 2);
+        assert_eq!(s.stats().triples, 5);
+        assert_eq!(s.stats().card(PropertyId(9)), PropertyCard::default());
+    }
+
+    #[test]
+    fn stats_merge_adds_up() {
+        let a = LocalStore::new(vec![t(0, 0, 1), t(0, 1, 2)]);
+        let b = LocalStore::new(vec![t(3, 0, 4)]);
+        let mut agg = a.stats().clone();
+        agg.merge(b.stats());
+        assert_eq!(agg.triples, 3);
+        assert_eq!(agg.card(PropertyId(0)).triples, 2);
+        assert_eq!(agg.card(PropertyId(0)).distinct_subjects, 2);
+        assert_eq!(agg.card(PropertyId(1)).triples, 1);
+    }
+
+    #[test]
     fn missing_keys_yield_empty() {
         let s = store();
         let pat = Pattern {
@@ -316,6 +429,29 @@ mod proptests {
             let mut got: Vec<Triple> = store.scan(&pat).collect();
             got.sort_unstable();
             prop_assert_eq!(got, expected);
+        }
+
+        /// Build-time statistics agree with brute-force recounting.
+        #[test]
+        fn stats_equal_bruteforce(triples in triples_strategy()) {
+            let store = LocalStore::new(triples.clone());
+            let mut t = triples;
+            t.sort_unstable();
+            t.dedup();
+            prop_assert_eq!(store.stats().triples, t.len() as u64);
+            for p in 0u32..4 {
+                let of_p: Vec<&Triple> = t.iter().filter(|x| x.p.0 == p).collect();
+                let distinct = |f: fn(&Triple) -> u32| {
+                    let mut v: Vec<u32> = of_p.iter().map(|x| f(x)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v.len() as u64
+                };
+                let card = store.stats().card(PropertyId(p));
+                prop_assert_eq!(card.triples, of_p.len() as u64);
+                prop_assert_eq!(card.distinct_subjects, distinct(|x| x.s.0));
+                prop_assert_eq!(card.distinct_objects, distinct(|x| x.o.0));
+            }
         }
     }
 }
