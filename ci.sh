@@ -15,7 +15,7 @@ MPC_THREADS=4 cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> mpc analyze (workspace lint engine)"
+echo "==> mpc analyze (workspace lint engine + doc-link graph check)"
 cargo run -q --release -p mpc-analyze -- lint
 
 echo "==> mpc partition --verify (invariant smoke on generated LUBM)"
@@ -79,6 +79,29 @@ cmp "$CI_TMP/serve.1" "$CI_TMP/serve.2"
 # …and the repeats actually hit the result cache.
 grep '^serve:' "$CI_TMP/serve.1" | grep -q 'cache_hits=2'
 grep '^serve:' "$CI_TMP/serve.1"
+
+echo "==> server smoke (concurrent TCP front end, byte-identical to mpc serve --digest, docs/SERVER.md)"
+# Expected digests from the single-threaded serving path…
+"$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+    --queries "$CI_TMP/workload.txt" --digest | grep '^\[' > "$CI_TMP/expect.digests"
+# …must be reproduced by a 4-worker server under a 3-connection replay.
+"$MPC" server --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+    --listen 127.0.0.1:0 --workers 4 --queue-depth 32 \
+    --port-file "$CI_TMP/port" > "$CI_TMP/server.log" &
+SRV_PID=$!
+tries=0
+while [ ! -s "$CI_TMP/port" ] && [ "$tries" -lt 100 ]; do
+    tries=$((tries + 1))
+    sleep 0.1
+done
+[ -s "$CI_TMP/port" ] # the server came up and published its address
+ADDR=$(cat "$CI_TMP/port")
+"$MPC" client --connect "$ADDR" --queries "$CI_TMP/workload.txt" \
+    --connections 3 | grep '^\[' > "$CI_TMP/client.digests"
+cmp "$CI_TMP/expect.digests" "$CI_TMP/client.digests"
+"$MPC" client --connect "$ADDR" --shutdown
+wait "$SRV_PID"
+grep '^server:' "$CI_TMP/server.log"
 
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -20,6 +20,9 @@
 //!   `DistributedEngine::execute*` shim family stays gone: no definitions
 //!   anywhere, no calls outside `mpc-cluster`; execution goes through the
 //!   unified `run(query, &ExecRequest)` entry point.
+//! * [`rules::RULE_DOC_LINK`] — relative markdown links in `README.md`,
+//!   `DESIGN.md`, and `docs/*.md` resolve to real files, and every
+//!   `docs/*.md` page is reachable from `README.md` by following links.
 //!
 //! Any finding can be suppressed in place with a justified
 //! `// mpc-allow: <rule> <justification>` comment on the offending line or
@@ -73,7 +76,9 @@ pub fn lint_files(files: &[SourceFile], obs_doc: Option<(&str, &str)>) -> Vec<Fi
 }
 
 /// Walks the workspace at `root`, loads every `.rs` source, and runs the
-/// full rule set. Returns findings sorted by path and line.
+/// full rule set — including the documentation-graph rule over
+/// `README.md`, `DESIGN.md`, and `docs/*.md` (see
+/// [`rules::check_doc_links`]). Returns findings sorted by path and line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut paths = Vec::new();
     collect_rs_files(root, root, &mut paths)?;
@@ -86,7 +91,36 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         files.push(SourceFile::parse(rel_str, crate_name, kind, is_root, &src));
     }
     let obs_doc = fs::read_to_string(root.join(OBS_DOC_PATH)).ok();
-    Ok(lint_files(&files, obs_doc.as_deref().map(|md| (OBS_DOC_PATH, md))))
+    let mut findings = lint_files(&files, obs_doc.as_deref().map(|md| (OBS_DOC_PATH, md)));
+    rules::check_doc_links(&collect_doc_files(root)?, &|p| root.join(p).exists(), &mut findings);
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Loads the markdown set the doc-link rule scans: the repo-root entry
+/// points (`README.md`, `DESIGN.md`) plus every `docs/*.md`, as
+/// `(repo-relative path, contents)` pairs.
+fn collect_doc_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut docs = Vec::new();
+    for rel in ["README.md", "DESIGN.md"] {
+        if let Ok(md) = fs::read_to_string(root.join(rel)) {
+            docs.push((rel.to_string(), md));
+        }
+    }
+    let mut names: Vec<String> = match fs::read_dir(root.join("docs")) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".md"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    for name in names {
+        docs.push((format!("docs/{name}"), fs::read_to_string(root.join("docs").join(&name))?));
+    }
+    Ok(docs)
 }
 
 /// Recursively collects `.rs` files under `dir`, as paths relative to

@@ -21,6 +21,9 @@ pub const RULE_MPC_ALLOW: &str = "mpc-allow";
 /// Rule identifier: the removed `execute*` shim family — no calls
 /// outside `mpc-cluster`, no definitions anywhere.
 pub const RULE_DEPRECATED_EXEC: &str = "deprecated-exec";
+/// Rule identifier: relative markdown links must resolve, and every
+/// `docs/*.md` must be reachable from `README.md`.
+pub const RULE_DOC_LINK: &str = "doc-link";
 
 /// All rule identifiers a directive may name.
 pub const ALL_RULES: &[&str] = &[
@@ -31,6 +34,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_OBS_DOC,
     RULE_MPC_ALLOW,
     RULE_DEPRECATED_EXEC,
+    RULE_DOC_LINK,
 ];
 
 /// Integer types a cast *into* is considered narrowing. The workspace
@@ -442,6 +446,139 @@ pub fn check_obs_doc(
     }
 }
 
+/// Extracts link targets from a markdown document: inline
+/// `[text](target)` links and reference-style `[label]: target`
+/// definitions, each with its 1-based line number. Fenced code blocks
+/// are skipped. External targets (`scheme://`, `mailto:`) and pure
+/// same-file anchors (`#fragment`) are not returned; a `#fragment`
+/// suffix on a file target is stripped.
+pub fn extract_doc_links(md: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (idx, raw) in md.lines().enumerate() {
+        #[allow(clippy::cast_possible_truncation)] // mpc-allow: narrowing-cast doc files are far below 2^32 lines
+        let line_no = (idx + 1) as u32;
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Reference-style definition: `[label]: target` at line start.
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(close) = rest.find("]:") {
+                let target = rest[close + 2..].trim();
+                let target = target.split_whitespace().next().unwrap_or("");
+                push_link_target(target, line_no, &mut out);
+                continue;
+            }
+        }
+        // Inline links: every `](target)` on the line.
+        let mut rest = raw;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            push_link_target(after[..close].trim(), line_no, &mut out);
+            rest = &after[close + 1..];
+        }
+    }
+    out
+}
+
+/// Filters one raw link target and pushes it if it is a relative file
+/// reference (see [`extract_doc_links`] for what is skipped).
+fn push_link_target(raw: &str, line: u32, out: &mut Vec<(String, u32)>) {
+    let target = raw.trim_matches(|c| c == '<' || c == '>');
+    // Titles: `](path "title")` — keep only the path part.
+    let target = target.split_whitespace().next().unwrap_or("");
+    let target = target.split('#').next().unwrap_or("");
+    if target.is_empty() || target.contains("://") || target.starts_with("mailto:") {
+        return;
+    }
+    out.push((target.to_string(), line));
+}
+
+/// Resolves `target` against the directory of `from` (both repo-relative,
+/// `/`-separated), handling `./` and `../` lexically. Returns `None` when
+/// the target escapes the repo root.
+fn resolve_relative(from: &str, target: &str) -> Option<String> {
+    let mut stack: Vec<&str> = from.split('/').collect();
+    stack.pop(); // the file itself; its directory remains
+    for seg in target.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                stack.pop()?;
+            }
+            seg => stack.push(seg),
+        }
+    }
+    Some(stack.join("/"))
+}
+
+/// Documentation-graph rule, two checks over the scanned `(path,
+/// contents)` markdown set:
+///
+/// 1. every relative link in a scanned doc resolves to an existing file
+///    (`exists` answers for repo-relative paths), and
+/// 2. every scanned `docs/*.md` is reachable from `README.md` by
+///    following relative markdown links — orphaned reference pages that
+///    no reader can navigate to are findings.
+pub fn check_doc_links(
+    docs: &[(String, String)],
+    exists: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let scanned: BTreeSet<&str> = docs.iter().map(|(p, _)| p.as_str()).collect();
+    let mut edges: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for (path, md) in docs {
+        for (target, line) in extract_doc_links(md) {
+            match resolve_relative(path, &target) {
+                Some(resolved) if exists(&resolved) => {
+                    edges.entry(path.as_str()).or_default().push(resolved);
+                }
+                resolved => out.push(Finding {
+                    path: path.clone(),
+                    line,
+                    rule: RULE_DOC_LINK,
+                    message: match resolved {
+                        Some(r) => format!("link `{target}` resolves to `{r}`, which does not exist"),
+                        None => format!("link `{target}` escapes the repository root"),
+                    },
+                }),
+            }
+        }
+    }
+    // Reachability: BFS from README.md over links between scanned docs.
+    let mut reached: BTreeSet<&str> = BTreeSet::new();
+    let mut frontier = vec!["README.md"];
+    while let Some(doc) = frontier.pop() {
+        if !scanned.contains(doc) || !reached.insert(doc) {
+            continue;
+        }
+        for target in edges.get(doc).into_iter().flatten() {
+            if let Some(next) = scanned.get(target.as_str()) {
+                frontier.push(next);
+            }
+        }
+    }
+    for (path, _) in docs {
+        if path.starts_with("docs/") && path.ends_with(".md") && !reached.contains(path.as_str()) {
+            out.push(Finding {
+                path: path.clone(),
+                line: 1,
+                rule: RULE_DOC_LINK,
+                message: format!(
+                    "{path} is not reachable from README.md via markdown links; \
+                     link it so readers can navigate to it"
+                ),
+            });
+        }
+    }
+}
+
 /// Meta rule: `mpc-allow` directives must name a known rule and carry a
 /// justification.
 pub fn check_allow_directives(f: &SourceFile, out: &mut Vec<Finding>) {
@@ -632,6 +769,49 @@ mod tests {
         let md = "| `q.cache.hits` / `.misses` | x |\n";
         let names: Vec<String> = doc_metric_names(md).into_iter().map(|(n, _, _)| n).collect();
         assert_eq!(names, vec!["q.cache.hits", "q.cache.misses"]);
+    }
+
+    #[test]
+    fn doc_links_extracted_with_fences_fragments_and_refs() {
+        let md = "See [a](docs/A.md) and [b](docs/B.md#sect \"title\").\n\
+                  ```\n[not a link](skipped.md)\n```\n\
+                  [ext](https://example.com) [anchor](#here)\n\
+                  [ref]: ../up.md\n";
+        let links = extract_doc_links(md);
+        assert_eq!(
+            links,
+            vec![
+                ("docs/A.md".to_string(), 1),
+                ("docs/B.md".to_string(), 1),
+                ("../up.md".to_string(), 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_link_resolution_and_reachability() {
+        let docs = vec![
+            ("README.md".to_string(), "[s](docs/S.md)\n".to_string()),
+            ("docs/S.md".to_string(), "[back](../README.md) [bad](gone.md)\n".to_string()),
+            ("docs/ORPHAN.md".to_string(), "no links here\n".to_string()),
+        ];
+        let exists = |p: &str| docs.iter().any(|(d, _)| d == p);
+        let mut out = Vec::new();
+        check_doc_links(&docs, &exists, &mut out);
+        out.sort();
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.path == "docs/S.md" && f.message.contains("`gone.md`")));
+        assert!(out.iter().any(|f| f.path == "docs/ORPHAN.md"
+            && f.message.contains("not reachable from README.md")));
+    }
+
+    #[test]
+    fn doc_link_escape_above_root_is_flagged() {
+        let docs = vec![("README.md".to_string(), "[up](../outside.md)\n".to_string())];
+        let mut out = Vec::new();
+        check_doc_links(&docs, &|_| true, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("escapes the repository root"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use std::path::{Path, PathBuf};
 
 use mpc_analyze::rules::{
-    RULE_CRATE_ROOT, RULE_DEPRECATED_EXEC, RULE_MPC_ALLOW, RULE_NARROWING_CAST, RULE_OBS_DOC,
-    RULE_TRACED_COUNTERPART, RULE_UNWRAP_EXPECT,
+    check_doc_links, RULE_CRATE_ROOT, RULE_DEPRECATED_EXEC, RULE_DOC_LINK, RULE_MPC_ALLOW,
+    RULE_NARROWING_CAST, RULE_OBS_DOC, RULE_TRACED_COUNTERPART, RULE_UNWRAP_EXPECT,
 };
 use mpc_analyze::{lint_files, lint_workspace, render_report, FileKind, SourceFile};
 
@@ -100,6 +100,44 @@ fn obs_doc_fixture_flags_the_stale_row_only() {
     assert!(
         findings[0].message.contains("fixture.stale"),
         "finding should name the stale metric:\n{}",
+        render_report(&findings)
+    );
+}
+
+#[test]
+fn doc_link_fixture_flags_broken_link_and_orphan() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/doclink");
+    let docs: Vec<(String, String)> = ["README.md", "docs/linked.md", "docs/orphan.md"]
+        .into_iter()
+        .map(|rel| {
+            let md = std::fs::read_to_string(base.join(rel))
+                .unwrap_or_else(|e| panic!("reading doclink fixture {rel}: {e}"));
+            (rel.to_string(), md)
+        })
+        .collect();
+    let exists = |p: &str| base.join(p).is_file();
+    let mut findings = Vec::new();
+    check_doc_links(&docs, &exists, &mut findings);
+    findings.sort();
+    assert_eq!(
+        findings.len(),
+        2,
+        "expected the broken link and the orphan:\n{}",
+        render_report(&findings)
+    );
+    assert!(findings.iter().all(|f| f.rule == RULE_DOC_LINK));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.path == "docs/linked.md" && f.message.contains("`missing.md`")),
+        "{}",
+        render_report(&findings)
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.path == "docs/orphan.md" && f.message.contains("not reachable")),
+        "{}",
         render_report(&findings)
     );
 }

@@ -1,0 +1,5 @@
+//! Concurrent serving benchmark over the TCP front end. See
+//! `mpc_bench::experiments::serve_concurrent`.
+fn main() {
+    mpc_bench::experiments::serve_concurrent::run();
+}

@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod runreport;
 pub mod scalability;
+pub mod serve_concurrent;
 pub mod serve_replay;
 pub mod stages;
 pub mod table2;

@@ -14,6 +14,10 @@
 //! | `table7`   | Table VII — greedy vs MPC-Exact |
 //! | `ablation_khop` | extension: k-hop replication trade-off |
 //! | `ablation_semijoin` | extension: Bloom-semijoin reduction |
+//! | `chaos_sweep` | extension: fault-injection resilience sweep |
+//! | `par_scaling` | extension: thread-pool scaling with determinism assertion |
+//! | `serve_replay` | extension: cached vs uncached workload replay (docs/SERVING.md) |
+//! | `serve_concurrent` | extension: closed-loop clients vs TCP worker pool (docs/SERVER.md) |
 //! | `run_all`  | everything above, plus an instrumented run writing `bench_results/run_report.json` |
 //!
 //! All binaries honor `MPC_BENCH_SCALE` (default 1.0) to shrink or grow

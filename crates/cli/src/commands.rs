@@ -284,7 +284,10 @@ fn load_query(
     Ok((parsed, resolved))
 }
 
-fn load_partitioning(path: &str, graph: &RdfGraph) -> Result<mpc_core::Partitioning, CliError> {
+pub(crate) fn load_partitioning(
+    path: &str,
+    graph: &RdfGraph,
+) -> Result<mpc_core::Partitioning, CliError> {
     let file =
         File::open(path).map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
     partfile::read(&mut BufReader::new(file), graph)
@@ -332,7 +335,7 @@ pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn parse_mode(value: Option<&str>) -> Result<ExecMode, CliError> {
+pub(crate) fn parse_mode(value: Option<&str>) -> Result<ExecMode, CliError> {
     match value.unwrap_or("crossing") {
         "crossing" => Ok(ExecMode::CrossingAware),
         "star" => Ok(ExecMode::StarOnly),
@@ -495,9 +498,30 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Prints the `[{idx}] rows=… fp=…` digest line for a finished result —
+/// the exact format `mpc client` prints, so the two outputs diff clean
+/// (ci.sh relies on that). The fingerprint is over the same
+/// `mpc_cluster::wire` codec bytes the server sends in RESULT frames.
+fn write_digest_line(
+    out: &mut dyn Write,
+    idx: usize,
+    result: &mpc_sparql::Bindings,
+) -> Result<(), CliError> {
+    let bytes = mpc_cluster::wire::encode_bindings(result)
+        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    writeln!(
+        out,
+        "[{idx}] rows={} fp=0x{:016x}",
+        result.rows.len(),
+        mpc_server::fingerprint(bytes.as_ref())
+    )?;
+    Ok(())
+}
+
 /// Serves one workload line: parse, resolve, execute through the cached
 /// front end, print the result table plus a `[{idx}] rows=… cache=…`
-/// status line. Returns the row count.
+/// status line — or, with `digest`, only the `[{idx}] rows=… fp=…` line
+/// `mpc client` also prints. Returns the row count.
 #[allow(clippy::too_many_arguments)] // one call site, plain plumbing
 fn serve_one(
     server: &ServeEngine,
@@ -507,6 +531,7 @@ fn serve_one(
     req: &ExecRequest,
     rec: &Recorder,
     display_limit: usize,
+    digest: bool,
     out: &mut dyn Write,
 ) -> Result<usize, CliError> {
     let parsed = mpc_sparql::parse_query(line)
@@ -515,7 +540,13 @@ fn serve_one(
         .resolve(graph.dictionary())
         .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
     let Some(query) = resolved else {
-        writeln!(out, "[{idx}] rows=0 cache=skip (terms absent from the graph)")?;
+        // Absent-term queries digest as the empty table — the same
+        // zero-column encoding the server's RESULT frame carries.
+        if digest {
+            write_digest_line(out, idx, &mpc_sparql::Bindings::new(Vec::new()))?;
+        } else {
+            writeln!(out, "[{idx}] rows=0 cache=skip (terms absent from the graph)")?;
+        }
         return Ok(0);
     };
     let hits_before = rec.counter("serve.cache.hit").unwrap_or(0);
@@ -527,6 +558,10 @@ fn serve_one(
     let result = parsed
         .finish(&query, partial.rows, graph.dictionary())
         .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    if digest {
+        write_digest_line(out, idx, &result)?;
+        return Ok(result.rows.len());
+    }
     write_rows(out, graph, &query, &result, display_limit)?;
     writeln!(
         out,
@@ -561,7 +596,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "deadline-ms",
             "replicas",
         ],
-        &["profile", "warm", "no-cache", "strict"],
+        &["profile", "warm", "no-cache", "strict", "digest"],
     )?;
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
@@ -597,6 +632,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if o.flag("warm") && batch.is_none() {
         return Err(CliError::new("--warm requires --queries (a replayable workload)"));
     }
+    let digest = o.flag("digest");
     let t0 = Instant::now();
     let mut served = 0usize;
     let mut total_rows = 0usize;
@@ -625,8 +661,9 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         for line in &workload {
             served += 1;
-            total_rows +=
-                serve_one(&server, line, served, &graph, &req, &rec, display_limit, out)?;
+            total_rows += serve_one(
+                &server, line, served, &graph, &req, &rec, display_limit, digest, out,
+            )?;
         }
     } else {
         // REPL: parse/execution errors are reported and the loop keeps
@@ -639,7 +676,9 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 continue;
             }
             served += 1;
-            match serve_one(&server, line, served, &graph, &req, &rec, display_limit, out) {
+            match serve_one(
+                &server, line, served, &graph, &req, &rec, display_limit, digest, out,
+            ) {
                 Ok(rows) => total_rows += rows,
                 Err(e) => writeln!(out, "[{served}] error: {e}")?,
             }

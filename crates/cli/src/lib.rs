@@ -11,6 +11,10 @@
 //! * `query` — execute a SPARQL query on the simulated cluster,
 //! * `serve` — replay a query workload through the cached serving front
 //!   end (docs/SERVING.md), batch or REPL,
+//! * `server` — run the multi-client TCP front end over the same engine
+//!   (docs/SERVER.md),
+//! * `client` — replay a workload against a running server and/or shut
+//!   it down,
 //! * `analyze` — run the workspace lint engine (docs/STATIC_ANALYSIS.md).
 //!
 //! All logic lives here (testable); `src/bin/mpc.rs` is a thin shim.
@@ -20,6 +24,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod net;
 pub mod partfile;
 
 use std::fmt;
@@ -70,6 +75,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "explain" => commands::explain(rest, out),
         "query" => commands::query(rest, out),
         "serve" => commands::serve(rest, out),
+        "server" => net::server(rest, out),
+        "client" => net::client(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -100,10 +107,17 @@ USAGE:
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
     mpc serve     --input <FILE> --partitions <FILE.parts> [--queries <FILE>]
-                  [--cache-entries <N>] [--warm] [--no-cache]
+                  [--cache-entries <N>] [--warm] [--no-cache] [--digest]
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
+    mpc server    --input <FILE> --partitions <FILE.parts>
+                  [--listen <ADDR:PORT>] [--workers <N>] [--queue-depth <N>]
+                  [--cache-entries <N>] [--shards <N>] [--port-file <FILE>]
+                  [--radius <N>] [--profile]
+    mpc client    --connect <ADDR:PORT> [--queries <FILE>] [--connections <N>]
+                  [--mode <crossing|star>] [--no-cache] [--threads <N>]
+                  [--retries <N>] [--shutdown]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
@@ -133,6 +147,18 @@ non-blank, non-# line; without it, the same format is read from stdin
 as a REPL. The result cache keeps `--cache-entries` results (default
 256; `--no-cache` bypasses it per request, 0 disables it); `--warm`
 pre-runs the workload once so the replay reports steady-state hits.
-Every output line except `time:` is deterministic — replaying a
-workload twice diffs clean."
+`--digest` prints one `[i] rows=… fp=…` line per query instead of the
+result tables — the exact format `mpc client` prints. Every output line
+except `time:` is deterministic — replaying a workload twice diffs clean.
+
+`server` runs the multi-client TCP front end (docs/SERVER.md): `--workers`
+threads share one engine behind a result cache split into `--shards`
+mutex shards (default: one per worker); at most `--queue-depth` admitted
+requests wait at a time — beyond that clients get explicit REJECTED
+responses. `--listen 127.0.0.1:0` picks a free port; `--port-file` writes
+the bound address for scripts. The server runs until `mpc client
+--shutdown`, then drains admitted queries and prints a summary line.
+`client` replays `--queries` over `--connections` parallel sessions and
+prints digests in workload order — byte-identical to a sequential replay
+and to `mpc serve --digest` on the same workload."
 }

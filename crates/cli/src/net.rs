@@ -1,0 +1,145 @@
+//! The networked subcommands: `mpc server` and `mpc client`
+//! (docs/SERVER.md).
+
+use crate::args::Options;
+use crate::commands::{load_graph, load_partitioning, parse_mode};
+use crate::CliError;
+use mpc_cluster::{DistributedEngine, NetworkModel, ServeEngine};
+use mpc_obs::Recorder;
+use mpc_server::{replay, Client, RequestOpts, Server, ServerConfig};
+use std::io::Write;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// `mpc server` — bind a TCP front end over a graph + partitioning and
+/// run until a client sends `SHUTDOWN` (`mpc client --shutdown`).
+pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse_with_flags(
+        args,
+        &[
+            "input",
+            "partitions",
+            "listen",
+            "workers",
+            "queue-depth",
+            "cache-entries",
+            "shards",
+            "port-file",
+            "radius",
+        ],
+        &["profile"],
+    )?;
+    let graph = load_graph(o.required("input")?)?;
+    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
+    let radius: usize = o.parse_or("radius", 1)?;
+    let workers: usize = o.parse_or("workers", ServerConfig::default().workers)?;
+    let queue_depth: usize = o.parse_or("queue-depth", ServerConfig::default().queue_depth)?;
+    let cache_entries: usize = o.parse_or("cache-entries", 256)?;
+    // One cache shard per worker by default: lock contention scales
+    // with the pool, not with a fixed constant.
+    let shards: usize = o.parse_or("shards", workers.max(1))?;
+    let engine =
+        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    let serve = ServeEngine::with_shards(engine, cache_entries, shards);
+    let rec = Recorder::enabled();
+    let srv = Server::bind(
+        o.get("listen").unwrap_or("127.0.0.1:0"),
+        graph,
+        serve,
+        ServerConfig {
+            workers,
+            queue_depth,
+        },
+        rec.clone(),
+    )?;
+    let addr = srv.local_addr()?;
+    // The port file is how scripts find an OS-assigned port (ci.sh
+    // starts the server with `--listen 127.0.0.1:0 --port-file ...`).
+    if let Some(path) = o.get("port-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::new(format!("cannot write '{path}': {e}")))?;
+    }
+    writeln!(
+        out,
+        "listening on {addr} (workers={workers} queue-depth={queue_depth} \
+         cache-entries={cache_entries} shards={shards})"
+    )?;
+    out.flush()?;
+    let summary = srv.run()?;
+    let (hits, misses) = summary
+        .shards
+        .iter()
+        .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+    writeln!(
+        out,
+        "server: accepted={} requests={} served={} rejected={} \
+         queue_max_depth={} cache_hits={hits} cache_misses={misses}",
+        summary.accepted, summary.requests, summary.served, summary.rejected,
+        summary.queue_max_depth,
+    )?;
+    if o.flag("profile") {
+        writeln!(out, "\nprofile:")?;
+        write!(out, "{}", rec.report().to_text())?;
+    }
+    Ok(())
+}
+
+fn resolve_addr(spec: &str) -> Result<SocketAddr, CliError> {
+    spec.to_socket_addrs()
+        .map_err(|e| CliError::new(format!("cannot resolve '{spec}': {e}")))?
+        .next()
+        .ok_or_else(|| CliError::new(format!("'{spec}' resolves to no address")))
+}
+
+/// `mpc client` — replay a workload file against a running `mpc server`
+/// over `--connections` parallel sessions, printing one
+/// `[i] rows=… fp=…` line per query **in workload order** (so the
+/// output diffs clean against `mpc serve --digest` on the same file),
+/// and/or shut the server down.
+pub fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse_with_flags(
+        args,
+        &["connect", "queries", "connections", "threads", "mode", "retries"],
+        &["no-cache", "shutdown"],
+    )?;
+    let addr = resolve_addr(o.required("connect")?)?;
+    if let Some(path) = o.get("queries") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
+        let workload: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        let connections: usize = o.parse_or("connections", 1)?;
+        let opts = RequestOpts {
+            mode: parse_mode(o.get("mode"))?,
+            cached: !o.flag("no-cache"),
+            threads: o.parse_or("threads", 0u16)?,
+            reject_retries: o.parse_or("retries", RequestOpts::default().reject_retries)?,
+        };
+        let digests = replay(addr, &workload, connections, &opts)
+            .map_err(|e| CliError::new(format!("replay failed: {e}")))?;
+        for (i, digest) in digests.iter().enumerate() {
+            writeln!(out, "[{}] {digest}", i + 1)?;
+        }
+        writeln!(
+            out,
+            "client: queries={} connections={}",
+            digests.len(),
+            connections.max(1).min(workload.len().max(1))
+        )?;
+    } else if !o.flag("shutdown") {
+        return Err(CliError::new(
+            "nothing to do: pass --queries FILE to replay and/or --shutdown",
+        ));
+    }
+    if o.flag("shutdown") {
+        Client::connect(addr)
+            .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?
+            .shutdown_server()
+            .map_err(|e| CliError::new(format!("shutdown failed: {e}")))?;
+        writeln!(out, "server at {addr} shut down")?;
+    }
+    Ok(())
+}

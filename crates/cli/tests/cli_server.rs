@@ -1,0 +1,172 @@
+//! End-to-end `mpc server` / `mpc client` flow (docs/SERVER.md): start
+//! the TCP front end in-process, replay a workload concurrently over
+//! the wire, and diff the digests against single-threaded
+//! `mpc serve --digest` — the same comparison ci.sh's smoke test makes
+//! across processes.
+
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    mpc_cli::run(&args, &mut out)
+        .map(|()| String::from_utf8(out).expect("utf8 output"))
+        .map_err(|e| e.message)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpc-server-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// generate → partition → workload file, returning (data, parts, workload).
+fn setup(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+    ])
+    .unwrap();
+    let workload = dir.join("workload.txt");
+    // Respelled repeats (cache hits), a star, an absent-term query, and
+    // a comment — the digest stream must be identical however they are
+    // interleaved across connections.
+    std::fs::write(
+        &workload,
+        "# lubm serving workload\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }\n\
+         SELECT ?a ?b WHERE { ?b <urn:p:13> ?c . ?a <urn:p:8> ?b }\n\
+         SELECT ?x WHERE { ?x <urn:p:0> ?y }\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }\n\
+         SELECT ?x WHERE { ?x <urn:p:0> <urn:nosuchterm> }\n",
+    )
+    .unwrap();
+    (data, parts, workload)
+}
+
+/// Starts `mpc server` on a background thread and waits for the
+/// port-file handshake. Returns the bound address and the join handle
+/// yielding the server's full output (summary line included).
+fn start_server(
+    dir: &Path,
+    data: &Path,
+    parts: &Path,
+    extra: &[&str],
+) -> (String, std::thread::JoinHandle<Result<String, String>>) {
+    let port_file = dir.join("server.port");
+    let mut args = vec![
+        "server".to_owned(),
+        "--input".to_owned(),
+        data.to_str().unwrap().to_owned(),
+        "--partitions".to_owned(),
+        parts.to_str().unwrap().to_owned(),
+        "--listen".to_owned(),
+        "127.0.0.1:0".to_owned(),
+        "--port-file".to_owned(),
+        port_file.to_str().unwrap().to_owned(),
+    ];
+    args.extend(extra.iter().map(|s| (*s).to_owned()));
+    let handle = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        mpc_cli::run(&args, &mut out)
+            .map(|()| String::from_utf8(out).expect("utf8 output"))
+            .map_err(|e| e.message)
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            let s = s.trim();
+            if !s.is_empty() {
+                break s.to_owned();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote its port file");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (addr, handle)
+}
+
+/// Just the `[i] …` digest lines of an output.
+fn digest_lines(s: &str) -> Vec<&str> {
+    s.lines().filter(|l| l.starts_with('[')).collect()
+}
+
+#[test]
+fn concurrent_client_replay_matches_single_threaded_serve_digest() {
+    let dir = temp_dir("replay");
+    let (data, parts, workload) = setup(&dir);
+
+    // Ground truth: the single-threaded serving loop, digest format.
+    let serve_out = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--digest",
+    ])
+    .unwrap();
+    let expected = digest_lines(&serve_out);
+    assert_eq!(expected.len(), 5, "{serve_out}");
+    assert!(expected[0].contains("fp=0x"), "{serve_out}");
+    // The literal repeat digests identically (the respelling at [2]
+    // shares the canonical cache entry but projects other variables,
+    // so its bytes legitimately differ).
+    assert_eq!(expected[0].split_once(' ').unwrap().1,
+               expected[3].split_once(' ').unwrap().1,
+               "{serve_out}");
+
+    let (addr, handle) = start_server(&dir, &data, &parts, &["--workers", "4", "--shards", "4"]);
+
+    // Replay over 3 concurrent connections: digest lines must be
+    // byte-identical to the sequential serve's, in workload order.
+    let client_out = run(&[
+        "client", "--connect", &addr, "--queries", workload.to_str().unwrap(),
+        "--connections", "3",
+    ])
+    .unwrap();
+    assert_eq!(digest_lines(&client_out), expected, "{client_out}");
+    assert!(client_out.contains("client: queries=5 connections=3"), "{client_out}");
+
+    // A second replay (server cache now warm) is still identical.
+    let again = run(&[
+        "client", "--connect", &addr, "--queries", workload.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(digest_lines(&again), expected, "{again}");
+
+    let bye = run(&["client", "--connect", &addr, "--shutdown"]).unwrap();
+    assert!(bye.contains("shut down"), "{bye}");
+    let server_out = handle.join().unwrap().unwrap();
+    assert!(server_out.contains("listening on "), "{server_out}");
+    let summary = server_out
+        .lines()
+        .find(|l| l.starts_with("server:"))
+        .expect("server summary line")
+        .to_owned();
+    assert!(summary.contains("requests=10"), "{summary}");
+    assert!(summary.contains("served=10"), "{summary}");
+    assert!(summary.contains("rejected=0"), "{summary}");
+    // The warm second replay hit the sharded cache.
+    assert!(!summary.contains("cache_hits=0"), "{summary}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn client_flag_validation() {
+    let err = run(&["client", "--connect", "127.0.0.1:1"]).unwrap_err();
+    assert!(err.contains("nothing to do"), "{err}");
+    let err = run(&["client", "--connect", "127.0.0.1:1", "--shutdown"]).unwrap_err();
+    assert!(err.contains("cannot connect"), "{err}");
+    let err = run(&["server", "--input", "/nonexistent.nt"]).unwrap_err();
+    assert!(err.contains("cannot open"), "{err}");
+    let err = run(&["server"]).unwrap_err();
+    assert!(err.contains("missing required option '--input'"), "{err}");
+}

@@ -48,7 +48,7 @@ pub use partial::{partial_evaluate, PartialEvalStats};
 pub use bloom::BloomFilter;
 pub use retry::{RetryPolicy, SimClock};
 pub use semijoin::{bloom_reduce, ReductionStats};
-pub use serve::ServeEngine;
+pub use serve::{ServeEngine, ShardStats};
 pub use site::{Site, SiteResponse};
 pub use stats::{ExecutionStats, FaultStats, FiveNumber};
 pub use vp::VpEngine;

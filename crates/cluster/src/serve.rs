@@ -1,6 +1,6 @@
 //! The workload serving layer: canonical query keys, a memoized
-//! canonicalization step, and a bounded LRU result cache with epoch
-//! invalidation (docs/SERVING.md).
+//! canonicalization step, and a bounded, **sharded** LRU result cache
+//! with epoch invalidation (docs/SERVING.md).
 //!
 //! A served workload repeats the same query templates with cosmetic
 //! variation — renamed variables, reordered patterns, re-parsed
@@ -10,6 +10,15 @@
 //! epoch**: every repartition bumps the epoch, so entries computed over
 //! a stale partitioning can never be returned — they simply stop being
 //! addressable and age out of the LRU.
+//!
+//! The cache is split into `K` independently mutex-guarded shards
+//! ([`ServeEngine::with_shards`]), each a bounded LRU over its slice of
+//! the capacity. A query's shard is the Fx hash of its canonical pattern
+//! list, so every spelling of a BGP — and every epoch and mode variant
+//! of it — lands in the same shard, and concurrent workers (the
+//! `mpc-server` front end) contend only when they touch the same slice
+//! of the key space. `K = 1` (the [`ServeEngine::new`] default) is
+//! exactly the single-owner LRU this layer shipped with.
 //!
 //! The contract is strict: a cache hit returns bindings **bit-identical**
 //! to what an uncached execution of the same request would return
@@ -32,9 +41,10 @@ use crate::coordinator::{
 use crate::fault::SiteError;
 use crate::stats::ExecutionStats;
 use mpc_obs::Recorder;
-use mpc_rdf::FxHashMap;
+use mpc_rdf::{FxHashMap, FxHasher};
 use mpc_sparql::{canonicalize, Bindings, CanonicalQuery, Query, TriplePattern};
 use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,15 +65,36 @@ struct CacheEntry {
     stats: ExecutionStats,
 }
 
+/// What one cache shard has done since construction. Hit/miss/eviction
+/// counts are kept inside the shard lock (no recorder required), so a
+/// concurrent front end can report per-shard hit rates — see the
+/// `server.shard{i}.*` rows in docs/OBSERVABILITY.md.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live entries (stale epochs included until they age out).
+    pub entries: usize,
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups that missed (and later populated an entry).
+    pub misses: u64,
+    /// LRU evictions performed when the shard was full.
+    pub evictions: u64,
+}
+
 /// A bounded LRU keyed by [`ResultKey`]. Recency is a monotone stamp
 /// bumped on every touch; eviction removes the minimum stamp. The O(n)
 /// eviction scan is deliberate — capacities are small (hundreds), and
 /// the determinism argument ("unique monotone stamps, unique victim")
-/// stays one sentence long.
+/// stays one sentence long. One instance is one **shard**; the
+/// [`ServeEngine`] owns `K` of them behind independent mutexes.
 struct ResultCache {
     capacity: usize,
     tick: u64,
     entries: FxHashMap<ResultKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
@@ -72,13 +103,20 @@ impl ResultCache {
             capacity,
             tick: 0,
             entries: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
     fn get(&mut self, key: &ResultKey) -> Option<(Bindings, ExecutionStats)> {
         self.tick += 1;
         let tick = self.tick;
-        let entry = self.entries.get_mut(key)?;
+        let Some(entry) = self.entries.get_mut(key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         entry.stamp = tick;
         Some((entry.rows.clone(), entry.stats))
     }
@@ -96,6 +134,7 @@ impl ResultCache {
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 self.entries.remove(&victim);
+                self.evictions += 1;
                 evicted = true;
             }
         }
@@ -108,6 +147,15 @@ impl ResultCache {
             },
         );
         evicted
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            entries: self.entries.len(),
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 }
 
@@ -143,19 +191,42 @@ pub struct ServeEngine {
     /// query and the restore map. Pure function of the query, so never
     /// invalidated (unbounded, like the engine's own plan cache).
     canon_memo: Mutex<FxHashMap<RawKey, Arc<CanonicalQuery>>>,
-    cache: Mutex<ResultCache>,
+    /// The sharded result cache: each shard is an independent bounded
+    /// LRU behind its own mutex. A query's shard is the Fx hash of its
+    /// canonical pattern list (epoch and mode excluded, so every
+    /// variant of one BGP shares a shard).
+    shards: Vec<Mutex<ResultCache>>,
     cache_capacity: usize,
 }
 
 impl ServeEngine {
-    /// Wraps `inner`, keeping at most `cache_entries` cached results
-    /// (0 disables the result cache; canonicalization is still memoized).
+    /// Wraps `inner`, keeping at most `cache_entries` cached results in
+    /// a single-shard cache (0 disables the result cache;
+    /// canonicalization is still memoized). Concurrent front ends that
+    /// want lower lock contention use [`Self::with_shards`].
     pub fn new(inner: DistributedEngine, cache_entries: usize) -> Self {
+        Self::with_shards(inner, cache_entries, 1)
+    }
+
+    /// Wraps `inner` with the result cache split into `shards`
+    /// mutex-guarded LRU shards (clamped to ≥ 1). Each shard holds
+    /// `ceil(cache_entries / shards)` entries, so the effective total
+    /// capacity rounds up to a shard multiple; 0 entries disables the
+    /// cache regardless of the shard count. Sharding changes only *lock
+    /// granularity* — hit/miss behavior for a sequential request stream
+    /// and the bit-identical answer contract are unchanged.
+    pub fn with_shards(inner: DistributedEngine, cache_entries: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if cache_entries == 0 {
+            0
+        } else {
+            cache_entries.div_ceil(shards)
+        };
         ServeEngine {
             inner,
             epoch: AtomicU64::new(0),
             canon_memo: Mutex::new(FxHashMap::default()),
-            cache: Mutex::new(ResultCache::new(cache_entries)),
+            shards: (0..shards).map(|_| Mutex::new(ResultCache::new(per_shard))).collect(),
             cache_capacity: cache_entries,
         }
     }
@@ -185,15 +256,39 @@ impl ServeEngine {
         // The canonicalization memo survives: it is partition-independent.
     }
 
-    /// Number of live result-cache entries (stale epochs included until
-    /// they age out).
+    /// Number of live result-cache entries across all shards (stale
+    /// epochs included until they age out).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().entries.len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// The configured result-cache capacity.
     pub fn cache_capacity(&self) -> usize {
         self.cache_capacity
+    }
+
+    /// Number of result-cache shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A per-shard snapshot of entry counts and hit/miss/eviction
+    /// totals, in shard order. Each shard is snapshotted under its own
+    /// lock; the vector as a whole is not one atomic observation.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// The shard owning a canonical query: Fx hash of the canonical
+    /// pattern list + var count, mod the shard count. Mode and epoch are
+    /// deliberately excluded so every variant of one BGP colocates.
+    // The modulus is a usize shard count, so the remainder fits.
+    #[allow(clippy::cast_possible_truncation)]
+    fn shard_for(&self, canon: &CanonicalQuery) -> usize {
+        let mut h = FxHasher::default();
+        canon.query.patterns.hash(&mut h);
+        canon.query.var_count().hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
     }
 
     /// Serves one request. Identical in results to
@@ -225,8 +320,9 @@ impl ServeEngine {
             req.mode == ExecMode::CrossingAware,
             self.epoch(),
         );
+        let shard = &self.shards[self.shard_for(&canon)];
         if use_cache {
-            let hit = self.cache.lock().get(&key);
+            let hit = shard.lock().get(&key);
             if let Some((rows, stats)) = hit {
                 rec.incr("serve.cache.hit");
                 return Ok(complete_outcome(canon.restore_bindings(&rows), stats));
@@ -235,10 +331,7 @@ impl ServeEngine {
         }
         let (partial, stats) = self.inner.run(&canon.query, req)?.into_parts();
         if use_cache {
-            let evicted = self
-                .cache
-                .lock()
-                .insert(key, partial.rows.clone(), stats);
+            let evicted = shard.lock().insert(key, partial.rows.clone(), stats);
             if evicted {
                 rec.incr("serve.cache.evict");
             }
@@ -457,6 +550,99 @@ mod tests {
             .unwrap();
         assert_eq!(serve.cache_len(), 2);
         assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn default_engine_is_single_shard() {
+        let g = dataset();
+        let serve = serve_engine(&g, 8);
+        assert_eq!(serve.shard_count(), 1);
+        assert_eq!(serve.cache_capacity(), 8);
+    }
+
+    #[test]
+    fn sharded_cache_is_bit_identical_and_counts_match_recorder() {
+        let g = dataset();
+        let single = serve_engine(&g, 16);
+        let sharded = ServeEngine::with_shards(engine(&g), 16, 4);
+        assert_eq!(sharded.shard_count(), 4);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let queries = [
+            q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2),
+            q(vec![TriplePattern::new(v(0), prop(1), v(1))], 2),
+            q(vec![TriplePattern::new(v(0), prop(2), v(1))], 2),
+            path_query(),
+            path_query_respelled(),
+        ];
+        for round in 0..3 {
+            for query in &queries {
+                let a = single.serve(query, &ExecRequest::new()).unwrap();
+                let b = sharded.serve(query, &req).unwrap();
+                assert_eq!(a.rows(), b.rows(), "round {round}");
+                assert_eq!(b.rows(), &reference(&g, query), "round {round}");
+            }
+        }
+        // 4 canonical entries (the two path spellings share one), each
+        // missed once and hit on every later arrival.
+        assert_eq!(sharded.cache_len(), 4);
+        let totals = sharded.shard_stats().into_iter().fold(
+            ShardStats::default(),
+            |mut acc, s| {
+                acc.entries += s.entries;
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.evictions += s.evictions;
+                acc
+            },
+        );
+        assert_eq!(totals.entries, 4);
+        assert_eq!(Some(totals.hits), rec.counter("serve.cache.hit"));
+        assert_eq!(Some(totals.misses), rec.counter("serve.cache.miss"));
+        assert_eq!(totals.misses, 4);
+        assert_eq!(totals.evictions, 0);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_every_shard() {
+        let g = dataset();
+        let mut sharded = ServeEngine::with_shards(engine(&g), 16, 4);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let queries = [
+            q(vec![TriplePattern::new(v(0), prop(0), v(1))], 2),
+            q(vec![TriplePattern::new(v(0), prop(1), v(1))], 2),
+            path_query(),
+        ];
+        let before: Vec<_> = queries
+            .iter()
+            .map(|query| sharded.serve(query, &req).unwrap())
+            .collect();
+        sharded.repartition(engine(&g));
+        for (query, old) in queries.iter().zip(&before) {
+            let fresh = sharded.serve(query, &req).unwrap();
+            assert_eq!(fresh.rows(), old.rows());
+        }
+        // All 6 serves were misses: the epoch bump made every shard's
+        // entries unaddressable at once.
+        assert_eq!(rec.counter("serve.cache.miss"), Some(6));
+        assert_eq!(rec.counter("serve.cache.hit"), None);
+    }
+
+    #[test]
+    fn per_shard_capacity_rounds_up_and_zero_disables() {
+        let g = dataset();
+        // 5 entries over 2 shards → 3 per shard, effective 6 total.
+        let sharded = ServeEngine::with_shards(engine(&g), 5, 2);
+        assert_eq!(sharded.cache_capacity(), 5);
+        let off = ServeEngine::with_shards(engine(&g), 0, 4);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let _ = off.serve(&path_query(), &req).unwrap();
+        let _ = off.serve(&path_query(), &req).unwrap();
+        assert_eq!(off.cache_len(), 0);
+        assert_eq!(rec.counter("serve.cache.hit"), None);
+        assert!(off.shard_stats().iter().all(|s| *s == ShardStats::default()));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod triple;
 pub use builder::GraphBuilder;
 pub use dictionary::Dictionary;
 pub use graph::RdfGraph;
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{PartitionId, PropertyId, VertexId};
 pub use term::Term;
 pub use triple::Triple;

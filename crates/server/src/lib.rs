@@ -1,0 +1,35 @@
+//! The concurrent serving front end (docs/SERVER.md).
+//!
+//! `mpc-server` turns the single-owner [`mpc_cluster::ServeEngine`]
+//! into a multi-client TCP service without weakening any contract the
+//! serving layer makes:
+//!
+//! * [`proto`] — a length-prefixed wire protocol whose RESULT bodies
+//!   are the `mpc_cluster::wire` codec bytes of the finished result,
+//! * [`queue`] — the bounded admission queue (backpressure by explicit
+//!   `REJECTED` responses, graceful close-then-drain shutdown),
+//! * [`server`] — the accept loop, per-connection handlers, and the
+//!   worker pool sharing one engine behind its sharded result cache,
+//! * [`client`] — the client side: per-query digests and a
+//!   connection-striped replay whose output is byte-identical to a
+//!   sequential session,
+//! * [`render`] — query → SPARQL text, so generated workloads can be
+//!   driven over the wire.
+//!
+//! Everything is `std` — `TcpListener`/`TcpStream` plus scoped
+//! threads; the only dependencies are workspace crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod render;
+pub mod server;
+
+pub use client::{digest_result_bytes, replay, Client, ClientError, RequestOpts, ResultDigest};
+pub use proto::{fingerprint, Frame, ProtoError, QueryFrame, MAX_FRAME};
+pub use queue::AdmissionQueue;
+pub use render::{render_sparql, render_sparql_raw};
+pub use server::{Server, ServerConfig, ServerSummary};

@@ -1,0 +1,354 @@
+//! The wire protocol: length-prefixed frames over any byte stream.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! followed by that many payload bytes. The payload's first byte is an
+//! opcode; the rest is the opcode-specific body (docs/SERVER.md has the
+//! byte-level layout). Frames larger than [`MAX_FRAME`] are rejected
+//! before the body is read, so a hostile or corrupted length prefix
+//! cannot make the server allocate unboundedly.
+//!
+//! The protocol is strictly request/response per connection: a client
+//! sends [`Frame::Query`] and reads exactly one of [`Frame::Result`],
+//! [`Frame::Error`], or [`Frame::Rejected`] back. [`Frame::Shutdown`]
+//! asks the server to drain and exit; [`Frame::Bye`] ends a session in
+//! either direction. Result bodies are the `mpc_cluster::wire` codec
+//! bytes of the finished bindings — the same encoding the engine uses
+//! between sites, which is what makes the byte-identical serving
+//! contract directly observable on the wire ([`fingerprint`]).
+
+use mpc_cluster::ExecMode;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Maximum payload bytes in one frame (16 MiB). Chosen to fit any
+/// realistic result table while bounding what a corrupt length prefix
+/// can demand.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+const OP_QUERY: u8 = 1;
+const OP_RESULT: u8 = 2;
+const OP_ERROR: u8 = 3;
+const OP_REJECTED: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+const OP_BYE: u8 = 6;
+
+/// A query request as carried on the wire: the per-request
+/// [`mpc_cluster::ExecRequest`] knobs plus the SPARQL text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryFrame {
+    /// Execution mode (crossing-aware or star-only decomposition).
+    pub mode: ExecMode,
+    /// Whether the result cache may answer this request.
+    pub cached: bool,
+    /// Per-request thread budget; 0 inherits the server's default.
+    pub threads: u16,
+    /// The SPARQL query text.
+    pub text: String,
+}
+
+/// One decoded protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: execute a query.
+    Query(QueryFrame),
+    /// Server → client: the finished result, as
+    /// [`mpc_cluster::wire::encode_bindings`] bytes.
+    Result(Vec<u8>),
+    /// Server → client: the request failed (parse error, execution
+    /// error); the body is a human-readable message.
+    Error(String),
+    /// Server → client: the admission queue was full (backpressure);
+    /// the body says so. The request was **not** executed.
+    Rejected(String),
+    /// Client → server: drain queued work, then exit.
+    Shutdown,
+    /// Either direction: end of session.
+    Bye,
+}
+
+/// A protocol-level failure: transport error, framing violation, or a
+/// malformed payload.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// A frame announced a payload larger than [`MAX_FRAME`].
+    Oversized {
+        /// The announced payload length.
+        len: usize,
+    },
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The payload did not decode (unknown opcode, short body, bad
+    /// UTF-8, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            ProtoError::Truncated => write!(f, "truncated frame: stream ended mid-payload"),
+            ProtoError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Encodes a frame into a payload (opcode + body, no length prefix).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Query(q) => {
+            let mut out = Vec::with_capacity(5 + q.text.len());
+            out.push(OP_QUERY);
+            out.push(match q.mode {
+                ExecMode::CrossingAware => 0,
+                ExecMode::StarOnly => 1,
+            });
+            out.push(u8::from(q.cached));
+            out.extend_from_slice(&q.threads.to_le_bytes());
+            out.extend_from_slice(q.text.as_bytes());
+            out
+        }
+        Frame::Result(bytes) => {
+            let mut out = Vec::with_capacity(1 + bytes.len());
+            out.push(OP_RESULT);
+            out.extend_from_slice(bytes);
+            out
+        }
+        Frame::Error(msg) => text_payload(OP_ERROR, msg),
+        Frame::Rejected(msg) => text_payload(OP_REJECTED, msg),
+        Frame::Shutdown => vec![OP_SHUTDOWN],
+        Frame::Bye => vec![OP_BYE],
+    }
+}
+
+fn text_payload(op: u8, msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(op);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decodes a payload (as returned by [`read_frame`]) into a [`Frame`].
+pub fn decode(payload: &[u8]) -> Result<Frame, ProtoError> {
+    let (&op, body) = payload
+        .split_first()
+        .ok_or_else(|| ProtoError::Malformed("empty payload".into()))?;
+    match op {
+        OP_QUERY => {
+            if body.len() < 4 {
+                return Err(ProtoError::Malformed("QUERY body shorter than its header".into()));
+            }
+            let mode = match body[0] {
+                0 => ExecMode::CrossingAware,
+                1 => ExecMode::StarOnly,
+                other => {
+                    return Err(ProtoError::Malformed(format!("unknown exec mode byte {other}")))
+                }
+            };
+            let cached = match body[1] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad cached flag byte {other}")))
+                }
+            };
+            let threads = u16::from_le_bytes([body[2], body[3]]);
+            let text = std::str::from_utf8(&body[4..])
+                .map_err(|_| ProtoError::Malformed("query text is not UTF-8".into()))?
+                .to_owned();
+            Ok(Frame::Query(QueryFrame {
+                mode,
+                cached,
+                threads,
+                text,
+            }))
+        }
+        OP_RESULT => Ok(Frame::Result(body.to_vec())),
+        OP_ERROR => Ok(Frame::Error(text_body(body)?)),
+        OP_REJECTED => Ok(Frame::Rejected(text_body(body)?)),
+        OP_SHUTDOWN => Ok(Frame::Shutdown),
+        OP_BYE => Ok(Frame::Bye),
+        other => Err(ProtoError::Malformed(format!("unknown opcode {other}"))),
+    }
+}
+
+fn text_body(body: &[u8]) -> Result<String, ProtoError> {
+    std::str::from_utf8(body)
+        .map(str::to_owned)
+        .map_err(|_| ProtoError::Malformed("message body is not UTF-8".into()))
+}
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// Header and payload go out in a **single** write: the protocol is
+/// request/response ping-pong over TCP, and splitting a frame across
+/// two small writes lets Nagle's algorithm hold the second back for the
+/// peer's delayed ACK — tens of milliseconds of stall per request.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("refusing to send a {}-byte frame (limit {MAX_FRAME})", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame length overflow"))?;
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&len.to_le_bytes());
+    wire.extend_from_slice(payload);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Convenience: encode + [`write_frame`].
+pub fn send<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    write_frame(w, &encode(frame))
+}
+
+/// Reads one frame payload. Returns `Ok(None)` on clean end-of-stream
+/// (the peer closed between frames); a stream that ends *inside* a
+/// frame is [`ProtoError::Truncated`], and a length prefix above
+/// [`MAX_FRAME`] is [`ProtoError::Oversized`] — the body is never read.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            return if got == 0 { Ok(None) } else { Err(ProtoError::Truncated) };
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Reads and decodes one frame; `Ok(None)` on clean end-of-stream.
+pub fn recv<R: Read>(r: &mut R) -> Result<Option<Frame>, ProtoError> {
+    match read_frame(r)? {
+        Some(payload) => decode(&payload).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// FNV-1a (64-bit) over a byte slice — the digest both `mpc client` and
+/// `mpc serve --digest` print per query, so their outputs diff directly.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        send(&mut wire, &frame).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let back = recv(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(back, frame);
+        // And the stream is cleanly exhausted.
+        assert!(recv(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        roundtrip(Frame::Query(QueryFrame {
+            mode: ExecMode::StarOnly,
+            cached: false,
+            threads: 3,
+            text: "SELECT ?x WHERE { ?x <urn:p:0> ?y }".into(),
+        }));
+        roundtrip(Frame::Query(QueryFrame {
+            mode: ExecMode::CrossingAware,
+            cached: true,
+            threads: 0,
+            text: String::new(),
+        }));
+        roundtrip(Frame::Result(vec![1, 2, 3, 255]));
+        roundtrip(Frame::Result(Vec::new()));
+        roundtrip(Frame::Error("boom".into()));
+        roundtrip(Frame::Rejected("queue full".into()));
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_reading_the_body() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::try_from(MAX_FRAME + 1).unwrap().to_le_bytes());
+        // No body at all: the length check must fire first.
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { len } if len == MAX_FRAME + 1));
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_clean_eof() {
+        // Clean EOF: empty stream.
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+        // Torn header.
+        let err = read_frame(&mut Cursor::new(vec![5u8, 0])).unwrap_err();
+        assert!(matches!(err, ProtoError::Truncated));
+        // Full header, short payload.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 10]);
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, ProtoError::Truncated));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err()); // unknown opcode
+        assert!(decode(&[OP_QUERY, 0, 1]).is_err()); // short QUERY header
+        assert!(decode(&[OP_QUERY, 7, 1, 0, 0]).is_err()); // bad mode byte
+        assert!(decode(&[OP_QUERY, 0, 9, 0, 0]).is_err()); // bad cached byte
+        assert!(decode(&[OP_QUERY, 0, 1, 0, 0, 0xFF, 0xFE]).is_err()); // bad UTF-8
+        assert!(decode(&[OP_ERROR, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payloads() {
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing must hit the wire");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"mpc"), fingerprint(b"mpc"));
+        assert_ne!(fingerprint(b"mpc"), fingerprint(b"mpd"));
+    }
+}

@@ -1,0 +1,172 @@
+//! The bounded admission queue between connection handlers and workers.
+//!
+//! Admission control is the server's backpressure mechanism: a handler
+//! [`AdmissionQueue::try_push`]es a job and, when the queue is at
+//! capacity, gets the job back immediately — it then sends the client
+//! an explicit `REJECTED` frame instead of letting requests pile up in
+//! unbounded memory. Workers block in [`AdmissionQueue::pop`] until a
+//! job arrives or the queue is [`AdmissionQueue::close`]d **and**
+//! drained — close-then-drain is exactly the graceful-shutdown
+//! semantics docs/SERVER.md specifies: no new admissions, every
+//! admitted job still completes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// A FIFO queue with a hard capacity, non-blocking admission, and
+/// blocking, drain-aware removal.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs. Zero is legal
+    /// and rejects every push — a server in pure-backpressure mode.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or returns it to the caller when the queue is at
+    /// capacity or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = relock(&self.state);
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        s.max_depth = s.max_depth.max(s.items.len());
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Removes the oldest job, blocking while the queue is empty and
+    /// open. Returns `None` only when the queue is closed **and**
+    /// empty — the drain-complete signal workers exit on.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = relock(&self.state);
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: subsequent pushes are rejected, and every
+    /// blocked and future [`Self::pop`] returns `None` once the
+    /// remaining jobs are drained.
+    pub fn close(&self) {
+        relock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        relock(&self.state).items.len()
+    }
+
+    /// True when no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been — the `server.queue.max_depth`
+    /// gauge.
+    pub fn max_depth(&self) -> usize {
+        relock(&self.state).max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth_tracking() {
+        let q = AdmissionQueue::new(3);
+        assert!(q.is_empty());
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(9).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.max_depth(), 3, "max depth is a high-water mark");
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = AdmissionQueue::new(1);
+        q.try_push("a").unwrap();
+        assert_eq!(q.try_push("b"), Err("b"));
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("b").unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.try_push(1), Err(1));
+        assert_eq!(q.max_depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "no admissions after close");
+        // Admitted jobs still drain in order, then poppers get None.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+
+        // A popper blocked on an empty queue is woken by close.
+        let q2: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(8));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,411 @@
+//! The server: accept loop, per-connection handlers, and the worker
+//! pool that shares one [`ServeEngine`] (docs/SERVER.md).
+//!
+//! ```text
+//!   TcpListener ──accept──▶ handler thread (one per connection)
+//!        │                       │  QUERY frame
+//!        │                       ▼
+//!        │              AdmissionQueue (bounded; full ⇒ REJECTED)
+//!        │                       │
+//!        │              worker threads (N, one ServeEngine)
+//!        │                       │  encoded RESULT / ERROR
+//!        │                       ▼
+//!        └──────────── handler writes the reply frame back
+//! ```
+//!
+//! Determinism contract: the reply bytes for a query depend only on the
+//! query text and its [`QueryFrame`] knobs — never on which worker ran
+//! it, what else was queued, or how requests interleaved. That follows
+//! from [`ServeEngine::serve`]'s bit-identical guarantee plus the
+//! deterministic `finish`/codec pipeline; the `serve_concurrent` bench
+//! and this crate's proptest check it end to end.
+
+use crate::proto::{self, Frame, ProtoError, QueryFrame};
+use crate::queue::AdmissionQueue;
+use mpc_cluster::wire::encode_bindings;
+use mpc_cluster::{ExecRequest, ServeEngine, ShardStats};
+use mpc_obs::Recorder;
+use mpc_rdf::RdfGraph;
+use mpc_sparql::Bindings;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How long a handler sleeps in its read loop before re-checking the
+/// shutdown flag, and how long the accept loop sleeps when idle.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// How long a handler keeps waiting for the rest of a partially
+/// received frame *after* shutdown is signalled, before giving up on
+/// the connection.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Server knobs (the `mpc server` flags map onto this 1:1).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity; 0 rejects every request.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`]
+/// after the graceful drain completes.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct ServerSummary {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// QUERY frames received.
+    pub requests: u64,
+    /// Queries executed by workers (admitted and completed).
+    pub served: u64,
+    /// Admission rejections (backpressure responses sent).
+    pub rejected: u64,
+    /// High-water mark of the admission queue.
+    pub queue_max_depth: usize,
+    /// Per-shard result-cache statistics, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+/// One admitted unit of work: the query plus the channel its reply
+/// payload goes back on. The receiving handler may be gone by the time
+/// the worker finishes (client disconnected while queued) — the send
+/// then fails and the result is dropped, which is the correct outcome.
+struct Job {
+    frame: QueryFrame,
+    reply: mpsc::SyncSender<Vec<u8>>,
+}
+
+struct Shared {
+    graph: RdfGraph,
+    serve: ServeEngine,
+    queue: AdmissionQueue<Job>,
+    rec: Recorder,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A bound, not-yet-running server. [`Server::bind`] then
+/// [`Server::run`]; `run` blocks until a client sends `SHUTDOWN` and
+/// the drain completes.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) over a
+    /// graph + serving engine. The engine's shard count should match
+    /// the concurrency (`ServeEngine::with_shards`); metrics go to
+    /// `rec` under `server.*` (docs/OBSERVABILITY.md).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        graph: RdfGraph,
+        serve: ServeEngine,
+        cfg: ServerConfig,
+        rec: Recorder,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Shared {
+                graph,
+                serve,
+                queue: AdmissionQueue::new(cfg.queue_depth),
+                rec,
+                shutdown: AtomicBool::new(false),
+                accepted: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            },
+            workers: cfg.workers.max(1),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs until a `SHUTDOWN` frame arrives, then drains: accepting
+    /// stops, admitted queries complete and their replies are written,
+    /// new queries are rejected, workers and handlers join. Returns the
+    /// lifetime summary.
+    pub fn run(self) -> io::Result<ServerSummary> {
+        let Server {
+            listener,
+            shared,
+            workers,
+        } = self;
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> io::Result<()> {
+            let sh = &shared;
+            for i in 0..workers {
+                scope.spawn(move || worker_loop(sh, i));
+            }
+            loop {
+                if sh.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        sh.accepted.fetch_add(1, Ordering::Relaxed);
+                        sh.rec.incr("server.accepted");
+                        scope.spawn(move || handle_connection(sh, stream));
+                    }
+                    Err(e) if is_would_block(&e) => std::thread::sleep(IDLE_TICK),
+                    // Transient accept errors (per-connection resets)
+                    // must not take the server down.
+                    Err(_) => std::thread::sleep(IDLE_TICK),
+                }
+            }
+            // The queue was closed by the shutdown request; the scope
+            // exit joins workers (drain) and handlers (flag observed).
+            Ok(())
+        })?;
+        let rec = &shared.rec;
+        rec.set("server.queue.max_depth", shared.queue.max_depth() as u64);
+        let shards = shared.serve.shard_stats();
+        for (i, s) in shards.iter().enumerate() {
+            rec.set(&format!("server.shard{i}.hits"), s.hits);
+            rec.set(&format!("server.shard{i}.misses"), s.misses);
+        }
+        Ok(ServerSummary {
+            accepted: shared.accepted.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed),
+            served: shared.served.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            queue_max_depth: shared.queue.max_depth(),
+            shards,
+        })
+    }
+}
+
+fn is_would_block(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Executes admitted jobs until the queue is closed and drained. Each
+/// worker accumulates its own totals and records them once at exit
+/// (`server.worker{i}.jobs` / `server.worker{i}.busy`), so live
+/// execution touches no shared recorder state beyond the engine's own
+/// counters.
+fn worker_loop(sh: &Shared, i: usize) {
+    let mut jobs = 0u64;
+    let mut busy = Duration::ZERO;
+    while let Some(job) = sh.queue.pop() {
+        let t0 = Instant::now();
+        let payload = proto::encode(&execute(sh, &job.frame));
+        busy += t0.elapsed();
+        jobs += 1;
+        sh.served.fetch_add(1, Ordering::Relaxed);
+        // The handler (and its client) may be gone; dropping the reply
+        // is the correct outcome then.
+        let _ = job.reply.send(payload);
+    }
+    sh.rec.add(&format!("server.worker{i}.jobs"), jobs);
+    sh.rec.record(&format!("server.worker{i}.busy"), busy);
+}
+
+/// Parses, resolves, serves, finishes, and encodes one query. Every
+/// failure becomes an `ERROR` frame; the connection survives.
+fn execute(sh: &Shared, q: &QueryFrame) -> Frame {
+    match run_query(sh, q) {
+        Ok(bytes) => Frame::Result(bytes),
+        Err(msg) => Frame::Error(msg),
+    }
+}
+
+fn run_query(sh: &Shared, q: &QueryFrame) -> Result<Vec<u8>, String> {
+    let dict = sh.graph.dictionary();
+    let parsed = mpc_sparql::parse_query(&q.text).map_err(|e| e.to_string())?;
+    let resolved = parsed.resolve(dict).map_err(|e| e.to_string())?;
+    let Some(query) = resolved else {
+        // A constant is absent from the dictionary: provably empty.
+        // Encode a zero-column, zero-row table so the client still gets
+        // a RESULT frame (and a stable fingerprint).
+        let empty = Bindings::new(Vec::new());
+        return encode_bindings(&empty)
+            .map(|b| b.as_ref().to_vec())
+            .map_err(|e| e.to_string());
+    };
+    let mut req = ExecRequest::new()
+        .mode(q.mode)
+        .traced(&sh.rec)
+        .cached(q.cached);
+    if q.threads > 0 {
+        req = req.threads(usize::from(q.threads));
+    }
+    let outcome = sh.serve.serve(&query, &req).map_err(|e| e.to_string())?;
+    let (partial, _stats) = outcome.into_parts();
+    let finished = parsed
+        .finish(&query, partial.rows, dict)
+        .map_err(|e| e.to_string())?;
+    encode_bindings(&finished)
+        .map(|b| b.as_ref().to_vec())
+        .map_err(|e| e.to_string())
+}
+
+/// One connection's request/response loop. Returns (closing the
+/// connection) on clean client EOF, `BYE`, unrecoverable protocol
+/// damage, or shutdown observed while idle.
+fn handle_connection(sh: &Shared, mut stream: TcpStream) {
+    // The read timeout is what lets an idle handler observe shutdown.
+    if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
+        return;
+    }
+    // Request/response ping-pong: Nagle would hold small reply frames
+    // back for the client's delayed ACK. Best-effort, like the timeout.
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, sh) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(e @ (ProtoError::Oversized { .. } | ProtoError::Malformed(_))) => {
+                // The stream itself is still framed correctly (an
+                // oversized announcement is detected before any body
+                // bytes are consumed... but the body may follow), so
+                // the only safe move is: report, then close.
+                let _ = proto::send(&mut stream, &Frame::Error(e.to_string()));
+                return;
+            }
+            Err(_) => return, // truncated or transport failure
+        };
+        let frame = match proto::decode(&payload) {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = proto::send(&mut stream, &Frame::Error(e.to_string()));
+                return;
+            }
+        };
+        match frame {
+            Frame::Query(q) => {
+                sh.requests.fetch_add(1, Ordering::Relaxed);
+                sh.rec.incr("server.requests");
+                let (tx, rx) = mpsc::sync_channel(1);
+                match sh.queue.try_push(Job { frame: q, reply: tx }) {
+                    Err(_) => {
+                        sh.rejected.fetch_add(1, Ordering::Relaxed);
+                        sh.rec.incr("server.rejected");
+                        if proto::send(
+                            &mut stream,
+                            &Frame::Rejected("admission queue full".into()),
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Ok(()) => match rx.recv() {
+                        Ok(reply) => {
+                            if proto::write_frame(&mut stream, &reply).is_err() {
+                                return;
+                            }
+                        }
+                        // Worker pool gone mid-request (shutdown race).
+                        Err(_) => return,
+                    },
+                }
+            }
+            Frame::Shutdown => {
+                sh.shutdown.store(true, Ordering::Release);
+                sh.queue.close();
+                let _ = proto::send(&mut stream, &Frame::Bye);
+                return;
+            }
+            Frame::Bye => return,
+            Frame::Result(_) | Frame::Error(_) | Frame::Rejected(_) => {
+                let _ = proto::send(
+                    &mut stream,
+                    &Frame::Error("unexpected server-side frame from client".into()),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// [`proto::read_frame`] over a timeout-armed stream: timeouts while
+/// **idle** (no byte of the next frame yet) re-check the shutdown flag
+/// and keep waiting — or end the session once shutdown is signalled.
+/// Timeouts **mid-frame** keep waiting for the peer (bounded by
+/// [`DRAIN_GRACE`] once shutdown is signalled), because abandoning a
+/// half-read frame would desynchronize the stream.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    sh: &Shared,
+) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; 4];
+    if read_exact_interruptible(stream, &mut header, sh, true)?.is_none() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > proto::MAX_FRAME {
+        return Err(ProtoError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_interruptible(stream, &mut payload, sh, false)? {
+        Some(()) => Ok(Some(payload)),
+        None => Err(ProtoError::Truncated),
+    }
+}
+
+/// Fills `buf`, tolerating read timeouts. Returns `Ok(None)` when the
+/// session should end without error: clean EOF before the first byte,
+/// or shutdown observed while no byte has arrived (only if
+/// `idle_start` — i.e. this read began between frames).
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    sh: &Shared,
+    idle_start: bool,
+) -> Result<Option<()>, ProtoError> {
+    let mut got = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_start {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_would_block(&e) => {
+                if !sh.shutdown.load(Ordering::Acquire) {
+                    continue;
+                }
+                if got == 0 && idle_start {
+                    return Ok(None);
+                }
+                // Shutdown mid-frame: give the peer a bounded grace
+                // period to finish sending, then give up.
+                let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                if Instant::now() >= deadline {
+                    return Err(ProtoError::Truncated);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(()))
+}

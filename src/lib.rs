@@ -10,6 +10,7 @@
 //! * [`cluster`] — simulated distributed engine (IEQ classification,
 //!   Algorithm 2 decomposition, per-stage execution statistics).
 //! * [`par`] — deterministic scoped-thread work pool (docs/PARALLELISM.md).
+//! * [`server`] — concurrent TCP serving front end (docs/SERVER.md).
 //! * [`datagen`] — seeded dataset and workload generators.
 //!
 //! # End-to-end example
@@ -56,4 +57,5 @@ pub use mpc_dsu as dsu;
 pub use mpc_metis as metis;
 pub use mpc_par as par;
 pub use mpc_rdf as rdf;
+pub use mpc_server as server;
 pub use mpc_sparql as sparql;
