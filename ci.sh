@@ -15,8 +15,12 @@ MPC_THREADS=4 cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> mpc analyze (workspace lint engine + doc-link graph check)"
-cargo run -q --release -p mpc-analyze -- lint
+echo "==> mpc analyze (workspace lint engine, gated on analyze-baseline.json)"
+# Fails deterministically on any finding whose (path, rule, message) key
+# is not in the committed baseline. After fixing or mpc-allow-ing a
+# finding, regenerate with:
+#   cargo run -q --release -p mpc-analyze -- lint --write-baseline analyze-baseline.json
+cargo run -q --release -p mpc-analyze -- lint --json --baseline analyze-baseline.json
 
 echo "==> mpc partition --verify (invariant smoke on generated LUBM)"
 CI_TMP=$(mktemp -d)

@@ -1,0 +1,980 @@
+//! The concurrency rule pack: scope-aware lock and atomic hygiene over
+//! the whole workspace.
+//!
+//! PRs 4–6 made the core genuinely concurrent — the `mpc-par` work
+//! pool, the sharded serve cache, the `mpc-server` worker/queue front
+//! end — and the roadmap's adaptive-repartitioning work will add online
+//! epoch bumps and fragment migration on top. These rules are the
+//! static safety net for that: they catch the two failure modes that
+//! runtime tests are worst at (deadlocks that need a specific
+//! interleaving, and memory-ordering bugs that need a specific
+//! weak-memory machine) plus the hygiene that keeps both auditable.
+//!
+//! * [`RULE_LOCK_ORDER`] — builds the workspace **lock-acquisition
+//!   graph** (which lock classes are acquired while which are held,
+//!   directly or through calls) and flags every edge on a cycle.
+//! * [`RULE_GUARD_BLOCKING`] — flags a live lock guard spanning a
+//!   blocking call (`write_all`, `accept`, `join`, `recv`, …).
+//! * [`RULE_ATOMIC_ORDERING`] — atomic ops must name a literal
+//!   `Ordering::…`, and every non-`SeqCst` choice needs an adjacent
+//!   `// ordering: <why>` justification.
+//! * [`RULE_UNSAFE_BUDGET`] — no `unsafe` outside allowlisted crates,
+//!   and binary entry points carry `#![forbid(unsafe_code)]` (library
+//!   roots are covered by the `crate-root` rule).
+//!
+//! # Honest limits
+//!
+//! This is a token-level heuristic, not a borrow checker. Lock classes
+//! are *names* (the receiver field or binding a `.lock()` hangs off),
+//! conflated across crates; calls resolve by bare name to every
+//! workspace `fn` sharing it; a closure's body is attributed to the
+//! enclosing function even if it runs later. Each of those
+//! approximations errs toward reporting, and `mpc-allow: lock-order
+//! <why>` is the escape hatch when a flagged edge is provably benign.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Finding;
+use crate::scope::fn_items;
+use crate::source::{FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifier: cyclic lock-acquisition order (deadlock candidate).
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule identifier: lock guard held across a blocking call.
+pub const RULE_GUARD_BLOCKING: &str = "guard-across-blocking";
+/// Rule identifier: atomic operations must name and justify orderings.
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule identifier: `unsafe` stays inside the (empty) allowlist.
+pub const RULE_UNSAFE_BUDGET: &str = "unsafe-budget";
+
+/// Crates allowed to contain `unsafe` code. Empty today; a crate earns
+/// a slot only with a documented safety argument in its crate docs.
+pub const UNSAFE_ALLOWED_CRATES: &[&str] = &[];
+
+/// Methods whose call acquires a lock guard. `lock` always does;
+/// `read`/`write` only with an empty argument list (an `RwLock`
+/// acquisition — `read(&mut buf)` style I/O takes arguments).
+const ACQUIRE_ALWAYS: &[&str] = &["lock"];
+const ACQUIRE_IF_NO_ARGS: &[&str] = &["read", "write"];
+
+/// Calls that block the thread. `Condvar::wait` is deliberately absent:
+/// it releases the guard while parked, which is the correct pattern.
+const BLOCKING_CALLS: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "accept",
+    "join",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "connect",
+    "sleep",
+];
+
+/// Atomic read-modify-write methods that exist only on atomics, so a
+/// bare name match is unambiguous.
+const ATOMIC_UNAMBIGUOUS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Atomic methods whose names collide with slices/maps/IO; they count
+/// as atomic ops only when a literal memory `Ordering::` appears in the
+/// argument list.
+const ATOMIC_AMBIGUOUS: &[&str] = &["load", "store", "swap"];
+
+/// The five memory-ordering variants (`std::sync::atomic::Ordering`).
+/// `cmp::Ordering`'s `Less`/`Equal`/`Greater` never match.
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "loop", "for", "return", "in", "let", "else", "move", "fn", "ref",
+    "mut", "box", "await", "yield", "dyn", "impl", "where", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "crate", "super",
+];
+
+/// One lock acquisition inside a function body.
+#[derive(Clone, Debug)]
+struct Acquisition {
+    /// Heuristic lock class: the receiver field / binding name.
+    class: String,
+    /// Token index of the method-name token (`lock` / `read` / `write`).
+    tok: usize,
+    /// 1-based line of the acquisition.
+    line: u32,
+    /// Token index the guard is live through (inclusive).
+    live_to: usize,
+}
+
+/// One edge of the lock-acquisition graph: `held` was live when `acq`
+/// was acquired (directly, or through the named callee).
+#[derive(Clone, Debug)]
+struct Edge {
+    held: String,
+    acq: String,
+    path: String,
+    line: u32,
+    via: Option<String>,
+}
+
+/// Finds the matching opening delimiter scanning backwards from `close`
+/// (which must sit on the closing token). Returns its index.
+fn match_back(t: &[Token], close: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        if t[k].is_punct(close_c) {
+            depth += 1;
+        } else if t[k].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// Finds the matching closing paren scanning forward from `open`.
+fn match_fwd(t: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Walks backwards over one receiver chain starting at the `.` token of
+/// a method call. Returns `(chain_start, class)`: the index of the
+/// chain's first token, and the nearest meaningful name to the call —
+/// `self.shards[i].lock()` → `shards`, `state.lock()` → `state`,
+/// `self.engine().lock()` → `engine`.
+fn receiver_chain(t: &[Token], dot: usize) -> Option<(usize, String)> {
+    let mut class: Option<String> = None;
+    let mut k = dot.checked_sub(1)?;
+    loop {
+        let tok = &t[k];
+        if tok.is_punct(']') {
+            k = match_back(t, k, '[', ']')?.checked_sub(1)?;
+            continue;
+        }
+        if tok.is_punct(')') {
+            k = match_back(t, k, '(', ')')?.checked_sub(1)?;
+            continue;
+        }
+        if tok.kind == TokenKind::Ident || tok.kind == TokenKind::Number {
+            if tok.kind == TokenKind::Ident && class.is_none() && tok.text != "self" {
+                class = Some(tok.text.clone());
+            }
+            // Keep walking only across `.` / `::` chain separators.
+            match k.checked_sub(1) {
+                Some(p) if t[p].is_punct('.') => match p.checked_sub(1) {
+                    Some(pp) => k = pp,
+                    None => return Some((p, class?)),
+                },
+                Some(p) if t[p].is_punct(':') && p > 0 && t[p - 1].is_punct(':') => {
+                    match p.checked_sub(2) {
+                        Some(pp) => k = pp,
+                        None => return Some((p - 1, class?)),
+                    }
+                }
+                _ => return Some((k, class?)),
+            }
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Extracts every lock acquisition in the token range `(lo, hi)`.
+fn acquisitions(f: &SourceFile, lo: usize, hi: usize) -> Vec<Acquisition> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in lo..hi.min(t.len()).saturating_sub(2) {
+        if !t[i].is_punct('.') || t[i + 1].kind != TokenKind::Ident || !t[i + 2].is_punct('(') {
+            continue;
+        }
+        let name = t[i + 1].text.as_str();
+        let is_acq = ACQUIRE_ALWAYS.contains(&name)
+            || (ACQUIRE_IF_NO_ARGS.contains(&name)
+                && t.get(i + 3).is_some_and(|tok| tok.is_punct(')')));
+        if !is_acq {
+            continue;
+        }
+        let Some((chain_start, class)) = receiver_chain(t, i) else {
+            continue;
+        };
+        let Some(call_close) = match_fwd(t, i + 2) else {
+            continue;
+        };
+        let block = f.scopes.block_of(i + 1);
+        let block_close = f.scopes.blocks[block].close.min(hi);
+        // Named guard: `let g = <chain>.lock();` — the acquisition is the
+        // whole right-hand side (the token after the call's `)` ends the
+        // statement). Anything else is a temporary living to the end of
+        // its statement.
+        let named = named_guard_binding(t, chain_start, call_close);
+        let live_to = match named {
+            Some(guard) => {
+                // Live until `drop(guard)` in the same block, else to the
+                // end of the enclosing block.
+                let mut end = block_close;
+                let mut k = call_close + 1;
+                while k + 3 < block_close {
+                    if t[k].is_ident("drop")
+                        && t[k + 1].is_punct('(')
+                        && t[k + 2].is_ident(&guard)
+                        && t[k + 3].is_punct(')')
+                        && f.scopes.is_within(f.scopes.block_of(k), block)
+                    {
+                        end = k + 3;
+                        break;
+                    }
+                    k += 1;
+                }
+                end
+            }
+            None => {
+                // Temporary: to the next `;` in the same brace block
+                // (temporaries live to the end of the full statement).
+                let mut end = block_close;
+                for (k, tok) in t.iter().enumerate().take(block_close).skip(call_close + 1) {
+                    if tok.is_punct(';') && f.scopes.block_of(k) == block {
+                        end = k;
+                        break;
+                    }
+                }
+                end
+            }
+        };
+        out.push(Acquisition {
+            class,
+            tok: i + 1,
+            line: t[i + 1].line,
+            live_to,
+        });
+    }
+    out
+}
+
+/// If the call chain is the entire initializer of a `let` binding
+/// (`let [mut] g = <chain>.lock();`), returns the binding name.
+fn named_guard_binding(t: &[Token], chain_start: usize, call_close: usize) -> Option<String> {
+    if !t.get(call_close + 1)?.is_punct(';') {
+        return None;
+    }
+    let eq = chain_start.checked_sub(1)?;
+    if !t[eq].is_punct('=') {
+        return None;
+    }
+    let name_idx = eq.checked_sub(1)?;
+    let name = &t[name_idx];
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    let before = t.get(name_idx.checked_sub(1)?)?;
+    if before.is_ident("let")
+        || (before.is_ident("mut") && name_idx >= 2 && t[name_idx - 2].is_ident("let"))
+    {
+        return Some(name.text.clone());
+    }
+    None
+}
+
+/// True when the method call whose `.` sits at `dot` has a receiver that
+/// is a plain field path rooted at `self` (`self.helper(…)`,
+/// `self.inner.run(…)`) — idents/tuple-indices joined by `.` only. Any
+/// call or index in the chain (`self.state.lock().len()`) disqualifies
+/// it: the method then acts on a derived value, not on `self`'s object.
+fn plain_self_receiver(t: &[Token], dot: usize) -> bool {
+    let Some(mut k) = dot.checked_sub(1) else {
+        return false;
+    };
+    loop {
+        if t[k].kind != TokenKind::Ident && t[k].kind != TokenKind::Number {
+            return false;
+        }
+        match k.checked_sub(1) {
+            Some(p) if t[p].is_punct('.') => match p.checked_sub(1) {
+                Some(pp) => k = pp,
+                None => return false,
+            },
+            _ => return t[k].is_ident("self"),
+        }
+    }
+}
+
+/// Collects the calls made in `(lo, hi)` that can carry lock-acquisition
+/// effects: free/path calls (`helper(…)`, `Type::helper(…)`) and method
+/// calls on a `self`-rooted field path (`self.x.helper(…)`). Method calls
+/// on locals are excluded — resolving them by bare name (the only means
+/// available) would conflate std collection methods with ours.
+fn lock_relevant_calls(f: &SourceFile, lo: usize, hi: usize) -> Vec<(String, u32)> {
+    let t = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in lo..hi.min(t.len()).saturating_sub(1) {
+        if t[i].kind != TokenKind::Ident || !t[i + 1].is_punct('(') {
+            continue;
+        }
+        let name = t[i].text.as_str();
+        if ACQUIRE_ALWAYS.contains(&name)
+            || ACQUIRE_IF_NO_ARGS.contains(&name)
+            || NON_CALL_KEYWORDS.contains(&name)
+            || name == "drop"
+        {
+            continue;
+        }
+        match i.checked_sub(1).map(|p| &t[p]) {
+            // `.method(` — keep only when the receiver is a plain field
+            // path rooted at `self`.
+            Some(prev) if prev.is_punct('.') => {
+                if plain_self_receiver(t, i - 1) {
+                    out.push((t[i].text.clone(), t[i].line));
+                }
+            }
+            // `fn name(` is a definition, not a call.
+            Some(prev) if prev.is_ident("fn") => {}
+            // `name(` / `Type::name(`.
+            _ => out.push((t[i].text.clone(), t[i].line)),
+        }
+    }
+    out
+}
+
+/// Per-function facts the workspace symbol pass aggregates.
+struct FnFacts {
+    path: String,
+    acqs: Vec<Acquisition>,
+    calls_all: Vec<(String, u32)>,
+}
+
+/// Builds per-function lock facts for every non-test function in the
+/// file set, plus the name → directly-acquired-classes symbol table.
+fn collect_fn_facts(files: &[SourceFile]) -> (Vec<FnFacts>, BTreeMap<String, BTreeSet<String>>) {
+    let mut facts = Vec::new();
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        if f.kind == FileKind::Test {
+            continue;
+        }
+        for item in fn_items(&f.lexed, &f.scopes) {
+            if f.in_test_code(item.line) {
+                continue;
+            }
+            let acqs = acquisitions(f, item.body_open, item.body_close);
+            let calls_all = lock_relevant_calls(f, item.body_open, item.body_close);
+            let d = direct.entry(item.name.clone()).or_default();
+            for a in &acqs {
+                d.insert(a.class.clone());
+            }
+            let c = calls.entry(item.name.clone()).or_default();
+            for (callee, _) in &calls_all {
+                c.insert(callee.clone());
+            }
+            facts.push(FnFacts {
+                path: f.path.clone(),
+                acqs,
+                calls_all,
+            });
+        }
+    }
+    // Transitive closure: a function "acquires" every class its callees
+    // (by name, fixpoint) acquire.
+    let mut transitive = direct;
+    loop {
+        let mut changed = false;
+        for (name, callees) in &calls {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in callees {
+                if callee == name {
+                    continue;
+                }
+                if let Some(cs) = transitive.get(callee) {
+                    add.extend(cs.iter().cloned());
+                }
+            }
+            let own = transitive.entry(name.clone()).or_default();
+            for cls in add {
+                changed |= own.insert(cls);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (facts, transitive)
+}
+
+/// Workspace rule: builds the lock-acquisition graph and flags every
+/// acquisition edge that lies on a cycle — the classic deadlock
+/// candidate. Edges come from direct nesting (guard A live when B is
+/// acquired) and from calls made while a guard is live, resolved through
+/// the transitive per-function symbol table. Self-edges (re-acquiring a
+/// class while holding it) are cycles of length one: with the
+/// non-poisoning shim that is a guaranteed deadlock on one thread.
+pub fn check_lock_order(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let (facts, transitive) = collect_fn_facts(files);
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let mut edges: Vec<Edge> = Vec::new();
+    for fnf in &facts {
+        let file = by_path[fnf.path.as_str()];
+        for a in &fnf.acqs {
+            if file.is_allowed(RULE_LOCK_ORDER, a.line) {
+                continue;
+            }
+            // Direct nesting.
+            for b in &fnf.acqs {
+                if b.tok > a.tok && b.tok <= a.live_to && !file.is_allowed(RULE_LOCK_ORDER, b.line)
+                {
+                    edges.push(Edge {
+                        held: a.class.clone(),
+                        acq: b.class.clone(),
+                        path: fnf.path.clone(),
+                        line: b.line,
+                        via: None,
+                    });
+                }
+            }
+            // Calls under the guard. Token ranges are monotone in line
+            // numbers, so filter calls by the guard's line window.
+            let t = &file.lexed.tokens;
+            let end_line = t.get(a.live_to).map_or(u32::MAX, |tok| tok.line);
+            for (callee, line) in &fnf.calls_all {
+                if *line < a.line || *line > end_line || file.is_allowed(RULE_LOCK_ORDER, *line) {
+                    continue;
+                }
+                // Re-check position precisely via the token index window
+                // when the line window is ambiguous — line granularity
+                // suffices for edge *existence*; false extra edges on the
+                // acquisition's own line are filtered by class identity.
+                if let Some(classes) = transitive.get(callee) {
+                    for cls in classes {
+                        edges.push(Edge {
+                            held: a.class.clone(),
+                            acq: cls.clone(),
+                            path: fnf.path.clone(),
+                            line: *line,
+                            via: Some(callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Adjacency over classes, then flag every edge inside a cycle.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.held.as_str())
+            .or_default()
+            .insert(e.acq.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(String, u32, String, String)> = BTreeSet::new();
+    for e in &edges {
+        if !reaches(&e.acq, &e.held) {
+            continue;
+        }
+        if !reported.insert((e.path.clone(), e.line, e.held.clone(), e.acq.clone())) {
+            continue;
+        }
+        let via = match &e.via {
+            Some(callee) => format!(" via `{callee}(…)`"),
+            None => String::new(),
+        };
+        let shape = if e.held == e.acq {
+            format!(
+                "re-acquires lock class `{}` while it is already held{via}",
+                e.acq
+            )
+        } else {
+            format!(
+                "acquires lock class `{}`{via} while `{}` is held, completing an \
+                 acquisition cycle",
+                e.acq, e.held
+            )
+        };
+        out.push(Finding {
+            path: e.path.clone(),
+            line: e.line,
+            rule: RULE_LOCK_ORDER,
+            message: format!(
+                "{shape}; a concurrent thread taking the opposite order deadlocks — \
+                 impose one global order (docs/ARCHITECTURE.md \"Concurrency \
+                 invariants\") or add `// mpc-allow: lock-order <why this cannot \
+                 deadlock>`"
+            ),
+        });
+    }
+}
+
+/// Per-file rule: a live guard must not span a blocking call. The queue
+/// decouples handlers from workers precisely so no reply write ever
+/// happens under a shard lock; this keeps it that way.
+pub fn check_guard_blocking(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.kind == FileKind::Test {
+        return;
+    }
+    let t = &f.lexed.tokens;
+    for item in fn_items(&f.lexed, &f.scopes) {
+        if f.in_test_code(item.line) {
+            continue;
+        }
+        for a in acquisitions(f, item.body_open, item.body_close) {
+            for i in a.tok + 2..a.live_to.min(t.len().saturating_sub(1)) {
+                if t[i].kind != TokenKind::Ident
+                    || !BLOCKING_CALLS.contains(&t[i].text.as_str())
+                    || !t[i + 1].is_punct('(')
+                {
+                    continue;
+                }
+                let prev_is_sep = i
+                    .checked_sub(1)
+                    .is_some_and(|p| t[p].is_punct('.') || t[p].is_punct(':'));
+                if !prev_is_sep {
+                    continue;
+                }
+                let line = t[i].line;
+                if f.in_test_code(line)
+                    || f.is_allowed(RULE_GUARD_BLOCKING, line)
+                    || f.is_allowed(RULE_GUARD_BLOCKING, a.line)
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line,
+                    rule: RULE_GUARD_BLOCKING,
+                    message: format!(
+                        "guard on lock class `{}` (acquired line {}) is live across \
+                         blocking call `{}`; every waiter on that lock stalls behind \
+                         this I/O — drop the guard first, or add `// mpc-allow: \
+                         guard-across-blocking <why the wait is bounded>`",
+                        a.class, a.line, t[i].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Per-file rule: atomic operations name a literal `Ordering::…`, and
+/// anything weaker than `SeqCst` carries an adjacent `// ordering: <why>`
+/// justification comment. The point is reviewability: every relaxation
+/// away from sequential consistency is a claim about the algorithm, and
+/// the claim must sit next to the code making it.
+pub fn check_atomic_ordering(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.kind == FileKind::Test {
+        return;
+    }
+    let t = &f.lexed.tokens;
+    for i in 0..t.len().saturating_sub(2) {
+        if !t[i].is_punct('.') || t[i + 1].kind != TokenKind::Ident || !t[i + 2].is_punct('(') {
+            continue;
+        }
+        let name = t[i + 1].text.as_str();
+        let unambiguous = ATOMIC_UNAMBIGUOUS.contains(&name);
+        if !unambiguous && !ATOMIC_AMBIGUOUS.contains(&name) {
+            continue;
+        }
+        let line = t[i + 1].line;
+        if f.in_test_code(line) || f.is_allowed(RULE_ATOMIC_ORDERING, line) {
+            continue;
+        }
+        let Some(close) = match_fwd(t, i + 2) else {
+            continue;
+        };
+        // Literal orderings named in the argument list.
+        let mut orderings: Vec<&str> = Vec::new();
+        let mut k = i + 3;
+        while k + 2 < close {
+            if t[k].is_ident("Ordering") && t[k + 1].is_punct(':') && t[k + 2].is_punct(':') {
+                if let Some(v) = t.get(k + 3) {
+                    if MEMORY_ORDERINGS.contains(&v.text.as_str()) {
+                        orderings.push(v.text.as_str());
+                    }
+                }
+            }
+            k += 1;
+        }
+        if orderings.is_empty() {
+            if unambiguous {
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line,
+                    rule: RULE_ATOMIC_ORDERING,
+                    message: format!(
+                        "atomic `{name}` does not name a literal `Ordering::…`; \
+                         orderings chosen through variables cannot be audited in \
+                         place — inline the ordering or add `// mpc-allow: \
+                         atomic-ordering <where it is named>`"
+                    ),
+                });
+            }
+            continue;
+        }
+        if orderings.iter().all(|o| *o == "SeqCst") {
+            continue;
+        }
+        // A justification is adjacent when it trails one of the call's
+        // own lines, or appears anywhere in the contiguous comment block
+        // sitting directly above the call.
+        let last_line = t[close].line;
+        let has_comment = |l: u32| f.lexed.comments.iter().any(|c| c.line == l);
+        let is_justification = |l: u32| {
+            f.lexed
+                .comments
+                .iter()
+                .any(|c| c.line == l && c.text.trim().starts_with("ordering:"))
+        };
+        let mut justified = (line..=last_line).any(is_justification);
+        let mut l = line.saturating_sub(1);
+        while !justified && l > 0 && has_comment(l) {
+            justified = is_justification(l);
+            l -= 1;
+        }
+        if !justified {
+            out.push(Finding {
+                path: f.path.clone(),
+                line,
+                rule: RULE_ATOMIC_ORDERING,
+                message: format!(
+                    "atomic `{}` relaxes to `Ordering::{}` without an adjacent \
+                     `// ordering: <why>` justification; state the invariant that \
+                     makes the weaker ordering sound (or use SeqCst)",
+                    name,
+                    orderings
+                        .iter()
+                        .find(|o| **o != "SeqCst")
+                        .unwrap_or(&orderings[0])
+                ),
+            });
+        }
+    }
+}
+
+/// Per-file rule: `unsafe` appears nowhere outside the allowlist, and
+/// binary entry points carry `#![forbid(unsafe_code)]` (a bin target is
+/// its own crate root, so the library's header does not cover it).
+pub fn check_unsafe_budget(f: &SourceFile, out: &mut Vec<Finding>) {
+    if UNSAFE_ALLOWED_CRATES.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    if f.kind != FileKind::Test {
+        for tok in &f.lexed.tokens {
+            if !tok.is_ident("unsafe") || f.in_test_code(tok.line) {
+                continue;
+            }
+            if f.is_allowed(RULE_UNSAFE_BUDGET, tok.line) {
+                continue;
+            }
+            out.push(Finding {
+                path: f.path.clone(),
+                line: tok.line,
+                rule: RULE_UNSAFE_BUDGET,
+                message: format!(
+                    "`unsafe` in crate `{}`, which is not on the unsafe allowlist; \
+                     every crate here is `#![forbid(unsafe_code)]` — find a safe \
+                     formulation, or allowlist the crate with a documented safety \
+                     argument (docs/STATIC_ANALYSIS.md)",
+                    f.crate_name
+                ),
+            });
+        }
+    }
+    if f.kind == FileKind::Bin && !f.is_allowed_anywhere(RULE_UNSAFE_BUDGET) {
+        let t = &f.lexed.tokens;
+        let mut has_forbid = false;
+        for i in 0..t.len().saturating_sub(6) {
+            if t[i].is_punct('#')
+                && t[i + 1].is_punct('!')
+                && t[i + 2].is_punct('[')
+                && (t[i + 3].is_ident("forbid") || t[i + 3].is_ident("deny"))
+                && t[i + 4].is_punct('(')
+                && t[i + 5].is_ident("unsafe_code")
+                && t[i + 6].is_punct(')')
+            {
+                has_forbid = true;
+                break;
+            }
+        }
+        if !has_forbid {
+            out.push(Finding {
+                path: f.path.clone(),
+                line: 1,
+                rule: RULE_UNSAFE_BUDGET,
+                message: "binary entry point is missing `#![forbid(unsafe_code)]`; a bin \
+                          target is its own crate root, so the library header does not \
+                          cover it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lib(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, "x", FileKind::Lib, false, src)
+    }
+
+    #[test]
+    fn receiver_classes() {
+        let f = lib(
+            "a.rs",
+            "fn f(&self) { self.shards[i].lock(); state.lock(); self.engine().lock(); }\n",
+        );
+        let acqs = acquisitions(&f, 0, f.lexed.tokens.len());
+        let classes: Vec<&str> = acqs.iter().map(|a| a.class.as_str()).collect();
+        assert_eq!(classes, vec!["shards", "state", "engine"]);
+    }
+
+    #[test]
+    fn named_guard_lives_to_drop_or_block_end() {
+        let src = "fn f(m: &Mutex<u32>, n: &Mutex<u32>) {\n\
+                   let g = m.lock();\n\
+                   let h = n.lock();\n\
+                   drop(g);\n\
+                   }\n";
+        let f = lib("a.rs", src);
+        let acqs = acquisitions(&f, 0, f.lexed.tokens.len());
+        assert_eq!(acqs.len(), 2);
+        let t = &f.lexed.tokens;
+        // g's live range ends at the drop, which is after h's acquisition.
+        assert!(t[acqs[0].live_to].is_punct(')'));
+        assert!(acqs[1].tok < acqs[0].live_to);
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let src = "fn f(m: &Mutex<V>) {\nlet x = m.lock().get(0);\nlet y = m.lock().get(1);\n}\n";
+        let f = lib("a.rs", src);
+        let acqs = acquisitions(&f, 0, f.lexed.tokens.len());
+        assert_eq!(acqs.len(), 2);
+        assert!(
+            acqs[1].tok > acqs[0].live_to,
+            "statement-temporary guards do not overlap"
+        );
+        let mut out = Vec::new();
+        check_lock_order(&[f], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cross_file_cycle_is_flagged_and_order_is_not() {
+        let a = lib(
+            "crates/x/src/a.rs",
+            "pub fn fwd(p: &P) { let g = p.alpha.lock(); let h = p.beta.lock(); }\n",
+        );
+        let b = lib(
+            "crates/x/src/b.rs",
+            "pub fn rev(p: &P) { let g = p.beta.lock(); let h = p.alpha.lock(); }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(&[a.clone(), b], &mut out);
+        assert_eq!(out.len(), 2, "both edges of the cycle: {out:?}");
+        assert!(out.iter().all(|f| f.rule == RULE_LOCK_ORDER));
+
+        out.clear();
+        let b_same = lib(
+            "crates/x/src/b.rs",
+            "pub fn rev(p: &P) { let g = p.alpha.lock(); let h = p.beta.lock(); }\n",
+        );
+        check_lock_order(&[a, b_same], &mut out);
+        assert!(out.is_empty(), "consistent order is clean: {out:?}");
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_cycle() {
+        let f = lib(
+            "a.rs",
+            "fn f(m: &Mutex<u32>) { let g = m.lock(); let h = m.lock(); }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(std::slice::from_ref(&f), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("re-acquires"));
+    }
+
+    #[test]
+    fn call_under_lock_resolves_transitively() {
+        let a = lib(
+            "crates/x/src/a.rs",
+            "pub fn outer(&self) { let g = self.alpha.lock(); self.helper(); }\n\
+             fn helper(&self) { middle(self); }\n",
+        );
+        let b = lib(
+            "crates/x/src/b.rs",
+            "pub fn middle(x: &X) { let g = x.beta.lock(); take_alpha(x); }\n\
+             pub fn take_alpha(x: &X) { let g = x.alpha.lock(); }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(&[a, b], &mut out);
+        assert!(
+            out.iter().any(|f| f.message.contains("`helper(…)`")),
+            "the call edge is attributed to the call site: {out:?}"
+        );
+    }
+
+    #[test]
+    fn local_method_calls_do_not_conflate() {
+        // `s.items.len()` must not resolve to a workspace `fn len` that
+        // locks — method calls on locals are excluded from edges.
+        let f = lib(
+            "crates/x/src/a.rs",
+            "pub fn push(&self) { let s = self.state.lock(); s.items.len(); }\n\
+             pub fn len(&self) -> usize { self.state.lock().items.len() }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(std::slice::from_ref(&f), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn guard_across_blocking_flagged() {
+        let src = "fn f(m: &Mutex<Vec<u8>>, w: &mut W) {\n\
+                   let g = m.lock();\n\
+                   w.write_all(&g);\n\
+                   }\n";
+        let mut out = Vec::new();
+        check_guard_blocking(&lib("a.rs", src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("write_all"));
+
+        // Dropping first is clean.
+        let src_ok = "fn f(m: &Mutex<Vec<u8>>, w: &mut W) {\n\
+                      let d = m.lock().clone();\n\
+                      w.write_all(&d);\n\
+                      }\n";
+        out.clear();
+        check_guard_blocking(&lib("a.rs", src_ok), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let src = "fn pop(&self) { let mut s = self.state.lock(); self.ready.wait(&mut s); }\n";
+        let mut out = Vec::new();
+        check_guard_blocking(&lib("a.rs", src), &mut out);
+        assert!(out.is_empty(), "wait releases the lock: {out:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_justifications() {
+        // Blank lines separate the cases: like `mpc-allow`, a trailing
+        // justification also covers the line directly below it.
+        let src = "fn f(c: &AtomicU64, ord: Ordering) {\n\
+                   c.store(1, Ordering::SeqCst);\n\
+                   c.fetch_add(1, Ordering::Relaxed); // ordering: pure counter\n\
+                   \n\
+                   c.load(Ordering::Relaxed);\n\
+                   c.fetch_sub(1, ord);\n\
+                   v.swap(0, 1);\n\
+                   }\n";
+        let mut out = Vec::new();
+        check_atomic_ordering(&lib("a.rs", src), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("load"), "unjustified Relaxed load");
+        assert!(out[1].message.contains("fetch_sub"), "variable ordering");
+    }
+
+    #[test]
+    fn atomic_comment_above_call_counts() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // ordering: monotone counter, read only after join\n\
+                   c.fetch_add(1, Ordering::Relaxed);\n\
+                   }\n";
+        let mut out = Vec::new();
+        check_atomic_ordering(&lib("a.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn atomic_multi_line_comment_block_counts() {
+        let src = "fn f(c: &AtomicU64) {\n\
+                   // ordering: Acquire pairs with the Release store in\n\
+                   // the shutdown handler; the continuation line is\n\
+                   // still part of the justification block.\n\
+                   c.load(Ordering::Acquire);\n\
+                   \n\
+                   // an unrelated comment does not justify\n\
+                   c.load(Ordering::Acquire);\n\
+                   }\n";
+        let mut out = Vec::new();
+        check_atomic_ordering(&lib("a.rs", src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 8);
+    }
+
+    #[test]
+    fn unsafe_budget_flags_unsafe_and_bare_bins() {
+        let f = lib(
+            "crates/x/src/a.rs",
+            "fn f(p: *const u8) { unsafe { p.read() }; }\n",
+        );
+        let mut out = Vec::new();
+        check_unsafe_budget(&f, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("allowlist"));
+
+        out.clear();
+        let bin = SourceFile::parse(
+            "crates/x/src/main.rs",
+            "x",
+            FileKind::Bin,
+            false,
+            "fn main() {}\n",
+        );
+        check_unsafe_budget(&bin, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("forbid(unsafe_code)"));
+
+        out.clear();
+        let bin_ok = SourceFile::parse(
+            "crates/x/src/main.rs",
+            "x",
+            FileKind::Bin,
+            false,
+            "#![forbid(unsafe_code)]\nfn main() {}\n",
+        );
+        check_unsafe_budget(&bin_ok, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,409 @@
+//! Machine-readable findings: the `--json` writer, the committed
+//! baseline format, and the comparison that gates CI.
+//!
+//! The schema (documented in `docs/STATIC_ANALYSIS.md`) is:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "count": 1,
+//!   "findings": [
+//!     { "path": "crates/x/src/a.rs", "line": 7, "rule": "lock-order",
+//!       "severity": "error", "message": "…" }
+//!   ]
+//! }
+//! ```
+//!
+//! A **baseline** is just a findings document that has been committed
+//! (`analyze-baseline.json`). The gate fails on any finding whose
+//! **key** — `(path, rule, message)` — is absent from the baseline.
+//! Line numbers are deliberately not part of the key: unrelated edits
+//! move findings around a file, and a gate that breaks on drift gets
+//! deleted, not respected. The committed baseline is kept at zero
+//! findings; the mechanism exists so that if a rule ever needs a staged
+//! rollout, the debt is visible in review rather than silently waived.
+//!
+//! Both the writer and the reader are hand-rolled — the workspace
+//! builds offline with no serde — and the reader is a strict
+//! recursive-descent parser for the subset of JSON the writer emits
+//! (objects, arrays, strings, unsigned integers, `true`/`false`/`null`).
+
+use crate::rules::{severity_of, Finding};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Current schema version.
+pub const JSON_VERSION: u64 = 1;
+
+/// Renders findings as the versioned JSON document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": {JSON_VERSION},");
+    let _ = writeln!(s, "  \"count\": {},", findings.len());
+    s.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    { ");
+        let _ = write!(
+            s,
+            "\"path\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"message\": {}",
+            escape(&f.path),
+            f.line,
+            escape(f.rule),
+            escape(severity_of(f.rule).as_str()),
+            escape(&f.message)
+        );
+        s.push_str(" }");
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Escapes a string as a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The identity of a finding for baseline comparison: everything except
+/// the line number.
+pub type FindingKey = (String, String, String);
+
+/// The key of one finding.
+pub fn key_of(f: &Finding) -> FindingKey {
+    (f.path.clone(), f.rule.to_string(), f.message.clone())
+}
+
+/// Parses a baseline document into its set of finding keys. Errors
+/// carry a human-readable reason (CI prints it and fails closed).
+pub fn parse_baseline(doc: &str) -> Result<BTreeSet<FindingKey>, String> {
+    let value = Parser::new(doc).parse_document()?;
+    let Value::Object(top) = value else {
+        return Err("baseline: top level must be an object".to_string());
+    };
+    match top.iter().find(|(k, _)| k == "version").map(|(_, v)| v) {
+        Some(Value::Number(JSON_VERSION)) => {}
+        Some(Value::Number(v)) => {
+            return Err(format!(
+                "baseline: unsupported version {v} (expected {JSON_VERSION})"
+            ));
+        }
+        _ => return Err("baseline: missing \"version\"".to_string()),
+    }
+    let Some(Value::Array(findings)) = top.iter().find(|(k, _)| k == "findings").map(|(_, v)| v)
+    else {
+        return Err("baseline: missing \"findings\" array".to_string());
+    };
+    let mut keys = BTreeSet::new();
+    for (i, item) in findings.iter().enumerate() {
+        let Value::Object(fields) = item else {
+            return Err(format!("baseline: findings[{i}] is not an object"));
+        };
+        let get = |name: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                Some(Value::String(s)) => Ok(s.clone()),
+                _ => Err(format!("baseline: findings[{i}] missing string \"{name}\"")),
+            }
+        };
+        keys.insert((get("path")?, get("rule")?, get("message")?));
+    }
+    Ok(keys)
+}
+
+/// Returns the findings not covered by the baseline, in input order.
+pub fn new_findings<'a>(
+    findings: &'a [Finding],
+    baseline: &BTreeSet<FindingKey>,
+) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| !baseline.contains(&key_of(f)))
+        .collect()
+}
+
+/// A parsed JSON value (the subset the writer emits).
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    String(String),
+    Number(u64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(doc: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: doc.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("baseline: trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "baseline: unexpected end".to_string())
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!(
+                "baseline: expected `{}` at byte {}",
+                b as char, self.pos
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b => Err(format!(
+                "baseline: unexpected `{}` at byte {}",
+                b as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("baseline: bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("baseline: bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "baseline: unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "baseline: unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    format!("baseline: bad \\u escape at byte {}", self.pos)
+                                })?;
+                            self.pos += 4;
+                            // The writer only emits \u for control chars;
+                            // surrogate pairs are out of scope.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("baseline: bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 char starting at pos-1.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "baseline: invalid utf-8".to_string())?;
+                    let c = s.chars().next().ok_or("baseline: unterminated string")?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.consume(b':')?;
+            fields.push((name, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                b => return Err(format!("baseline: expected , or }} got `{}`", b as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                b => return Err(format!("baseline: expected , or ] got `{}`", b as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_NARROWING_CAST;
+
+    fn finding(path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule: RULE_NARROWING_CAST,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let doc = render_json(&[]);
+        assert!(doc.contains("\"count\": 0"));
+        assert!(parse_baseline(&doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn findings_round_trip_through_baseline() {
+        let fs = vec![
+            finding("a.rs", 3, "quote \" backslash \\ newline \n done"),
+            finding("b.rs", 9, "plain"),
+        ];
+        let keys = parse_baseline(&render_json(&fs)).unwrap();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&key_of(&fs[0])));
+        assert!(keys.contains(&key_of(&fs[1])));
+    }
+
+    #[test]
+    fn line_drift_does_not_create_new_findings() {
+        let old = vec![finding("a.rs", 3, "m")];
+        let keys = parse_baseline(&render_json(&old)).unwrap();
+        let moved = vec![finding("a.rs", 30, "m")];
+        assert!(new_findings(&moved, &keys).is_empty());
+        let changed = vec![finding("a.rs", 3, "other")];
+        assert_eq!(new_findings(&changed, &keys).len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_error_out() {
+        for (doc, why) in [
+            ("[]", "non-object top level"),
+            ("{\"findings\": []}", "missing version"),
+            ("{\"version\": 2, \"findings\": []}", "future version"),
+            (
+                "{\"version\": 1, \"findings\": [{}]}",
+                "finding missing fields",
+            ),
+            (
+                "{\"version\": 1, \"findings\": []} trailing",
+                "trailing data",
+            ),
+            ("{\"version\": 1", "truncated"),
+        ] {
+            assert!(parse_baseline(doc).is_err(), "{why}: {doc}");
+        }
+    }
+
+    #[test]
+    fn severity_appears_in_output() {
+        let doc = render_json(&[finding("a.rs", 1, "m")]);
+        assert!(doc.contains("\"severity\": \"error\""), "{doc}");
+    }
+}

@@ -122,13 +122,21 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let (text, ni, nl) = lex_string(&b, i, line);
-                out.tokens.push(Token { kind: TokenKind::Str, text, line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
                 line = nl;
                 i = ni;
             }
             'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
                 let (text, ni, nl) = lex_prefixed_string(&b, i, line);
-                out.tokens.push(Token { kind: TokenKind::Str, text, line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
                 line = nl;
                 i = ni;
             }
@@ -253,7 +261,11 @@ fn lex_string(b: &[char], i: usize, mut line: u32) -> (String, usize, u32) {
         }
     }
     let end = j.min(b.len());
-    (b[start.min(end)..end].iter().collect(), (j + 1).min(b.len()), line)
+    (
+        b[start.min(end)..end].iter().collect(),
+        (j + 1).min(b.len()),
+        line,
+    )
 }
 
 /// Lexes `r"..."`, `r#"..."#`, `b"..."` etc. starting at `i`.
@@ -318,7 +330,11 @@ mod tests {
         assert!(l.tokens[1].is_ident("main"));
         let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
         assert_eq!(x.line, 2);
-        let num = l.tokens.iter().find(|t| t.kind == TokenKind::Number).unwrap();
+        let num = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Number)
+            .unwrap();
         assert_eq!(num.text, "1u32");
     }
 
@@ -359,11 +375,18 @@ mod tests {
     #[test]
     fn lifetimes_vs_char_literals() {
         let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
-        let lifetimes: Vec<_> =
-            l.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
         assert_eq!(lifetimes.len(), 2);
         assert!(lifetimes.iter().all(|t| t.text == "a"));
-        let chars: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
         assert_eq!(chars.len(), 2);
     }
 

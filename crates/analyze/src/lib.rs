@@ -24,23 +24,42 @@
 //!   `DESIGN.md`, and `docs/*.md` resolve to real files, and every
 //!   `docs/*.md` page is reachable from `README.md` by following links.
 //!
+//! On top of the token stream, [`scope`] builds a brace-matched block
+//! tree, which powers the **concurrency rule pack** ([`concurrency`]):
+//!
+//! * [`concurrency::RULE_LOCK_ORDER`] — the workspace lock-acquisition
+//!   graph must be acyclic (deadlock candidates are flagged at the edge
+//!   that closes a cycle, across files and through calls).
+//! * [`concurrency::RULE_GUARD_BLOCKING`] — no live lock guard across a
+//!   blocking call (`write_all`, `accept`, `join`, `recv`, …).
+//! * [`concurrency::RULE_ATOMIC_ORDERING`] — atomic ops name a literal
+//!   `Ordering::…`; non-`SeqCst` choices carry an adjacent
+//!   `// ordering: <why>` justification.
+//! * [`concurrency::RULE_UNSAFE_BUDGET`] — no `unsafe` outside the
+//!   allowlist, and binary roots carry `#![forbid(unsafe_code)]`.
+//!
 //! Any finding can be suppressed in place with a justified
 //! `// mpc-allow: <rule> <justification>` comment on the offending line or
 //! the line above it; unjustified or unknown suppressions are themselves
 //! findings ([`rules::RULE_MPC_ALLOW`]).
 //!
 //! The engine runs as `cargo run -p mpc-analyze -- lint`, as
-//! `mpc analyze`, and in CI (`ci.sh`). `docs/STATIC_ANALYSIS.md` documents
-//! the rules and the policy behind them.
+//! `mpc analyze`, and in CI (`ci.sh`), which diffs `--json` output against
+//! the committed `analyze-baseline.json` (see [`json`]).
+//! `docs/STATIC_ANALYSIS.md` documents the rules and the policy behind
+//! them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 pub mod source;
 
-pub use rules::Finding;
+pub use rules::{Finding, Severity};
 pub use source::{FileKind, SourceFile};
 
 use std::fs;
@@ -51,7 +70,13 @@ use std::path::{Path, PathBuf};
 pub const OBS_DOC_PATH: &str = "docs/OBSERVABILITY.md";
 
 /// Directory names never descended into during the workspace walk.
-const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "bench_results", "node_modules"];
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "fixtures",
+    "bench_results",
+    "node_modules",
+];
 
 /// Runs every rule over an already-loaded file set. `obs_doc` is the
 /// `(path, contents)` of the observability reference, if present; when
@@ -65,8 +90,12 @@ pub fn lint_files(files: &[SourceFile], obs_doc: Option<(&str, &str)>) -> Vec<Fi
         rules::check_crate_root(f, &mut out);
         rules::check_deprecated_exec(f, &mut out);
         rules::check_allow_directives(f, &mut out);
+        concurrency::check_guard_blocking(f, &mut out);
+        concurrency::check_atomic_ordering(f, &mut out);
+        concurrency::check_unsafe_budget(f, &mut out);
     }
     rules::check_traced_counterparts(files, &mut out);
+    concurrency::check_lock_order(files, &mut out);
     if let Some((doc_path, doc_md)) = obs_doc {
         rules::check_obs_doc(files, doc_path, doc_md, &mut out);
     }
@@ -92,7 +121,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     }
     let obs_doc = fs::read_to_string(root.join(OBS_DOC_PATH)).ok();
     let mut findings = lint_files(&files, obs_doc.as_deref().map(|md| (OBS_DOC_PATH, md)));
-    rules::check_doc_links(&collect_doc_files(root)?, &|p| root.join(p).exists(), &mut findings);
+    rules::check_doc_links(
+        &collect_doc_files(root)?,
+        &|p| root.join(p).exists(),
+        &mut findings,
+    );
     findings.sort();
     findings.dedup();
     Ok(findings)
@@ -118,7 +151,10 @@ fn collect_doc_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     };
     names.sort();
     for name in names {
-        docs.push((format!("docs/{name}"), fs::read_to_string(root.join("docs").join(&name))?));
+        docs.push((
+            format!("docs/{name}"),
+            fs::read_to_string(root.join("docs").join(&name))?,
+        ));
     }
     Ok(docs)
 }
@@ -155,8 +191,15 @@ fn classify(rel: &str) -> (String, FileKind, bool) {
         ["crates", name, rest @ ..] => ((*name).to_string(), rest),
         _ => ("mpc".to_string(), &[]),
     };
-    let rest = if rest.first() == Some(&"src") { &rest[1..] } else { rest };
-    let kind = if rest.first().is_some_and(|d| matches!(*d, "tests" | "benches" | "examples")) {
+    let rest = if rest.first() == Some(&"src") {
+        &rest[1..]
+    } else {
+        rest
+    };
+    let kind = if rest
+        .first()
+        .is_some_and(|d| matches!(*d, "tests" | "benches" | "examples"))
+    {
         FileKind::Test
     } else if rest.contains(&"bin") || rest.last() == Some(&"main.rs") {
         FileKind::Bin
@@ -189,7 +232,10 @@ mod tests {
 
     #[test]
     fn classify_paths() {
-        assert_eq!(classify("src/lib.rs"), ("mpc".to_string(), FileKind::Lib, true));
+        assert_eq!(
+            classify("src/lib.rs"),
+            ("mpc".to_string(), FileKind::Lib, true)
+        );
         assert_eq!(
             classify("crates/core/src/mpc.rs"),
             ("core".to_string(), FileKind::Lib, false)

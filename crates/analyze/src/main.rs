@@ -1,7 +1,18 @@
-//! Command-line entry point: `cargo run -p mpc-analyze -- lint [--root DIR]`.
+//! Command-line entry point:
+//! `cargo run -p mpc-analyze -- lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]`.
 //!
-//! Exit codes: 0 when the tree is clean, 1 when findings exist, 2 on
-//! usage or I/O errors.
+//! * `--json` emits the machine-readable findings document instead of
+//!   the human report (schema in `docs/STATIC_ANALYSIS.md`).
+//! * `--baseline FILE` gates on *new* findings only: anything whose
+//!   `(path, rule, message)` key appears in the committed baseline is
+//!   reported but does not fail the run.
+//! * `--write-baseline FILE` writes the current findings as a fresh
+//!   baseline and exits successfully (the regeneration workflow).
+//!
+//! Exit codes: 0 when the tree is clean (or all findings are
+//! baselined), 1 when gating findings exist, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,17 +20,31 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut cmd = None;
+    let usage = "usage: mpc-analyze lint [--root DIR] [--json] [--baseline FILE] \
+                 [--write-baseline FILE]";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--root" => {
+            opt @ ("--root" | "--baseline" | "--write-baseline") => {
                 if i + 1 >= args.len() {
-                    eprintln!("mpc-analyze: --root needs a value");
+                    eprintln!("mpc-analyze: {opt} needs a value");
                     return ExitCode::from(2);
                 }
-                root = PathBuf::from(&args[i + 1]);
+                let value = PathBuf::from(&args[i + 1]);
+                match opt {
+                    "--root" => root = value,
+                    "--baseline" => baseline = Some(value),
+                    _ => write_baseline = Some(value),
+                }
                 i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
             }
             "lint" if cmd.is_none() => {
                 cmd = Some("lint");
@@ -27,27 +52,71 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("mpc-analyze: unknown argument `{other}`");
-                eprintln!("usage: mpc-analyze lint [--root DIR]");
+                eprintln!("{usage}");
                 return ExitCode::from(2);
             }
         }
     }
     if cmd != Some("lint") {
-        eprintln!("usage: mpc-analyze lint [--root DIR]");
+        eprintln!("{usage}");
         return ExitCode::from(2);
     }
-    match mpc_analyze::lint_workspace(&root) {
-        Ok(findings) => {
-            print!("{}", mpc_analyze::render_report(&findings));
-            if findings.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let findings = match mpc_analyze::lint_workspace(&root) {
+        Ok(findings) => findings,
         Err(e) => {
             eprintln!("mpc-analyze: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if let Some(path) = write_baseline {
+        let doc = mpc_analyze::json::render_json(&findings);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("mpc-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "mpc-analyze: wrote baseline {} ({} finding(s))",
+            path.display(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if json {
+        print!("{}", mpc_analyze::json::render_json(&findings));
+    } else {
+        print!("{}", mpc_analyze::render_report(&findings));
+    }
+    let gating: Vec<&mpc_analyze::Finding> = match baseline {
+        Some(path) => {
+            let doc = match std::fs::read_to_string(&path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("mpc-analyze: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let keys = match mpc_analyze::json::parse_baseline(&doc) {
+                Ok(keys) => keys,
+                Err(e) => {
+                    eprintln!("mpc-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let new = mpc_analyze::json::new_findings(&findings, &keys);
+            if !new.is_empty() {
+                eprintln!(
+                    "mpc-analyze: {} finding(s) not in baseline {}",
+                    new.len(),
+                    path.display()
+                );
+            }
+            new
+        }
+        None => findings.iter().collect(),
+    };
+    if gating.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -35,7 +35,43 @@ pub const ALL_RULES: &[&str] = &[
     RULE_MPC_ALLOW,
     RULE_DEPRECATED_EXEC,
     RULE_DOC_LINK,
+    crate::concurrency::RULE_LOCK_ORDER,
+    crate::concurrency::RULE_GUARD_BLOCKING,
+    crate::concurrency::RULE_ATOMIC_ORDERING,
+    crate::concurrency::RULE_UNSAFE_BUDGET,
 ];
+
+/// Finding severity, for machine-readable output. `Error` findings are
+/// defects (possible deadlock, truncation, panic path); `Warn` findings
+/// are hygiene (missing justification, doc drift). Both fail the lint
+/// gate — severity exists so downstream tooling can triage, not so
+/// warnings can be ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A likely defect.
+    Error,
+    /// A hygiene / documentation-drift issue.
+    Warn,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// Maps a rule identifier to its severity.
+pub fn severity_of(rule: &str) -> Severity {
+    match rule {
+        RULE_TRACED_COUNTERPART | RULE_OBS_DOC | RULE_DOC_LINK | RULE_MPC_ALLOW => Severity::Warn,
+        r if r == crate::concurrency::RULE_ATOMIC_ORDERING => Severity::Warn,
+        _ => Severity::Error,
+    }
+}
 
 /// Integer types a cast *into* is considered narrowing. The workspace
 /// targets 64-bit platforms, so `usize`/`u64`/`i64`/`u128`/`i128` are
@@ -57,7 +93,11 @@ pub struct Finding {
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
     }
 }
 
@@ -226,7 +266,9 @@ pub fn check_crate_root(f: &SourceFile, out: &mut Vec<Finding>) {
         }
     }
     let has = |level: &[&str], name: &str| {
-        level.iter().any(|l| headers.contains(&(l.to_string(), name.to_string())))
+        level
+            .iter()
+            .any(|l| headers.contains(&(l.to_string(), name.to_string())))
     };
     if !has(&["forbid", "deny"], "unsafe_code") {
         out.push(Finding {
@@ -271,7 +313,10 @@ pub fn check_traced_counterparts(files: &[SourceFile], out: &mut Vec<Finding>) {
         }
         for (name, line) in fn_definitions(f) {
             if !f.in_test_code(line) {
-                per_crate.entry(f.crate_name.as_str()).or_default().insert(name);
+                per_crate
+                    .entry(f.crate_name.as_str())
+                    .or_default()
+                    .insert(name);
             }
         }
     }
@@ -359,7 +404,8 @@ pub fn collect_obs_names(files: &[SourceFile]) -> Vec<(String, String, u32)> {
 pub fn doc_metric_names(md: &str) -> Vec<(String, u32, bool)> {
     let mut out = Vec::new();
     for (idx, raw) in md.lines().enumerate() {
-        #[allow(clippy::cast_possible_truncation)] // mpc-allow: narrowing-cast doc files are far below 2^32 lines
+        #[allow(clippy::cast_possible_truncation)]
+        // mpc-allow: narrowing-cast doc files are far below 2^32 lines
         let line_no = (idx + 1) as u32;
         let line = raw.trim();
         if !line.starts_with('|') {
@@ -368,7 +414,11 @@ pub fn doc_metric_names(md: &str) -> Vec<(String, u32, bool)> {
         let Some(first_cell) = line.trim_matches('|').split('|').next() else {
             continue;
         };
-        if first_cell.trim().chars().all(|c| c == '-' || c == ' ' || c == ':') {
+        if first_cell
+            .trim()
+            .chars()
+            .all(|c| c == '-' || c == ' ' || c == ':')
+        {
             continue; // separator row
         }
         let mut prev_full: Option<String> = None;
@@ -401,12 +451,7 @@ pub fn doc_metric_names(md: &str) -> Vec<(String, u32, bool)> {
 
 /// Two-way drift check between recorder names in code and the reference
 /// tables in `docs/OBSERVABILITY.md`.
-pub fn check_obs_doc(
-    files: &[SourceFile],
-    doc_path: &str,
-    doc_md: &str,
-    out: &mut Vec<Finding>,
-) {
+pub fn check_obs_doc(files: &[SourceFile], doc_path: &str, doc_md: &str, out: &mut Vec<Finding>) {
     let code_names = collect_obs_names(files);
     let documented = doc_metric_names(doc_md);
     let documented_set: BTreeSet<&str> = documented.iter().map(|(n, _, _)| n.as_str()).collect();
@@ -456,7 +501,8 @@ pub fn extract_doc_links(md: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     let mut in_fence = false;
     for (idx, raw) in md.lines().enumerate() {
-        #[allow(clippy::cast_possible_truncation)] // mpc-allow: narrowing-cast doc files are far below 2^32 lines
+        #[allow(clippy::cast_possible_truncation)]
+        // mpc-allow: narrowing-cast doc files are far below 2^32 lines
         let line_no = (idx + 1) as u32;
         let trimmed = raw.trim_start();
         if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
@@ -544,7 +590,9 @@ pub fn check_doc_links(
                     line,
                     rule: RULE_DOC_LINK,
                     message: match resolved {
-                        Some(r) => format!("link `{target}` resolves to `{r}`, which does not exist"),
+                        Some(r) => {
+                            format!("link `{target}` resolves to `{r}`, which does not exist")
+                        }
                         None => format!("link `{target}` escapes the repository root"),
                     },
                 }),
@@ -659,7 +707,10 @@ mod tests {
         assert!(out.is_empty(), "binaries may panic");
 
         out.clear();
-        check_unwrap_expect(&lib_file("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n"), &mut out);
+        check_unwrap_expect(
+            &lib_file("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n"),
+            &mut out,
+        );
         assert!(out.is_empty(), "unwrap_or is not unwrap");
     }
 
@@ -673,8 +724,13 @@ mod tests {
         assert!(out[0].message.contains("execute_mode"));
 
         out.clear();
-        let in_cluster =
-            SourceFile::parse("crates/cluster/src/a.rs", "cluster", FileKind::Lib, false, src);
+        let in_cluster = SourceFile::parse(
+            "crates/cluster/src/a.rs",
+            "cluster",
+            FileKind::Lib,
+            false,
+            src,
+        );
         check_deprecated_exec(&in_cluster, &mut out);
         assert!(out.is_empty(), "the shims' home crate may call them");
 
@@ -693,8 +749,13 @@ mod tests {
     fn deprecated_exec_definitions_flagged_everywhere() {
         // Even the shims' former home crate may not bring the names back.
         let src = "impl DistributedEngine { pub fn execute_mode(&self) {} }\n";
-        let in_cluster =
-            SourceFile::parse("crates/cluster/src/a.rs", "cluster", FileKind::Lib, false, src);
+        let in_cluster = SourceFile::parse(
+            "crates/cluster/src/a.rs",
+            "cluster",
+            FileKind::Lib,
+            false,
+            src,
+        );
         let mut out = Vec::new();
         check_deprecated_exec(&in_cluster, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
@@ -717,7 +778,10 @@ mod tests {
     fn crate_root_headers_required() {
         let root = |src| SourceFile::parse("crates/x/src/lib.rs", "x", FileKind::Lib, true, src);
         let mut out = Vec::new();
-        check_crate_root(&root("//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n"), &mut out);
+        check_crate_root(
+            &root("//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n"),
+            &mut out,
+        );
         assert!(out.is_empty());
 
         check_crate_root(&root("//! Docs.\n"), &mut out);
@@ -740,34 +804,59 @@ mod tests {
         assert_eq!(out[0].rule, RULE_TRACED_COUNTERPART);
 
         out.clear();
-        let b = SourceFile::parse("crates/x/src/b.rs", "x", FileKind::Lib, false, "pub fn go() {}\n");
+        let b = SourceFile::parse(
+            "crates/x/src/b.rs",
+            "x",
+            FileKind::Lib,
+            false,
+            "pub fn go() {}\n",
+        );
         check_traced_counterparts(&[a.clone(), b], &mut out);
-        assert!(out.is_empty(), "counterpart in sibling file satisfies the rule");
+        assert!(
+            out.is_empty(),
+            "counterpart in sibling file satisfies the rule"
+        );
 
         out.clear();
-        let other =
-            SourceFile::parse("crates/y/src/b.rs", "y", FileKind::Lib, false, "pub fn go() {}\n");
+        let other = SourceFile::parse(
+            "crates/y/src/b.rs",
+            "y",
+            FileKind::Lib,
+            false,
+            "pub fn go() {}\n",
+        );
         check_traced_counterparts(&[a, other], &mut out);
         assert_eq!(out.len(), 1, "counterpart must be in the same crate");
     }
 
     #[test]
     fn obs_doc_drift_both_directions() {
-        let code = lib_file("fn f(rec: &R) { rec.incr(\"a.hits\"); rec.set(\"a.undocumented\", 1); }\n");
+        let code =
+            lib_file("fn f(rec: &R) { rec.incr(\"a.hits\"); rec.set(\"a.undocumented\", 1); }\n");
         let md = "| Name | Meaning |\n|---|---|\n| `a.hits` / `.misses` | counters |\n| `a.dyn{i}` | per-site |\n";
         let mut out = Vec::new();
         check_obs_doc(&[code], "docs/OBSERVABILITY.md", md, &mut out);
-        let mut rules: Vec<_> = out.iter().map(|f| (f.path.as_str(), f.message.clone())).collect();
+        let mut rules: Vec<_> = out
+            .iter()
+            .map(|f| (f.path.as_str(), f.message.clone()))
+            .collect();
         rules.sort();
         assert_eq!(out.len(), 2, "findings: {out:?}");
-        assert!(out.iter().any(|f| f.message.contains("`a.undocumented`") && f.path.ends_with("a.rs")));
-        assert!(out.iter().any(|f| f.message.contains("`a.misses`") && f.path.ends_with(".md")));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("`a.undocumented`") && f.path.ends_with("a.rs")));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("`a.misses`") && f.path.ends_with(".md")));
     }
 
     #[test]
     fn doc_shorthand_expansion() {
         let md = "| `q.cache.hits` / `.misses` | x |\n";
-        let names: Vec<String> = doc_metric_names(md).into_iter().map(|(n, _, _)| n).collect();
+        let names: Vec<String> = doc_metric_names(md)
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
         assert_eq!(names, vec!["q.cache.hits", "q.cache.misses"]);
     }
 
@@ -792,7 +881,10 @@ mod tests {
     fn doc_link_resolution_and_reachability() {
         let docs = vec![
             ("README.md".to_string(), "[s](docs/S.md)\n".to_string()),
-            ("docs/S.md".to_string(), "[back](../README.md) [bad](gone.md)\n".to_string()),
+            (
+                "docs/S.md".to_string(),
+                "[back](../README.md) [bad](gone.md)\n".to_string(),
+            ),
             ("docs/ORPHAN.md".to_string(), "no links here\n".to_string()),
         ];
         let exists = |p: &str| docs.iter().any(|(d, _)| d == p);
@@ -800,9 +892,13 @@ mod tests {
         check_doc_links(&docs, &exists, &mut out);
         out.sort();
         assert_eq!(out.len(), 2, "{out:?}");
-        assert!(out.iter().any(|f| f.path == "docs/S.md" && f.message.contains("`gone.md`")));
-        assert!(out.iter().any(|f| f.path == "docs/ORPHAN.md"
-            && f.message.contains("not reachable from README.md")));
+        assert!(out
+            .iter()
+            .any(|f| f.path == "docs/S.md" && f.message.contains("`gone.md`")));
+        assert!(out
+            .iter()
+            .any(|f| f.path == "docs/ORPHAN.md"
+                && f.message.contains("not reachable from README.md")));
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Brace-matched block tree over the token stream — the "scope" half of
+//! the scope-aware rules.
+//!
+//! The lexer ([`crate::lexer`]) already hides strings, chars, and
+//! comments, so every `{` / `}` token is a real block delimiter. This
+//! module matches them into a tree, tags every token with its innermost
+//! block, and extracts `fn` items with their body blocks. The
+//! concurrency rules ([`crate::concurrency`]) use that to answer the two
+//! questions line-oriented lexing cannot: *which function does this
+//! token belong to* and *how long does this binding's scope live*.
+
+use crate::lexer::{Lexed, TokenKind};
+
+/// One brace-delimited block. Index 0 is the synthetic file-level root
+/// covering every token.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Parent block index; `None` only for the root.
+    pub parent: Option<usize>,
+    /// Token index of the opening `{` (0 for the root).
+    pub open: usize,
+    /// Token index of the matching `}` (one past the last token for the
+    /// root, or for an unterminated block).
+    pub close: usize,
+}
+
+/// The block tree plus the token → innermost-block map.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeTree {
+    /// All blocks; `blocks[0]` is the file-level root.
+    pub blocks: Vec<Block>,
+    /// For each token index, the innermost block containing it.
+    pub token_block: Vec<usize>,
+}
+
+impl ScopeTree {
+    /// Builds the tree from a lexed file. Unbalanced braces never panic:
+    /// a stray `}` is ignored and an unterminated block runs to the end
+    /// of input, mirroring the lexer's tolerance contract.
+    pub fn build(lexed: &Lexed) -> ScopeTree {
+        let t = &lexed.tokens;
+        let mut blocks = vec![Block {
+            parent: None,
+            open: 0,
+            close: t.len(),
+        }];
+        let mut token_block = vec![0usize; t.len()];
+        let mut current = 0usize;
+        for (i, tok) in t.iter().enumerate() {
+            if tok.is_punct('{') {
+                blocks.push(Block {
+                    parent: Some(current),
+                    open: i,
+                    close: t.len(),
+                });
+                current = blocks.len() - 1;
+                token_block[i] = current;
+            } else if tok.is_punct('}') {
+                token_block[i] = current;
+                blocks[current].close = i;
+                current = blocks[current].parent.unwrap_or(0);
+            } else {
+                token_block[i] = current;
+            }
+        }
+        ScopeTree {
+            blocks,
+            token_block,
+        }
+    }
+
+    /// The innermost block containing token `i` (the root for
+    /// out-of-range indices).
+    pub fn block_of(&self, i: usize) -> usize {
+        self.token_block.get(i).copied().unwrap_or(0)
+    }
+
+    /// True if block `inner` is `outer` or nested anywhere inside it.
+    pub fn is_within(&self, mut inner: usize, outer: usize) -> bool {
+        loop {
+            if inner == outer {
+                return true;
+            }
+            match self.blocks.get(inner).and_then(|b| b.parent) {
+                Some(p) => inner = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// One `fn` item with its body block.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token index of the body's `{`.
+    pub body_open: usize,
+    /// Token index of the body's matching `}` (or one past the end).
+    pub body_close: usize,
+}
+
+/// Extracts every `fn` item and its body span. Trait-method declarations
+/// without a body (`fn f(...);`) are skipped, as are `fn` pointers in
+/// types (no name token follows). The body is found by scanning from the
+/// name to the first `{` that is not inside parentheses, brackets, or an
+/// intervening `;` — which steps over argument lists, return types,
+/// generic bounds, and where clauses.
+pub fn fn_items(lexed: &Lexed, scopes: &ScopeTree) -> Vec<FnItem> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len().saturating_sub(1) {
+        if !t[i].is_ident("fn") || t[i + 1].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = &t[i + 1];
+        // Scan for the body's `{`, skipping nested (...) / [...] groups
+        // (closure bodies inside default-argument positions do not occur
+        // in item position, so the first depth-0 `{` is the body).
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let body_open = loop {
+            let Some(tok) = t.get(j) else { break None };
+            if tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 {
+                if tok.is_punct(';') {
+                    break None; // bodyless declaration
+                }
+                if tok.is_punct('{') {
+                    break Some(j);
+                }
+            }
+            j += 1;
+        };
+        let Some(body_open) = body_open else { continue };
+        let body_block = scopes.block_of(body_open);
+        out.push(FnItem {
+            name: name.text.clone(),
+            line: name.line,
+            body_open,
+            body_close: scopes.blocks[body_block].close,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn blocks_nest_and_tag_tokens() {
+        let l = lex("fn f() { let a = 1; { let b = 2; } }\nfn g() {}\n");
+        let s = ScopeTree::build(&l);
+        // root + f body + inner + g body
+        assert_eq!(s.blocks.len(), 4);
+        let a = l.tokens.iter().position(|t| t.is_ident("a")).unwrap();
+        let b = l.tokens.iter().position(|t| t.is_ident("b")).unwrap();
+        assert_ne!(s.block_of(a), s.block_of(b));
+        assert!(s.is_within(s.block_of(b), s.block_of(a)));
+        assert!(!s.is_within(s.block_of(a), s.block_of(b)));
+    }
+
+    #[test]
+    fn fn_items_span_their_bodies() {
+        let src = "impl X { pub fn one(&self) -> u64 { self.0 } }\n\
+                   fn two<T: Clone>(x: T) where T: Send { drop(x); }\n\
+                   trait T { fn decl(&self); }\n";
+        let l = lex(src);
+        let s = ScopeTree::build(&l);
+        let fns = fn_items(&l, &s);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two"], "decl has no body");
+        for f in &fns {
+            assert!(l.tokens[f.body_open].is_punct('{'));
+            assert!(l.tokens[f.body_close].is_punct('}'));
+        }
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_panic() {
+        let s1 = ScopeTree::build(&lex("fn f() { { }"));
+        assert_eq!(s1.blocks[1].close, lex("fn f() { { }").tokens.len());
+        let s2 = ScopeTree::build(&lex("} fn g() {}"));
+        assert_eq!(s2.blocks.len(), 2);
+    }
+
+    #[test]
+    fn where_clause_and_generics_are_stepped_over() {
+        let src = "fn h<F>(f: F) -> Vec<u8> where F: Fn(usize) -> bool { Vec::new() }\n";
+        let l = lex(src);
+        let s = ScopeTree::build(&l);
+        let fns = fn_items(&l, &s);
+        assert_eq!(fns.len(), 1);
+        let body = &l.tokens[fns[0].body_open + 1];
+        assert!(body.is_ident("Vec"), "body starts after the where clause");
+    }
+}

@@ -2,6 +2,7 @@
 //! region map, and parsed `mpc-allow` directives.
 
 use crate::lexer::{lex, Lexed};
+use crate::scope::ScopeTree;
 
 /// How a `.rs` file participates in the build — rules apply differently
 /// to library code, binaries, and tests.
@@ -45,6 +46,8 @@ pub struct SourceFile {
     pub is_crate_root: bool,
     /// Token stream and comments.
     pub lexed: Lexed,
+    /// Brace-matched block tree over the token stream.
+    pub scopes: ScopeTree,
     /// Inclusive line ranges covered by `#[cfg(test)]` items.
     pub test_regions: Vec<(u32, u32)>,
     /// All `mpc-allow` directives in the file.
@@ -61,6 +64,7 @@ impl SourceFile {
         src: &str,
     ) -> SourceFile {
         let lexed = lex(src);
+        let scopes = ScopeTree::build(&lexed);
         let test_regions = find_test_regions(&lexed);
         let allows = parse_allows(&lexed);
         SourceFile {
@@ -69,6 +73,7 @@ impl SourceFile {
             kind,
             is_crate_root,
             lexed,
+            scopes,
             test_regions,
             allows,
         }
@@ -78,7 +83,10 @@ impl SourceFile {
     /// or the line falls inside a `#[cfg(test)]` item.
     pub fn in_test_code(&self, line: u32) -> bool {
         self.kind == FileKind::Test
-            || self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
     }
 
     /// True if an `mpc-allow` directive for `rule` covers `line`
@@ -184,7 +192,11 @@ fn parse_allows(lexed: &Lexed) -> Vec<AllowDirective> {
             Some((r, j)) => (r.to_string(), j.trim().to_string()),
             None => (rest.to_string(), String::new()),
         };
-        out.push(AllowDirective { line: c.line, rule, justification });
+        out.push(AllowDirective {
+            line: c.line,
+            rule,
+            justification,
+        });
     }
     out
 }

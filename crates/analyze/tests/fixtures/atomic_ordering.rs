@@ -1,0 +1,27 @@
+//! Fixture: exactly one `atomic-ordering` finding — the unjustified
+//! Relaxed increment. The others are fine: SeqCst needs no comment,
+//! a justified relaxation passes, a slice `swap` is not an atomic op,
+//! and an `mpc-allow` waives the last one.
+
+pub fn unjustified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn sequentially_consistent(c: &AtomicU64) {
+    c.store(7, Ordering::SeqCst);
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ordering: monotone counter; totals are read only after the worker
+    // scope joins, and the join synchronizes all prior writes.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn slice_swap_is_not_atomic(v: &mut [u64]) {
+    v.swap(0, 1);
+}
+
+pub fn waived(c: &AtomicU64) -> u64 {
+    // mpc-allow: atomic-ordering justified at the single call site in the docs module
+    c.load(Ordering::Acquire)
+}

@@ -1,0 +1,20 @@
+//! Fixture: exactly one `guard-across-blocking` finding — the first
+//! function writes to a stream while a guard is live. The second drops
+//! the guard before blocking, and the third carries a justified
+//! `mpc-allow`.
+
+pub fn reply_under_lock(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> io::Result<()> {
+    let payload = m.lock();
+    stream.write_all(&payload)
+}
+
+pub fn reply_after_drop(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> io::Result<()> {
+    let payload = m.lock().clone();
+    stream.write_all(&payload)
+}
+
+pub fn waived_reply(m: &Mutex<Vec<u8>>, stream: &mut TcpStream) -> io::Result<()> {
+    let payload = m.lock();
+    // mpc-allow: guard-across-blocking loopback stream with a 10ms deadline, bounded wait
+    stream.write_all(&payload)
+}

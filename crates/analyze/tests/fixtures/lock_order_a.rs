@@ -1,0 +1,8 @@
+//! Fixture (half 1 of 2): acquires `alpha` then `beta`. Clean alone;
+//! forms a cross-file acquisition cycle with `lock_order_b.rs`.
+
+pub fn forward(p: &Pair) -> u64 {
+    let alpha_guard = p.alpha.lock();
+    let beta_guard = p.beta.lock();
+    *alpha_guard + *beta_guard
+}

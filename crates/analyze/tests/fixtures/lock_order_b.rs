@@ -1,0 +1,8 @@
+//! Fixture (half 2 of 2): acquires `beta` then `alpha` — the opposite
+//! order from `lock_order_a.rs`, closing a cross-file deadlock cycle.
+
+pub fn reverse(p: &Pair) -> u64 {
+    let beta_guard = p.beta.lock();
+    let alpha_guard = p.alpha.lock();
+    *beta_guard - *alpha_guard
+}

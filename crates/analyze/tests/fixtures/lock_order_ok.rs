@@ -1,0 +1,27 @@
+//! Fixture: nested and re-entrant acquisitions that must NOT be flagged —
+//! a consistent cross-function order, a guard dropped before the next
+//! acquisition, and a justified `mpc-allow` on a deliberate back edge.
+
+pub fn consistent(p: &Pair) -> u64 {
+    let alpha_guard = p.alpha.lock();
+    let beta_guard = p.beta.lock();
+    *alpha_guard + *beta_guard
+}
+
+pub fn also_consistent(p: &Pair) -> u64 {
+    let alpha_guard = p.alpha.lock();
+    let beta_guard = p.beta.lock();
+    *alpha_guard * *beta_guard
+}
+
+pub fn sequential(p: &Pair) -> u64 {
+    let first = *p.beta.lock();
+    first + *p.alpha.lock()
+}
+
+pub fn waived(p: &Pair) -> u64 {
+    let beta_guard = p.beta.lock();
+    // mpc-allow: lock-order single-threaded init path, no concurrent forward() caller yet
+    let alpha_guard = p.alpha.lock();
+    *beta_guard ^ *alpha_guard
+}

@@ -1,0 +1,11 @@
+//! Fixture: exactly one `unsafe-budget` finding — the bare `unsafe`
+//! block below. The second one is waived with a justified `mpc-allow`.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn waived_raw_read(p: *const u8) -> u8 {
+    // mpc-allow: unsafe-budget fixture demonstrating the escape hatch, not real code
+    unsafe { *p }
+}

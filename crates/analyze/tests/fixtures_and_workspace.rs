@@ -6,6 +6,9 @@
 
 use std::path::{Path, PathBuf};
 
+use mpc_analyze::concurrency::{
+    RULE_ATOMIC_ORDERING, RULE_GUARD_BLOCKING, RULE_LOCK_ORDER, RULE_UNSAFE_BUDGET,
+};
 use mpc_analyze::rules::{
     check_doc_links, RULE_CRATE_ROOT, RULE_DEPRECATED_EXEC, RULE_DOC_LINK, RULE_MPC_ALLOW,
     RULE_NARROWING_CAST, RULE_OBS_DOC, RULE_TRACED_COUNTERPART, RULE_UNWRAP_EXPECT,
@@ -42,12 +45,20 @@ fn assert_single(findings: &[mpc_analyze::Finding], rule: &str) {
         "expected exactly one [{rule}] finding, got:\n{}",
         render_report(findings)
     );
-    assert_eq!(findings[0].rule, rule, "wrong rule:\n{}", render_report(findings));
+    assert_eq!(
+        findings[0].rule,
+        rule,
+        "wrong rule:\n{}",
+        render_report(findings)
+    );
 }
 
 #[test]
 fn narrowing_cast_fixture_trips_only_that_rule() {
-    assert_single(&lint_fixture("narrowing_cast.rs", false), RULE_NARROWING_CAST);
+    assert_single(
+        &lint_fixture("narrowing_cast.rs", false),
+        RULE_NARROWING_CAST,
+    );
 }
 
 #[test]
@@ -88,14 +99,11 @@ fn mpc_allow_fixture_trips_only_that_rule() {
 fn obs_doc_fixture_flags_the_stale_row_only() {
     let src = fixture("obs_doc.rs");
     let doc = fixture("obs_doc.md");
-    let file = SourceFile::parse(
-        "fixtures/obs_doc.rs",
-        "fixture",
-        FileKind::Lib,
-        false,
-        &src,
+    let file = SourceFile::parse("fixtures/obs_doc.rs", "fixture", FileKind::Lib, false, &src);
+    let findings = lint_files(
+        std::slice::from_ref(&file),
+        Some(("fixtures/obs_doc.md", &doc)),
     );
-    let findings = lint_files(std::slice::from_ref(&file), Some(("fixtures/obs_doc.md", &doc)));
     assert_single(&findings, RULE_OBS_DOC);
     assert!(
         findings[0].message.contains("fixture.stale"),
@@ -138,6 +146,76 @@ fn doc_link_fixture_flags_broken_link_and_orphan() {
             .iter()
             .any(|f| f.path == "docs/orphan.md" && f.message.contains("not reachable")),
         "{}",
+        render_report(&findings)
+    );
+}
+
+#[test]
+fn guard_blocking_fixture_trips_only_that_rule() {
+    let findings = lint_fixture("guard_blocking.rs", false);
+    assert_single(&findings, RULE_GUARD_BLOCKING);
+    assert!(
+        findings[0].message.contains("write_all"),
+        "finding should name the blocking call:\n{}",
+        render_report(&findings)
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_trips_only_that_rule() {
+    let findings = lint_fixture("atomic_ordering.rs", false);
+    assert_single(&findings, RULE_ATOMIC_ORDERING);
+    assert!(
+        findings[0].message.contains("Relaxed"),
+        "finding should name the unjustified ordering:\n{}",
+        render_report(&findings)
+    );
+}
+
+#[test]
+fn unsafe_budget_fixture_trips_only_that_rule() {
+    assert_single(&lint_fixture("unsafe_budget.rs", false), RULE_UNSAFE_BUDGET);
+}
+
+/// The seeded cross-file cycle from the issue: `lock_order_a.rs` takes
+/// `alpha` then `beta`, `lock_order_b.rs` takes `beta` then `alpha`.
+/// Each file is clean alone; together both cycle edges are flagged.
+#[test]
+fn lock_order_fixture_catches_cross_file_cycle() {
+    let parse = |name: &str| {
+        SourceFile::parse(
+            format!("fixtures/{name}"),
+            "fixture",
+            FileKind::Lib,
+            false,
+            &fixture(name),
+        )
+    };
+    let a = parse("lock_order_a.rs");
+    let b = parse("lock_order_b.rs");
+
+    assert!(
+        lint_files(std::slice::from_ref(&a), None).is_empty(),
+        "half a cycle is not a cycle"
+    );
+    let findings = lint_files(&[a, b], None);
+    assert_eq!(
+        findings.len(),
+        2,
+        "both edges of the cross-file cycle:\n{}",
+        render_report(&findings)
+    );
+    assert!(findings.iter().all(|f| f.rule == RULE_LOCK_ORDER));
+    assert!(findings.iter().any(|f| f.path.ends_with("lock_order_a.rs")));
+    assert!(findings.iter().any(|f| f.path.ends_with("lock_order_b.rs")));
+}
+
+#[test]
+fn lock_order_ok_fixture_is_clean() {
+    let findings = lint_fixture("lock_order_ok.rs", false);
+    assert!(
+        findings.is_empty(),
+        "consistent order, sequential guards, and mpc-allow must pass:\n{}",
         render_report(&findings)
     );
 }

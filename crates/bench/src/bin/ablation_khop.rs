@@ -1,4 +1,6 @@
 //! Extension ablation: k-hop replication trade-off. See `mpc_bench::experiments::khop`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::khop::run();
 }

@@ -1,4 +1,6 @@
 //! Extension ablation: Bloom-semijoin reduction. See `mpc_bench::experiments::semijoin`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::semijoin::run();
 }

@@ -1,4 +1,6 @@
 //! Robustness sweep: completeness vs fault rate. See `mpc_bench::experiments::chaos`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::chaos::run();
 }

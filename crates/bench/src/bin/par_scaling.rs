@@ -1,4 +1,6 @@
 //! Parallel scaling at 1 vs 4 threads. See `mpc_bench::experiments::par_scaling`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::par_scaling::run();
 }

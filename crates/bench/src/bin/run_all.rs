@@ -1,5 +1,7 @@
 //! Runs every experiment in sequence, regenerating all tables and figures
 //! into `bench_results/`. Honors `MPC_BENCH_SCALE`.
+
+#![forbid(unsafe_code)]
 fn main() {
     let t0 = std::time::Instant::now();
     println!("MPC reproduction — full experiment sweep (scale={})\n", mpc_bench::datasets::scale_factor());

@@ -1,5 +1,7 @@
 //! Concurrent serving benchmark over the TCP front end. See
 //! `mpc_bench::experiments::serve_concurrent`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::serve_concurrent::run();
 }

@@ -1,5 +1,7 @@
 //! Serving-layer workload replay, cached vs uncached. See
 //! `mpc_bench::experiments::serve_replay`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::serve_replay::run();
 }

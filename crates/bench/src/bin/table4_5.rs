@@ -1,4 +1,6 @@
 //! Regenerates the paper's table4 5 artifact. See `mpc_bench::experiments`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::stages::run();
 }

@@ -1,4 +1,6 @@
 //! Regenerates the paper's table7 artifact. See `mpc_bench::experiments`.
+
+#![forbid(unsafe_code)]
 fn main() {
     mpc_bench::experiments::table7::run();
 }

@@ -1,5 +1,7 @@
 //! The `mpc` command-line tool. All logic lives in the `mpc-cli` library.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();

@@ -252,20 +252,43 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `mpc analyze` — runs the workspace lint engine (see
-/// `docs/STATIC_ANALYSIS.md`) from the repository root.
+/// `docs/STATIC_ANALYSIS.md`) from the repository root. `--json` emits
+/// the machine-readable document, `--baseline FILE` gates on findings
+/// not in the committed baseline, and `--write-baseline FILE`
+/// regenerates that baseline from the current tree.
 pub fn analyze(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let o = Options::parse(args, &["root"])?;
+    let o = Options::parse_with_flags(args, &["root", "baseline", "write-baseline"], &["json"])?;
     let root = o.get("root").unwrap_or(".");
     let findings = mpc_analyze::lint_workspace(std::path::Path::new(root))
         .map_err(|e| CliError::new(format!("cannot scan '{root}': {e}")))?;
-    write!(out, "{}", mpc_analyze::render_report(&findings))?;
-    if findings.is_empty() {
+    if let Some(path) = o.get("write-baseline") {
+        std::fs::write(path, mpc_analyze::json::render_json(&findings))
+            .map_err(|e| CliError::new(format!("cannot write baseline '{path}': {e}")))?;
+        writeln!(out, "wrote baseline {path} ({} finding(s))", findings.len())?;
+        return Ok(());
+    }
+    if o.flag("json") {
+        write!(out, "{}", mpc_analyze::json::render_json(&findings))?;
+    } else {
+        write!(out, "{}", mpc_analyze::render_report(&findings))?;
+    }
+    let gating: Vec<&mpc_analyze::Finding> = match o.get("baseline") {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read baseline '{path}': {e}")))?;
+            let keys = mpc_analyze::json::parse_baseline(&doc).map_err(CliError::new)?;
+            mpc_analyze::json::new_findings(&findings, &keys)
+        }
+        None => findings.iter().collect(),
+    };
+    if gating.is_empty() {
         Ok(())
     } else {
         Err(CliError::new(format!(
-            "{} lint finding(s); see docs/STATIC_ANALYSIS.md for the rules \
+            "{} lint finding(s){}; see docs/STATIC_ANALYSIS.md for the rules \
              and the mpc-allow escape hatch",
-            findings.len()
+            gating.len(),
+            if o.get("baseline").is_some() { " not in baseline" } else { "" }
         )))
     }
 }

@@ -100,7 +100,8 @@ USAGE:
                   [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>] [--profile]
                   [--verify] [--seed <N>] [--threads <N>]
     mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
-    mpc analyze   [--root <DIR>]
+    mpc analyze   [--root <DIR>] [--json] [--baseline <FILE>]
+                  [--write-baseline <FILE>]
     mpc explain   --input <FILE> --query <FILE.rq>
     mpc query     --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
@@ -123,7 +124,10 @@ Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
 breakdown (see docs/OBSERVABILITY.md). `--verify` re-checks every
 partition invariant from scratch before saving (docs/STATIC_ANALYSIS.md).
-`analyze` runs the workspace lint engine from the repository root.
+`analyze` runs the workspace lint engine from the repository root;
+`--json` emits machine-readable findings, `--baseline` fails only on
+findings missing from the committed baseline, and `--write-baseline`
+regenerates it (docs/STATIC_ANALYSIS.md).
 
 `--chaos` runs the query on a fallible cluster (docs/FAULT_TOLERANCE.md):
 SPEC is `crash=0.1,stall=0.05,corrupt=0.02,overload=0.1,slow=0.2,\

@@ -669,6 +669,8 @@ impl DistributedEngine {
         let class = plan_entry.class;
         let decomposition_time = t0.elapsed();
         drop(qdt_span);
+        // ordering: sequence source for comm-seed derivation; only the
+        // RMW's uniqueness matters, no other data is published through it.
         let query_seq = self.query_seq.fetch_add(1, Ordering::Relaxed);
         let comm_seed = layer.injector.plan().seed ^ query_seq;
 

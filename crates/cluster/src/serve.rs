@@ -238,6 +238,9 @@ impl ServeEngine {
 
     /// The current partition epoch.
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel bump; a reader that
+        // observes the new epoch also observes the engine mutations made
+        // before the bump.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -245,6 +248,9 @@ impl ServeEngine {
     /// replacing the engine. For callers that mutate partition-dependent
     /// engine state in place (e.g. toggling semijoin reduction).
     pub fn bump_epoch(&self) {
+        // ordering: AcqRel — the release half publishes the in-place
+        // engine mutations that motivated the bump; the acquire half
+        // orders the bump against cache fills that follow it.
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 

@@ -11,7 +11,8 @@
 //!    that the optimizer sees through. Hot loops that cannot afford
 //!    even a disabled recorder use compile-time sinks instead (see the
 //!    `MatchObserver` pattern in `mpc-sparql`).
-//! 2. **No heavy dependencies.** Plain `std`; JSON output is the
+//! 2. **No heavy dependencies.** Plain `std` plus the workspace's
+//!    `parking_lot` shim (non-poisoning locks); JSON output is the
 //!    hand-rolled [`Json`] model in [`json`].
 //! 3. **Thread-friendly.** Metrics live under flat dot-separated names
 //!    (`query.let.site3`), so worker threads record independently and
@@ -42,8 +43,9 @@ pub mod report;
 pub use json::Json;
 pub use report::{Report, ReportNode, TimerStat};
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
@@ -106,7 +108,7 @@ impl Recorder {
     /// Adds `delta` to the counter `name` (creating it at zero).
     pub fn add(&self, name: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut counters = relock(&inner.counters);
+            let mut counters = inner.counters.lock();
             let slot = counters.entry(name.to_owned()).or_insert(0);
             *slot = slot.saturating_add(delta);
         }
@@ -123,7 +125,7 @@ impl Recorder {
     /// in permille) rather than accumulated.
     pub fn set(&self, name: &str, value: u64) {
         if let Some(inner) = &self.inner {
-            relock(&inner.counters).insert(name.to_owned(), value);
+            inner.counters.lock().insert(name.to_owned(), value);
         }
     }
 
@@ -131,7 +133,7 @@ impl Recorder {
     /// (or the recorder is disabled).
     pub fn counter(&self, name: &str) -> Option<u64> {
         let inner = self.inner.as_ref()?;
-        relock(&inner.counters).get(name).copied()
+        inner.counters.lock().get(name).copied()
     }
 
     /// Snapshot of every counter (deterministically ordered). Timers are
@@ -140,7 +142,7 @@ impl Recorder {
     /// counts), while timers measure wall clock.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         match &self.inner {
-            Some(inner) => relock(&inner.counters).clone(),
+            Some(inner) => inner.counters.lock().clone(),
             None => BTreeMap::new(),
         }
     }
@@ -148,7 +150,7 @@ impl Recorder {
     /// Aggregate of all durations recorded under `name`, if any.
     pub fn timer(&self, name: &str) -> Option<TimerStat> {
         let inner = self.inner.as_ref()?;
-        relock(&inner.timers).get(name).copied()
+        inner.timers.lock().get(name).copied()
     }
 
     /// Snapshots every collected metric into a hierarchical [`Report`].
@@ -157,22 +159,16 @@ impl Recorder {
     pub fn report(&self) -> Report {
         match &self.inner {
             Some(inner) => Report::from_metrics(
-                &relock(&inner.timers),
-                &relock(&inner.counters),
+                &inner.timers.lock(),
+                &inner.counters.lock(),
             ),
             None => Report::default(),
         }
     }
 }
 
-/// Locks a metrics mutex, recovering the map if another thread panicked
-/// while holding it — observability must never take the process down.
-fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 fn record_into(inner: &Inner, name: &str, elapsed: Duration) {
-    relock(&inner.timers)
+    inner.timers.lock()
         .entry(name.to_owned())
         .or_default()
         .record(elapsed);

@@ -114,6 +114,9 @@ where
                     let mut local: Vec<(usize, R)> = Vec::new();
                     let mut claimed = 0u64;
                     loop {
+                        // ordering: work-claiming cursor; only the RMW's
+                        // atomicity matters (each index claimed once) and
+                        // results are published by the scope join.
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= tasks {
                             break;

@@ -10,8 +10,8 @@
 //! semantics docs/SERVER.md specifies: no new admissions, every
 //! admitted job still completes.
 
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -25,10 +25,6 @@ pub struct AdmissionQueue<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     capacity: usize,
-}
-
-fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<T> AdmissionQueue<T> {
@@ -54,7 +50,7 @@ impl<T> AdmissionQueue<T> {
     /// Admits a job, or returns it to the caller when the queue is at
     /// capacity or closed. Never blocks.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut s = relock(&self.state);
+        let mut s = self.state.lock();
         if s.closed || s.items.len() >= self.capacity {
             return Err(item);
         }
@@ -69,7 +65,7 @@ impl<T> AdmissionQueue<T> {
     /// open. Returns `None` only when the queue is closed **and**
     /// empty — the drain-complete signal workers exit on.
     pub fn pop(&self) -> Option<T> {
-        let mut s = relock(&self.state);
+        let mut s = self.state.lock();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -77,10 +73,9 @@ impl<T> AdmissionQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self
-                .ready
-                .wait(s)
-                .unwrap_or_else(PoisonError::into_inner);
+            // Releases `state` while parked, re-acquires before returning
+            // — a live guard across `wait` is not a guard across blocking.
+            self.ready.wait(&mut s);
         }
     }
 
@@ -88,13 +83,13 @@ impl<T> AdmissionQueue<T> {
     /// blocked and future [`Self::pop`] returns `None` once the
     /// remaining jobs are drained.
     pub fn close(&self) {
-        relock(&self.state).closed = true;
+        self.state.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        relock(&self.state).items.len()
+        self.state.lock().items.len()
     }
 
     /// True when no jobs are pending.
@@ -105,7 +100,7 @@ impl<T> AdmissionQueue<T> {
     /// The deepest the queue has ever been — the `server.queue.max_depth`
     /// gauge.
     pub fn max_depth(&self) -> usize {
-        relock(&self.state).max_depth
+        self.state.lock().max_depth
     }
 }
 

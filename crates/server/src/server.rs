@@ -161,11 +161,16 @@ impl Server {
                 scope.spawn(move || worker_loop(sh, i));
             }
             loop {
+                // ordering: Acquire pairs with the Release store in the
+                // Shutdown handler; observing `true` also makes the
+                // queue-close that follows that store visible.
                 if sh.shutdown.load(Ordering::Acquire) {
                     break;
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        // ordering: statistics counter; the RMW is atomic
+                        // and totals are read only after the scope joins.
                         sh.accepted.fetch_add(1, Ordering::Relaxed);
                         sh.rec.incr("server.accepted");
                         scope.spawn(move || handle_connection(sh, stream));
@@ -188,10 +193,13 @@ impl Server {
             rec.set(&format!("server.shard{i}.misses"), s.misses);
         }
         Ok(ServerSummary {
+            // ordering: Relaxed suffices for all four counter reads —
+            // the worker scope has joined, and thread join synchronizes
+            // every write made by the joined threads.
             accepted: shared.accepted.load(Ordering::Relaxed),
-            requests: shared.requests.load(Ordering::Relaxed),
-            served: shared.served.load(Ordering::Relaxed),
-            rejected: shared.rejected.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed), // ordering: see above
+            served: shared.served.load(Ordering::Relaxed), // ordering: see above
+            rejected: shared.rejected.load(Ordering::Relaxed), // ordering: see above
             queue_max_depth: shared.queue.max_depth(),
             shards,
         })
@@ -215,6 +223,7 @@ fn worker_loop(sh: &Shared, i: usize) {
         let payload = proto::encode(&execute(sh, &job.frame));
         busy += t0.elapsed();
         jobs += 1;
+        // ordering: statistics counter; read after the scope joins.
         sh.served.fetch_add(1, Ordering::Relaxed);
         // The handler (and its client) may be gone; dropping the reply
         // is the correct outcome then.
@@ -297,11 +306,14 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
         };
         match frame {
             Frame::Query(q) => {
+                // ordering: statistics counter; read after the scope joins.
                 sh.requests.fetch_add(1, Ordering::Relaxed);
                 sh.rec.incr("server.requests");
                 let (tx, rx) = mpsc::sync_channel(1);
                 match sh.queue.try_push(Job { frame: q, reply: tx }) {
                     Err(_) => {
+                        // ordering: statistics counter; read after the
+                        // scope joins.
                         sh.rejected.fetch_add(1, Ordering::Relaxed);
                         sh.rec.incr("server.rejected");
                         if proto::send(
@@ -325,6 +337,9 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
                 }
             }
             Frame::Shutdown => {
+                // ordering: Release pairs with the accept/read loops'
+                // Acquire loads, publishing everything done before the
+                // flag flip (the flip itself gates the queue close below).
                 sh.shutdown.store(true, Ordering::Release);
                 sh.queue.close();
                 let _ = proto::send(&mut stream, &Frame::Bye);
@@ -391,6 +406,8 @@ fn read_exact_interruptible(
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_would_block(&e) => {
+                // ordering: Acquire pairs with the Shutdown handler's
+                // Release store, same protocol as the accept loop.
                 if !sh.shutdown.load(Ordering::Acquire) {
                     continue;
                 }

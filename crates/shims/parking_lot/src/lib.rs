@@ -6,13 +6,51 @@
 //! `lock()` returns the guard directly instead of a `Result`. A poisoned
 //! std mutex (a panic while holding the lock) is recovered rather than
 //! propagated, which matches `parking_lot`'s behavior of not tracking
-//! poison at all.
+//! poison at all. [`Condvar`] follows the same pattern: `wait` takes the
+//! guard by `&mut` (parking_lot's signature) and recovers from poison.
+//!
+//! This crate is the **only** place in the workspace allowed to name
+//! `std::sync::Mutex` / `std::sync::RwLock`; everywhere else the
+//! `disallowed-types` entry in `clippy.toml` redirects to this shim so
+//! lock discipline (non-poisoning, `mpc-analyze`'s concurrency rules) is
+//! uniform.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The whole point of this crate is to wrap the std primitives that are
+// banned (via clippy.toml disallowed-types) everywhere else.
+#![allow(clippy::disallowed_types)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+///
+/// The inner option is `Some` for the guard's entire observable
+/// lifetime; it is taken only transiently inside [`Condvar::wait`],
+/// while the caller's `&mut` borrow makes the `None` state unreachable.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.0 {
+            Some(g) => g,
+            // Unreachable: see the field invariant above.
+            None => unreachable!("MutexGuard used while parked in Condvar::wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.0 {
+            Some(g) => g,
+            None => unreachable!("MutexGuard used while parked in Condvar::wait"),
+        }
+    }
+}
 
 /// A mutex with `parking_lot`'s panic-free locking interface.
 #[derive(Debug, Default)]
@@ -33,7 +71,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -42,6 +80,38 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(e) => e.into_inner(),
         }
+    }
+}
+
+/// A condition variable paired with [`Mutex`], after `parking_lot`'s
+/// interface: [`Condvar::wait`] takes the guard by `&mut` and never
+/// reports poison.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified;
+    /// the lock is re-acquired before returning. Spurious wakeups are
+    /// possible, exactly as with `std` — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(inner) = guard.0.take() {
+            guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -74,5 +144,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = std::sync::Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+                *ready
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "lock() recovers instead of propagating poison");
     }
 }
