@@ -107,6 +107,46 @@ cmp "$CI_TMP/expect.digests" "$CI_TMP/client.digests"
 wait "$SRV_PID"
 grep '^server:' "$CI_TMP/server.log"
 
+echo "==> snapshot smoke (save → load byte-identical, corruption fallback, docs/PERSISTENCE.md)"
+# Save a snapshot generation at partition time, serve from it, and diff
+# digests against the in-memory rebuild path.
+"$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/snap.parts" \
+    --method mpc --k 4 --save "$CI_TMP/store"
+"$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/snap.parts" \
+    --queries "$CI_TMP/workload.txt" --digest | grep '^\[' > "$CI_TMP/rebuild.digests"
+"$MPC" serve --load "$CI_TMP/store" \
+    --queries "$CI_TMP/workload.txt" --digest > "$CI_TMP/snap.out"
+grep -q 'snapshot: loaded gen-0001' "$CI_TMP/snap.out"
+grep '^\[' "$CI_TMP/snap.out" > "$CI_TMP/snap.digests"
+cmp "$CI_TMP/rebuild.digests" "$CI_TMP/snap.digests"
+# Commit a second generation, then corrupt it: the loader must detect
+# the damage (checksums) and fall back to gen-0001, digests unchanged.
+"$MPC" partition --input "$CI_TMP/lubm.nt" --out "$CI_TMP/snap.parts" \
+    --method mpc --k 4 --save "$CI_TMP/store" | grep -q 'saved gen-0002'
+corrupt_snapshot() {
+    SNAP_SZ=$(wc -c < "$1")
+    printf 'XXXX' | dd of="$1" bs=1 seek=$((SNAP_SZ / 2)) conv=notrunc 2>/dev/null
+}
+corrupt_snapshot "$CI_TMP/store/gen-0002/snapshot.bin"
+"$MPC" serve --load "$CI_TMP/store" \
+    --queries "$CI_TMP/workload.txt" --digest > "$CI_TMP/fallback.out"
+grep -q 'snapshot: loaded gen-0001' "$CI_TMP/fallback.out"
+grep '^\[' "$CI_TMP/fallback.out" > "$CI_TMP/fallback.digests"
+cmp "$CI_TMP/rebuild.digests" "$CI_TMP/fallback.digests"
+# Corrupt every generation: without raw inputs the load must fail with
+# a typed error and a nonzero exit — never serve garbage.
+corrupt_snapshot "$CI_TMP/store/gen-0001/snapshot.bin"
+! "$MPC" serve --load "$CI_TMP/store" \
+    --queries "$CI_TMP/workload.txt" --digest > "$CI_TMP/dead.out" 2>&1
+# With raw inputs present the same situation rebuilds — loudly — and
+# still produces the exact digests.
+"$MPC" serve --load "$CI_TMP/store" --input "$CI_TMP/lubm.nt" \
+    --partitions "$CI_TMP/snap.parts" \
+    --queries "$CI_TMP/workload.txt" --digest > "$CI_TMP/rebuilt.out"
+grep -q 'snapshot: load failed' "$CI_TMP/rebuilt.out"
+grep '^\[' "$CI_TMP/rebuilt.out" > "$CI_TMP/rebuilt.digests"
+cmp "$CI_TMP/rebuild.digests" "$CI_TMP/rebuilt.digests"
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

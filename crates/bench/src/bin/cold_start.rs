@@ -1,0 +1,7 @@
+//! Cold start: raw rebuild vs checksummed snapshot load. See
+//! `mpc_bench::experiments::cold_start`.
+
+#![forbid(unsafe_code)]
+fn main() {
+    mpc_bench::experiments::cold_start::run();
+}

@@ -2,6 +2,7 @@
 //! regenerated table/figure and appends it to `bench_results/`.
 
 pub mod chaos;
+pub mod cold_start;
 pub mod fig11;
 pub mod khop;
 pub mod par_scaling;

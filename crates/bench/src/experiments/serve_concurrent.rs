@@ -185,6 +185,7 @@ pub fn run() {
             ServerConfig {
                 workers,
                 queue_depth: QUEUE_DEPTH,
+                ..ServerConfig::default()
             },
             Recorder::disabled(),
         )

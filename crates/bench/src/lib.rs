@@ -18,6 +18,7 @@
 //! | `par_scaling` | extension: thread-pool scaling with determinism assertion |
 //! | `serve_replay` | extension: cached vs uncached workload replay (docs/SERVING.md) |
 //! | `serve_concurrent` | extension: closed-loop clients vs TCP worker pool (docs/SERVER.md) |
+//! | `cold_start` | extension: raw rebuild vs checksummed snapshot load (docs/PERSISTENCE.md) |
 //! | `run_all`  | everything above, plus an instrumented run writing `bench_results/run_report.json` |
 //!
 //! All binaries honor `MPC_BENCH_SCALE` (default 1.0) to shrink or grow

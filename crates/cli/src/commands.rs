@@ -185,7 +185,7 @@ fn build_partitioner(
 pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
-        &["input", "out", "method", "k", "epsilon", "seed", "threads"],
+        &["input", "out", "method", "k", "epsilon", "seed", "threads", "save"],
         &["profile", "verify"],
     )?;
     let graph = load_graph(o.required("input")?)?;
@@ -244,11 +244,118 @@ pub fn partition(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         partitioning.imbalance()
     )?;
     writeln!(out, "saved to {out_path}")?;
+    if let Some(dir) = o.get("save") {
+        // Crash-safe persistent store (docs/PERSISTENCE.md): a new
+        // generation becomes visible only when its MANIFEST lands.
+        let report = mpc_snapshot::save(std::path::Path::new(dir), &graph, &partitioning, &rec)
+            .map_err(|e| CliError::new(format!("snapshot save failed: {e}")))?;
+        writeln!(
+            out,
+            "snapshot: saved gen-{:04} to {} ({} bytes)",
+            report.generation,
+            report.path.display(),
+            report.bytes
+        )?;
+    }
     if rec.is_enabled() {
         writeln!(out, "\nprofile:")?;
         write!(out, "{}", rec.report().to_text())?;
     }
     Ok(())
+}
+
+/// Where a serving engine came from: a loaded snapshot generation or a
+/// clean rebuild.
+pub(crate) struct EngineSource {
+    /// The graph the engine serves.
+    pub graph: RdfGraph,
+    /// The distributed engine itself.
+    pub engine: DistributedEngine,
+    /// Committed manifest generation when a snapshot answered — seeds
+    /// the serve epoch so cached results can never alias a result
+    /// computed before a restart against a different snapshot.
+    pub generation: Option<u64>,
+}
+
+/// Resolves the engine for `mpc serve`/`mpc server`. With `--load DIR`
+/// the snapshot store answers first (itself falling back generation by
+/// generation); if every generation is corrupt the command falls back
+/// to a clean rebuild from `--input`/`--partitions` — or fails with the
+/// typed snapshot error when those are absent. Without `--load` it
+/// rebuilds directly.
+pub(crate) fn engine_source(
+    o: &Options,
+    radius: usize,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<EngineSource, CliError> {
+    if let Some(dir) = o.get("load") {
+        if radius != 1 {
+            return Err(CliError::new(format!(
+                "--load serves the snapshot's radius-1 fragments; --radius {radius} \
+                 requires a rebuild (drop --load)"
+            )));
+        }
+        match mpc_snapshot::load(std::path::Path::new(dir), rec) {
+            Ok(loaded) => {
+                let mpc_snapshot::SnapshotContents {
+                    graph,
+                    partitioning,
+                    sites,
+                    radius,
+                } = loaded.contents;
+                let sites: Vec<mpc_cluster::Site> = sites
+                    .into_iter()
+                    .map(|s| mpc_cluster::Site {
+                        part: s.part,
+                        store: s.store,
+                        extended: s.extended,
+                    })
+                    .collect();
+                let engine = DistributedEngine::from_sites(
+                    sites,
+                    &graph,
+                    &partitioning,
+                    NetworkModel::default(),
+                    radius,
+                );
+                writeln!(
+                    out,
+                    "snapshot: loaded gen-{:04} from {dir} ({} bytes)",
+                    loaded.generation, loaded.bytes
+                )?;
+                return Ok(EngineSource {
+                    graph,
+                    engine,
+                    generation: Some(loaded.generation),
+                });
+            }
+            Err(e) => {
+                // Never silently wrong: a corrupt store is reported, and
+                // only a clean rebuild from the original inputs (when
+                // they were passed) may answer in its place.
+                if o.get("input").is_none() || o.get("partitions").is_none() {
+                    return Err(CliError::new(format!(
+                        "cannot load snapshot from '{dir}': {e}"
+                    )));
+                }
+                rec.incr("snapshot.fallback");
+                writeln!(
+                    out,
+                    "snapshot: load failed ({e}); rebuilding from --input/--partitions"
+                )?;
+            }
+        }
+    }
+    let graph = load_graph(o.required("input")?)?;
+    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
+    let engine =
+        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    Ok(EngineSource {
+        graph,
+        engine,
+        generation: None,
+    })
 }
 
 /// `mpc analyze` — runs the workspace lint engine (see
@@ -607,6 +714,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         &[
             "input",
             "partitions",
+            "load",
             "queries",
             "mode",
             "radius",
@@ -621,18 +729,21 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["profile", "warm", "no-cache", "strict", "digest"],
     )?;
-    let graph = load_graph(o.required("input")?)?;
-    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
     let mode = parse_mode(o.get("mode"))?;
     let radius: usize = o.parse_or("radius", 1)?;
     let cache_entries: usize = o.parse_or("cache-entries", 256)?;
     let display_limit: usize = o.parse_or("limit", 20)?;
-    let engine =
-        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
-    let server = ServeEngine::new(engine, cache_entries);
     // Always-on recorder: it drives the per-query hit markers and the
     // summary line; --profile additionally prints the full report.
     let rec = Recorder::enabled();
+    let src = engine_source(&o, radius, &rec, out)?;
+    let graph = src.graph;
+    let server = ServeEngine::new(src.engine, cache_entries);
+    if let Some(generation) = src.generation {
+        // Seed the cache epoch from the manifest generation: a result
+        // cached against snapshot gen N can never answer under gen M.
+        server.set_epoch(generation);
+    }
     let mut req = ExecRequest::new()
         .mode(mode)
         .traced(&rec)

@@ -98,7 +98,7 @@ USAGE:
     mpc stats     --input <FILE.nt|FILE.ttl> [--properties <N>]
     mpc partition --input <FILE> --out <FILE.parts>
                   [--method <mpc|hash|metis>] [--k <N>] [--epsilon <F>] [--profile]
-                  [--verify] [--seed <N>] [--threads <N>]
+                  [--verify] [--seed <N>] [--threads <N>] [--save <DIR>]
     mpc classify  --input <FILE> --partitions <FILE.parts> --query <FILE.rq>
     mpc analyze   [--root <DIR>] [--json] [--baseline <FILE>]
                   [--write-baseline <FILE>]
@@ -107,18 +107,19 @@ USAGE:
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
-    mpc serve     --input <FILE> --partitions <FILE.parts> [--queries <FILE>]
+    mpc serve     [--input <FILE> --partitions <FILE.parts>] [--load <DIR>]
+                  [--queries <FILE>]
                   [--cache-entries <N>] [--warm] [--no-cache] [--digest]
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
-    mpc server    --input <FILE> --partitions <FILE.parts>
+    mpc server    [--input <FILE> --partitions <FILE.parts>] [--load <DIR>]
                   [--listen <ADDR:PORT>] [--workers <N>] [--queue-depth <N>]
-                  [--cache-entries <N>] [--shards <N>] [--port-file <FILE>]
-                  [--radius <N>] [--profile]
+                  [--io-timeout-ms <N>] [--cache-entries <N>] [--shards <N>]
+                  [--port-file <FILE>] [--radius <N>] [--profile]
     mpc client    --connect <ADDR:PORT> [--queries <FILE>] [--connections <N>]
                   [--mode <crossing|star>] [--no-cache] [--threads <N>]
-                  [--retries <N>] [--shutdown]
+                  [--retries <N>] [--backoff-seed <N>] [--shutdown]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
@@ -159,10 +160,22 @@ except `time:` is deterministic — replaying a workload twice diffs clean.
 threads share one engine behind a result cache split into `--shards`
 mutex shards (default: one per worker); at most `--queue-depth` admitted
 requests wait at a time — beyond that clients get explicit REJECTED
-responses. `--listen 127.0.0.1:0` picks a free port; `--port-file` writes
-the bound address for scripts. The server runs until `mpc client
---shutdown`, then drains admitted queries and prints a summary line.
-`client` replays `--queries` over `--connections` parallel sessions and
-prints digests in workload order — byte-identical to a sequential replay
-and to `mpc serve --digest` on the same workload."
+responses. `--io-timeout-ms` bounds how long a connection may stall
+mid-frame (or block a reply write) before it is closed with an error
+(default 30000; 0 waits forever). `--listen 127.0.0.1:0` picks a free
+port; `--port-file` writes the bound address for scripts. The server
+runs until `mpc client --shutdown`, then drains admitted queries and
+prints a summary line. `client` replays `--queries` over `--connections`
+parallel sessions and prints digests in workload order — byte-identical
+to a sequential replay and to `mpc serve --digest` on the same workload.
+Rejected requests retry with bounded exponential backoff + jitter
+seeded by `--backoff-seed`.
+
+`partition --save DIR` also writes the partitioned store to a crash-safe
+snapshot generation under DIR (docs/PERSISTENCE.md); `serve`/`server`
+`--load DIR` start from the newest intact generation instead of
+rebuilding, falling back generation by generation and finally — when
+`--input`/`--partitions` are also given — to a clean rebuild. Corrupt
+snapshots are always detected (every section is checksummed) and never
+served."
 }

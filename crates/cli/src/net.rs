@@ -2,13 +2,14 @@
 //! (docs/SERVER.md).
 
 use crate::args::Options;
-use crate::commands::{load_graph, load_partitioning, parse_mode};
+use crate::commands::{engine_source, parse_mode};
 use crate::CliError;
-use mpc_cluster::{DistributedEngine, NetworkModel, ServeEngine};
+use mpc_cluster::ServeEngine;
 use mpc_obs::Recorder;
 use mpc_server::{replay, Client, RequestOpts, Server, ServerConfig};
 use std::io::Write;
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
 
 /// `mpc server` — bind a TCP front end over a graph + partitioning and
 /// run until a client sends `SHUTDOWN` (`mpc client --shutdown`).
@@ -18,9 +19,11 @@ pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         &[
             "input",
             "partitions",
+            "load",
             "listen",
             "workers",
             "queue-depth",
+            "io-timeout-ms",
             "cache-entries",
             "shards",
             "port-file",
@@ -28,26 +31,32 @@ pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["profile"],
     )?;
-    let graph = load_graph(o.required("input")?)?;
-    let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
     let radius: usize = o.parse_or("radius", 1)?;
     let workers: usize = o.parse_or("workers", ServerConfig::default().workers)?;
     let queue_depth: usize = o.parse_or("queue-depth", ServerConfig::default().queue_depth)?;
+    // 0 disables the stall bound entirely (a debugger-friendly footgun).
+    let io_timeout_ms: u64 = o.parse_or("io-timeout-ms", 30_000)?;
+    let io_timeout = (io_timeout_ms > 0).then(|| Duration::from_millis(io_timeout_ms));
     let cache_entries: usize = o.parse_or("cache-entries", 256)?;
     // One cache shard per worker by default: lock contention scales
     // with the pool, not with a fixed constant.
     let shards: usize = o.parse_or("shards", workers.max(1))?;
-    let engine =
-        DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
-    let serve = ServeEngine::with_shards(engine, cache_entries, shards);
     let rec = Recorder::enabled();
+    let src = engine_source(&o, radius, &rec, out)?;
+    let serve = ServeEngine::with_shards(src.engine, cache_entries, shards);
+    if let Some(generation) = src.generation {
+        // Seed the cache epoch from the manifest generation: a result
+        // cached against snapshot gen N can never answer under gen M.
+        serve.set_epoch(generation);
+    }
     let srv = Server::bind(
         o.get("listen").unwrap_or("127.0.0.1:0"),
-        graph,
+        src.graph,
         serve,
         ServerConfig {
             workers,
             queue_depth,
+            io_timeout,
         },
         rec.clone(),
     )?;
@@ -98,7 +107,7 @@ fn resolve_addr(spec: &str) -> Result<SocketAddr, CliError> {
 pub fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
-        &["connect", "queries", "connections", "threads", "mode", "retries"],
+        &["connect", "queries", "connections", "threads", "mode", "retries", "backoff-seed"],
         &["no-cache", "shutdown"],
     )?;
     let addr = resolve_addr(o.required("connect")?)?;
@@ -117,6 +126,8 @@ pub fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             cached: !o.flag("no-cache"),
             threads: o.parse_or("threads", 0u16)?,
             reject_retries: o.parse_or("retries", RequestOpts::default().reject_retries)?,
+            backoff_seed: o.parse_or("backoff-seed", 0u64)?,
+            ..RequestOpts::default()
         };
         let digests = replay(addr, &workload, connections, &opts)
             .map_err(|e| CliError::new(format!("replay failed: {e}")))?;

@@ -1,0 +1,180 @@
+//! End-to-end persistence flow (docs/PERSISTENCE.md): `mpc partition
+//! --save` writes a snapshot generation, `mpc serve --load` serves
+//! byte-identical results from it (seeding the cache epoch from the
+//! manifest generation), corrupt generations fall back loudly, and a
+//! fully corrupt store is a typed error — never silently wrong data.
+
+#![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
+
+use std::path::{Path, PathBuf};
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    mpc_cli::run(&args, &mut out)
+        .map(|()| String::from_utf8(out).expect("utf8 output"))
+        .map_err(|e| e.message)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpc-snap-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// generate → partition `--save`, returning (data, parts, snapdir).
+fn setup(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    let data = dir.join("lubm.nt");
+    let parts = dir.join("lubm.parts");
+    let snap = dir.join("snap");
+    run(&[
+        "generate", "--dataset", "lubm", "--scale", "0.3", "--out",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
+    let out = run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+        "--save", snap.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("snapshot: saved gen-0001"), "{out}");
+    (data, parts, snap)
+}
+
+fn write_workload(dir: &Path) -> PathBuf {
+    let workload = dir.join("workload.txt");
+    std::fs::write(
+        &workload,
+        "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }\n\
+         SELECT ?x WHERE { ?x <urn:p:0> ?y }\n\
+         SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5\n",
+    )
+    .unwrap();
+    workload
+}
+
+/// The `[i] rows=… fp=…` digest lines — the byte-identity check.
+fn digest_lines(s: &str) -> Vec<String> {
+    s.lines()
+        .filter(|l| l.starts_with('['))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Flips one payload byte in a generation's snapshot file.
+fn corrupt(snap: &Path, generation: &str) {
+    let path = snap.join(generation).join("snapshot.bin");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, bytes).unwrap();
+}
+
+#[test]
+fn save_load_roundtrip_is_byte_identical_and_seeds_the_epoch() {
+    let dir = temp_dir("roundtrip");
+    let (data, parts, snap) = setup(&dir);
+    let workload = write_workload(&dir);
+
+    let rebuilt = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--digest",
+    ])
+    .unwrap();
+    let loaded = run(&[
+        "serve", "--load", snap.to_str().unwrap(), "--queries",
+        workload.to_str().unwrap(), "--digest",
+    ])
+    .unwrap();
+    assert!(loaded.contains("snapshot: loaded gen-0001"), "{loaded}");
+    // Byte-identical serving: same rows, same result fingerprints.
+    let digests = digest_lines(&rebuilt);
+    assert_eq!(digests.len(), 3, "{rebuilt}");
+    assert_eq!(digests, digest_lines(&loaded));
+    // The cache epoch is seeded from the manifest generation, so results
+    // cached against this snapshot can never alias another store's.
+    let summary = loaded.lines().find(|l| l.starts_with("serve:")).unwrap();
+    assert!(summary.contains("epoch=1"), "{summary}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_newest_generation_falls_back_to_the_previous_one() {
+    let dir = temp_dir("fallback");
+    let (data, parts, snap) = setup(&dir);
+    let workload = write_workload(&dir);
+    // A second save commits gen-0002.
+    let out = run(&[
+        "partition", "--input", data.to_str().unwrap(), "--out",
+        parts.to_str().unwrap(), "--method", "mpc", "--k", "4",
+        "--save", snap.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("snapshot: saved gen-0002"), "{out}");
+    corrupt(&snap, "gen-0002");
+
+    let loaded = run(&[
+        "serve", "--load", snap.to_str().unwrap(), "--queries",
+        workload.to_str().unwrap(), "--digest",
+    ])
+    .unwrap();
+    assert!(loaded.contains("snapshot: loaded gen-0001"), "{loaded}");
+    let rebuilt = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--digest",
+    ])
+    .unwrap();
+    assert_eq!(digest_lines(&rebuilt), digest_lines(&loaded));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fully_corrupt_store_errors_or_rebuilds_but_never_serves_garbage() {
+    let dir = temp_dir("corrupt-all");
+    let (data, parts, snap) = setup(&dir);
+    let workload = write_workload(&dir);
+    corrupt(&snap, "gen-0001");
+
+    // Without rebuild inputs: a typed, actionable error.
+    let err = run(&[
+        "serve", "--load", snap.to_str().unwrap(), "--queries",
+        workload.to_str().unwrap(), "--digest",
+    ])
+    .unwrap_err();
+    assert!(err.contains("cannot load snapshot"), "{err}");
+
+    // With rebuild inputs: loud fallback to a clean rebuild.
+    let out = run(&[
+        "serve", "--load", snap.to_str().unwrap(), "--input",
+        data.to_str().unwrap(), "--partitions", parts.to_str().unwrap(),
+        "--queries", workload.to_str().unwrap(), "--digest",
+    ])
+    .unwrap();
+    assert!(out.contains("snapshot: load failed"), "{out}");
+    let rebuilt = run(&[
+        "serve", "--input", data.to_str().unwrap(), "--partitions",
+        parts.to_str().unwrap(), "--queries", workload.to_str().unwrap(),
+        "--digest",
+    ])
+    .unwrap();
+    assert_eq!(digest_lines(&rebuilt), digest_lines(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_refuses_a_conflicting_radius() {
+    let dir = temp_dir("radius");
+    let (_, _, snap) = setup(&dir);
+    let workload = write_workload(&dir);
+    let err = run(&[
+        "serve", "--load", snap.to_str().unwrap(), "--queries",
+        workload.to_str().unwrap(), "--radius", "2",
+    ])
+    .unwrap_err();
+    assert!(err.contains("radius"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

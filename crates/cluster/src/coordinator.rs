@@ -382,6 +382,55 @@ impl DistributedEngine {
         }
     }
 
+    /// Assembles an engine from pre-built sites — the snapshot cold-start
+    /// path (docs/PERSISTENCE.md), which skips [`Site::load`]'s index
+    /// sorts because the loader already verified the persisted runs.
+    ///
+    /// `sites` must hold one entry per partition, in partition order,
+    /// each storing exactly the fragment `partitioning` induces on `g`
+    /// with `radius`-hop replication; `mpc_snapshot::decode` guarantees
+    /// all of this for its `SitePart`s.
+    ///
+    /// # Panics
+    /// Panics if the site list does not line up with the partitioning.
+    pub fn from_sites(
+        sites: Vec<Site>,
+        g: &RdfGraph,
+        partitioning: &Partitioning,
+        network: NetworkModel,
+        radius: usize,
+    ) -> Self {
+        assert_eq!(
+            sites.len(),
+            partitioning.k(),
+            "one site per partition required"
+        );
+        for (i, site) in sites.iter().enumerate() {
+            assert_eq!(site.part.index(), i, "sites must be in partition order");
+        }
+        let crossing = CrossingSet(
+            g.property_ids()
+                .map(|p| partitioning.is_crossing_property(p))
+                .collect(),
+        );
+        let mut stats = StoreStats::default();
+        for site in &sites {
+            stats.merge(site.store.stats());
+        }
+        DistributedEngine {
+            sites,
+            crossing,
+            network,
+            load_time: Duration::ZERO,
+            radius,
+            semijoin_reduction: false,
+            plans: Mutex::new(FxHashMap::default()),
+            stats,
+            fault: None,
+            query_seq: AtomicU64::new(0),
+        }
+    }
+
     /// Arms the chaos layer: `plan` describes the faults the simulated
     /// cluster will experience; `policy`, `replicas`, and `graceful`
     /// describe the coordinator's countermeasures. The plan's `cut_sites`

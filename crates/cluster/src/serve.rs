@@ -254,6 +254,17 @@ impl ServeEngine {
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Seeds the epoch, typically from a snapshot's committed generation
+    /// at cold start (docs/PERSISTENCE.md) — so results cached before a
+    /// restart can never alias results computed after one, and the epoch
+    /// visibly tracks the on-disk generation.
+    pub fn set_epoch(&self, epoch: u64) {
+        // ordering: Release publishes the freshly loaded engine state to
+        // readers that Acquire-observe the seeded epoch, mirroring the
+        // AcqRel bump.
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
     /// Replaces the wrapped engine (a repartition) and bumps the epoch,
     /// so no result computed over the old partitioning stays servable.
     pub fn repartition(&mut self, inner: DistributedEngine) {

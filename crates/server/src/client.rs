@@ -4,14 +4,11 @@
 
 use crate::proto::{self, fingerprint, Frame, ProtoError, QueryFrame};
 use mpc_cluster::wire::decode_bindings;
-use mpc_cluster::ExecMode;
+use mpc_cluster::{ExecMode, RetryPolicy};
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
-
-/// How long a rejected request waits before retrying.
-const RETRY_BACKOFF: Duration = Duration::from_millis(5);
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -62,9 +59,21 @@ pub struct RequestOpts {
     /// Per-request thread budget (0 = server default).
     pub threads: u16,
     /// How many times to retry a `REJECTED` response before giving up.
-    /// Each retry backs off briefly, so a drained or overloaded server
-    /// sheds load instead of melting.
+    /// Each retry backs off per [`RequestOpts::backoff`], so a drained
+    /// or overloaded server sheds load instead of melting.
     pub reject_retries: u32,
+    /// Backoff schedule between rejection retries: bounded exponential
+    /// growth with seeded jitter (reusing the cluster retry policy), so
+    /// many clients hammered off the same overloaded server do not
+    /// retry in lock-step. Only `base_backoff`/`max_backoff`/`jitter`
+    /// apply here; `max_retries`/`deadline` belong to the cluster
+    /// fault-tolerance path and are ignored.
+    pub backoff: RetryPolicy,
+    /// Seed for the jitter stream. Each attempt draws from
+    /// `backoff_seed ^ attempt`, so the full wait sequence is a
+    /// deterministic function of the seed — reproducible in tests,
+    /// de-synchronized across clients that pick different seeds.
+    pub backoff_seed: u64,
 }
 
 impl Default for RequestOpts {
@@ -74,7 +83,24 @@ impl Default for RequestOpts {
             cached: true,
             threads: 0,
             reject_retries: 400,
+            backoff: RetryPolicy {
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(50),
+                jitter: 0.2,
+                ..RetryPolicy::default()
+            },
+            backoff_seed: 0,
         }
+    }
+}
+
+impl RequestOpts {
+    /// The wait before rejection retry number `attempt` (0-based):
+    /// deterministic given `backoff_seed`, exponentially growing,
+    /// capped at the policy's `max_backoff`.
+    pub fn retry_wait(&self, attempt: u32) -> Duration {
+        self.backoff
+            .backoff(attempt, self.backoff_seed ^ u64::from(attempt))
     }
 }
 
@@ -141,8 +167,8 @@ impl Client {
                     if rejections >= opts.reject_retries {
                         return Err(ClientError::Rejected(msg));
                     }
+                    std::thread::sleep(opts.retry_wait(rejections));
                     rejections += 1;
-                    std::thread::sleep(RETRY_BACKOFF);
                 }
                 other => {
                     return Err(ClientError::Unexpected(format!(
@@ -260,4 +286,44 @@ pub fn replay(
             })
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_waits_are_deterministic_growing_and_capped() {
+        let opts = RequestOpts {
+            backoff_seed: 7,
+            ..RequestOpts::default()
+        };
+        let waits: Vec<Duration> = (0..12).map(|a| opts.retry_wait(a)).collect();
+        // Same seed, same schedule — byte-for-byte reproducible.
+        let again: Vec<Duration> = (0..12).map(|a| opts.retry_wait(a)).collect();
+        assert_eq!(waits, again);
+        // Exponential growth dominates the ≤20% jitter ...
+        assert!(waits[0] < waits[2], "{waits:?}");
+        assert!(waits[2] < waits[4], "{waits:?}");
+        // ... until the cap takes over (1ms << 6 = 64ms > 50ms cap).
+        let max = opts.backoff.max_backoff;
+        assert!(waits.iter().all(|w| *w <= max), "{waits:?}");
+        assert_eq!(waits[6], max);
+        assert_eq!(waits[11], max);
+    }
+
+    #[test]
+    fn different_seeds_desynchronize_the_schedule() {
+        let a = RequestOpts {
+            backoff_seed: 7,
+            ..RequestOpts::default()
+        };
+        let b = RequestOpts {
+            backoff_seed: 8,
+            ..RequestOpts::default()
+        };
+        let wa: Vec<Duration> = (0..6).map(|n| a.retry_wait(n)).collect();
+        let wb: Vec<Duration> = (0..6).map(|n| b.retry_wait(n)).collect();
+        assert_ne!(wa, wb, "jitter streams must differ across seeds");
+    }
 }

@@ -49,6 +49,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission-queue capacity; 0 rejects every request.
     pub queue_depth: usize,
+    /// Per-connection I/O stall bound: how long a handler tolerates a
+    /// peer that stops sending mid-frame (slow-loris) or stops reading
+    /// its reply, before closing the connection with an error. `None`
+    /// waits forever. Idle connections *between* frames are exempt —
+    /// keep-alive clients may sit quietly as long as they like.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +62,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_depth: 64,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -93,6 +100,7 @@ struct Shared {
     serve: ServeEngine,
     queue: AdmissionQueue<Job>,
     rec: Recorder,
+    io_timeout: Option<Duration>,
     shutdown: AtomicBool,
     accepted: AtomicU64,
     requests: AtomicU64,
@@ -129,6 +137,7 @@ impl Server {
                 serve,
                 queue: AdmissionQueue::new(cfg.queue_depth),
                 rec,
+                io_timeout: cfg.io_timeout,
                 shutdown: AtomicBool::new(false),
                 accepted: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
@@ -283,6 +292,9 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
     // Request/response ping-pong: Nagle would hold small reply frames
     // back for the client's delayed ACK. Best-effort, like the timeout.
     let _ = stream.set_nodelay(true);
+    // A peer that stops *reading* must not pin this handler in a blocked
+    // write: bound reply writes by the configured I/O timeout.
+    let _ = stream.set_write_timeout(sh.io_timeout);
     loop {
         let payload = match read_frame_interruptible(&mut stream, sh) {
             Ok(Some(payload)) => payload,
@@ -386,6 +398,13 @@ fn read_frame_interruptible(
 /// session should end without error: clean EOF before the first byte,
 /// or shutdown observed while no byte has arrived (only if
 /// `idle_start` — i.e. this read began between frames).
+///
+/// Stalls are bounded: once a frame has started arriving, a peer that
+/// goes quiet (slow-loris) gets at most the configured I/O timeout
+/// before the handler reports a per-connection error — it can never pin
+/// a handler thread forever. Any received byte resets the clock, so a
+/// merely slow client on a thin link survives as long as it keeps
+/// making progress.
 fn read_exact_interruptible(
     stream: &mut TcpStream,
     buf: &mut [u8],
@@ -394,6 +413,7 @@ fn read_exact_interruptible(
 ) -> Result<Option<()>, ProtoError> {
     let mut got = 0usize;
     let mut drain_deadline: Option<Instant> = None;
+    let mut stall_deadline: Option<Instant> = None;
     while got < buf.len() {
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
@@ -403,22 +423,42 @@ fn read_exact_interruptible(
                     Err(ProtoError::Truncated)
                 };
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                stall_deadline = None; // progress resets the stall clock
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_would_block(&e) => {
                 // ordering: Acquire pairs with the Shutdown handler's
                 // Release store, same protocol as the accept loop.
-                if !sh.shutdown.load(Ordering::Acquire) {
+                let shutting_down = sh.shutdown.load(Ordering::Acquire);
+                if got == 0 && idle_start {
+                    if shutting_down {
+                        return Ok(None);
+                    }
+                    // Idle between frames: a keep-alive client may sit
+                    // quietly indefinitely.
                     continue;
                 }
-                if got == 0 && idle_start {
-                    return Ok(None);
+                if shutting_down {
+                    // Shutdown mid-frame: give the peer a bounded grace
+                    // period to finish sending, then give up.
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        return Err(ProtoError::Truncated);
+                    }
+                    continue;
                 }
-                // Shutdown mid-frame: give the peer a bounded grace
-                // period to finish sending, then give up.
-                let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                // Mid-frame with no shutdown: bound the stall.
+                let Some(limit) = sh.io_timeout else { continue };
+                let deadline = *stall_deadline.get_or_insert_with(|| Instant::now() + limit);
                 if Instant::now() >= deadline {
-                    return Err(ProtoError::Truncated);
+                    sh.rec.incr("server.io_timeout");
+                    return Err(ProtoError::Malformed(format!(
+                        "connection stalled mid-frame for {} ms",
+                        limit.as_millis()
+                    )));
                 }
             }
             Err(e) => return Err(e.into()),

@@ -182,11 +182,61 @@ fn truncated_frame_mid_read_drops_only_that_connection() {
 }
 
 #[test]
+fn stalled_mid_frame_client_is_timed_out_not_pinned() {
+    use std::time::{Duration, Instant};
+    // A tight stall bound so the test is fast; everything else default.
+    let rec = Recorder::enabled();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        graph().clone(),
+        serve_engine(2),
+        ServerConfig {
+            io_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+        rec.clone(),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    // Slow-loris: announce a 100-byte frame, deliver 3 bytes, go quiet —
+    // but keep the socket open, so only the stall bound can end this.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&100u32.to_le_bytes()).unwrap();
+    stream.write_all(&[1u8; 3]).unwrap();
+    stream.flush().unwrap();
+    let t0 = Instant::now();
+    match proto::recv(&mut stream).unwrap() {
+        Some(Frame::Error(msg)) => assert!(msg.contains("stalled"), "{msg}"),
+        other => panic!("expected a clean ERROR frame, got {other:?}"),
+    }
+    // ... after which the server hangs up on us.
+    assert!(proto::recv(&mut stream).unwrap().is_none(), "connection must be closed");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "stall must be cut near the 200ms bound, not DRAIN_GRACE or never"
+    );
+    assert_eq!(rec.counter("server.io_timeout"), Some(1));
+
+    // The worker pool was never pinned: a well-behaved client still gets
+    // served, and an idle (between-frames) connection is NOT timed out.
+    let mut idle = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(400)); // > io_timeout, between frames
+    idle.query_digest(QUERIES[2], &RequestOpts::default()).unwrap();
+    idle.bye();
+    assert_eq!(rec.counter("server.io_timeout"), Some(1), "idle wait is exempt");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
 fn client_disconnect_while_queued_is_survived() {
     // One worker, deep queue: pile requests up, then vanish.
     let (addr, handle) = start_server(ServerConfig {
         workers: 1,
         queue_depth: 32,
+        ..ServerConfig::default()
     });
     {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -224,6 +274,7 @@ fn zero_depth_queue_rejects_with_backpressure_frames() {
     let (addr, handle) = start_server(ServerConfig {
         workers: 2,
         queue_depth: 0,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(addr).unwrap();
     let opts = RequestOpts::default();
@@ -281,7 +332,7 @@ proptest! {
             picks.iter().map(|&i| QUERIES[i].to_string()).collect();
         let expected = reference_digests();
 
-        let (addr, handle) = start_server(ServerConfig { workers: 4, queue_depth: 64 });
+        let (addr, handle) = start_server(ServerConfig { workers: 4, queue_depth: 64, ..ServerConfig::default() });
         let sequential = replay(addr, &workload, 1, &RequestOpts::default()).unwrap();
         let concurrent = replay(addr, &workload, connections, &RequestOpts::default()).unwrap();
         shutdown(addr);

@@ -1,0 +1,137 @@
+//! Crash-safe persistent partition store (docs/PERSISTENCE.md).
+//!
+//! A *snapshot* freezes everything the serving stack otherwise rebuilds
+//! from scratch — the dictionary-encoded graph, the partition assignment,
+//! and each site's sorted index runs — into one sectioned, checksummed
+//! byte image ([`mod@format`]). Snapshots live in *generation* directories
+//! (`gen-0001/`, `gen-0002/`, …) under a store directory whose `MANIFEST`
+//! names the committed generation; writes go through temp-file + fsync +
+//! atomic rename ([`store`]), so a crash mid-save can never clobber the
+//! last good snapshot.
+//!
+//! The loader extends PR 3's "exact or explicitly incomplete, never
+//! silently wrong" contract to disk: a snapshot either passes magic,
+//! version, per-section CRC32, and full structural re-verification — in
+//! which case it is bit-identical in query behavior to a fresh build — or
+//! the loader returns a typed [`SnapshotError`] and walks down the
+//! recovery ladder (previous generation, then the caller's from-scratch
+//! rebuild), emitting `snapshot.*` metrics so degradation is observable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod store;
+
+pub use format::{decode, encode, SitePart, SnapshotContents};
+pub use store::{latest_generation, load, save, LoadedSnapshot, SaveReport};
+
+use std::path::PathBuf;
+
+/// Everything that can go wrong reading a snapshot. Corruption is always
+/// reported through one of these variants — never a panic, never a
+/// silently wrong load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The originating I/O error.
+        source: std::io::Error,
+    },
+    /// The file is shorter than its own header claims.
+    TooShort {
+        /// Actual file length in bytes.
+        len: usize,
+    },
+    /// The leading magic bytes are not `MPCSNAP1`.
+    BadMagic,
+    /// The format version is not one this build understands.
+    UnsupportedVersion {
+        /// The version number found in the header.
+        found: u32,
+    },
+    /// The header or section table fails its checksum or layout rules.
+    HeaderCorrupt(String),
+    /// A section's payload does not match its recorded CRC32.
+    SectionCrc {
+        /// Name of the failing section.
+        section: &'static str,
+    },
+    /// A section passed its checksum but violates a structural invariant
+    /// (id range, sort order, coverage count, statistics mismatch, …).
+    Malformed {
+        /// Name of the failing section.
+        section: &'static str,
+        /// What exactly was violated.
+        detail: String,
+    },
+    /// The store directory holds no manifest and no generations.
+    NoManifest {
+        /// The store directory.
+        dir: PathBuf,
+    },
+    /// Every candidate generation failed to load; the recovery ladder is
+    /// exhausted and only a from-scratch rebuild remains.
+    NoIntactGeneration {
+        /// The store directory.
+        dir: PathBuf,
+        /// `(generation, error)` for every attempt, newest first.
+        attempts: Vec<(u64, String)>,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot I/O error at {}: {source}", path.display())
+            }
+            SnapshotError::TooShort { len } => {
+                write!(f, "snapshot truncated: {len} bytes is shorter than its header")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            SnapshotError::HeaderCorrupt(detail) => {
+                write!(f, "snapshot header corrupt: {detail}")
+            }
+            SnapshotError::SectionCrc { section } => {
+                write!(f, "snapshot section `{section}` fails its CRC32 check")
+            }
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "snapshot section `{section}` malformed: {detail}")
+            }
+            SnapshotError::NoManifest { dir } => {
+                write!(
+                    f,
+                    "no snapshot manifest or generations in {}",
+                    dir.display()
+                )
+            }
+            SnapshotError::NoIntactGeneration { dir, attempts } => {
+                write!(
+                    f,
+                    "no intact snapshot generation in {} ({} tried:",
+                    dir.display(),
+                    attempts.len()
+                )?;
+                for (generation, err) in attempts {
+                    write!(f, " [gen {generation}: {err}]")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Atomic generation directories: crash-safe save, recovery-ladder load.
+//!
+//! On-disk layout of a store directory (docs/PERSISTENCE.md):
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST            — names the committed generation
+//!   gen-0001/snapshot.bin
+//!   gen-0002/snapshot.bin
+//!   .tmp-gen-0003/      — in-flight write (ignored by the loader)
+//! ```
+//!
+//! [`save`] writes a new generation next to the committed ones and only
+//! then flips `MANIFEST` via atomic rename — the manifest rename is the
+//! commit point, so a crash at any instant leaves either the old or the
+//! new generation committed, never a torn state. [`load`] walks the
+//! recovery ladder: the manifest's generation first, then older intact
+//! generations, emitting `snapshot.load.ok` / `snapshot.load.corrupt` /
+//! `snapshot.fallback` counters so degradation is observable.
+
+use crate::format::{self, SnapshotContents};
+use crate::SnapshotError;
+use mpc_core::Partitioning;
+use mpc_obs::Recorder;
+use mpc_rdf::RdfGraph;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const MANIFEST_FILE: &str = "MANIFEST";
+const MANIFEST_HEADER: &str = "mpc-snapshot manifest v1";
+const GEN_PREFIX: &str = "gen-";
+const TMP_PREFIX: &str = ".tmp-";
+/// How many committed generations [`save`] keeps (the current one plus
+/// one fallback).
+pub const KEEP_GENERATIONS: u64 = 2;
+
+/// What [`save`] persisted.
+#[derive(Clone, Debug)]
+pub struct SaveReport {
+    /// The freshly committed generation number.
+    pub generation: u64,
+    /// Size of the snapshot image in bytes.
+    pub bytes: u64,
+    /// Path of the committed snapshot file.
+    pub path: PathBuf,
+}
+
+/// What [`load`] recovered.
+#[derive(Clone, Debug)]
+pub struct LoadedSnapshot {
+    /// The fully verified snapshot contents.
+    pub contents: SnapshotContents,
+    /// The generation the contents came from.
+    pub generation: u64,
+    /// Size of the snapshot image in bytes.
+    pub bytes: u64,
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn gen_dir_name(generation: u64) -> String {
+    format!("{GEN_PREFIX}{generation:04}")
+}
+
+fn parse_generation(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(GEN_PREFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Committed generation numbers present in `dir`, ascending. In-flight
+/// `.tmp-*` directories are ignored.
+fn list_generations(dir: &Path) -> Result<Vec<u64>, SnapshotError> {
+    let mut generations = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(generation) = parse_generation(name) {
+            if entry.path().is_dir() {
+                generations.push(generation);
+            }
+        }
+    }
+    generations.sort_unstable();
+    Ok(generations)
+}
+
+/// The newest committed generation in `dir`, if any — what a subsequent
+/// [`load`] would try first when the manifest agrees.
+pub fn latest_generation(dir: &Path) -> Result<Option<u64>, SnapshotError> {
+    Ok(list_generations(dir)?.last().copied())
+}
+
+/// Flushes directory metadata so a rename survives a crash. Best-effort:
+/// opening a directory for fsync is not portable everywhere, and the
+/// rename itself is already atomic on the filesystems we target.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn read_manifest(dir: &Path) -> Option<u64> {
+    let text = fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
+    let mut lines = text.lines();
+    if lines.next()?.trim() != MANIFEST_HEADER {
+        return None;
+    }
+    for line in lines {
+        if let Some(value) = line.trim().strip_prefix("generation=") {
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+fn write_manifest(dir: &Path, generation: u64) -> Result<(), SnapshotError> {
+    let tmp = dir.join(format!("{TMP_PREFIX}{MANIFEST_FILE}"));
+    {
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(format!("{MANIFEST_HEADER}\ngeneration={generation}\n").as_bytes())
+            .map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    let manifest = dir.join(MANIFEST_FILE);
+    fs::rename(&tmp, &manifest).map_err(|e| io_err(&manifest, e))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Drops committed generations older than the retention window plus any
+/// stale in-flight `.tmp-*` leftovers from a crashed writer. Best-effort:
+/// a failed removal never fails the save that triggered it.
+fn prune(dir: &Path, committed: u64) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_tmp = name.starts_with(TMP_PREFIX);
+        let stale_gen = parse_generation(name)
+            .is_some_and(|g| g.saturating_add(KEEP_GENERATIONS) <= committed);
+        if stale_tmp || stale_gen {
+            let path = entry.path();
+            if path.is_dir() {
+                let _ = fs::remove_dir_all(&path);
+            } else {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Persists a new snapshot generation of `graph` + `partitioning` into
+/// `dir`, creating the directory if needed.
+///
+/// Write path: encode → `.tmp-gen-N/snapshot.bin` → fsync file → atomic
+/// rename to `gen-N/` → fsync dir → atomic `MANIFEST` flip (the commit
+/// point) → prune old generations. A crash before the manifest flip
+/// leaves the previous generation committed and only `.tmp-*` debris,
+/// which the next save sweeps away.
+pub fn save(
+    dir: &Path,
+    graph: &RdfGraph,
+    partitioning: &Partitioning,
+    rec: &Recorder,
+) -> Result<SaveReport, SnapshotError> {
+    let span = rec.span("snapshot.save");
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let bytes = format::encode(graph, partitioning);
+
+    let generation = list_generations(dir)?.last().map_or(1, |g| g + 1);
+    let tmp = dir.join(format!("{TMP_PREFIX}{}", gen_dir_name(generation)));
+    if tmp.exists() {
+        fs::remove_dir_all(&tmp).map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::create_dir_all(&tmp).map_err(|e| io_err(&tmp, e))?;
+    let tmp_file = tmp.join(SNAPSHOT_FILE);
+    {
+        let mut f = File::create(&tmp_file).map_err(|e| io_err(&tmp_file, e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp_file, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp_file, e))?;
+    }
+    let final_dir = dir.join(gen_dir_name(generation));
+    fs::rename(&tmp, &final_dir).map_err(|e| io_err(&final_dir, e))?;
+    sync_dir(dir);
+
+    write_manifest(dir, generation)?;
+    prune(dir, generation);
+
+    rec.add("snapshot.save.bytes", bytes.len() as u64);
+    span.finish();
+    Ok(SaveReport {
+        generation,
+        bytes: bytes.len() as u64,
+        path: final_dir.join(SNAPSHOT_FILE),
+    })
+}
+
+/// Loads the newest intact snapshot from `dir`, walking the recovery
+/// ladder.
+///
+/// Candidates are the committed generations at or below the manifest's —
+/// a generation newer than the manifest was never committed and is
+/// ignored; with a missing or unparseable manifest every generation is a
+/// candidate, newest first. Each candidate is read and fully verified
+/// ([`format::decode`]); corrupt ones increment `snapshot.load.corrupt`
+/// and the ladder steps down, incrementing `snapshot.fallback` if the
+/// survivor is not the manifest's own generation. When every rung fails,
+/// [`SnapshotError::NoIntactGeneration`] reports each attempt so the
+/// caller can rebuild from scratch — degraded, but never silently wrong.
+pub fn load(dir: &Path, rec: &Recorder) -> Result<LoadedSnapshot, SnapshotError> {
+    let manifest = read_manifest(dir);
+    let mut candidates = list_generations(dir)?;
+    if let Some(m) = manifest {
+        candidates.retain(|&g| g <= m);
+    }
+    candidates.reverse();
+    if candidates.is_empty() {
+        return Err(SnapshotError::NoManifest {
+            dir: dir.to_path_buf(),
+        });
+    }
+
+    let mut attempts: Vec<(u64, String)> = Vec::new();
+    for generation in candidates {
+        let path = dir.join(gen_dir_name(generation)).join(SNAPSHOT_FILE);
+        let start = Instant::now();
+        let outcome = fs::read(&path)
+            .map_err(|e| io_err(&path, e))
+            .and_then(|data| format::decode(&data).map(|c| (c, data.len() as u64)));
+        match outcome {
+            Ok((contents, bytes)) => {
+                rec.record("snapshot.load", start.elapsed());
+                rec.incr("snapshot.load.ok");
+                rec.add("snapshot.load.bytes", bytes);
+                if manifest != Some(generation) {
+                    rec.incr("snapshot.fallback");
+                }
+                return Ok(LoadedSnapshot {
+                    contents,
+                    generation,
+                    bytes,
+                });
+            }
+            Err(e) => {
+                rec.incr("snapshot.load.corrupt");
+                attempts.push((generation, e.to_string()));
+            }
+        }
+    }
+    Err(SnapshotError::NoIntactGeneration {
+        dir: dir.to_path_buf(),
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_rdf::{PartitionId, PropertyId, Triple, VertexId};
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(VertexId(s), PropertyId(p), VertexId(o))
+    }
+
+    fn sample() -> (RdfGraph, Partitioning) {
+        let g = RdfGraph::from_raw(
+            4,
+            2,
+            vec![t(0, 0, 1), t(1, 1, 2), t(2, 0, 3), t(3, 1, 0)],
+        );
+        let assignment = vec![
+            PartitionId(0),
+            PartitionId(0),
+            PartitionId(1),
+            PartitionId(1),
+        ];
+        let p = Partitioning::new(&g, 2, assignment);
+        (g, p)
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mpc-snapshot-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn corrupt_one_byte(path: &Path) {
+        let mut data = fs::read(path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        fs::write(path, data).unwrap();
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = temp_store("roundtrip");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        let report = save(&dir, &g, &p, &rec).unwrap();
+        assert_eq!(report.generation, 1);
+        assert!(report.path.is_file());
+        assert_eq!(rec.counter("snapshot.save.bytes"), Some(report.bytes));
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.bytes, report.bytes);
+        assert_eq!(loaded.contents.graph.triples(), g.triples());
+        assert_eq!(loaded.contents.partitioning.assignment(), p.assignment());
+        assert_eq!(rec.counter("snapshot.load.ok"), Some(1));
+        assert_eq!(rec.counter("snapshot.load.corrupt"), None);
+        assert_eq!(rec.counter("snapshot.fallback"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_advance_and_prune() {
+        let dir = temp_store("generations");
+        let (g, p) = sample();
+        let rec = Recorder::disabled();
+        assert_eq!(save(&dir, &g, &p, &rec).unwrap().generation, 1);
+        assert_eq!(save(&dir, &g, &p, &rec).unwrap().generation, 2);
+        assert_eq!(save(&dir, &g, &p, &rec).unwrap().generation, 3);
+        // Retention keeps the committed generation plus one fallback.
+        assert_eq!(list_generations(&dir).unwrap(), vec![2, 3]);
+        assert_eq!(latest_generation(&dir).unwrap(), Some(3));
+        assert_eq!(read_manifest(&dir), Some(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = temp_store("fallback");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        save(&dir, &g, &p, &rec).unwrap();
+        let second = save(&dir, &g, &p, &rec).unwrap();
+        corrupt_one_byte(&second.path);
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.contents.graph.triples(), g.triples());
+        assert_eq!(rec.counter("snapshot.load.corrupt"), Some(1));
+        assert_eq!(rec.counter("snapshot.fallback"), Some(1));
+        assert_eq!(rec.counter("snapshot.load.ok"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_reports_every_attempt() {
+        let dir = temp_store("exhausted");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        let first = save(&dir, &g, &p, &rec).unwrap();
+        let second = save(&dir, &g, &p, &rec).unwrap();
+        corrupt_one_byte(&first.path);
+        corrupt_one_byte(&second.path);
+
+        let err = load(&dir, &rec).unwrap_err();
+        match err {
+            SnapshotError::NoIntactGeneration { attempts, .. } => {
+                assert_eq!(
+                    attempts.iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+                    vec![2, 1]
+                );
+            }
+            other => panic!("expected NoIntactGeneration, got {other}"),
+        }
+        assert_eq!(rec.counter("snapshot.load.corrupt"), Some(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_generation_is_ignored() {
+        // Simulates a crash after the generation rename but before the
+        // manifest flip: gen-0002 exists intact, MANIFEST still says 1.
+        let dir = temp_store("uncommitted");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        save(&dir, &g, &p, &rec).unwrap();
+        save(&dir, &g, &p, &rec).unwrap();
+        write_manifest(&dir, 1).unwrap();
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 1, "the manifest is the commit point");
+        assert_eq!(rec.counter("snapshot.fallback"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_still_recovers_newest() {
+        let dir = temp_store("no-manifest");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        save(&dir, &g, &p, &rec).unwrap();
+        save(&dir, &g, &p, &rec).unwrap();
+        fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 2);
+        // Not the manifest's generation (there is none) → observable.
+        assert_eq!(rec.counter("snapshot.fallback"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_still_recovers() {
+        let dir = temp_store("bad-manifest");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        save(&dir, &g, &p, &rec).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), b"garbage\n").unwrap();
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(rec.counter("snapshot.fallback"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_is_a_typed_error() {
+        let dir = temp_store("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let err = load(&dir, &Recorder::disabled()).unwrap_err();
+        assert!(matches!(err, SnapshotError::NoManifest { .. }));
+        let missing = dir.join("never-created");
+        let err = load(&missing, &Recorder::disabled()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_debris_is_swept() {
+        let dir = temp_store("debris");
+        let (g, p) = sample();
+        let rec = Recorder::disabled();
+        // Debris from a "crashed" writer.
+        fs::create_dir_all(dir.join(".tmp-gen-0001")).unwrap();
+        fs::write(dir.join(".tmp-gen-0001").join(SNAPSHOT_FILE), b"partial").unwrap();
+        let report = save(&dir, &g, &p, &rec).unwrap();
+        assert_eq!(report.generation, 1);
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(TMP_PREFIX))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp debris survived: {leftovers:?}");
+        load(&dir, &rec).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_falls_back() {
+        let dir = temp_store("truncated");
+        let (g, p) = sample();
+        let rec = Recorder::enabled();
+        save(&dir, &g, &p, &rec).unwrap();
+        let second = save(&dir, &g, &p, &rec).unwrap();
+        let data = fs::read(&second.path).unwrap();
+        fs::write(&second.path, &data[..data.len() - 1]).unwrap();
+
+        let loaded = load(&dir, &rec).unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(rec.counter("snapshot.fallback"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Corruption-matrix proptests for the snapshot format: random
+//! truncations and random bit-flips across the header, section table,
+//! and payloads must always come back as a typed [`SnapshotError`] —
+//! never a panic, never a successful load of corrupt data — and clean
+//! round-trips must reproduce the store byte-for-byte (the
+//! "never silently wrong" contract of docs/PERSISTENCE.md).
+
+#![allow(clippy::cast_possible_truncation)] // test code: ids are tiny
+#![allow(clippy::cast_sign_loss)] // test code: fractions are in [0, 1)
+
+use mpc_core::Partitioning;
+use mpc_rdf::{PartitionId, PropertyId, RdfGraph, Triple, VertexId};
+use mpc_snapshot::{decode, encode};
+use proptest::prelude::*;
+
+/// Random raw graph + derived partitioning — the store's input space.
+fn graph_and_partitioning() -> impl Strategy<Value = (RdfGraph, Partitioning)> {
+    (2usize..24, 1usize..6, 2usize..5)
+        .prop_flat_map(|(n, props, k)| {
+            (
+                proptest::collection::vec((0..n as u32, 0..props as u32, 0..n as u32), 0..60),
+                proptest::collection::vec(0..k as u16, n),
+                Just((n, props, k)),
+            )
+        })
+        .prop_map(|(raw, parts, (n, props, k))| {
+            let triples = raw
+                .into_iter()
+                .map(|(s, p, o)| Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                .collect();
+            let g = RdfGraph::from_raw(n, props, triples);
+            let assignment = parts.into_iter().map(PartitionId).collect();
+            let p = Partitioning::new(&g, k, assignment);
+            (g, p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_is_byte_identical((g, p) in graph_and_partitioning()) {
+        let bytes = encode(&g, &p);
+        let contents = match decode(&bytes) {
+            Ok(c) => c,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::Fail(
+                format!("fresh snapshot failed to decode: {e}"),
+            )),
+        };
+        // Deterministic encoding makes byte-equality of a re-encode a
+        // full structural-equality check on the decoded graph and
+        // partitioning (sites are cross-validated inside decode).
+        prop_assert_eq!(encode(&contents.graph, &contents.partitioning), bytes);
+        prop_assert_eq!(contents.sites.len(), p.k());
+        prop_assert_eq!(contents.radius, 1);
+    }
+
+    #[test]
+    fn random_bit_flips_are_always_rejected(
+        (g, p) in graph_and_partitioning(),
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encode(&g, &p);
+        let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1u8 << bit;
+        // Every byte of the file — magic, version, section table, CRC
+        // fields, payloads — is covered by some checksum or validator:
+        // a flip anywhere must yield a typed error, not data.
+        prop_assert!(
+            decode(&bytes).is_err(),
+            "bit {bit} of byte {idx}/{} flipped yet the snapshot loaded",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn random_multi_byte_scribbles_are_always_rejected(
+        (g, p) in graph_and_partitioning(),
+        scribbles in proptest::collection::vec((0.0f64..1.0, 0u8..255), 1..8),
+    ) {
+        let mut bytes = encode(&g, &p);
+        let original = bytes.clone();
+        for (pos, val) in scribbles {
+            let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[idx] = bytes[idx].wrapping_add(val);
+        }
+        // Overlapping scribbles can cancel out; only genuine damage
+        // must be rejected.
+        prop_assume!(bytes != original);
+        prop_assert!(decode(&bytes).is_err(), "scribbled snapshot loaded");
+    }
+
+    #[test]
+    fn random_truncations_are_always_rejected(
+        (g, p) in graph_and_partitioning(),
+        keep in 0.0f64..1.0,
+    ) {
+        let bytes = encode(&g, &p);
+        let len = ((keep * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        prop_assert!(
+            decode(&bytes[..len]).is_err(),
+            "snapshot truncated to {len}/{} bytes yet loaded",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn random_trailing_garbage_is_always_rejected(
+        (g, p) in graph_and_partitioning(),
+        tail in proptest::collection::vec(0u8..=255, 1..16),
+    ) {
+        let mut bytes = encode(&g, &p);
+        bytes.extend_from_slice(&tail);
+        // The section table must tile the file exactly; extra bytes
+        // after the last section are damage, not slack.
+        prop_assert!(decode(&bytes).is_err(), "padded snapshot loaded");
+    }
+}

@@ -176,6 +176,78 @@ impl LocalStore {
         Self::new(g.triples().to_vec())
     }
 
+    /// Reassembles a store from persisted parts, skipping the build-time
+    /// sorts — the snapshot loader's fast path (docs/PERSISTENCE.md).
+    ///
+    /// Instead of trusting the input, every invariant [`LocalStore::new`]
+    /// would have established is *verified*: `triples` must be strictly
+    /// `(s, p, o)`-ascending (sorted and duplicate-free), and `pos` /
+    /// `osp` must be strictly ascending under their `(p, o, s)` /
+    /// `(o, s, p)` sort keys with every index in range. Strict ascent
+    /// under a total order pins each permutation to the unique one a
+    /// fresh build computes, so a store accepted here is
+    /// indistinguishable from `LocalStore::new` on the same triples —
+    /// including the statistics, which are recomputed, not deserialized.
+    pub fn from_sorted_parts(
+        triples: Vec<Triple>,
+        pos: Vec<u32>,
+        osp: Vec<u32>,
+    ) -> Result<Self, String> {
+        let n = triples.len();
+        for w in triples.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "triples are not strictly (s,p,o)-sorted at {:?}",
+                    w[1]
+                ));
+            }
+        }
+        let check_perm = |perm: &[u32],
+                          name: &str,
+                          key: &dyn Fn(Triple) -> (u32, u32, u32)|
+         -> Result<(), String> {
+            if perm.len() != n {
+                return Err(format!(
+                    "{name} permutation has {} entries for {n} triples",
+                    perm.len()
+                ));
+            }
+            let mut prev: Option<(u32, u32, u32)> = None;
+            for &i in perm {
+                let t = *triples
+                    .get(i as usize)
+                    .ok_or_else(|| format!("{name} permutation index {i} out of range"))?;
+                let k = key(t);
+                if prev.is_some_and(|p| p >= k) {
+                    return Err(format!("{name} permutation is not strictly sorted"));
+                }
+                prev = Some(k);
+            }
+            Ok(())
+        };
+        check_perm(&pos, "pos", &|t| (t.p.0, t.o.0, t.s.0))?;
+        check_perm(&osp, "osp", &|t| (t.o.0, t.s.0, t.p.0))?;
+        let spo: Vec<u32> = (0..narrow::u32_from(n)).collect();
+        let stats = StoreStats::compute(&triples, &pos);
+        Ok(LocalStore {
+            triples,
+            spo,
+            pos,
+            osp,
+            stats,
+        })
+    }
+
+    /// The `(p, o, s)`-sorted index permutation (for persistence).
+    pub fn pos_permutation(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// The `(o, s, p)`-sorted index permutation (for persistence).
+    pub fn osp_permutation(&self) -> &[u32] {
+        &self.osp
+    }
+
     /// Number of stored (distinct) triples.
     pub fn len(&self) -> usize {
         self.triples.len()
@@ -375,6 +447,63 @@ mod tests {
         assert_eq!(agg.card(PropertyId(0)).triples, 2);
         assert_eq!(agg.card(PropertyId(0)).distinct_subjects, 2);
         assert_eq!(agg.card(PropertyId(1)).triples, 1);
+    }
+
+    #[test]
+    fn from_sorted_parts_matches_fresh_build() {
+        let fresh = store();
+        let rebuilt = LocalStore::from_sorted_parts(
+            fresh.triples().to_vec(),
+            fresh.pos_permutation().to_vec(),
+            fresh.osp_permutation().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.triples(), fresh.triples());
+        assert_eq!(rebuilt.pos_permutation(), fresh.pos_permutation());
+        assert_eq!(rebuilt.osp_permutation(), fresh.osp_permutation());
+        assert_eq!(rebuilt.stats(), fresh.stats());
+        let pat = Pattern {
+            p: Some(PropertyId(0)),
+            ..Pattern::default()
+        };
+        assert_eq!(
+            rebuilt.scan(&pat).collect::<Vec<_>>(),
+            fresh.scan(&pat).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_sorted_parts_rejects_bad_inputs() {
+        let fresh = store();
+        let triples = fresh.triples().to_vec();
+        let pos = fresh.pos_permutation().to_vec();
+        let osp = fresh.osp_permutation().to_vec();
+
+        // Unsorted triples.
+        let mut reversed = triples.clone();
+        reversed.reverse();
+        assert!(LocalStore::from_sorted_parts(reversed, pos.clone(), osp.clone()).is_err());
+        // A duplicate triple (not *strictly* sorted).
+        let mut dup = triples.clone();
+        dup[1] = dup[0];
+        assert!(LocalStore::from_sorted_parts(dup, pos.clone(), osp.clone()).is_err());
+        // Wrong permutation length.
+        assert!(
+            LocalStore::from_sorted_parts(triples.clone(), pos[1..].to_vec(), osp.clone())
+                .is_err()
+        );
+        // Out-of-range index.
+        let mut big = pos.clone();
+        big[0] = 99;
+        assert!(LocalStore::from_sorted_parts(triples.clone(), big, osp.clone()).is_err());
+        // Swapped entries break the strict sort-order check.
+        let mut swapped = pos.clone();
+        swapped.swap(0, 1);
+        assert!(LocalStore::from_sorted_parts(triples.clone(), swapped, osp.clone()).is_err());
+        // A repeated index is caught by strictness too.
+        let mut repeated = osp.clone();
+        repeated[1] = repeated[0];
+        assert!(LocalStore::from_sorted_parts(triples, pos, repeated).is_err());
     }
 
     #[test]

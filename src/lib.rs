@@ -11,6 +11,8 @@
 //!   Algorithm 2 decomposition, per-stage execution statistics).
 //! * [`par`] — deterministic scoped-thread work pool (docs/PARALLELISM.md).
 //! * [`server`] — concurrent TCP serving front end (docs/SERVER.md).
+//! * [`snapshot`] — crash-safe persistent partition store
+//!   (docs/PERSISTENCE.md).
 //! * [`datagen`] — seeded dataset and workload generators.
 //!
 //! # End-to-end example
@@ -58,4 +60,5 @@ pub use mpc_metis as metis;
 pub use mpc_par as par;
 pub use mpc_rdf as rdf;
 pub use mpc_server as server;
+pub use mpc_snapshot as snapshot;
 pub use mpc_sparql as sparql;
