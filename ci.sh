@@ -65,11 +65,18 @@ cat "$CI_TMP/chaos.1"
 
 echo "==> serve smoke (cached workload replay, deterministic + hitting, docs/SERVING.md)"
 cat > "$CI_TMP/workload.txt" <<'EOF'
-# two spellings of one BGP plus a distinct query, replayed
+# two spellings of one BGP plus a distinct query, replayed — then the
+# algebra operators (docs/QUERY.md): an OPTIONAL and its variable-renamed
+# respelling, a bag UNION (repeated), and an ORDER BY + LIMIT
 SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }
 SELECT ?a ?b WHERE { ?b <urn:p:13> ?c . ?a <urn:p:8> ?b }
 SELECT ?x WHERE { ?x <urn:p:0> ?y }
 SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }
+SELECT ?x ?z WHERE { ?x <urn:p:8> ?y OPTIONAL { ?y <urn:p:13> ?z } }
+SELECT ?a ?c WHERE { ?a <urn:p:8> ?b OPTIONAL { ?b <urn:p:13> ?c } }
+SELECT ?x WHERE { { ?x <urn:p:8> ?y } UNION { ?x <urn:p:13> ?y } }
+SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } ORDER BY DESC(?y) LIMIT 4
+SELECT ?x WHERE { { ?x <urn:p:8> ?y } UNION { ?x <urn:p:13> ?y } }
 EOF
 serve_replay() {
     "$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
@@ -80,8 +87,9 @@ serve_replay > "$CI_TMP/serve.1"
 serve_replay > "$CI_TMP/serve.2"
 # Outside the wall-clock line, two replays are byte-identical…
 cmp "$CI_TMP/serve.1" "$CI_TMP/serve.2"
-# …and the repeats actually hit the result cache.
-grep '^serve:' "$CI_TMP/serve.1" | grep -q 'cache_hits=2'
+# …and the respelled BGP, the BGP repeat, the renamed OPTIONAL, and the
+# UNION repeat all hit the result cache.
+grep '^serve:' "$CI_TMP/serve.1" | grep -q 'cache_hits=4'
 grep '^serve:' "$CI_TMP/serve.1"
 
 echo "==> server smoke (concurrent TCP front end, byte-identical to mpc serve --digest, docs/SERVER.md)"

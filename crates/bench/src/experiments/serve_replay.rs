@@ -11,7 +11,13 @@
 //!
 //! Before any timing is reported, the run asserts the serving contract:
 //! cached and uncached replays produce **bit-identical** row streams at
-//! every thread budget. Written to `bench_results/serve_replay.json`.
+//! every thread budget. A second, untimed phase replays the derived
+//! operator plans (`mpc_datagen::operator_plans` — OPTIONAL / UNION /
+//! DISTINCT / FILTER / ORDER BY forms over the same templates,
+//! docs/QUERY.md) through `serve_plan`, asserting the same bit-identity
+//! and that at least one id-only FILTER was evaluated partition-locally
+//! (`query.pushdown.site_evals`). Written to
+//! `bench_results/serve_replay.json`.
 
 use crate::datasets::{lubm_bundle, scale_factor};
 use crate::harness::{partition_with, Method};
@@ -166,6 +172,46 @@ pub fn run() {
     let _ = replay(THREADS[0], true, &rec);
     let c = |name: &str| rec.counter(name).unwrap_or(0);
 
+    // Operator-plan phase (untimed): the same templates wrapped into
+    // OPTIONAL / UNION / DISTINCT / FILTER / ORDER BY plans, served
+    // through the plan cache — cached bit-identical to uncached, and
+    // the id-only FILTERs must push down into the sites.
+    let plans = mpc_datagen::operator_plans(&bundle.benchmark_queries);
+    let plan_rec = Recorder::enabled();
+    let plan_fps: Vec<u64> = [true, false]
+        .iter()
+        .map(|&cached| {
+            let server = ServeEngine::new(build_engine(), CACHE_ENTRIES);
+            let req = ExecRequest::new()
+                .threads(THREADS[0])
+                .cached(cached)
+                .traced(&plan_rec);
+            let mut fp = 0u64;
+            // Each plan twice back-to-back: more distinct plans exist
+            // than cache entries, so a spaced repeat could age out.
+            for np in &plans {
+                for _ in 0..2 {
+                    let outcome = server
+                        .serve_plan(&np.plan, &req, bundle.graph.dictionary())
+                        // mpc-allow: unwrap-expect no fault layer in play, so the request cannot fail
+                        .expect("no fault layer in play");
+                    fp = fold_rows(fp, outcome.rows());
+                }
+            }
+            fp
+        })
+        .collect();
+    assert_eq!(
+        plan_fps[0], plan_fps[1],
+        "plan cache changed operator-plan results"
+    );
+    let pc = |name: &str| plan_rec.counter(name).unwrap_or(0);
+    assert!(
+        pc("query.pushdown.site_evals") > 0,
+        "no FILTER was evaluated partition-locally"
+    );
+    assert!(pc("serve.cache.hit") > 0, "operator plans never hit the cache");
+
     let json = Json::obj([
         ("experiment", Json::Str("serve_replay".to_owned())),
         ("dataset", Json::Str(bundle.name.to_owned())),
@@ -178,6 +224,9 @@ pub fn run() {
         ("cache_misses", Json::UInt(c("serve.cache.miss"))),
         ("plan_hits", Json::UInt(c("serve.plan.hit"))),
         ("plan_misses", Json::UInt(c("serve.plan.miss"))),
+        ("operator_plans", Json::UInt(plans.len() as u64)),
+        ("pushdown_site_evals", Json::UInt(pc("query.pushdown.site_evals"))),
+        ("pushdown_filters", Json::UInt(pc("query.pushdown.filters"))),
         ("bit_identical", Json::Bool(true)),
         ("runs", Json::arr(runs)),
     ]);

@@ -400,18 +400,13 @@ pub fn analyze(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-fn load_query(
-    path: &str,
-    graph: &RdfGraph,
-) -> Result<(mpc_sparql::ParsedQuery, Option<mpc_sparql::Query>), CliError> {
+fn load_query(path: &str, graph: &RdfGraph) -> Result<mpc_sparql::ResolvedPlan, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
-    let parsed =
-        mpc_sparql::parse_query(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    let resolved = parsed
+    mpc_sparql::parse(&text)
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?
         .resolve(graph.dictionary())
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    Ok((parsed, resolved))
+        .map_err(|e| CliError::new(format!("{path}: {e}")))
 }
 
 pub(crate) fn load_partitioning(
@@ -428,9 +423,13 @@ pub fn classify(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse(args, &["input", "partitions", "query"])?;
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
-    let (_, resolved) = load_query(o.required("query")?, &graph)?;
-    let Some(query) = resolved else {
-        writeln!(out, "query references terms absent from the graph: provably empty")?;
+    let plan = load_query(o.required("query")?, &graph)?;
+    let Some(query) = plan.as_bgp() else {
+        writeln!(
+            out,
+            "query is not a single basic graph pattern; classification \
+             applies per BGP leaf (run `mpc query` to evaluate it)"
+        )?;
         return Ok(());
     };
     let crossing = CrossingSet(
@@ -439,7 +438,7 @@ pub fn classify(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map(|p| partitioning.is_crossing_property(p))
             .collect(),
     );
-    let class = classify_query(&query, &crossing);
+    let class = classify_query(query, &crossing);
     writeln!(out, "star:  {}", query.is_star())?;
     writeln!(out, "class: {class:?}")?;
     writeln!(
@@ -454,14 +453,18 @@ pub fn classify(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse(args, &["input", "query"])?;
     let graph = load_graph(o.required("input")?)?;
-    let (_, resolved) = load_query(o.required("query")?, &graph)?;
-    let Some(query) = resolved else {
-        writeln!(out, "query references terms absent from the graph: provably empty")?;
+    let plan = load_query(o.required("query")?, &graph)?;
+    let Some(query) = plan.as_bgp() else {
+        writeln!(
+            out,
+            "query is not a single basic graph pattern; join-order \
+             explanation applies per BGP leaf"
+        )?;
         return Ok(());
     };
     let store = mpc_sparql::LocalStore::from_graph(&graph);
-    let steps = mpc_sparql::explain(&query, &store);
-    write!(out, "{}", mpc_sparql::render_plan(&query, &steps))?;
+    let steps = mpc_sparql::explain(query, &store);
+    write!(out, "{}", mpc_sparql::render_plan(query, &steps))?;
     Ok(())
 }
 
@@ -499,19 +502,20 @@ fn chaos_spec(o: &Options) -> Result<Option<FaultSpec>, CliError> {
 }
 
 /// Prints a finished result table: `?a\t?b` header, one row per line
-/// (IRIs when the dictionary is full, `v{id}` otherwise), truncated at
-/// `display_limit` with a `… (N more rows)` marker.
+/// (IRIs when the dictionary is full, `v{id}` otherwise; unbound
+/// OPTIONAL cells render empty), truncated at `display_limit` with a
+/// `… (N more rows)` marker.
 fn write_rows(
     out: &mut dyn Write,
     graph: &RdfGraph,
-    query: &mpc_sparql::Query,
+    var_names: &[String],
     result: &mpc_sparql::Bindings,
     display_limit: usize,
 ) -> Result<(), CliError> {
     let names: Vec<&str> = result
         .vars
         .iter()
-        .map(|&v| query.var_names[v as usize].as_str())
+        .map(|&v| var_names[v as usize].as_str())
         .collect();
     writeln!(out, "?{}", names.join("\t?"))?;
     let dict = graph.dictionary();
@@ -520,7 +524,9 @@ fn write_rows(
         let cells: Vec<String> = row
             .iter()
             .map(|&v| {
-                if named {
+                if v == mpc_sparql::UNBOUND {
+                    String::new()
+                } else if named {
                     dict.vertex_term(VertexId(v)).to_string()
                 } else {
                     format!("v{v}")
@@ -557,13 +563,9 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
-    let (parsed, resolved) = load_query(o.required("query")?, &graph)?;
+    let plan = load_query(o.required("query")?, &graph)?;
     let mode = parse_mode(o.get("mode"))?;
     let radius: usize = o.parse_or("radius", 1)?;
-    let Some(query) = resolved else {
-        writeln!(out, "0 results (query references terms absent from the graph)")?;
-        return Ok(());
-    };
     let engine =
         DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
     // Every knob folds into one ExecRequest; the engine itself stays
@@ -582,15 +584,12 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         req = req.fault(fault);
     }
     let outcome = engine
-        .run(&query, &req)
+        .run_plan(&plan, &req, graph.dictionary())
         .map_err(|e| CliError::new(format!("query failed: {e}")))?;
     let (partial, stats_) = outcome.into_parts();
-    let (bindings, complete, failed_sites) = (partial.rows, partial.complete, partial.failed_sites);
-    let result = parsed
-        .finish(&query, bindings, graph.dictionary())
-        .map_err(|e| CliError::new(e.to_string()))?;
+    let (result, complete, failed_sites) = (partial.rows, partial.complete, partial.failed_sites);
     let display_limit: usize = o.parse_or("limit", 20)?;
-    write_rows(out, &graph, &query, &result, display_limit)?;
+    write_rows(out, &graph, &plan.var_names, &result, display_limit)?;
     writeln!(
         out,
         "\n{} rows; class={:?} independent={} subqueries={} \
@@ -664,35 +663,22 @@ fn serve_one(
     digest: bool,
     out: &mut dyn Write,
 ) -> Result<usize, CliError> {
-    let parsed = mpc_sparql::parse_query(line)
-        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
-    let resolved = parsed
+    let plan = mpc_sparql::parse(line)
+        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?
         .resolve(graph.dictionary())
         .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
-    let Some(query) = resolved else {
-        // Absent-term queries digest as the empty table — the same
-        // zero-column encoding the server's RESULT frame carries.
-        if digest {
-            write_digest_line(out, idx, &mpc_sparql::Bindings::new(Vec::new()))?;
-        } else {
-            writeln!(out, "[{idx}] rows=0 cache=skip (terms absent from the graph)")?;
-        }
-        return Ok(0);
-    };
     let hits_before = rec.counter("serve.cache.hit").unwrap_or(0);
     let outcome = server
-        .serve(&query, req)
+        .serve_plan(&plan, req, graph.dictionary())
         .map_err(|e| CliError::new(format!("query {idx} failed: {e}")))?;
     let hit = rec.counter("serve.cache.hit").unwrap_or(0) > hits_before;
     let (partial, _) = outcome.into_parts();
-    let result = parsed
-        .finish(&query, partial.rows, graph.dictionary())
-        .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
+    let result = partial.rows;
     if digest {
         write_digest_line(out, idx, &result)?;
         return Ok(result.rows.len());
     }
-    write_rows(out, graph, &query, &result, display_limit)?;
+    write_rows(out, graph, &plan.var_names, &result, display_limit)?;
     writeln!(
         out,
         "[{idx}] rows={} cache={}",
@@ -781,16 +767,13 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             // below reports steady-state hit rates.
             let warm_req = req.clone().traced(&Recorder::disabled());
             for line in &workload {
-                let parsed = mpc_sparql::parse_query(line)
-                    .map_err(|e| CliError::new(e.to_string()))?;
-                if let Some(query) = parsed
-                    .resolve(graph.dictionary())
+                let plan = mpc_sparql::parse(line)
                     .map_err(|e| CliError::new(e.to_string()))?
-                {
-                    server
-                        .serve(&query, &warm_req)
-                        .map_err(|e| CliError::new(format!("warm-up failed: {e}")))?;
-                }
+                    .resolve(graph.dictionary())
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                server
+                    .serve_plan(&plan, &warm_req, graph.dictionary())
+                    .map_err(|e| CliError::new(format!("warm-up failed: {e}")))?;
             }
         }
         for line in &workload {

@@ -34,10 +34,10 @@ use crate::stats::{ExecutionStats, FaultStats};
 use crate::wire;
 use mpc_core::Partitioning;
 use mpc_obs::Recorder;
-use mpc_rdf::{FxHashMap, RdfGraph};
+use mpc_rdf::{Dictionary, FxHashMap, RdfGraph};
 use mpc_sparql::{
-    evaluate_ordered, evaluate_ordered_observed, join_all, static_order, Bindings, MatchStats,
-    Query, StoreStats, TriplePattern,
+    eval_plan, evaluate_ordered, evaluate_ordered_observed, join_all, static_order, BgpSource,
+    Bindings, MatchStats, Query, ResolvedFilter, ResolvedPlan, StoreStats, TriplePattern,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -571,6 +571,87 @@ impl DistributedEngine {
         }
     }
 
+    /// Executes a resolved algebra plan ([`mpc_sparql::parse`] →
+    /// [`mpc_sparql::Algebra::resolve`]) distributedly: each BGP leaf
+    /// goes through [`Self::run`] — reusing the plan cache, IEQ
+    /// classification, and per-leaf static join orders — and the
+    /// OPTIONAL / UNION / FILTER / ORDER BY structure above the leaves
+    /// is combined on the coordinator with the bag operators of
+    /// [`mpc_sparql::algebra`].
+    ///
+    /// Id-only FILTERs sitting directly on an *independent* leaf are
+    /// pushed into the sites (partition-local evaluation; counted under
+    /// `query.pushdown.*`) unless a fault layer is in effect — faulty
+    /// requests keep the plain leaf path so the chaos contract stays
+    /// byte-identical with the uncached reference. Plan shape is
+    /// recorded under `query.algebra.*`.
+    ///
+    /// The aggregated [`ExecutionStats`] sum times/bytes across leaves;
+    /// `class` is the first leaf's classification and `independent` is
+    /// true only if every leaf ran without decomposition.
+    pub fn run_plan(
+        &self,
+        plan: &ResolvedPlan,
+        req: &ExecRequest,
+        dict: &Dictionary,
+    ) -> Result<ExecOutcome, SiteError> {
+        let rec = &req.recorder;
+        if rec.is_enabled() {
+            let mut nodes = 0u64;
+            plan.root.for_each(&mut |n| {
+                nodes += 1;
+                rec.incr(&format!("query.algebra.{}", n.op_name()));
+            });
+            rec.set("query.algebra.nodes", nodes);
+        }
+        let pushdown_ok = !self.fault_effective(req);
+        let mut source = EngineSource {
+            engine: self,
+            req,
+            pushdown_ok,
+            agg: None,
+            complete: true,
+            failed_sites: Vec::new(),
+        };
+        let rows = eval_plan(plan, &mut source, dict)?;
+        let mut stats = source.agg.unwrap_or(ExecutionStats {
+            class: IeqClass::Internal,
+            independent: true,
+            subqueries: 0,
+            decomposition_time: Duration::ZERO,
+            local_eval_time: Duration::ZERO,
+            join_time: Duration::ZERO,
+            comm_bytes: 0,
+            comm_time: Duration::ZERO,
+            result_rows: 0,
+            faults: FaultStats::default(),
+        });
+        stats.result_rows = rows.len();
+        if rec.is_enabled() {
+            rec.set("query.result_rows", stats.result_rows as u64);
+        }
+        let mut failed_sites = source.failed_sites;
+        failed_sites.sort_unstable();
+        failed_sites.dedup();
+        Ok(ExecOutcome {
+            bindings: PartialBindings {
+                rows,
+                complete: source.complete,
+                failed_sites,
+            },
+            stats,
+        })
+    }
+
+    /// True if `req` resolves to an active fault layer on this engine.
+    fn fault_effective(&self, req: &ExecRequest) -> bool {
+        match &req.fault {
+            FaultSpec::Disabled => false,
+            FaultSpec::Inherit => self.fault.is_some(),
+            FaultSpec::Custom { .. } => true,
+        }
+    }
+
     /// The infallible execution path: QDT / per-site LET / comm / join
     /// breakdown plus plan-cache, semijoin, and matcher counters under
     /// `query.*`. With a disabled recorder, sites run the unobserved
@@ -593,7 +674,7 @@ impl DistributedEngine {
         let (result, stats) = match plan {
             None => {
                 let (result, local_eval_time, comm_bytes, comm_time) =
-                    self.run_everywhere_and_union(query, &plan_entry.order, rec, threads);
+                    self.run_everywhere_and_union(query, &plan_entry.order, &[], rec, threads);
                 let stats = ExecutionStats {
                     class,
                     independent: true,
@@ -966,10 +1047,17 @@ impl DistributedEngine {
     /// under the plan's static join `order`; results are unioned
     /// (crossing-edge replicas can duplicate matches, so the union
     /// dedups).
+    ///
+    /// `filters` are id-only [`ResolvedFilter`]s in the query's own
+    /// variable space, applied *inside* each site before rows are
+    /// shipped — the partition-local FILTER pushdown of docs/QUERY.md.
+    /// Rows a filter rejects never cross the property cut, so they are
+    /// charged no wire bytes.
     fn run_everywhere_and_union(
         &self,
         query: &Query,
         order: &[usize],
+        filters: &[ResolvedFilter],
         rec: &Recorder,
         threads: usize,
     ) -> (Bindings, Duration, u64, Duration) {
@@ -977,15 +1065,27 @@ impl DistributedEngine {
         // unobserved arm monomorphizes to the exact pre-instrumentation
         // search loop.
         let observe = rec.is_enabled();
+        let leaf_vars: Vec<u32> = (0..narrow::u32_from(query.var_count())).collect();
         let per_site = self.parallel_eval(threads, rec, |site| {
-            if observe {
+            let (mut b, mstats) = if observe {
                 let mut mstats = MatchStats::default();
                 let b = evaluate_ordered_observed(query, &site.store, order, &mut mstats);
                 (b, Some(mstats))
             } else {
                 (evaluate_ordered(query, &site.store, order), None)
+            };
+            if !filters.is_empty() {
+                b.rows
+                    .retain(|row| filters.iter().all(|f| f.accepts_ids(row, &leaf_vars)));
             }
+            (b, mstats)
         });
+        if !filters.is_empty() {
+            // Summed post-join on the coordinator thread, like every
+            // other counter (workers never touch the recorder).
+            rec.add("query.pushdown.site_evals", self.sites.len() as u64);
+            rec.add("query.pushdown.filters", filters.len() as u64);
+        }
         let mut comm_bytes = 0u64;
         let width = query.var_count();
         let mut result = Bindings::new((0..narrow::u32_from(width)).collect());
@@ -1120,6 +1220,96 @@ impl DistributedEngine {
         });
         record_par_stats(rec, &pstats);
         per_site
+    }
+}
+
+/// The [`BgpSource`] behind [`DistributedEngine::run_plan`]: leaves run
+/// through the engine and their [`ExecutionStats`] are summed as they
+/// complete (leaves evaluate sequentially on the coordinator; each one
+/// fans out across sites internally).
+struct EngineSource<'a> {
+    engine: &'a DistributedEngine,
+    req: &'a ExecRequest,
+    /// False when a fault layer is in effect — pushdown then stands
+    /// down so every leaf follows the chaos-contract path.
+    pushdown_ok: bool,
+    agg: Option<ExecutionStats>,
+    complete: bool,
+    failed_sites: Vec<u16>,
+}
+
+impl EngineSource<'_> {
+    /// Folds one leaf's stats into the aggregate: times, bytes, and
+    /// subquery counts sum; `class` keeps the first leaf's value;
+    /// `independent` holds only if every leaf held it.
+    fn note(&mut self, s: ExecutionStats) {
+        match &mut self.agg {
+            None => self.agg = Some(s),
+            Some(agg) => {
+                agg.independent &= s.independent;
+                agg.subqueries += s.subqueries;
+                agg.decomposition_time += s.decomposition_time;
+                agg.local_eval_time += s.local_eval_time;
+                agg.join_time += s.join_time;
+                agg.comm_bytes += s.comm_bytes;
+                agg.comm_time += s.comm_time;
+                agg.faults.attempts += s.faults.attempts;
+                agg.faults.retries += s.faults.retries;
+                agg.faults.failovers += s.faults.failovers;
+                agg.faults.injected += s.faults.injected;
+                agg.faults.failed_fragments += s.faults.failed_fragments;
+                agg.faults.degraded |= s.faults.degraded;
+                agg.faults.penalty += s.faults.penalty;
+            }
+        }
+    }
+}
+
+impl BgpSource for EngineSource<'_> {
+    type Error = SiteError;
+
+    fn eval_bgp(&mut self, query: &Query) -> Result<Bindings, SiteError> {
+        let outcome = self.engine.run(query, self.req)?;
+        let (bindings, stats) = outcome.into_parts();
+        self.note(stats);
+        self.complete &= bindings.complete;
+        self.failed_sites.extend(bindings.failed_sites);
+        Ok(bindings.rows)
+    }
+
+    fn eval_bgp_filtered(
+        &mut self,
+        query: &Query,
+        filters: &[ResolvedFilter],
+    ) -> Option<Result<Bindings, SiteError>> {
+        if !self.pushdown_ok || !self.engine.is_independent(query, self.req.mode) {
+            return None;
+        }
+        let engine = self.engine;
+        let req = self.req;
+        let threads = mpc_par::resolve_threads(req.threads);
+        let rec = &req.recorder;
+        rec.set("par.threads", threads as u64);
+        let qdt_span = rec.span("query.qdt");
+        let t0 = Instant::now();
+        let plan_entry = engine.lookup_plan(query, req.mode, rec);
+        let decomposition_time = t0.elapsed();
+        drop(qdt_span);
+        let (result, local_eval_time, comm_bytes, comm_time) =
+            engine.run_everywhere_and_union(query, &plan_entry.order, filters, rec, threads);
+        self.note(ExecutionStats {
+            class: plan_entry.class,
+            independent: true,
+            subqueries: 1,
+            decomposition_time,
+            local_eval_time,
+            join_time: Duration::ZERO,
+            comm_bytes,
+            comm_time,
+            result_rows: result.len(),
+            faults: FaultStats::default(),
+        });
+        Some(Ok(result))
     }
 }
 
@@ -1873,5 +2063,110 @@ mod tests {
         for t in [2, 3, 8] {
             assert_eq!(at(t), one, "threads={t}");
         }
+    }
+
+    /// A dictionary-backed graph (parsed queries need resolvable IRIs):
+    /// a chain of `urn:p:0` edges, a second chain of `urn:p:1`, and a
+    /// `urn:p:2` star out of one hub.
+    fn iri_dataset() -> RdfGraph {
+        let mut b = mpc_rdf::GraphBuilder::new();
+        for i in 0..7 {
+            b.add_iris(&format!("urn:v:{i}"), "urn:p:0", &format!("urn:v:{}", i + 1));
+        }
+        for i in 8..15 {
+            b.add_iris(&format!("urn:v:{i}"), "urn:p:1", &format!("urn:v:{}", i + 1));
+        }
+        for j in 8..16 {
+            b.add_iris("urn:v:3", "urn:p:2", &format!("urn:v:{j}"));
+        }
+        b.build()
+    }
+
+    fn plan_of(g: &RdfGraph, text: &str) -> ResolvedPlan {
+        mpc_sparql::parse(text)
+            .expect("test query parses")
+            .resolve(g.dictionary())
+            .expect("test query resolves")
+    }
+
+    #[test]
+    fn run_plan_matches_centralized_on_operator_queries() {
+        let g = iri_dataset();
+        let engine = mpc_engine(&g);
+        let store = LocalStore::from_graph(&g);
+        for text in [
+            "SELECT * WHERE { ?a <urn:p:0> ?b OPTIONAL { ?b <urn:p:2> ?c } }",
+            "SELECT * WHERE { { ?a <urn:p:0> ?b } UNION { ?a <urn:p:1> ?b } }",
+            "SELECT ?b WHERE { ?a <urn:p:2> ?b . ?b <urn:p:1> ?c } ORDER BY DESC(?b)",
+            "SELECT DISTINCT ?a WHERE { { ?a <urn:p:2> ?b } UNION { ?a <urn:p:2> ?c } }",
+        ] {
+            let plan = plan_of(&g, text);
+            let outcome = engine
+                .run_plan(&plan, &ExecRequest::new(), g.dictionary())
+                .expect("fault-free plan execution is total");
+            let central = mpc_sparql::eval_plan_local(&plan, &store, g.dictionary());
+            assert_eq!(outcome.rows().vars, central.vars, "{text}");
+            let mut got = outcome.rows().rows.clone();
+            let mut want = central.rows;
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "{text}");
+            assert!(outcome.bindings.complete);
+        }
+    }
+
+    #[test]
+    fn run_plan_pushes_id_filters_into_sites() {
+        let g = iri_dataset();
+        let engine = mpc_engine(&g);
+        // A star is always an IEQ, so the leaf is independent and the
+        // id-only FILTER runs inside each site.
+        let text = "SELECT * WHERE { ?h <urn:p:2> ?x . ?h <urn:p:2> ?y FILTER(?x != ?y) }";
+        let plan = plan_of(&g, text);
+        let rec = Recorder::enabled();
+        let outcome = engine
+            .run_plan(&plan, &ExecRequest::new().traced(&rec), g.dictionary())
+            .expect("fault-free plan execution is total");
+        assert!(
+            rec.counter("query.pushdown.site_evals").unwrap_or(0) > 0,
+            "star + id-only filter must evaluate partition-locally"
+        );
+        assert_eq!(rec.counter("query.pushdown.filters"), Some(1));
+        let store = LocalStore::from_graph(&g);
+        let central = mpc_sparql::eval_plan_local(&plan, &store, g.dictionary());
+        let mut got = outcome.rows().rows.clone();
+        let mut want = central.rows;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Plan shape gauges ride along on the traced path.
+        assert_eq!(rec.counter("query.algebra.filter"), Some(1));
+        assert_eq!(rec.counter("query.algebra.bgp"), Some(1));
+        assert!(rec.counter("query.algebra.nodes").unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn run_plan_with_fault_layer_stands_pushdown_down() {
+        let g = iri_dataset();
+        let mut engine = mpc_engine(&g);
+        engine.enable_fault_tolerance(FaultPlan::none(), RetryPolicy::default(), 0, true);
+        let text = "SELECT * WHERE { ?h <urn:p:2> ?x . ?h <urn:p:2> ?y FILTER(?x != ?y) }";
+        let plan = plan_of(&g, text);
+        let rec = Recorder::enabled();
+        let outcome = engine
+            .run_plan(&plan, &ExecRequest::new().traced(&rec), g.dictionary())
+            .expect("an empty fault plan injects nothing");
+        assert_eq!(
+            rec.counter("query.pushdown.site_evals"),
+            None,
+            "fault-layer requests must keep the plain leaf path"
+        );
+        let store = LocalStore::from_graph(&g);
+        let central = mpc_sparql::eval_plan_local(&plan, &store, g.dictionary());
+        let mut got = outcome.rows().rows.clone();
+        let mut want = central.rows;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 }

@@ -61,7 +61,7 @@ mod proptests {
         MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
         VerticalPartitioner,
     };
-    use mpc_rdf::{PropertyId, RdfGraph, Triple, VertexId};
+    use mpc_rdf::{GraphBuilder, PropertyId, RdfGraph, Triple, VertexId};
     use mpc_sparql::{evaluate, LocalStore, QLabel, QNode, Query, TriplePattern};
     use proptest::prelude::*;
 
@@ -122,6 +122,53 @@ mod proptests {
 
     fn reference(g: &RdfGraph, q: &Query) -> mpc_sparql::Bindings {
         evaluate(q, &LocalStore::from_graph(g))
+    }
+
+    /// Graphs with a real dictionary (IRI-built), so parsed queries
+    /// resolve against them.
+    fn iri_graph_strategy() -> impl Strategy<Value = RdfGraph> {
+        proptest::collection::vec((0u32..8, 0u32..3, 0u32..8), 2..40).prop_map(|edges| {
+            let mut b = GraphBuilder::new();
+            for (s, p, o) in edges {
+                b.add_iris(
+                    &format!("urn:v:{s}"),
+                    &format!("urn:p:{p}"),
+                    &format!("urn:v:{o}"),
+                );
+            }
+            b.build()
+        })
+    }
+
+    /// SPARQL texts exercising the algebra operators (no LIMIT — slices
+    /// of unordered ties are not content-comparable across plans).
+    fn algebra_text_strategy() -> impl Strategy<Value = String> {
+        let pat = (0u32..4, 0u32..3, 0u32..4)
+            .prop_map(|(s, p, o)| format!("?a{s} <urn:p:{p}> ?b{o}"));
+        let base = proptest::collection::vec(pat, 1..3).prop_map(|ps| ps.join(" . "));
+        let tail = prop_oneof![
+            Just(String::new()),
+            (0u32..4, 0u32..3, 0u32..4)
+                .prop_map(|(s, p, o)| format!(" OPTIONAL {{ ?a{s} <urn:p:{p}> ?c{o} }}")),
+            (0u32..3, 0u32..3, 0u32..4).prop_map(|(p, q, o)| format!(
+                " {{ ?a0 <urn:p:{p}> ?d{o} }} UNION {{ ?a1 <urn:p:{q}> ?d{o} }}"
+            )),
+        ];
+        let filt = prop_oneof![
+            Just(String::new()),
+            (0u32..4, 0u32..4).prop_map(|(x, y)| format!(" FILTER(?a{x} != ?a{y})")),
+        ];
+        let order = prop_oneof![
+            Just(String::new()),
+            (0u32..4, any::<bool>()).prop_map(|(v, desc)| if desc {
+                format!(" ORDER BY DESC(?a{v})")
+            } else {
+                format!(" ORDER BY ?a{v}")
+            }),
+        ];
+        let distinct = prop_oneof![Just(""), Just("DISTINCT ")];
+        (distinct, base, tail, filt, order)
+            .prop_map(|(d, b, t, f, o)| format!("SELECT {d}* WHERE {{ {b}{t}{f} }}{o}"))
     }
 
     proptest! {
@@ -425,6 +472,63 @@ mod proptests {
                 prop_assert_eq!(partial.complete, base.complete);
                 prop_assert_eq!(&partial.failed_sites, &base.failed_sites);
                 prop_assert_eq!(stats.faults, base_stats.faults);
+            }
+        }
+
+        /// The algebra-plan serving contract over OPTIONAL / UNION /
+        /// FILTER / ORDER BY / DISTINCT workloads: cached serving is
+        /// bit-identical to uncached serving, distributed plan execution
+        /// is thread-count invariant, and both agree (as multisets, and
+        /// on column numbering) with centralized evaluation.
+        #[test]
+        fn plan_serving_is_bit_identical_and_thread_invariant(
+            g in iri_graph_strategy(),
+            texts in proptest::collection::vec(algebra_text_strategy(), 1..4),
+            replay in proptest::collection::vec(0usize..4, 1..8),
+            k in 2usize..4,
+        ) {
+            let dict = g.dictionary();
+            // Texts whose FILTER/ORDER BY variables don't occur are
+            // rejected at resolve; skip those spellings.
+            let plans: Vec<_> = texts
+                .iter()
+                .filter_map(|t| mpc_sparql::parse(t).expect("generated text parses").resolve(dict).ok())
+                .collect();
+            if plans.is_empty() {
+                return Ok(());
+            }
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let serve = ServeEngine::new(
+                DistributedEngine::build(&g, &partitioning, NetworkModel::free()),
+                4,
+            );
+            let store = LocalStore::from_graph(&g);
+            for &ri in &replay {
+                let plan = &plans[ri % plans.len()];
+                let cached = serve
+                    .serve_plan(plan, &ExecRequest::new(), dict)
+                    .expect("fault-free serving is total");
+                let uncached = serve
+                    .serve_plan(plan, &ExecRequest::new().cached(false), dict)
+                    .expect("fault-free serving is total");
+                prop_assert_eq!(cached.rows(), uncached.rows(), "cached vs uncached");
+                prop_assert!(cached.bindings.complete);
+                let t1 = serve
+                    .engine()
+                    .run_plan(plan, &ExecRequest::new().threads(1), dict)
+                    .expect("fault-free execution is total");
+                let t4 = serve
+                    .engine()
+                    .run_plan(plan, &ExecRequest::new().threads(4), dict)
+                    .expect("fault-free execution is total");
+                prop_assert_eq!(t1.rows(), t4.rows(), "threads 1 vs 4");
+                let central = mpc_sparql::eval_plan_local(plan, &store, dict);
+                prop_assert_eq!(&cached.rows().vars, &central.vars);
+                let mut got = cached.rows().rows.clone();
+                let mut want = central.rows;
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "distributed vs centralized content");
             }
         }
     }

@@ -41,8 +41,11 @@ use crate::coordinator::{
 use crate::fault::SiteError;
 use crate::stats::ExecutionStats;
 use mpc_obs::Recorder;
-use mpc_rdf::{FxHashMap, FxHasher};
-use mpc_sparql::{canonicalize, Bindings, CanonicalQuery, Query, TriplePattern};
+use mpc_rdf::{Dictionary, FxHashMap, FxHasher};
+use mpc_sparql::{
+    canonicalize, canonicalize_plan, Bindings, CanonicalPlan, CanonicalQuery, PlanNode, Query,
+    ResolvedPlan, TriplePattern,
+};
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +59,13 @@ type ResultKey = (Vec<TriplePattern>, usize, bool, u64);
 /// A raw spelling as the canonicalization memo sees it: the query's
 /// pattern list plus its variable count.
 type RawKey = (Vec<TriplePattern>, usize);
+
+/// A plan-result-cache address: the *canonical* plan root, the
+/// crossing-aware mode flag, and the partition epoch. The canonical
+/// root subsumes patterns, operators, filters, and modifiers, so two
+/// requests share an entry exactly when [`canonicalize_plan`] maps them
+/// to one shape.
+type PlanResultKey = (PlanNode, bool, u64);
 
 /// One cached execution: the canonical bindings plus the stats of the
 /// run that populated the entry.
@@ -82,22 +92,23 @@ pub struct ShardStats {
     pub evictions: u64,
 }
 
-/// A bounded LRU keyed by [`ResultKey`]. Recency is a monotone stamp
+/// A bounded LRU keyed by `K` ([`ResultKey`] for BGP serving,
+/// [`PlanResultKey`] for algebra plans). Recency is a monotone stamp
 /// bumped on every touch; eviction removes the minimum stamp. The O(n)
 /// eviction scan is deliberate — capacities are small (hundreds), and
 /// the determinism argument ("unique monotone stamps, unique victim")
 /// stays one sentence long. One instance is one **shard**; the
 /// [`ServeEngine`] owns `K` of them behind independent mutexes.
-struct ResultCache {
+struct ResultCache<K> {
     capacity: usize,
     tick: u64,
-    entries: FxHashMap<ResultKey, CacheEntry>,
+    entries: FxHashMap<K, CacheEntry>,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
-impl ResultCache {
+impl<K: Eq + Hash + Clone> ResultCache<K> {
     fn new(capacity: usize) -> Self {
         ResultCache {
             capacity,
@@ -109,7 +120,7 @@ impl ResultCache {
         }
     }
 
-    fn get(&mut self, key: &ResultKey) -> Option<(Bindings, ExecutionStats)> {
+    fn get(&mut self, key: &K) -> Option<(Bindings, ExecutionStats)> {
         self.tick += 1;
         let tick = self.tick;
         let Some(entry) = self.entries.get_mut(key) else {
@@ -123,7 +134,7 @@ impl ResultCache {
 
     /// Inserts, evicting the least-recently-used entry when full.
     /// Returns true when an eviction happened.
-    fn insert(&mut self, key: ResultKey, rows: Bindings, stats: ExecutionStats) -> bool {
+    fn insert(&mut self, key: K, rows: Bindings, stats: ExecutionStats) -> bool {
         self.tick += 1;
         let mut evicted = false;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
@@ -191,11 +202,20 @@ pub struct ServeEngine {
     /// query and the restore map. Pure function of the query, so never
     /// invalidated (unbounded, like the engine's own plan cache).
     canon_memo: Mutex<FxHashMap<RawKey, Arc<CanonicalQuery>>>,
+    /// Plan canonicalization memo for [`Self::serve_plan`]: the raw
+    /// plan with variable names blanked (renamed spellings share an
+    /// entry) → its [`CanonicalPlan`]. Pure, so never invalidated.
+    plan_memo: Mutex<FxHashMap<ResolvedPlan, Arc<CanonicalPlan>>>,
     /// The sharded result cache: each shard is an independent bounded
     /// LRU behind its own mutex. A query's shard is the Fx hash of its
     /// canonical pattern list (epoch and mode excluded, so every
     /// variant of one BGP shares a shard).
-    shards: Vec<Mutex<ResultCache>>,
+    shards: Vec<Mutex<ResultCache<ResultKey>>>,
+    /// The algebra-plan result cache, sharded like `shards` (one shard
+    /// per index, same per-shard capacity). Keyed by canonical plan
+    /// root, so it holds OPTIONAL / UNION / ORDER BY results the
+    /// pattern-list key cannot address.
+    plan_shards: Vec<Mutex<ResultCache<PlanResultKey>>>,
     cache_capacity: usize,
 }
 
@@ -226,7 +246,13 @@ impl ServeEngine {
             inner,
             epoch: AtomicU64::new(0),
             canon_memo: Mutex::new(FxHashMap::default()),
-            shards: (0..shards).map(|_| Mutex::new(ResultCache::new(per_shard))).collect(),
+            plan_memo: Mutex::new(FxHashMap::default()),
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+            plan_shards: (0..shards)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
             cache_capacity: cache_entries,
         }
     }
@@ -273,10 +299,12 @@ impl ServeEngine {
         // The canonicalization memo survives: it is partition-independent.
     }
 
-    /// Number of live result-cache entries across all shards (stale
-    /// epochs included until they age out).
+    /// Number of live result-cache entries across all shards of both
+    /// key spaces (stale epochs included until they age out).
     pub fn cache_len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+        let bgp: usize = self.shards.iter().map(|s| s.lock().entries.len()).sum();
+        let plan: usize = self.plan_shards.iter().map(|p| p.lock().entries.len()).sum();
+        bgp + plan
     }
 
     /// The configured result-cache capacity.
@@ -290,10 +318,23 @@ impl ServeEngine {
     }
 
     /// A per-shard snapshot of entry counts and hit/miss/eviction
-    /// totals, in shard order. Each shard is snapshotted under its own
+    /// totals, in shard order (each index sums the BGP and plan caches'
+    /// shard at that index). Each shard is snapshotted under its own
     /// lock; the vector as a whole is not one atomic observation.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards.iter().map(|s| s.lock().stats()).collect()
+        self.shards
+            .iter()
+            .zip(&self.plan_shards)
+            .map(|(a, b)| {
+                let (a, b) = (a.lock().stats(), b.lock().stats());
+                ShardStats {
+                    entries: a.entries + b.entries,
+                    hits: a.hits + b.hits,
+                    misses: a.misses + b.misses,
+                    evictions: a.evictions + b.evictions,
+                }
+            })
+            .collect()
     }
 
     /// The shard owning a canonical query: Fx hash of the canonical
@@ -369,6 +410,112 @@ impl ServeEngine {
         self.canon_memo.lock().insert(key, canon.clone());
         canon
     }
+
+    /// Serves one resolved algebra plan ([`mpc_sparql::parse`] →
+    /// [`mpc_sparql::Algebra::resolve`]) — the plan-level counterpart of
+    /// [`Self::serve`], and the path `mpc serve` / `mpc-server` use.
+    /// Identical in results to [`DistributedEngine::run_plan`] on the
+    /// same request; the same `serve.plan.*` / `serve.cache.*` counters
+    /// apply.
+    ///
+    /// Misses execute the **canonical** plan (so hits restore cached
+    /// rows verbatim — the resolver's root projection makes original
+    /// and canonical output columns correspond pointwise), and requests
+    /// with an effective fault layer pass straight through to the
+    /// engine, uncached, exactly like BGP serving.
+    pub fn serve_plan(
+        &self,
+        plan: &ResolvedPlan,
+        req: &ExecRequest,
+        dict: &Dictionary,
+    ) -> Result<ExecOutcome, SiteError> {
+        let fault_effective = match req.fault {
+            FaultSpec::Disabled => false,
+            FaultSpec::Inherit => self.inner.fault_tolerance_enabled(),
+            FaultSpec::Custom { .. } => true,
+        };
+        if fault_effective {
+            return self.inner.run_plan(plan, req, dict);
+        }
+        let rec = &req.recorder;
+        let canon = self.lookup_plan_canon(plan, rec);
+        let use_cache = req.cached && self.cache_capacity > 0;
+        let key = (
+            canon.plan.root.clone(),
+            req.mode == ExecMode::CrossingAware,
+            self.epoch(),
+        );
+        let shard = &self.plan_shards[self.plan_shard_for(&canon.plan.root)];
+        if use_cache {
+            let hit = shard.lock().get(&key);
+            if let Some((rows, stats)) = hit {
+                rec.incr("serve.cache.hit");
+                return Ok(complete_outcome(canon.restore_bindings(&rows), stats));
+            }
+            rec.incr("serve.cache.miss");
+        }
+        let (partial, stats) = self.inner.run_plan(&canon.plan, req, dict)?.into_parts();
+        if use_cache {
+            let evicted = shard.lock().insert(key, partial.rows.clone(), stats);
+            if evicted {
+                rec.incr("serve.cache.evict");
+            }
+        }
+        Ok(complete_outcome(canon.restore_bindings(&partial.rows), stats))
+    }
+
+    /// Plan canonicalization memo lookup (`serve.plan.*`): blanks the
+    /// variable names (they are presentation, not semantics — resolve
+    /// assigns ids by occurrence position, so renamed spellings are
+    /// structurally identical) and memoizes the labeling search.
+    fn lookup_plan_canon(&self, plan: &ResolvedPlan, rec: &Recorder) -> Arc<CanonicalPlan> {
+        let key = strip_var_names(plan);
+        if let Some(canon) = self.plan_memo.lock().get(&key) {
+            rec.incr("serve.plan.hit");
+            return canon.clone();
+        }
+        rec.incr("serve.plan.miss");
+        let canon = Arc::new(canonicalize_plan(&key));
+        self.plan_memo.lock().insert(key, canon.clone());
+        canon
+    }
+
+    /// The plan-cache shard owning a canonical plan root: Fx hash of
+    /// the root, mod the shard count (mode and epoch excluded, so every
+    /// variant of one plan shape colocates).
+    // The modulus is a usize shard count, so the remainder fits.
+    #[allow(clippy::cast_possible_truncation)]
+    fn plan_shard_for(&self, root: &PlanNode) -> usize {
+        let mut h = FxHasher::default();
+        root.hash(&mut h);
+        (h.finish() % self.plan_shards.len() as u64) as usize
+    }
+}
+
+/// A copy of `plan` with every variable name (root and BGP-leaf) set to
+/// the empty string — the memo key under which renamed spellings meet.
+fn strip_var_names(plan: &ResolvedPlan) -> ResolvedPlan {
+    fn strip_node(node: &mut PlanNode) {
+        match node {
+            PlanNode::Bgp { query, .. } => {
+                query.var_names = vec![String::new(); query.var_names.len()];
+            }
+            PlanNode::Empty { .. } => {}
+            PlanNode::Join(l, r) | PlanNode::LeftJoin(l, r) | PlanNode::Union(l, r) => {
+                strip_node(l);
+                strip_node(r);
+            }
+            PlanNode::Filter(c, _)
+            | PlanNode::Distinct(c)
+            | PlanNode::OrderBy(c, _)
+            | PlanNode::Slice(c, _, _)
+            | PlanNode::Project(c, _) => strip_node(c),
+        }
+    }
+    let mut stripped = plan.clone();
+    stripped.var_names = vec![String::new(); stripped.var_names.len()];
+    strip_node(&mut stripped.root);
+    stripped
 }
 
 /// Wraps infallible-path bindings (always complete) into an outcome.
@@ -660,6 +807,111 @@ mod tests {
         assert_eq!(off.cache_len(), 0);
         assert_eq!(rec.counter("serve.cache.hit"), None);
         assert!(off.shard_stats().iter().all(|s| *s == ShardStats::default()));
+    }
+
+    /// A dictionary-backed graph for plan serving (parsed queries need
+    /// resolvable IRIs).
+    fn iri_dataset() -> RdfGraph {
+        let mut b = mpc_rdf::GraphBuilder::new();
+        for i in 0..7 {
+            b.add_iris(&format!("urn:v:{i}"), "urn:p:0", &format!("urn:v:{}", i + 1));
+        }
+        for j in 8..16 {
+            b.add_iris("urn:v:3", "urn:p:2", &format!("urn:v:{j}"));
+        }
+        b.build()
+    }
+
+    fn plan_of(g: &RdfGraph, text: &str) -> mpc_sparql::ResolvedPlan {
+        mpc_sparql::parse(text)
+            .expect("test query parses")
+            .resolve(g.dictionary())
+            .expect("test query resolves")
+    }
+
+    #[test]
+    fn plan_hits_are_bit_identical_to_uncached_and_counted() {
+        let g = iri_dataset();
+        let serve = serve_engine(&g, 8);
+        let text = "SELECT * WHERE { ?a <urn:p:0> ?b OPTIONAL { ?b <urn:p:2> ?c } } ORDER BY ?b";
+        let plan = plan_of(&g, text);
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let first = serve.serve_plan(&plan, &req, g.dictionary()).unwrap();
+        let second = serve.serve_plan(&plan, &req, g.dictionary()).unwrap();
+        let uncached = serve
+            .serve_plan(&plan, &req.clone().cached(false), g.dictionary())
+            .unwrap();
+        assert_eq!(first.rows(), second.rows());
+        assert_eq!(first.rows(), uncached.rows());
+        assert_eq!(rec.counter("serve.cache.miss"), Some(1));
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+        assert_eq!(rec.counter("serve.plan.miss"), Some(1));
+        assert_eq!(rec.counter("serve.plan.hit"), Some(2));
+        assert_eq!(serve.cache_len(), 1);
+    }
+
+    #[test]
+    fn renamed_plan_spellings_share_one_entry_and_columns() {
+        let g = iri_dataset();
+        let serve = serve_engine(&g, 8);
+        let a = plan_of(
+            &g,
+            "SELECT ?x WHERE { ?x <urn:p:2> ?y FILTER(?x != ?y) } ORDER BY ?x",
+        );
+        let b = plan_of(
+            &g,
+            "SELECT ?s WHERE { ?s <urn:p:2> ?o FILTER(?s != ?o) } ORDER BY ?s",
+        );
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let ra = serve.serve_plan(&a, &req, g.dictionary()).unwrap();
+        let rb = serve.serve_plan(&b, &req, g.dictionary()).unwrap();
+        assert_eq!(serve.cache_len(), 1, "renamed spellings share one entry");
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+        assert_eq!(rec.counter("serve.plan.hit"), Some(1), "memo shared too");
+        assert_eq!(ra.rows(), rb.rows());
+        let store = LocalStore::from_graph(&g);
+        let central = mpc_sparql::eval_plan_local(&a, &store, g.dictionary());
+        assert_eq!(ra.rows(), &central);
+    }
+
+    #[test]
+    fn distinct_plans_cache_apart_from_their_bag_forms() {
+        let g = iri_dataset();
+        let serve = serve_engine(&g, 8);
+        let bag = plan_of(
+            &g,
+            "SELECT ?a WHERE { { ?a <urn:p:2> ?b } UNION { ?a <urn:p:2> ?c } }",
+        );
+        let set = plan_of(
+            &g,
+            "SELECT DISTINCT ?a WHERE { { ?a <urn:p:2> ?b } UNION { ?a <urn:p:2> ?c } }",
+        );
+        let req = ExecRequest::new();
+        let rb = serve.serve_plan(&bag, &req, g.dictionary()).unwrap();
+        let rs = serve.serve_plan(&set, &req, g.dictionary()).unwrap();
+        assert_eq!(serve.cache_len(), 2, "bag and set forms are distinct keys");
+        assert!(rb.rows().len() > rs.rows().len(), "UNION duplicates survive without DISTINCT");
+    }
+
+    #[test]
+    fn chaos_plan_requests_pass_through_uncached() {
+        let g = iri_dataset();
+        let serve = serve_engine(&g, 8);
+        let plan = plan_of(&g, "SELECT * WHERE { ?a <urn:p:0> ?b }");
+        let req = ExecRequest::new().fault(FaultSpec::Custom {
+            plan: FaultPlan::none(),
+            policy: RetryPolicy::default(),
+            replicas: 0,
+            graceful: true,
+        });
+        let rec = Recorder::enabled();
+        let _ = serve
+            .serve_plan(&plan, &req.clone().traced(&rec), g.dictionary())
+            .unwrap();
+        assert_eq!(serve.cache_len(), 0, "chaos plan results must never be cached");
+        assert_eq!(rec.counter("serve.cache.miss"), None);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   the four real datasets (YAGO2 / Bio2RDF / DBpedia / LGD),
 //! * [`real_queries`] — `YQ1`–`YQ4` and `BQ1`–`BQ5` analogs,
 //! * [`sampler`] — shape-mix workload sampling (the WatDiv template
-//!   instantiator / LSQ query-log stand-in).
+//!   instantiator / LSQ query-log stand-in),
+//! * [`operators`] — algebra-operator plan derivation (OPTIONAL / UNION /
+//!   FILTER / ORDER BY forms over the base BGP queries, docs/QUERY.md).
 //!
 //! Everything is seeded and deterministic.
 
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod lubm;
+pub mod operators;
 pub mod real_queries;
 pub mod realistic;
 pub mod sampler;
@@ -24,6 +27,7 @@ pub mod watdiv;
 
 use mpc_sparql::Query;
 
+pub use operators::{operator_plans, NamedPlan};
 pub use realistic::RealisticConfig;
 pub use sampler::{QuerySampler, Shape, ShapeMix};
 

@@ -79,7 +79,17 @@ fn raw_node(n: QNode, query: &Query) -> String {
 mod tests {
     use super::*;
     use mpc_rdf::{GraphBuilder, Term};
-    use mpc_sparql::parse_query;
+    use mpc_sparql::parse;
+
+    fn bgp_of(text: &str, dict: &Dictionary) -> Query {
+        parse(text)
+            .unwrap()
+            .resolve(dict)
+            .unwrap()
+            .as_bgp()
+            .expect("single BGP")
+            .clone()
+    }
 
     #[test]
     fn rendered_queries_reparse_to_the_same_shape() {
@@ -94,17 +104,9 @@ mod tests {
         let dict = g.dictionary();
 
         let text = "SELECT * WHERE { ?s <http://x/knows> ?o . ?o <http://x/age> \"42\" }";
-        let original = parse_query(text)
-            .unwrap()
-            .resolve(dict)
-            .unwrap()
-            .expect("all terms present");
+        let original = bgp_of(text, dict);
         let rendered = render_sparql(&original, dict);
-        let back = parse_query(&rendered)
-            .unwrap()
-            .resolve(dict)
-            .unwrap()
-            .expect("rendered terms resolve");
+        let back = bgp_of(&rendered, dict);
         assert_eq!(back.patterns, original.patterns);
         assert_eq!(back.var_names, original.var_names);
     }
@@ -135,11 +137,7 @@ mod tests {
         // Resolving against serialize→parse of the raw graph recovers a
         // query that matches the same data.
         let loaded = ntriples::parse_str(&ntriples::to_string(&raw)).unwrap();
-        let resolved = parse_query(&text)
-            .unwrap()
-            .resolve(loaded.dictionary())
-            .unwrap()
-            .expect("urn terms resolve");
+        let resolved = bgp_of(&text, loaded.dictionary());
         let store = mpc_sparql::LocalStore::from_graph(&loaded);
         let rows = mpc_sparql::evaluate(&resolved, &store);
         assert_eq!(rows.rows.len(), 1);
@@ -150,17 +148,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_iris("http://x/a", "http://x/p", "http://x/b");
         let g = b.build();
-        let original = parse_query("SELECT * WHERE { ?s ?p ?o }")
-            .unwrap()
-            .resolve(g.dictionary())
-            .unwrap()
-            .expect("resolves");
+        let original = bgp_of("SELECT * WHERE { ?s ?p ?o }", g.dictionary());
         let rendered = render_sparql(&original, g.dictionary());
-        let back = parse_query(&rendered)
-            .unwrap()
-            .resolve(g.dictionary())
-            .unwrap()
-            .expect("rendered resolves");
+        let back = bgp_of(&rendered, g.dictionary());
         assert_eq!(back.patterns, original.patterns);
     }
 }

@@ -26,7 +26,6 @@ use mpc_cluster::wire::encode_bindings;
 use mpc_cluster::{ExecRequest, ServeEngine, ShardStats};
 use mpc_obs::Recorder;
 use mpc_rdf::RdfGraph;
-use mpc_sparql::Bindings;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -253,17 +252,13 @@ fn execute(sh: &Shared, q: &QueryFrame) -> Frame {
 
 fn run_query(sh: &Shared, q: &QueryFrame) -> Result<Vec<u8>, String> {
     let dict = sh.graph.dictionary();
-    let parsed = mpc_sparql::parse_query(&q.text).map_err(|e| e.to_string())?;
-    let resolved = parsed.resolve(dict).map_err(|e| e.to_string())?;
-    let Some(query) = resolved else {
-        // A constant is absent from the dictionary: provably empty.
-        // Encode a zero-column, zero-row table so the client still gets
-        // a RESULT frame (and a stable fingerprint).
-        let empty = Bindings::new(Vec::new());
-        return encode_bindings(&empty)
-            .map(|b| b.as_ref().to_vec())
-            .map_err(|e| e.to_string());
-    };
+    // Constants absent from the dictionary resolve to an `Empty` leaf,
+    // so a provably-empty query still flows through the normal serving
+    // path and produces a RESULT frame with the query's own columns.
+    let plan = mpc_sparql::parse(&q.text)
+        .map_err(|e| e.to_string())?
+        .resolve(dict)
+        .map_err(|e| e.to_string())?;
     let mut req = ExecRequest::new()
         .mode(q.mode)
         .traced(&sh.rec)
@@ -271,12 +266,9 @@ fn run_query(sh: &Shared, q: &QueryFrame) -> Result<Vec<u8>, String> {
     if q.threads > 0 {
         req = req.threads(usize::from(q.threads));
     }
-    let outcome = sh.serve.serve(&query, &req).map_err(|e| e.to_string())?;
+    let outcome = sh.serve.serve_plan(&plan, &req, dict).map_err(|e| e.to_string())?;
     let (partial, _stats) = outcome.into_parts();
-    let finished = parsed
-        .finish(&query, partial.rows, dict)
-        .map_err(|e| e.to_string())?;
-    encode_bindings(&finished)
+    encode_bindings(&partial.rows)
         .map(|b| b.as_ref().to_vec())
         .map_err(|e| e.to_string())
 }

@@ -6,7 +6,7 @@
 
 #![allow(clippy::unwrap_used)] // test code: panicking on bad setup is the failure mode
 
-use mpc_cluster::{DistributedEngine, NetworkModel, ServeEngine};
+use mpc_cluster::{DistributedEngine, ExecRequest, NetworkModel, ServeEngine};
 use mpc_core::{MpcConfig, MpcPartitioner, Partitioner};
 use mpc_datagen::lubm::{generate, LubmConfig};
 use mpc_obs::Recorder;
@@ -15,7 +15,7 @@ use mpc_server::{
     digest_result_bytes, fingerprint, proto, replay, Client, ClientError, Frame, RequestOpts,
     ResultDigest, Server, ServerConfig, ServerSummary,
 };
-use mpc_sparql::{evaluate, parse_query, LocalStore};
+use mpc_sparql::{eval_plan_local, parse, LocalStore};
 use proptest::prelude::*;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -23,14 +23,18 @@ use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
 /// Workload queries over the shared LUBM graph: repeats, a respelling
-/// (q0/q1 share a canonical form), a distinct star, and a query whose
-/// constant is absent from the dictionary (provably empty).
+/// (q0/q1 share a canonical form), a distinct star, a query whose
+/// constant is absent from the dictionary (provably empty), and one of
+/// each non-BGP operator form (OPTIONAL / UNION / ORDER BY).
 const QUERIES: &[&str] = &[
     "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y . ?y <urn:p:13> ?z }",
     "SELECT ?a ?b WHERE { ?b <urn:p:13> ?c . ?a <urn:p:8> ?b }",
     "SELECT ?x WHERE { ?x <urn:p:0> ?y }",
     "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } LIMIT 5",
     "SELECT ?x WHERE { ?x <urn:p:0> <urn:u0:nosuchterm> }",
+    "SELECT ?x ?z WHERE { ?x <urn:p:8> ?y OPTIONAL { ?y <urn:p:13> ?z } }",
+    "SELECT ?x WHERE { { ?x <urn:p:8> ?y } UNION { ?x <urn:p:13> ?y } }",
+    "SELECT ?x ?y WHERE { ?x <urn:p:8> ?y } ORDER BY DESC(?y) LIMIT 7",
 ];
 
 fn graph() -> &'static RdfGraph {
@@ -76,25 +80,34 @@ fn shutdown(addr: SocketAddr) {
     Client::connect(addr).unwrap().shutdown_server().unwrap();
 }
 
-/// The ground truth a correct server must reproduce: centralized
-/// evaluation + finish + codec, per query.
+/// The ground truth a correct server must reproduce: a fresh in-process
+/// serving engine run per query (so the wire stack — framing, queueing,
+/// workers, caching — must be byte-transparent), cross-checked against
+/// centralized plan evaluation as a row multiset (row *order* after a
+/// distributed merge legitimately differs from the centralized order,
+/// and LIMIT then picks order-dependent rows).
 fn reference_digests() -> Vec<ResultDigest> {
     let g = graph();
     let store = LocalStore::from_graph(g);
+    let serve = serve_engine(1);
+    let req = ExecRequest::new().cached(false);
     QUERIES
         .iter()
         .map(|text| {
-            let parsed = parse_query(text).unwrap();
-            let finished = match parsed.resolve(g.dictionary()).unwrap() {
-                Some(query) => {
-                    let full = evaluate(&query, &store);
-                    parsed.finish(&query, full, g.dictionary()).unwrap()
-                }
-                None => mpc_sparql::Bindings::new(Vec::new()),
-            };
-            let bytes = mpc_cluster::wire::encode_bindings(&finished).unwrap();
+            let plan = parse(text).unwrap().resolve(g.dictionary()).unwrap();
+            let outcome = serve.serve_plan(&plan, &req, g.dictionary()).unwrap();
+            let result = outcome.into_parts().0.rows;
+            if !text.contains("LIMIT") {
+                let central = eval_plan_local(&plan, &store, g.dictionary());
+                let mut got = result.rows.clone();
+                let mut want = central.rows;
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "served rows diverge from centralized: {text}");
+            }
+            let bytes = mpc_cluster::wire::encode_bindings(&result).unwrap();
             ResultDigest {
-                rows: finished.rows.len(),
+                rows: result.rows.len(),
                 fp: fingerprint(bytes.as_ref()),
             }
         })
@@ -128,8 +141,8 @@ fn round_trip_matches_centralized_reference_and_drains_cleanly() {
 
     shutdown(addr);
     let summary = handle.join().unwrap();
-    assert_eq!(summary.requests, 12);
-    assert_eq!(summary.served, 12, "the parse error still went through a worker");
+    assert_eq!(summary.requests, 18);
+    assert_eq!(summary.served, 18, "the parse error still went through a worker");
     assert_eq!(summary.rejected, 0);
     assert!(summary.accepted >= 2);
     let hits: u64 = summary.shards.iter().map(|s| s.hits).sum();

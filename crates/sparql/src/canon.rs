@@ -18,9 +18,18 @@
 //!   labeling that may split some symmetric spellings into distinct keys;
 //!   the only cost is a spurious cache miss, never a wrong hit.
 
-use crate::algebra::Bindings;
+//!
+//! [`canonicalize_plan`] lifts the same idea to whole algebra trees
+//! (OPTIONAL / UNION / FILTER / ORDER BY, docs/QUERY.md): one variable
+//! labeling is chosen from the union of every BGP leaf's patterns, the
+//! tree is relabeled node by node, and each leaf's patterns are sorted
+//! under the new labels. α-equivalent trees — renamed variables,
+//! reshuffled patterns within a leaf — become identical [`PlanNode`]
+//! values, which is the serve layer's cache key for non-BGP plans.
+
+use crate::algebra::{Bindings, PlanNode, ResolvedFilter, ResolvedPlan, ROperand};
 use crate::query::{QLabel, QNode, Query, TriplePattern};
-use mpc_rdf::narrow;
+use mpc_rdf::{narrow, FxHashMap};
 
 /// Queries with at most this many *used* variables get the exact
 /// (minimum-over-all-bijections) labeling; 7! = 5040 candidate labelings
@@ -207,11 +216,203 @@ fn greedy_labeling(patterns: &[TriplePattern], used_vars: &[u32], nvars: usize) 
     map
 }
 
+/// A resolved plan in canonical form, remembering how to get back.
+///
+/// Because [`Algebra::resolve`](crate::algebra::Algebra::resolve)
+/// guarantees an explicit `Project` on the root spine, the canonical
+/// plan's output columns correspond *pointwise* to the original's —
+/// column `i` holds the same variable under both labelings. Restoring
+/// cached rows is therefore a pure re-labeling: the rows are reused
+/// verbatim.
+#[derive(Clone, Debug)]
+pub struct CanonicalPlan {
+    /// The canonical relabeling of the whole tree.
+    pub plan: ResolvedPlan,
+    /// `var_map[original_global] = canonical_global`.
+    pub var_map: Vec<u32>,
+    /// The original plan's root output columns, for restore.
+    original_out_vars: Vec<u32>,
+}
+
+impl CanonicalPlan {
+    /// Maps bindings produced by evaluating the *canonical* plan back
+    /// into the original plan's variable labels. Rows carry over
+    /// unchanged (see the pointwise-correspondence note on the type).
+    pub fn restore_bindings(&self, canonical: &Bindings) -> Bindings {
+        let mut out = Bindings::new(self.original_out_vars.clone());
+        out.rows = canonical.rows.clone();
+        out
+    }
+}
+
+/// Maps a leaf-local pattern into the plan's global variable space.
+fn globalize(pat: &TriplePattern, var_map: &[u32]) -> TriplePattern {
+    let node = |n: QNode| match n {
+        QNode::Var(l) => QNode::Var(var_map[l as usize]),
+        c @ QNode::Const(_) => c,
+    };
+    let label = |l: QLabel| match l {
+        QLabel::Var(v) => QLabel::Var(var_map[v as usize]),
+        p @ QLabel::Prop(_) => p,
+    };
+    TriplePattern::new(node(pat.s), label(pat.p), node(pat.o))
+}
+
+/// Rebuilds a plan node under a canonical global-variable map. BGP
+/// leaves get their patterns relabeled, sorted and deduplicated, then
+/// re-densified into fresh local ids (first occurrence in s, p, o
+/// order) so the leaf [`Query`] keeps the matcher's dense-variable
+/// contract.
+fn relabel_node(node: &PlanNode, map: &[u32]) -> PlanNode {
+    let map_filter = |f: &ResolvedFilter| -> ResolvedFilter {
+        let side = |o: &ROperand| match o {
+            ROperand::Var(g) => ROperand::Var(map[*g as usize]),
+            c => c.clone(),
+        };
+        ResolvedFilter {
+            lhs: side(&f.lhs),
+            op: f.op,
+            rhs: side(&f.rhs),
+        }
+    };
+    match node {
+        PlanNode::Bgp { query, var_map } => {
+            let globalized: Vec<TriplePattern> = query
+                .patterns
+                .iter()
+                .map(|p| globalize(p, var_map))
+                .collect();
+            let canonical = relabel(&globalized, map);
+            let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+            let mut new_map: Vec<u32> = Vec::new();
+            let mut names: Vec<String> = Vec::new();
+            let mut intern = |g: u32, new_map: &mut Vec<u32>, names: &mut Vec<String>| -> u32 {
+                if let Some(&l) = local.get(&g) {
+                    return l;
+                }
+                let l = narrow::u32_from(new_map.len());
+                local.insert(g, l);
+                new_map.push(g);
+                names.push(format!("c{g}"));
+                l
+            };
+            let patterns: Vec<TriplePattern> = canonical
+                .iter()
+                .map(|pat| {
+                    let s = match pat.s {
+                        QNode::Var(g) => QNode::Var(intern(g, &mut new_map, &mut names)),
+                        c => c,
+                    };
+                    let p = match pat.p {
+                        QLabel::Var(g) => QLabel::Var(intern(g, &mut new_map, &mut names)),
+                        pr => pr,
+                    };
+                    let o = match pat.o {
+                        QNode::Var(g) => QNode::Var(intern(g, &mut new_map, &mut names)),
+                        c => c,
+                    };
+                    TriplePattern::new(s, p, o)
+                })
+                .collect();
+            PlanNode::Bgp {
+                query: Query::new(patterns, names),
+                var_map: new_map,
+            }
+        }
+        PlanNode::Empty { vars } => PlanNode::Empty {
+            vars: vars.iter().map(|&v| map[v as usize]).collect(),
+        },
+        PlanNode::Join(l, r) => PlanNode::Join(
+            Box::new(relabel_node(l, map)),
+            Box::new(relabel_node(r, map)),
+        ),
+        PlanNode::LeftJoin(l, r) => PlanNode::LeftJoin(
+            Box::new(relabel_node(l, map)),
+            Box::new(relabel_node(r, map)),
+        ),
+        PlanNode::Union(l, r) => PlanNode::Union(
+            Box::new(relabel_node(l, map)),
+            Box::new(relabel_node(r, map)),
+        ),
+        PlanNode::Filter(c, f) => {
+            PlanNode::Filter(Box::new(relabel_node(c, map)), map_filter(f))
+        }
+        PlanNode::Distinct(c) => PlanNode::Distinct(Box::new(relabel_node(c, map))),
+        PlanNode::OrderBy(c, keys) => PlanNode::OrderBy(
+            Box::new(relabel_node(c, map)),
+            keys.iter().map(|&(v, d)| (map[v as usize], d)).collect(),
+        ),
+        PlanNode::Slice(c, offset, limit) => {
+            PlanNode::Slice(Box::new(relabel_node(c, map)), *offset, *limit)
+        }
+        PlanNode::Project(c, vars) => PlanNode::Project(
+            Box::new(relabel_node(c, map)),
+            vars.iter().map(|&v| map[v as usize]).collect(),
+        ),
+    }
+}
+
+/// Computes the canonical form of a whole resolved plan.
+///
+/// The labeling is chosen once, over the union of every leaf's patterns
+/// lifted to global variables — exact below [`EXACT_VAR_LIMIT`] used
+/// variables, greedy above — then applied to every node. Variables no
+/// pattern uses (e.g. those bound only inside a provably-empty leaf)
+/// get trailing ids in original order: deterministic, possibly
+/// spelling-sensitive — an extra cache miss, never a wrong hit.
+pub fn canonicalize_plan(plan: &ResolvedPlan) -> CanonicalPlan {
+    let n = plan.var_names.len();
+    let mut synthetic: Vec<TriplePattern> = Vec::new();
+    plan.root.for_each(&mut |node| {
+        if let PlanNode::Bgp { query, var_map } = node {
+            synthetic.extend(query.patterns.iter().map(|p| globalize(p, var_map)));
+        }
+    });
+    let mut used = vec![false; n];
+    for pat in &synthetic {
+        for v in [pat.s.as_var(), pat.o.as_var(), pat.p.as_var()]
+            .into_iter()
+            .flatten()
+        {
+            used[v as usize] = true;
+        }
+    }
+    let used_vars: Vec<u32> = (0..narrow::u32_from(n))
+        .filter(|&v| used[v as usize])
+        .collect();
+    let mut map = if used_vars.len() <= EXACT_VAR_LIMIT {
+        exact_labeling(&synthetic, &used_vars, n)
+    } else {
+        greedy_labeling(&synthetic, &used_vars, n)
+    };
+    let mut next = narrow::u32_from(used_vars.len());
+    for slot in map.iter_mut() {
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next += 1;
+        }
+    }
+    let root = relabel_node(&plan.root, &map);
+    let mut prop_vars = vec![false; n];
+    for (g, &c) in map.iter().enumerate() {
+        prop_vars[c as usize] = plan.prop_vars[g];
+    }
+    CanonicalPlan {
+        plan: ResolvedPlan {
+            root,
+            var_names: (0..n).map(|i| format!("c{i}")).collect(),
+            prop_vars,
+        },
+        original_out_vars: plan.out_vars(),
+        var_map: map,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::matcher::evaluate;
-    use crate::parser::parse_query;
+    use crate::parser::parse;
     use crate::store::LocalStore;
     use mpc_rdf::{Dictionary, GraphBuilder, PropertyId, Triple, VertexId};
 
@@ -349,12 +550,11 @@ mod tests {
     }
 
     fn key_of(text: &str) -> CanonicalKey {
-        let parsed = parse_query(text).expect("parses");
-        let resolved = parsed
+        let plan = parse(text)
+            .expect("parses")
             .resolve(&dict())
-            .expect("resolves")
-            .expect("all constants known");
-        canonical_key(&resolved)
+            .expect("resolves");
+        canonical_key(plan.as_bgp().expect("single-BGP plan"))
     }
 
     /// The parser normalizes surface syntax (whitespace, comments,
@@ -389,6 +589,77 @@ mod tests {
         let a = key_of("SELECT * WHERE { ?x <urn:knows> ?y }");
         let b = key_of("SELECT * WHERE { ?x <urn:name> ?y }");
         assert_ne!(a, b);
+    }
+
+    fn plan_of(text: &str) -> ResolvedPlan {
+        parse(text)
+            .expect("parses")
+            .resolve(&dict())
+            .expect("resolves")
+    }
+
+    #[test]
+    fn respelled_operator_plans_share_one_canonical_root() {
+        let a = plan_of(
+            "SELECT ?x ?y WHERE { ?x <urn:knows> ?y OPTIONAL { ?y <urn:name> ?n } \
+             FILTER(?x != ?y) } ORDER BY ?y LIMIT 4",
+        );
+        let b = plan_of(
+            "SELECT ?p ?q WHERE { ?p <urn:knows> ?q OPTIONAL { ?q <urn:name> ?m } \
+             FILTER(?p != ?q) } ORDER BY ?q LIMIT 4",
+        );
+        assert_ne!(a.root, b.root, "different spellings");
+        assert_eq!(
+            canonicalize_plan(&a).plan.root,
+            canonicalize_plan(&b).plan.root,
+            "one canonical root"
+        );
+    }
+
+    #[test]
+    fn different_operator_plans_stay_apart() {
+        let a = canonicalize_plan(&plan_of(
+            "SELECT * WHERE { ?x <urn:knows> ?y OPTIONAL { ?y <urn:name> ?n } }",
+        ));
+        let b = canonicalize_plan(&plan_of(
+            "SELECT * WHERE { ?x <urn:knows> ?y . ?y <urn:name> ?n }",
+        ));
+        assert_ne!(a.plan.root, b.plan.root);
+    }
+
+    #[test]
+    fn canonical_plan_execution_restores_to_original_rows() {
+        use crate::eval::eval_plan_local;
+        let mut b = GraphBuilder::new();
+        b.add_iris("urn:alice", "urn:knows", "urn:bob");
+        b.add_iris("urn:bob", "urn:knows", "urn:carol");
+        b.add_iris("urn:bob", "urn:name", "urn:lit-b");
+        let g = b.build();
+        let store = LocalStore::from_graph(&g);
+        for text in [
+            "SELECT ?x ?y WHERE { ?x <urn:knows> ?y }",
+            "SELECT ?y ?x WHERE { ?x <urn:knows> ?y OPTIONAL { ?y <urn:name> ?n } }",
+            "SELECT * WHERE { { ?x <urn:knows> ?y } UNION { ?x <urn:name> ?y } }",
+            "SELECT DISTINCT ?x WHERE { ?x <urn:knows> ?y FILTER(?x != ?y) } ORDER BY ?x",
+        ] {
+            let plan = parse(text)
+                .unwrap()
+                .resolve(g.dictionary())
+                .expect("resolves");
+            let direct = eval_plan_local(&plan, &store, g.dictionary());
+            let canon = canonicalize_plan(&plan);
+            let restored = canon.restore_bindings(&eval_plan_local(
+                &canon.plan,
+                &store,
+                g.dictionary(),
+            ));
+            assert_eq!(restored.vars, direct.vars, "columns correspond: {text}");
+            let mut a = direct.rows.clone();
+            let mut b = restored.rows.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "same result multiset: {text}");
+        }
     }
 }
 

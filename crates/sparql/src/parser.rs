@@ -1,24 +1,30 @@
-//! A parser for the SPARQL BGP fragment (Definition 3.5).
+//! A parser for the SPARQL fragment this engine evaluates: BGPs
+//! (Definition 3.5) composed with OPTIONAL, UNION, group-level FILTER,
+//! DISTINCT, ORDER BY and LIMIT/OFFSET. See docs/QUERY.md.
 //!
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query   := prefix* 'SELECT' ('*' | var+) 'WHERE' '{' triples '}'
-//! prefix  := 'PREFIX' NAME ':' IRIREF
-//! triples := pattern ('.' pattern)* '.'?
-//! pattern := term term term
-//! term    := var | IRIREF | prefixed | literal | 'a'
+//! query    := prefix* 'SELECT' 'DISTINCT'? ('*' | var+) 'WHERE' group
+//!             ('ORDER' 'BY' key+)? (('LIMIT' INT) | ('OFFSET' INT))*
+//! prefix   := 'PREFIX' NAME ':' IRIREF
+//! group    := '{' element* '}'
+//! element  := (triples | 'FILTER' '(' operand op operand ')'
+//!              | 'OPTIONAL' group | group ('UNION' group)*) '.'?
+//! triples  := pattern ('.' pattern)*
+//! pattern  := term term term
+//! term     := var | IRIREF | prefixed | literal | 'a'
+//! key      := var | 'ASC' '(' var ')' | 'DESC' '(' var ')'
 //! ```
 //!
-//! where `a` abbreviates `rdf:type` as in Turtle. Parsed queries hold RDF
-//! [`Term`]s; [`ParsedQuery::resolve`] maps them into dictionary ids,
-//! returning `None` if any constant is absent from the dictionary (the
-//! query is then provably empty on that graph).
+//! where `a` abbreviates `rdf:type` as in Turtle. [`parse`] returns an
+//! [`Algebra`] tree holding RDF [`Term`]s; [`Algebra::resolve`] maps it
+//! into dictionary ids, yielding an executable
+//! [`ResolvedPlan`](crate::algebra::ResolvedPlan).
 
-use crate::query::{QLabel, QNode, Query, TriplePattern};
-use mpc_rdf::{Dictionary, FxHashMap, Term};
+use crate::algebra::Algebra;
+use mpc_rdf::{FxHashMap, Term};
 use std::fmt;
-use mpc_rdf::narrow;
 
 /// The rdf:type IRI that the keyword `a` abbreviates.
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
@@ -45,7 +51,7 @@ pub enum PTerm {
 }
 
 /// One parsed triple pattern.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PPattern {
     /// Subject.
     pub s: PTerm,
@@ -56,7 +62,7 @@ pub struct PPattern {
 }
 
 /// A comparison operator in a FILTER expression.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `=` — term equality.
     Eq,
@@ -87,7 +93,7 @@ impl CompareOp {
 }
 
 /// One side of a FILTER comparison.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FilterOperand {
     /// A variable name (without `?`).
     Var(String),
@@ -97,7 +103,7 @@ pub enum FilterOperand {
 }
 
 /// A `FILTER(lhs op rhs)` constraint.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Filter {
     /// Left operand.
     pub lhs: FilterOperand,
@@ -105,213 +111,6 @@ pub struct Filter {
     pub op: CompareOp,
     /// Right operand.
     pub rhs: FilterOperand,
-}
-
-/// A parsed (unresolved) query.
-#[derive(Clone, Debug)]
-pub struct ParsedQuery {
-    /// Projection list (empty means `SELECT *`).
-    pub select: Vec<String>,
-    /// True if `SELECT DISTINCT` was written. (Results are set-semantic
-    /// either way in this engine; the keyword is accepted for
-    /// compatibility.)
-    pub distinct: bool,
-    /// The triple patterns.
-    pub patterns: Vec<PPattern>,
-    /// `FILTER(...)` constraints, applied post-matching.
-    pub filters: Vec<Filter>,
-    /// `LIMIT n`, if present.
-    pub limit: Option<usize>,
-    /// `OFFSET n`, if present.
-    pub offset: Option<usize>,
-}
-
-impl ParsedQuery {
-    /// Resolves terms against a dictionary. Returns `Ok(None)` if some
-    /// constant does not occur in the dictionary — the query can have no
-    /// matches on that graph.
-    pub fn resolve(&self, dict: &Dictionary) -> Result<Option<Query>, QueryParseError> {
-        let mut var_names: Vec<String> = Vec::new();
-        let mut var_index: FxHashMap<String, u32> = FxHashMap::default();
-        let mut intern = |name: &str, var_names: &mut Vec<String>| -> u32 {
-            if let Some(&i) = var_index.get(name) {
-                return i;
-            }
-            let i = narrow::u32_from(var_names.len());
-            var_index.insert(name.to_owned(), i);
-            var_names.push(name.to_owned());
-            i
-        };
-        let mut patterns = Vec::with_capacity(self.patterns.len());
-        for pat in &self.patterns {
-            let s = match &pat.s {
-                PTerm::Var(v) => QNode::Var(intern(v, &mut var_names)),
-                PTerm::Term(t) => match dict.vertex_id(t) {
-                    Some(id) => QNode::Const(id),
-                    None => return Ok(None),
-                },
-            };
-            let o = match &pat.o {
-                PTerm::Var(v) => QNode::Var(intern(v, &mut var_names)),
-                PTerm::Term(t) => match dict.vertex_id(t) {
-                    Some(id) => QNode::Const(id),
-                    None => return Ok(None),
-                },
-            };
-            let p = match &pat.p {
-                PTerm::Var(v) => QLabel::Var(intern(v, &mut var_names)),
-                PTerm::Term(Term::Iri(iri)) => match dict.property_id(iri) {
-                    Some(id) => QLabel::Prop(id),
-                    None => return Ok(None),
-                },
-                PTerm::Term(other) => {
-                    return Err(QueryParseError(format!(
-                        "predicate must be an IRI or variable, got {other}"
-                    )))
-                }
-            };
-            patterns.push(TriplePattern::new(s, p, o));
-        }
-        Ok(Some(Query::new(patterns, var_names)))
-    }
-
-    /// Column indices of the projection over a resolved query: `None` for
-    /// `SELECT *`. Errors if a projected variable does not occur in the
-    /// patterns.
-    pub fn projection(&self, query: &Query) -> Result<Option<Vec<u32>>, QueryParseError> {
-        if self.select.is_empty() {
-            return Ok(None);
-        }
-        let mut out = Vec::with_capacity(self.select.len());
-        for name in &self.select {
-            match query.var_names.iter().position(|n| n == name) {
-                Some(i) => out.push(narrow::u32_from(i)),
-                None => {
-                    return Err(QueryParseError(format!(
-                        "projected variable ?{name} does not occur in the BGP"
-                    )))
-                }
-            }
-        }
-        Ok(Some(out))
-    }
-
-    /// Applies FILTERs, projection, LIMIT and OFFSET to a full result.
-    ///
-    /// Filters need the dictionary to look bound ids back up as terms;
-    /// `=`/`!=` compare terms for identity, the ordering operators compare
-    /// numeric literal values (rows where either side is non-numeric are
-    /// dropped, mirroring SPARQL's error-as-false semantics).
-    pub fn finish(
-        &self,
-        query: &Query,
-        mut bindings: crate::algebra::Bindings,
-        dict: &Dictionary,
-    ) -> Result<crate::algebra::Bindings, QueryParseError> {
-        if !self.filters.is_empty() {
-            self.apply_filters(query, &mut bindings, dict)?;
-        }
-        let mut out = match self.projection(query)? {
-            Some(cols) => bindings.project(&cols),
-            None => bindings,
-        };
-        let offset = self.offset.unwrap_or(0);
-        if offset > 0 {
-            out.rows.drain(..offset.min(out.rows.len()));
-        }
-        if let Some(limit) = self.limit {
-            out.rows.truncate(limit);
-        }
-        Ok(out)
-    }
-
-    fn apply_filters(
-        &self,
-        query: &Query,
-        bindings: &mut crate::algebra::Bindings,
-        dict: &Dictionary,
-    ) -> Result<(), QueryParseError> {
-        use crate::query::QLabel;
-        if dict.vertex_count() == 0 && dict.property_count() == 0 {
-            return Err(QueryParseError(
-                "FILTER evaluation requires a dictionary-backed graph".into(),
-            ));
-        }
-        // Which variables sit in the property position?
-        let mut is_property_var = vec![false; query.var_count()];
-        for pat in &query.patterns {
-            if let QLabel::Var(v) = pat.p {
-                is_property_var[v as usize] = true;
-            }
-        }
-        // Resolve each filter's operands to column indices or terms.
-        enum Side {
-            Col(usize, bool), // column, is_property_var
-            Term(Term),
-        }
-        let mut sides: Vec<(Side, CompareOp, Side)> = Vec::with_capacity(self.filters.len());
-        for f in &self.filters {
-            let resolve = |o: &FilterOperand| -> Result<Side, QueryParseError> {
-                match o {
-                    FilterOperand::Var(name) => {
-                        let idx = query
-                            .var_names
-                            .iter()
-                            .position(|n| n == name)
-                            .ok_or_else(|| {
-                                QueryParseError(format!(
-                                    "FILTER variable ?{name} does not occur in the BGP"
-                                ))
-                            })?;
-                        let col = bindings.column_of(narrow::u32_from(idx)).ok_or_else(|| {
-                            QueryParseError(format!("?{name} missing from bindings"))
-                        })?;
-                        Ok(Side::Col(col, is_property_var[idx]))
-                    }
-                    FilterOperand::Term(t) => Ok(Side::Term(t.clone())),
-                }
-            };
-            sides.push((resolve(&f.lhs)?, f.op, resolve(&f.rhs)?));
-        }
-        let term_of = |side: &Side, row: &[u32]| -> Term {
-            match side {
-                Side::Term(t) => t.clone(),
-                Side::Col(col, true) => {
-                    Term::Iri(dict.property_iri(mpc_rdf_property(row[*col])).to_owned())
-                }
-                Side::Col(col, false) => dict.vertex_term(mpc_rdf_vertex(row[*col])).clone(),
-            }
-        };
-        bindings.rows.retain(|row| {
-            sides.iter().all(|(lhs, op, rhs)| {
-                let a = term_of(lhs, row);
-                let b = term_of(rhs, row);
-                match op {
-                    CompareOp::Eq => a == b,
-                    CompareOp::Ne => a != b,
-                    ordering => match (numeric_value(&a), numeric_value(&b)) {
-                        (Some(x), Some(y)) => match ordering {
-                            CompareOp::Lt => x < y,
-                            CompareOp::Le => x <= y,
-                            CompareOp::Gt => x > y,
-                            CompareOp::Ge => x >= y,
-                            _ => unreachable!(),
-                        },
-                        _ => false, // SPARQL: type error → row filtered out
-                    },
-                }
-            })
-        });
-        Ok(())
-    }
-}
-
-fn mpc_rdf_vertex(v: u32) -> mpc_rdf::VertexId {
-    mpc_rdf::VertexId(v)
-}
-
-fn mpc_rdf_property(v: u32) -> mpc_rdf::PropertyId {
-    mpc_rdf::PropertyId(v)
 }
 
 /// The numeric value of a literal term, if its lexical form parses.
@@ -322,20 +121,19 @@ pub fn numeric_value(term: &Term) -> Option<f64> {
     }
 }
 
-/// Parses a query string into a [`ParsedQuery`].
+/// Parses a query string into an [`Algebra`] tree.
 ///
 /// # Examples
 ///
 /// ```
-/// use mpc_sparql::parse_query;
+/// use mpc_sparql::{parse, Algebra};
 ///
-/// let q = parse_query(
+/// let q = parse(
 ///     "PREFIX ex: <http://ex/> SELECT ?a WHERE { ?a ex:knows ?b . ?b a ex:Person }",
 /// ).unwrap();
-/// assert_eq!(q.select, vec!["a"]);
-/// assert_eq!(q.patterns.len(), 2);
+/// assert!(matches!(q, Algebra::Project(_, Some(ref names)) if names == &["a"]));
 /// ```
-pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryParseError> {
+pub fn parse(input: &str) -> Result<Algebra, QueryParseError> {
     let tokens = tokenize(input)?;
     let mut p = TokenCursor { tokens, pos: 0 };
 
@@ -345,10 +143,7 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryParseError> {
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("prefix") => {
                 p.advance();
                 let name = match p.next() {
-                    Some(Token::Word(w)) => {
-                        let w = w.strip_suffix(':').unwrap_or(&w).to_owned();
-                        w
-                    }
+                    Some(Token::Word(w)) => w.strip_suffix(':').unwrap_or(&w).to_owned(),
                     other => return Err(err(format!("expected prefix name, got {other:?}"))),
                 };
                 let iri = match p.next() {
@@ -389,49 +184,64 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryParseError> {
         Some(Token::OpenBrace) => {}
         other => return Err(err(format!("expected '{{', got {other:?}"))),
     }
+    let body = parse_group_body(&mut p, &prefixes)?;
 
-    let mut patterns = Vec::new();
-    let mut filters = Vec::new();
-    loop {
-        if matches!(p.peek(), Some(Token::CloseBrace)) {
-            p.advance();
-            break;
-        }
-        if matches!(p.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("filter")) {
-            p.advance();
-            filters.push(parse_filter(&mut p, &prefixes)?);
-            // Optional '.' after a filter.
-            if matches!(p.peek(), Some(Token::Dot)) {
-                p.advance();
-            }
-            continue;
-        }
-        let s = parse_term(&mut p, &prefixes)?;
-        let pred = parse_term(&mut p, &prefixes)?;
-        let o = parse_term(&mut p, &prefixes)?;
-        if let PTerm::Term(t) = &pred {
-            if !matches!(t, Term::Iri(_)) {
-                return Err(err(format!("predicate must be an IRI or variable: {t}")));
-            }
-        }
-        patterns.push(PPattern { s, p: pred, o });
-        match p.peek() {
-            Some(Token::Dot) => {
-                p.advance();
-            }
-            Some(Token::CloseBrace) => {}
-            other => return Err(err(format!("expected '.' or '}}', got {other:?}"))),
-        }
-    }
-    if patterns.is_empty() {
-        return Err(err("query has no triple patterns".into()));
-    }
-
-    // Solution modifiers, in any order.
+    // Solution modifiers.
+    let mut order: Vec<(String, bool)> = Vec::new();
     let mut limit = None;
     let mut offset = None;
     loop {
         match p.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("order") => {
+                p.advance();
+                match p.next() {
+                    Some(Token::Word(w)) if w.eq_ignore_ascii_case("by") => {}
+                    other => return Err(err(format!("ORDER expects BY, got {other:?}"))),
+                }
+                loop {
+                    match p.peek() {
+                        Some(Token::Var(v)) => {
+                            order.push((v.clone(), false));
+                            p.advance();
+                        }
+                        Some(Token::Word(w))
+                            if w.eq_ignore_ascii_case("asc") || w.eq_ignore_ascii_case("desc") =>
+                        {
+                            let desc = w.eq_ignore_ascii_case("desc");
+                            p.advance();
+                            match p.next() {
+                                Some(Token::OpenParen) => {}
+                                other => {
+                                    return Err(err(format!(
+                                        "ASC/DESC expects '(', got {other:?}"
+                                    )))
+                                }
+                            }
+                            let name = match p.next() {
+                                Some(Token::Var(v)) => v,
+                                other => {
+                                    return Err(err(format!(
+                                        "ASC/DESC expects a ?var, got {other:?}"
+                                    )))
+                                }
+                            };
+                            match p.next() {
+                                Some(Token::CloseParen) => {}
+                                other => {
+                                    return Err(err(format!(
+                                        "ASC/DESC expects ')', got {other:?}"
+                                    )))
+                                }
+                            }
+                            order.push((name, desc));
+                        }
+                        _ => break,
+                    }
+                }
+                if order.is_empty() {
+                    return Err(err("ORDER BY expects at least one sort key".into()));
+                }
+            }
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("limit") => {
                 p.advance();
                 limit = Some(parse_count(&mut p, "LIMIT")?);
@@ -444,14 +254,127 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, QueryParseError> {
             None => break,
         }
     }
-    Ok(ParsedQuery {
-        select,
-        distinct,
-        patterns,
-        filters,
-        limit,
-        offset,
-    })
+
+    let mut tree = body;
+    if !order.is_empty() {
+        tree = Algebra::OrderBy(Box::new(tree), order);
+    }
+    let projection = if select.is_empty() { None } else { Some(select) };
+    tree = Algebra::Project(Box::new(tree), projection);
+    if distinct {
+        tree = Algebra::Distinct(Box::new(tree));
+    }
+    if limit.is_some() || offset.is_some() {
+        tree = Algebra::Slice(Box::new(tree), offset.unwrap_or(0), limit);
+    }
+    Ok(tree)
+}
+
+/// Joins the accumulated triple buffer (as one BGP) into the group
+/// accumulator.
+fn flush(acc: &mut Option<Algebra>, buf: &mut Vec<PPattern>) {
+    if buf.is_empty() {
+        return;
+    }
+    let bgp = Algebra::Bgp(std::mem::take(buf));
+    *acc = Some(match acc.take() {
+        Some(a) => Algebra::Join(Box::new(a), Box::new(bgp)),
+        None => bgp,
+    });
+}
+
+/// Parses a group's elements; the opening `{` is already consumed, the
+/// closing `}` is consumed here. Consecutive triples form one BGP;
+/// braced groups and OPTIONALs join left-to-right; FILTERs collect and
+/// wrap the whole group (a group-level FILTER sees OPTIONAL-bound
+/// variables, per the SPARQL algebra).
+fn parse_group_body(
+    p: &mut TokenCursor,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<Algebra, QueryParseError> {
+    let mut acc: Option<Algebra> = None;
+    let mut buf: Vec<PPattern> = Vec::new();
+    let mut filters: Vec<Filter> = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Token::CloseBrace) => {
+                p.advance();
+                break;
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("filter") => {
+                p.advance();
+                filters.push(parse_filter(p, prefixes)?);
+                if matches!(p.peek(), Some(Token::Dot)) {
+                    p.advance();
+                }
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("optional") => {
+                p.advance();
+                match p.next() {
+                    Some(Token::OpenBrace) => {}
+                    other => return Err(err(format!("OPTIONAL expects '{{', got {other:?}"))),
+                }
+                let g = parse_group_body(p, prefixes)?;
+                flush(&mut acc, &mut buf);
+                let Some(a) = acc.take() else {
+                    return Err(err("OPTIONAL must follow a graph pattern".into()));
+                };
+                acc = Some(Algebra::LeftJoin(Box::new(a), Box::new(g)));
+                if matches!(p.peek(), Some(Token::Dot)) {
+                    p.advance();
+                }
+            }
+            Some(Token::OpenBrace) => {
+                p.advance();
+                let mut g = parse_group_body(p, prefixes)?;
+                while matches!(p.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case("union")) {
+                    p.advance();
+                    match p.next() {
+                        Some(Token::OpenBrace) => {}
+                        other => return Err(err(format!("UNION expects '{{', got {other:?}"))),
+                    }
+                    let r = parse_group_body(p, prefixes)?;
+                    g = Algebra::Union(Box::new(g), Box::new(r));
+                }
+                flush(&mut acc, &mut buf);
+                acc = Some(match acc.take() {
+                    Some(a) => Algebra::Join(Box::new(a), Box::new(g)),
+                    None => g,
+                });
+                if matches!(p.peek(), Some(Token::Dot)) {
+                    p.advance();
+                }
+            }
+            Some(_) => {
+                let s = parse_term(p, prefixes)?;
+                let pred = parse_term(p, prefixes)?;
+                let o = parse_term(p, prefixes)?;
+                if let PTerm::Term(t) = &pred {
+                    if !t.is_iri() {
+                        return Err(err(format!("predicate must be an IRI or variable: {t}")));
+                    }
+                }
+                buf.push(PPattern { s, p: pred, o });
+                match p.peek() {
+                    Some(Token::Dot) => {
+                        p.advance();
+                    }
+                    Some(Token::CloseBrace | Token::OpenBrace) => {}
+                    Some(Token::Word(w))
+                        if w.eq_ignore_ascii_case("filter")
+                            || w.eq_ignore_ascii_case("optional") => {}
+                    other => return Err(err(format!("expected '.' or '}}', got {other:?}"))),
+                }
+            }
+            None => return Err(err("unexpected end of query inside group".into())),
+        }
+    }
+    flush(&mut acc, &mut buf);
+    let mut tree = acc.ok_or_else(|| err("query has no triple patterns".into()))?;
+    for f in filters {
+        tree = Algebra::Filter(Box::new(tree), f);
+    }
+    Ok(tree)
 }
 
 /// Parses `( operand op operand )` after the FILTER keyword.
@@ -465,8 +388,9 @@ fn parse_filter(
     }
     let lhs = parse_filter_operand(p, prefixes)?;
     let op = match p.next() {
-        Some(Token::Op(text)) => CompareOp::parse(text)
-            .ok_or_else(|| err(format!("unknown operator '{text}'")))?,
+        Some(Token::Op(text)) => {
+            CompareOp::parse(text).ok_or_else(|| err(format!("unknown operator '{text}'")))?
+        }
         other => return Err(err(format!("FILTER expects an operator, got {other:?}"))),
     };
     let rhs = parse_filter_operand(p, prefixes)?;
@@ -765,7 +689,8 @@ fn tokenize(input: &str) -> Result<Vec<Token>, QueryParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_rdf::GraphBuilder;
+    use crate::algebra::PlanNode;
+    use mpc_rdf::{Dictionary, GraphBuilder};
 
     fn sample_dict() -> Dictionary {
         let mut b = GraphBuilder::new();
@@ -779,152 +704,234 @@ mod tests {
         b.build().dictionary().clone()
     }
 
+    /// Unwraps the modifier spine down to the group body.
+    fn body_of(mut a: &Algebra) -> &Algebra {
+        loop {
+            match a {
+                Algebra::Slice(c, _, _)
+                | Algebra::Distinct(c)
+                | Algebra::Project(c, _)
+                | Algebra::OrderBy(c, _) => a = c,
+                other => return other,
+            }
+        }
+    }
+
+    /// The group body's BGP patterns, for tests that expect a pure BGP.
+    fn bgp_of(a: &Algebra) -> &[PPattern] {
+        match body_of(a) {
+            Algebra::Bgp(pats) => pats,
+            other => panic!("expected a BGP body, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_basic_select() {
-        let q = parse_query(
+        let q = parse(
             "PREFIX x: <http://x/>\n\
              SELECT ?a ?b WHERE { ?a x:knows ?b . }",
         )
         .unwrap();
-        assert_eq!(q.select, vec!["a", "b"]);
-        assert_eq!(q.patterns.len(), 1);
-        assert_eq!(
-            q.patterns[0].p,
-            PTerm::Term(Term::iri("http://x/knows"))
-        );
+        assert!(matches!(&q, Algebra::Project(_, Some(names)) if names == &["a", "b"]));
+        let pats = bgp_of(&q);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].p, PTerm::Term(Term::iri("http://x/knows")));
     }
 
     #[test]
     fn resolves_against_dictionary() {
         let dict = sample_dict();
-        let q = parse_query(
+        let q = parse(
             "PREFIX x: <http://x/>\n\
              SELECT * WHERE { ?a x:knows ?b . ?b x:knows ?c }",
         )
         .unwrap();
-        let resolved = q.resolve(&dict).unwrap().unwrap();
-        assert_eq!(resolved.patterns.len(), 2);
-        assert_eq!(resolved.var_count(), 3);
+        let plan = q.resolve(&dict).unwrap();
+        let bgp = plan.as_bgp().expect("single-BGP plan");
+        assert_eq!(bgp.patterns.len(), 2);
+        assert_eq!(bgp.var_count(), 3);
+        assert_eq!(plan.var_names, vec!["a", "b", "c"]);
     }
 
     #[test]
-    fn unknown_constant_resolves_to_none() {
+    fn unknown_constant_resolves_to_empty() {
         let dict = sample_dict();
-        let q = parse_query("SELECT * WHERE { ?a <http://x/unknownProp> ?b }").unwrap();
-        assert!(q.resolve(&dict).unwrap().is_none());
-        let q2 =
-            parse_query("PREFIX x: <http://x/> SELECT * WHERE { <http://x/nobody> x:knows ?b }")
-                .unwrap();
-        assert!(q2.resolve(&dict).unwrap().is_none());
+        let q = parse("SELECT * WHERE { ?a <http://x/unknownProp> ?b }").unwrap();
+        let plan = q.resolve(&dict).unwrap();
+        assert!(plan.as_bgp().is_none());
+        let mut empty = 0;
+        plan.root.for_each(&mut |n| {
+            if matches!(n, PlanNode::Empty { .. }) {
+                empty += 1;
+            }
+        });
+        assert_eq!(empty, 1);
+        let q2 = parse("PREFIX x: <http://x/> SELECT * WHERE { <http://x/nobody> x:knows ?b }")
+            .unwrap();
+        assert!(q2.resolve(&dict).unwrap().as_bgp().is_none());
     }
 
     #[test]
     fn a_keyword_is_rdf_type() {
         let dict = sample_dict();
-        let q = parse_query("SELECT ?x WHERE { ?x a <http://x/Person> }").unwrap();
-        let resolved = q.resolve(&dict).unwrap().unwrap();
-        assert_eq!(resolved.patterns.len(), 1);
-        assert!(resolved.patterns[0].p.as_prop().is_some());
+        let q = parse("SELECT ?x WHERE { ?x a <http://x/Person> }").unwrap();
+        let plan = q.resolve(&dict).unwrap();
+        let bgp = plan.as_bgp().unwrap();
+        assert_eq!(bgp.patterns.len(), 1);
+        assert!(bgp.patterns[0].p.as_prop().is_some());
     }
 
     #[test]
     fn property_variables_parse() {
         let dict = sample_dict();
-        let q = parse_query("SELECT * WHERE { ?s ?p ?o }").unwrap();
-        let resolved = q.resolve(&dict).unwrap().unwrap();
-        assert!(resolved.has_property_variables());
+        let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        let plan = q.resolve(&dict).unwrap();
+        assert!(plan.as_bgp().unwrap().has_property_variables());
+        assert_eq!(plan.prop_vars, vec![false, true, false]);
     }
 
     #[test]
     fn literal_objects() {
-        let q = parse_query(r#"SELECT ?x WHERE { ?x <http://x/name> "Alice" }"#).unwrap();
-        match &q.patterns[0].o {
+        let q = parse(r#"SELECT ?x WHERE { ?x <http://x/name> "Alice" }"#).unwrap();
+        match &bgp_of(&q)[0].o {
             PTerm::Term(Term::Literal { lexical, .. }) => assert_eq!(lexical, "Alice"),
             other => panic!("expected literal, got {other:?}"),
         }
-        let q2 = parse_query(r#"SELECT ?x WHERE { ?x <http://x/age> "5"^^<http://x/int> }"#)
-            .unwrap();
-        assert!(matches!(&q2.patterns[0].o, PTerm::Term(Term::Literal { .. })));
+        let q2 = parse(r#"SELECT ?x WHERE { ?x <http://x/age> "5"^^<http://x/int> }"#).unwrap();
+        assert!(matches!(
+            &bgp_of(&q2)[0].o,
+            PTerm::Term(Term::Literal { .. })
+        ));
     }
 
     #[test]
     fn trailing_dot_optional() {
-        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y }").is_ok());
-        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y . }").is_ok());
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y }").is_ok());
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y . }").is_ok());
     }
 
     #[test]
     fn comments_are_skipped() {
-        let q = parse_query(
-            "# leading comment\nSELECT ?x WHERE { # inner\n ?x <p> ?y }",
-        )
-        .unwrap();
-        assert_eq!(q.patterns.len(), 1);
+        let q = parse("# leading comment\nSELECT ?x WHERE { # inner\n ?x <p> ?y }").unwrap();
+        assert_eq!(bgp_of(&q).len(), 1);
     }
 
     #[test]
     fn errors() {
-        assert!(parse_query("WHERE { ?x <p> ?y }").is_err()); // no SELECT
-        assert!(parse_query("SELECT ?x { ?x <p> ?y }").is_err()); // no WHERE
-        assert!(parse_query("SELECT ?x WHERE { ?x <p> }").is_err()); // 2 terms
-        assert!(parse_query("SELECT ?x WHERE { }").is_err()); // empty BGP
-        assert!(parse_query("SELECT ?x WHERE { ?x \"lit\" ?y }").is_err()); // literal predicate
-        assert!(parse_query("SELECT ?x WHERE { ?x unknown:p ?y }").is_err()); // unknown prefix
+        assert!(parse("WHERE { ?x <p> ?y }").is_err()); // no SELECT
+        assert!(parse("SELECT ?x { ?x <p> ?y }").is_err()); // no WHERE
+        assert!(parse("SELECT ?x WHERE { ?x <p> }").is_err()); // 2 terms
+        assert!(parse("SELECT ?x WHERE { }").is_err()); // empty group
+        assert!(parse("SELECT ?x WHERE { ?x \"lit\" ?y }").is_err()); // literal predicate
+        assert!(parse("SELECT ?x WHERE { ?x unknown:p ?y }").is_err()); // unknown prefix
+        // OPTIONAL with nothing on its left has no defined semantics here.
+        assert!(parse("SELECT ?x WHERE { OPTIONAL { ?x <p> ?y } }").is_err());
+        // Empty nested groups are rejected like empty top-level ones.
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y OPTIONAL { } }").is_err());
+        assert!(parse("SELECT ?x WHERE { { } UNION { ?x <p> ?y } }").is_err());
     }
 
     #[test]
     fn filter_parsing() {
-        let q = parse_query(
+        let q = parse(
             "PREFIX x: <http://x/> SELECT ?a WHERE { \
              ?a x:age ?n . FILTER(?n >= 18) . FILTER(?a != x:bob) }",
         )
         .unwrap();
-        assert_eq!(q.filters.len(), 2);
-        assert_eq!(q.filters[0].op, CompareOp::Ge);
-        assert!(matches!(&q.filters[0].rhs, FilterOperand::Term(Term::Literal { lexical, .. }) if lexical == "18"));
-        assert_eq!(q.filters[1].op, CompareOp::Ne);
+        // Filters wrap the group in source order: f2(f1(bgp)).
+        let Algebra::Filter(inner, f2) = body_of(&q) else {
+            panic!("expected outer filter");
+        };
+        let Algebra::Filter(bgp, f1) = inner.as_ref() else {
+            panic!("expected inner filter");
+        };
+        assert!(matches!(bgp.as_ref(), Algebra::Bgp(_)));
+        assert_eq!(f1.op, CompareOp::Ge);
+        assert!(
+            matches!(&f1.rhs, FilterOperand::Term(Term::Literal { lexical, .. }) if lexical == "18")
+        );
+        assert_eq!(f2.op, CompareOp::Ne);
 
         // Operators tokenize next to IRIs without confusion.
-        let q2 = parse_query(
-            "SELECT ?a WHERE { ?a <http://x/p> ?b . FILTER(?b = <http://x/c>) }",
-        )
-        .unwrap();
-        assert_eq!(q2.filters.len(), 1);
-        assert!(parse_query("SELECT ?a WHERE { ?a <p> ?b . FILTER ?b }").is_err());
-        assert!(parse_query("SELECT ?a WHERE { ?a <p> ?b . FILTER(?b ! ?a) }").is_err());
+        let q2 = parse("SELECT ?a WHERE { ?a <http://x/p> ?b . FILTER(?b = <http://x/c>) }")
+            .unwrap();
+        assert!(matches!(body_of(&q2), Algebra::Filter(..)));
+        assert!(parse("SELECT ?a WHERE { ?a <p> ?b . FILTER ?b }").is_err());
+        assert!(parse("SELECT ?a WHERE { ?a <p> ?b . FILTER(?b ! ?a) }").is_err());
     }
 
     #[test]
-    fn filters_apply_in_finish() {
-        use crate::matcher::evaluate;
-        use crate::store::LocalStore;
-        let mut b = mpc_rdf::GraphBuilder::new();
-        b.add(&Term::iri("http://x/alice"), "http://x/age", &Term::typed_literal("31", "http://www.w3.org/2001/XMLSchema#integer"));
-        b.add(&Term::iri("http://x/bob"), "http://x/age", &Term::typed_literal("12", "http://www.w3.org/2001/XMLSchema#integer"));
-        b.add(&Term::iri("http://x/carol"), "http://x/age", &Term::literal("n/a"));
-        let g = b.build();
-        let parsed = parse_query(
-            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:age ?n . FILTER(?n >= 18) }",
+    fn optional_parses_to_left_join() {
+        let q = parse(
+            "SELECT * WHERE { ?x <http://x/p> ?y OPTIONAL { ?y <http://x/q> ?z } }",
         )
         .unwrap();
-        let query = parsed.resolve(g.dictionary()).unwrap().unwrap();
-        let full = evaluate(&query, &LocalStore::from_graph(&g));
-        assert_eq!(full.len(), 3);
-        let result = parsed.finish(&query, full, g.dictionary()).unwrap();
-        // Only alice passes: bob is 12, carol's age is non-numeric.
-        assert_eq!(result.len(), 1);
-        let alice = g.dictionary().vertex_id(&Term::iri("http://x/alice")).unwrap();
-        assert_eq!(result.rows[0][0], alice.0);
+        let Algebra::LeftJoin(l, r) = body_of(&q) else {
+            panic!("expected LeftJoin, got {q:?}");
+        };
+        assert!(matches!(l.as_ref(), Algebra::Bgp(p) if p.len() == 1));
+        assert!(matches!(r.as_ref(), Algebra::Bgp(p) if p.len() == 1));
+    }
 
-        // Term equality filter.
-        let parsed2 = parse_query(
-            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:age ?n . FILTER(?p = x:bob) }",
+    #[test]
+    fn union_chains_fold_left() {
+        let q = parse(
+            "SELECT * WHERE { { ?x <http://x/p> ?y } UNION { ?x <http://x/q> ?y } \
+             UNION { ?x <http://x/r> ?y } }",
         )
         .unwrap();
-        let q2 = parsed2.resolve(g.dictionary()).unwrap().unwrap();
-        let full2 = evaluate(&q2, &LocalStore::from_graph(&g));
-        let r2 = parsed2.finish(&q2, full2, g.dictionary()).unwrap();
-        assert_eq!(r2.len(), 1);
+        let Algebra::Union(l, _) = body_of(&q) else {
+            panic!("expected Union, got {q:?}");
+        };
+        assert!(matches!(l.as_ref(), Algebra::Union(..)));
+    }
+
+    #[test]
+    fn union_joins_with_surrounding_triples() {
+        let q = parse(
+            "SELECT * WHERE { ?x <http://x/p> ?y . { ?y <http://x/q> ?z } UNION \
+             { ?y <http://x/r> ?z } }",
+        )
+        .unwrap();
+        let Algebra::Join(l, r) = body_of(&q) else {
+            panic!("expected Join, got {q:?}");
+        };
+        assert!(matches!(l.as_ref(), Algebra::Bgp(_)));
+        assert!(matches!(r.as_ref(), Algebra::Union(..)));
+    }
+
+    #[test]
+    fn order_by_parses_keys() {
+        let q = parse(
+            "SELECT ?x WHERE { ?x <http://x/p> ?y } ORDER BY ?y DESC(?x) LIMIT 2",
+        )
+        .unwrap();
+        let Algebra::Slice(inner, 0, Some(2)) = &q else {
+            panic!("expected Slice, got {q:?}");
+        };
+        let Algebra::Project(inner, _) = inner.as_ref() else {
+            panic!("expected Project");
+        };
+        let Algebra::OrderBy(_, keys) = inner.as_ref() else {
+            panic!("expected OrderBy");
+        };
+        assert_eq!(keys, &[("y".to_owned(), false), ("x".to_owned(), true)]);
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y } ORDER BY").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y } ORDER ?y").is_err());
+    }
+
+    #[test]
+    fn group_filter_sees_optional_variables() {
+        // The FILTER wraps the whole group, OPTIONAL included.
+        let q = parse(
+            "SELECT * WHERE { ?x <http://x/p> ?y OPTIONAL { ?y <http://x/q> ?z } \
+             FILTER(?z != ?x) }",
+        )
+        .unwrap();
+        let Algebra::Filter(inner, _) = body_of(&q) else {
+            panic!("expected Filter at group level, got {q:?}");
+        };
+        assert!(matches!(inner.as_ref(), Algebra::LeftJoin(..)));
     }
 
     #[test]
@@ -937,70 +944,194 @@ mod tests {
 
     #[test]
     fn distinct_limit_offset() {
-        let q = parse_query(
-            "SELECT DISTINCT ?x WHERE { ?x <http://x/knows> ?y } LIMIT 5 OFFSET 2",
-        )
-        .unwrap();
-        assert!(q.distinct);
-        assert_eq!(q.limit, Some(5));
-        assert_eq!(q.offset, Some(2));
-        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } LIMIT nope").is_err());
-        assert!(parse_query("SELECT ?x WHERE { ?x <p> ?y } GARBAGE").is_err());
-    }
-
-    #[test]
-    fn projection_and_finish() {
-        use crate::matcher::evaluate;
-        use crate::store::LocalStore;
-        let dict = sample_dict();
-        let parsed = parse_query(
-            "PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } LIMIT 1",
-        )
-        .unwrap();
-        let query = parsed.resolve(&dict).unwrap().unwrap();
-        let cols = parsed.projection(&query).unwrap().unwrap();
-        assert_eq!(cols, vec![0]);
-
-        // Build a store over the same dictionary's graph.
-        let mut b = mpc_rdf::GraphBuilder::new();
-        b.add_iris("http://x/alice", "http://x/knows", "http://x/bob");
-        b.add_iris("http://x/bob", "http://x/knows", "http://x/carol");
-        let g = b.build();
-        let parsed2 = parse_query(
-            "PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } LIMIT 1",
-        )
-        .unwrap();
-        let q2 = parsed2.resolve(g.dictionary()).unwrap().unwrap();
-        let full = evaluate(&q2, &LocalStore::from_graph(&g));
-        assert_eq!(full.len(), 2);
-        let finished = parsed2.finish(&q2, full, g.dictionary()).unwrap();
-        assert_eq!(finished.vars, vec![0]);
-        assert_eq!(finished.len(), 1);
-
-        // Projecting a variable that does not occur errors.
-        let bad = parse_query("PREFIX x: <http://x/> SELECT ?zzz WHERE { ?a x:knows ?b }")
+        let q = parse("SELECT DISTINCT ?x WHERE { ?x <http://x/knows> ?y } LIMIT 5 OFFSET 2")
             .unwrap();
-        let qb = bad.resolve(g.dictionary()).unwrap().unwrap();
-        assert!(bad.projection(&qb).is_err());
+        let Algebra::Slice(inner, 2, Some(5)) = &q else {
+            panic!("expected Slice(2, 5), got {q:?}");
+        };
+        assert!(matches!(inner.as_ref(), Algebra::Distinct(_)));
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y } LIMIT nope").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y } GARBAGE").is_err());
     }
 
     #[test]
-    fn unknown_literal_predicate_in_resolve() {
-        // A literal sneaking into predicate position via ParsedQuery is
-        // rejected at resolve time as well.
-        let pq = ParsedQuery {
-            select: vec![],
-            distinct: false,
-            filters: vec![],
-            limit: None,
-            offset: None,
-            patterns: vec![PPattern {
-                s: PTerm::Var("x".into()),
-                p: PTerm::Term(Term::literal("oops")),
-                o: PTerm::Var("y".into()),
-            }],
-        };
+    fn projection_resolves_to_columns() {
         let dict = sample_dict();
-        assert!(pq.resolve(&dict).is_err());
+        let q = parse("PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } LIMIT 1").unwrap();
+        let plan = q.resolve(&dict).unwrap();
+        assert_eq!(plan.out_vars(), vec![0]);
+        assert_eq!(plan.var_names[0], "a");
+
+        // Projecting a variable that does not occur errors at resolve.
+        let bad = parse("PREFIX x: <http://x/> SELECT ?zzz WHERE { ?a x:knows ?b }").unwrap();
+        assert!(bad.resolve(&dict).is_err());
+        // So does an ORDER BY key that never occurs.
+        let bad2 =
+            parse("PREFIX x: <http://x/> SELECT ?a WHERE { ?a x:knows ?b } ORDER BY ?qq").unwrap();
+        assert!(bad2.resolve(&dict).is_err());
+    }
+
+    #[test]
+    fn literal_predicate_rejected_in_resolve() {
+        // A literal sneaking into predicate position via a hand-built
+        // tree is rejected at resolve time as well.
+        let alg = Algebra::Bgp(vec![PPattern {
+            s: PTerm::Var("x".into()),
+            p: PTerm::Term(Term::literal("oops")),
+            o: PTerm::Var("y".into()),
+        }]);
+        let dict = sample_dict();
+        assert!(alg.resolve(&dict).is_err());
+    }
+
+    #[test]
+    fn dual_position_variable_rejected() {
+        let dict = sample_dict();
+        let q = parse("SELECT * WHERE { ?x ?p ?y . ?y <http://x/knows> ?p }").unwrap();
+        let e = q.resolve(&dict).unwrap_err();
+        assert!(e.0.contains("both vertex and property positions"), "{e}");
+    }
+}
+
+#[cfg(test)]
+mod roundtrip {
+    //! Render → reparse → equal-algebra proptests for the new grammar.
+    use super::*;
+    use crate::algebra::Algebra;
+    use proptest::prelude::*;
+
+    fn var_name() -> impl Strategy<Value = String> {
+        (0u32..6).prop_map(|i| format!("v{i}"))
+    }
+
+    fn const_term() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            (0u32..5).prop_map(|i| Term::iri(format!("http://x/{i}"))),
+            (0u32..5).prop_map(|i| Term::literal(format!("lit{i}"))),
+            (0u32..40).prop_map(|n| Term::typed_literal(
+                n.to_string(),
+                "http://www.w3.org/2001/XMLSchema#integer"
+            )),
+        ]
+    }
+
+    fn node_term() -> impl Strategy<Value = PTerm> {
+        prop_oneof![
+            var_name().prop_map(PTerm::Var),
+            const_term().prop_map(PTerm::Term),
+        ]
+    }
+
+    fn pred_term() -> impl Strategy<Value = PTerm> {
+        prop_oneof![
+            var_name().prop_map(PTerm::Var),
+            (0u32..5).prop_map(|i| PTerm::Term(Term::iri(format!("http://x/p{i}")))),
+        ]
+    }
+
+    fn pattern() -> impl Strategy<Value = PPattern> {
+        (node_term(), pred_term(), node_term()).prop_map(|(s, p, o)| PPattern { s, p, o })
+    }
+
+    fn bgp() -> impl Strategy<Value = Algebra> {
+        proptest::collection::vec(pattern(), 1..3).prop_map(Algebra::Bgp)
+    }
+
+    fn filter() -> impl Strategy<Value = Filter> {
+        let operand = || {
+            prop_oneof![
+                var_name().prop_map(FilterOperand::Var),
+                const_term().prop_map(FilterOperand::Term),
+            ]
+        };
+        let op = prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Ne),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Le),
+            Just(CompareOp::Gt),
+            Just(CompareOp::Ge),
+        ];
+        (operand(), op, operand()).prop_map(|(lhs, op, rhs)| Filter { lhs, op, rhs })
+    }
+
+    /// A group element that renders inside braces (so adjacent bare
+    /// BGPs — which the parser would merge — never occur).
+    enum Element {
+        Optional(Algebra),
+        Union(Algebra, Algebra),
+    }
+
+    /// A group the way the parser folds one: a leading BGP, a run of
+    /// braced elements joined left-to-right, then the group's FILTERs.
+    fn group(depth: u32) -> BoxedStrategy<Algebra> {
+        if depth == 0 {
+            return bgp().boxed();
+        }
+        let element = prop_oneof![
+            group(depth - 1).prop_map(Element::Optional),
+            (group(depth - 1), group(depth - 1)).prop_map(|(l, r)| Element::Union(l, r)),
+        ];
+        (
+            bgp(),
+            proptest::collection::vec(element, 0..3),
+            proptest::collection::vec(filter(), 0..2),
+        )
+            .prop_map(|(base, elements, filters)| {
+                let mut acc = base;
+                for e in elements {
+                    acc = match e {
+                        Element::Optional(g) => Algebra::LeftJoin(Box::new(acc), Box::new(g)),
+                        Element::Union(l, r) => Algebra::Join(
+                            Box::new(acc),
+                            Box::new(Algebra::Union(Box::new(l), Box::new(r))),
+                        ),
+                    };
+                }
+                for f in filters {
+                    acc = Algebra::Filter(Box::new(acc), f);
+                }
+                acc
+            })
+            .boxed()
+    }
+
+    fn query() -> impl Strategy<Value = Algebra> {
+        (
+            group(2),
+            proptest::option::of(proptest::collection::vec(var_name(), 1..3)),
+            any::<bool>(),
+            proptest::collection::vec((var_name(), any::<bool>()), 0..3),
+            proptest::option::of((0usize..4, proptest::option::of(0usize..5))),
+        )
+            .prop_map(|(body, select, distinct, order, slice)| {
+                let mut tree = body;
+                if !order.is_empty() {
+                    tree = Algebra::OrderBy(Box::new(tree), order);
+                }
+                tree = Algebra::Project(Box::new(tree), select);
+                if distinct {
+                    tree = Algebra::Distinct(Box::new(tree));
+                }
+                match slice {
+                    // OFFSET 0 with no LIMIT renders as no Slice at all;
+                    // skip that degenerate shape.
+                    Some((0, None)) | None => {}
+                    Some((offset, limit)) => {
+                        tree = Algebra::Slice(Box::new(tree), offset, limit);
+                    }
+                }
+                tree
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn rendered_queries_reparse_to_equal_algebra(q in query()) {
+            let text = q.to_sparql();
+            let q2 = parse(&text)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\nrendered: {text}"));
+            prop_assert_eq!(&q, &q2, "rendered: {}", text);
+        }
     }
 }

@@ -75,7 +75,7 @@ impl TriplePattern {
 ///
 /// Variables in vertex positions and in property positions share one index
 /// space; the same variable must not appear in both kinds of position.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Query {
     /// The triple patterns (query edges).
     pub patterns: Vec<TriplePattern>,

@@ -11,7 +11,7 @@
 
 use mpc::cluster::{classify, decompose_crossing_aware, CrossingSet};
 use mpc::rdf::GraphBuilder;
-use mpc::sparql::parse_query;
+use mpc::sparql::parse;
 
 fn main() {
     // The Fig. 2 graph: two partitions' worth of entities; birthPlace is
@@ -65,15 +65,15 @@ fn main() {
     ];
 
     for (name, text) in queries {
-        let parsed = parse_query(text).expect("parse");
-        let Some(query) = parsed.resolve(dict).expect("resolve") else {
-            println!("{name}: references unknown terms (provably empty)");
+        let plan = parse(text).expect("parse").resolve(dict).expect("resolve");
+        let Some(query) = plan.as_bgp() else {
+            println!("{name}: not a single BGP");
             continue;
         };
-        let class = classify(&query, &crossing);
+        let class = classify(query, &crossing);
         println!("{name:<16} star={:<5} class={class:?}", query.is_star());
         if !class.is_ieq() {
-            let subs = decompose_crossing_aware(&query, &crossing);
+            let subs = decompose_crossing_aware(query, &crossing);
             println!("  decomposes into {} independently executable subqueries:", subs.len());
             for (i, sq) in subs.iter().enumerate() {
                 let vars: Vec<&str> = sq

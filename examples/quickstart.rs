@@ -8,7 +8,7 @@
 use mpc::cluster::{DistributedEngine, ExecRequest, NetworkModel};
 use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 use mpc::rdf::ntriples;
-use mpc::sparql::parse_query;
+use mpc::sparql::parse;
 
 const DATA: &str = r#"
 <http://ex/film1> <http://ex/starring> <http://ex/actor1> .
@@ -56,15 +56,14 @@ fn main() {
     let text = "SELECT ?film ?actor WHERE { \
                 ?film <http://ex/starring> ?actor . \
                 ?actor <http://ex/residence> ?city }";
-    let parsed = parse_query(text).expect("well-formed query");
-    let query = parsed
+    let plan = parse(text)
+        .expect("well-formed query")
         .resolve(dict)
-        .expect("resolvable")
-        .expect("all terms known");
+        .expect("resolvable");
 
-    let class = engine.classify(&query);
+    let class = engine.classify(plan.as_bgp().expect("single BGP"));
     let outcome = engine
-        .run(&query, &ExecRequest::new())
+        .run_plan(&plan, &ExecRequest::new(), dict)
         .expect("no fault layer in play");
     let (result, stats) = (outcome.rows(), &outcome.stats);
     println!("query class: {class:?} (independent: {})", stats.independent);

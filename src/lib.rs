@@ -21,7 +21,7 @@
 //! use mpc::cluster::{DistributedEngine, ExecRequest, NetworkModel};
 //! use mpc::core::{MpcConfig, MpcPartitioner, Partitioner};
 //! use mpc::rdf::ntriples;
-//! use mpc::sparql::parse_query;
+//! use mpc::sparql::parse;
 //!
 //! // A tiny two-community graph: `knows` stays inside communities,
 //! // `follows` bridges them.
@@ -39,12 +39,11 @@
 //!
 //! // A non-star path query over `knows` runs without inter-partition joins.
 //! let engine = DistributedEngine::build(&graph, &partitioning, NetworkModel::default());
-//! let query = parse_query("SELECT * WHERE { ?a <knows> ?b . ?b <knows> ?c }")
+//! let plan = parse("SELECT * WHERE { ?a <knows> ?b . ?b <knows> ?c }")
 //!     .unwrap()
 //!     .resolve(graph.dictionary())
-//!     .unwrap()
 //!     .unwrap();
-//! let outcome = engine.run(&query, &ExecRequest::new()).unwrap();
+//! let outcome = engine.run_plan(&plan, &ExecRequest::new(), graph.dictionary()).unwrap();
 //! assert!(outcome.stats.independent);
 //! assert_eq!(outcome.rows().len(), 2); // a→b→c and x→y→z
 //! ```

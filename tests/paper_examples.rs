@@ -10,7 +10,7 @@ use mpc::cluster::{
 };
 use mpc::core::Partitioning;
 use mpc::rdf::{GraphBuilder, PartitionId, RdfGraph};
-use mpc::sparql::{evaluate, parse_query, LocalStore, Query};
+use mpc::sparql::{evaluate, parse, LocalStore, Query};
 
 /// Builds the Fig. 2 graph. Vertices 001–010 mirror the paper's ids;
 /// properties: starring, residence, chronology, spouse, foundingDate
@@ -66,11 +66,13 @@ fn fig2_partitioning(g: &RdfGraph) -> Partitioning {
 }
 
 fn resolve(g: &RdfGraph, text: &str) -> Query {
-    parse_query(text)
+    parse(text)
         .expect("parse")
         .resolve(g.dictionary())
         .expect("resolve")
-        .expect("all terms known")
+        .as_bgp()
+        .expect("single BGP")
+        .clone()
 }
 
 #[test]
