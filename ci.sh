@@ -155,6 +155,57 @@ grep -q 'snapshot: load failed' "$CI_TMP/rebuilt.out"
 grep '^\[' "$CI_TMP/rebuilt.out" > "$CI_TMP/rebuilt.digests"
 cmp "$CI_TMP/rebuild.digests" "$CI_TMP/rebuilt.digests"
 
+echo "==> update smoke (transactional commits: epoch flip, deterministic replay, snapshot cold-start, docs/UPDATES.md)"
+# Queries interleaved with INSERT/DELETE DATA commits: the repeated
+# query hits the cache before the commit, and the *same text* must
+# re-execute after it (the epoch flip made the cached entry
+# unaddressable) and see the new triples.
+cat > "$CI_TMP/upd.txt" <<'EOF'
+SELECT ?x ?y WHERE { ?x <urn:q:live> ?y }
+SELECT ?x ?y WHERE { ?x <urn:q:live> ?y }
+INSERT DATA { <urn:n:a> <urn:q:live> <urn:n:b> . <urn:n:b> <urn:q:live> <urn:n:c> }
+SELECT ?x ?y WHERE { ?x <urn:q:live> ?y }
+DELETE DATA { <urn:n:b> <urn:q:live> <urn:n:c> }
+SELECT ?x ?y WHERE { ?x <urn:q:live> ?y }
+EOF
+upd_replay() {
+    "$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+        --queries "$CI_TMP/upd.txt" --limit 5 | grep -v '^time:'
+}
+upd_replay > "$CI_TMP/upd.1"
+upd_replay > "$CI_TMP/upd.2"
+# Two runs byte-identical, commits included…
+cmp "$CI_TMP/upd.1" "$CI_TMP/upd.2"
+grep -q '^\[2\] rows=0 cache=hit' "$CI_TMP/upd.1"   # pre-commit repeat hits
+grep -q '^\[3\] committed: +2 -0' "$CI_TMP/upd.1"   # the insert commit
+grep -q '^\[4\] rows=2 cache=miss' "$CI_TMP/upd.1"  # epoch flipped: fresh answer
+grep -q '^\[6\] rows=1 cache=miss' "$CI_TMP/upd.1"  # the delete is visible
+grep '^serve:' "$CI_TMP/upd.1" | grep -q 'updates=2'
+# The post-commit answers must be byte-identical to a store rebuilt with
+# the updates: `mpc update --save` commits the same mutations and
+# snapshots the result, and a cold start from that snapshot (a
+# from-scratch engine over the committed dataset) serves the same
+# digests the live session computed after its commits.
+cat > "$CI_TMP/updq.txt" <<'EOF'
+SELECT ?x ?y WHERE { ?x <urn:q:live> ?y }
+SELECT ?x WHERE { ?x <urn:p:0> ?y }
+EOF
+cat "$CI_TMP/upd.txt" "$CI_TMP/updq.txt" > "$CI_TMP/updfull.txt"
+"$MPC" serve --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+    --queries "$CI_TMP/updfull.txt" --digest \
+    | grep 'fp=' | tail -2 | sed 's/^\[[0-9]*\] //' > "$CI_TMP/live.digests"
+"$MPC" update --input "$CI_TMP/lubm.nt" --partitions "$CI_TMP/lubm.parts" \
+    --text 'INSERT DATA { <urn:n:a> <urn:q:live> <urn:n:b> . <urn:n:b> <urn:q:live> <urn:n:c> }' \
+    --save "$CI_TMP/updstore" | grep -q '^committed: +2 -0'
+"$MPC" update --load "$CI_TMP/updstore" \
+    --text 'DELETE DATA { <urn:n:b> <urn:q:live> <urn:n:c> }' \
+    --save "$CI_TMP/updstore" | grep -q '^committed: +0 -1'
+"$MPC" serve --load "$CI_TMP/updstore" --queries "$CI_TMP/updq.txt" --digest \
+    > "$CI_TMP/cold.out"
+grep -q 'snapshot: loaded gen-0002' "$CI_TMP/cold.out"
+grep 'fp=' "$CI_TMP/cold.out" | sed 's/^\[[0-9]*\] //' > "$CI_TMP/cold.digests"
+cmp "$CI_TMP/live.digests" "$CI_TMP/cold.digests"
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -20,6 +20,7 @@ fn main() {
     mpc_bench::experiments::par_scaling::run();
     mpc_bench::experiments::serve_replay::run();
     mpc_bench::experiments::serve_concurrent::run();
+    mpc_bench::experiments::update_burst::run();
     mpc_bench::experiments::cold_start::run();
     mpc_bench::experiments::runreport::run();
     println!("\nAll experiments done in {:.1}s; outputs in bench_results/.", t0.elapsed().as_secs_f64());

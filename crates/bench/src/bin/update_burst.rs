@@ -1,0 +1,7 @@
+//! Live-update burst: cached vs uncached latency around the epoch flip.
+//! See `mpc_bench::experiments::update_burst`.
+
+#![forbid(unsafe_code)]
+fn main() {
+    mpc_bench::experiments::update_burst::run();
+}

@@ -15,6 +15,7 @@ pub mod serve_concurrent;
 pub mod serve_replay;
 pub mod stages;
 pub mod table2;
+pub mod update_burst;
 pub mod table3;
 pub mod table6;
 pub mod table7;

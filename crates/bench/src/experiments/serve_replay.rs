@@ -1,6 +1,6 @@
 //! Workload replay through the serving front end: cached [`ServeEngine`]
 //! vs the same engine with the result cache bypassed
-//! (`ExecRequest::cached(false)`), at 1 and 4 worker threads.
+//! (`RequestSpec::cached(false)`), at 1 and 4 worker threads.
 //!
 //! The workload is a Zipf-skewed, deterministically sampled replay of
 //! the LUBM benchmark queries — the regime docs/SERVING.md targets,
@@ -22,7 +22,7 @@
 use crate::datasets::{lubm_bundle, scale_factor};
 use crate::harness::{partition_with, Method};
 use crate::report::{emit, fresh, write_json, Table};
-use mpc_cluster::{DistributedEngine, ExecRequest, NetworkModel, ServeEngine};
+use mpc_cluster::{DistributedEngine, NetworkModel, RequestSpec, ServeEngine};
 use mpc_obs::{Json, Recorder};
 use mpc_sparql::Query;
 use std::time::{Duration, Instant};
@@ -118,7 +118,7 @@ pub fn run() {
     // Returns wall time plus the row-stream fingerprint.
     let replay = |threads: usize, cached: bool, rec: &Recorder| -> (Duration, u64) {
         let server = ServeEngine::new(build_engine(), CACHE_ENTRIES);
-        let req = ExecRequest::new().threads(threads).cached(cached).traced(rec);
+        let req = RequestSpec::default().threads(threads).cached(cached).to_request(rec);
         let t0 = Instant::now();
         let mut fp = 0u64;
         for query in &workload {
@@ -182,10 +182,10 @@ pub fn run() {
         .iter()
         .map(|&cached| {
             let server = ServeEngine::new(build_engine(), CACHE_ENTRIES);
-            let req = ExecRequest::new()
+            let req = RequestSpec::default()
                 .threads(THREADS[0])
                 .cached(cached)
-                .traced(&plan_rec);
+                .to_request(&plan_rec);
             let mut fp = 0u64;
             // Each plan twice back-to-back: more distinct plans exist
             // than cache entries, so a spaced repeat could age out.

@@ -2,7 +2,7 @@
 //! a dataset and running workloads through them.
 
 use crate::datasets::DatasetBundle;
-use mpc_cluster::{DistributedEngine, ExecMode, ExecRequest, ExecutionStats, NetworkModel, VpEngine};
+use mpc_cluster::{DistributedEngine, ExecMode, ExecutionStats, NetworkModel, RequestSpec, VpEngine};
 use mpc_core::{
     EdgePartitioning, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
     Partitioning, SubjectHashPartitioner, VerticalPartitioner,
@@ -165,7 +165,7 @@ pub fn exec_traced(
     rec: &Recorder,
 ) -> (Bindings, ExecutionStats) {
     let outcome = engine
-        .run(query, &ExecRequest::new().mode(mode).traced(rec))
+        .run(query, &RequestSpec::default().mode(mode).to_request(rec))
         // mpc-allow: unwrap-expect `FaultSpec::Inherit` on an unarmed engine is infallible
         .expect("no fault layer in play");
     let (partial, stats) = outcome.into_parts();

@@ -3,8 +3,9 @@
 use crate::args::Options;
 use crate::{partfile, CliError};
 use mpc_cluster::{
-    classify as classify_query, CrossingSet, DistributedEngine, ExecMode, ExecRequest, FaultPlan,
-    FaultSpec, NetworkModel, RetryPolicy, ServeEngine,
+    classify as classify_query, CommitOptions, CrossingSet, DistributedEngine, EpochTransition,
+    ExecMode, ExecRequest, FaultPlan, FaultSpec, NetworkModel, RequestSpec, RetryPolicy,
+    ServeEngine, UpdateBatch,
 };
 use mpc_core::{
     MetisConfig, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
@@ -277,18 +278,24 @@ pub(crate) struct EngineSource {
     pub generation: Option<u64>,
 }
 
-/// Resolves the engine for `mpc serve`/`mpc server`. With `--load DIR`
-/// the snapshot store answers first (itself falling back generation by
-/// generation); if every generation is corrupt the command falls back
-/// to a clean rebuild from `--input`/`--partitions` — or fails with the
-/// typed snapshot error when those are absent. Without `--load` it
-/// rebuilds directly.
+/// Resolves the engine for `mpc serve`/`mpc server`/`mpc update`. With
+/// `--load DIR` the snapshot store answers first (itself falling back
+/// generation by generation); if every generation is corrupt the
+/// command falls back to a clean rebuild from `--input`/`--partitions`
+/// — or fails with the typed snapshot error when those are absent.
+/// Without `--load` it rebuilds directly.
+///
+/// Radius-1 engines come back with the live-update path armed
+/// (docs/UPDATES.md): `INSERT DATA`/`DELETE DATA` can be committed
+/// against them, with `--epsilon` as the balance slack for placing new
+/// vertices. Radius > 1 engines serve queries only.
 pub(crate) fn engine_source(
     o: &Options,
     radius: usize,
     rec: &Recorder,
     out: &mut dyn Write,
 ) -> Result<EngineSource, CliError> {
+    let epsilon: f64 = o.parse_or("epsilon", 0.1)?;
     if let Some(dir) = o.get("load") {
         if radius != 1 {
             return Err(CliError::new(format!(
@@ -312,13 +319,16 @@ pub(crate) fn engine_source(
                         extended: s.extended,
                     })
                     .collect();
-                let engine = DistributedEngine::from_sites(
+                let mut engine = DistributedEngine::from_sites(
                     sites,
                     &graph,
                     &partitioning,
                     NetworkModel::default(),
                     radius,
                 );
+                engine
+                    .enable_updates(&graph, &partitioning, epsilon)
+                    .map_err(|e| CliError::new(format!("cannot arm live updates: {e}")))?;
                 writeln!(
                     out,
                     "snapshot: loaded gen-{:04} from {dir} ({} bytes)",
@@ -349,8 +359,13 @@ pub(crate) fn engine_source(
     }
     let graph = load_graph(o.required("input")?)?;
     let partitioning = load_partitioning(o.required("partitions")?, &graph)?;
-    let engine =
+    let mut engine =
         DistributedEngine::build_with_radius(&graph, &partitioning, NetworkModel::default(), radius);
+    if radius == 1 {
+        engine
+            .enable_updates(&graph, &partitioning, epsilon)
+            .map_err(|e| CliError::new(format!("cannot arm live updates: {e}")))?;
+    }
     Ok(EngineSource {
         graph,
         engine,
@@ -469,11 +484,10 @@ pub fn explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 pub(crate) fn parse_mode(value: Option<&str>) -> Result<ExecMode, CliError> {
-    match value.unwrap_or("crossing") {
-        "crossing" => Ok(ExecMode::CrossingAware),
-        "star" => Ok(ExecMode::StarOnly),
-        other => Err(CliError::new(format!("unknown mode '{other}' (crossing|star)"))),
-    }
+    // One interpretation of the knob for every front end: the CLI, the
+    // TCP server, and the bench harness all delegate here.
+    RequestSpec::parse_mode(value)
+        .map_err(|other| CliError::new(format!("unknown mode '{other}' (crossing|star)")))
 }
 
 /// Parses the `--chaos` option family into a [`FaultSpec`]
@@ -507,7 +521,7 @@ fn chaos_spec(o: &Options) -> Result<Option<FaultSpec>, CliError> {
 /// `… (N more rows)` marker.
 fn write_rows(
     out: &mut dyn Write,
-    graph: &RdfGraph,
+    dict: &mpc_rdf::Dictionary,
     var_names: &[String],
     result: &mpc_sparql::Bindings,
     display_limit: usize,
@@ -518,8 +532,9 @@ fn write_rows(
         .map(|&v| var_names[v as usize].as_str())
         .collect();
     writeln!(out, "?{}", names.join("\t?"))?;
-    let dict = graph.dictionary();
-    let named = dict.vertex_count() == graph.vertex_count();
+    // The caller passes the *live* dictionary (which grows with term
+    // inserts), so a vertex committed a moment ago renders by name.
+    let named = dict.vertex_count() > 0;
     for row in result.rows.iter().take(display_limit) {
         let cells: Vec<String> = row
             .iter()
@@ -589,7 +604,7 @@ pub fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (partial, stats_) = outcome.into_parts();
     let (result, complete, failed_sites) = (partial.rows, partial.complete, partial.failed_sites);
     let display_limit: usize = o.parse_or("limit", 20)?;
-    write_rows(out, &graph, &plan.var_names, &result, display_limit)?;
+    write_rows(out, graph.dictionary(), &plan.var_names, &result, display_limit)?;
     writeln!(
         out,
         "\n{} rows; class={:?} independent={} subqueries={} \
@@ -651,12 +666,12 @@ fn write_digest_line(
 /// front end, print the result table plus a `[{idx}] rows=… cache=…`
 /// status line — or, with `digest`, only the `[{idx}] rows=… fp=…` line
 /// `mpc client` also prints. Returns the row count.
-#[allow(clippy::too_many_arguments)] // one call site, plain plumbing
+#[allow(clippy::too_many_arguments)] // few call sites, plain plumbing
 fn serve_one(
     server: &ServeEngine,
     line: &str,
     idx: usize,
-    graph: &RdfGraph,
+    dict: &mpc_rdf::Dictionary,
     req: &ExecRequest,
     rec: &Recorder,
     display_limit: usize,
@@ -665,11 +680,11 @@ fn serve_one(
 ) -> Result<usize, CliError> {
     let plan = mpc_sparql::parse(line)
         .map_err(|e| CliError::new(format!("query {idx}: {e}")))?
-        .resolve(graph.dictionary())
+        .resolve(dict)
         .map_err(|e| CliError::new(format!("query {idx}: {e}")))?;
     let hits_before = rec.counter("serve.cache.hit").unwrap_or(0);
     let outcome = server
-        .serve_plan(&plan, req, graph.dictionary())
+        .serve_plan(&plan, req, dict)
         .map_err(|e| CliError::new(format!("query {idx} failed: {e}")))?;
     let hit = rec.counter("serve.cache.hit").unwrap_or(0) > hits_before;
     let (partial, _) = outcome.into_parts();
@@ -678,7 +693,7 @@ fn serve_one(
         write_digest_line(out, idx, &result)?;
         return Ok(result.rows.len());
     }
-    write_rows(out, graph, &plan.var_names, &result, display_limit)?;
+    write_rows(out, dict, &plan.var_names, &result, display_limit)?;
     writeln!(
         out,
         "[{idx}] rows={} cache={}",
@@ -688,12 +703,44 @@ fn serve_one(
     Ok(result.rows.len())
 }
 
+/// Commits one `INSERT DATA`/`DELETE DATA` line through the
+/// transactional update path (docs/UPDATES.md) and prints the
+/// `[{idx}] committed: …` status line.
+fn commit_one(
+    server: &mut ServeEngine,
+    line: &str,
+    idx: usize,
+    opts: &CommitOptions,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let data = mpc_sparql::parse_update(line)
+        .map_err(|e| CliError::new(format!("update {idx}: {e}")))?;
+    let batch = UpdateBatch::from_update_data(&data);
+    let report = server
+        .commit(&batch, opts, rec)
+        .map_err(|e| CliError::new(format!("update {idx} failed: {e}")))?;
+    writeln!(
+        out,
+        "[{idx}] committed: +{} -{} noops={} new_vertices={} crossing_properties={} epoch={}",
+        report.inserted,
+        report.deleted,
+        report.insert_noops + report.delete_noops,
+        report.new_vertices,
+        report.crossing_properties,
+        report.epoch,
+    )?;
+    Ok(())
+}
+
 /// `mpc serve` — the cached serving loop over the simulated cluster
 /// (docs/SERVING.md). With `--queries FILE` it replays a workload file —
-/// one SPARQL query per non-blank, non-`#` line; without it, the same
-/// format is read from stdin as a line-per-query REPL. Everything except
-/// the `time:` line is deterministic, so two replays of the same
-/// workload diff clean (ci.sh relies on that).
+/// one SPARQL query or `INSERT DATA`/`DELETE DATA` update per
+/// non-blank, non-`#` line; without it, the same format is read from
+/// stdin as a line-per-query REPL. Updates commit transactionally
+/// (docs/UPDATES.md) and flip the cache epoch. Everything except the
+/// `time:` line is deterministic, so two replays of the same workload
+/// diff clean (ci.sh relies on that).
 pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
@@ -709,6 +756,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "threads",
             "chaos",
             "seed",
+            "epsilon",
             "retries",
             "deadline-ms",
             "replicas",
@@ -724,24 +772,25 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let rec = Recorder::enabled();
     let src = engine_source(&o, radius, &rec, out)?;
     let graph = src.graph;
-    let server = ServeEngine::new(src.engine, cache_entries);
+    let mut server = ServeEngine::new(src.engine, cache_entries);
     if let Some(generation) = src.generation {
         // Seed the cache epoch from the manifest generation: a result
         // cached against snapshot gen N can never answer under gen M.
-        server.set_epoch(generation);
+        server.transition(EpochTransition::Restore { generation });
     }
-    let mut req = ExecRequest::new()
-        .mode(mode)
-        .traced(&rec)
-        .cached(!o.flag("no-cache"));
+    let mut spec = RequestSpec::default().mode(mode).cached(!o.flag("no-cache"));
     if o.get("threads").is_some() {
-        req = req.threads(o.parse_or("threads", 0)?);
+        spec = spec.threads(o.parse_or("threads", 0)?);
     }
+    let mut req = spec.to_request(&rec);
     if let Some(fault) = chaos_spec(&o)? {
         // Chaos requests pass through the front end uncached — this
         // exercises exactly the fault path docs/SERVING.md describes.
         req = req.fault(fault);
     }
+    // REPL/workload commits stay in memory; `mpc update --save` is the
+    // durable path (docs/UPDATES.md).
+    let copts = CommitOptions::default();
     let batch = o
         .get("queries")
         .map(|path| {
@@ -755,6 +804,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let digest = o.flag("digest");
     let t0 = Instant::now();
     let mut served = 0usize;
+    let mut committed = 0usize;
     let mut total_rows = 0usize;
     if let Some(text) = batch {
         let workload: Vec<&str> = text
@@ -764,9 +814,10 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .collect();
         if o.flag("warm") {
             // Populate the cache with one untraced pass so the replay
-            // below reports steady-state hit rates.
+            // below reports steady-state hit rates. Update lines must
+            // not warm — committing them here would apply them twice.
             let warm_req = req.clone().traced(&Recorder::disabled());
-            for line in &workload {
+            for line in workload.iter().filter(|l| !mpc_sparql::is_update(l)) {
                 let plan = mpc_sparql::parse(line)
                     .map_err(|e| CliError::new(e.to_string()))?
                     .resolve(graph.dictionary())
@@ -778,9 +829,20 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         for line in &workload {
             served += 1;
-            total_rows += serve_one(
-                &server, line, served, &graph, &req, &rec, display_limit, digest, out,
-            )?;
+            if mpc_sparql::is_update(line) {
+                commit_one(&mut server, line, served, &copts, &rec, out)?;
+                committed += 1;
+            } else {
+                // Resolve against the live dictionary: a term interned
+                // by an earlier commit is addressable by later queries.
+                let dict = server
+                    .engine()
+                    .dictionary()
+                    .unwrap_or_else(|| graph.dictionary());
+                total_rows += serve_one(
+                    &server, line, served, dict, &req, &rec, display_limit, digest, out,
+                )?;
+            }
         }
     } else {
         // REPL: parse/execution errors are reported and the loop keeps
@@ -793,8 +855,19 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 continue;
             }
             served += 1;
+            if mpc_sparql::is_update(line) {
+                match commit_one(&mut server, line, served, &copts, &rec, out) {
+                    Ok(()) => committed += 1,
+                    Err(e) => writeln!(out, "[{served}] error: {e}")?,
+                }
+                continue;
+            }
+            let dict = server
+                .engine()
+                .dictionary()
+                .unwrap_or_else(|| graph.dictionary());
             match serve_one(
-                &server, line, served, &graph, &req, &rec, display_limit, digest, out,
+                &server, line, served, dict, &req, &rec, display_limit, digest, out,
             ) {
                 Ok(rows) => total_rows += rows,
                 Err(e) => writeln!(out, "[{served}] error: {e}")?,
@@ -804,8 +877,9 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let c = |name: &str| rec.counter(name).unwrap_or(0);
     writeln!(
         out,
-        "serve: queries={served} rows={total_rows} cache_hits={} cache_misses={} \
-         evictions={} plan_hits={} plan_misses={} entries={}/{} epoch={}",
+        "serve: queries={} updates={committed} rows={total_rows} cache_hits={} \
+         cache_misses={} evictions={} plan_hits={} plan_misses={} entries={}/{} epoch={}",
+        served - committed,
         c("serve.cache.hit"),
         c("serve.cache.miss"),
         c("serve.cache.evict"),
@@ -823,3 +897,68 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mpc update` — apply one SPARQL Update request (`INSERT DATA` /
+/// `DELETE DATA` clauses) transactionally against a dataset
+/// (docs/UPDATES.md). The update text comes from `--updates FILE` or
+/// inline via `--text '…'`. `--compact` folds the overlay into the base
+/// runs after the commit; `--save DIR` writes a new snapshot generation
+/// of the post-commit dataset, so a later `mpc serve --load DIR`
+/// cold-starts into exactly what this command committed.
+pub fn update(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let o = Options::parse_with_flags(
+        args,
+        &["input", "partitions", "load", "updates", "text", "epsilon", "save"],
+        &["compact", "profile"],
+    )?;
+    let text = match (o.get("updates"), o.get("text")) {
+        (Some(path), None) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?,
+        (None, Some(inline)) => inline.to_owned(),
+        (Some(_), Some(_)) => {
+            return Err(CliError::new("--updates and --text are mutually exclusive"))
+        }
+        (None, None) => return Err(CliError::new("pass --updates FILE or --text 'INSERT DATA …'")),
+    };
+    let data = mpc_sparql::parse_update(&text).map_err(|e| CliError::new(e.to_string()))?;
+    let batch = UpdateBatch::from_update_data(&data);
+    let rec = Recorder::enabled();
+    // Radius is pinned to 1: that is the only replication the
+    // incremental partitioner maintains exactly.
+    let src = engine_source(&o, 1, &rec, out)?;
+    let mut server = ServeEngine::new(src.engine, 1);
+    if let Some(generation) = src.generation {
+        server.transition(EpochTransition::Restore { generation });
+    }
+    let copts = CommitOptions {
+        compact: o.flag("compact"),
+        snapshot_dir: o.get("save").map(std::path::PathBuf::from),
+    };
+    let report = server
+        .commit(&batch, &copts, &rec)
+        .map_err(|e| CliError::new(format!("commit failed: {e}")))?;
+    writeln!(
+        out,
+        "committed: +{} -{} noops={} new_vertices={} new_properties={} \
+         crossing_properties={} crossing_edges={} epoch={}",
+        report.inserted,
+        report.deleted,
+        report.insert_noops + report.delete_noops,
+        report.new_vertices,
+        report.new_properties,
+        report.crossing_properties,
+        report.crossing_edges,
+        report.epoch,
+    )?;
+    if let Some(generation) = report.generation {
+        writeln!(
+            out,
+            "snapshot: saved gen-{generation:04} to {}",
+            o.get("save").unwrap_or_default()
+        )?;
+    }
+    if rec.is_enabled() && o.flag("profile") {
+        writeln!(out, "\nprofile:")?;
+        write!(out, "{}", rec.report().to_text())?;
+    }
+    Ok(())
+}

@@ -10,11 +10,14 @@
 //! * `classify` — IEQ-classify a SPARQL query against a saved partitioning,
 //! * `query` — execute a SPARQL query on the simulated cluster,
 //! * `serve` — replay a query workload through the cached serving front
-//!   end (docs/SERVING.md), batch or REPL,
+//!   end (docs/SERVING.md), batch or REPL; `INSERT DATA`/`DELETE DATA`
+//!   lines commit transactionally (docs/UPDATES.md),
+//! * `update` — apply a SPARQL Update request against a dataset and
+//!   optionally snapshot the result (docs/UPDATES.md),
 //! * `server` — run the multi-client TCP front end over the same engine
 //!   (docs/SERVER.md),
-//! * `client` — replay a workload against a running server and/or shut
-//!   it down,
+//! * `client` — replay a workload against a running server, send an
+//!   update, and/or shut it down,
 //! * `analyze` — run the workspace lint engine (docs/STATIC_ANALYSIS.md).
 //!
 //! All logic lives here (testable); `src/bin/mpc.rs` is a thin shim.
@@ -75,6 +78,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "explain" => commands::explain(rest, out),
         "query" => commands::query(rest, out),
         "serve" => commands::serve(rest, out),
+        "update" => commands::update(rest, out),
         "server" => net::server(rest, out),
         "client" => net::client(rest, out),
         "help" | "--help" | "-h" => {
@@ -113,13 +117,17 @@ USAGE:
                   [--mode <crossing|star>] [--radius <N>] [--limit <N rows shown>]
                   [--profile] [--chaos <SPEC>] [--seed <N>] [--retries <N>]
                   [--deadline-ms <N>] [--replicas <N>] [--strict] [--threads <N>]
+    mpc update    [--input <FILE> --partitions <FILE.parts>] [--load <DIR>]
+                  (--updates <FILE.ru> | --text 'INSERT DATA { … }')
+                  [--epsilon <F>] [--compact] [--save <DIR>] [--profile]
     mpc server    [--input <FILE> --partitions <FILE.parts>] [--load <DIR>]
                   [--listen <ADDR:PORT>] [--workers <N>] [--queue-depth <N>]
                   [--io-timeout-ms <N>] [--cache-entries <N>] [--shards <N>]
-                  [--port-file <FILE>] [--radius <N>] [--profile]
+                  [--port-file <FILE>] [--radius <N>] [--epsilon <F>] [--profile]
     mpc client    --connect <ADDR:PORT> [--queries <FILE>] [--connections <N>]
                   [--mode <crossing|star>] [--no-cache] [--threads <N>]
-                  [--retries <N>] [--backoff-seed <N>] [--shutdown]
+                  [--retries <N>] [--backoff-seed <N>]
+                  [--update 'TEXT' [--compact]] [--shutdown]
 
 Input format is chosen by extension: .nt/.ntriples → N-Triples,
 anything else → Turtle. `--profile` appends a stage-timing and counter
@@ -147,9 +155,14 @@ Results are bit-identical for every thread count (docs/PARALLELISM.md).
 fault sampler for `query`/`serve --chaos`.
 
 `serve` replays a workload through the cached serving front end
-(docs/SERVING.md): `--queries FILE` holds one SPARQL query per
-non-blank, non-# line; without it, the same format is read from stdin
-as a REPL. The result cache keeps `--cache-entries` results (default
+(docs/SERVING.md): `--queries FILE` holds one SPARQL query or
+`INSERT DATA`/`DELETE DATA` update per non-blank, non-# line; without
+it, the same format is read from stdin as a REPL. Update lines commit
+transactionally against the live store and flip the cache epoch
+(docs/UPDATES.md); `update` applies the same kind of request once from
+a file or `--text`, with `--save DIR` writing a new snapshot generation
+of the post-commit dataset and `--compact` folding the novelty overlay
+into the base runs. The result cache keeps `--cache-entries` results (default
 256; `--no-cache` bypasses it per request, 0 disables it); `--warm`
 pre-runs the workload once so the replay reports steady-state hits.
 `--digest` prints one `[i] rows=… fp=…` line per query instead of the

@@ -4,7 +4,7 @@
 use crate::args::Options;
 use crate::commands::{engine_source, parse_mode};
 use crate::CliError;
-use mpc_cluster::ServeEngine;
+use mpc_cluster::{EpochTransition, ServeEngine};
 use mpc_obs::Recorder;
 use mpc_server::{replay, Client, RequestOpts, Server, ServerConfig};
 use std::io::Write;
@@ -28,6 +28,7 @@ pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "shards",
             "port-file",
             "radius",
+            "epsilon",
         ],
         &["profile"],
     )?;
@@ -43,11 +44,11 @@ pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let shards: usize = o.parse_or("shards", workers.max(1))?;
     let rec = Recorder::enabled();
     let src = engine_source(&o, radius, &rec, out)?;
-    let serve = ServeEngine::with_shards(src.engine, cache_entries, shards);
+    let mut serve = ServeEngine::with_shards(src.engine, cache_entries, shards);
     if let Some(generation) = src.generation {
         // Seed the cache epoch from the manifest generation: a result
         // cached against snapshot gen N can never answer under gen M.
-        serve.set_epoch(generation);
+        serve.transition(EpochTransition::Restore { generation });
     }
     let srv = Server::bind(
         o.get("listen").unwrap_or("127.0.0.1:0"),
@@ -80,9 +81,9 @@ pub fn server(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
     writeln!(
         out,
-        "server: accepted={} requests={} served={} rejected={} \
+        "server: accepted={} requests={} served={} rejected={} updates={} \
          queue_max_depth={} cache_hits={hits} cache_misses={misses}",
-        summary.accepted, summary.requests, summary.served, summary.rejected,
+        summary.accepted, summary.requests, summary.served, summary.rejected, summary.updates,
         summary.queue_max_depth,
     )?;
     if o.flag("profile") {
@@ -103,14 +104,40 @@ fn resolve_addr(spec: &str) -> Result<SocketAddr, CliError> {
 /// over `--connections` parallel sessions, printing one
 /// `[i] rows=… fp=…` line per query **in workload order** (so the
 /// output diffs clean against `mpc serve --digest` on the same file),
-/// and/or shut the server down.
+/// send a transactional update (`--update 'INSERT DATA …'`, committed
+/// before any replay starts — docs/UPDATES.md), and/or shut the server
+/// down.
 pub fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let o = Options::parse_with_flags(
         args,
-        &["connect", "queries", "connections", "threads", "mode", "retries", "backoff-seed"],
-        &["no-cache", "shutdown"],
+        &[
+            "connect",
+            "queries",
+            "connections",
+            "threads",
+            "mode",
+            "retries",
+            "backoff-seed",
+            "update",
+        ],
+        &["no-cache", "shutdown", "compact"],
     )?;
     let addr = resolve_addr(o.required("connect")?)?;
+    if let Some(text) = o.get("update") {
+        let mut c = Client::connect(addr)
+            .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?;
+        let r = c
+            .update(text, o.flag("compact"))
+            .map_err(|e| CliError::new(format!("update failed: {e}")))?;
+        writeln!(
+            out,
+            "committed: +{} -{} noops={} new_vertices={} crossing_properties={} epoch={}",
+            r.inserted, r.deleted, r.noops, r.new_vertices, r.crossing_properties, r.epoch,
+        )?;
+        c.bye();
+    } else if o.flag("compact") {
+        return Err(CliError::new("--compact only applies with --update"));
+    }
     if let Some(path) = o.get("queries") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::new(format!("cannot open '{path}': {e}")))?;
@@ -140,9 +167,9 @@ pub fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             digests.len(),
             connections.max(1).min(workload.len().max(1))
         )?;
-    } else if !o.flag("shutdown") {
+    } else if !o.flag("shutdown") && o.get("update").is_none() {
         return Err(CliError::new(
-            "nothing to do: pass --queries FILE to replay and/or --shutdown",
+            "nothing to do: pass --queries FILE to replay, --update 'TEXT', and/or --shutdown",
         ));
     }
     if o.flag("shutdown") {

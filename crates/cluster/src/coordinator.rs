@@ -204,7 +204,7 @@ impl ExecOutcome {
 /// templates repeat in workloads; the cache also lets repeated benchmark
 /// runs measure steady-state QDT.
 #[derive(Clone)]
-struct CachedPlan {
+pub(crate) struct CachedPlan {
     class: IeqClass,
     subqueries: Option<Arc<Vec<Subquery>>>,
     /// Pattern order for independent execution of the whole query.
@@ -309,28 +309,33 @@ fn fold_outcomes(outcomes: Vec<FragmentOutcome>) -> FoldedOutcomes {
 /// A simulated distributed SPARQL engine over a vertex-disjoint
 /// partitioning.
 pub struct DistributedEngine {
-    sites: Vec<Site>,
-    crossing: CrossingSet,
+    pub(crate) sites: Vec<Site>,
+    pub(crate) crossing: CrossingSet,
     network: NetworkModel,
     load_time: Duration,
     /// Replication radius the fragments were built with (1 = the paper's
     /// 1-hop crossing-edge replication).
-    radius: usize,
+    pub(crate) radius: usize,
     /// Apply Bloom-semijoin reduction before shipping decomposed subquery
     /// results (the AdPart/WORQ-style run-time optimization; off by
     /// default to match the paper's plain execution).
     pub semijoin_reduction: bool,
     /// Plan cache keyed by (pattern list, crossing-aware?).
-    plans: Mutex<FxHashMap<(Vec<TriplePattern>, bool), CachedPlan>>,
+    pub(crate) plans: Mutex<FxHashMap<(Vec<TriplePattern>, bool), CachedPlan>>,
     /// Per-property cardinality statistics aggregated across sites at
     /// build time (crossing-edge replicas are counted once per site, so
     /// counts are upper bounds — fine for comparing plan candidates).
-    stats: StoreStats,
+    pub(crate) stats: StoreStats,
     /// Fault-tolerance layer; `None` on the (default) infallible path.
     fault: Option<FaultLayer>,
     /// Monotone query number — a coordinate of every fault decision, so a
     /// workload's fault sequence is reproducible query by query.
     query_seq: AtomicU64,
+    /// Live-update state, armed by
+    /// [`DistributedEngine::enable_updates`]; `None` on read-only
+    /// engines. Boxed: the dictionary + triple multiset are heavy and
+    /// most engines never mutate.
+    pub(crate) live: Option<Box<crate::update::LiveState>>,
 }
 
 impl DistributedEngine {
@@ -379,6 +384,7 @@ impl DistributedEngine {
             stats,
             fault: None,
             query_seq: AtomicU64::new(0),
+            live: None,
         }
     }
 
@@ -428,6 +434,7 @@ impl DistributedEngine {
             stats,
             fault: None,
             query_seq: AtomicU64::new(0),
+            live: None,
         }
     }
 

@@ -29,11 +29,13 @@ pub mod ieq;
 pub mod network;
 pub mod partial;
 pub mod bloom;
+pub mod request;
 pub mod retry;
 pub mod semijoin;
 pub mod serve;
 pub mod site;
 pub mod stats;
+pub mod update;
 pub mod vp;
 pub mod wire;
 
@@ -46,9 +48,11 @@ pub use ieq::{classify, is_khop_executable, CrossingOracle, CrossingSet, IeqClas
 pub use network::{NetworkModel, COORDINATOR};
 pub use partial::{partial_evaluate, PartialEvalStats};
 pub use bloom::BloomFilter;
+pub use request::RequestSpec;
 pub use retry::{RetryPolicy, SimClock};
 pub use semijoin::{bloom_reduce, ReductionStats};
-pub use serve::{ServeEngine, ShardStats};
+pub use serve::{CommitOptions, EpochTransition, ServeEngine, ShardStats};
+pub use update::{CommitError, CommitReport, UpdateBatch, UpdateOp};
 pub use site::{Site, SiteResponse};
 pub use stats::{ExecutionStats, FaultStats, FiveNumber};
 pub use vp::VpEngine;
@@ -58,10 +62,10 @@ pub use vp::VpEngine;
 mod proptests {
     use super::*;
     use mpc_core::{
-        MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner, SubjectHashPartitioner,
-        VerticalPartitioner,
+        IncrementalPartitioning, MinEdgeCutPartitioner, MpcConfig, MpcPartitioner, Partitioner,
+        SubjectHashPartitioner, VerticalPartitioner,
     };
-    use mpc_rdf::{GraphBuilder, PropertyId, RdfGraph, Triple, VertexId};
+    use mpc_rdf::{GraphBuilder, PropertyId, RdfGraph, Term, Triple, VertexId};
     use mpc_sparql::{evaluate, LocalStore, QLabel, QNode, Query, TriplePattern};
     use proptest::prelude::*;
 
@@ -380,7 +384,7 @@ mod proptests {
             replay_once(&serve, false)?;
             // Repartition: every cached entry must become unaddressable,
             // and the replay must still agree answer for answer.
-            serve.repartition(build());
+            serve.transition(EpochTransition::Repartition(Box::new(build())));
             replay_once(&serve, true)?;
         }
 
@@ -529,6 +533,136 @@ mod proptests {
                 got.sort_unstable();
                 want.sort_unstable();
                 prop_assert_eq!(got, want, "distributed vs centralized content");
+            }
+        }
+
+        /// Live-commit exactness (docs/UPDATES.md): after any stream of
+        /// insert/delete batches through [`DistributedEngine::commit`],
+        /// the incremental crossing bookkeeping — per-property flags,
+        /// |L_cross|, |E^c| — and the vertex placement equal a
+        /// from-scratch recount over the live dataset, and the committed
+        /// engine answers exactly like an engine rebuilt from scratch.
+        #[test]
+        fn committed_engine_equals_from_scratch_rebuild(
+            g in graph_strategy(),
+            ops in proptest::collection::vec((0u32..10, any::<u32>(), 0u32..8, any::<u32>()), 1..25),
+            query in query_strategy(),
+            k in 2usize..4,
+        ) {
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let mut eng = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            eng.enable_updates(&g, &partitioning, 0.1).expect("radius-1 engine");
+            let rec = mpc_obs::Recorder::disabled();
+            let mut vc = g.vertex_count() as u32;
+            let mut pc = g.property_count() as u32;
+            for chunk in ops.chunks(6) {
+                let mut batch = UpdateBatch::new();
+                for &(kind, s, p, o) in chunk {
+                    if kind < 7 {
+                        // Insert; ids clamped so fresh vertices appear
+                        // densely (at most one new id per op) and at most
+                        // one property beyond the tracked space.
+                        let (s, o, p) = (s % (vc + 1), o % (vc + 1), p % (pc + 1));
+                        if s == vc || o == vc {
+                            vc += 1;
+                        }
+                        if p == pc {
+                            pc += 1;
+                        }
+                        batch.insert(Triple::new(VertexId(s), PropertyId(p), VertexId(o)));
+                    } else {
+                        // Delete a currently-live triple when one exists
+                        // (an arbitrary-id delete is just a no-op).
+                        let live = &eng.live.as_ref().unwrap().triples;
+                        if !live.is_empty() {
+                            batch.delete(live[s as usize % live.len()]);
+                        }
+                    }
+                }
+                eng.commit(&batch, &rec).expect("validated batch commits");
+            }
+            let (lg, lp) = eng.live_dataset().expect("updates enabled");
+            let recount = IncrementalPartitioning::from_partitioning(&lg, &lp, 0.1);
+            let inc = &eng.live.as_ref().unwrap().inc;
+            prop_assert_eq!(inc.crossing_property_count(), recount.crossing_property_count());
+            prop_assert_eq!(inc.crossing_edge_count(), recount.crossing_edge_count());
+            for p in 0..lg.property_count() {
+                let p = PropertyId(p as u32);
+                prop_assert_eq!(
+                    inc.is_crossing_property(p),
+                    recount.is_crossing_property(p),
+                    "flag divergence at {}", p
+                );
+            }
+            for v in 0..lg.vertex_count() {
+                let v = VertexId(v as u32);
+                prop_assert_eq!(inc.part_of(v), recount.part_of(v), "placement {}", v);
+            }
+            let fresh = DistributedEngine::build(&lg, &lp, NetworkModel::free());
+            let committed = eng.run(&query, &ExecRequest::new()).expect("fault-free");
+            let rebuilt = fresh.run(&query, &ExecRequest::new()).expect("fault-free");
+            prop_assert_eq!(committed.rows(), rebuilt.rows(), "committed vs rebuilt");
+            prop_assert_eq!(committed.rows(), &reference(&lg, &query), "vs centralized");
+        }
+
+        /// The differential overlay contract: an engine answering from
+        /// (base runs + novelty overlay) after a commit is bit-identical
+        /// to an engine rebuilt from the merged dataset — across
+        /// OPTIONAL / UNION / FILTER / ORDER BY plans and 1-vs-4 worker
+        /// threads.
+        #[test]
+        fn overlay_answers_equal_rebuilt_store_across_algebra_plans(
+            g in iri_graph_strategy(),
+            extra in proptest::collection::vec((0u32..10, 0u32..4, 0u32..10), 1..12),
+            dels in proptest::collection::vec(any::<u32>(), 0..6),
+            texts in proptest::collection::vec(algebra_text_strategy(), 1..3),
+            k in 2usize..4,
+        ) {
+            let partitioning = MpcPartitioner::new(MpcConfig::with_k(k)).partition(&g);
+            let mut eng = DistributedEngine::build(&g, &partitioning, NetworkModel::free());
+            eng.enable_updates(&g, &partitioning, 0.1).expect("radius-1 engine");
+            let mut batch = UpdateBatch::new();
+            for &i in &dels {
+                let base = g.triples();
+                batch.delete(base[i as usize % base.len()]);
+            }
+            for &(s, p, o) in &extra {
+                batch.insert_terms(
+                    Term::iri(format!("urn:v:{s}")),
+                    format!("urn:p:{p}"),
+                    Term::iri(format!("urn:v:{o}")),
+                );
+            }
+            eng.commit(&batch, &mpc_obs::Recorder::disabled()).expect("term batch commits");
+            let (lg, lp) = eng.live_dataset().expect("updates enabled");
+            let dict = lg.dictionary();
+            let fresh = DistributedEngine::build(&lg, &lp, NetworkModel::free());
+            let store = LocalStore::from_graph(&lg);
+            for text in &texts {
+                let Ok(plan) = mpc_sparql::parse(text).expect("generated text parses").resolve(dict)
+                else {
+                    // FILTER/ORDER BY over absent variables, or a
+                    // property the dataset never minted.
+                    continue;
+                };
+                for threads in [1usize, 4] {
+                    let req = ExecRequest::new().threads(threads);
+                    let a = eng.run_plan(&plan, &req, dict).expect("fault-free");
+                    let b = fresh.run_plan(&plan, &req, dict).expect("fault-free");
+                    prop_assert_eq!(
+                        a.rows(), b.rows(),
+                        "overlay vs rebuilt, {} threads: {}", threads, text
+                    );
+                }
+                let central = mpc_sparql::eval_plan_local(&plan, &store, dict);
+                let one = eng
+                    .run_plan(&plan, &ExecRequest::new(), dict)
+                    .expect("fault-free");
+                let mut got = one.rows().rows.clone();
+                let mut want = central.rows;
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "overlay vs centralized: {}", text);
             }
         }
     }

@@ -133,7 +133,7 @@ pub fn partial_evaluate(
         .iter()
         .map(|site| {
             let mut set = site.extended.clone();
-            for t in site.store.triples() {
+            for t in site.store.scan(&mpc_sparql::Pattern::any()) {
                 if site.extended.contains(&t.s) || site.extended.contains(&t.o) {
                     set.insert(t.s);
                     set.insert(t.o);

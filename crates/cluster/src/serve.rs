@@ -40,6 +40,7 @@ use crate::coordinator::{
 };
 use crate::fault::SiteError;
 use crate::stats::ExecutionStats;
+use crate::update::{CommitError, CommitReport, UpdateBatch};
 use mpc_obs::Recorder;
 use mpc_rdf::{Dictionary, FxHashMap, FxHasher};
 use mpc_sparql::{
@@ -170,6 +171,40 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
     }
 }
 
+/// Why the serving layer is moving to a new partition epoch — the
+/// argument to [`ServeEngine::transition`], the single lifecycle entry
+/// point for every epoch change that is not a data commit.
+#[derive(Default)]
+pub enum EpochTransition {
+    /// Invalidate every cached result without touching the engine — for
+    /// in-place mutations of partition-dependent engine state (e.g.
+    /// toggling semijoin reduction). Epoch advances by one.
+    #[default]
+    Invalidate,
+    /// Replace the wrapped engine (a repartition). Epoch advances by
+    /// one; no result computed over the old partitioning stays servable.
+    Repartition(Box<DistributedEngine>),
+    /// Seed the epoch from a snapshot's committed generation at cold
+    /// start (docs/PERSISTENCE.md) — results cached before a restart can
+    /// never alias results computed after one, and the epoch visibly
+    /// tracks the on-disk generation.
+    Restore {
+        /// The snapshot generation to serve as.
+        generation: u64,
+    },
+}
+
+/// What [`ServeEngine::commit`] should do after the batch applies.
+#[derive(Clone, Debug, Default)]
+pub struct CommitOptions {
+    /// Fold every site's novelty overlay into its sorted base runs
+    /// after the commit ([`DistributedEngine::compact_sites`]).
+    pub compact: bool,
+    /// Persist the post-commit dataset as a new snapshot generation in
+    /// this directory (docs/PERSISTENCE.md).
+    pub snapshot_dir: Option<std::path::PathBuf>,
+}
+
 /// A query-serving front end over a [`DistributedEngine`]: canonical
 /// keys, memoized canonicalization, and a bounded result cache that the
 /// partition epoch invalidates wholesale. See the [module docs](self)
@@ -195,8 +230,8 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
 pub struct ServeEngine {
     inner: DistributedEngine,
     /// The partition epoch: a component of every result-cache key.
-    /// Bumped by [`Self::repartition`] / [`Self::bump_epoch`], which
-    /// makes every existing entry unaddressable at once.
+    /// Moved by [`Self::commit`] / [`Self::transition`], which makes
+    /// every existing entry unaddressable at once.
     epoch: AtomicU64,
     /// Canonicalization memo: raw (patterns, var count) → the canonical
     /// query and the restore map. Pure function of the query, so never
@@ -270,33 +305,74 @@ impl ServeEngine {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Invalidates every cached result by moving to a new epoch, without
-    /// replacing the engine. For callers that mutate partition-dependent
-    /// engine state in place (e.g. toggling semijoin reduction).
-    pub fn bump_epoch(&self) {
-        // ordering: AcqRel — the release half publishes the in-place
-        // engine mutations that motivated the bump; the acquire half
-        // orders the bump against cache fills that follow it.
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+    /// Moves the serving layer to a new partition epoch — the one
+    /// lifecycle entry point for every epoch change that is not a data
+    /// commit (those go through [`Self::commit`]). Every cached result
+    /// keys on the epoch, so any transition makes all existing entries
+    /// unaddressable at once. The canonicalization memos survive every
+    /// transition: they are partition-independent pure functions.
+    ///
+    /// Returns the epoch now being served.
+    pub fn transition(&mut self, transition: EpochTransition) -> u64 {
+        match transition {
+            EpochTransition::Restore { generation } => {
+                // ordering: Release publishes the freshly loaded engine
+                // state to readers that Acquire-observe the seeded
+                // epoch, mirroring the AcqRel bump below.
+                self.epoch.store(generation, Ordering::Release);
+                generation
+            }
+            EpochTransition::Invalidate => {
+                // ordering: AcqRel — the release half publishes the
+                // in-place engine mutations that motivated the bump; the
+                // acquire half orders the bump against later cache fills.
+                self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+            }
+            EpochTransition::Repartition(inner) => {
+                self.inner = *inner;
+                // ordering: AcqRel, as for `Invalidate` — publishes the
+                // engine replacement.
+                self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+            }
+        }
     }
 
-    /// Seeds the epoch, typically from a snapshot's committed generation
-    /// at cold start (docs/PERSISTENCE.md) — so results cached before a
-    /// restart can never alias results computed after one, and the epoch
-    /// visibly tracks the on-disk generation.
-    pub fn set_epoch(&self, epoch: u64) {
-        // ordering: Release publishes the freshly loaded engine state to
-        // readers that Acquire-observe the seeded epoch, mirroring the
-        // AcqRel bump.
-        self.epoch.store(epoch, Ordering::Release);
-    }
-
-    /// Replaces the wrapped engine (a repartition) and bumps the epoch,
-    /// so no result computed over the old partitioning stays servable.
-    pub fn repartition(&mut self, inner: DistributedEngine) {
-        self.inner = inner;
-        self.bump_epoch();
-        // The canonicalization memo survives: it is partition-independent.
+    /// Applies one [`UpdateBatch`] through
+    /// [`DistributedEngine::commit`](crate::coordinator::DistributedEngine)
+    /// and moves to the next epoch, so every result cached over the
+    /// pre-commit data becomes unaddressable. With
+    /// [`CommitOptions::compact`] the sites' novelty overlays are folded
+    /// into their base runs afterwards; with a
+    /// [`CommitOptions::snapshot_dir`] the post-commit dataset is
+    /// persisted as a new snapshot generation (durability is the last
+    /// step: a snapshot error reports after the in-memory commit has
+    /// already applied — see [`CommitError::Snapshot`]).
+    pub fn commit(
+        &mut self,
+        batch: &UpdateBatch,
+        opts: &CommitOptions,
+        rec: &Recorder,
+    ) -> Result<CommitReport, CommitError> {
+        let mut report = self.inner.commit(batch, rec)?;
+        if opts.compact {
+            self.inner.compact_sites();
+        }
+        // ordering: AcqRel — the release half publishes the committed
+        // site/overlay mutations; the acquire half orders the flip
+        // against the cache fills that will follow under the new epoch.
+        report.epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        rec.set("update.epoch", report.epoch);
+        if let Some(dir) = &opts.snapshot_dir {
+            let (g, p) = self
+                .inner
+                .live_dataset()
+                // mpc-allow: unwrap-expect commit succeeded, so updates are armed and live state exists
+                .expect("commit succeeded, so live state exists");
+            let saved =
+                mpc_snapshot::save(dir, &g, &p, rec).map_err(CommitError::Snapshot)?;
+            report.generation = Some(saved.generation);
+        }
+        Ok(report)
     }
 
     /// Number of live result-cache entries across all shards of both
@@ -649,7 +725,7 @@ mod tests {
         let req = ExecRequest::new().traced(&rec);
         let before = serve.serve(&query, &req).unwrap();
         assert_eq!(serve.epoch(), 0);
-        serve.repartition(engine(&g));
+        assert_eq!(serve.transition(EpochTransition::Repartition(Box::new(engine(&g)))), 1);
         assert_eq!(serve.epoch(), 1);
         // The stale entry is unaddressable: the next serve is a miss and
         // recomputes over the new engine.
@@ -660,6 +736,45 @@ mod tests {
         // And the new entry serves hits again.
         let _ = serve.serve(&query, &req).unwrap();
         assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+    }
+
+    #[test]
+    fn commit_flips_epoch_and_serves_the_post_commit_data() {
+        let g = dataset();
+        let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(&g);
+        let mut eng = DistributedEngine::build(&g, &part, NetworkModel::free());
+        eng.enable_updates(&g, &part, 0.1).unwrap();
+        let mut serve = ServeEngine::new(eng, 8);
+        let query = path_query();
+        let rec = Recorder::enabled();
+        let req = ExecRequest::new().traced(&rec);
+        let before = serve.serve(&query, &req).unwrap();
+        assert_eq!(serve.epoch(), 0);
+
+        // (1,p0,2) exists, so inserting (2,p2,9) adds the row (1,2,9);
+        // deleting (3,p2,8) removes (2,3,8).
+        let mut batch = UpdateBatch::new();
+        batch.insert(t(2, 2, 9)).delete(t(3, 2, 8));
+        let report = serve
+            .commit(&batch, &CommitOptions::default(), &rec)
+            .unwrap();
+        assert_eq!((report.inserted, report.deleted), (1, 1));
+        assert_eq!(report.epoch, 1);
+        assert_eq!(serve.epoch(), 1);
+        assert_eq!(report.generation, None);
+
+        // The pre-commit entry is unaddressable: a miss recomputes over
+        // the committed data and matches a from-scratch rebuild.
+        let after = serve.serve(&query, &req).unwrap();
+        assert_eq!(rec.counter("serve.cache.miss"), Some(2));
+        assert_eq!(rec.counter("serve.cache.hit"), None);
+        assert_ne!(before.rows(), after.rows());
+        let (live_g, _) = serve.engine().live_dataset().unwrap();
+        assert_eq!(after.rows(), &reference(&live_g, &query));
+        // And the post-commit entry serves hits again.
+        let _ = serve.serve(&query, &req).unwrap();
+        assert_eq!(rec.counter("serve.cache.hit"), Some(1));
+        assert_eq!(rec.counter("update.commit"), Some(1));
     }
 
     #[test]
@@ -782,7 +897,7 @@ mod tests {
             .iter()
             .map(|query| sharded.serve(query, &req).unwrap())
             .collect();
-        sharded.repartition(engine(&g));
+        sharded.transition(EpochTransition::Repartition(Box::new(engine(&g))));
         for (query, old) in queries.iter().zip(&before) {
             let fresh = sharded.serve(query, &req).unwrap();
             assert_eq!(fresh.rows(), old.rows());

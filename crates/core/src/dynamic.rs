@@ -12,12 +12,16 @@
 //!   preferred partition is full, the edge is allowed to cross instead of
 //!   violating balance (crossing beats overload, matching Definition 4.1's
 //!   hard constraint);
-//! * crossing-property flags are maintained incrementally and always match
-//!   what a from-scratch [`Partitioning::new`] would derive.
+//! * crossing bookkeeping is a per-property crossing-edge *count* (not a
+//!   flag), so deletions decrement exactly and a property whose last
+//!   crossing edge disappears stops being crossing — always matching what
+//!   a from-scratch [`Partitioning::new`] would derive.
 //!
 //! The structure is deliberately assignment-level: it does not rewrite
-//! history (no vertex migration), which is the same trade-off streaming
-//! partitioners make.
+//! history (no vertex migration, and deleting a vertex's last edge keeps
+//! its assignment), which is the same trade-off streaming partitioners
+//! make. `mpc-cluster`'s transactional commit path (docs/UPDATES.md) is
+//! the intended driver.
 
 use crate::partitioning::Partitioning;
 use mpc_rdf::{PartitionId, PropertyId, RdfGraph, Triple};
@@ -31,7 +35,9 @@ pub struct IncrementalPartitioning {
     epsilon: f64,
     assignment: Vec<PartitionId>,
     part_sizes: Vec<usize>,
-    crossing_property: Vec<bool>,
+    /// Crossing-edge count per property (a property is crossing while
+    /// its count is non-zero).
+    crossing_per_property: Vec<usize>,
     crossing_edges: usize,
     total_edges: usize,
 }
@@ -39,17 +45,24 @@ pub struct IncrementalPartitioning {
 impl IncrementalPartitioning {
     /// Starts from an existing partitioning of `g`.
     pub fn from_partitioning(g: &RdfGraph, base: &Partitioning, epsilon: f64) -> Self {
-        let crossing_property = g
-            .property_ids()
-            .map(|p| base.is_crossing_property(p))
-            .collect();
+        // Recount crossing edges per property from the graph — the base
+        // partitioning only retains flags, and deletions need counts.
+        let mut crossing_per_property = vec![0usize; g.property_count()];
+        let mut crossing_edges = 0usize;
+        for t in g.triples() {
+            if base.part_of(t.s) != base.part_of(t.o) {
+                crossing_per_property[t.p.index()] += 1;
+                crossing_edges += 1;
+            }
+        }
+        debug_assert_eq!(crossing_edges, base.crossing_edge_count());
         IncrementalPartitioning {
             k: base.k(),
             epsilon,
             assignment: base.assignment().to_vec(),
             part_sizes: base.part_sizes().to_vec(),
-            crossing_property,
-            crossing_edges: base.crossing_edge_count(),
+            crossing_per_property,
+            crossing_edges,
             total_edges: g.triple_count(),
         }
     }
@@ -59,9 +72,22 @@ impl IncrementalPartitioning {
         self.assignment.len()
     }
 
+    /// Current number of tracked properties.
+    pub fn property_count(&self) -> usize {
+        self.crossing_per_property.len()
+    }
+
+    /// The partition a tracked vertex is assigned to.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the tracked vertex space.
+    pub fn part_of(&self, v: mpc_rdf::VertexId) -> PartitionId {
+        self.assignment[v.index()]
+    }
+
     /// Current crossing-property count.
     pub fn crossing_property_count(&self) -> usize {
-        self.crossing_property.iter().filter(|&&c| c).count()
+        self.crossing_per_property.iter().filter(|&&c| c > 0).count()
     }
 
     /// Current crossing-edge count.
@@ -104,8 +130,8 @@ impl IncrementalPartitioning {
     /// (the caller allocates vertex ids densely, as [`RdfGraph`] does).
     pub fn insert(&mut self, t: Triple) {
         // Grow the property space as needed.
-        if t.p.index() >= self.crossing_property.len() {
-            self.crossing_property.resize(t.p.index() + 1, false);
+        if t.p.index() >= self.crossing_per_property.len() {
+            self.crossing_per_property.resize(t.p.index() + 1, 0);
         }
         let n = self.assignment.len();
         let (s_new, o_new) = (t.s.index() >= n, t.o.index() >= n);
@@ -136,7 +162,7 @@ impl IncrementalPartitioning {
         self.total_edges += 1;
         if self.assignment[t.s.index()] != self.assignment[t.o.index()] {
             self.crossing_edges += 1;
-            self.crossing_property[t.p.index()] = true;
+            self.crossing_per_property[t.p.index()] += 1;
         }
     }
 
@@ -147,9 +173,39 @@ impl IncrementalPartitioning {
         }
     }
 
+    /// Deletes one triple's bookkeeping: the edge totals (and, when its
+    /// endpoints straddle partitions, the per-property crossing count)
+    /// decrement. The vertex assignment is retained — vertices are never
+    /// migrated or removed, even when their last edge goes, so partition
+    /// sizes are unchanged.
+    ///
+    /// # Panics
+    /// Panics if an endpoint or property id is outside the tracked
+    /// space, or if the delete is unbalanced (more crossing deletes than
+    /// inserts for the property — the triple was never tracked).
+    pub fn delete(&mut self, t: Triple) {
+        let n = self.assignment.len();
+        assert!(
+            t.s.index() < n && t.o.index() < n,
+            "delete references an untracked vertex"
+        );
+        assert!(
+            t.p.index() < self.crossing_per_property.len(),
+            "delete references an untracked property"
+        );
+        assert!(self.total_edges > 0, "delete from an edgeless partitioning");
+        self.total_edges -= 1;
+        if self.assignment[t.s.index()] != self.assignment[t.o.index()] {
+            let slot = &mut self.crossing_per_property[t.p.index()];
+            assert!(*slot > 0, "unbalanced crossing delete for {}", t.p);
+            *slot -= 1;
+            self.crossing_edges -= 1;
+        }
+    }
+
     /// True if `p` is currently a crossing property.
     pub fn is_crossing_property(&self, p: PropertyId) -> bool {
-        self.crossing_property.get(p.index()).copied().unwrap_or(false)
+        self.crossing_per_property.get(p.index()).is_some_and(|&c| c > 0)
     }
 
     /// Freezes into a [`Partitioning`] of the extended graph, re-deriving
@@ -294,6 +350,43 @@ mod tests {
         let (_, mut inc) = start();
         inc.insert(t(0, 0, 42));
     }
+
+    #[test]
+    fn delete_clears_crossing_flag_with_the_last_crossing_edge() {
+        let (_, mut inc) = start();
+        // Force a crossing edge on a fresh property between vertices the
+        // subject-hash put on different partitions (if these two happen
+        // to share a partition the test premise is wrong).
+        let (a, b) = (0u32, 1u32);
+        assert_ne!(inc.part_of(VertexId(a)), inc.part_of(VertexId(b)));
+        inc.insert(t(a, 2, b));
+        assert!(inc.is_crossing_property(PropertyId(2)));
+        let before = inc.crossing_edge_count();
+        inc.delete(t(a, 2, b));
+        assert!(!inc.is_crossing_property(PropertyId(2)));
+        assert_eq!(inc.crossing_edge_count(), before - 1);
+        // The recount path still agrees after the churn.
+        let g2 = extended_graph(&[]);
+        let final_part = inc.into_partitioning(&g2);
+        final_part.validate(&g2).unwrap();
+    }
+
+    #[test]
+    fn delete_keeps_vertex_assignment() {
+        let (_, mut inc) = start();
+        inc.insert(t(1, 0, 8)); // vertex 8 co-locates with 1
+        let part_of_8 = inc.part_of(VertexId(8));
+        inc.delete(t(1, 0, 8));
+        assert_eq!(inc.vertex_count(), 9, "vertices are never removed");
+        assert_eq!(inc.part_of(VertexId(8)), part_of_8);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked vertex")]
+    fn delete_rejects_unknown_vertices() {
+        let (_, mut inc) = start();
+        inc.delete(t(0, 0, 42));
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +433,18 @@ mod proptests {
                 inc.insert(t);
                 all.push(t);
             }
+            // Interleave deletions: drop every third tracked triple, so
+            // the decrement path (including crossing counts reaching
+            // zero) is exercised on the same stream.
+            let mut kept = Vec::new();
+            for (i, t) in all.into_iter().enumerate() {
+                if i % 3 == 2 {
+                    inc.delete(t);
+                } else {
+                    kept.push(t);
+                }
+            }
+            let all = kept;
             let g2 = RdfGraph::from_raw(next_vertex as usize, 3, all);
             let crossing_edges = inc.crossing_edge_count();
             let crossing_props: Vec<bool> =

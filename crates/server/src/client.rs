@@ -2,7 +2,7 @@
 //! helper, and the workload replay the `mpc client` subcommand and the
 //! `serve_concurrent` bench share.
 
-use crate::proto::{self, fingerprint, Frame, ProtoError, QueryFrame};
+use crate::proto::{self, fingerprint, CommitFrame, Frame, ProtoError, QueryFrame, UpdateFrame};
 use mpc_cluster::wire::decode_bindings;
 use mpc_cluster::{ExecMode, RetryPolicy};
 use std::fmt;
@@ -189,6 +189,45 @@ impl Client {
     ) -> Result<ResultDigest, ClientError> {
         let bytes = self.query_bytes(query, opts)?;
         digest_result_bytes(&bytes)
+    }
+
+    /// Sends one SPARQL Update text (`INSERT DATA` / `DELETE DATA`) as
+    /// a transactional commit, retrying on backpressure, and returns
+    /// the server's commit report. `compact` asks the server to fold
+    /// the novelty overlays into the base runs after the commit.
+    pub fn update(&mut self, text: &str, compact: bool) -> Result<CommitFrame, ClientError> {
+        let opts = RequestOpts::default();
+        let mut rejections = 0u32;
+        loop {
+            proto::send(
+                &mut self.stream,
+                &Frame::Update(UpdateFrame {
+                    compact,
+                    text: text.to_owned(),
+                }),
+            )?;
+            match proto::recv(&mut self.stream)? {
+                Some(Frame::Committed(report)) => return Ok(report),
+                Some(Frame::Error(msg)) => return Err(ClientError::Server(msg)),
+                Some(Frame::Rejected(msg)) => {
+                    if rejections >= opts.reject_retries {
+                        return Err(ClientError::Rejected(msg));
+                    }
+                    std::thread::sleep(opts.retry_wait(rejections));
+                    rejections += 1;
+                }
+                Some(other) => {
+                    return Err(ClientError::Unexpected(format!(
+                        "expected COMMITTED/ERROR/REJECTED, got {other:?}"
+                    )))
+                }
+                None => {
+                    return Err(ClientError::Unexpected(
+                        "server closed the connection mid-update".into(),
+                    ))
+                }
+            }
+        }
     }
 
     /// Ends the session politely. Errors are ignored: the socket is

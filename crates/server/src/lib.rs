@@ -29,7 +29,9 @@ pub mod render;
 pub mod server;
 
 pub use client::{digest_result_bytes, replay, Client, ClientError, RequestOpts, ResultDigest};
-pub use proto::{fingerprint, Frame, ProtoError, QueryFrame, MAX_FRAME};
+pub use proto::{
+    fingerprint, CommitFrame, Frame, ProtoError, QueryFrame, UpdateFrame, MAX_FRAME,
+};
 pub use queue::AdmissionQueue;
 pub use render::{render_sparql, render_sparql_raw};
 pub use server::{Server, ServerConfig, ServerSummary};

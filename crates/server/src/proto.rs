@@ -9,7 +9,9 @@
 //!
 //! The protocol is strictly request/response per connection: a client
 //! sends [`Frame::Query`] and reads exactly one of [`Frame::Result`],
-//! [`Frame::Error`], or [`Frame::Rejected`] back. [`Frame::Shutdown`]
+//! [`Frame::Error`], or [`Frame::Rejected`] back, or sends
+//! [`Frame::Update`] and reads one of [`Frame::Committed`],
+//! [`Frame::Error`], or [`Frame::Rejected`]. [`Frame::Shutdown`]
 //! asks the server to drain and exit; [`Frame::Bye`] ends a session in
 //! either direction. Result bodies are the `mpc_cluster::wire` codec
 //! bytes of the finished bindings — the same encoding the engine uses
@@ -31,6 +33,13 @@ const OP_ERROR: u8 = 3;
 const OP_REJECTED: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_BYE: u8 = 6;
+const OP_UPDATE: u8 = 7;
+const OP_COMMITTED: u8 = 8;
+
+/// The body of a COMMITTED frame's `generation` field when the commit
+/// wrote no snapshot — `u64::MAX`, which a real generation (a small
+/// monotone counter) never reaches.
+const NO_GENERATION: u64 = u64::MAX;
 
 /// A query request as carried on the wire: the per-request
 /// [`mpc_cluster::ExecRequest`] knobs plus the SPARQL text.
@@ -46,11 +55,51 @@ pub struct QueryFrame {
     pub text: String,
 }
 
+/// An update request as carried on the wire: one compaction flag plus
+/// the SPARQL Update text (`INSERT DATA` / `DELETE DATA`,
+/// docs/UPDATES.md). The server applies the whole text as one
+/// transactional commit and answers with [`Frame::Committed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateFrame {
+    /// Fold the sites' novelty overlays into their base runs after the
+    /// commit.
+    pub compact: bool,
+    /// The SPARQL Update text.
+    pub text: String,
+}
+
+/// What a server-side commit did — the wire form of
+/// [`mpc_cluster::CommitReport`], eight little-endian `u64` fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitFrame {
+    /// The partition epoch now being served.
+    pub epoch: u64,
+    /// The snapshot generation written, if the server persists commits.
+    pub generation: Option<u64>,
+    /// Triples actually added.
+    pub inserted: u64,
+    /// Triples actually removed.
+    pub deleted: u64,
+    /// No-op operations (duplicate inserts + absent deletes).
+    pub noops: u64,
+    /// Fresh vertices placed by the incremental partitioner.
+    pub new_vertices: u64,
+    /// Crossing properties (|L_cross|) after the commit.
+    pub crossing_properties: u64,
+    /// Crossing edges (|E^c|) after the commit.
+    pub crossing_edges: u64,
+}
+
 /// One decoded protocol message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// Client → server: execute a query.
     Query(QueryFrame),
+    /// Client → server: apply a transactional update batch.
+    Update(UpdateFrame),
+    /// Server → client: the update committed; the body is the commit
+    /// report.
+    Committed(CommitFrame),
     /// Server → client: the finished result, as
     /// [`mpc_cluster::wire::encode_bindings`] bytes.
     Result(Vec<u8>),
@@ -126,6 +175,30 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             out.extend_from_slice(bytes);
             out
         }
+        Frame::Update(u) => {
+            let mut out = Vec::with_capacity(2 + u.text.len());
+            out.push(OP_UPDATE);
+            out.push(u8::from(u.compact));
+            out.extend_from_slice(u.text.as_bytes());
+            out
+        }
+        Frame::Committed(c) => {
+            let mut out = Vec::with_capacity(1 + 8 * 8);
+            out.push(OP_COMMITTED);
+            for field in [
+                c.epoch,
+                c.generation.unwrap_or(NO_GENERATION),
+                c.inserted,
+                c.deleted,
+                c.noops,
+                c.new_vertices,
+                c.crossing_properties,
+                c.crossing_edges,
+            ] {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+            out
+        }
         Frame::Error(msg) => text_payload(OP_ERROR, msg),
         Frame::Rejected(msg) => text_payload(OP_REJECTED, msg),
         Frame::Shutdown => vec![OP_SHUTDOWN],
@@ -173,6 +246,46 @@ pub fn decode(payload: &[u8]) -> Result<Frame, ProtoError> {
                 cached,
                 threads,
                 text,
+            }))
+        }
+        OP_UPDATE => {
+            let (&compact, text) = body
+                .split_first()
+                .ok_or_else(|| ProtoError::Malformed("UPDATE body shorter than its header".into()))?;
+            let compact = match compact {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad compact flag byte {other}")))
+                }
+            };
+            let text = std::str::from_utf8(text)
+                .map_err(|_| ProtoError::Malformed("update text is not UTF-8".into()))?
+                .to_owned();
+            Ok(Frame::Update(UpdateFrame { compact, text }))
+        }
+        OP_COMMITTED => {
+            if body.len() != 8 * 8 {
+                return Err(ProtoError::Malformed(format!(
+                    "COMMITTED body must be 64 bytes, got {}",
+                    body.len()
+                )));
+            }
+            let mut fields = [0u64; 8];
+            for (i, field) in fields.iter_mut().enumerate() {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&body[i * 8..(i + 1) * 8]);
+                *field = u64::from_le_bytes(raw);
+            }
+            Ok(Frame::Committed(CommitFrame {
+                epoch: fields[0],
+                generation: (fields[1] != NO_GENERATION).then_some(fields[1]),
+                inserted: fields[2],
+                deleted: fields[3],
+                noops: fields[4],
+                new_vertices: fields[5],
+                crossing_properties: fields[6],
+                crossing_edges: fields[7],
             }))
         }
         OP_RESULT => Ok(Frame::Result(body.to_vec())),
@@ -294,6 +407,34 @@ mod tests {
             threads: 0,
             text: String::new(),
         }));
+        roundtrip(Frame::Update(UpdateFrame {
+            compact: true,
+            text: "INSERT DATA { <urn:a> <urn:p> <urn:b> }".into(),
+        }));
+        roundtrip(Frame::Update(UpdateFrame {
+            compact: false,
+            text: String::new(),
+        }));
+        roundtrip(Frame::Committed(CommitFrame {
+            epoch: 7,
+            generation: Some(3),
+            inserted: 10,
+            deleted: 2,
+            noops: 1,
+            new_vertices: 4,
+            crossing_properties: 5,
+            crossing_edges: 19,
+        }));
+        roundtrip(Frame::Committed(CommitFrame {
+            epoch: 1,
+            generation: None,
+            inserted: 0,
+            deleted: 0,
+            noops: 0,
+            new_vertices: 0,
+            crossing_properties: 0,
+            crossing_edges: 0,
+        }));
         roundtrip(Frame::Result(vec![1, 2, 3, 255]));
         roundtrip(Frame::Result(Vec::new()));
         roundtrip(Frame::Error("boom".into()));
@@ -335,6 +476,10 @@ mod tests {
         assert!(decode(&[OP_QUERY, 0, 9, 0, 0]).is_err()); // bad cached byte
         assert!(decode(&[OP_QUERY, 0, 1, 0, 0, 0xFF, 0xFE]).is_err()); // bad UTF-8
         assert!(decode(&[OP_ERROR, 0xFF, 0xFE]).is_err());
+        assert!(decode(&[OP_UPDATE]).is_err()); // missing compact flag
+        assert!(decode(&[OP_UPDATE, 9]).is_err()); // bad compact byte
+        assert!(decode(&[OP_UPDATE, 1, 0xFF, 0xFE]).is_err()); // bad UTF-8
+        assert!(decode(&[OP_COMMITTED, 0, 0, 0]).is_err()); // short report
     }
 
     #[test]

@@ -20,12 +20,13 @@
 //! deterministic `finish`/codec pipeline; the `serve_concurrent` bench
 //! and this crate's proptest check it end to end.
 
-use crate::proto::{self, Frame, ProtoError, QueryFrame};
+use crate::proto::{self, CommitFrame, Frame, ProtoError, QueryFrame, UpdateFrame};
 use crate::queue::AdmissionQueue;
 use mpc_cluster::wire::encode_bindings;
-use mpc_cluster::{ExecRequest, ServeEngine, ShardStats};
+use mpc_cluster::{CommitOptions, RequestSpec, ServeEngine, ShardStats, UpdateBatch};
 use mpc_obs::Recorder;
 use mpc_rdf::RdfGraph;
+use parking_lot::RwLock;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -79,24 +80,36 @@ pub struct ServerSummary {
     pub served: u64,
     /// Admission rejections (backpressure responses sent).
     pub rejected: u64,
+    /// UPDATE frames that reached a worker (committed or errored).
+    pub updates: u64,
     /// High-water mark of the admission queue.
     pub queue_max_depth: usize,
     /// Per-shard result-cache statistics, in shard order.
     pub shards: Vec<ShardStats>,
 }
 
-/// One admitted unit of work: the query plus the channel its reply
+/// What one admitted job asks for: a query (served under the engine
+/// read lock, so queries run concurrently) or a transactional update
+/// (served under the write lock, so a commit excludes every query and
+/// every other commit — the lock is what makes the epoch flip and the
+/// data change one atomic step as seen from the workers).
+enum WorkItem {
+    Query(QueryFrame),
+    Update(UpdateFrame),
+}
+
+/// One admitted unit of work: the request plus the channel its reply
 /// payload goes back on. The receiving handler may be gone by the time
 /// the worker finishes (client disconnected while queued) — the send
 /// then fails and the result is dropped, which is the correct outcome.
 struct Job {
-    frame: QueryFrame,
+    item: WorkItem,
     reply: mpsc::SyncSender<Vec<u8>>,
 }
 
 struct Shared {
     graph: RdfGraph,
-    serve: ServeEngine,
+    serve: RwLock<ServeEngine>,
     queue: AdmissionQueue<Job>,
     rec: Recorder,
     io_timeout: Option<Duration>,
@@ -105,6 +118,7 @@ struct Shared {
     requests: AtomicU64,
     served: AtomicU64,
     rejected: AtomicU64,
+    updates: AtomicU64,
 }
 
 /// A bound, not-yet-running server. [`Server::bind`] then
@@ -133,7 +147,7 @@ impl Server {
             listener,
             shared: Shared {
                 graph,
-                serve,
+                serve: RwLock::new(serve),
                 queue: AdmissionQueue::new(cfg.queue_depth),
                 rec,
                 io_timeout: cfg.io_timeout,
@@ -142,6 +156,7 @@ impl Server {
                 requests: AtomicU64::new(0),
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                updates: AtomicU64::new(0),
             },
             workers: cfg.workers.max(1),
         })
@@ -159,7 +174,7 @@ impl Server {
     pub fn run(self) -> io::Result<ServerSummary> {
         let Server {
             listener,
-            shared,
+            mut shared,
             workers,
         } = self;
         listener.set_nonblocking(true)?;
@@ -195,19 +210,21 @@ impl Server {
         })?;
         let rec = &shared.rec;
         rec.set("server.queue.max_depth", shared.queue.max_depth() as u64);
-        let shards = shared.serve.shard_stats();
+        // Workers have joined; no locking needed for the final readout.
+        let shards = shared.serve.get_mut().shard_stats();
         for (i, s) in shards.iter().enumerate() {
             rec.set(&format!("server.shard{i}.hits"), s.hits);
             rec.set(&format!("server.shard{i}.misses"), s.misses);
         }
         Ok(ServerSummary {
-            // ordering: Relaxed suffices for all four counter reads —
+            // ordering: Relaxed suffices for all five counter reads —
             // the worker scope has joined, and thread join synchronizes
             // every write made by the joined threads.
             accepted: shared.accepted.load(Ordering::Relaxed),
             requests: shared.requests.load(Ordering::Relaxed), // ordering: see above
             served: shared.served.load(Ordering::Relaxed), // ordering: see above
             rejected: shared.rejected.load(Ordering::Relaxed), // ordering: see above
+            updates: shared.updates.load(Ordering::Relaxed), // ordering: see above
             queue_max_depth: shared.queue.max_depth(),
             shards,
         })
@@ -228,7 +245,7 @@ fn worker_loop(sh: &Shared, i: usize) {
     let mut busy = Duration::ZERO;
     while let Some(job) = sh.queue.pop() {
         let t0 = Instant::now();
-        let payload = proto::encode(&execute(sh, &job.frame));
+        let payload = proto::encode(&execute(sh, &job.item));
         busy += t0.elapsed();
         jobs += 1;
         // ordering: statistics counter; read after the scope joins.
@@ -241,36 +258,78 @@ fn worker_loop(sh: &Shared, i: usize) {
     sh.rec.record(&format!("server.worker{i}.busy"), busy);
 }
 
-/// Parses, resolves, serves, finishes, and encodes one query. Every
-/// failure becomes an `ERROR` frame; the connection survives.
-fn execute(sh: &Shared, q: &QueryFrame) -> Frame {
-    match run_query(sh, q) {
-        Ok(bytes) => Frame::Result(bytes),
-        Err(msg) => Frame::Error(msg),
+/// Runs one admitted work item. Every failure becomes an `ERROR`
+/// frame; the connection survives.
+fn execute(sh: &Shared, item: &WorkItem) -> Frame {
+    match item {
+        WorkItem::Query(q) => match run_query(sh, q) {
+            Ok(bytes) => Frame::Result(bytes),
+            Err(msg) => Frame::Error(msg),
+        },
+        WorkItem::Update(u) => {
+            // ordering: statistics counter; read after the scope joins.
+            sh.updates.fetch_add(1, Ordering::Relaxed);
+            match run_update(sh, u) {
+                Ok(report) => Frame::Committed(report),
+                Err(msg) => Frame::Error(msg),
+            }
+        }
     }
 }
 
 fn run_query(sh: &Shared, q: &QueryFrame) -> Result<Vec<u8>, String> {
-    let dict = sh.graph.dictionary();
+    // Queries share the engine read lock; a commit's write lock excludes
+    // them, so every query sees either the whole commit or none of it.
+    let serve = sh.serve.read();
+    // Resolve against the live dictionary once updates have run — a
+    // term interned by a commit must be addressable by the next query.
     // Constants absent from the dictionary resolve to an `Empty` leaf,
     // so a provably-empty query still flows through the normal serving
     // path and produces a RESULT frame with the query's own columns.
+    let dict = serve
+        .engine()
+        .dictionary()
+        .unwrap_or_else(|| sh.graph.dictionary());
     let plan = mpc_sparql::parse(&q.text)
         .map_err(|e| e.to_string())?
         .resolve(dict)
         .map_err(|e| e.to_string())?;
-    let mut req = ExecRequest::new()
+    let req = RequestSpec::default()
         .mode(q.mode)
-        .traced(&sh.rec)
-        .cached(q.cached);
-    if q.threads > 0 {
-        req = req.threads(usize::from(q.threads));
-    }
-    let outcome = sh.serve.serve_plan(&plan, &req, dict).map_err(|e| e.to_string())?;
+        .cached(q.cached)
+        .threads(usize::from(q.threads))
+        .to_request(&sh.rec);
+    let outcome = serve.serve_plan(&plan, &req, dict).map_err(|e| e.to_string())?;
     let (partial, _stats) = outcome.into_parts();
     encode_bindings(&partial.rows)
         .map(|b| b.as_ref().to_vec())
         .map_err(|e| e.to_string())
+}
+
+fn run_update(sh: &Shared, u: &UpdateFrame) -> Result<CommitFrame, String> {
+    let data = mpc_sparql::parse_update(&u.text).map_err(|e| e.to_string())?;
+    let batch = UpdateBatch::from_update_data(&data);
+    let opts = CommitOptions {
+        compact: u.compact,
+        // Server-side commits stay in memory; persistence is the CLI's
+        // `mpc update --save` path (docs/UPDATES.md).
+        snapshot_dir: None,
+    };
+    let mut serve = sh.serve.write();
+    let report = serve
+        .commit(&batch, &opts, &sh.rec)
+        .map_err(|e| e.to_string())?;
+    sh.rec.incr("server.updates");
+    Ok(CommitFrame {
+        epoch: report.epoch,
+        generation: report.generation,
+        inserted: report.inserted as u64,
+        deleted: report.deleted as u64,
+        noops: (report.insert_noops + report.delete_noops) as u64,
+        new_vertices: report.new_vertices as u64,
+        crossing_properties: report.crossing_properties as u64,
+        crossing_edges: report.crossing_edges as u64,
+    })
 }
 
 /// One connection's request/response loop. Returns (closing the
@@ -310,34 +369,13 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
         };
         match frame {
             Frame::Query(q) => {
-                // ordering: statistics counter; read after the scope joins.
-                sh.requests.fetch_add(1, Ordering::Relaxed);
-                sh.rec.incr("server.requests");
-                let (tx, rx) = mpsc::sync_channel(1);
-                match sh.queue.try_push(Job { frame: q, reply: tx }) {
-                    Err(_) => {
-                        // ordering: statistics counter; read after the
-                        // scope joins.
-                        sh.rejected.fetch_add(1, Ordering::Relaxed);
-                        sh.rec.incr("server.rejected");
-                        if proto::send(
-                            &mut stream,
-                            &Frame::Rejected("admission queue full".into()),
-                        )
-                        .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    Ok(()) => match rx.recv() {
-                        Ok(reply) => {
-                            if proto::write_frame(&mut stream, &reply).is_err() {
-                                return;
-                            }
-                        }
-                        // Worker pool gone mid-request (shutdown race).
-                        Err(_) => return,
-                    },
+                if !admit(sh, &mut stream, WorkItem::Query(q)) {
+                    return;
+                }
+            }
+            Frame::Update(u) => {
+                if !admit(sh, &mut stream, WorkItem::Update(u)) {
+                    return;
                 }
             }
             Frame::Shutdown => {
@@ -350,7 +388,7 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
                 return;
             }
             Frame::Bye => return,
-            Frame::Result(_) | Frame::Error(_) | Frame::Rejected(_) => {
+            Frame::Result(_) | Frame::Error(_) | Frame::Rejected(_) | Frame::Committed(_) => {
                 let _ = proto::send(
                     &mut stream,
                     &Frame::Error("unexpected server-side frame from client".into()),
@@ -358,6 +396,29 @@ fn handle_connection(sh: &Shared, mut stream: TcpStream) {
                 return;
             }
         }
+    }
+}
+
+/// Pushes one work item through the admission queue and writes the
+/// reply (or the backpressure rejection) back. Returns `false` when the
+/// connection should close: the reply write failed, or the worker pool
+/// disappeared mid-request (shutdown race).
+fn admit(sh: &Shared, stream: &mut TcpStream, item: WorkItem) -> bool {
+    // ordering: statistics counter; read after the scope joins.
+    sh.requests.fetch_add(1, Ordering::Relaxed);
+    sh.rec.incr("server.requests");
+    let (tx, rx) = mpsc::sync_channel(1);
+    match sh.queue.try_push(Job { item, reply: tx }) {
+        Err(_) => {
+            // ordering: statistics counter; read after the scope joins.
+            sh.rejected.fetch_add(1, Ordering::Relaxed);
+            sh.rec.incr("server.rejected");
+            proto::send(stream, &Frame::Rejected("admission queue full".into())).is_ok()
+        }
+        Ok(()) => match rx.recv() {
+            Ok(reply) => proto::write_frame(stream, &reply).is_ok(),
+            Err(_) => false,
+        },
     }
 }
 

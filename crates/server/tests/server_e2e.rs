@@ -371,3 +371,114 @@ fn digest_decodes_rows_from_the_codec_bytes() {
     assert_eq!(digest.fp, fingerprint(bytes.as_ref()));
     assert!(digest_result_bytes(&[1, 2, 3]).is_err());
 }
+
+/// UPDATE over the wire: a commit on one connection flips the epoch,
+/// so a query that was already cached re-executes and sees the new
+/// triples — and the post-commit answers match a fresh engine built
+/// over the committed dataset.
+#[test]
+fn update_commits_over_the_wire_and_invalidates_the_cache() {
+    let g = graph();
+    let part = MpcPartitioner::new(MpcConfig::with_k(2)).partition(g);
+    let mut engine = DistributedEngine::build(g, &part, NetworkModel::free());
+    engine.enable_updates(g, &part, 0.1).unwrap();
+    let serve = ServeEngine::with_shards(engine, 64, 4);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        g.clone(),
+        serve,
+        ServerConfig::default(),
+        Recorder::enabled(),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let probe = "SELECT ?x ?y WHERE { ?x <urn:q:new> ?y }";
+    let opts = RequestOpts::default();
+    let mut client = Client::connect(addr).unwrap();
+    // Before the commit the property is not even in the dictionary:
+    // provably empty, and the empty answer lands in the result cache.
+    for _ in 0..2 {
+        assert_eq!(client.query_digest(probe, &opts).unwrap().rows, 0);
+    }
+
+    let committed = client
+        .update(
+            "INSERT DATA { <urn:x:a> <urn:q:new> <urn:x:b> . \
+                           <urn:x:b> <urn:q:new> <urn:x:c> . \
+                           <urn:x:c> <urn:q:new> <urn:x:a> }",
+            false,
+        )
+        .unwrap();
+    assert_eq!(committed.inserted, 3);
+    assert_eq!(committed.deleted, 0);
+    assert_eq!(committed.noops, 0);
+    assert_eq!(committed.new_vertices, 3);
+    assert_eq!(committed.epoch, 1, "first commit bumps the epoch from 0");
+    assert_eq!(committed.generation, None, "the server never snapshots");
+
+    // The cached empty answer is now unaddressable: the same query
+    // resolves against the grown live dictionary and sees all 3 rows.
+    assert_eq!(client.query_digest(probe, &opts).unwrap().rows, 3);
+
+    // Deleting one of them (mixed-clause update) drops exactly one row;
+    // a delete of an absent triple is a counted noop, not an error.
+    let committed = client
+        .update(
+            "DELETE DATA { <urn:x:c> <urn:q:new> <urn:x:a> . \
+                           <urn:x:c> <urn:q:new> <urn:q:nosuch> }",
+            true,
+        )
+        .unwrap();
+    assert_eq!(committed.deleted, 1);
+    assert_eq!(committed.noops, 1);
+    assert_eq!(committed.epoch, 2);
+    let post = client.query_digest(probe, &opts).unwrap();
+    assert_eq!(post.rows, 2);
+
+    // Ground truth: a fresh single-owner engine over the committed
+    // dataset answers the probe with the same bytes.
+    {
+        let mut reference = DistributedEngine::build(g, &part, NetworkModel::free());
+        reference.enable_updates(g, &part, 0.1).unwrap();
+        let rec = Recorder::disabled();
+        let batch = mpc_cluster::UpdateBatch::from_update_data(
+            &mpc_sparql::parse_update(
+                "INSERT DATA { <urn:x:a> <urn:q:new> <urn:x:b> . \
+                               <urn:x:b> <urn:q:new> <urn:x:c> }",
+            )
+            .unwrap(),
+        );
+        reference.commit(&batch, &rec).unwrap();
+        let (lg, lp) = reference.live_dataset().unwrap();
+        let rebuilt = DistributedEngine::build(&lg, &lp, NetworkModel::free());
+        let plan = parse(probe).unwrap().resolve(lg.dictionary()).unwrap();
+        let req = ExecRequest::new().cached(false);
+        let outcome = rebuilt.run_plan(&plan, &req, lg.dictionary()).unwrap();
+        let bytes = mpc_cluster::wire::encode_bindings(outcome.rows()).unwrap();
+        assert_eq!(post, digest_result_bytes(bytes.as_ref()).unwrap());
+    }
+
+    // A malformed update is an ERROR frame, and the session survives.
+    let err = client.update("INSERT DATA { ?x <urn:q:new> ?y }", false).unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    assert_eq!(client.query_digest(probe, &opts).unwrap().rows, 2);
+    client.bye();
+
+    // An update against a server whose engine never enabled updates is
+    // a clean ERROR frame too, not a crash.
+    let (plain_addr, plain_handle) = start_server(ServerConfig::default());
+    let mut plain = Client::connect(plain_addr).unwrap();
+    let err = plain
+        .update("INSERT DATA { <urn:x:a> <urn:q:new> <urn:x:b> }", false)
+        .unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    plain.bye();
+    shutdown(plain_addr);
+    plain_handle.join().unwrap();
+
+    shutdown(addr);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.updates, 3, "two commits and one malformed attempt");
+}

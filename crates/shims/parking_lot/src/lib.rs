@@ -83,6 +83,76 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// RAII read guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// RAII write guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s panic-free interface:
+/// `read()` / `write()` return guards directly and recover from poison
+/// instead of propagating it. Many concurrent readers, one writer — the
+/// shape the serving front end needs for query-vs-commit exclusion
+/// (docs/UPDATES.md).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until no writer holds the
+    /// lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires exclusive write access, blocking until all readers and
+    /// writers are gone.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
 /// A condition variable paired with [`Mutex`], after `parking_lot`'s
 /// interface: [`Condvar::wait`] takes the guard by `&mut` and never
 /// reports poison.
@@ -165,6 +235,47 @@ mod tests {
         *m.lock() = true;
         cv.notify_one();
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn rwlock_readers_share_and_writer_excludes() {
+        let l = std::sync::Arc::new(RwLock::new(0u32));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (0, 0), "two concurrent readers");
+        }
+        *l.write() += 5;
+        assert_eq!(*l.read(), 5);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2005);
+        let owned = std::sync::Arc::try_unwrap(l).expect("all clones joined");
+        assert_eq!(owned.into_inner(), 2005);
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers() {
+        let l = std::sync::Arc::new(RwLock::new(7u32));
+        let l2 = std::sync::Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the std rwlock underneath");
+        })
+        .join();
+        assert_eq!(*l.read(), 7, "read() recovers instead of propagating poison");
+        assert_eq!(*l.write(), 7, "write() recovers too");
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use matcher::{
     evaluate, evaluate_observed, evaluate_ordered, evaluate_ordered_observed, MatchObserver,
     MatchStats,
 };
-pub use parser::{numeric_value, parse, CompareOp, Filter, FilterOperand, QueryParseError};
+pub use parser::{
+    is_update, numeric_value, parse, parse_update, CompareOp, Filter, FilterOperand,
+    GroundTriple, QueryParseError, UpdateData,
+};
 pub use planner::{estimate, static_order};
 pub use query::{QLabel, QNode, Query, QueryBuilder, TriplePattern};
 pub use store::{LocalStore, Pattern, PropertyCard, StoreStats};

@@ -348,7 +348,7 @@ pub fn evaluate_bruteforce(query: &Query, store: &LocalStore) -> Bindings {
     let nvars = query.var_count();
     let vars: Vec<u32> = (0..narrow::u32_from(nvars)).collect();
     let mut out = Bindings::new(vars);
-    let triples: Vec<Triple> = store.triples().to_vec();
+    let triples: Vec<Triple> = store.scan(&crate::store::Pattern::any()).collect();
     let mut binding: Vec<Option<u32>> = vec![None; nvars];
 
     fn rec(

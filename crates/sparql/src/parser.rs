@@ -113,6 +113,168 @@ pub struct Filter {
     pub rhs: FilterOperand,
 }
 
+/// A ground triple in an update request: subject term, predicate IRI,
+/// object term.
+pub type GroundTriple = (Term, String, Term);
+
+/// A parsed SPARQL Update request: the ground triples to delete and to
+/// insert, in request order. Produced by [`parse_update`]; applied by
+/// `mpc-cluster`'s commit path (deletes first, then inserts — the SPARQL
+/// Update order, docs/UPDATES.md).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateData {
+    /// Triples removed by `DELETE DATA` clauses.
+    pub deletes: Vec<GroundTriple>,
+    /// Triples added by `INSERT DATA` clauses.
+    pub inserts: Vec<GroundTriple>,
+}
+
+impl UpdateData {
+    /// Total number of triples across both clauses.
+    pub fn len(&self) -> usize {
+        self.deletes.len() + self.inserts.len()
+    }
+
+    /// True if the request carries no triples at all.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty()
+    }
+}
+
+/// True if `input` looks like a SPARQL Update request (starts with
+/// `INSERT`, `DELETE`, or a `PREFIX` prologue followed by either) —
+/// how the REPL and the server tell updates from queries before picking
+/// a parser.
+pub fn is_update(input: &str) -> bool {
+    let mut rest = input.trim_start();
+    // Skip a PREFIX prologue without tokenizing the whole input.
+    loop {
+        let lower = rest.to_ascii_lowercase();
+        if !lower.starts_with("prefix") {
+            break;
+        }
+        match rest.find('>') {
+            Some(at) => rest = rest[at + 1..].trim_start(),
+            None => return false,
+        }
+    }
+    let lower = rest.to_ascii_lowercase();
+    lower.starts_with("insert") || lower.starts_with("delete")
+}
+
+/// Parses a SPARQL Update request: one or more `INSERT DATA { … }` /
+/// `DELETE DATA { … }` clauses in sequence after an optional `PREFIX`
+/// prologue. Only ground triples are allowed inside the braces — no
+/// variables, no property paths.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sparql::parse_update;
+///
+/// let up = parse_update(
+///     "PREFIX ex: <http://ex/> INSERT DATA { ex:a ex:p ex:b . ex:b ex:p \"lit\" }",
+/// ).unwrap();
+/// assert_eq!(up.inserts.len(), 2);
+/// assert!(up.deletes.is_empty());
+/// ```
+pub fn parse_update(input: &str) -> Result<UpdateData, QueryParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = TokenCursor { tokens, pos: 0 };
+
+    let mut prefixes: FxHashMap<String, String> = FxHashMap::default();
+    loop {
+        match p.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("prefix") => {
+                p.advance();
+                let name = match p.next() {
+                    Some(Token::Word(w)) => w.strip_suffix(':').unwrap_or(&w).to_owned(),
+                    other => return Err(err(format!("expected prefix name, got {other:?}"))),
+                };
+                let iri = match p.next() {
+                    Some(Token::Iri(i)) => i,
+                    other => return Err(err(format!("expected prefix IRI, got {other:?}"))),
+                };
+                prefixes.insert(name, iri);
+            }
+            _ => break,
+        }
+    }
+
+    let mut update = UpdateData::default();
+    let mut clauses = 0usize;
+    loop {
+        let insert = match p.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("insert") => true,
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("delete") => false,
+            None if clauses > 0 => break,
+            other => {
+                return Err(err(format!("expected INSERT DATA or DELETE DATA, got {other:?}")))
+            }
+        };
+        match p.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("data") => {}
+            other => {
+                return Err(err(format!(
+                    "only the ground DATA form is supported (expected DATA, got {other:?})"
+                )))
+            }
+        }
+        match p.next() {
+            Some(Token::OpenBrace) => {}
+            other => return Err(err(format!("expected '{{', got {other:?}"))),
+        }
+        loop {
+            if matches!(p.peek(), Some(Token::CloseBrace)) {
+                p.advance();
+                break;
+            }
+            let triple = parse_ground_triple(&mut p, &prefixes)?;
+            if insert {
+                update.inserts.push(triple);
+            } else {
+                update.deletes.push(triple);
+            }
+            // Triple separator: '.', optional before '}'.
+            if matches!(p.peek(), Some(Token::Dot)) {
+                p.advance();
+            } else if !matches!(p.peek(), Some(Token::CloseBrace)) {
+                return Err(err(format!(
+                    "expected '.' or '}}' after a triple, got {:?}",
+                    p.peek()
+                )));
+            }
+        }
+        clauses += 1;
+        if p.peek().is_none() {
+            break;
+        }
+    }
+    Ok(update)
+}
+
+/// One ground (variable-free) triple: `term iri term`.
+fn parse_ground_triple(
+    p: &mut TokenCursor,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<GroundTriple, QueryParseError> {
+    let s = match parse_term(p, prefixes)? {
+        PTerm::Term(t) if t.is_iri() => t,
+        PTerm::Term(t) => return Err(err(format!("literal subject {t} in update data"))),
+        PTerm::Var(v) => return Err(err(format!("variable ?{v} in update data (ground triples only)"))),
+    };
+    let pred = match parse_term(p, prefixes)? {
+        PTerm::Term(Term::Iri(i)) => i,
+        PTerm::Term(t) => return Err(err(format!("non-IRI predicate {t} in update data"))),
+        PTerm::Var(v) => return Err(err(format!("variable ?{v} in update data (ground triples only)"))),
+    };
+    let o = match parse_term(p, prefixes)? {
+        PTerm::Term(t) => t,
+        PTerm::Var(v) => return Err(err(format!("variable ?{v} in update data (ground triples only)"))),
+    };
+    Ok((s, pred, o))
+}
+
 /// The numeric value of a literal term, if its lexical form parses.
 pub fn numeric_value(term: &Term) -> Option<f64> {
     match term {
@@ -990,6 +1152,50 @@ mod tests {
         let q = parse("SELECT * WHERE { ?x ?p ?y . ?y <http://x/knows> ?p }").unwrap();
         let e = q.resolve(&dict).unwrap_err();
         assert!(e.0.contains("both vertex and property positions"), "{e}");
+    }
+
+    #[test]
+    fn update_insert_and_delete_data() {
+        let up = parse_update(
+            "PREFIX x: <http://x/> \
+             DELETE DATA { x:alice x:knows x:bob } \
+             INSERT DATA { x:alice x:knows x:carol . <http://x/bob> a x:Person . \
+                           x:bob x:age \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> }",
+        )
+        .unwrap();
+        assert_eq!(up.deletes.len(), 1);
+        assert_eq!(up.inserts.len(), 3);
+        assert_eq!(up.len(), 4);
+        assert!(!up.is_empty());
+        let (s, p, o) = &up.deletes[0];
+        assert_eq!(s, &Term::iri("http://x/alice"));
+        assert_eq!(p, "http://x/knows");
+        assert_eq!(o, &Term::iri("http://x/bob"));
+        // 'a' expands to rdf:type; literal objects survive with datatype.
+        assert_eq!(up.inserts[1].1, RDF_TYPE);
+        assert!(matches!(&up.inserts[2].2, Term::Literal { lexical, .. } if lexical == "42"));
+    }
+
+    #[test]
+    fn update_rejects_non_ground_and_malformed_data() {
+        assert!(parse_update("INSERT DATA { ?x <http://x/p> <http://x/o> }").is_err());
+        assert!(parse_update("INSERT DATA { \"lit\" <http://x/p> <http://x/o> }").is_err());
+        assert!(parse_update("INSERT DATA { <http://x/s> \"lit\" <http://x/o> }").is_err());
+        assert!(parse_update("INSERT { <http://x/s> <http://x/p> <http://x/o> }").is_err());
+        assert!(parse_update("INSERT DATA { <http://x/s> <http://x/p> }").is_err());
+        assert!(parse_update("SELECT ?x WHERE { ?x ?p ?y }").is_err());
+        assert!(parse_update("").is_err());
+        // Empty DATA blocks are fine — a no-op update.
+        assert!(parse_update("INSERT DATA { }").unwrap().is_empty());
+    }
+
+    #[test]
+    fn is_update_distinguishes_updates_from_queries() {
+        assert!(is_update("INSERT DATA { <u:s> <u:p> <u:o> }"));
+        assert!(is_update("  delete data { <u:s> <u:p> <u:o> }"));
+        assert!(is_update("PREFIX x: <http://x/> INSERT DATA { x:a x:p x:b }"));
+        assert!(!is_update("SELECT ?x WHERE { ?x ?p ?y }"));
+        assert!(!is_update("PREFIX x: <http://x/> SELECT * WHERE { ?a x:p ?b }"));
     }
 }
 

@@ -83,10 +83,88 @@ impl StoreStats {
     }
 }
 
-/// A sorted-permutation triple store.
+/// The mutable side of a [`LocalStore`]: triples inserted since the last
+/// compaction (the *novelty*, kept as three small sorted runs mirroring
+/// the base permutations) plus delete tombstones over the base run.
+///
+/// Invariants: the novelty is disjoint from the live base (a staged
+/// triple is never also in `base minus tombstones`), tombstones are a
+/// subset of the base run, and all four vectors are strictly sorted
+/// under their respective keys. Every read path merges base and overlay,
+/// so a store with a non-empty overlay answers exactly like a store
+/// rebuilt from the merged triple set.
+#[derive(Clone, Debug, Default)]
+struct Overlay {
+    /// Novelty triples sorted by (s, p, o).
+    spo: Vec<Triple>,
+    /// The same novelty sorted by (p, o, s).
+    pos: Vec<Triple>,
+    /// The same novelty sorted by (o, s, p).
+    osp: Vec<Triple>,
+    /// Deleted base triples, sorted by (s, p, o).
+    tombstones: Vec<Triple>,
+}
+
+impl Overlay {
+    fn is_empty(&self) -> bool {
+        self.spo.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// The novelty triples matching a pattern, by the same 8-way index
+    /// dispatch the base store uses.
+    fn select(&self, pat: &Pattern) -> &[Triple] {
+        match (pat.s, pat.p, pat.o) {
+            (None, None, None) => &self.spo,
+            // Prefixes of SPO.
+            (Some(s), None, None) => range_of(&self.spo, |t| t.s.cmp(&s)),
+            (Some(s), Some(p), None) => range_of(&self.spo, |t| (t.s, t.p).cmp(&(s, p))),
+            (Some(s), Some(p), Some(o)) => {
+                range_of(&self.spo, |t| (t.s, t.p, t.o).cmp(&(s, p, o)))
+            }
+            // Prefixes of POS.
+            (None, Some(p), None) => range_of(&self.pos, |t| t.p.cmp(&p)),
+            (None, Some(p), Some(o)) => range_of(&self.pos, |t| (t.p, t.o).cmp(&(p, o))),
+            // Prefixes of OSP.
+            (None, None, Some(o)) => range_of(&self.osp, |t| t.o.cmp(&o)),
+            (Some(s), None, Some(o)) => range_of(&self.osp, |t| (t.o, t.s).cmp(&(o, s))),
+        }
+    }
+
+    fn insert_novelty(&mut self, t: Triple) {
+        sorted_insert(&mut self.spo, t, |x| (x.s, x.p, x.o));
+        sorted_insert(&mut self.pos, t, |x| (x.p, x.o, x.s));
+        sorted_insert(&mut self.osp, t, |x| (x.o, x.s, x.p));
+    }
+
+    fn remove_novelty(&mut self, t: Triple) {
+        sorted_remove(&mut self.spo, t, |x| (x.s, x.p, x.o));
+        sorted_remove(&mut self.pos, t, |x| (x.p, x.o, x.s));
+        sorted_remove(&mut self.osp, t, |x| (x.o, x.s, x.p));
+    }
+}
+
+/// Inserts `t` into a `key`-sorted vector, keeping it sorted.
+fn sorted_insert<K: Ord>(v: &mut Vec<Triple>, t: Triple, key: impl Fn(&Triple) -> K) {
+    let at = v.partition_point(|x| key(x) < key(&t));
+    v.insert(at, t);
+}
+
+/// Removes `t` from a `key`-sorted vector, if present.
+fn sorted_remove<K: Ord>(v: &mut Vec<Triple>, t: Triple, key: impl Fn(&Triple) -> K) {
+    if let Ok(at) = v.binary_search_by(|x| key(x).cmp(&key(&t))) {
+        v.remove(at);
+    }
+}
+
+/// A sorted-permutation triple store with a novelty overlay.
 ///
 /// Duplicate triples are removed at construction: SPARQL BGP matching has
 /// set semantics, so multiset duplicates can only produce duplicate rows.
+///
+/// The base run is immutable; [`LocalStore::insert`] and
+/// [`LocalStore::delete`] stage changes in an in-memory overlay that
+/// every read path merges at match time, and [`LocalStore::compact`]
+/// folds the overlay back into sorted runs (docs/UPDATES.md).
 ///
 /// # Examples
 ///
@@ -110,8 +188,10 @@ pub struct LocalStore {
     pos: Vec<u32>,
     /// Indices sorted by (o, s, p).
     osp: Vec<u32>,
-    /// Per-property cardinalities, computed at build time.
+    /// Per-property cardinalities, kept exact across overlay mutations.
     stats: StoreStats,
+    /// Staged inserts and delete tombstones (empty after compaction).
+    overlay: Overlay,
 }
 
 /// A triple-pattern access: each position is either bound or free.
@@ -168,6 +248,7 @@ impl LocalStore {
             pos,
             osp,
             stats,
+            overlay: Overlay::default(),
         }
     }
 
@@ -235,6 +316,7 @@ impl LocalStore {
             pos,
             osp,
             stats,
+            overlay: Overlay::default(),
         })
     }
 
@@ -248,39 +330,166 @@ impl LocalStore {
         &self.osp
     }
 
-    /// Number of stored (distinct) triples.
+    /// Number of stored (distinct) triples, overlay included.
     pub fn len(&self) -> usize {
-        self.triples.len()
+        self.triples.len() - self.overlay.tombstones.len() + self.overlay.spo.len()
     }
 
-    /// True if the store is empty.
+    /// True if the store is empty (overlay included).
     pub fn is_empty(&self) -> bool {
-        self.triples.is_empty()
+        self.len() == 0
     }
 
-    /// All stored triples in (s, p, o) order.
+    /// The **base run** in (s, p, o) order — what the last compaction
+    /// (or construction) produced, *excluding* the overlay. Callers that
+    /// need the live triple set must use [`LocalStore::scan`] with
+    /// [`Pattern::any`], or [`LocalStore::compact`] first.
     pub fn triples(&self) -> &[Triple] {
         &self.triples
     }
 
-    /// Per-property cardinality statistics of this store.
+    /// Per-property cardinality statistics of this store, kept exact
+    /// across overlay mutations (always equal to what a fresh build over
+    /// the merged triple set would compute).
     pub fn stats(&self) -> &StoreStats {
         &self.stats
     }
 
     /// Number of triples matching a pattern — the matcher's selectivity
-    /// estimate. Costs two binary searches.
+    /// estimate. Costs two binary searches on the base run plus two on
+    /// the novelty (and a tombstone sweep only while deletes are staged).
     pub fn count(&self, pat: &Pattern) -> usize {
-        self.select_range(pat).len()
+        let dead = if self.overlay.tombstones.is_empty() {
+            0
+        } else {
+            // Tombstones are a subset of the base run, so every match
+            // here is also counted by `select_range`.
+            self.overlay.tombstones.iter().filter(|t| pat.matches(t)).count()
+        };
+        self.select_range(pat).len() - dead + self.overlay.select(pat).len()
     }
 
-    /// Iterates all triples matching a pattern, using the best index.
-    /// Every access path is fully covered by one of the three sorted
-    /// permutations, so no residual filtering is needed.
+    /// Iterates all triples matching a pattern, using the best index:
+    /// the base run (minus tombstones) followed by the matching novelty.
+    /// Every access path is fully covered by a sorted permutation on
+    /// both sides, so no residual filtering is needed.
     pub fn scan<'a>(&'a self, pat: &Pattern) -> impl Iterator<Item = Triple> + 'a {
-        self.select_range(pat)
+        let tombstones = &self.overlay.tombstones;
+        let base = self
+            .select_range(pat)
             .iter()
             .map(move |&i| self.triples[i as usize])
+            .filter(move |t| tombstones.is_empty() || tombstones.binary_search(t).is_err());
+        base.chain(self.overlay.select(pat).iter().copied())
+    }
+
+    /// True if the store currently holds `t` (overlay included).
+    pub fn contains(&self, t: Triple) -> bool {
+        if self.overlay.spo.binary_search(&t).is_ok() {
+            return true;
+        }
+        self.triples.binary_search(&t).is_ok()
+            && self.overlay.tombstones.binary_search(&t).is_err()
+    }
+
+    /// Stages one triple in the novelty overlay. Returns `true` if the
+    /// store changed (set semantics: inserting a present triple is a
+    /// no-op). Deleting and re-inserting a base triple clears its
+    /// tombstone rather than growing the novelty.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if self.contains(t) {
+            return false;
+        }
+        self.stats_add(t);
+        if let Ok(at) = self.overlay.tombstones.binary_search(&t) {
+            self.overlay.tombstones.remove(at);
+        } else {
+            self.overlay.insert_novelty(t);
+        }
+        true
+    }
+
+    /// Deletes one triple: novelty triples are unstaged, base triples
+    /// get a tombstone. Returns `true` if the store changed (deleting an
+    /// absent triple is a no-op).
+    pub fn delete(&mut self, t: Triple) -> bool {
+        if self.overlay.spo.binary_search(&t).is_ok() {
+            self.stats_remove(t);
+            self.overlay.remove_novelty(t);
+            return true;
+        }
+        if self.triples.binary_search(&t).is_ok()
+            && self.overlay.tombstones.binary_search(&t).is_err()
+        {
+            self.stats_remove(t);
+            sorted_insert(&mut self.overlay.tombstones, t, |x| (x.s, x.p, x.o));
+            return true;
+        }
+        false
+    }
+
+    /// Triples currently staged in the novelty overlay.
+    pub fn novelty_len(&self) -> usize {
+        self.overlay.spo.len()
+    }
+
+    /// Base triples currently tombstoned by staged deletes.
+    pub fn tombstone_len(&self) -> usize {
+        self.overlay.tombstones.len()
+    }
+
+    /// True if the overlay is non-empty, i.e. the base run no longer
+    /// equals the live triple set.
+    pub fn is_dirty(&self) -> bool {
+        !self.overlay.is_empty()
+    }
+
+    /// Folds the overlay into the base run, rebuilding the three sorted
+    /// permutations. Afterwards the store is bit-identical to a fresh
+    /// [`LocalStore::new`] over the merged triple set, and
+    /// [`LocalStore::triples`] reflects every staged change.
+    pub fn compact(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let merged: Vec<Triple> = self.scan(&Pattern::any()).collect();
+        *self = LocalStore::new(merged);
+    }
+
+    /// Adjusts statistics for an insert of `t` (called **before** the
+    /// physical insertion, so the distinct-count probes see the prior
+    /// state).
+    fn stats_add(&mut self, t: Triple) {
+        let sp = Pattern { s: Some(t.s), p: Some(t.p), o: None };
+        let po = Pattern { s: None, p: Some(t.p), o: Some(t.o) };
+        let new_subject = self.count(&sp) == 0;
+        let new_object = self.count(&po) == 0;
+        self.stats.triples += 1;
+        let card = self.stats.properties.entry(t.p.0).or_default();
+        card.triples += 1;
+        card.distinct_subjects += u64::from(new_subject);
+        card.distinct_objects += u64::from(new_object);
+    }
+
+    /// Adjusts statistics for a delete of `t` (called **before** the
+    /// physical removal; the probes therefore still count `t` itself and
+    /// test whether it was the *last* triple of its (s, p) / (p, o)
+    /// group).
+    fn stats_remove(&mut self, t: Triple) {
+        let sp = Pattern { s: Some(t.s), p: Some(t.p), o: None };
+        let po = Pattern { s: None, p: Some(t.p), o: Some(t.o) };
+        let last_subject = self.count(&sp) == 1;
+        let last_object = self.count(&po) == 1;
+        self.stats.triples -= 1;
+        if let Some(card) = self.stats.properties.get_mut(&t.p.0) {
+            card.triples -= 1;
+            card.distinct_subjects -= u64::from(last_subject);
+            card.distinct_objects -= u64::from(last_object);
+            // A fresh build has no entry for a property with no triples.
+            if card.triples == 0 {
+                self.stats.properties.remove(&t.p.0);
+            }
+        }
     }
 
     /// Picks the index whose sort order covers the bound positions and
@@ -320,6 +529,17 @@ where
     let lo = index.partition_point(|i| cmp(i) == std::cmp::Ordering::Less);
     let hi = index.partition_point(|i| cmp(i) != std::cmp::Ordering::Greater);
     &index[lo..hi]
+}
+
+/// [`range_by`] over a directly sorted triple run (the overlay's novelty
+/// vectors store triples, not indices).
+fn range_of<F>(run: &[Triple], cmp: F) -> &[Triple]
+where
+    F: Fn(&Triple) -> std::cmp::Ordering,
+{
+    let lo = run.partition_point(|t| cmp(t) == std::cmp::Ordering::Less);
+    let hi = run.partition_point(|t| cmp(t) != std::cmp::Ordering::Greater);
+    &run[lo..hi]
 }
 
 #[cfg(test)]
@@ -515,6 +735,80 @@ mod tests {
         };
         assert_eq!(s.count(&pat), 0);
     }
+
+    #[test]
+    fn overlay_insert_is_visible_on_every_access_path() {
+        let mut s = store();
+        assert!(s.insert(t(7, 0, 1)));
+        assert!(!s.insert(t(7, 0, 1)), "set semantics: re-insert is a no-op");
+        assert!(!s.insert(t(0, 0, 1)), "base triples cannot be re-inserted");
+        assert!(s.is_dirty());
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(t(7, 0, 1)));
+        let by = |sp: Option<u32>, pp: Option<u32>, op: Option<u32>| Pattern {
+            s: sp.map(VertexId),
+            p: pp.map(PropertyId),
+            o: op.map(VertexId),
+        };
+        assert_eq!(s.count(&by(Some(7), None, None)), 1);
+        assert_eq!(s.count(&by(None, Some(0), None)), 4);
+        assert_eq!(s.count(&by(None, None, Some(1))), 3);
+        assert_eq!(s.count(&by(Some(7), None, Some(1))), 1);
+        assert_eq!(s.scan(&by(None, Some(0), Some(1))).count(), 2);
+    }
+
+    #[test]
+    fn overlay_delete_tombstones_base_and_unstages_novelty() {
+        let mut s = store();
+        // Deleting a base triple leaves a tombstone…
+        assert!(s.delete(t(0, 0, 1)));
+        assert!(!s.delete(t(0, 0, 1)), "double delete is a no-op");
+        assert!(!s.contains(t(0, 0, 1)));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.tombstone_len(), 1);
+        assert_eq!(s.scan(&Pattern::any()).count(), 4);
+        // …and re-inserting it clears the tombstone, not the novelty.
+        assert!(s.insert(t(0, 0, 1)));
+        assert_eq!(s.tombstone_len(), 0);
+        assert_eq!(s.novelty_len(), 0);
+        assert!(!s.is_dirty());
+        // Deleting a staged triple unstages it.
+        assert!(s.insert(t(9, 1, 9)));
+        assert!(s.delete(t(9, 1, 9)));
+        assert_eq!(s.novelty_len(), 0);
+        assert!(!s.delete(t(42, 0, 42)), "absent triples delete as no-ops");
+    }
+
+    #[test]
+    fn overlay_stats_stay_exact() {
+        let mut s = store();
+        s.insert(t(7, 0, 2));
+        s.delete(t(0, 1, 1));
+        s.delete(t(2, 1, 0));
+        let mut merged: Vec<Triple> = s.scan(&Pattern::any()).collect();
+        merged.sort_unstable();
+        let fresh = LocalStore::new(merged);
+        assert_eq!(s.stats(), fresh.stats());
+        // p1 lost its last triple: the entry is gone, like a fresh build.
+        assert_eq!(s.stats().card(PropertyId(1)), PropertyCard::default());
+    }
+
+    #[test]
+    fn compact_equals_fresh_build() {
+        let mut s = store();
+        s.insert(t(7, 0, 2));
+        s.insert(t(3, 1, 3));
+        s.delete(t(1, 0, 2));
+        let mut merged: Vec<Triple> = s.scan(&Pattern::any()).collect();
+        merged.sort_unstable();
+        s.compact();
+        assert!(!s.is_dirty());
+        let fresh = LocalStore::new(merged);
+        assert_eq!(s.triples(), fresh.triples());
+        assert_eq!(s.pos_permutation(), fresh.pos_permutation());
+        assert_eq!(s.osp_permutation(), fresh.osp_permutation());
+        assert_eq!(s.stats(), fresh.stats());
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +835,22 @@ mod proptests {
                 p: p.map(PropertyId),
                 o: o.map(VertexId),
             })
+    }
+
+    /// A random mutation stream: `true` is an insert, `false` a delete.
+    fn ops_strategy() -> impl Strategy<Value = Vec<(bool, Triple)>> {
+        proptest::collection::vec(
+            (0u32..10, (0u32..8, 0u32..4, 0u32..8)),
+            0..40,
+        )
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(kind, (s, p, o))| {
+                    // ~70% inserts, ~30% deletes.
+                    (kind < 7, Triple::new(VertexId(s), PropertyId(p), VertexId(o)))
+                })
+                .collect()
+        })
     }
 
     proptest! {
@@ -581,6 +891,54 @@ mod proptests {
                 prop_assert_eq!(card.distinct_subjects, distinct(|x| x.s.0));
                 prop_assert_eq!(card.distinct_objects, distinct(|x| x.o.0));
             }
+        }
+
+        /// After any mutation stream, every access path over (base +
+        /// overlay) answers exactly like a store rebuilt from the merged
+        /// triple set — scans, counts, lengths, and statistics — and the
+        /// reported change flag matches set semantics. Compaction then
+        /// reproduces the fresh build bit for bit.
+        #[test]
+        fn overlay_equals_rebuild(
+            base in triples_strategy(),
+            ops in ops_strategy(),
+            pat in pattern_strategy(),
+        ) {
+            let mut store = LocalStore::new(base.clone());
+            let mut reference: Vec<Triple> = base;
+            reference.sort_unstable();
+            reference.dedup();
+            for (ins, t) in ops {
+                if ins {
+                    let expect = !reference.contains(&t);
+                    prop_assert_eq!(store.insert(t), expect);
+                    if expect {
+                        reference.push(t);
+                        reference.sort_unstable();
+                    }
+                } else {
+                    let expect = reference.contains(&t);
+                    prop_assert_eq!(store.delete(t), expect);
+                    reference.retain(|x| *x != t);
+                }
+            }
+            let fresh = LocalStore::new(reference.clone());
+            prop_assert_eq!(store.len(), fresh.len());
+            prop_assert_eq!(store.stats(), fresh.stats());
+            prop_assert_eq!(store.count(&pat), fresh.count(&pat));
+            let mut got: Vec<Triple> = store.scan(&pat).collect();
+            got.sort_unstable();
+            let mut expected: Vec<Triple> = fresh.scan(&pat).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+            for &t in &reference {
+                prop_assert!(store.contains(t));
+            }
+            store.compact();
+            prop_assert_eq!(store.triples(), fresh.triples());
+            prop_assert_eq!(store.pos_permutation(), fresh.pos_permutation());
+            prop_assert_eq!(store.osp_permutation(), fresh.osp_permutation());
+            prop_assert_eq!(store.stats(), fresh.stats());
         }
     }
 }
